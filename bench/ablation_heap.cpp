@@ -1,0 +1,101 @@
+//===- bench/ablation_heap.cpp - §5.2 ablation: heap backing store -------===//
+//
+// DESIGN.md ablation #3: the unmanaged heap over a typed array
+// (ArrayBuffer) versus a plain JavaScript number array. Reports the
+// virtual-time cost per browser and real-host throughput of the allocator
+// and the copy-in/copy-out accessors.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench_util.h"
+
+#include "doppio/heap.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace doppio;
+using namespace doppio::rt;
+
+namespace {
+
+/// A fixed workload over one heap: allocate, fill, read back, free.
+uint64_t heapSweep(browser::BrowserEnv &Env, int Blocks) {
+  UnmanagedHeap Heap(Env, 1u << 20);
+  uint64_t Start = Env.clock().nowNs();
+  std::vector<UnmanagedHeap::Addr> Live;
+  std::vector<uint8_t> Payload(512, 0x5A);
+  uint64_t Checksum = 0;
+  for (int I = 0; I != Blocks; ++I) {
+    UnmanagedHeap::Addr A = Heap.malloc(512);
+    if (!A)
+      break;
+    Heap.writeBytes(A, Payload.data(), Payload.size());
+    Checksum += static_cast<uint64_t>(Heap.readInt32(A + 256));
+    Live.push_back(A);
+    if (Live.size() > 64) {
+      Heap.free(Live.front());
+      Live.erase(Live.begin());
+    }
+  }
+  for (UnmanagedHeap::Addr A : Live)
+    Heap.free(A);
+  benchmark::DoNotOptimize(Checksum);
+  return Env.clock().nowNs() - Start;
+}
+
+void printAblation() {
+  printf("==========================================================\n");
+  printf("Ablation (§5.2): typed-array heap vs number-array heap\n");
+  printf("(virtual time of 4000 alloc/fill/read/free rounds)\n");
+  printf("==========================================================\n");
+  printf("%-10s %-14s %12s\n", "browser", "backing", "virtual ms");
+  for (const browser::Profile &P : browser::allProfiles()) {
+    browser::BrowserEnv Env(P);
+    UnmanagedHeap Probe(Env, 4096);
+    uint64_t Ns = heapSweep(Env, 4000);
+    printf("%-10s %-14s %12.2f\n", P.Name.c_str(),
+           Probe.usesTypedArray() ? "typed array" : "number array",
+           static_cast<double>(Ns) / 1e6);
+  }
+  printf("(ie8 lacks typed arrays: every access decodes boxed doubles,\n"
+         " §5.2 — the same mechanism that slows its Buffer in Figure 6)\n\n");
+}
+
+void BM_HeapSweep(benchmark::State &State) {
+  browser::BrowserEnv Env(browser::chromeProfile());
+  for (auto _ : State)
+    benchmark::DoNotOptimize(heapSweep(Env, 1000));
+}
+
+void BM_HeapMallocFree(benchmark::State &State) {
+  browser::BrowserEnv Env(browser::chromeProfile());
+  UnmanagedHeap Heap(Env, 1u << 20);
+  for (auto _ : State) {
+    UnmanagedHeap::Addr A = Heap.malloc(64);
+    Heap.free(A);
+  }
+}
+
+void BM_HeapInt64RoundTrip(benchmark::State &State) {
+  browser::BrowserEnv Env(browser::chromeProfile());
+  UnmanagedHeap Heap(Env, 4096);
+  UnmanagedHeap::Addr A = Heap.malloc(8);
+  int64_t V = 0x1122334455667788ll;
+  for (auto _ : State) {
+    Heap.writeInt64(A, V);
+    benchmark::DoNotOptimize(Heap.readInt64(A));
+  }
+}
+
+} // namespace
+
+BENCHMARK(BM_HeapSweep)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_HeapMallocFree);
+BENCHMARK(BM_HeapInt64RoundTrip);
+
+int main(int argc, char **argv) {
+  printAblation();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,134 @@
+//===- bench/bench_util.h - Shared evaluation harness -------------*- C++ -*-==//
+//
+// Deployment and measurement helpers shared by the per-figure benchmark
+// binaries. Every harness reports two dimensions (DESIGN.md):
+//
+//  - virtual browser time from the deterministic clock (drives the
+//    per-browser series, exactly reproducible), and
+//  - real host time of the C++ interpreter (via google-benchmark), which
+//    gives the honest DoppioJS-vs-native-interpreter factor on this
+//    machine.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef DOPPIO_BENCH_BENCH_UTIL_H
+#define DOPPIO_BENCH_BENCH_UTIL_H
+
+#include "doppio/backends/in_memory.h"
+#include "doppio/backends/mountable.h"
+#include "doppio/backends/xhr_fs.h"
+#include "jvm/jvm.h"
+#include "workloads/workloads.h"
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace doppio {
+namespace bench {
+
+/// A complete browser + Doppio-fs + DoppioJVM deployment for one run.
+struct Deployment {
+  Deployment(const workloads::Workload &W, jvm::ExecutionMode Mode,
+             const browser::Profile &P,
+             jvm::JvmOptions Options = jvm::JvmOptions())
+      : Env(P) {
+    workloads::publish(W, Env.server());
+    auto Root = std::make_unique<rt::fs::InMemoryBackend>(Env);
+    auto Mounted =
+        std::make_unique<rt::fs::MountableFileSystem>(std::move(Root));
+    Mounted->mount("/classes",
+                   std::make_unique<rt::fs::XhrBackend>(Env, "/classes"));
+    Mounted->mount("/srv",
+                   std::make_unique<rt::fs::XhrBackend>(Env, "/srv"));
+    Fs = std::make_unique<rt::fs::FileSystem>(Env, Proc,
+                                              std::move(Mounted));
+    Options.Mode = Mode;
+    Vm = std::make_unique<jvm::Jvm>(Env, *Fs, Proc, Options);
+  }
+
+  browser::BrowserEnv Env;
+  rt::Process Proc;
+  std::unique_ptr<rt::fs::FileSystem> Fs;
+  std::unique_ptr<jvm::Jvm> Vm;
+};
+
+/// Everything the figure harnesses report about one run.
+struct RunMetrics {
+  int Exit = -1;
+  uint64_t VirtualWallNs = 0;
+  uint64_t SuspendedNs = 0;
+  uint64_t Resumptions = 0;
+  uint64_t Ops = 0;
+  uint64_t SuspendYields = 0;
+  double RealSeconds = 0;
+  std::string Output;
+  uint64_t FsOperations = 0;
+  uint64_t FsBytes = 0;
+
+  uint64_t cpuNs() const { return VirtualWallNs - SuspendedNs; }
+};
+
+inline RunMetrics runJvmWorkload(const workloads::Workload &W,
+                                 jvm::ExecutionMode Mode,
+                                 const browser::Profile &P,
+                                 jvm::JvmOptions Options = jvm::JvmOptions()) {
+  Deployment D(W, Mode, P, Options);
+  auto Start = std::chrono::steady_clock::now();
+  RunMetrics M;
+  M.Exit = D.Vm->runMainToCompletion(W.MainClass, W.Args);
+  M.RealSeconds = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - Start)
+                      .count();
+  M.VirtualWallNs = D.Env.clock().nowNs();
+  M.SuspendedNs = D.Vm->suspender().totalSuspendedNs();
+  M.Resumptions = D.Vm->suspender().resumptionCount();
+  M.Ops = D.Vm->stats().OpsExecuted;
+  M.SuspendYields = D.Vm->stats().SuspendYields;
+  M.Output = D.Proc.capturedStdout();
+  M.FsOperations = D.Fs->stats().Operations;
+  M.FsBytes = D.Fs->stats().BytesRead + D.Fs->stats().BytesWritten;
+  return M;
+}
+
+/// Nominal HotSpot-interpreter time for the same work (DESIGN.md's
+/// calibrated baseline): bytecodes executed by the native-mode run times
+/// the per-op cost.
+inline uint64_t nativeNominalNs(const RunMetrics &NativeRun,
+                                const jvm::JvmOptions &Options = {}) {
+  // Interpreter work plus native file system work: the paper's baseline is
+  // HotSpot on a real OS (javap/javac do real I/O there too). Native fs
+  // cost model matches fstrace.cpp: ~25 us per call + page-cache copies.
+  return NativeRun.Ops * Options.NativeOpCostNs +
+         NativeRun.FsOperations * 25000 + NativeRun.FsBytes * 4 / 10;
+}
+
+inline double geomean(const std::vector<double> &Xs) {
+  double LogSum = 0;
+  for (double X : Xs)
+    LogSum += std::log(X);
+  return Xs.empty() ? 0 : std::exp(LogSum / static_cast<double>(Xs.size()));
+}
+
+/// Prints a figure-style table row of slowdown factors.
+inline void printRow(const char *Label, const std::vector<double> &Cells) {
+  printf("%-14s", Label);
+  for (double C : Cells)
+    printf(" %9.1fx", C);
+  printf("\n");
+}
+
+inline void printBrowserHeader(const char *FirstColumn) {
+  printf("%-14s", FirstColumn);
+  for (const browser::Profile &P : browser::allProfiles())
+    printf(" %10s", P.Name.c_str());
+  printf("\n");
+}
+
+} // namespace bench
+} // namespace doppio
+
+#endif // DOPPIO_BENCH_BENCH_UTIL_H

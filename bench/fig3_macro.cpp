@@ -1,0 +1,136 @@
+//===- bench/fig3_macro.cpp - Figure 3: macro benchmark slowdowns --------===//
+//
+// Regenerates Figure 3: DoppioJVM's slowdown on the macro benchmarks
+// (javap/classdump, javac/minicompile, Rhino recursive + binary-trees,
+// Kawa nqueens) relative to the HotSpot interpreter, per browser.
+//
+// Paper shape to match: Chrome is the fastest browser at 24-42x slower
+// than HotSpot (geometric mean 32x); the other browsers are worse in
+// proportion to their 2013 engines; and javap on Safari blows up because
+// Safari never collects typed arrays, so the file-heavy workload drives
+// the machine into paging (§7.1).
+//
+// Two dimensions are reported: the deterministic virtual-clock table
+// (browser series), and google-benchmark real-time runs of the DoppioJS
+// interpreter vs the native-mode interpreter on this host.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench_util.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace doppio;
+using namespace doppio::bench;
+using namespace doppio::jvm;
+using namespace doppio::workloads;
+
+namespace {
+
+std::vector<Workload> macroWorkloads() {
+  std::vector<Workload> Out;
+  Out.push_back(makeClassDump(491)); // javap on javac's 491 class files.
+  Out.push_back(makeMiniCompile(19)); // javac on javap's 19 sources.
+  Out.push_back(makeRecursive(20, 6));
+  Out.push_back(makeBinaryTrees(9));
+  Out.push_back(makeNQueens(8));
+  return Out;
+}
+
+const char *paperLabel(const std::string &Name) {
+  if (Name == "classdump")
+    return "javap*";
+  if (Name == "minicompile")
+    return "javac*";
+  return nullptr;
+}
+
+void printFigure3() {
+  printf("==========================================================\n");
+  printf("Figure 3: slowdown vs the HotSpot interpreter (virtual)\n");
+  printf("(paper: Chrome between 24x and 42x, geomean 32x; Safari\n");
+  printf(" degrades on javap due to the typed-array leak)\n");
+  printf("==========================================================\n");
+  printBrowserHeader("benchmark");
+  std::vector<double> ChromeFactors;
+  for (Workload &W : macroWorkloads()) {
+    RunMetrics Native =
+        runJvmWorkload(W, ExecutionMode::NativeHotspot,
+                       browser::chromeProfile());
+    if (Native.Exit != 0) {
+      printf("%-14s FAILED (exit %d)\n", W.Name.c_str(), Native.Exit);
+      continue;
+    }
+    uint64_t BaselineNs = nativeNominalNs(Native);
+    std::vector<double> Cells;
+    std::string Reference;
+    for (const browser::Profile &P : browser::allProfiles()) {
+      RunMetrics Js = runJvmWorkload(W, ExecutionMode::DoppioJS, P);
+      if (Js.Exit != 0 || Js.Output != Native.Output) {
+        Cells.push_back(-1);
+        continue;
+      }
+      Cells.push_back(static_cast<double>(Js.VirtualWallNs) /
+                      static_cast<double>(BaselineNs));
+    }
+    const char *Alias = paperLabel(W.Name);
+    printRow(Alias ? Alias : W.Name.c_str(), Cells);
+    ChromeFactors.push_back(Cells.front());
+  }
+  printf("%-14s %9.1fx   (paper: 32x)\n", "geomean(chrome)",
+         geomean(ChromeFactors));
+  printf("* classdump/minicompile are the synthesized javap/javac analogs"
+         " (DESIGN.md)\n\n");
+}
+
+//===--------------------------------------------------------------------===//
+// Real-host-time benchmarks (google-benchmark)
+//===--------------------------------------------------------------------===//
+
+void BM_Macro_DoppioJS(benchmark::State &State, Workload (*Make)()) {
+  Workload W = Make();
+  for (auto _ : State) {
+    RunMetrics M = runJvmWorkload(W, ExecutionMode::DoppioJS,
+                                  browser::chromeProfile());
+    if (M.Exit != 0)
+      State.SkipWithError("workload failed");
+    State.counters["bytecodes"] = static_cast<double>(M.Ops);
+  }
+}
+
+void BM_Macro_Native(benchmark::State &State, Workload (*Make)()) {
+  Workload W = Make();
+  for (auto _ : State) {
+    RunMetrics M = runJvmWorkload(W, ExecutionMode::NativeHotspot,
+                                  browser::chromeProfile());
+    if (M.Exit != 0)
+      State.SkipWithError("workload failed");
+    State.counters["bytecodes"] = static_cast<double>(M.Ops);
+  }
+}
+
+Workload makeRecursiveBench() { return makeRecursive(20, 6); }
+Workload makeTreesBench() { return makeBinaryTrees(9); }
+Workload makeQueensBench() { return makeNQueens(8); }
+
+} // namespace
+
+BENCHMARK_CAPTURE(BM_Macro_DoppioJS, recursive, makeRecursiveBench)
+    ->Unit(benchmark::kMillisecond)->Iterations(2);
+BENCHMARK_CAPTURE(BM_Macro_Native, recursive, makeRecursiveBench)
+    ->Unit(benchmark::kMillisecond)->Iterations(2);
+BENCHMARK_CAPTURE(BM_Macro_DoppioJS, binarytrees, makeTreesBench)
+    ->Unit(benchmark::kMillisecond)->Iterations(2);
+BENCHMARK_CAPTURE(BM_Macro_Native, binarytrees, makeTreesBench)
+    ->Unit(benchmark::kMillisecond)->Iterations(2);
+BENCHMARK_CAPTURE(BM_Macro_DoppioJS, nqueens, makeQueensBench)
+    ->Unit(benchmark::kMillisecond)->Iterations(2);
+BENCHMARK_CAPTURE(BM_Macro_Native, nqueens, makeQueensBench)
+    ->Unit(benchmark::kMillisecond)->Iterations(2);
+
+int main(int argc, char **argv) {
+  printFigure3();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,95 @@
+//===- bench/fig4_micro.cpp - Figure 4: microbenchmarks ------------------===//
+//
+// Regenerates Figure 4: DeltaBlue (100 iterations) and pidigits (200
+// digits) relative to the HotSpot interpreter, per browser, split into
+// *CPU time* (execution only) and *wall-clock time* (including time spent
+// suspended between events) — the distinction §7.1 uses to show that
+// suspend-and-resume overhead is small.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench_util.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace doppio;
+using namespace doppio::bench;
+using namespace doppio::jvm;
+using namespace doppio::workloads;
+
+namespace {
+
+void printFigure4() {
+  printf("==========================================================\n");
+  printf("Figure 4: microbenchmark slowdown vs HotSpot interpreter\n");
+  printf("(CPU = execution only; wall = including suspension time;\n");
+  printf(" the two nearly coincide — Figure 5 quantifies the gap)\n");
+  printf("==========================================================\n");
+  struct Micro {
+    const char *Label;
+    Workload W;
+  };
+  std::vector<Micro> Micros;
+  Micros.push_back({"deltablue", makeDeltaBlue(60, 400)});
+  Micros.push_back({"pidigits", makePiDigits(200)});
+  printBrowserHeader("benchmark");
+  for (Micro &M : Micros) {
+    RunMetrics Native = runJvmWorkload(M.W, ExecutionMode::NativeHotspot,
+                                       browser::chromeProfile());
+    uint64_t BaselineNs = nativeNominalNs(Native);
+    std::vector<double> Cpu, Wall;
+    for (const browser::Profile &P : browser::allProfiles()) {
+      RunMetrics Js = runJvmWorkload(M.W, ExecutionMode::DoppioJS, P);
+      if (Js.Exit != 0 || Js.Output != Native.Output) {
+        Cpu.push_back(-1);
+        Wall.push_back(-1);
+        continue;
+      }
+      Cpu.push_back(static_cast<double>(Js.cpuNs()) /
+                    static_cast<double>(BaselineNs));
+      Wall.push_back(static_cast<double>(Js.VirtualWallNs) /
+                     static_cast<double>(BaselineNs));
+    }
+    printRow((std::string(M.Label) + " cpu").c_str(), Cpu);
+    printRow((std::string(M.Label) + " wall").c_str(), Wall);
+  }
+  printf("\npidigits note: its long arithmetic runs on the software\n");
+  printf("Long64 halves in DoppioJS mode (§8), which is why its factors\n");
+  printf("exceed deltablue's.\n\n");
+}
+
+void BM_Micro(benchmark::State &State, Workload (*Make)(),
+              ExecutionMode Mode) {
+  Workload W = Make();
+  for (auto _ : State) {
+    RunMetrics M = runJvmWorkload(W, Mode, browser::chromeProfile());
+    if (M.Exit != 0)
+      State.SkipWithError("workload failed");
+    State.counters["bytecodes"] = static_cast<double>(M.Ops);
+  }
+}
+
+Workload makeDb() { return makeDeltaBlue(60, 400); }
+Workload makePi() { return makePiDigits(200); }
+
+} // namespace
+
+BENCHMARK_CAPTURE(BM_Micro, deltablue_doppiojs, makeDb,
+                  ExecutionMode::DoppioJS)
+    ->Unit(benchmark::kMillisecond)->Iterations(2);
+BENCHMARK_CAPTURE(BM_Micro, deltablue_native, makeDb,
+                  ExecutionMode::NativeHotspot)
+    ->Unit(benchmark::kMillisecond)->Iterations(2);
+BENCHMARK_CAPTURE(BM_Micro, pidigits_doppiojs, makePi,
+                  ExecutionMode::DoppioJS)
+    ->Unit(benchmark::kMillisecond)->Iterations(2);
+BENCHMARK_CAPTURE(BM_Micro, pidigits_native, makePi,
+                  ExecutionMode::NativeHotspot)
+    ->Unit(benchmark::kMillisecond)->Iterations(2);
+
+int main(int argc, char **argv) {
+  printFigure4();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

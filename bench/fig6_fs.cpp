@@ -1,0 +1,116 @@
+//===- bench/fig6_fs.cpp - Figure 6: file system performance -------------===//
+//
+// Regenerates Figure 6: the Doppio file system replaying the recorded
+// javac trace (3185 ops, 1560 files, 10.5 MB read, 97 KB written) per
+// browser, relative to Node JS on the native OS file system.
+//
+// Paper shape: IE10 is nearly native (~1.18x) — its setImmediate makes
+// each blocking call's resumption nearly free — while Chrome is ~2.5x
+// (sendMessage resumption per call); Safari suffers the typed-array leak.
+//
+// Extension beyond the paper: the same trace against each storage
+// backend, showing what localStorage serialization and cloud latency cost.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench_util.h"
+
+#include "doppio/backends/kv_backend.h"
+#include "workloads/fstrace.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace doppio;
+using namespace doppio::bench;
+using namespace doppio::rt;
+using namespace doppio::workloads;
+
+namespace {
+
+/// Replays the trace against a root backend in one browser; returns the
+/// replay stats.
+ReplayStats replayOn(const browser::Profile &P,
+                     const std::string &Backend) {
+  browser::BrowserEnv Env(P);
+  Process Proc;
+  std::unique_ptr<fs::FileSystemBackend> Root;
+  if (Backend == "inmemory") {
+    Root = std::make_unique<fs::InMemoryBackend>(Env);
+  } else {
+    std::unique_ptr<fs::AsyncKvStore> Store;
+    if (Backend == "indexeddb") {
+      if (!Env.indexedDB())
+        return {};
+      Env.indexedDB()->setQuotaBytes(256u << 20);
+      Store = std::make_unique<fs::IndexedDbKv>(Env);
+    } else if (Backend == "cloud") {
+      Store = std::make_unique<fs::CloudKv>(Env);
+    }
+    auto Kv = std::make_unique<fs::KeyValueBackend>(Env, std::move(Store));
+    Kv->initialize([](std::optional<ApiError>) {});
+    Root = std::move(Kv);
+  }
+  fs::FileSystem Fs(Env, Proc, std::move(Root));
+  Suspender Susp(Env);
+  FsTrace Trace = makeJavacTrace();
+  ReplayStats Out;
+  replayTrace(Trace, Fs, Env, Susp, [&Out](ReplayStats S) { Out = S; });
+  return Out;
+}
+
+void printFigure6() {
+  FsTrace Trace = makeJavacTrace();
+  printf("==========================================================\n");
+  printf("Figure 6: Doppio FS replaying the javac trace, relative to\n");
+  printf("Node JS on the native file system\n");
+  printf("trace: %zu ops, %zu unique files, %.1f MB read, %llu KB "
+         "written\n",
+         Trace.Ops.size(), Trace.uniqueFiles(),
+         static_cast<double>(Trace.ExpectedReadBytes) / (1024.0 * 1024.0),
+         static_cast<unsigned long long>(Trace.ExpectedWriteBytes / 1024));
+  printf("(paper: 3185 ops, 1560 files, 10.5 MB read, 97 KB written;\n");
+  printf(" IE10 ~1.18x, Chrome ~2.5x)\n");
+  printf("==========================================================\n");
+  uint64_t BaselineNs = nativeBaselineNs(Trace);
+  printf("native baseline (Node on OS fs, modeled): %.1f ms\n\n",
+         static_cast<double>(BaselineNs) / 1e6);
+  printBrowserHeader("backend");
+  for (const char *Backend : {"inmemory", "indexeddb", "cloud"}) {
+    printf("%-14s", Backend);
+    for (const browser::Profile &P : browser::allProfiles()) {
+      ReplayStats S = replayOn(P, Backend);
+      if (S.Operations == 0) {
+        printf(" %10s", "n/a");
+        continue;
+      }
+      printf(" %9.2fx", static_cast<double>(S.VirtualNs) /
+                            static_cast<double>(BaselineNs));
+    }
+    printf("\n");
+  }
+  printf("(inmemory is the paper's configuration; the per-browser\n"
+         " differences come from each browser's resumption mechanism —\n"
+         " IE10's setImmediate is why it is near-native, §4.4. Safari\n"
+         " pays the typed-array leak: 10.5 MB of file buffers leak and\n"
+         " page. indexeddb/cloud rows are an extension.)\n\n");
+}
+
+void BM_TraceReplay_Chrome(benchmark::State &State) {
+  for (auto _ : State) {
+    ReplayStats S = replayOn(browser::chromeProfile(), "inmemory");
+    State.counters["fs_ops"] = static_cast<double>(S.Operations);
+    State.counters["errors"] = static_cast<double>(S.Errors);
+  }
+}
+
+} // namespace
+
+BENCHMARK(BM_TraceReplay_Chrome)->Unit(benchmark::kMillisecond)
+    ->Iterations(2);
+
+int main(int argc, char **argv) {
+  printFigure6();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

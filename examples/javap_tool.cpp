@@ -1,0 +1,73 @@
+//===- examples/javap_tool.cpp - A javap over the toolchain -------------===//
+//
+// A host-side disassembler built from the same pieces the classdump
+// workload exercises in bytecode: it assembles a demonstration class (or
+// reads a .class file given on the command line), verifies it, and prints
+// the javap-style listing.
+//
+// Usage:
+//   ./build/examples/javap_tool              # disassemble a demo class
+//   ./build/examples/javap_tool Foo.class    # disassemble a real file
+//
+//===----------------------------------------------------------------------===//
+
+#include "jvm/classfile/builder.h"
+#include "jvm/classfile/disasm.h"
+#include "jvm/classfile/verifier.h"
+
+#include <cstdio>
+#include <fstream>
+
+using namespace doppio;
+using namespace doppio::jvm;
+
+static ClassFile demoClass() {
+  ClassBuilder B("demo/Fizz");
+  B.addField(AccPrivate | AccStatic, "counter", "I");
+  B.addDefaultConstructor();
+  MethodBuilder &M = B.method(AccPublic | AccStatic, "fizz", "(I)I");
+  MethodBuilder::Label Div3 = M.newLabel(), Done = M.newLabel();
+  M.iload(0)
+      .iconst(3)
+      .op(Op::Irem)
+      .branch(Op::Ifeq, Div3)
+      .iload(0)
+      .op(Op::Ireturn)
+      .bind(Div3)
+      .getstatic("demo/Fizz", "counter", "I")
+      .iconst(1)
+      .op(Op::Iadd)
+      .putstatic("demo/Fizz", "counter", "I")
+      .iconst(-1)
+      .bind(Done)
+      .op(Op::Ireturn);
+  return B.build();
+}
+
+int main(int argc, char **argv) {
+  ClassFile Cf;
+  if (argc > 1) {
+    std::ifstream In(argv[1], std::ios::binary);
+    if (!In) {
+      fprintf(stderr, "error: cannot open %s\n", argv[1]);
+      return 1;
+    }
+    std::vector<uint8_t> Bytes((std::istreambuf_iterator<char>(In)),
+                               std::istreambuf_iterator<char>());
+    auto Parsed = readClassFile(Bytes);
+    if (!Parsed) {
+      fprintf(stderr, "error: %s: %s\n", argv[1],
+              Parsed.error().message().c_str());
+      return 1;
+    }
+    Cf = std::move(*Parsed);
+  } else {
+    Cf = demoClass();
+  }
+
+  std::vector<VerifyError> Errors = verifyClass(Cf);
+  for (const VerifyError &E : Errors)
+    fprintf(stderr, "verify: %s\n", E.str().c_str());
+  printf("%s", disassembleClass(Cf).c_str());
+  return Errors.empty() ? 0 : 1;
+}

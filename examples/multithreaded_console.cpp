@@ -1,0 +1,203 @@
+//===- examples/multithreaded_console.cpp - Threads, stdin, JS eval -----===//
+//
+// Demonstrates the execution-support features of Table 1 working together
+// in one JVM program:
+//
+//  - multithreading (§4.3/§6.2): a producer thread hands values to the
+//    main thread through a synchronized, wait/notify-coordinated box;
+//  - synchronous console input (§3.2/§4.2): the program blocks on
+//    doppio/Stdin.readLine while the "keyboard event" arrives
+//    asynchronously;
+//  - JavaScript interop (§6.8): the program evaluates a JS snippet.
+//
+// Build and run:  ./build/examples/multithreaded_console
+//
+//===----------------------------------------------------------------------===//
+
+#include "doppio/backends/in_memory.h"
+#include "doppio/backends/mountable.h"
+#include "doppio/backends/xhr_fs.h"
+#include "jvm/jvm.h"
+
+#include <cstdio>
+
+using namespace doppio;
+using namespace doppio::jvm;
+
+/// class demo/Box { synchronized put/take with wait/notify }.
+static ClassBuilder buildBox() {
+  ClassBuilder Box("demo/Box");
+  Box.addField(AccPrivate, "value", "I");
+  Box.addField(AccPrivate, "full", "I");
+  Box.addDefaultConstructor();
+  {
+    MethodBuilder &Put =
+        Box.method(AccPublic | AccSynchronized, "put", "(I)V");
+    MethodBuilder::Label Check = Put.newLabel(), Ready = Put.newLabel();
+    Put.bind(Check)
+        .aload(0)
+        .getfield("demo/Box", "full", "I")
+        .branch(Op::Ifeq, Ready)
+        .aload(0)
+        .invokevirtual("java/lang/Object", "wait", "()V")
+        .branch(Op::Goto, Check)
+        .bind(Ready)
+        .aload(0)
+        .iload(1)
+        .putfield("demo/Box", "value", "I")
+        .aload(0)
+        .iconst(1)
+        .putfield("demo/Box", "full", "I")
+        .aload(0)
+        .invokevirtual("java/lang/Object", "notifyAll", "()V")
+        .op(Op::Return);
+  }
+  {
+    MethodBuilder &Take =
+        Box.method(AccPublic | AccSynchronized, "take", "()I");
+    MethodBuilder::Label Check = Take.newLabel(), Ready = Take.newLabel();
+    Take.bind(Check)
+        .aload(0)
+        .getfield("demo/Box", "full", "I")
+        .branch(Op::Ifne, Ready)
+        .aload(0)
+        .invokevirtual("java/lang/Object", "wait", "()V")
+        .branch(Op::Goto, Check)
+        .bind(Ready)
+        .aload(0)
+        .iconst(0)
+        .putfield("demo/Box", "full", "I")
+        .aload(0)
+        .invokevirtual("java/lang/Object", "notifyAll", "()V")
+        .aload(0)
+        .getfield("demo/Box", "value", "I")
+        .op(Op::Ireturn);
+  }
+  return Box;
+}
+
+/// class demo/Producer extends Thread: puts squares 1..4 into the box.
+static ClassBuilder buildProducer() {
+  ClassBuilder P("demo/Producer", "java/lang/Thread");
+  P.addField(AccPublic, "box", "Ldemo/Box;");
+  P.addDefaultConstructor();
+  MethodBuilder &Run = P.method(AccPublic, "run", "()V");
+  MethodBuilder::Label Loop = Run.newLabel(), Done = Run.newLabel();
+  Run.iconst(1)
+      .istore(1)
+      .bind(Loop)
+      .iload(1)
+      .iconst(4)
+      .branch(Op::IfIcmpgt, Done)
+      .aload(0)
+      .getfield("demo/Producer", "box", "Ldemo/Box;")
+      .iload(1)
+      .iload(1)
+      .op(Op::Imul)
+      .invokevirtual("demo/Box", "put", "(I)V")
+      .iinc(1, 1)
+      .branch(Op::Goto, Loop)
+      .bind(Done)
+      .op(Op::Return);
+  return P;
+}
+
+static ClassBuilder buildMain() {
+  ClassBuilder B("demo/Main");
+  MethodBuilder &M =
+      B.method(AccPublic | AccStatic, "main", "([Ljava/lang/String;)V");
+  const char *Out = "Ljava/io/PrintStream;";
+  // Ask for the user's name: the §3.2 example, synchronous in the source
+  // language over the asynchronous keyboard.
+  M.getstatic("java/lang/System", "out", Out)
+      .ldcString("Please enter your name: ")
+      .invokevirtual("java/io/PrintStream", "print",
+                     "(Ljava/lang/String;)V")
+      .invokestatic("doppio/Stdin", "readLine", "()Ljava/lang/String;")
+      .astore(1)
+      .getstatic("java/lang/System", "out", Out)
+      .ldcString("Your name is ")
+      .aload(1)
+      .invokevirtual("java/lang/String", "concat",
+                     "(Ljava/lang/String;)Ljava/lang/String;")
+      .invokevirtual("java/io/PrintStream", "println",
+                     "(Ljava/lang/String;)V");
+  // Spin up the producer and consume four values.
+  MethodBuilder::Label Loop = M.newLabel(), Done = M.newLabel();
+  M.anew("demo/Box")
+      .op(Op::Dup)
+      .invokespecial("demo/Box", "<init>", "()V")
+      .astore(2)
+      .anew("demo/Producer")
+      .op(Op::Dup)
+      .invokespecial("demo/Producer", "<init>", "()V")
+      .astore(3)
+      .aload(3)
+      .aload(2)
+      .putfield("demo/Producer", "box", "Ldemo/Box;")
+      .aload(3)
+      .invokevirtual("java/lang/Thread", "start", "()V")
+      .iconst(0)
+      .istore(4)
+      .bind(Loop)
+      .iload(4)
+      .iconst(4)
+      .branch(Op::IfIcmpge, Done)
+      .getstatic("java/lang/System", "out", Out)
+      .ldcString("took ")
+      .aload(2)
+      .invokevirtual("demo/Box", "take", "()I")
+      .invokestatic("java/lang/Integer", "toString",
+                    "(I)Ljava/lang/String;")
+      .invokevirtual("java/lang/String", "concat",
+                     "(Ljava/lang/String;)Ljava/lang/String;")
+      .invokevirtual("java/io/PrintStream", "println",
+                     "(Ljava/lang/String;)V")
+      .iinc(4, 1)
+      .branch(Op::Goto, Loop)
+      .bind(Done);
+  // JS interop (§6.8).
+  M.getstatic("java/lang/System", "out", Out)
+      .ldcString("JS says 6*7 = ")
+      .ldcString("6*7")
+      .invokestatic("doppio/JS", "eval",
+                    "(Ljava/lang/String;)Ljava/lang/String;")
+      .invokevirtual("java/lang/String", "concat",
+                     "(Ljava/lang/String;)Ljava/lang/String;")
+      .invokevirtual("java/io/PrintStream", "println",
+                     "(Ljava/lang/String;)V")
+      .op(Op::Return);
+  return B;
+}
+
+int main() {
+  browser::BrowserEnv Env(browser::chromeProfile());
+  ClassBuilder Box = buildBox(), Producer = buildProducer(),
+               Main = buildMain();
+  Env.server().addFile("/classes/demo/Box.class", Box.bytes());
+  Env.server().addFile("/classes/demo/Producer.class", Producer.bytes());
+  Env.server().addFile("/classes/demo/Main.class", Main.bytes());
+
+  rt::Process Proc;
+  Proc.pushStdin("Grace Hopper"); // The pending keyboard input.
+  auto Root = std::make_unique<rt::fs::InMemoryBackend>(Env);
+  auto Mounted =
+      std::make_unique<rt::fs::MountableFileSystem>(std::move(Root));
+  Mounted->mount("/classes",
+                 std::make_unique<rt::fs::XhrBackend>(Env, "/classes"));
+  rt::fs::FileSystem Fs(Env, Proc, std::move(Mounted));
+
+  Jvm Vm(Env, Fs, Proc);
+  // A toy "JavaScript engine" for the eval hook.
+  Vm.setJsEval([](const std::string &Src) {
+    return Src == "6*7" ? std::string("42") : std::string("undefined");
+  });
+  int Exit = Vm.runMainToCompletion("demo/Main", {});
+
+  printf("--- program stdout ---\n%s", Proc.capturedStdout().c_str());
+  printf("--- exit code %d; context switches: %llu; threads spawned "
+         "cooperatively on one JavaScript thread ---\n",
+         Exit,
+         static_cast<unsigned long long>(Vm.pool().contextSwitches()));
+  return Exit == 0 ? 0 : 1;
+}

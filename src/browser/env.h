@@ -1,0 +1,122 @@
+//===- browser/env.h - The assembled browser environment ---------*- C++ -*-==//
+//
+// Part of the Doppio reproduction. See README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One simulated browser tab: the event loop, message channel, storage
+/// mechanisms, origin server, XHR, and network, all configured from a
+/// Profile. BrowserEnv also owns the memory accounting that models the
+/// Safari typed-array garbage-collection bug the paper reports in §7.1 —
+/// leaked typed arrays eventually exceed physical memory and every
+/// subsequent operation pays a paging penalty.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DOPPIO_BROWSER_ENV_H
+#define DOPPIO_BROWSER_ENV_H
+
+#include "browser/event_loop.h"
+#include "browser/message_channel.h"
+#include "browser/profile.h"
+#include "browser/simnet.h"
+#include "browser/storage.h"
+#include "browser/virtual_clock.h"
+#include "browser/xhr.h"
+
+#include <cstdint>
+#include <memory>
+
+namespace doppio {
+namespace browser {
+
+/// A complete simulated browser tab.
+class BrowserEnv {
+public:
+  explicit BrowserEnv(const Profile &P)
+      : Prof(P), Loop(Clock, Prof), Channel(Loop), Storage(Clock, Prof),
+        Cookies(Clock, Prof), Net(Loop, Prof.Costs),
+        Requests(Loop, Prof, Server) {
+    if (Prof.HasIndexedDB)
+      Idb = std::make_unique<IndexedDB>(Loop, Prof);
+  }
+
+  const Profile &profile() const { return Prof; }
+  VirtualClock &clock() { return Clock; }
+  EventLoop &loop() { return Loop; }
+  MessageChannel &channel() { return Channel; }
+  LocalStorage &localStorage() { return Storage; }
+  CookieJar &cookies() { return Cookies; }
+  /// Null when this browser lacks IndexedDB (Table 2 compatibility).
+  IndexedDB *indexedDB() { return Idb.get(); }
+  StaticServer &server() { return Server; }
+  Xhr &xhr() { return Requests; }
+  SimNet &net() { return Net; }
+
+  /// Charges JS-engine compute time: scaled by the profile's engine speed
+  /// and by the current paging penalty.
+  void chargeCompute(uint64_t Ns) {
+    Clock.chargeNs(static_cast<uint64_t>(
+        static_cast<double>(Ns) * Prof.Costs.EngineFactor *
+        pagingMultiplier()));
+  }
+
+  /// Charges non-engine time (I/O bookkeeping); still slowed by paging.
+  void chargeIo(uint64_t Ns) {
+    Clock.chargeNs(static_cast<uint64_t>(
+        static_cast<double>(Ns) * pagingMultiplier()));
+  }
+
+  /// Records allocation of a typed array of \p Bytes.
+  void noteTypedArrayAlloc(uint64_t Bytes) {
+    LiveTypedArrayBytes += Bytes;
+    CumulativeTypedArrayBytes += Bytes;
+  }
+
+  /// Records that a typed array of \p Bytes became unreachable. On leaking
+  /// browsers that garbage is never reclaimed (§7.1) and accumulates as
+  /// memory pressure; long-lived allocations are unaffected.
+  void noteTypedArrayFree(uint64_t Bytes) {
+    LiveTypedArrayBytes -= Bytes;
+    if (Prof.LeaksTypedArrays)
+      LeakedTypedArrayBytes += Bytes;
+  }
+
+  /// Multiplier applied to all charged time once leaked memory exceeds the
+  /// pressure threshold: the OS starts paging (§7.1's 6 GB Safari blowup).
+  double pagingMultiplier() const {
+    if (LeakedTypedArrayBytes <= Prof.MemoryPressureBytes)
+      return 1.0;
+    double ExcessMb = static_cast<double>(LeakedTypedArrayBytes -
+                                          Prof.MemoryPressureBytes) /
+                      (1024.0 * 1024.0);
+    return 1.0 + ExcessMb * 6.0;
+  }
+
+  uint64_t leakedTypedArrayBytes() const { return LeakedTypedArrayBytes; }
+  uint64_t liveTypedArrayBytes() const { return LiveTypedArrayBytes; }
+  uint64_t cumulativeTypedArrayBytes() const {
+    return CumulativeTypedArrayBytes;
+  }
+
+private:
+  const Profile &Prof;
+  VirtualClock Clock;
+  EventLoop Loop;
+  MessageChannel Channel;
+  LocalStorage Storage;
+  CookieJar Cookies;
+  std::unique_ptr<IndexedDB> Idb;
+  SimNet Net;
+  StaticServer Server;
+  Xhr Requests;
+  uint64_t LiveTypedArrayBytes = 0;
+  uint64_t LeakedTypedArrayBytes = 0;
+  uint64_t CumulativeTypedArrayBytes = 0;
+};
+
+} // namespace browser
+} // namespace doppio
+
+#endif // DOPPIO_BROWSER_ENV_H

@@ -1,0 +1,122 @@
+//===- browser/event_loop.cpp ---------------------------------------------==//
+
+#include "browser/event_loop.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace doppio;
+using namespace doppio::browser;
+
+void EventLoop::enqueueTask(Event Fn, EventKind Kind) {
+  Ready.push_back({std::move(Fn), Kind, Clock.nowNs()});
+}
+
+uint64_t EventLoop::setTimeout(Event Fn, uint64_t DelayNs, EventKind Kind) {
+  // The HTML timer specification imposes a minimum delay; the paper (§4.4)
+  // identifies this 4 ms clamp as what makes setTimeout-based resumption
+  // unacceptably slow.
+  uint64_t Effective = std::max(DelayNs, Prof.MinTimeoutClampNs);
+  uint64_t Handle = NextHandle++;
+  Timers.push_back(
+      {Clock.nowNs() + Effective, NextSeq++, Handle, std::move(Fn), Kind});
+  return Handle;
+}
+
+void EventLoop::clearTimeout(uint64_t Handle) {
+  for (Timer &T : Timers)
+    if (T.Handle == Handle)
+      T.Cancelled = true;
+}
+
+void EventLoop::scheduleAfter(Event Fn, uint64_t DelayNs, EventKind Kind) {
+  uint64_t Handle = NextHandle++;
+  (void)Handle;
+  Timers.push_back(
+      {Clock.nowNs() + DelayNs, NextSeq++, Handle, std::move(Fn), Kind});
+}
+
+bool EventLoop::trySetImmediate(Event Fn) {
+  if (!Prof.HasSetImmediate)
+    return false;
+  Clock.chargeNs(Prof.Costs.ImmediateLatencyNs);
+  enqueueTask(std::move(Fn));
+  return true;
+}
+
+void EventLoop::promoteDueTimers() {
+  uint64_t Now = Clock.nowNs();
+  // Stable order: due time, then insertion sequence.
+  std::stable_sort(Timers.begin(), Timers.end(),
+                   [](const Timer &A, const Timer &B) {
+                     if (A.DueNs != B.DueNs)
+                       return A.DueNs < B.DueNs;
+                     return A.Seq < B.Seq;
+                   });
+  size_t I = 0;
+  for (; I != Timers.size() && Timers[I].DueNs <= Now; ++I) {
+    if (Timers[I].Cancelled)
+      continue;
+    Ready.push_back({std::move(Timers[I].Fn), Timers[I].Kind,
+                     Timers[I].DueNs});
+  }
+  Timers.erase(Timers.begin(), Timers.begin() + I);
+}
+
+bool EventLoop::runOne() {
+  promoteDueTimers();
+  if (Ready.empty()) {
+    // Idle: jump to the next timer, if any.
+    auto Next = std::min_element(Timers.begin(), Timers.end(),
+                                 [](const Timer &A, const Timer &B) {
+                                   if (A.Cancelled != B.Cancelled)
+                                     return !A.Cancelled;
+                                   if (A.DueNs != B.DueNs)
+                                     return A.DueNs < B.DueNs;
+                                   return A.Seq < B.Seq;
+                                 });
+    if (Next == Timers.end() || Next->Cancelled)
+      return false;
+    Clock.advanceTo(std::max(Clock.nowNs(), Next->DueNs));
+    promoteDueTimers();
+    if (Ready.empty())
+      return false;
+  }
+  ReadyEvent E = std::move(Ready.front());
+  Ready.pop_front();
+  dispatch(std::move(E));
+  return true;
+}
+
+void EventLoop::run() {
+  while (runOne()) {
+  }
+}
+
+void EventLoop::dispatch(ReadyEvent E) {
+  assert(EventDepth == 0 && "browser events never nest");
+  uint64_t Start = Clock.nowNs();
+  if (E.Kind == EventKind::Input) {
+    uint64_t Latency = Start - E.ReadyAtNs;
+    S.MaxInputLatencyNs = std::max(S.MaxInputLatencyNs, Latency);
+  }
+  CurrentEventStartNs = Start;
+  ++EventDepth;
+  E.Fn();
+  --EventDepth;
+  uint64_t DurationNs = Clock.nowNs() - Start;
+  ++S.EventsRun;
+  S.TotalEventNs += DurationNs;
+  S.MaxEventNs = std::max(S.MaxEventNs, DurationNs);
+  if (DurationNs > Prof.WatchdogLimitNs)
+    ++S.WatchdogKills;
+}
+
+uint64_t EventLoop::currentEventElapsedNs() const {
+  assert(EventDepth > 0 && "no event is running");
+  return Clock.nowNs() - CurrentEventStartNs;
+}
+
+bool EventLoop::currentEventOverLimit() const {
+  return currentEventElapsedNs() > Prof.WatchdogLimitNs;
+}

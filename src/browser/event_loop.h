@@ -1,0 +1,141 @@
+//===- browser/event_loop.h - Single-threaded browser event loop -*- C++ -*-==//
+//
+// Part of the Doppio reproduction. See README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The JavaScript execution model the paper describes in §3.1: programs run
+/// as a sequence of finite-duration events on a single thread; an event runs
+/// to completion (it cannot be preempted), and events that keep the page
+/// unresponsive for too long are killed by the browser's watchdog. This
+/// event loop reproduces those semantics over the virtual clock, including
+/// the setTimeout 4 ms minimum clamp (§4.4) and per-event latency
+/// accounting used to measure page responsiveness in the §7.2 case study.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DOPPIO_BROWSER_EVENT_LOOP_H
+#define DOPPIO_BROWSER_EVENT_LOOP_H
+
+#include "browser/profile.h"
+#include "browser/virtual_clock.h"
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace doppio {
+namespace browser {
+
+/// Classifies events for latency accounting. Input events model user
+/// interaction; their queueing delay is the "page responsiveness" metric.
+enum class EventKind { Task, Input };
+
+/// The single-threaded, run-to-completion browser event loop.
+class EventLoop {
+public:
+  using Event = std::function<void()>;
+
+  /// Aggregate statistics over all dispatched events.
+  struct Stats {
+    uint64_t EventsRun = 0;
+    /// Events whose charged virtual duration exceeded the watchdog limit.
+    uint64_t WatchdogKills = 0;
+    uint64_t MaxEventNs = 0;
+    uint64_t TotalEventNs = 0;
+    /// Worst observed delay between an input event becoming due and its
+    /// dispatch. Long-running events inflate this (§3.1).
+    uint64_t MaxInputLatencyNs = 0;
+  };
+
+  EventLoop(VirtualClock &Clock, const Profile &P)
+      : Clock(Clock), Prof(P) {}
+
+  /// Places \p Fn at the back of the ready queue (a macrotask).
+  void enqueueTask(Event Fn, EventKind Kind = EventKind::Task);
+
+  /// Schedules \p Fn after \p DelayNs, subject to the profile's minimum
+  /// timeout clamp. Returns a handle usable with clearTimeout.
+  uint64_t setTimeout(Event Fn, uint64_t DelayNs,
+                      EventKind Kind = EventKind::Task);
+
+  /// Cancels a pending timeout. Cancelling an already-fired or unknown
+  /// handle is a no-op.
+  void clearTimeout(uint64_t Handle);
+
+  /// Schedules \p Fn exactly \p DelayNs from now with no minimum clamp.
+  /// This is not a JavaScript-visible API: it models the completion of
+  /// browser-internal asynchronous work (XHR responses, IndexedDB
+  /// transactions, network frames) which is not subject to timer clamping.
+  void scheduleAfter(Event Fn, uint64_t DelayNs,
+                     EventKind Kind = EventKind::Task);
+
+  /// Schedules \p Fn at the back of the queue with no clamp. Returns false
+  /// (scheduling nothing) if this browser lacks setImmediate (§4.4).
+  bool trySetImmediate(Event Fn);
+
+  /// Dispatches a single event, advancing the virtual clock over idle gaps.
+  /// Returns false when no work remains.
+  bool runOne();
+
+  /// Runs until both the ready queue and the timer queue are empty.
+  void run();
+
+  /// True while an event callback is executing.
+  bool inEvent() const { return EventDepth > 0; }
+
+  /// Virtual time charged so far by the currently running event.
+  uint64_t currentEventElapsedNs() const;
+
+  /// True if the currently running event has already exceeded the watchdog
+  /// limit; cooperative VMs poll this to simulate the browser killing the
+  /// script (§3.1).
+  bool currentEventOverLimit() const;
+
+  const Stats &stats() const { return S; }
+  void resetStats() { S = Stats(); }
+
+  const Profile &profile() const { return Prof; }
+  VirtualClock &clock() { return Clock; }
+
+  /// True once any event has overrun the watchdog limit.
+  bool watchdogFired() const { return S.WatchdogKills > 0; }
+
+private:
+  struct ReadyEvent {
+    Event Fn;
+    EventKind Kind;
+    uint64_t ReadyAtNs; // When it became eligible to run.
+  };
+
+  struct Timer {
+    uint64_t DueNs;
+    uint64_t Seq;
+    uint64_t Handle;
+    Event Fn;
+    EventKind Kind;
+    bool Cancelled = false;
+  };
+
+  void dispatch(ReadyEvent E);
+  /// Moves every timer due at or before now into the ready queue.
+  void promoteDueTimers();
+
+  VirtualClock &Clock;
+  const Profile &Prof;
+  std::deque<ReadyEvent> Ready;
+  std::vector<Timer> Timers; // Kept sorted on demand; small in practice.
+  uint64_t NextSeq = 0;
+  uint64_t NextHandle = 1;
+  int EventDepth = 0;
+  uint64_t CurrentEventStartNs = 0;
+  Stats S;
+};
+
+} // namespace browser
+} // namespace doppio
+
+#endif // DOPPIO_BROWSER_EVENT_LOOP_H

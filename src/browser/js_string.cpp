@@ -1,0 +1,36 @@
+//===- browser/js_string.cpp ----------------------------------------------==//
+
+#include "browser/js_string.h"
+
+using namespace doppio;
+
+js::String js::fromAscii(std::string_view Text) {
+  String Result;
+  Result.reserve(Text.size());
+  for (char C : Text)
+    Result.push_back(static_cast<char16_t>(static_cast<unsigned char>(C)));
+  return Result;
+}
+
+std::string js::toAscii(const String &Text) {
+  std::string Result;
+  Result.reserve(Text.size());
+  for (char16_t Unit : Text)
+    Result.push_back(static_cast<char>(Unit & 0xFF));
+  return Result;
+}
+
+bool js::isValidUtf16(const String &Text) {
+  for (size_t I = 0, E = Text.size(); I != E; ++I) {
+    char16_t Unit = Text[I];
+    if (isHighSurrogate(Unit)) {
+      if (I + 1 == E || !isLowSurrogate(Text[I + 1]))
+        return false;
+      ++I; // Skip the paired low surrogate.
+      continue;
+    }
+    if (isLowSurrogate(Unit))
+      return false; // Lone low surrogate.
+  }
+  return true;
+}

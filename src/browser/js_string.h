@@ -1,0 +1,61 @@
+//===- browser/js_string.h - JavaScript UTF-16 string semantics -*- C++ -*-==//
+//
+// Part of the Doppio reproduction. See README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// JavaScript strings are sequences of UTF-16 code units. Some browsers
+/// validate strings (rejecting lone surrogates), which gates Doppio's packed
+/// "binary string" format that stores 2 bytes of data per code unit (§5.1 of
+/// the paper). This module provides the string type and the validity and
+/// conversion helpers the rest of the simulated browser relies on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DOPPIO_BROWSER_JS_STRING_H
+#define DOPPIO_BROWSER_JS_STRING_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace doppio {
+namespace js {
+
+/// A JavaScript string: a sequence of UTF-16 code units. Unlike C++
+/// std::u16string semantics, JS imposes no validity requirement unless the
+/// engine chooses to check (see Profile::ValidatesStrings).
+using String = std::u16string;
+
+/// Widens an ASCII (or Latin-1) byte string into a JS string, one code unit
+/// per byte.
+String fromAscii(std::string_view Text);
+
+/// Narrows a JS string to bytes, keeping the low 8 bits of every code unit.
+/// This is the lossy inverse of fromAscii.
+std::string toAscii(const String &Text);
+
+/// Returns true if \p Text contains no lone surrogate code units, i.e. it is
+/// a well-formed UTF-16 sequence. Validating browsers refuse to round-trip
+/// strings for which this is false.
+bool isValidUtf16(const String &Text);
+
+/// Number of bytes a JS engine stores for \p Text (2 per code unit).
+inline size_t byteSize(const String &Text) { return Text.size() * 2; }
+
+/// Returns true if \p Unit is a high (leading) surrogate.
+inline bool isHighSurrogate(char16_t Unit) {
+  return Unit >= 0xD800 && Unit <= 0xDBFF;
+}
+
+/// Returns true if \p Unit is a low (trailing) surrogate.
+inline bool isLowSurrogate(char16_t Unit) {
+  return Unit >= 0xDC00 && Unit <= 0xDFFF;
+}
+
+} // namespace js
+} // namespace doppio
+
+#endif // DOPPIO_BROWSER_JS_STRING_H

@@ -1,0 +1,26 @@
+//===- browser/message_channel.cpp ----------------------------------------==//
+
+#include "browser/message_channel.h"
+
+using namespace doppio;
+using namespace doppio::browser;
+
+void MessageChannel::post(js::String Msg) {
+  if (!OnMessage)
+    return;
+  const Profile &P = Loop.profile();
+  if (P.SendMessageSynchronous) {
+    // IE8: the handler runs inside post, before control returns to the
+    // caller. Any code using this channel to "yield" never actually yields.
+    ++SyncDispatches;
+    Loop.clock().chargeNs(P.Costs.MessageLatencyNs);
+    OnMessage(Msg);
+    return;
+  }
+  Loop.clock().chargeNs(P.Costs.MessageLatencyNs);
+  Handler &H = OnMessage;
+  Loop.enqueueTask([&H, M = std::move(Msg)] {
+    if (H)
+      H(M);
+  });
+}

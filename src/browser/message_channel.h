@@ -1,0 +1,57 @@
+//===- browser/message_channel.h - sendMessage emulation ---------*- C++ -*-==//
+//
+// Part of the Doppio reproduction. See README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The window messaging mechanism (§4.4 "sendMessage"): string messages
+/// posted to a registered global handler, delivered as events at the back of
+/// the queue with no setTimeout clamp. In most browsers this is the best
+/// available resumption mechanism for suspend-and-resume; in IE8 the
+/// dispatch is synchronous (the handler runs inside post), which makes it
+/// unusable for that purpose — Doppio must detect this and fall back to
+/// setTimeout.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DOPPIO_BROWSER_MESSAGE_CHANNEL_H
+#define DOPPIO_BROWSER_MESSAGE_CHANNEL_H
+
+#include "browser/event_loop.h"
+#include "browser/js_string.h"
+
+#include <functional>
+#include <utility>
+
+namespace doppio {
+namespace browser {
+
+/// The window's string-message channel.
+class MessageChannel {
+public:
+  using Handler = std::function<void(const js::String &)>;
+
+  explicit MessageChannel(EventLoop &Loop) : Loop(Loop) {}
+
+  /// Registers the single global message handler.
+  void setOnMessage(Handler H) { OnMessage = std::move(H); }
+
+  /// Posts \p Msg. Asynchronous browsers enqueue a delivery event;
+  /// IE8-style browsers invoke the handler immediately (reentrantly).
+  void post(js::String Msg);
+
+  /// Number of messages that were dispatched synchronously (IE8 semantics);
+  /// exposed so tests and the resumption-mechanism probe can observe it.
+  uint64_t syncDispatchCount() const { return SyncDispatches; }
+
+private:
+  EventLoop &Loop;
+  Handler OnMessage;
+  uint64_t SyncDispatches = 0;
+};
+
+} // namespace browser
+} // namespace doppio
+
+#endif // DOPPIO_BROWSER_MESSAGE_CHANNEL_H

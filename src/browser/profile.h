@@ -1,0 +1,122 @@
+//===- browser/profile.h - Browser feature & cost profiles -------*- C++ -*-==//
+//
+// Part of the Doppio reproduction. See README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Browser diversity is one of the four impedance mismatches the paper
+/// identifies (§1): each browser differs in the features it supports, in
+/// outright bugs, and in performance. A Profile captures the feature matrix
+/// and cost model of one of the six browsers the paper evaluates (Chrome 28,
+/// Firefox 22, Safari 6, Opera 12, IE8, IE10). All feature flags correspond
+/// to differences the paper calls out explicitly:
+///
+///  - HasTypedArrays (§5.1 "Binary Data in the Browser", §5.2)
+///  - HasSetImmediate, SendMessageSynchronous (§4.4, IE8's synchronous
+///    sendMessage and IE10's setImmediate)
+///  - ValidatesStrings (§5.1, gates the 2-bytes-per-char packed string)
+///  - HasIndexedDB / storage availability (Table 2)
+///  - HasWebSockets (§5.3, Flash fallback via Websockify otherwise)
+///  - LeaksTypedArrays (§7.1, the Safari GC bug the authors reported)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DOPPIO_BROWSER_PROFILE_H
+#define DOPPIO_BROWSER_PROFILE_H
+
+#include "browser/virtual_clock.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace doppio {
+namespace browser {
+
+/// Deterministic virtual-time cost parameters for one browser. These drive
+/// the per-browser series of the paper's figures; DESIGN.md documents the
+/// calibration rationale.
+struct CostModel {
+  /// Relative JS engine speed (1.0 = Chrome 28, the fastest in the paper).
+  double EngineFactor = 1.0;
+  /// Latency of delivering a sendMessage event to the back of the queue.
+  uint64_t MessageLatencyNs = usToNs(60);
+  /// Latency of a setImmediate resumption (IE10 only).
+  uint64_t ImmediateLatencyNs = usToNs(20);
+  /// Fixed per-request latency of an XHR download.
+  uint64_t XhrLatencyNs = usToNs(500);
+  /// Additional XHR latency per transferred byte.
+  uint64_t XhrPerByteNs = 4;
+  /// Cost per byte of serializing to a string-based storage mechanism.
+  uint64_t StoragePerByteNs = 12;
+  /// Per-operation latency of the asynchronous IndexedDB store.
+  uint64_t IdbLatencyNs = usToNs(400);
+  /// Round-trip latency of an in-simulation TCP/WebSocket hop.
+  uint64_t NetLatencyNs = usToNs(300);
+  /// Extra per-connection latency when falling back to the Flash-based
+  /// WebSocket shim (browsers without native WebSockets, §5.3).
+  uint64_t FlashShimLatencyNs = msToNs(8);
+};
+
+/// Feature and cost description of one simulated browser.
+struct Profile {
+  std::string Name;
+
+  // Execution model.
+  /// Events charging more virtual time than this are killed by the
+  /// browser's watchdog ("stop script" dialog, §3.1).
+  uint64_t WatchdogLimitNs = msToNs(5000);
+  /// Minimum delay the setTimeout specification clamps to (§4.4: 4 ms).
+  uint64_t MinTimeoutClampNs = msToNs(4);
+  /// IE10 exposes setImmediate, the ideal resumption mechanism (§4.4).
+  bool HasSetImmediate = false;
+  /// IE8 dispatches sendMessage synchronously, breaking its use for
+  /// suspend-and-resume (§4.4).
+  bool SendMessageSynchronous = false;
+
+  // Binary data.
+  /// Typed arrays are available for binary data and the unmanaged heap.
+  bool HasTypedArrays = true;
+  /// The engine validates UTF-16 strings; lone surrogates cannot round-trip
+  /// through string storage, so packed binary strings fall back to one byte
+  /// per character (§5.1).
+  bool ValidatesStrings = false;
+  /// Safari 6 never garbage-collects typed arrays (§7.1 footnote); leaked
+  /// memory eventually causes paging which slows every operation.
+  bool LeaksTypedArrays = false;
+  /// Typed-array bytes the simulated machine tolerates before paging.
+  uint64_t MemoryPressureBytes = 512ull << 20;
+
+  // Storage (Table 2).
+  bool HasLocalStorage = true;
+  uint64_t LocalStorageQuotaBytes = 5ull << 20; // 5 MB of UTF-16 data.
+  bool HasCookies = true;
+  uint64_t CookieQuotaBytes = 4096; // 4 KB.
+  bool HasIndexedDB = false;
+
+  // Networking.
+  bool HasWebSockets = true;
+
+  CostModel Costs;
+};
+
+/// Returns the six browser profiles evaluated in the paper, in the order
+/// used by its figures: Chrome, Firefox, Safari, Opera, IE10, IE8.
+const std::vector<Profile> &allProfiles();
+
+const Profile &chromeProfile();
+const Profile &firefoxProfile();
+const Profile &safariProfile();
+const Profile &operaProfile();
+const Profile &ie10Profile();
+const Profile &ie8Profile();
+
+/// Looks a profile up by name ("chrome", "firefox", ...). Returns null if
+/// unknown.
+const Profile *findProfile(const std::string &Name);
+
+} // namespace browser
+} // namespace doppio
+
+#endif // DOPPIO_BROWSER_PROFILE_H

@@ -1,0 +1,87 @@
+//===- browser/simnet.cpp -------------------------------------------------==//
+
+#include "browser/simnet.h"
+
+using namespace doppio;
+using namespace doppio::browser;
+
+void TcpConnection::send(std::vector<uint8_t> Data) {
+  if (!Open || !Peer || Data.empty())
+    return;
+  TcpConnection *Dest = Peer;
+  uint64_t Latency =
+      Net.Costs.NetLatencyNs + Net.Costs.XhrPerByteNs * Data.size();
+  Net.Loop.scheduleAfter(
+      [Dest, Data = std::move(Data)]() mutable {
+        Dest->deliver(std::move(Data));
+      },
+      Latency);
+}
+
+void TcpConnection::setOnData(DataHandler H) {
+  OnData = std::move(H);
+  while (OnData && !Undelivered.empty()) {
+    std::vector<uint8_t> Data = std::move(Undelivered.front());
+    Undelivered.pop_front();
+    OnData(Data);
+  }
+}
+
+void TcpConnection::deliver(std::vector<uint8_t> Data) {
+  if (!Open)
+    return;
+  if (!OnData) {
+    Undelivered.push_back(std::move(Data));
+    return;
+  }
+  OnData(Data);
+}
+
+void TcpConnection::close() {
+  if (!Open)
+    return;
+  Open = false;
+  if (Peer) {
+    TcpConnection *Dest = Peer;
+    Net.Loop.scheduleAfter([Dest] { Dest->peerClosed(); },
+                           Net.Costs.NetLatencyNs);
+  }
+}
+
+void TcpConnection::peerClosed() {
+  if (!Open)
+    return;
+  Open = false;
+  if (OnClose)
+    OnClose();
+}
+
+bool SimNet::listen(uint16_t Port, AcceptHandler OnAccept) {
+  auto [It, Inserted] = Listeners.emplace(Port, std::move(OnAccept));
+  return Inserted;
+}
+
+void SimNet::connect(uint16_t Port,
+                     std::function<void(TcpConnection *)> Done) {
+  Loop.scheduleAfter(
+      [this, Port, Done = std::move(Done)] {
+        auto It = Listeners.find(Port);
+        if (It == Listeners.end()) {
+          Done(nullptr);
+          return;
+        }
+        auto ClientSide = std::unique_ptr<TcpConnection>(
+            new TcpConnection(*this));
+        auto ServerSide = std::unique_ptr<TcpConnection>(
+            new TcpConnection(*this));
+        ClientSide->Peer = ServerSide.get();
+        ServerSide->Peer = ClientSide.get();
+        TcpConnection *Client = ClientSide.get();
+        TcpConnection *Server = ServerSide.get();
+        Connections.push_back(std::move(ClientSide));
+        Connections.push_back(std::move(ServerSide));
+        It->second(*Server);
+        Done(Client);
+      },
+      Costs.NetLatencyNs);
+}

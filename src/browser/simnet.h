@@ -1,0 +1,103 @@
+//===- browser/simnet.h - Simulated TCP network ------------------*- C++ -*-==//
+//
+// Part of the Doppio reproduction. See README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An in-simulation TCP network. "Native" endpoints (servers the browser
+/// talks to: the websockify wrapper of §5.3, echo services in tests) use
+/// this API directly; browser-side JavaScript can only reach the network
+/// through the WebSocket layer built on top. Data delivery is asynchronous
+/// through the event loop with the profile's network latency.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DOPPIO_BROWSER_SIMNET_H
+#define DOPPIO_BROWSER_SIMNET_H
+
+#include "browser/event_loop.h"
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+namespace doppio {
+namespace browser {
+
+class SimNet;
+
+/// One side of an established duplex byte-stream connection.
+class TcpConnection {
+public:
+  using DataHandler = std::function<void(const std::vector<uint8_t> &)>;
+  using CloseHandler = std::function<void()>;
+
+  /// Sends bytes to the peer; they arrive as a later event.
+  void send(std::vector<uint8_t> Data);
+
+  /// Registers the receive handler. Any data that arrived before a handler
+  /// was registered is delivered immediately.
+  void setOnData(DataHandler H);
+  void setOnClose(CloseHandler H) { OnClose = std::move(H); }
+
+  /// Closes both directions; the peer's close handler fires as an event.
+  void close();
+
+  bool isOpen() const { return Open; }
+
+private:
+  friend class SimNet;
+  TcpConnection(SimNet &Net) : Net(Net) {}
+
+  void deliver(std::vector<uint8_t> Data);
+  void peerClosed();
+
+  SimNet &Net;
+  TcpConnection *Peer = nullptr;
+  bool Open = true;
+  DataHandler OnData;
+  CloseHandler OnClose;
+  std::deque<std::vector<uint8_t>> Undelivered;
+};
+
+/// The network fabric: a port space for listeners plus connection storage.
+class SimNet {
+public:
+  SimNet(EventLoop &Loop, const CostModel &Costs)
+      : Loop(Loop), Costs(Costs) {}
+
+  using AcceptHandler = std::function<void(TcpConnection &)>;
+
+  /// Starts a listener on \p Port. Returns false if the port is taken.
+  bool listen(uint16_t Port, AcceptHandler OnAccept);
+
+  /// Stops listening on \p Port.
+  void unlisten(uint16_t Port) { Listeners.erase(Port); }
+
+  /// Opens a connection to \p Port. \p Done receives the client-side
+  /// connection, or null if nothing is listening (connection refused).
+  /// Both the accept and the completion run as later events.
+  void connect(uint16_t Port, std::function<void(TcpConnection *)> Done);
+
+  EventLoop &loop() { return Loop; }
+  const CostModel &costs() const { return Costs; }
+
+private:
+  friend class TcpConnection;
+
+  EventLoop &Loop;
+  const CostModel &Costs;
+  std::map<uint16_t, AcceptHandler> Listeners;
+  // Connections live for the duration of the simulation; pointers handed
+  // out remain valid.
+  std::vector<std::unique_ptr<TcpConnection>> Connections;
+};
+
+} // namespace browser
+} // namespace doppio
+
+#endif // DOPPIO_BROWSER_SIMNET_H

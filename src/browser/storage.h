@@ -1,0 +1,141 @@
+//===- browser/storage.h - Browser persistent storage (Table 2) --*- C++ -*-==//
+//
+// Part of the Doppio reproduction. See README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The "hodgepodge of persistent storage mechanisms" from Table 2 of the
+/// paper: cookies (4 KB, synchronous, string key/value), localStorage (5 MB,
+/// synchronous, string key/value), and IndexedDB (asynchronous object
+/// database with a user-specified quota). Doppio's file system backends are
+/// built over these. String-based mechanisms only accept JS strings, which
+/// is why Buffer's packed binary-string encoding exists (§5.1); browsers
+/// that validate UTF-16 reject strings containing lone surrogates.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DOPPIO_BROWSER_STORAGE_H
+#define DOPPIO_BROWSER_STORAGE_H
+
+#include "browser/event_loop.h"
+#include "browser/js_string.h"
+#include "browser/profile.h"
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace doppio {
+namespace browser {
+
+/// Result of a synchronous storage write.
+enum class StoreResult {
+  Ok,
+  /// The mechanism's quota would be exceeded.
+  QuotaExceeded,
+  /// This browser validates UTF-16 and the value contains lone surrogates.
+  InvalidString,
+};
+
+/// Interface shared by the synchronous string key/value mechanisms
+/// (cookies, localStorage).
+class SyncKeyValueStore {
+public:
+  virtual ~SyncKeyValueStore();
+
+  /// Stores \p Value under \p Key, replacing any previous value.
+  virtual StoreResult setItem(const std::string &Key,
+                              const js::String &Value) = 0;
+  virtual std::optional<js::String> getItem(const std::string &Key) const = 0;
+  virtual void removeItem(const std::string &Key) = 0;
+  virtual std::vector<std::string> keys() const = 0;
+  virtual void clear() = 0;
+  virtual uint64_t usedBytes() const = 0;
+  virtual uint64_t quotaBytes() const = 0;
+};
+
+/// A synchronous string store with a byte quota: the shared implementation
+/// behind localStorage and the cookie jar. Writes charge the per-byte
+/// serialization cost from the profile's cost model.
+class QuotaStringStore : public SyncKeyValueStore {
+public:
+  QuotaStringStore(VirtualClock &Clock, const Profile &P, uint64_t Quota)
+      : Clock(Clock), Prof(P), Quota(Quota) {}
+
+  StoreResult setItem(const std::string &Key,
+                      const js::String &Value) override;
+  std::optional<js::String> getItem(const std::string &Key) const override;
+  void removeItem(const std::string &Key) override;
+  std::vector<std::string> keys() const override;
+  void clear() override;
+  uint64_t usedBytes() const override { return Used; }
+  uint64_t quotaBytes() const override { return Quota; }
+
+private:
+  uint64_t entryBytes(const std::string &Key, const js::String &Value) const {
+    return Key.size() + js::byteSize(Value);
+  }
+
+  VirtualClock &Clock;
+  const Profile &Prof;
+  uint64_t Quota;
+  uint64_t Used = 0;
+  std::map<std::string, js::String> Items;
+};
+
+/// window.localStorage: ~5 MB of string data, synchronous (Table 2).
+class LocalStorage : public QuotaStringStore {
+public:
+  LocalStorage(VirtualClock &Clock, const Profile &P)
+      : QuotaStringStore(Clock, P, P.LocalStorageQuotaBytes) {}
+};
+
+/// document.cookie: 4 KB of string data, synchronous (Table 2).
+class CookieJar : public QuotaStringStore {
+public:
+  CookieJar(VirtualClock &Clock, const Profile &P)
+      : QuotaStringStore(Clock, P, P.CookieQuotaBytes) {}
+};
+
+/// IndexedDB: an asynchronous object database storing binary values with a
+/// user-specified quota (Table 2). All results are delivered as events.
+class IndexedDB {
+public:
+  IndexedDB(EventLoop &Loop, const Profile &P) : Loop(Loop), Prof(P) {}
+
+  using Bytes = std::vector<uint8_t>;
+
+  /// Stores \p Value under \p Key; \p Done receives true on success, false
+  /// if the quota is exceeded.
+  void put(std::string Key, Bytes Value, std::function<void(bool)> Done);
+
+  /// Fetches the value under \p Key (nullopt if absent).
+  void get(std::string Key,
+           std::function<void(std::optional<Bytes>)> Done);
+
+  /// Removes \p Key if present.
+  void remove(std::string Key, std::function<void()> Done);
+
+  /// Lists all keys in sorted order.
+  void listKeys(std::function<void(std::vector<std::string>)> Done);
+
+  /// Sets the user-granted quota (default: 64 MB).
+  void setQuotaBytes(uint64_t Q) { Quota = Q; }
+  uint64_t usedBytes() const { return Used; }
+
+private:
+  EventLoop &Loop;
+  const Profile &Prof;
+  uint64_t Quota = 64ull << 20;
+  uint64_t Used = 0;
+  std::map<std::string, Bytes> Items;
+};
+
+} // namespace browser
+} // namespace doppio
+
+#endif // DOPPIO_BROWSER_STORAGE_H

@@ -1,0 +1,55 @@
+//===- browser/virtual_clock.h - Deterministic virtual time ------*- C++ -*-==//
+//
+// Part of the Doppio reproduction. See README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deterministic monotonic clock for the simulated browser. Components
+/// charge virtual nanoseconds for the work they model (JS engine dispatch,
+/// storage serialization, network latency); the event loop advances the
+/// clock across idle gaps to the next timer. All figures the benchmark
+/// harness reports in "browser time" are read from this clock, which makes
+/// every per-browser series in the paper's figures exactly reproducible.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DOPPIO_BROWSER_VIRTUAL_CLOCK_H
+#define DOPPIO_BROWSER_VIRTUAL_CLOCK_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace doppio {
+namespace browser {
+
+/// Deterministic monotonic nanosecond clock.
+class VirtualClock {
+public:
+  /// Current virtual time in nanoseconds since simulation start.
+  uint64_t nowNs() const { return NowNs; }
+
+  /// Advances the clock by \p Ns nanoseconds (work being modelled).
+  void chargeNs(uint64_t Ns) { NowNs += Ns; }
+
+  /// Jumps the clock forward to \p TargetNs (idle wait until a timer fires).
+  /// \p TargetNs must not be in the past.
+  void advanceTo(uint64_t TargetNs) {
+    assert(TargetNs >= NowNs && "virtual clock cannot go backwards");
+    NowNs = TargetNs;
+  }
+
+private:
+  uint64_t NowNs = 0;
+};
+
+/// Converts milliseconds to virtual nanoseconds.
+constexpr uint64_t msToNs(uint64_t Ms) { return Ms * 1000000ull; }
+
+/// Converts microseconds to virtual nanoseconds.
+constexpr uint64_t usToNs(uint64_t Us) { return Us * 1000ull; }
+
+} // namespace browser
+} // namespace doppio
+
+#endif // DOPPIO_BROWSER_VIRTUAL_CLOCK_H

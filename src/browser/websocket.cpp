@@ -1,0 +1,254 @@
+//===- browser/websocket.cpp ----------------------------------------------==//
+
+#include "browser/websocket.h"
+
+#include <cassert>
+
+using namespace doppio;
+using namespace doppio::browser;
+using namespace doppio::browser::wsframe;
+
+std::vector<uint8_t> wsframe::encode(const Frame &F,
+                                     std::optional<uint32_t> MaskKey) {
+  std::vector<uint8_t> Out;
+  Out.reserve(F.Payload.size() + 14);
+  Out.push_back(0x80 | static_cast<uint8_t>(F.Op)); // FIN + opcode.
+  uint8_t MaskBit = MaskKey ? 0x80 : 0x00;
+  size_t Len = F.Payload.size();
+  if (Len < 126) {
+    Out.push_back(MaskBit | static_cast<uint8_t>(Len));
+  } else if (Len < 65536) {
+    Out.push_back(MaskBit | 126);
+    Out.push_back(static_cast<uint8_t>(Len >> 8));
+    Out.push_back(static_cast<uint8_t>(Len));
+  } else {
+    Out.push_back(MaskBit | 127);
+    for (int Shift = 56; Shift >= 0; Shift -= 8)
+      Out.push_back(static_cast<uint8_t>(Len >> Shift));
+  }
+  uint8_t Key[4] = {0, 0, 0, 0};
+  if (MaskKey) {
+    uint32_t K = *MaskKey;
+    for (int I = 0; I != 4; ++I)
+      Key[I] = static_cast<uint8_t>(K >> (24 - 8 * I));
+    Out.insert(Out.end(), Key, Key + 4);
+  }
+  for (size_t I = 0; I != Len; ++I)
+    Out.push_back(MaskKey ? (F.Payload[I] ^ Key[I % 4]) : F.Payload[I]);
+  return Out;
+}
+
+std::optional<Frame> Decoder::next() {
+  if (Buffer.size() < 2)
+    return std::nullopt;
+  uint8_t Op = Buffer[0] & 0x0F;
+  bool Masked = (Buffer[1] & 0x80) != 0;
+  uint64_t Len = Buffer[1] & 0x7F;
+  size_t HeaderSize = 2;
+  if (Len == 126) {
+    if (Buffer.size() < 4)
+      return std::nullopt;
+    Len = (static_cast<uint64_t>(Buffer[2]) << 8) | Buffer[3];
+    HeaderSize = 4;
+  } else if (Len == 127) {
+    if (Buffer.size() < 10)
+      return std::nullopt;
+    Len = 0;
+    for (int I = 0; I != 8; ++I)
+      Len = (Len << 8) | Buffer[2 + I];
+    HeaderSize = 10;
+  }
+  size_t MaskOffset = HeaderSize;
+  if (Masked)
+    HeaderSize += 4;
+  if (Buffer.size() < HeaderSize + Len)
+    return std::nullopt;
+  Frame F;
+  F.Op = static_cast<Opcode>(Op);
+  F.Payload.reserve(Len);
+  for (uint64_t I = 0; I != Len; ++I) {
+    uint8_t Byte = Buffer[HeaderSize + I];
+    if (Masked)
+      Byte ^= Buffer[MaskOffset + I % 4];
+    F.Payload.push_back(Byte);
+  }
+  Buffer.erase(Buffer.begin(), Buffer.begin() + HeaderSize + Len);
+  return F;
+}
+
+static std::vector<uint8_t> toBytes(const std::string &Text) {
+  return std::vector<uint8_t>(Text.begin(), Text.end());
+}
+
+void WebSocketClient::connect(uint16_t Port,
+                              std::function<void(bool)> OnOpen) {
+  assert(!Conn && "WebSocketClient is single-use");
+  PendingOnOpen = std::move(OnOpen);
+  uint64_t ShimLatency = 0;
+  if (!Prof.HasWebSockets) {
+    // Websockify's JS library proxies through a Flash applet (§5.3).
+    UsedFlashShim = true;
+    ShimLatency = Prof.Costs.FlashShimLatencyNs;
+  }
+  Net.loop().scheduleAfter(
+      [this, Port] {
+        Net.connect(Port, [this](TcpConnection *C) {
+          if (!C) {
+            if (PendingOnOpen)
+              PendingOnOpen(false);
+            return;
+          }
+          Conn = C;
+          Conn->setOnData(
+              [this](const std::vector<uint8_t> &Data) { handleData(Data); });
+          Conn->setOnClose([this] {
+            if (OnClose)
+              OnClose();
+          });
+          Conn->send(toBytes("GET / HTTP/1.1\r\n"
+                             "Upgrade: websocket\r\n"
+                             "Connection: Upgrade\r\n"
+                             "Sec-WebSocket-Key: ZG9wcGlvLXJlcHJv\r\n"
+                             "\r\n"));
+        });
+      },
+      ShimLatency);
+}
+
+void WebSocketClient::handleData(const std::vector<uint8_t> &Data) {
+  if (!HandshakeDone) {
+    // Expect the 101 response terminated by a blank line.
+    std::string Text(Data.begin(), Data.end());
+    bool Ok = Text.find("101") != std::string::npos &&
+              Text.find("\r\n\r\n") != std::string::npos;
+    HandshakeDone = Ok;
+    if (PendingOnOpen) {
+      auto CB = std::move(PendingOnOpen);
+      PendingOnOpen = nullptr;
+      CB(Ok);
+    }
+    if (!Ok && Conn)
+      Conn->close();
+    return;
+  }
+  Decode.feed(Data);
+  while (auto F = Decode.next()) {
+    if (F->Op == Opcode::Close) {
+      close();
+      return;
+    }
+    if (OnMessage)
+      OnMessage(std::move(F->Payload));
+  }
+}
+
+void WebSocketClient::sendBinary(std::vector<uint8_t> Payload) {
+  if (!isOpen())
+    return;
+  Frame F;
+  F.Op = Opcode::Binary;
+  F.Payload = std::move(Payload);
+  NextMask = NextMask * 1664525u + 1013904223u; // Deterministic LCG.
+  Conn->send(encode(F, NextMask));
+}
+
+void WebSocketClient::close() {
+  if (Conn && Conn->isOpen()) {
+    Frame F;
+    F.Op = Opcode::Close;
+    Conn->send(encode(F, NextMask));
+    Conn->close();
+  }
+  HandshakeDone = false;
+}
+
+WebSocketServerConn::WebSocketServerConn(TcpConnection &Conn) : Conn(Conn) {
+  Conn.setOnData(
+      [this](const std::vector<uint8_t> &Data) { handleData(Data); });
+  Conn.setOnClose([this] {
+    if (OnClose)
+      OnClose();
+  });
+}
+
+void WebSocketServerConn::handleData(const std::vector<uint8_t> &Data) {
+  if (!HandshakeDone) {
+    HandshakeBuffer.append(Data.begin(), Data.end());
+    size_t End = HandshakeBuffer.find("\r\n\r\n");
+    if (End == std::string::npos)
+      return;
+    bool IsUpgrade = HandshakeBuffer.find("Upgrade: websocket") !=
+                     std::string::npos;
+    if (!IsUpgrade) {
+      Conn.close();
+      return;
+    }
+    HandshakeDone = true;
+    Conn.send(toBytes("HTTP/1.1 101 Switching Protocols\r\n"
+                      "Upgrade: websocket\r\n"
+                      "Connection: Upgrade\r\n"
+                      "\r\n"));
+    // Bytes after the handshake (rare in this simulation) would be frames.
+    std::string Rest = HandshakeBuffer.substr(End + 4);
+    HandshakeBuffer.clear();
+    if (!Rest.empty())
+      handleData(std::vector<uint8_t>(Rest.begin(), Rest.end()));
+    return;
+  }
+  Decode.feed(Data);
+  while (auto F = Decode.next()) {
+    if (F->Op == Opcode::Close) {
+      Conn.close();
+      return;
+    }
+    if (OnMessage)
+      OnMessage(std::move(F->Payload));
+  }
+}
+
+void WebSocketServerConn::sendBinary(std::vector<uint8_t> Payload) {
+  Frame F;
+  F.Op = Opcode::Binary;
+  F.Payload = std::move(Payload);
+  Conn.send(encode(F, std::nullopt));
+}
+
+WebsockifyProxy::WebsockifyProxy(SimNet &Net, uint16_t WsPort,
+                                 uint16_t TcpPort)
+    : Net(Net), TcpPort(TcpPort) {
+  Net.listen(WsPort, [this](TcpConnection &WsSide) {
+    auto Server = std::make_unique<WebSocketServerConn>(WsSide);
+    WebSocketServerConn *Ws = Server.get();
+    ServerConns.push_back(std::move(Server));
+    ++Bridged;
+    // Connect the plain-TCP side and pipe payloads in both directions.
+    // Messages arriving before the TCP connection completes are buffered.
+    auto Pending = std::make_shared<std::vector<std::vector<uint8_t>>>();
+    auto TcpSide = std::make_shared<TcpConnection *>(nullptr);
+    Ws->setOnMessage([Pending, TcpSide](std::vector<uint8_t> Payload) {
+      if (*TcpSide)
+        (*TcpSide)->send(std::move(Payload));
+      else
+        Pending->push_back(std::move(Payload));
+    });
+    this->Net.connect(this->TcpPort,
+                      [Ws, Pending, TcpSide](TcpConnection *C) {
+                        if (!C) {
+                          Ws->close();
+                          return;
+                        }
+                        *TcpSide = C;
+                        C->setOnData([Ws](const std::vector<uint8_t> &Data) {
+                          Ws->sendBinary(Data);
+                        });
+                        C->setOnClose([Ws] { Ws->close(); });
+                        for (auto &Buffered : *Pending)
+                          C->send(std::move(Buffered));
+                        Pending->clear();
+                      });
+    Ws->setOnClose([TcpSide] {
+      if (*TcpSide)
+        (*TcpSide)->close();
+    });
+  });
+}

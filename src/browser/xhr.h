@@ -1,0 +1,90 @@
+//===- browser/xhr.h - Asynchronous downloads & the web server ---*- C++ -*-==//
+//
+// Part of the Doppio reproduction. See README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// XMLHttpRequest-style asynchronous downloads from the page's origin
+/// server. Binary file downloads are restricted to asynchronous APIs (§3.2);
+/// browsers with typed arrays receive binary responses directly, while
+/// older browsers can only download binary data as a JavaScript string, one
+/// byte per code unit (§5.1 "Binary Data in the Browser"). The XHR backend
+/// of the Doppio file system (§6.4) sits on top of this to lazily download
+/// class files and game assets.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DOPPIO_BROWSER_XHR_H
+#define DOPPIO_BROWSER_XHR_H
+
+#include "browser/event_loop.h"
+#include "browser/js_string.h"
+#include "browser/profile.h"
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace doppio {
+namespace browser {
+
+/// The static file tree served by the page's origin web server. Read-only
+/// from the browser's point of view.
+class StaticServer {
+public:
+  void addFile(std::string Path, std::vector<uint8_t> Content) {
+    Files[std::move(Path)] = std::move(Content);
+  }
+
+  const std::vector<uint8_t> *lookup(const std::string &Path) const {
+    auto It = Files.find(Path);
+    return It == Files.end() ? nullptr : &It->second;
+  }
+
+  /// All paths with the given prefix, in sorted order (used to emulate
+  /// directory listings, which real servers expose via index files).
+  std::vector<std::string> list(const std::string &Prefix) const;
+
+  size_t fileCount() const { return Files.size(); }
+
+private:
+  std::map<std::string, std::vector<uint8_t>> Files;
+};
+
+/// How the response body travelled: as a typed array or as a JS string
+/// (one byte per UTF-16 code unit).
+enum class XhrTransport { TypedArray, BinaryString };
+
+/// Asynchronous HTTP GET against the StaticServer.
+class Xhr {
+public:
+  struct Response {
+    int Status = 0; // 200 or 404.
+    std::vector<uint8_t> Body;
+    XhrTransport Transport = XhrTransport::TypedArray;
+  };
+
+  Xhr(EventLoop &Loop, const Profile &P, const StaticServer &Server)
+      : Loop(Loop), Prof(P), Server(Server) {}
+
+  /// Issues an asynchronous GET for \p Path. \p Done runs as a later event.
+  void get(std::string Path, std::function<void(Response)> Done);
+
+  uint64_t requestCount() const { return Requests; }
+  uint64_t bytesTransferred() const { return BytesMoved; }
+
+private:
+  EventLoop &Loop;
+  const Profile &Prof;
+  const StaticServer &Server;
+  uint64_t Requests = 0;
+  uint64_t BytesMoved = 0;
+};
+
+} // namespace browser
+} // namespace doppio
+
+#endif // DOPPIO_BROWSER_XHR_H

@@ -1,0 +1,61 @@
+//===- doppio/backends/in_memory.h - tmpfs backend ----------------*- C++ -*-==//
+//
+// Part of the Doppio reproduction. See README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The temporary in-memory storage backend of §5.1 ("one provides temporary
+/// in-memory storage") — a /tmp-style file system whose contents disappear
+/// with the page. All operations complete inline; callbacks still fire in
+/// callback style so the backend is a drop-in for the asynchronous API.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DOPPIO_DOPPIO_BACKENDS_IN_MEMORY_H
+#define DOPPIO_DOPPIO_BACKENDS_IN_MEMORY_H
+
+#include "doppio/fs_backend.h"
+
+namespace doppio {
+namespace rt {
+namespace fs {
+
+/// In-memory tree-of-nodes file system.
+class InMemoryBackend : public FileSystemBackend {
+public:
+  explicit InMemoryBackend(browser::BrowserEnv &Env) : Env(Env) {}
+
+  std::string backendName() const override { return "inmemory"; }
+  bool isReadOnly() const override { return false; }
+
+  void rename(const std::string &OldPath, const std::string &NewPath,
+              CompletionCb Done) override;
+  void stat(const std::string &Path, ResultCb<Stats> Done) override;
+  void open(const std::string &Path, OpenFlags Flags,
+            ResultCb<FdPtr> Done) override;
+  void unlink(const std::string &Path, CompletionCb Done) override;
+  void rmdir(const std::string &Path, CompletionCb Done) override;
+  void mkdir(const std::string &Path, CompletionCb Done) override;
+  void readdir(const std::string &Path,
+               ResultCb<std::vector<std::string>> Done) override;
+  void utimes(const std::string &Path, uint64_t MtimeNs,
+              CompletionCb Done) override;
+
+  /// Test/seed helper: creates a file with contents, making parents.
+  bool seedFile(const std::string &Path, std::vector<uint8_t> Contents);
+
+  /// Raw lookup for benchmarks and tests; null if not a file.
+  const std::vector<uint8_t> *contents(const std::string &Path) const;
+
+private:
+  browser::BrowserEnv &Env;
+  FileIndex Index;
+  std::map<std::string, std::vector<uint8_t>> FileData;
+};
+
+} // namespace fs
+} // namespace rt
+} // namespace doppio
+
+#endif // DOPPIO_DOPPIO_BACKENDS_IN_MEMORY_H

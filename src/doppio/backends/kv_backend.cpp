@@ -1,0 +1,319 @@
+//===- doppio/backends/kv_backend.cpp -------------------------------------==//
+
+#include "doppio/backends/kv_backend.h"
+
+#include "doppio/path.h"
+
+#include <memory>
+
+using namespace doppio;
+using namespace doppio::rt;
+using namespace doppio::rt::fs;
+
+/// Runs \p Step over \p Items sequentially (each step is asynchronous);
+/// stops at the first error.
+static void forEachAsync(
+    std::shared_ptr<std::vector<std::string>> Items, size_t I,
+    std::function<void(const std::string &, CompletionCb)> Step,
+    CompletionCb Done) {
+  if (I == Items->size()) {
+    Done(std::nullopt);
+    return;
+  }
+  // Step must be captured by copy: it is about to be invoked below, and a
+  // move here would empty the very function object being called.
+  auto Continue = [Items, I, Step,
+                   Done = std::move(Done)](std::optional<ApiError> Err) {
+    if (Err) {
+      Done(Err);
+      return;
+    }
+    forEachAsync(Items, I + 1, Step, Done);
+  };
+  Step((*Items)[I], std::move(Continue));
+}
+
+void KeyValueBackend::initialize(CompletionCb Done) {
+  Store->get("index", [this, Done = std::move(Done)](
+                          ErrorOr<std::optional<AsyncKvStore::Bytes>> R) {
+    if (!R) {
+      Done(R.error());
+      return;
+    }
+    if (R->has_value()) {
+      std::string Text(R->value().begin(), R->value().end());
+      Index = FileIndex::deserialize(Text);
+    }
+    Done(std::nullopt);
+  });
+}
+
+void KeyValueBackend::persistIndex(CompletionCb Done) {
+  std::string Text = Index.serialize();
+  Store->put("index", AsyncKvStore::Bytes(Text.begin(), Text.end()),
+             std::move(Done));
+}
+
+void KeyValueBackend::stat(const std::string &Path, ResultCb<Stats> Done) {
+  Env.chargeIo(300);
+  const FileIndex::Meta *Meta = Index.lookup(Path);
+  if (!Meta) {
+    Done(ApiError(Errno::NoEnt, Path));
+    return;
+  }
+  Stats S;
+  S.Type = Meta->Type;
+  S.SizeBytes = Meta->SizeBytes;
+  S.MtimeNs = Meta->MtimeNs;
+  Done(S);
+}
+
+void KeyValueBackend::open(const std::string &Path, OpenFlags Flags,
+                           ResultCb<FdPtr> Done) {
+  Env.chargeIo(500);
+  const FileIndex::Meta *Meta = Index.lookup(Path);
+  if (Meta && Meta->Type == FileType::Directory) {
+    Done(ApiError(Errno::IsDir, Path));
+    return;
+  }
+  if (Meta && Flags.Exclusive) {
+    Done(ApiError(Errno::Exists, Path));
+    return;
+  }
+  if (!Meta && !Flags.Create) {
+    Done(ApiError(Errno::NoEnt, Path));
+    return;
+  }
+  const FileIndex::Meta *Parent = Index.lookup(path::dirname(Path));
+  if (!Parent || Parent->Type != FileType::Directory) {
+    Done(ApiError(Errno::NoEnt, path::dirname(Path)));
+    return;
+  }
+
+  // The descriptor writes the whole file back through the store and
+  // re-persists the index (sync-on-close lands here).
+  PreloadFile::SyncFn Sync = [this](const std::string &P,
+                                    const std::vector<uint8_t> &Bytes,
+                                    CompletionCb SyncDone) {
+    Store->put(fileKey(P), Bytes,
+               [this, P, Size = Bytes.size(),
+                SyncDone = std::move(SyncDone)](std::optional<ApiError> E) {
+                 if (E) {
+                   SyncDone(E);
+                   return;
+                 }
+                 Index.addFile(P, Size, Env.clock().nowNs());
+                 persistIndex(std::move(SyncDone));
+               });
+  };
+
+  auto finish = [this, Path, Flags, Done,
+                 Sync](std::vector<uint8_t> Contents) {
+    bool IsNew = !Index.exists(Path);
+    auto Fd = std::make_shared<PreloadFile>(Env, Path, Flags,
+                                            std::move(Contents), Sync);
+    if (!IsNew) {
+      Done(FdPtr(Fd));
+      return;
+    }
+    // Creating: record the (empty) file immediately so stat sees it.
+    Index.addFile(Path, 0, Env.clock().nowNs());
+    persistIndex([Fd, Done](std::optional<ApiError> E) {
+      if (E)
+        Done(*E);
+      else
+        Done(FdPtr(Fd));
+    });
+  };
+
+  if (!Meta || Flags.Truncate) {
+    finish({});
+    return;
+  }
+  // Preload the existing contents (§5.1: files are completely loaded into
+  // memory before they can be operated on).
+  Store->get(fileKey(Path),
+             [Path, finish, Done](
+                 ErrorOr<std::optional<AsyncKvStore::Bytes>> R) {
+               if (!R) {
+                 Done(R.error());
+                 return;
+               }
+               finish(R->has_value() ? std::move(R->value())
+                                     : AsyncKvStore::Bytes());
+             });
+}
+
+void KeyValueBackend::unlink(const std::string &Path, CompletionCb Done) {
+  Env.chargeIo(300);
+  const FileIndex::Meta *Meta = Index.lookup(Path);
+  if (!Meta) {
+    Done(ApiError(Errno::NoEnt, Path));
+    return;
+  }
+  if (Meta->Type == FileType::Directory) {
+    Done(ApiError(Errno::IsDir, Path));
+    return;
+  }
+  Index.remove(Path);
+  Store->del(fileKey(Path),
+             [this, Done = std::move(Done)](std::optional<ApiError> E) {
+               if (E) {
+                 Done(E);
+                 return;
+               }
+               persistIndex(Done);
+             });
+}
+
+void KeyValueBackend::rmdir(const std::string &Path, CompletionCb Done) {
+  Env.chargeIo(300);
+  const FileIndex::Meta *Meta = Index.lookup(Path);
+  if (!Meta) {
+    Done(ApiError(Errno::NoEnt, Path));
+    return;
+  }
+  if (Meta->Type != FileType::Directory) {
+    Done(ApiError(Errno::NotDir, Path));
+    return;
+  }
+  if (!Index.isEmptyDir(Path)) {
+    Done(ApiError(Errno::NotEmpty, Path));
+    return;
+  }
+  Index.remove(Path);
+  persistIndex(std::move(Done));
+}
+
+void KeyValueBackend::mkdir(const std::string &Path, CompletionCb Done) {
+  Env.chargeIo(300);
+  if (Index.exists(Path)) {
+    Done(ApiError(Errno::Exists, Path));
+    return;
+  }
+  const FileIndex::Meta *Parent = Index.lookup(path::dirname(Path));
+  if (!Parent) {
+    Done(ApiError(Errno::NoEnt, path::dirname(Path)));
+    return;
+  }
+  if (Parent->Type != FileType::Directory) {
+    Done(ApiError(Errno::NotDir, path::dirname(Path)));
+    return;
+  }
+  Index.addDir(Path);
+  persistIndex(std::move(Done));
+}
+
+void KeyValueBackend::readdir(const std::string &Path,
+                              ResultCb<std::vector<std::string>> Done) {
+  Env.chargeIo(300);
+  const FileIndex::Meta *Meta = Index.lookup(Path);
+  if (!Meta) {
+    Done(ApiError(Errno::NoEnt, Path));
+    return;
+  }
+  if (Meta->Type != FileType::Directory) {
+    Done(ApiError(Errno::NotDir, Path));
+    return;
+  }
+  const std::set<std::string> *Kids = Index.list(Path);
+  Done(std::vector<std::string>(Kids->begin(), Kids->end()));
+}
+
+void KeyValueBackend::rename(const std::string &OldPath,
+                             const std::string &NewPath, CompletionCb Done) {
+  Env.chargeIo(600);
+  const FileIndex::Meta *Meta = Index.lookup(OldPath);
+  if (!Meta) {
+    Done(ApiError(Errno::NoEnt, OldPath));
+    return;
+  }
+  const FileIndex::Meta *DestParent = Index.lookup(path::dirname(NewPath));
+  if (!DestParent || DestParent->Type != FileType::Directory) {
+    Done(ApiError(Errno::NoEnt, path::dirname(NewPath)));
+    return;
+  }
+  const FileIndex::Meta *Dest = Index.lookup(NewPath);
+  if (Dest && Dest->Type == FileType::Directory) {
+    Done(ApiError(Errno::IsDir, NewPath));
+    return;
+  }
+
+  auto isUnder = [OldPath](const std::string &P) {
+    return P.compare(0, OldPath.size(), OldPath) == 0 &&
+           (P.size() == OldPath.size() || P[OldPath.size()] == '/');
+  };
+
+  // Collect the file payloads to move (one for a plain file, the subtree
+  // for a directory).
+  auto Files = std::make_shared<std::vector<std::string>>();
+  if (Meta->Type == FileType::File) {
+    Files->push_back(OldPath);
+  } else {
+    if (isUnder(NewPath)) {
+      Done(ApiError(Errno::Invalid, "cannot move a directory into itself"));
+      return;
+    }
+    for (const std::string &F : Index.allFiles())
+      if (isUnder(F))
+        Files->push_back(F);
+  }
+
+  bool IsDir = Meta->Type == FileType::Directory;
+  // Move each payload: get old key -> put new key -> delete old key.
+  auto MoveOne = [this, OldPath, NewPath](const std::string &F,
+                                          CompletionCb Next) {
+    std::string Moved = NewPath + F.substr(OldPath.size());
+    Store->get(
+        fileKey(F),
+        [this, F, Moved,
+         Next = std::move(Next)](ErrorOr<std::optional<AsyncKvStore::Bytes>> R) {
+          if (!R) {
+            Next(R.error());
+            return;
+          }
+          AsyncKvStore::Bytes Data =
+              R->has_value() ? std::move(R->value()) : AsyncKvStore::Bytes();
+          Store->put(fileKey(Moved), Data,
+                     [this, F, Next](std::optional<ApiError> E) {
+                       if (E) {
+                         Next(E);
+                         return;
+                       }
+                       Store->del(fileKey(F), Next);
+                     });
+        });
+  };
+
+  forEachAsync(
+      Files, 0, MoveOne,
+      [this, Files, OldPath, NewPath, IsDir, isUnder,
+       Done = std::move(Done)](std::optional<ApiError> Err) {
+        if (Err) {
+          Done(Err);
+          return;
+        }
+        // Rewrite the index.
+        if (IsDir) {
+          std::vector<std::string> Dirs = Index.allDirs();
+          Index.addDir(NewPath);
+          for (const std::string &D : Dirs)
+            if (isUnder(D) && D != OldPath)
+              Index.addDir(NewPath + D.substr(OldPath.size()));
+        }
+        for (const std::string &F : *Files) {
+          const FileIndex::Meta *M = Index.lookup(F);
+          Index.addFile(NewPath + F.substr(OldPath.size()), M->SizeBytes,
+                        M->MtimeNs);
+        }
+        for (auto It = Files->rbegin(); It != Files->rend(); ++It)
+          Index.remove(*It);
+        if (IsDir) {
+          std::vector<std::string> Dirs = Index.allDirs();
+          for (auto It = Dirs.rbegin(); It != Dirs.rend(); ++It)
+            if (isUnder(*It))
+              Index.remove(*It);
+        }
+        persistIndex(Done);
+      });
+}

@@ -1,0 +1,113 @@
+//===- doppio/backends/kv_store.h - Storage adapters (§5.1) ------*- C++ -*-==//
+//
+// Part of the Doppio reproduction. See README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Adapters that turn each browser persistence mechanism (Table 2) into a
+/// uniform asynchronous key/value store of binary blobs, which the generic
+/// KeyValueBackend builds a file system over:
+///
+///  - LocalStorageKv: string key/value pairs; binary file data rides
+///    through Buffer's binary-string codec (2 bytes per code unit on
+///    non-validating browsers, 1 otherwise — §5.1), so file capacity
+///    depends on the browser. Operations are synchronous.
+///  - IndexedDbKv: the asynchronous object database.
+///  - CloudKv: Dropbox-style cloud storage behind network latency (the
+///    backend contributed by Google Summer of Code in the paper's
+///    acknowledgements).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DOPPIO_DOPPIO_BACKENDS_KV_STORE_H
+#define DOPPIO_DOPPIO_BACKENDS_KV_STORE_H
+
+#include "browser/env.h"
+#include "doppio/errors.h"
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace doppio {
+namespace rt {
+namespace fs {
+
+/// Uniform async binary key/value store over one persistence mechanism.
+class AsyncKvStore {
+public:
+  using Bytes = std::vector<uint8_t>;
+  using GetCb = std::function<void(ErrorOr<std::optional<Bytes>>)>;
+  using DoneCb = std::function<void(std::optional<ApiError>)>;
+
+  virtual ~AsyncKvStore();
+
+  virtual std::string storeName() const = 0;
+  virtual void get(const std::string &Key, GetCb Done) = 0;
+  virtual void put(const std::string &Key, const Bytes &Value,
+                   DoneCb Done) = 0;
+  virtual void del(const std::string &Key, DoneCb Done) = 0;
+};
+
+/// localStorage adapter: synchronous, string-valued, 5 MB quota.
+class LocalStorageKv : public AsyncKvStore {
+public:
+  explicit LocalStorageKv(browser::BrowserEnv &Env) : Env(Env) {}
+
+  std::string storeName() const override { return "localstorage"; }
+  void get(const std::string &Key, GetCb Done) override;
+  void put(const std::string &Key, const Bytes &Value,
+           DoneCb Done) override;
+  void del(const std::string &Key, DoneCb Done) override;
+
+private:
+  browser::BrowserEnv &Env;
+};
+
+/// IndexedDB adapter: asynchronous binary object store.
+class IndexedDbKv : public AsyncKvStore {
+public:
+  /// Requires Env.indexedDB() != null.
+  explicit IndexedDbKv(browser::BrowserEnv &Env);
+
+  std::string storeName() const override { return "indexeddb"; }
+  void get(const std::string &Key, GetCb Done) override;
+  void put(const std::string &Key, const Bytes &Value,
+           DoneCb Done) override;
+  void del(const std::string &Key, DoneCb Done) override;
+
+private:
+  browser::BrowserEnv &Env;
+  browser::IndexedDB &Db;
+};
+
+/// Dropbox-style cloud adapter: a remote blob store behind WAN latency.
+class CloudKv : public AsyncKvStore {
+public:
+  CloudKv(browser::BrowserEnv &Env, uint64_t RoundTripNs = 0)
+      : Env(Env),
+        RoundTripNs(RoundTripNs ? RoundTripNs : browser::msToNs(45)) {}
+
+  std::string storeName() const override { return "cloud"; }
+  void get(const std::string &Key, GetCb Done) override;
+  void put(const std::string &Key, const Bytes &Value,
+           DoneCb Done) override;
+  void del(const std::string &Key, DoneCb Done) override;
+
+  size_t objectCount() const { return Remote.size(); }
+
+private:
+  browser::BrowserEnv &Env;
+  uint64_t RoundTripNs;
+  std::map<std::string, Bytes> Remote;
+};
+
+} // namespace fs
+} // namespace rt
+} // namespace doppio
+
+#endif // DOPPIO_DOPPIO_BACKENDS_KV_STORE_H

@@ -1,0 +1,122 @@
+//===- doppio/backends/mountable.cpp --------------------------------------==//
+
+#include "doppio/backends/mountable.h"
+
+#include "doppio/path.h"
+
+#include <algorithm>
+
+using namespace doppio;
+using namespace doppio::rt;
+using namespace doppio::rt::fs;
+
+bool MountableFileSystem::mount(const std::string &MountPoint,
+                                std::unique_ptr<FileSystemBackend> Backend) {
+  std::string Normalized = path::normalize(MountPoint);
+  if (Normalized == "/" || !path::isAbsolute(Normalized))
+    return false;
+  for (const auto &[Point, Existing] : Mounts)
+    if (Point == Normalized)
+      return false;
+  Mounts.emplace_back(Normalized, std::move(Backend));
+  // Longest prefix first, so nested mounts route correctly.
+  std::sort(Mounts.begin(), Mounts.end(), [](const auto &A, const auto &B) {
+    return A.first.size() > B.first.size();
+  });
+  return true;
+}
+
+std::pair<FileSystemBackend *, std::string>
+MountableFileSystem::route(const std::string &Path) const {
+  for (const auto &[Point, Backend] : Mounts) {
+    if (Path.compare(0, Point.size(), Point) != 0)
+      continue;
+    if (Path.size() == Point.size())
+      return {Backend.get(), "/"};
+    if (Path[Point.size()] == '/')
+      return {Backend.get(), Path.substr(Point.size())};
+  }
+  return {Root.get(), Path};
+}
+
+void MountableFileSystem::stat(const std::string &Path,
+                               ResultCb<Stats> Done) {
+  auto [Backend, Sub] = route(Path);
+  Backend->stat(Sub, std::move(Done));
+}
+
+void MountableFileSystem::open(const std::string &Path, OpenFlags Flags,
+                               ResultCb<FdPtr> Done) {
+  auto [Backend, Sub] = route(Path);
+  Backend->open(Sub, Flags, std::move(Done));
+}
+
+void MountableFileSystem::unlink(const std::string &Path,
+                                 CompletionCb Done) {
+  auto [Backend, Sub] = route(Path);
+  Backend->unlink(Sub, std::move(Done));
+}
+
+void MountableFileSystem::rmdir(const std::string &Path, CompletionCb Done) {
+  auto [Backend, Sub] = route(Path);
+  if (Sub == "/") {
+    // The path is a mount point; removing it would orphan the mount.
+    Done(ApiError(Errno::Perm, Path));
+    return;
+  }
+  Backend->rmdir(Sub, std::move(Done));
+}
+
+void MountableFileSystem::mkdir(const std::string &Path, CompletionCb Done) {
+  auto [Backend, Sub] = route(Path);
+  if (Sub == "/") {
+    Done(ApiError(Errno::Exists, Path));
+    return;
+  }
+  Backend->mkdir(Sub, std::move(Done));
+}
+
+void MountableFileSystem::readdir(const std::string &Path,
+                                  ResultCb<std::vector<std::string>> Done) {
+  auto [Backend, Sub] = route(Path);
+  std::string Normalized = path::normalize(Path);
+  Backend->readdir(
+      Sub, [this, Normalized,
+            Done = std::move(Done)](ErrorOr<std::vector<std::string>> R) {
+        // Splice in the names of mount points that live directly under the
+        // queried directory, so they are visible in listings.
+        std::vector<std::string> Names;
+        if (R)
+          Names = std::move(*R);
+        bool AddedMount = false;
+        for (const auto &[Point, Backend2] : Mounts) {
+          (void)Backend2;
+          if (path::dirname(Point) != Normalized)
+            continue;
+          std::string Name = path::basename(Point);
+          if (std::find(Names.begin(), Names.end(), Name) == Names.end()) {
+            Names.push_back(Name);
+            AddedMount = true;
+          }
+        }
+        if (!R && !AddedMount) {
+          Done(R.error());
+          return;
+        }
+        std::sort(Names.begin(), Names.end());
+        Done(std::move(Names));
+      });
+}
+
+void MountableFileSystem::rename(const std::string &OldPath,
+                                 const std::string &NewPath,
+                                 CompletionCb Done) {
+  auto [OldBackend, OldSub] = route(OldPath);
+  auto [NewBackend, NewSub] = route(NewPath);
+  if (OldBackend != NewBackend) {
+    // Crossing a mount boundary: no backend can move the data itself.
+    Done(ApiError(Errno::CrossDev, OldPath + " -> " + NewPath));
+    return;
+  }
+  OldBackend->rename(OldSub, NewSub, std::move(Done));
+}

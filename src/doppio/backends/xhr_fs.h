@@ -1,0 +1,64 @@
+//===- doppio/backends/xhr_fs.h - Server-backed read-only FS -----*- C++ -*-==//
+//
+// Part of the Doppio reproduction. See README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The backend that "offers read-only access to files served by the web
+/// server" (§5.1). The directory structure comes from a pre-generated
+/// listing; file contents are downloaded lazily with XHR the first time a
+/// file is opened and cached, which is how DoppioJVM pulls in class files
+/// on demand (§6.4) without preloading the whole class library.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DOPPIO_DOPPIO_BACKENDS_XHR_FS_H
+#define DOPPIO_DOPPIO_BACKENDS_XHR_FS_H
+
+#include "doppio/fs_backend.h"
+
+namespace doppio {
+namespace rt {
+namespace fs {
+
+/// Read-only, lazily-downloading backend over the origin server.
+class XhrBackend : public FileSystemBackend {
+public:
+  /// Serves the server subtree rooted at \p ServerPrefix (e.g. "/classes").
+  /// The listing (our stand-in for the pre-generated listing file a real
+  /// deployment ships) is fetched from the server's index at construction.
+  XhrBackend(browser::BrowserEnv &Env, std::string ServerPrefix);
+
+  std::string backendName() const override { return "xhr"; }
+  bool isReadOnly() const override { return true; }
+
+  void rename(const std::string &OldPath, const std::string &NewPath,
+              CompletionCb Done) override;
+  void stat(const std::string &Path, ResultCb<Stats> Done) override;
+  void open(const std::string &Path, OpenFlags Flags,
+            ResultCb<FdPtr> Done) override;
+  void unlink(const std::string &Path, CompletionCb Done) override;
+  void rmdir(const std::string &Path, CompletionCb Done) override;
+  void mkdir(const std::string &Path, CompletionCb Done) override;
+  void readdir(const std::string &Path,
+               ResultCb<std::vector<std::string>> Done) override;
+
+  uint64_t downloadsIssued() const { return Downloads; }
+  uint64_t cacheHits() const { return CacheHits; }
+
+private:
+  browser::BrowserEnv &Env;
+  std::string ServerPrefix;
+  FileIndex Index;
+  /// Downloaded file contents, cached for subsequent opens.
+  std::map<std::string, std::vector<uint8_t>> Cache;
+  uint64_t Downloads = 0;
+  uint64_t CacheHits = 0;
+};
+
+} // namespace fs
+} // namespace rt
+} // namespace doppio
+
+#endif // DOPPIO_DOPPIO_BACKENDS_XHR_FS_H

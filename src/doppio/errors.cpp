@@ -1,0 +1,43 @@
+//===- doppio/errors.cpp --------------------------------------------------==//
+
+#include "doppio/errors.h"
+
+using namespace doppio;
+
+const char *rt::errnoName(Errno E) {
+  switch (E) {
+  case Errno::Perm:
+    return "EPERM";
+  case Errno::NoEnt:
+    return "ENOENT";
+  case Errno::BadFd:
+    return "EBADF";
+  case Errno::Access:
+    return "EACCES";
+  case Errno::Exists:
+    return "EEXIST";
+  case Errno::NotDir:
+    return "ENOTDIR";
+  case Errno::IsDir:
+    return "EISDIR";
+  case Errno::Invalid:
+    return "EINVAL";
+  case Errno::NoSpace:
+    return "ENOSPC";
+  case Errno::ReadOnlyFs:
+    return "EROFS";
+  case Errno::NotEmpty:
+    return "ENOTEMPTY";
+  case Errno::CrossDev:
+    return "EXDEV";
+  case Errno::NotSup:
+    return "ENOTSUP";
+  case Errno::Io:
+    return "EIO";
+  case Errno::ConnRefused:
+    return "ECONNREFUSED";
+  case Errno::NotConn:
+    return "ENOTCONN";
+  }
+  return "E???";
+}

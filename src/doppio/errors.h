@@ -1,0 +1,101 @@
+//===- doppio/errors.h - Unix-style API errors --------------------*- C++ -*-==//
+//
+// Part of the Doppio reproduction. See README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Error codes for Doppio's emulated OS services. The file system API is "a
+/// light JavaScript wrapper around Unix file system calls" (§5.1), so the
+/// error vocabulary is errno's. ErrorOr is a small Expected-style carrier
+/// for fallible results (the library avoids exceptions).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DOPPIO_DOPPIO_ERRORS_H
+#define DOPPIO_DOPPIO_ERRORS_H
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace doppio {
+namespace rt {
+
+/// Unix errno subset used by the emulated OS services.
+enum class Errno {
+  Perm,  // EPERM
+  NoEnt,  // ENOENT
+  BadFd,  // EBADF
+  Access,  // EACCES
+  Exists,  // EEXIST
+  NotDir,  // ENOTDIR
+  IsDir,  // EISDIR
+  Invalid,  // EINVAL
+  NoSpace,  // ENOSPC
+  ReadOnlyFs,  // EROFS
+  NotEmpty,  // ENOTEMPTY
+  CrossDev,  // EXDEV
+  NotSup,  // ENOTSUP
+  Io,  // EIO
+  ConnRefused,  // ECONNREFUSED
+  NotConn,  // ENOTCONN
+};
+
+/// Returns the symbolic name ("ENOENT") for \p E.
+const char *errnoName(Errno E);
+
+/// An API error: an errno code plus the path or resource it concerns.
+struct ApiError {
+  Errno Code;
+  std::string Detail;
+
+  ApiError(Errno Code, std::string Detail = "")
+      : Code(Code), Detail(std::move(Detail)) {}
+
+  std::string message() const {
+    std::string Msg = errnoName(Code);
+    if (!Detail.empty())
+      Msg += ": " + Detail;
+    return Msg;
+  }
+};
+
+/// Holds either a value or an ApiError.
+template <typename T> class ErrorOr {
+public:
+  ErrorOr(T Value) : Storage(std::move(Value)) {}
+  ErrorOr(ApiError Err) : Storage(std::move(Err)) {}
+  ErrorOr(Errno Code, std::string Detail = "")
+      : Storage(ApiError(Code, std::move(Detail))) {}
+
+  bool ok() const { return std::holds_alternative<T>(Storage); }
+  explicit operator bool() const { return ok(); }
+
+  T &get() {
+    assert(ok() && "accessing value of failed ErrorOr");
+    return std::get<T>(Storage);
+  }
+  const T &get() const {
+    assert(ok() && "accessing value of failed ErrorOr");
+    return std::get<T>(Storage);
+  }
+  T &operator*() { return get(); }
+  const T &operator*() const { return get(); }
+  T *operator->() { return &get(); }
+  const T *operator->() const { return &get(); }
+
+  const ApiError &error() const {
+    assert(!ok() && "accessing error of successful ErrorOr");
+    return std::get<ApiError>(Storage);
+  }
+
+private:
+  std::variant<T, ApiError> Storage;
+};
+
+} // namespace rt
+} // namespace doppio
+
+#endif // DOPPIO_DOPPIO_ERRORS_H

@@ -1,0 +1,208 @@
+//===- doppio/fs.cpp ------------------------------------------------------==//
+
+#include "doppio/fs.h"
+
+using namespace doppio;
+using namespace doppio::rt;
+using namespace doppio::rt::fs;
+
+void FileSystem::open(const std::string &P, const std::string &Mode,
+                      ResultCb<FdPtr> Done) {
+  ++S.Operations;
+  std::optional<OpenFlags> Flags = OpenFlags::parse(Mode);
+  if (!Flags) {
+    Done(ApiError(Errno::Invalid, "bad open mode '" + Mode + "'"));
+    return;
+  }
+  std::string Path = standardize(P);
+  touch(Path);
+  Root->open(Path, *Flags, std::move(Done));
+}
+
+void FileSystem::stat(const std::string &P, ResultCb<Stats> Done) {
+  ++S.Operations;
+  Root->stat(standardize(P), std::move(Done));
+}
+
+void FileSystem::rename(const std::string &From, const std::string &To,
+                        CompletionCb Done) {
+  ++S.Operations;
+  Root->rename(standardize(From), standardize(To), std::move(Done));
+}
+
+void FileSystem::unlink(const std::string &P, CompletionCb Done) {
+  ++S.Operations;
+  Root->unlink(standardize(P), std::move(Done));
+}
+
+void FileSystem::mkdir(const std::string &P, CompletionCb Done) {
+  ++S.Operations;
+  Root->mkdir(standardize(P), std::move(Done));
+}
+
+void FileSystem::rmdir(const std::string &P, CompletionCb Done) {
+  ++S.Operations;
+  Root->rmdir(standardize(P), std::move(Done));
+}
+
+void FileSystem::readdir(const std::string &P,
+                         ResultCb<std::vector<std::string>> Done) {
+  ++S.Operations;
+  Root->readdir(standardize(P), std::move(Done));
+}
+
+void FileSystem::readFile(const std::string &P,
+                          ResultCb<std::vector<uint8_t>> Done) {
+  // Simulated over the core API: open -> stat -> read -> close.
+  open(P, "r", [this, Done = std::move(Done)](ErrorOr<FdPtr> R) {
+    if (!R) {
+      Done(R.error());
+      return;
+    }
+    FdPtr Fd = *R;
+    Fd->stat([this, Fd, Done](ErrorOr<Stats> SR) {
+      if (!SR) {
+        Done(SR.error());
+        return;
+      }
+      size_t Size = static_cast<size_t>(SR->SizeBytes);
+      auto Dst = std::make_shared<Buffer>(Env, Size);
+      Fd->read(*Dst, 0, Size, 0,
+               [this, Fd, Dst, Size, Done](ErrorOr<size_t> RR) {
+                 if (!RR) {
+                   Done(RR.error());
+                   return;
+                 }
+                 S.BytesRead += *RR;
+                 std::vector<uint8_t> Out(
+                     Dst->bytes().begin(),
+                     Dst->bytes().begin() + std::min(*RR, Size));
+                 Fd->close([Done, Out = std::move(Out)](
+                               std::optional<ApiError> CE) mutable {
+                   if (CE) {
+                     Done(*CE);
+                     return;
+                   }
+                   Done(std::move(Out));
+                 });
+               });
+    });
+  });
+}
+
+void FileSystem::writeFile(const std::string &P, std::vector<uint8_t> Data,
+                           CompletionCb Done) {
+  open(P, "w",
+       [this, Data = std::move(Data),
+        Done = std::move(Done)](ErrorOr<FdPtr> R) mutable {
+         if (!R) {
+           Done(R.error());
+           return;
+         }
+         FdPtr Fd = *R;
+         auto Src = std::make_shared<Buffer>(Env, std::move(Data));
+         size_t Len = Src->size();
+         Fd->write(*Src, 0, Len, 0,
+                   [this, Fd, Src, Done](ErrorOr<size_t> WR) {
+                     if (!WR) {
+                       Done(WR.error());
+                       return;
+                     }
+                     S.BytesWritten += *WR;
+                     Fd->close(Done);
+                   });
+       });
+}
+
+void FileSystem::appendFile(const std::string &P, std::vector<uint8_t> Data,
+                            CompletionCb Done) {
+  open(P, "a",
+       [this, Data = std::move(Data),
+        Done = std::move(Done)](ErrorOr<FdPtr> R) mutable {
+         if (!R) {
+           Done(R.error());
+           return;
+         }
+         FdPtr Fd = *R;
+         auto Src = std::make_shared<Buffer>(Env, std::move(Data));
+         size_t Len = Src->size();
+         Fd->write(*Src, 0, Len, 0,
+                   [this, Fd, Src, Done](ErrorOr<size_t> WR) {
+                     if (!WR) {
+                       Done(WR.error());
+                       return;
+                     }
+                     S.BytesWritten += *WR;
+                     Fd->close(Done);
+                   });
+       });
+}
+
+void FileSystem::exists(const std::string &P,
+                        std::function<void(bool)> Done) {
+  stat(P, [Done = std::move(Done)](ErrorOr<Stats> R) { Done(R.ok()); });
+}
+
+void FileSystem::mkdirp(const std::string &P, CompletionCb Done) {
+  std::string Path = standardize(P);
+  mkdir(Path, [this, Path, Done = std::move(Done)](
+                  std::optional<ApiError> Err) {
+    if (!Err || Err->Code == Errno::Exists) {
+      Done(std::nullopt);
+      return;
+    }
+    if (Err->Code != Errno::NoEnt || Path == "/") {
+      Done(Err);
+      return;
+    }
+    // Parent missing: create it, then retry.
+    mkdirp(path::dirname(Path),
+           [this, Path, Done](std::optional<ApiError> PErr) {
+             if (PErr) {
+               Done(PErr);
+               return;
+             }
+             mkdir(Path, [Done](std::optional<ApiError> Err2) {
+               if (Err2 && Err2->Code == Errno::Exists) {
+                 Done(std::nullopt);
+                 return;
+               }
+               Done(Err2);
+             });
+           });
+  });
+}
+
+void FileSystem::copyFile(const std::string &From, const std::string &To,
+                          CompletionCb Done) {
+  readFile(From, [this, To,
+                  Done = std::move(Done)](ErrorOr<std::vector<uint8_t>> R) {
+    if (!R) {
+      Done(R.error());
+      return;
+    }
+    writeFile(To, std::move(*R), Done);
+  });
+}
+
+void FileSystem::move(const std::string &From, const std::string &To,
+                      CompletionCb Done) {
+  rename(From, To,
+         [this, From, To, Done = std::move(Done)](
+             std::optional<ApiError> Err) {
+           if (!Err || Err->Code != Errno::CrossDev) {
+             Done(Err);
+             return;
+           }
+           // Crossing a mount: copy then delete (the "transferring files
+           // to different backends" use case of §5.1).
+           copyFile(From, To,
+                    [this, From, Done](std::optional<ApiError> CErr) {
+                      if (CErr) {
+                        Done(CErr);
+                        return;
+                      }
+                      unlink(From, Done);
+                    });
+         });
+}

@@ -1,0 +1,105 @@
+//===- doppio/fs.h - The unified fs module (§5.1) ----------------*- C++ -*-==//
+//
+// Part of the Doppio reproduction. See README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Doppio's emulation of the Node JS `fs` module: the unified asynchronous
+/// file system API that programs (and language runtimes like DoppioJVM)
+/// interact with. The frontend standardizes arguments (resolving paths
+/// against the process working directory), validates flags, and simulates
+/// the redundant convenience functions (readFile, writeFile, appendFile,
+/// exists) in terms of the nine core backend methods — "this service
+/// dramatically reduces the amount of logic that each file system needs to
+/// implement" (§5.1).
+///
+/// Only the asynchronous interface is guaranteed: synchronous JavaScript
+/// wrappers are impossible over asynchronous storage (§3.2). Guest
+/// languages get their synchronous API via suspend-and-resume (§4.2); see
+/// SyncFs in doppio/sync_fs.h.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DOPPIO_DOPPIO_FS_H
+#define DOPPIO_DOPPIO_FS_H
+
+#include "doppio/fs_backend.h"
+#include "doppio/process.h"
+
+#include <memory>
+
+namespace doppio {
+namespace rt {
+namespace fs {
+
+/// The Node-style fs frontend over a single root backend (commonly a
+/// MountableFileSystem).
+class FileSystem {
+public:
+  FileSystem(browser::BrowserEnv &Env, Process &Proc,
+             std::unique_ptr<FileSystemBackend> Root)
+      : Env(Env), Proc(Proc), Root(std::move(Root)) {}
+
+  FileSystemBackend &root() { return *Root; }
+  browser::BrowserEnv &env() { return Env; }
+
+  // Core API (paths may be relative; resolved against the process cwd).
+  void open(const std::string &P, const std::string &Mode,
+            ResultCb<FdPtr> Done);
+  void stat(const std::string &P, ResultCb<Stats> Done);
+  void rename(const std::string &From, const std::string &To,
+              CompletionCb Done);
+  void unlink(const std::string &P, CompletionCb Done);
+  void mkdir(const std::string &P, CompletionCb Done);
+  void rmdir(const std::string &P, CompletionCb Done);
+  void readdir(const std::string &P,
+               ResultCb<std::vector<std::string>> Done);
+
+  // Derived convenience API, simulated over the core methods (§5.1).
+  void readFile(const std::string &P, ResultCb<std::vector<uint8_t>> Done);
+  void writeFile(const std::string &P, std::vector<uint8_t> Data,
+                 CompletionCb Done);
+  void appendFile(const std::string &P, std::vector<uint8_t> Data,
+                  CompletionCb Done);
+  void exists(const std::string &P, std::function<void(bool)> Done);
+  /// Recursive mkdir -p.
+  void mkdirp(const std::string &P, CompletionCb Done);
+  /// Copy within or across backends (used for EXDEV rename fallback).
+  void copyFile(const std::string &From, const std::string &To,
+                CompletionCb Done);
+  /// rename, falling back to copy+unlink when crossing a mount (EXDEV).
+  void move(const std::string &From, const std::string &To,
+            CompletionCb Done);
+
+  /// Statistics used by the Figure 6 harness.
+  struct OpStats {
+    uint64_t Operations = 0;
+    uint64_t BytesRead = 0;
+    uint64_t BytesWritten = 0;
+    uint64_t UniqueFilesTouched = 0;
+  };
+  const OpStats &stats() const { return S; }
+  void resetStats() { S = OpStats(); Touched.clear(); }
+
+private:
+  std::string standardize(const std::string &P) const {
+    return Proc.resolve(P);
+  }
+  void touch(const std::string &P) {
+    if (Touched.insert(P).second)
+      ++S.UniqueFilesTouched;
+  }
+
+  browser::BrowserEnv &Env;
+  Process &Proc;
+  std::unique_ptr<FileSystemBackend> Root;
+  OpStats S;
+  std::set<std::string> Touched;
+};
+
+} // namespace fs
+} // namespace rt
+} // namespace doppio
+
+#endif // DOPPIO_DOPPIO_FS_H

@@ -1,0 +1,333 @@
+//===- doppio/fs_backend.cpp ----------------------------------------------==//
+
+#include "doppio/fs_backend.h"
+
+#include "doppio/path.h"
+
+#include <cassert>
+#include <sstream>
+
+using namespace doppio;
+using namespace doppio::rt;
+using namespace doppio::rt::fs;
+
+std::optional<OpenFlags> OpenFlags::parse(const std::string &Mode) {
+  OpenFlags F;
+  if (Mode == "r") {
+    F.Read = true;
+  } else if (Mode == "r+") {
+    F.Read = F.Write = true;
+  } else if (Mode == "w") {
+    F.Write = F.Create = F.Truncate = true;
+  } else if (Mode == "wx") {
+    F.Write = F.Create = F.Truncate = F.Exclusive = true;
+  } else if (Mode == "w+") {
+    F.Read = F.Write = F.Create = F.Truncate = true;
+  } else if (Mode == "a") {
+    F.Write = F.Create = F.Append = true;
+  } else if (Mode == "a+") {
+    F.Read = F.Write = F.Create = F.Append = true;
+  } else {
+    return std::nullopt;
+  }
+  return F;
+}
+
+FileDescriptor::~FileDescriptor() = default;
+
+void FileDescriptor::truncate(uint64_t, CompletionCb Done) {
+  Done(ApiError(Errno::NotSup, "truncate"));
+}
+
+FileSystemBackend::~FileSystemBackend() = default;
+
+void FileSystemBackend::chmod(const std::string &Path, uint32_t,
+                              CompletionCb Done) {
+  Done(ApiError(Errno::NotSup, Path));
+}
+
+void FileSystemBackend::chown(const std::string &Path, uint32_t, uint32_t,
+                              CompletionCb Done) {
+  Done(ApiError(Errno::NotSup, Path));
+}
+
+void FileSystemBackend::utimes(const std::string &Path, uint64_t,
+                               CompletionCb Done) {
+  Done(ApiError(Errno::NotSup, Path));
+}
+
+void FileSystemBackend::link(const std::string &, const std::string &Created,
+                             CompletionCb Done) {
+  Done(ApiError(Errno::NotSup, Created));
+}
+
+void FileSystemBackend::symlink(const std::string &,
+                                const std::string &Created,
+                                CompletionCb Done) {
+  Done(ApiError(Errno::NotSup, Created));
+}
+
+void FileSystemBackend::readlink(const std::string &Path,
+                                 ResultCb<std::string> Done) {
+  Done(ApiError(Errno::NotSup, Path));
+}
+
+//===----------------------------------------------------------------------===//
+// FileIndex
+//===----------------------------------------------------------------------===//
+
+FileIndex::FileIndex() {
+  Entries["/"] = {FileType::Directory, 0, 0};
+  Children["/"] = {};
+}
+
+bool FileIndex::addDir(const std::string &Path) {
+  if (Path == "/")
+    return true;
+  auto It = Entries.find(Path);
+  if (It != Entries.end())
+    return It->second.Type == FileType::Directory;
+  std::string Parent = path::dirname(Path);
+  if (!addDir(Parent))
+    return false;
+  Entries[Path] = {FileType::Directory, 0, 0};
+  Children[Path] = {};
+  Children[Parent].insert(path::basename(Path));
+  return true;
+}
+
+bool FileIndex::addFile(const std::string &Path, uint64_t SizeBytes,
+                        uint64_t MtimeNs) {
+  auto It = Entries.find(Path);
+  if (It != Entries.end()) {
+    if (It->second.Type != FileType::File)
+      return false;
+    It->second.SizeBytes = SizeBytes;
+    It->second.MtimeNs = MtimeNs;
+    return true;
+  }
+  std::string Parent = path::dirname(Path);
+  if (!addDir(Parent))
+    return false;
+  Entries[Path] = {FileType::File, SizeBytes, MtimeNs};
+  Children[Parent].insert(path::basename(Path));
+  return true;
+}
+
+bool FileIndex::remove(const std::string &Path) {
+  if (Path == "/")
+    return false;
+  auto It = Entries.find(Path);
+  if (It == Entries.end())
+    return false;
+  if (It->second.Type == FileType::Directory && !isEmptyDir(Path))
+    return false;
+  Entries.erase(It);
+  Children.erase(Path);
+  Children[path::dirname(Path)].erase(path::basename(Path));
+  return true;
+}
+
+bool FileIndex::exists(const std::string &Path) const {
+  return Entries.count(Path) != 0;
+}
+
+const FileIndex::Meta *FileIndex::lookup(const std::string &Path) const {
+  auto It = Entries.find(Path);
+  return It == Entries.end() ? nullptr : &It->second;
+}
+
+void FileIndex::setSize(const std::string &Path, uint64_t SizeBytes,
+                        uint64_t MtimeNs) {
+  auto It = Entries.find(Path);
+  assert(It != Entries.end() && "setSize on unknown path");
+  It->second.SizeBytes = SizeBytes;
+  It->second.MtimeNs = MtimeNs;
+}
+
+const std::set<std::string> *FileIndex::list(const std::string &Path) const {
+  auto It = Children.find(Path);
+  return It == Children.end() ? nullptr : &It->second;
+}
+
+bool FileIndex::isEmptyDir(const std::string &Path) const {
+  const std::set<std::string> *Kids = list(Path);
+  return Kids && Kids->empty();
+}
+
+std::vector<std::string> FileIndex::allFiles() const {
+  std::vector<std::string> Out;
+  for (const auto &[Path, Meta] : Entries)
+    if (Meta.Type == FileType::File)
+      Out.push_back(Path);
+  return Out;
+}
+
+std::vector<std::string> FileIndex::allDirs() const {
+  std::vector<std::string> Out;
+  for (const auto &[Path, Meta] : Entries)
+    if (Meta.Type == FileType::Directory && Path != "/")
+      Out.push_back(Path);
+  return Out;
+}
+
+std::string FileIndex::serialize() const {
+  std::ostringstream Out;
+  for (const auto &[Path, Meta] : Entries) {
+    if (Path == "/")
+      continue;
+    if (Meta.Type == FileType::Directory)
+      Out << "D " << Path << "\n";
+    else
+      Out << "F " << Meta.SizeBytes << " " << Meta.MtimeNs << " " << Path
+          << "\n";
+  }
+  return Out.str();
+}
+
+FileIndex FileIndex::deserialize(const std::string &Text) {
+  FileIndex Index;
+  std::istringstream In(Text);
+  std::string Line;
+  while (std::getline(In, Line)) {
+    if (Line.size() < 3)
+      continue;
+    if (Line[0] == 'D') {
+      Index.addDir(Line.substr(2));
+      continue;
+    }
+    if (Line[0] != 'F')
+      continue;
+    std::istringstream Fields(Line.substr(2));
+    uint64_t Size = 0, Mtime = 0;
+    Fields >> Size >> Mtime;
+    std::string Path;
+    std::getline(Fields, Path);
+    // Strip the single separating space.
+    if (!Path.empty() && Path.front() == ' ')
+      Path.erase(Path.begin());
+    if (!Path.empty())
+      Index.addFile(Path, Size, Mtime);
+  }
+  return Index;
+}
+
+//===----------------------------------------------------------------------===//
+// PreloadFile
+//===----------------------------------------------------------------------===//
+
+PreloadFile::PreloadFile(browser::BrowserEnv &Env, std::string Path,
+                         OpenFlags Flags, std::vector<uint8_t> InitContents,
+                         SyncFn Sync)
+    : Env(Env), FilePath(std::move(Path)), Flags(Flags),
+      Contents(Env, std::move(InitContents)), Size(Contents.size()),
+      Sync(std::move(Sync)) {
+  if (Flags.Truncate)
+    Size = 0;
+}
+
+void PreloadFile::read(Buffer &Dst, size_t DstOff, size_t Len, uint64_t Pos,
+                       ResultCb<size_t> Done) {
+  if (Closed) {
+    Done(ApiError(Errno::BadFd, FilePath));
+    return;
+  }
+  if (!Flags.Read) {
+    Done(ApiError(Errno::Access, FilePath));
+    return;
+  }
+  if (Pos >= Size) {
+    Done(static_cast<size_t>(0)); // EOF.
+    return;
+  }
+  size_t Avail = Size - static_cast<size_t>(Pos);
+  size_t N = std::min(Len, Avail);
+  N = Contents.copyTo(Dst, DstOff, static_cast<size_t>(Pos),
+                      static_cast<size_t>(Pos) + N);
+  Done(N);
+}
+
+void PreloadFile::write(const Buffer &Src, size_t SrcOff, size_t Len,
+                        uint64_t Pos, ResultCb<size_t> Done) {
+  if (Closed) {
+    Done(ApiError(Errno::BadFd, FilePath));
+    return;
+  }
+  if (!Flags.Write) {
+    Done(ApiError(Errno::Access, FilePath));
+    return;
+  }
+  if (Flags.Append)
+    Pos = Size;
+  size_t End = static_cast<size_t>(Pos) + Len;
+  if (End > Contents.size()) {
+    // Grow the backing buffer geometrically.
+    size_t NewCap = std::max(End, Contents.size() * 2 + 16);
+    Buffer Grown(Env, NewCap);
+    Contents.copyTo(Grown, 0, 0, Size);
+    Contents = std::move(Grown);
+  }
+  Src.copyTo(Contents, static_cast<size_t>(Pos), SrcOff, SrcOff + Len);
+  Size = std::max(Size, End);
+  Dirty = true;
+  Done(Len);
+}
+
+void PreloadFile::stat(ResultCb<Stats> Done) {
+  Stats S;
+  S.Type = FileType::File;
+  S.SizeBytes = Size;
+  S.MtimeNs = Env.clock().nowNs();
+  Done(S);
+}
+
+void PreloadFile::sync(CompletionCb Done) {
+  if (Closed) {
+    Done(ApiError(Errno::BadFd, FilePath));
+    return;
+  }
+  if (!Dirty) {
+    Done(std::nullopt);
+    return;
+  }
+  std::vector<uint8_t> Snapshot(Contents.bytes().begin(),
+                                Contents.bytes().begin() + Size);
+  auto Self = shared_from_this();
+  Sync(FilePath, Snapshot, [Self, Done](std::optional<ApiError> Err) {
+    if (!Err)
+      Self->Dirty = false;
+    Done(Err);
+  });
+}
+
+void PreloadFile::close(CompletionCb Done) {
+  if (Closed) {
+    Done(ApiError(Errno::BadFd, FilePath));
+    return;
+  }
+  // Sync-on-close (§5.1).
+  auto Self = shared_from_this();
+  sync([Self, Done](std::optional<ApiError> Err) {
+    Self->Closed = true;
+    Done(Err);
+  });
+}
+
+void PreloadFile::truncate(uint64_t NewSize, CompletionCb Done) {
+  if (Closed) {
+    Done(ApiError(Errno::BadFd, FilePath));
+    return;
+  }
+  if (!Flags.Write) {
+    Done(ApiError(Errno::Access, FilePath));
+    return;
+  }
+  if (NewSize > Size) {
+    Buffer Grown(Env, static_cast<size_t>(NewSize));
+    Contents.copyTo(Grown, 0, 0, Size);
+    Contents = std::move(Grown);
+  }
+  Size = static_cast<size_t>(NewSize);
+  Dirty = true;
+  Done(std::nullopt);
+}

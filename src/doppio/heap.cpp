@@ -1,0 +1,224 @@
+//===- doppio/heap.cpp ----------------------------------------------------==//
+
+#include "doppio/heap.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+using namespace doppio;
+using namespace doppio::rt;
+
+UnmanagedHeap::UnmanagedHeap(browser::BrowserEnv &Env, uint32_t SizeBytes)
+    : Env(Env), Words((SizeBytes + 3) / 4, 0),
+      TypedArrayBacked(Env.profile().HasTypedArrays) {
+  assert(Words.size() >= 2 && "heap too small");
+  // Word 0 is reserved so that no allocation gets byte address 0.
+  FreeList.push_back({1, static_cast<uint32_t>(Words.size() - 1)});
+  if (TypedArrayBacked)
+    Env.noteTypedArrayAlloc(Words.size() * 4);
+}
+
+UnmanagedHeap::~UnmanagedHeap() {
+  if (TypedArrayBacked)
+    Env.noteTypedArrayFree(Words.size() * 4);
+}
+
+void UnmanagedHeap::chargeAccess(uint32_t NumBytes) const {
+  // Without typed arrays every access decodes/encodes numbers through
+  // arithmetic on boxed doubles (§5.2).
+  uint64_t PerByte = TypedArrayBacked ? 1 : 8;
+  Env.chargeCompute(PerByte * NumBytes + 3);
+}
+
+UnmanagedHeap::Addr UnmanagedHeap::malloc(uint32_t NumBytes) {
+  if (NumBytes == 0)
+    NumBytes = 4;
+  uint32_t PayloadWords = (NumBytes + 3) / 4;
+  uint32_t NeedWords = PayloadWords + 1; // Header + payload.
+  // First fit (§5.2).
+  for (size_t I = 0, E = FreeList.size(); I != E; ++I) {
+    FreeBlock &B = FreeList[I];
+    if (B.SizeWords < NeedWords)
+      continue;
+    uint32_t Offset = B.OffsetWords;
+    uint32_t Remainder = B.SizeWords - NeedWords;
+    if (Remainder > 0) {
+      B.OffsetWords += NeedWords;
+      B.SizeWords = Remainder;
+    } else {
+      FreeList.erase(FreeList.begin() + I);
+    }
+    Words[Offset] = static_cast<int32_t>(PayloadWords);
+    ++LiveBlocks;
+    LiveBytes += PayloadWords * 4;
+    Env.chargeCompute(20 + 2 * I); // First-fit scan cost.
+    return (Offset + 1) * 4;
+  }
+  return 0; // Out of heap.
+}
+
+void UnmanagedHeap::free(Addr A) {
+  if (A == 0)
+    return;
+  assert(A % 4 == 0 && A / 4 >= 1 && A / 4 < Words.size() &&
+         "free of invalid address");
+  uint32_t HeaderWord = A / 4 - 1;
+  uint32_t PayloadWords = static_cast<uint32_t>(Words[HeaderWord]);
+  assert(PayloadWords > 0 &&
+         HeaderWord + 1 + PayloadWords <= Words.size() &&
+         "corrupt allocation header (double free?)");
+  FreeBlock Released = {HeaderWord, PayloadWords + 1};
+  // Insert into the sorted free list.
+  auto Pos = std::lower_bound(FreeList.begin(), FreeList.end(), Released,
+                              [](const FreeBlock &X, const FreeBlock &Y) {
+                                return X.OffsetWords < Y.OffsetWords;
+                              });
+  assert((Pos == FreeList.end() ||
+          Released.OffsetWords + Released.SizeWords <= Pos->OffsetWords) &&
+         "freed block overlaps a free block (double free?)");
+  assert((Pos == FreeList.begin() ||
+          (Pos - 1)->OffsetWords + (Pos - 1)->SizeWords <=
+              Released.OffsetWords) &&
+         "freed block overlaps a free block (double free?)");
+  Pos = FreeList.insert(Pos, Released);
+  // Coalesce with the successor, then the predecessor.
+  if (Pos + 1 != FreeList.end() &&
+      Pos->OffsetWords + Pos->SizeWords == (Pos + 1)->OffsetWords) {
+    Pos->SizeWords += (Pos + 1)->SizeWords;
+    Pos = FreeList.erase(Pos + 1) - 1;
+  }
+  if (Pos != FreeList.begin() &&
+      (Pos - 1)->OffsetWords + (Pos - 1)->SizeWords == Pos->OffsetWords) {
+    (Pos - 1)->SizeWords += Pos->SizeWords;
+    FreeList.erase(Pos);
+  }
+  Words[HeaderWord] = 0;
+  --LiveBlocks;
+  LiveBytes -= PayloadWords * 4;
+  Env.chargeCompute(24);
+}
+
+uint32_t UnmanagedHeap::freeBytes() const {
+  uint32_t Total = 0;
+  for (const FreeBlock &B : FreeList)
+    if (B.SizeWords > 1)
+      Total += (B.SizeWords - 1) * 4;
+  return Total;
+}
+
+uint32_t UnmanagedHeap::freeBlockCount() const {
+  return static_cast<uint32_t>(FreeList.size());
+}
+
+bool UnmanagedHeap::checkInvariants() const {
+  uint32_t PrevEnd = 1; // Word 0 is reserved.
+  for (const FreeBlock &B : FreeList) {
+    if (B.OffsetWords < PrevEnd)
+      return false; // Overlap with the previous block, or unsorted.
+    if (B.SizeWords == 0)
+      return false;
+    if (B.OffsetWords + B.SizeWords > Words.size())
+      return false;
+    PrevEnd = B.OffsetWords + B.SizeWords;
+  }
+  // Coalescing: no free block may start exactly where the previous ends.
+  for (size_t I = 1; I < FreeList.size(); ++I)
+    if (FreeList[I - 1].OffsetWords + FreeList[I - 1].SizeWords ==
+        FreeList[I].OffsetWords)
+      return false;
+  return true;
+}
+
+void UnmanagedHeap::writeBytes(Addr A, const uint8_t *Src, uint32_t Len) {
+  assert(A >= 4 && A + Len <= Words.size() * 4 && "heap write out of range");
+  chargeAccess(Len);
+  for (uint32_t I = 0; I != Len; ++I) {
+    uint32_t Byte = A + I;
+    uint32_t WordIdx = Byte >> 2;
+    uint32_t Lane = (Byte & 3) * 8; // Little endian (§5.2).
+    uint32_t W = static_cast<uint32_t>(Words[WordIdx]);
+    W = (W & ~(0xFFu << Lane)) | (static_cast<uint32_t>(Src[I]) << Lane);
+    Words[WordIdx] = static_cast<int32_t>(W);
+  }
+}
+
+void UnmanagedHeap::readBytes(Addr A, uint8_t *Dst, uint32_t Len) const {
+  assert(A >= 4 && A + Len <= Words.size() * 4 && "heap read out of range");
+  chargeAccess(Len);
+  for (uint32_t I = 0; I != Len; ++I) {
+    uint32_t Byte = A + I;
+    uint32_t WordIdx = Byte >> 2;
+    uint32_t Lane = (Byte & 3) * 8;
+    Dst[I] = static_cast<uint8_t>(
+        (static_cast<uint32_t>(Words[WordIdx]) >> Lane) & 0xFF);
+  }
+}
+
+void UnmanagedHeap::writeInt8(Addr A, int8_t V) {
+  uint8_t Byte = static_cast<uint8_t>(V);
+  writeBytes(A, &Byte, 1);
+}
+
+int8_t UnmanagedHeap::readInt8(Addr A) const {
+  uint8_t Byte;
+  readBytes(A, &Byte, 1);
+  return static_cast<int8_t>(Byte);
+}
+
+void UnmanagedHeap::writeInt16(Addr A, int16_t V) {
+  uint16_t U = static_cast<uint16_t>(V);
+  uint8_t B[2] = {static_cast<uint8_t>(U), static_cast<uint8_t>(U >> 8)};
+  writeBytes(A, B, 2);
+}
+
+int16_t UnmanagedHeap::readInt16(Addr A) const {
+  uint8_t B[2];
+  readBytes(A, B, 2);
+  return static_cast<int16_t>(B[0] | (B[1] << 8));
+}
+
+void UnmanagedHeap::writeInt32(Addr A, int32_t V) {
+  uint32_t U = static_cast<uint32_t>(V);
+  uint8_t B[4] = {static_cast<uint8_t>(U), static_cast<uint8_t>(U >> 8),
+                  static_cast<uint8_t>(U >> 16),
+                  static_cast<uint8_t>(U >> 24)};
+  writeBytes(A, B, 4);
+}
+
+int32_t UnmanagedHeap::readInt32(Addr A) const {
+  uint8_t B[4];
+  readBytes(A, B, 4);
+  return static_cast<int32_t>(static_cast<uint32_t>(B[0]) |
+                              (static_cast<uint32_t>(B[1]) << 8) |
+                              (static_cast<uint32_t>(B[2]) << 16) |
+                              (static_cast<uint32_t>(B[3]) << 24));
+}
+
+void UnmanagedHeap::writeInt64(Addr A, int64_t V) {
+  uint64_t U = static_cast<uint64_t>(V);
+  writeInt32(A, static_cast<int32_t>(U & 0xFFFFFFFF));
+  writeInt32(A + 4, static_cast<int32_t>(U >> 32));
+}
+
+int64_t UnmanagedHeap::readInt64(Addr A) const {
+  uint64_t Lo = static_cast<uint32_t>(readInt32(A));
+  uint64_t Hi = static_cast<uint32_t>(readInt32(A + 4));
+  return static_cast<int64_t>(Lo | (Hi << 32));
+}
+
+void UnmanagedHeap::writeFloat(Addr A, float V) {
+  writeInt32(A, std::bit_cast<int32_t>(V));
+}
+
+float UnmanagedHeap::readFloat(Addr A) const {
+  return std::bit_cast<float>(readInt32(A));
+}
+
+void UnmanagedHeap::writeDouble(Addr A, double V) {
+  writeInt64(A, std::bit_cast<int64_t>(V));
+}
+
+double UnmanagedHeap::readDouble(Addr A) const {
+  return std::bit_cast<double>(readInt64(A));
+}

@@ -1,0 +1,114 @@
+//===- doppio/heap.h - The unmanaged heap (§5.2) ------------------*- C++ -*-==//
+//
+// Part of the Doppio reproduction. See README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Doppio emulates the unmanaged heap with "a straightforward first-fit
+/// memory allocator that operates on JavaScript arrays. Each element in the
+/// array is a 32-bit signed integer" (§5.2). Data written to the heap is
+/// converted into 32-bit little-endian chunks (copied in and out, so updates
+/// must be kept in sync by the language). When typed arrays are available,
+/// the heap uses an ArrayBuffer instead, making numeric conversions cheap —
+/// the cost model reflects both paths, and the typed-array path registers
+/// with the environment's memory accounting.
+///
+/// Managed languages reach this through sun.misc.Unsafe (§6.5); unmanaged
+/// languages use it as their malloc/free arena.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DOPPIO_DOPPIO_HEAP_H
+#define DOPPIO_DOPPIO_HEAP_H
+
+#include "browser/env.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace doppio {
+namespace rt {
+
+/// First-fit allocator over a 32-bit-integer array.
+class UnmanagedHeap {
+public:
+  /// A byte address within the heap. Address 0 is never a valid
+  /// allocation (it plays NULL's role).
+  using Addr = uint32_t;
+
+  /// Creates a heap of \p SizeBytes (rounded up to a multiple of 4).
+  UnmanagedHeap(browser::BrowserEnv &Env, uint32_t SizeBytes);
+  ~UnmanagedHeap();
+
+  UnmanagedHeap(const UnmanagedHeap &) = delete;
+  UnmanagedHeap &operator=(const UnmanagedHeap &) = delete;
+
+  /// Allocates \p NumBytes (rounded up to 4). Returns 0 when no block fits.
+  Addr malloc(uint32_t NumBytes);
+
+  /// Frees a block returned by malloc. Freeing 0 is a no-op; freeing an
+  /// address that is not a live allocation asserts.
+  void free(Addr A);
+
+  // Copy-in / copy-out accessors (§5.2: data is converted to and from the
+  // 32-bit chunks, so heap contents are copies).
+  void writeBytes(Addr A, const uint8_t *Src, uint32_t Len);
+  void readBytes(Addr A, uint8_t *Dst, uint32_t Len) const;
+
+  void writeInt8(Addr A, int8_t V);
+  int8_t readInt8(Addr A) const;
+  void writeInt16(Addr A, int16_t V);
+  int16_t readInt16(Addr A) const;
+  void writeInt32(Addr A, int32_t V);
+  int32_t readInt32(Addr A) const;
+  /// 64-bit values occupy two consecutive 32-bit chunks (little endian).
+  void writeInt64(Addr A, int64_t V);
+  int64_t readInt64(Addr A) const;
+  void writeFloat(Addr A, float V);
+  float readFloat(Addr A) const;
+  void writeDouble(Addr A, double V);
+  double readDouble(Addr A) const;
+
+  uint32_t sizeBytes() const {
+    return static_cast<uint32_t>(Words.size() * 4);
+  }
+  /// Total bytes currently handed out to live allocations (payloads only).
+  uint32_t allocatedBytes() const { return LiveBytes; }
+  /// Number of live allocations.
+  uint32_t allocationCount() const { return LiveBlocks; }
+  /// Bytes available in the free list (payload capacity).
+  uint32_t freeBytes() const;
+  /// Number of free-list blocks (exposes coalescing behaviour to tests).
+  uint32_t freeBlockCount() const;
+
+  /// Checks allocator invariants: free blocks are sorted, non-overlapping,
+  /// non-adjacent (fully coalesced), and within bounds. Returns true when
+  /// consistent. Used by property tests.
+  bool checkInvariants() const;
+
+  /// True if this heap is backed by a typed array (ArrayBuffer).
+  bool usesTypedArray() const { return TypedArrayBacked; }
+
+private:
+  struct FreeBlock {
+    uint32_t OffsetWords; // Index into Words.
+    uint32_t SizeWords;   // Includes the header word.
+  };
+
+  void chargeAccess(uint32_t NumBytes) const;
+
+  browser::BrowserEnv &Env;
+  /// The storage array: "each element is a 32-bit signed integer" (§5.2).
+  std::vector<int32_t> Words;
+  /// Sorted, coalesced free list.
+  std::vector<FreeBlock> FreeList;
+  bool TypedArrayBacked;
+  uint32_t LiveBytes = 0;
+  uint32_t LiveBlocks = 0;
+};
+
+} // namespace rt
+} // namespace doppio
+
+#endif // DOPPIO_DOPPIO_HEAP_H

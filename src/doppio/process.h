@@ -1,0 +1,89 @@
+//===- doppio/process.h - Node process module emulation ----------*- C++ -*-==//
+//
+// Part of the Doppio reproduction. See README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Doppio emulates the slice of Node's `process` module that programs rely
+/// on for resolving relative paths: the current working directory (§5.1).
+/// Standard-stream redirection hooks live here too, since the embedding API
+/// of §6.8 lets a page capture a guest program's stdout/stderr.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DOPPIO_DOPPIO_PROCESS_H
+#define DOPPIO_DOPPIO_PROCESS_H
+
+#include "doppio/path.h"
+
+#include <functional>
+#include <string>
+
+namespace doppio {
+namespace rt {
+
+/// Per-program process state.
+class Process {
+public:
+  const std::string &cwd() const { return Cwd; }
+
+  /// Changes the working directory; \p NewCwd may be relative to the
+  /// current one. Returns the normalized absolute result.
+  const std::string &chdir(const std::string &NewCwd) {
+    Cwd = path::resolve(Cwd, NewCwd);
+    return Cwd;
+  }
+
+  /// Resolves \p P against the working directory.
+  std::string resolve(const std::string &P) const {
+    return path::resolve(Cwd, P);
+  }
+
+  /// Output sinks; default to accumulating into strings (§6.8's optional
+  /// custom stdout/stderr redirection).
+  void setStdout(std::function<void(const std::string &)> Sink) {
+    StdoutSink = std::move(Sink);
+  }
+  void setStderr(std::function<void(const std::string &)> Sink) {
+    StderrSink = std::move(Sink);
+  }
+
+  void writeStdout(const std::string &Text) {
+    if (StdoutSink)
+      StdoutSink(Text);
+    else
+      StdoutBuffer += Text;
+  }
+  void writeStderr(const std::string &Text) {
+    if (StderrSink)
+      StderrSink(Text);
+    else
+      StderrBuffer += Text;
+  }
+
+  const std::string &capturedStdout() const { return StdoutBuffer; }
+  const std::string &capturedStderr() const { return StderrBuffer; }
+
+  /// Supplies a line of standard input (the §6.8 stdin redirection).
+  void pushStdin(const std::string &Line) { StdinLines.push_back(Line); }
+  bool hasStdin() const { return !StdinLines.empty(); }
+  std::string popStdin() {
+    std::string Line = StdinLines.front();
+    StdinLines.erase(StdinLines.begin());
+    return Line;
+  }
+
+private:
+  std::string Cwd = "/";
+  std::function<void(const std::string &)> StdoutSink;
+  std::function<void(const std::string &)> StderrSink;
+  std::string StdoutBuffer;
+  std::string StderrBuffer;
+  std::vector<std::string> StdinLines;
+};
+
+} // namespace rt
+} // namespace doppio
+
+#endif // DOPPIO_DOPPIO_PROCESS_H

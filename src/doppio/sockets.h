@@ -1,0 +1,121 @@
+//===- doppio/sockets.h - Unix socket API over WebSockets (§5.3) -*- C++ -*-==//
+//
+// Part of the Doppio reproduction. See README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Doppio "resolves the client side of the issue by emulating a Unix socket
+/// API in terms of WebSocket functionality" (§5.3). Browsers only allow
+/// *outgoing* connections, so this API has connect but no listen/accept;
+/// the server side of the gap is covered by the websockify wrapper
+/// (browser/websocket.h). Received frames queue until the guest asks for
+/// them; a pending recv completes as soon as data arrives, which is how the
+/// JVM's blocking socket reads are built (§6.3 + §4.2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DOPPIO_DOPPIO_SOCKETS_H
+#define DOPPIO_DOPPIO_SOCKETS_H
+
+#include "browser/websocket.h"
+#include "doppio/errors.h"
+#include "doppio/fs_types.h"
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+namespace doppio {
+namespace rt {
+
+/// A client socket with Unix-style semantics over a WebSocket.
+class DoppioSocket {
+public:
+  explicit DoppioSocket(browser::BrowserEnv &Env)
+      : Env(Env), Ws(Env.net(), Env.profile()) {
+    Ws.setOnMessage([this](std::vector<uint8_t> Frame) {
+      RecvQueue.push_back(std::move(Frame));
+      drainRecv();
+    });
+    Ws.setOnClose([this] {
+      Closed = true;
+      drainRecv();
+    });
+  }
+
+  /// Connects to \p Port (via the WebSocket handshake, or the Flash shim
+  /// on browsers without WebSockets).
+  void connect(uint16_t Port, fs::CompletionCb Done) {
+    Ws.connect(Port, [this, Done = std::move(Done)](bool Ok) {
+      Connected = Ok;
+      if (Ok)
+        Done(std::nullopt);
+      else
+        Done(ApiError(Errno::ConnRefused, "connect"));
+    });
+  }
+
+  /// Sends one message (mapped onto a single WebSocket data frame).
+  void send(std::vector<uint8_t> Data, fs::CompletionCb Done) {
+    if (!Connected || Closed) {
+      Done(ApiError(Errno::NotConn, "send"));
+      return;
+    }
+    BytesSent += Data.size();
+    Ws.sendBinary(std::move(Data));
+    Done(std::nullopt);
+  }
+
+  /// Receives the next message. Completes immediately if data is queued;
+  /// otherwise completes when data arrives. An empty result means EOF.
+  void recv(fs::ResultCb<std::vector<uint8_t>> Done) {
+    PendingRecvs.push_back(std::move(Done));
+    drainRecv();
+  }
+
+  void close() {
+    Closed = true;
+    Ws.close();
+    drainRecv();
+  }
+
+  bool isConnected() const { return Connected && !Closed; }
+  uint64_t bytesSent() const { return BytesSent; }
+  bool usedFlashShim() const { return Ws.usedFlashShim(); }
+
+private:
+  void drainRecv() {
+    while (!PendingRecvs.empty()) {
+      if (!RecvQueue.empty()) {
+        auto Done = std::move(PendingRecvs.front());
+        PendingRecvs.pop_front();
+        std::vector<uint8_t> Frame = std::move(RecvQueue.front());
+        RecvQueue.pop_front();
+        Done(std::move(Frame));
+        continue;
+      }
+      if (Closed) {
+        auto Done = std::move(PendingRecvs.front());
+        PendingRecvs.pop_front();
+        Done(std::vector<uint8_t>()); // EOF.
+        continue;
+      }
+      break; // Wait for more data.
+    }
+  }
+
+  browser::BrowserEnv &Env;
+  browser::WebSocketClient Ws;
+  bool Connected = false;
+  bool Closed = false;
+  uint64_t BytesSent = 0;
+  std::deque<std::vector<uint8_t>> RecvQueue;
+  std::deque<fs::ResultCb<std::vector<uint8_t>>> PendingRecvs;
+};
+
+} // namespace rt
+} // namespace doppio
+
+#endif // DOPPIO_DOPPIO_SOCKETS_H

@@ -1,0 +1,128 @@
+//===- doppio/suspend.cpp -------------------------------------------------==//
+
+#include "doppio/suspend.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace doppio;
+using namespace doppio::rt;
+
+const char *rt::resumeMechanismName(ResumeMechanism M) {
+  switch (M) {
+  case ResumeMechanism::SetTimeout:
+    return "setTimeout";
+  case ResumeMechanism::SendMessage:
+    return "sendMessage";
+  case ResumeMechanism::SetImmediate:
+    return "setImmediate";
+  }
+  return "?";
+}
+
+ResumeMechanism rt::chooseResumeMechanism(const browser::Profile &P) {
+  if (P.HasSetImmediate)
+    return ResumeMechanism::SetImmediate;
+  if (!P.SendMessageSynchronous)
+    return ResumeMechanism::SendMessage;
+  // IE8: sendMessage dispatches synchronously, so it cannot yield the
+  // JavaScript thread; fall back to setTimeout and eat the 4 ms clamp.
+  return ResumeMechanism::SetTimeout;
+}
+
+Suspender::Suspender(browser::BrowserEnv &Env)
+    : Env(Env), Mechanism(chooseResumeMechanism(Env.profile())),
+      TimeSliceNs(browser::msToNs(10)) {
+  SliceStartNs = Env.clock().nowNs();
+}
+
+void Suspender::scheduleResumption(std::function<void()> Resume) {
+  uint64_t Id = NextResumptionId++;
+  uint64_t SuspendedAt = Env.clock().nowNs();
+  PendingResumptions[Id] = [this, SuspendedAt,
+                            Resume = std::move(Resume)] {
+    SuspendedNs += Env.clock().nowNs() - SuspendedAt;
+    ++Resumptions;
+    beginSlice();
+    Resume();
+  };
+  dispatchViaMechanism(Id);
+}
+
+void Suspender::dispatchViaMechanism(uint64_t Id) {
+  auto Runner = [this, Id] {
+    auto It = PendingResumptions.find(Id);
+    if (It == PendingResumptions.end())
+      return;
+    std::function<void()> Fn = std::move(It->second);
+    PendingResumptions.erase(It);
+    Fn();
+  };
+  switch (Mechanism) {
+  case ResumeMechanism::SetImmediate: {
+    bool Ok = Env.loop().trySetImmediate(Runner);
+    assert(Ok && "setImmediate chosen on a browser without it");
+    (void)Ok;
+    return;
+  }
+  case ResumeMechanism::SendMessage: {
+    if (!HandlerRegistered) {
+      // One global handler demultiplexes by the unique string ID (§4.4).
+      Env.channel().setOnMessage([this](const js::String &Msg) {
+        std::string Text = js::toAscii(Msg);
+        const std::string Prefix = "doppio-resume:";
+        if (Text.compare(0, Prefix.size(), Prefix) != 0)
+          return;
+        uint64_t MsgId = std::stoull(Text.substr(Prefix.size()));
+        auto It = PendingResumptions.find(MsgId);
+        if (It == PendingResumptions.end())
+          return;
+        std::function<void()> Fn = std::move(It->second);
+        PendingResumptions.erase(It);
+        Fn();
+      });
+      HandlerRegistered = true;
+    }
+    Env.channel().post(
+        js::fromAscii("doppio-resume:" + std::to_string(Id)));
+    return;
+  }
+  case ResumeMechanism::SetTimeout:
+    Env.loop().setTimeout(Runner, 0);
+    return;
+  }
+}
+
+bool Suspender::shouldSuspend() {
+  if (Counter > 1) {
+    --Counter;
+    return false;
+  }
+  // Counter hit zero: measure how long this countdown took and update the
+  // cumulative moving average of per-check cost (§4.1).
+  uint64_t Now = Env.clock().nowNs();
+  uint64_t ElapsedNs = Now - SliceStartNs;
+  double NsPerCheck =
+      static_cast<double>(ElapsedNs) / static_cast<double>(CounterTarget);
+  CmaCheckNs = (CmaCheckNs * static_cast<double>(CmaSamples) + NsPerCheck) /
+               static_cast<double>(CmaSamples + 1);
+  ++CmaSamples;
+  if (FixedCounter) {
+    // Ablation mode: no adaptation.
+    CounterTarget = FixedCounter;
+  } else {
+    double Target = CmaCheckNs > 0.0
+                        ? static_cast<double>(TimeSliceNs) / CmaCheckNs
+                        : static_cast<double>(CounterTarget) * 2.0;
+    CounterTarget = static_cast<uint64_t>(
+        std::clamp(Target, 64.0, 64.0 * 1024.0 * 1024.0));
+  }
+  Counter = CounterTarget;
+  SliceStartNs = Now;
+  return true;
+}
+
+void Suspender::beginSlice() {
+  Counter = CounterTarget;
+  SliceStartNs = Env.clock().nowNs();
+}

@@ -1,0 +1,132 @@
+//===- doppio/suspend.h - Suspend-and-resume (§4.1, §4.4) --------*- C++ -*-==//
+//
+// Part of the Doppio reproduction. See README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The heart of Doppio's execution environment: the *suspend-and-resume*
+/// mechanism that lets a running program save itself to the heap, yield the
+/// JavaScript thread so queued events (user input!) can run, and continue
+/// from a *resumption callback* later.
+///
+/// Two pieces live here:
+///
+///  - Resumption scheduling (§4.4): choosing the fastest browser mechanism
+///    able to place the resumption callback at the back of the event queue —
+///    setImmediate where available (IE10), the sendMessage channel with a
+///    string-ID-to-callback map elsewhere, and setTimeout (with its 4 ms
+///    clamp) on IE8 where sendMessage is synchronous.
+///
+///  - The adaptive suspend counter (§4.1): the language implementation
+///    calls shouldSuspend() at its check points; a counter decrements to 0,
+///    at which point Doppio measures how long the countdown took, updates a
+///    cumulative moving average of the check rate, and sizes the next
+///    counter so one countdown spans the configured time slice.
+///
+/// Suspension time is tracked (scheduled -> resumed), which is the data
+/// behind Figure 5.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DOPPIO_DOPPIO_SUSPEND_H
+#define DOPPIO_DOPPIO_SUSPEND_H
+
+#include "browser/env.h"
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+namespace doppio {
+namespace rt {
+
+/// The browser primitives usable for scheduling a resumption (§4.4).
+enum class ResumeMechanism { SetTimeout, SendMessage, SetImmediate };
+
+const char *resumeMechanismName(ResumeMechanism M);
+
+/// Selects the best resumption mechanism for \p P, per §4.4: setImmediate
+/// if present; otherwise sendMessage unless it dispatches synchronously
+/// (IE8); otherwise setTimeout.
+ResumeMechanism chooseResumeMechanism(const browser::Profile &P);
+
+/// Suspend-and-resume services for one program.
+class Suspender {
+public:
+  explicit Suspender(browser::BrowserEnv &Env);
+
+  /// Overrides the mechanism (used by the §4.4 ablation benchmark).
+  void forceMechanism(ResumeMechanism M) { Mechanism = M; }
+  ResumeMechanism mechanism() const { return Mechanism; }
+
+  /// Ablation of §4.1's adaptive counter: pins the countdown to a fixed
+  /// value instead of deriving it from the cumulative moving average.
+  /// Pass 0 to restore adaptation.
+  void forceFixedCounter(uint64_t Count) {
+    FixedCounter = Count;
+    if (Count) {
+      CounterTarget = Count;
+      Counter = Count;
+    }
+  }
+
+  /// Schedules \p Resume to run as a fresh event at the back of the queue.
+  /// The time between this call and the callback running is accounted as
+  /// suspension time (Figure 5).
+  void scheduleResumption(std::function<void()> Resume);
+
+  /// Sets the target duration of one execution slice (default 10 ms — the
+  /// event must stay well under the watchdog limit while staying long
+  /// enough to amortize resumption latency).
+  void setTimeSliceNs(uint64_t Ns) { TimeSliceNs = Ns; }
+  uint64_t timeSliceNs() const { return TimeSliceNs; }
+
+  /// The language implementation's periodic check (§4.1): decrements the
+  /// counter; when it reaches zero, re-derives the counter from the
+  /// cumulative moving average of check cost and returns true — the
+  /// program should suspend now.
+  bool shouldSuspend();
+
+  /// Resets the countdown measurement window; called when a fresh slice
+  /// begins (after resumption).
+  void beginSlice();
+
+  // Figure 5 accounting.
+  uint64_t totalSuspendedNs() const { return SuspendedNs; }
+  uint64_t resumptionCount() const { return Resumptions; }
+  /// Average virtual nanoseconds between suspend checks (the CMA of §4.1).
+  double avgCheckIntervalNs() const { return CmaCheckNs; }
+  uint64_t currentCounterTarget() const { return CounterTarget; }
+
+private:
+  void dispatchViaMechanism(uint64_t Id);
+
+  browser::BrowserEnv &Env;
+  ResumeMechanism Mechanism;
+
+  // Resumption-callback registry: sendMessage carries only strings, so
+  // callbacks are mapped from unique IDs (§4.4).
+  std::map<uint64_t, std::function<void()>> PendingResumptions;
+  uint64_t NextResumptionId = 1;
+  bool HandlerRegistered = false;
+
+  // Adaptive counter state (§4.1).
+  uint64_t FixedCounter = 0; // Nonzero disables adaptation (ablation).
+  uint64_t TimeSliceNs;
+  uint64_t CounterTarget = 1000;
+  uint64_t Counter = 1000;
+  uint64_t SliceStartNs = 0;
+  double CmaCheckNs = 0.0;
+  uint64_t CmaSamples = 0;
+
+  // Accounting.
+  uint64_t SuspendedNs = 0;
+  uint64_t Resumptions = 0;
+};
+
+} // namespace rt
+} // namespace doppio
+
+#endif // DOPPIO_DOPPIO_SUSPEND_H

@@ -1,0 +1,105 @@
+//===- doppio/threads.cpp -------------------------------------------------==//
+
+#include "doppio/threads.h"
+
+#include <cassert>
+
+using namespace doppio;
+using namespace doppio::rt;
+
+GuestThread::~GuestThread() = default;
+
+ThreadPool::ThreadId ThreadPool::spawn(std::unique_ptr<GuestThread> Thread) {
+  Threads.push_back({std::move(Thread), ThreadState::Ready});
+  ThreadId Id = static_cast<ThreadId>(Threads.size() - 1);
+  pump();
+  return Id;
+}
+
+void ThreadPool::unblock(ThreadId Id) {
+  assert(Id < Threads.size() && "bad thread id");
+  Entry &E = Threads[Id];
+  if (E.State == ThreadState::Running) {
+    // The asynchronous operation completed synchronously (inline-callback
+    // storage backends): the thread has not reported Blocked yet.
+    E.UnblockPending = true;
+    return;
+  }
+  assert(E.State == ThreadState::Blocked &&
+         "unblocking a thread that is not blocked");
+  E.State = ThreadState::Ready;
+  pump();
+}
+
+bool ThreadPool::hasLiveThreads() const {
+  for (const Entry &E : Threads)
+    if (E.State != ThreadState::Terminated)
+      return true;
+  return false;
+}
+
+std::vector<ThreadPool::ThreadId> ThreadPool::readyThreads() const {
+  std::vector<ThreadId> Ready;
+  for (size_t I = 0, E = Threads.size(); I != E; ++I)
+    if (Threads[I].State == ThreadState::Ready)
+      Ready.push_back(static_cast<ThreadId>(I));
+  return Ready;
+}
+
+void ThreadPool::pump() {
+  if (DrivePending || readyThreads().empty())
+    return;
+  DrivePending = true;
+  Susp.scheduleResumption([this] {
+    DrivePending = false;
+    driveSlice();
+  });
+}
+
+void ThreadPool::driveSlice() {
+  std::vector<ThreadId> Ready = readyThreads();
+  if (Ready.empty())
+    return;
+  // Pick the next thread: the provided scheduling function, or "an
+  // arbitrary thread from the pool marked ready" (§4.3) — rotated so that
+  // every ready thread makes progress.
+  ThreadId Next;
+  if (Sched) {
+    Next = Sched(Ready);
+    assert(Threads[Next].State == ThreadState::Ready &&
+           "scheduler picked a non-ready thread");
+  } else {
+    Next = Ready.front();
+    for (ThreadId Id : Ready)
+      if (Id > LastRun) {
+        Next = Id;
+        break;
+      }
+  }
+  if (Next != LastRun && LastRun != ~0u)
+    ++ContextSwitches;
+  LastRun = Next;
+  Current = Next;
+  Threads[Next].State = ThreadState::Running;
+  ++Slices;
+  RunOutcome Outcome = Threads[Next].Guest->resume();
+  Current = ~0u;
+  switch (Outcome) {
+  case RunOutcome::Yielded:
+    Threads[Next].State = ThreadState::Ready;
+    break;
+  case RunOutcome::Blocked:
+    if (Threads[Next].UnblockPending) {
+      // The wake-up already arrived; do not strand the thread.
+      Threads[Next].UnblockPending = false;
+      Threads[Next].State = ThreadState::Ready;
+    } else {
+      Threads[Next].State = ThreadState::Blocked;
+    }
+    break;
+  case RunOutcome::Terminated:
+    Threads[Next].State = ThreadState::Terminated;
+    break;
+  }
+  pump();
+}

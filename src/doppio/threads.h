@@ -1,0 +1,155 @@
+//===- doppio/threads.h - Green threads over suspend-and-resume --*- C++ -*-==//
+//
+// Part of the Doppio reproduction. See README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Multithreading support (§4.3): Doppio maintains a "thread pool" — an
+/// array of explicit call stacks. Because JavaScript cannot preempt,
+/// switching is cooperative from JavaScript's point of view, but the
+/// *source language* may expose preemptive semantics: the language
+/// implementation names its context-switch points (DoppioJVM uses monitor
+/// checks, lock operations, and suspend points, §6.2) and Doppio saves the
+/// running stack and resumes another. A pluggable scheduling function picks
+/// the next thread; by default an arbitrary ready thread runs.
+///
+/// The AsyncBridge implements §4.2: a guest thread performing a
+/// synchronous *source-language* call over an asynchronous browser API
+/// blocks (only that green thread — the JS thread is freed), and the
+/// asynchronous completion unblocks it with the data in place, so the
+/// guest program observes an ordinary synchronous call.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DOPPIO_DOPPIO_THREADS_H
+#define DOPPIO_DOPPIO_THREADS_H
+
+#include "doppio/suspend.h"
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace doppio {
+namespace rt {
+
+/// Outcome of running a guest thread for one slice.
+enum class RunOutcome {
+  /// The suspend check fired; the thread is still runnable.
+  Yielded,
+  /// The thread started an asynchronous operation and cannot continue
+  /// until ThreadPool::unblock is called.
+  Blocked,
+  /// The thread finished.
+  Terminated,
+};
+
+/// Lifecycle state of a pooled thread.
+enum class ThreadState { Ready, Running, Blocked, Terminated };
+
+/// A guest thread: a program with an explicit, heap-allocated call stack
+/// (§4.1's first requirement) that can run in bounded slices.
+class GuestThread {
+public:
+  virtual ~GuestThread();
+
+  /// Runs until the next suspension point and reports why it stopped.
+  virtual RunOutcome resume() = 0;
+
+  virtual std::string name() const { return "guest"; }
+};
+
+/// The thread pool: owns guest stacks and drives them through
+/// suspend-and-resume events.
+class ThreadPool {
+public:
+  using ThreadId = uint32_t;
+  /// Picks the next thread among \p Ready (never empty). The default
+  /// scheduler resumes an arbitrary ready thread (§4.3).
+  using Scheduler = std::function<ThreadId(const std::vector<ThreadId> &)>;
+
+  ThreadPool(browser::BrowserEnv &Env, Suspender &Susp)
+      : Env(Env), Susp(Susp) {}
+
+  /// Adds a thread in the Ready state and ensures the pool is being
+  /// driven. Returns its id.
+  ThreadId spawn(std::unique_ptr<GuestThread> Thread);
+
+  void setScheduler(Scheduler S) { Sched = std::move(S); }
+
+  /// Moves a Blocked thread back to Ready (called by asynchronous
+  /// completions) and reschedules driving. Safe to call while the thread
+  /// is still Running (a completion that fired synchronously, e.g. from a
+  /// localStorage-backed file system): the wake-up is remembered and
+  /// applied when the thread reports Blocked.
+  void unblock(ThreadId Id);
+
+  ThreadState state(ThreadId Id) const { return Threads[Id].State; }
+  GuestThread *thread(ThreadId Id) { return Threads[Id].Guest.get(); }
+
+  /// The thread currently executing (valid only during resume()).
+  ThreadId currentThread() const { return Current; }
+
+  /// True while any thread is Ready, Running, or Blocked.
+  bool hasLiveThreads() const;
+
+  /// Number of times the pool resumed a different thread than last time.
+  uint64_t contextSwitches() const { return ContextSwitches; }
+  /// Number of execution slices driven.
+  uint64_t slicesRun() const { return Slices; }
+
+  Suspender &suspender() { return Susp; }
+  browser::BrowserEnv &env() { return Env; }
+
+private:
+  /// Schedules a drive event through suspend-and-resume if one is not
+  /// already pending and a thread is ready.
+  void pump();
+  void driveSlice();
+  std::vector<ThreadId> readyThreads() const;
+
+  struct Entry {
+    std::unique_ptr<GuestThread> Guest;
+    ThreadState State = ThreadState::Ready;
+    /// An unblock arrived while the thread was still Running.
+    bool UnblockPending = false;
+  };
+
+  browser::BrowserEnv &Env;
+  Suspender &Susp;
+  std::vector<Entry> Threads;
+  Scheduler Sched;
+  bool DrivePending = false;
+  ThreadId Current = ~0u;
+  ThreadId LastRun = ~0u;
+  uint64_t ContextSwitches = 0;
+  uint64_t Slices = 0;
+};
+
+/// §4.2: synchronous source-language calls over asynchronous browser APIs.
+class AsyncBridge {
+public:
+  explicit AsyncBridge(ThreadPool &Pool) : Pool(Pool) {}
+
+  /// Called from a native method running on thread \p Id. \p Start must
+  /// initiate the asynchronous operation, capturing the provided Resume
+  /// callback into its completion; when the completion runs (as a browser
+  /// event) it stores its results into guest state and calls Resume, which
+  /// unblocks the thread. The caller's resume() must then return
+  /// RunOutcome::Blocked.
+  void blockOn(ThreadPool::ThreadId Id,
+               std::function<void(std::function<void()>)> Start) {
+    Start([this, Id] { Pool.unblock(Id); });
+  }
+
+private:
+  ThreadPool &Pool;
+};
+
+} // namespace rt
+} // namespace doppio
+
+#endif // DOPPIO_DOPPIO_THREADS_H

@@ -1,0 +1,109 @@
+//===- jvm/classfile/classfile.h - Parsed class file model --------*- C++ -*-==//
+//
+// Part of the Doppio reproduction. See README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The in-memory form of a .class file (JVM spec 2nd ed., chapter 4),
+/// produced by the reader and consumed by the linker; also produced by the
+/// assembler and serialized by the writer. Member names and descriptors
+/// are resolved to strings for convenience; the constant pool is retained
+/// because ldc/invoke/field instructions index into it at run time.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DOPPIO_JVM_CLASSFILE_CLASSFILE_H
+#define DOPPIO_JVM_CLASSFILE_CLASSFILE_H
+
+#include "doppio/errors.h"
+#include "jvm/classfile/constant_pool.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace doppio {
+namespace jvm {
+
+/// Class/field/method access and property flags.
+enum AccessFlag : uint16_t {
+  AccPublic = 0x0001,
+  AccPrivate = 0x0002,
+  AccProtected = 0x0004,
+  AccStatic = 0x0008,
+  AccFinal = 0x0010,
+  AccSuper = 0x0020,        // On classes.
+  AccSynchronized = 0x0020, // On methods.
+  AccVolatile = 0x0040,
+  AccTransient = 0x0080,
+  AccNative = 0x0100,
+  AccInterface = 0x0200,
+  AccAbstract = 0x0400,
+};
+
+/// One entry of a Code attribute's exception table.
+struct ExceptionHandler {
+  uint16_t StartPc = 0;
+  uint16_t EndPc = 0;
+  uint16_t HandlerPc = 0;
+  /// Constant-pool index of the caught class; 0 catches everything
+  /// (finally).
+  uint16_t CatchType = 0;
+};
+
+/// The Code attribute of a non-native, non-abstract method.
+struct CodeAttr {
+  uint16_t MaxStack = 0;
+  uint16_t MaxLocals = 0;
+  std::vector<uint8_t> Bytecode;
+  std::vector<ExceptionHandler> Handlers;
+};
+
+/// A field_info or method_info structure.
+struct MemberInfo {
+  uint16_t AccessFlags = 0;
+  std::string Name;
+  std::string Descriptor;
+  std::optional<CodeAttr> Code; // Methods only.
+  /// ConstantValue attribute for static final fields (pool index, 0 none).
+  uint16_t ConstantValueIndex = 0;
+
+  bool isStatic() const { return AccessFlags & AccStatic; }
+  bool isNative() const { return AccessFlags & AccNative; }
+};
+
+/// A parsed .class file.
+struct ClassFile {
+  uint16_t MinorVersion = 0;
+  uint16_t MajorVersion = 49; // Java 5-era, within spec-2 reach.
+  ConstantPool Pool;
+  uint16_t AccessFlags = AccPublic | AccSuper;
+  std::string ThisClass;  // Internal form: "java/lang/String".
+  std::string SuperClass; // Empty only for java/lang/Object.
+  std::vector<std::string> Interfaces;
+  std::vector<MemberInfo> Fields;
+  std::vector<MemberInfo> Methods;
+  std::string SourceFile;
+
+  const MemberInfo *findMethod(const std::string &Name,
+                               const std::string &Descriptor) const {
+    for (const MemberInfo &M : Methods)
+      if (M.Name == Name && M.Descriptor == Descriptor)
+        return &M;
+    return nullptr;
+  }
+};
+
+/// Parses class-file bytes (e.g. downloaded through the Doppio file
+/// system, §6.4). Returns EINVAL-style errors on malformed input.
+rt::ErrorOr<ClassFile> readClassFile(const std::vector<uint8_t> &Bytes);
+
+/// Serializes \p Cf into class-file bytes. The inverse of readClassFile.
+std::vector<uint8_t> writeClassFile(const ClassFile &Cf);
+
+} // namespace jvm
+} // namespace doppio
+
+#endif // DOPPIO_JVM_CLASSFILE_CLASSFILE_H

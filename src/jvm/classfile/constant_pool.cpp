@@ -1,0 +1,152 @@
+//===- jvm/classfile/constant_pool.cpp ------------------------------------==//
+
+#include "jvm/classfile/constant_pool.h"
+
+#include <bit>
+#include <cassert>
+
+using namespace doppio;
+using namespace doppio::jvm;
+
+const std::string &ConstantPool::utf8(uint16_t Index) const {
+  const CpEntry &E = at(Index);
+  assert(E.Tag == CpTag::Utf8 && "expected Utf8 constant");
+  return E.Utf8;
+}
+
+const std::string &ConstantPool::className(uint16_t Index) const {
+  const CpEntry &E = at(Index);
+  assert(E.Tag == CpTag::Class && "expected Class constant");
+  return utf8(E.Ref1);
+}
+
+const std::string &ConstantPool::stringValue(uint16_t Index) const {
+  const CpEntry &E = at(Index);
+  assert(E.Tag == CpTag::String && "expected String constant");
+  return utf8(E.Ref1);
+}
+
+ConstantPool::MemberRef ConstantPool::memberRef(uint16_t Index) const {
+  const CpEntry &E = at(Index);
+  assert((E.Tag == CpTag::Fieldref || E.Tag == CpTag::Methodref ||
+          E.Tag == CpTag::InterfaceMethodref) &&
+         "expected a member reference constant");
+  const CpEntry &NT = at(E.Ref2);
+  assert(NT.Tag == CpTag::NameAndType && "bad member reference");
+  return {className(E.Ref1), utf8(NT.Ref1), utf8(NT.Ref2)};
+}
+
+uint16_t ConstantPool::appendRaw(CpEntry Entry) {
+  assert(Entries.size() < 0xFFFF && "constant pool overflow");
+  Entries.push_back(std::move(Entry));
+  return static_cast<uint16_t>(Entries.size() - 1);
+}
+
+uint16_t ConstantPool::intern(const std::string &Key, CpEntry Entry) {
+  auto It = InternTable.find(Key);
+  if (It != InternTable.end())
+    return It->second;
+  bool TwoSlots = Entry.Tag == CpTag::Long || Entry.Tag == CpTag::Double;
+  uint16_t Index = appendRaw(std::move(Entry));
+  if (TwoSlots)
+    appendRaw(CpEntry()); // Longs and doubles take two slots.
+  InternTable.emplace(Key, Index);
+  return Index;
+}
+
+uint16_t ConstantPool::addUtf8(const std::string &Text) {
+  CpEntry E;
+  E.Tag = CpTag::Utf8;
+  E.Utf8 = Text;
+  return intern("u:" + Text, std::move(E));
+}
+
+uint16_t ConstantPool::addInteger(int32_t V) {
+  CpEntry E;
+  E.Tag = CpTag::Integer;
+  E.Int = V;
+  return intern("i:" + std::to_string(V), std::move(E));
+}
+
+uint16_t ConstantPool::addFloat(float V) {
+  CpEntry E;
+  E.Tag = CpTag::Float;
+  E.F = V;
+  return intern("f:" + std::to_string(std::bit_cast<uint32_t>(V)),
+                std::move(E));
+}
+
+uint16_t ConstantPool::addLong(int64_t Bits) {
+  CpEntry E;
+  E.Tag = CpTag::Long;
+  E.LongBits = Bits;
+  return intern("j:" + std::to_string(Bits), std::move(E));
+}
+
+uint16_t ConstantPool::addDouble(double V) {
+  CpEntry E;
+  E.Tag = CpTag::Double;
+  E.LongBits = std::bit_cast<int64_t>(V);
+  return intern("d:" + std::to_string(E.LongBits), std::move(E));
+}
+
+uint16_t ConstantPool::addClass(const std::string &Name) {
+  uint16_t NameIdx = addUtf8(Name);
+  CpEntry E;
+  E.Tag = CpTag::Class;
+  E.Ref1 = NameIdx;
+  return intern("c:" + Name, std::move(E));
+}
+
+uint16_t ConstantPool::addString(const std::string &Text) {
+  uint16_t TextIdx = addUtf8(Text);
+  CpEntry E;
+  E.Tag = CpTag::String;
+  E.Ref1 = TextIdx;
+  return intern("s:" + Text, std::move(E));
+}
+
+uint16_t ConstantPool::addNameAndType(const std::string &Name,
+                                      const std::string &Descriptor) {
+  uint16_t NameIdx = addUtf8(Name);
+  uint16_t DescIdx = addUtf8(Descriptor);
+  CpEntry E;
+  E.Tag = CpTag::NameAndType;
+  E.Ref1 = NameIdx;
+  E.Ref2 = DescIdx;
+  return intern("nt:" + Name + ":" + Descriptor, std::move(E));
+}
+
+uint16_t ConstantPool::addRef(CpTag Tag, const std::string &ClassName,
+                              const std::string &Name,
+                              const std::string &Descriptor) {
+  uint16_t ClassIdx = addClass(ClassName);
+  uint16_t NtIdx = addNameAndType(Name, Descriptor);
+  CpEntry E;
+  E.Tag = Tag;
+  E.Ref1 = ClassIdx;
+  E.Ref2 = NtIdx;
+  std::string Prefix = Tag == CpTag::Fieldref
+                           ? "fr:"
+                           : (Tag == CpTag::Methodref ? "mr:" : "ir:");
+  return intern(Prefix + ClassName + "." + Name + ":" + Descriptor,
+                std::move(E));
+}
+
+uint16_t ConstantPool::addFieldref(const std::string &ClassName,
+                                   const std::string &Name,
+                                   const std::string &Descriptor) {
+  return addRef(CpTag::Fieldref, ClassName, Name, Descriptor);
+}
+
+uint16_t ConstantPool::addMethodref(const std::string &ClassName,
+                                    const std::string &Name,
+                                    const std::string &Descriptor) {
+  return addRef(CpTag::Methodref, ClassName, Name, Descriptor);
+}
+
+uint16_t ConstantPool::addInterfaceMethodref(const std::string &ClassName,
+                                             const std::string &Name,
+                                             const std::string &Descriptor) {
+  return addRef(CpTag::InterfaceMethodref, ClassName, Name, Descriptor);
+}

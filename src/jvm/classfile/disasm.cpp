@@ -1,0 +1,221 @@
+//===- jvm/classfile/disasm.cpp -------------------------------------------==//
+
+#include "jvm/classfile/disasm.h"
+
+#include "jvm/classfile/opcodes.h"
+
+#include <bit>
+#include <sstream>
+
+using namespace doppio;
+using namespace doppio::jvm;
+
+uint32_t jvm::instructionLength(const std::vector<uint8_t> &Code,
+                                uint32_t Pc) {
+  if (Pc >= Code.size())
+    return 0;
+  uint8_t OpByte = Code[Pc];
+  if (!isLegalOpcode(OpByte))
+    return 0;
+  int Operands = opcodeOperandBytes(OpByte);
+  if (Operands >= 0) {
+    uint32_t Len = 1 + static_cast<uint32_t>(Operands);
+    return Pc + Len <= Code.size() ? Len : 0;
+  }
+  Op O = static_cast<Op>(OpByte);
+  auto rdS4 = [&Code](uint32_t At) {
+    return static_cast<int32_t>((static_cast<uint32_t>(Code[At]) << 24) |
+                                (static_cast<uint32_t>(Code[At + 1]) << 16) |
+                                (static_cast<uint32_t>(Code[At + 2]) << 8) |
+                                static_cast<uint32_t>(Code[At + 3]));
+  };
+  if (O == Op::Wide) {
+    if (Pc + 1 >= Code.size())
+      return 0;
+    Op Inner = static_cast<Op>(Code[Pc + 1]);
+    uint32_t Len = Inner == Op::Iinc ? 6 : 4;
+    return Pc + Len <= Code.size() ? Len : 0;
+  }
+  uint32_t Operand = (Pc + 4) & ~3u; // Padding to 4-byte alignment.
+  if (O == Op::Tableswitch) {
+    if (Operand + 12 > Code.size())
+      return 0;
+    int32_t Low = rdS4(Operand + 4);
+    int32_t High = rdS4(Operand + 8);
+    if (High < Low)
+      return 0;
+    uint32_t Len = Operand + 12 +
+                   4 * static_cast<uint32_t>(High - Low + 1) - Pc;
+    return Pc + Len <= Code.size() ? Len : 0;
+  }
+  if (O == Op::Lookupswitch) {
+    if (Operand + 8 > Code.size())
+      return 0;
+    int32_t NPairs = rdS4(Operand + 4);
+    if (NPairs < 0)
+      return 0;
+    uint32_t Len = Operand + 8 + 8 * static_cast<uint32_t>(NPairs) - Pc;
+    return Pc + Len <= Code.size() ? Len : 0;
+  }
+  return 0;
+}
+
+/// Formats the constant-pool operand of an instruction, javap-style.
+static std::string describeConstant(const ClassFile &Cf, uint16_t Idx) {
+  if (!Cf.Pool.valid(Idx))
+    return "#" + std::to_string(Idx) + " <invalid>";
+  const CpEntry &E = Cf.Pool.at(Idx);
+  std::string Out = "#" + std::to_string(Idx) + " ";
+  switch (E.Tag) {
+  case CpTag::Integer:
+    return Out + "int " + std::to_string(E.Int);
+  case CpTag::Float:
+    return Out + "float " + std::to_string(E.F);
+  case CpTag::Long:
+    return Out + "long " + std::to_string(E.LongBits);
+  case CpTag::Double:
+    return Out + "double " +
+           std::to_string(std::bit_cast<double>(E.LongBits));
+  case CpTag::Class:
+    return Out + "class " + Cf.Pool.className(Idx);
+  case CpTag::String:
+    return Out + "String \"" + Cf.Pool.stringValue(Idx) + "\"";
+  case CpTag::Fieldref:
+  case CpTag::Methodref:
+  case CpTag::InterfaceMethodref: {
+    ConstantPool::MemberRef Ref = Cf.Pool.memberRef(Idx);
+    return Out + Ref.ClassName + "." + Ref.Name + ":" + Ref.Descriptor;
+  }
+  default:
+    return Out;
+  }
+}
+
+std::string jvm::disassembleMethod(const ClassFile &Cf,
+                                   const MemberInfo &M) {
+  if (!M.Code)
+    return "";
+  std::ostringstream Out;
+  const std::vector<uint8_t> &Code = M.Code->Bytecode;
+  Out << "  " << M.Name << M.Descriptor << "  (stack=" << M.Code->MaxStack
+      << ", locals=" << M.Code->MaxLocals << ")\n";
+  uint32_t Pc = 0;
+  while (Pc < Code.size()) {
+    uint32_t Len = instructionLength(Code, Pc);
+    Out << "    " << Pc << ": " << opcodeName(Code[Pc]);
+    if (Len == 0) {
+      Out << " <malformed>\n";
+      break;
+    }
+    Op O = static_cast<Op>(Code[Pc]);
+    auto rdU2 = [&Code](uint32_t At) {
+      return static_cast<uint16_t>((Code[At] << 8) | Code[At + 1]);
+    };
+    switch (O) {
+    case Op::Bipush:
+      Out << " " << static_cast<int>(static_cast<int8_t>(Code[Pc + 1]));
+      break;
+    case Op::Sipush:
+      Out << " " << static_cast<int16_t>(rdU2(Pc + 1));
+      break;
+    case Op::Ldc:
+      Out << " " << describeConstant(Cf, Code[Pc + 1]);
+      break;
+    case Op::LdcW:
+    case Op::Ldc2W:
+    case Op::Getstatic:
+    case Op::Putstatic:
+    case Op::Getfield:
+    case Op::Putfield:
+    case Op::Invokevirtual:
+    case Op::Invokespecial:
+    case Op::Invokestatic:
+    case Op::Invokeinterface:
+    case Op::New:
+    case Op::Anewarray:
+    case Op::Checkcast:
+    case Op::Instanceof:
+    case Op::Multianewarray:
+      Out << " " << describeConstant(Cf, rdU2(Pc + 1));
+      break;
+    case Op::Iload:
+    case Op::Lload:
+    case Op::Fload:
+    case Op::Dload:
+    case Op::Aload:
+    case Op::Istore:
+    case Op::Lstore:
+    case Op::Fstore:
+    case Op::Dstore:
+    case Op::Astore:
+    case Op::Ret:
+    case Op::Newarray:
+      Out << " " << static_cast<int>(Code[Pc + 1]);
+      break;
+    case Op::Iinc:
+      Out << " " << static_cast<int>(Code[Pc + 1]) << " by "
+          << static_cast<int>(static_cast<int8_t>(Code[Pc + 2]));
+      break;
+    case Op::Ifeq:
+    case Op::Ifne:
+    case Op::Iflt:
+    case Op::Ifge:
+    case Op::Ifgt:
+    case Op::Ifle:
+    case Op::IfIcmpeq:
+    case Op::IfIcmpne:
+    case Op::IfIcmplt:
+    case Op::IfIcmpge:
+    case Op::IfIcmpgt:
+    case Op::IfIcmple:
+    case Op::IfAcmpeq:
+    case Op::IfAcmpne:
+    case Op::Goto:
+    case Op::Jsr:
+    case Op::Ifnull:
+    case Op::Ifnonnull:
+      Out << " -> "
+          << (Pc + static_cast<int16_t>(rdU2(Pc + 1)));
+      break;
+    default:
+      break;
+    }
+    Out << "\n";
+    Pc += Len;
+  }
+  for (const ExceptionHandler &H : M.Code->Handlers) {
+    Out << "    catch [" << H.StartPc << ", " << H.EndPc << ") -> "
+        << H.HandlerPc << " : "
+        << (H.CatchType ? Cf.Pool.className(H.CatchType) : "<any>")
+        << "\n";
+  }
+  return Out.str();
+}
+
+std::string jvm::disassembleClass(const ClassFile &Cf) {
+  std::ostringstream Out;
+  Out << ((Cf.AccessFlags & AccInterface) ? "interface " : "class ")
+      << Cf.ThisClass;
+  if (!Cf.SuperClass.empty())
+    Out << " extends " << Cf.SuperClass;
+  for (size_t I = 0; I != Cf.Interfaces.size(); ++I)
+    Out << (I == 0 ? " implements " : ", ") << Cf.Interfaces[I];
+  Out << "\n";
+  Out << "  version " << Cf.MajorVersion << "." << Cf.MinorVersion
+      << ", constant pool: " << Cf.Pool.size() << " entries\n";
+  for (const MemberInfo &F : Cf.Fields)
+    Out << "  field " << F.Name << " : " << F.Descriptor
+        << (F.isStatic() ? " (static)" : "") << "\n";
+  for (const MemberInfo &M : Cf.Methods) {
+    if (M.isNative()) {
+      Out << "  " << M.Name << M.Descriptor << "  (native)\n";
+      continue;
+    }
+    if (M.AccessFlags & AccAbstract) {
+      Out << "  " << M.Name << M.Descriptor << "  (abstract)\n";
+      continue;
+    }
+    Out << disassembleMethod(Cf, M);
+  }
+  return Out.str();
+}

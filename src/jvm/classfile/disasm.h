@@ -1,0 +1,41 @@
+//===- jvm/classfile/disasm.h - Class file disassembler -----------*- C++ -*-==//
+//
+// Part of the Doppio reproduction. See README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A javap-style disassembler over the parsed class-file model: constant
+/// pool dump, member tables, and per-method bytecode listings with
+/// resolved constant-pool operands. (javap itself is the paper's first
+/// benchmark; this is the host-side equivalent of what the classdump
+/// workload performs in bytecode.)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DOPPIO_JVM_CLASSFILE_DISASM_H
+#define DOPPIO_JVM_CLASSFILE_DISASM_H
+
+#include "jvm/classfile/classfile.h"
+
+#include <string>
+
+namespace doppio {
+namespace jvm {
+
+/// Disassembles one method body ("  0: Iload0", ...). Returns an empty
+/// string for methods without code.
+std::string disassembleMethod(const ClassFile &Cf, const MemberInfo &M);
+
+/// Full javap-style listing of \p Cf.
+std::string disassembleClass(const ClassFile &Cf);
+
+/// Total byte length of the instruction starting at \p Pc (operands
+/// included), handling tableswitch/lookupswitch padding and wide. Returns
+/// 0 for truncated or illegal encodings.
+uint32_t instructionLength(const std::vector<uint8_t> &Code, uint32_t Pc);
+
+} // namespace jvm
+} // namespace doppio
+
+#endif // DOPPIO_JVM_CLASSFILE_DISASM_H

@@ -1,0 +1,51 @@
+//===- jvm/classfile/opcodes.cpp ------------------------------------------==//
+
+#include "jvm/classfile/opcodes.h"
+
+using namespace doppio;
+using namespace doppio::jvm;
+
+namespace {
+
+struct OpInfo {
+  const char *Name;
+  int OperandBytes;
+};
+
+/// Indexed by opcode value; gaps are null/-2.
+struct OpTable {
+  OpInfo Info[256];
+
+  constexpr OpTable() : Info() {
+    for (auto &I : Info)
+      I = {nullptr, -2};
+#define JVM_OPCODE(NAME, VALUE, OPERANDS) Info[VALUE] = {#NAME, OPERANDS};
+#include "jvm/classfile/opcodes.def"
+#undef JVM_OPCODE
+  }
+};
+
+constexpr OpTable Table;
+
+} // namespace
+
+const char *jvm::opcodeName(uint8_t Opcode) {
+  const char *Name = Table.Info[Opcode].Name;
+  return Name ? Name : "<illegal>";
+}
+
+int jvm::opcodeOperandBytes(uint8_t Opcode) {
+  return Table.Info[Opcode].OperandBytes;
+}
+
+bool jvm::isLegalOpcode(uint8_t Opcode) {
+  return Table.Info[Opcode].Name != nullptr;
+}
+
+int jvm::opcodeCount() {
+  int N = 0;
+  for (int I = 0; I != 256; ++I)
+    if (Table.Info[I].Name)
+      ++N;
+  return N;
+}

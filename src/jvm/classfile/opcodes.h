@@ -1,0 +1,44 @@
+//===- jvm/classfile/opcodes.h - Opcode enum & metadata -----------*- C++ -*-==//
+//
+// Part of the Doppio reproduction. See README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The complete JVM-spec-2 instruction set (201 opcodes) that DoppioJVM
+/// implements (§6), with metadata used by the assembler, disassembler,
+/// verifier, and interpreter.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DOPPIO_JVM_CLASSFILE_OPCODES_H
+#define DOPPIO_JVM_CLASSFILE_OPCODES_H
+
+#include <cstdint>
+
+namespace doppio {
+namespace jvm {
+
+enum class Op : uint8_t {
+#define JVM_OPCODE(NAME, VALUE, OPERANDS) NAME = VALUE,
+#include "jvm/classfile/opcodes.def"
+#undef JVM_OPCODE
+};
+
+/// The mnemonic ("iload_0") for \p Opcode; "<illegal>" for gaps.
+const char *opcodeName(uint8_t Opcode);
+
+/// Fixed operand byte count, -1 for variable-length instructions
+/// (tableswitch, lookupswitch, wide), -2 for illegal opcodes.
+int opcodeOperandBytes(uint8_t Opcode);
+
+/// True if \p Opcode is one of the 201 defined instructions.
+bool isLegalOpcode(uint8_t Opcode);
+
+/// Number of defined opcodes (201 in the 2nd-edition specification).
+int opcodeCount();
+
+} // namespace jvm
+} // namespace doppio
+
+#endif // DOPPIO_JVM_CLASSFILE_OPCODES_H

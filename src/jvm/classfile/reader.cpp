@@ -1,0 +1,255 @@
+//===- jvm/classfile/reader.cpp - .class file parser ----------------------==//
+//
+// Parses the binary class-file format (JVM spec 2nd ed., chapter 4). In
+// the paper this work happens in JavaScript over Buffer (§6.4): "decoding
+// these class file definitions requires functionality that can convert the
+// binary representations of various numeric formats and a standard string
+// format" — functionality browsers lack and Doppio supplies.
+//
+//===----------------------------------------------------------------------===//
+
+#include "jvm/classfile/classfile.h"
+
+#include <bit>
+
+using namespace doppio;
+using namespace doppio::jvm;
+using rt::ApiError;
+using rt::Errno;
+using rt::ErrorOr;
+
+namespace {
+
+/// Bounds-checked big-endian cursor over the class file bytes.
+class Cursor {
+public:
+  explicit Cursor(const std::vector<uint8_t> &Bytes) : Bytes(Bytes) {}
+
+  bool failed() const { return Failed; }
+  size_t position() const { return Pos; }
+
+  uint8_t u1() {
+    if (Pos + 1 > Bytes.size())
+      return fail();
+    return Bytes[Pos++];
+  }
+
+  uint16_t u2() {
+    uint16_t Hi = u1();
+    return static_cast<uint16_t>((Hi << 8) | u1());
+  }
+
+  uint32_t u4() {
+    uint32_t Hi = u2();
+    return (Hi << 16) | u2();
+  }
+
+  std::string bytes(size_t N) {
+    if (Pos + N > Bytes.size()) {
+      fail();
+      return std::string();
+    }
+    std::string Out(Bytes.begin() + Pos, Bytes.begin() + Pos + N);
+    Pos += N;
+    return Out;
+  }
+
+  void skip(size_t N) {
+    if (Pos + N > Bytes.size()) {
+      fail();
+      return;
+    }
+    Pos += N;
+  }
+
+private:
+  uint8_t fail() {
+    Failed = true;
+    return 0;
+  }
+
+  const std::vector<uint8_t> &Bytes;
+  size_t Pos = 0;
+  bool Failed = false;
+};
+
+ErrorOr<ConstantPool> readPool(Cursor &In) {
+  ConstantPool Pool;
+  uint16_t Count = In.u2();
+  for (uint16_t I = 1; I < Count && !In.failed(); ++I) {
+    CpEntry E;
+    E.Tag = static_cast<CpTag>(In.u1());
+    switch (E.Tag) {
+    case CpTag::Utf8: {
+      uint16_t Len = In.u2();
+      E.Utf8 = In.bytes(Len);
+      break;
+    }
+    case CpTag::Integer:
+      E.Int = static_cast<int32_t>(In.u4());
+      break;
+    case CpTag::Float:
+      E.F = std::bit_cast<float>(In.u4());
+      break;
+    case CpTag::Long:
+    case CpTag::Double: {
+      uint64_t Hi = In.u4();
+      uint64_t Lo = In.u4();
+      E.LongBits = static_cast<int64_t>((Hi << 32) | Lo);
+      break;
+    }
+    case CpTag::Class:
+    case CpTag::String:
+      E.Ref1 = In.u2();
+      break;
+    case CpTag::Fieldref:
+    case CpTag::Methodref:
+    case CpTag::InterfaceMethodref:
+    case CpTag::NameAndType:
+      E.Ref1 = In.u2();
+      E.Ref2 = In.u2();
+      break;
+    default:
+      return ApiError(Errno::Invalid,
+                      "unknown constant pool tag " +
+                          std::to_string(static_cast<int>(E.Tag)));
+    }
+    bool TwoSlots = E.Tag == CpTag::Long || E.Tag == CpTag::Double;
+    Pool.appendRaw(std::move(E));
+    if (TwoSlots) {
+      Pool.appendRaw(CpEntry());
+      ++I;
+    }
+  }
+  if (In.failed())
+    return ApiError(Errno::Invalid, "truncated constant pool");
+  return Pool;
+}
+
+ErrorOr<CodeAttr> readCode(Cursor &In) {
+  CodeAttr Code;
+  Code.MaxStack = In.u2();
+  Code.MaxLocals = In.u2();
+  uint32_t CodeLen = In.u4();
+  std::string Bytecode = In.bytes(CodeLen);
+  Code.Bytecode.assign(Bytecode.begin(), Bytecode.end());
+  uint16_t HandlerCount = In.u2();
+  for (uint16_t I = 0; I != HandlerCount; ++I) {
+    ExceptionHandler H;
+    H.StartPc = In.u2();
+    H.EndPc = In.u2();
+    H.HandlerPc = In.u2();
+    H.CatchType = In.u2();
+    Code.Handlers.push_back(H);
+  }
+  // Sub-attributes (LineNumberTable, ...) are ignored.
+  uint16_t AttrCount = In.u2();
+  for (uint16_t I = 0; I != AttrCount; ++I) {
+    In.u2(); // Name index.
+    uint32_t Len = In.u4();
+    In.skip(Len);
+  }
+  if (In.failed())
+    return ApiError(Errno::Invalid, "truncated Code attribute");
+  return Code;
+}
+
+ErrorOr<MemberInfo> readMember(Cursor &In, const ConstantPool &Pool,
+                               bool IsMethod) {
+  MemberInfo M;
+  M.AccessFlags = In.u2();
+  uint16_t NameIdx = In.u2();
+  uint16_t DescIdx = In.u2();
+  if (In.failed() || !Pool.valid(NameIdx) || !Pool.valid(DescIdx))
+    return ApiError(Errno::Invalid, "truncated member info");
+  M.Name = Pool.utf8(NameIdx);
+  M.Descriptor = Pool.utf8(DescIdx);
+  uint16_t AttrCount = In.u2();
+  for (uint16_t I = 0; I != AttrCount && !In.failed(); ++I) {
+    uint16_t AttrName = In.u2();
+    uint32_t Len = In.u4();
+    if (!Pool.valid(AttrName)) {
+      In.skip(Len);
+      continue;
+    }
+    const std::string &Name = Pool.utf8(AttrName);
+    if (IsMethod && Name == "Code") {
+      ErrorOr<CodeAttr> Code = readCode(In);
+      if (!Code)
+        return Code.error();
+      M.Code = std::move(*Code);
+      continue;
+    }
+    if (!IsMethod && Name == "ConstantValue" && Len == 2) {
+      M.ConstantValueIndex = In.u2();
+      continue;
+    }
+    In.skip(Len);
+  }
+  if (In.failed())
+    return ApiError(Errno::Invalid, "truncated member attributes");
+  return M;
+}
+
+} // namespace
+
+ErrorOr<ClassFile> jvm::readClassFile(const std::vector<uint8_t> &Bytes) {
+  Cursor In(Bytes);
+  if (In.u4() != 0xCAFEBABE)
+    return ApiError(Errno::Invalid, "bad magic (not a class file)");
+  ClassFile Cf;
+  Cf.MinorVersion = In.u2();
+  Cf.MajorVersion = In.u2();
+  ErrorOr<ConstantPool> Pool = readPool(In);
+  if (!Pool)
+    return Pool.error();
+  Cf.Pool = std::move(*Pool);
+  Cf.AccessFlags = In.u2();
+  uint16_t ThisIdx = In.u2();
+  uint16_t SuperIdx = In.u2();
+  if (In.failed() || !Cf.Pool.valid(ThisIdx))
+    return ApiError(Errno::Invalid, "truncated class header");
+  Cf.ThisClass = Cf.Pool.className(ThisIdx);
+  if (SuperIdx != 0) {
+    if (!Cf.Pool.valid(SuperIdx))
+      return ApiError(Errno::Invalid, "bad superclass index");
+    Cf.SuperClass = Cf.Pool.className(SuperIdx);
+  }
+  uint16_t IfaceCount = In.u2();
+  for (uint16_t I = 0; I != IfaceCount && !In.failed(); ++I) {
+    uint16_t Idx = In.u2();
+    if (!Cf.Pool.valid(Idx))
+      return ApiError(Errno::Invalid, "bad interface index");
+    Cf.Interfaces.push_back(Cf.Pool.className(Idx));
+  }
+  uint16_t FieldCount = In.u2();
+  for (uint16_t I = 0; I != FieldCount && !In.failed(); ++I) {
+    ErrorOr<MemberInfo> M = readMember(In, Cf.Pool, /*IsMethod=*/false);
+    if (!M)
+      return M.error();
+    Cf.Fields.push_back(std::move(*M));
+  }
+  uint16_t MethodCount = In.u2();
+  for (uint16_t I = 0; I != MethodCount && !In.failed(); ++I) {
+    ErrorOr<MemberInfo> M = readMember(In, Cf.Pool, /*IsMethod=*/true);
+    if (!M)
+      return M.error();
+    Cf.Methods.push_back(std::move(*M));
+  }
+  uint16_t AttrCount = In.u2();
+  for (uint16_t I = 0; I != AttrCount && !In.failed(); ++I) {
+    uint16_t AttrName = In.u2();
+    uint32_t Len = In.u4();
+    if (Cf.Pool.valid(AttrName) && Cf.Pool.utf8(AttrName) == "SourceFile" &&
+        Len == 2) {
+      uint16_t SrcIdx = In.u2();
+      if (Cf.Pool.valid(SrcIdx))
+        Cf.SourceFile = Cf.Pool.utf8(SrcIdx);
+      continue;
+    }
+    In.skip(Len);
+  }
+  if (In.failed())
+    return ApiError(Errno::Invalid, "truncated class file");
+  return Cf;
+}

@@ -1,0 +1,344 @@
+//===- jvm/classfile/verifier.cpp -----------------------------------------==//
+
+#include "jvm/classfile/verifier.h"
+
+#include "jvm/classfile/descriptor.h"
+#include "jvm/classfile/disasm.h"
+#include "jvm/classfile/opcodes.h"
+
+#include <set>
+
+using namespace doppio;
+using namespace doppio::jvm;
+
+namespace {
+
+class MethodVerifier {
+public:
+  MethodVerifier(const ClassFile &Cf, const MemberInfo &M,
+                 std::vector<VerifyError> &Errors)
+      : Cf(Cf), M(M), Code(M.Code->Bytecode), Errors(Errors) {}
+
+  void run() {
+    if (Code.empty()) {
+      error(0, "empty code array");
+      return;
+    }
+    if (!decodeBoundaries())
+      return;
+    for (uint32_t Pc : Starts)
+      checkInstruction(Pc);
+    checkHandlers();
+    checkFallOff();
+  }
+
+private:
+  void error(uint32_t Pc, const std::string &Message) {
+    Errors.push_back({M.Name + M.Descriptor, Pc, Message});
+  }
+
+  uint16_t rdU2(uint32_t At) const {
+    return static_cast<uint16_t>((Code[At] << 8) | Code[At + 1]);
+  }
+  int32_t rdS4(uint32_t At) const {
+    return static_cast<int32_t>(
+        (static_cast<uint32_t>(Code[At]) << 24) |
+        (static_cast<uint32_t>(Code[At + 1]) << 16) |
+        (static_cast<uint32_t>(Code[At + 2]) << 8) |
+        static_cast<uint32_t>(Code[At + 3]));
+  }
+
+  /// Walks the code array once, recording instruction start offsets.
+  bool decodeBoundaries() {
+    uint32_t Pc = 0;
+    while (Pc < Code.size()) {
+      if (!isLegalOpcode(Code[Pc])) {
+        error(Pc, "illegal opcode " + std::to_string(Code[Pc]));
+        return false;
+      }
+      uint32_t Len = instructionLength(Code, Pc);
+      if (Len == 0) {
+        error(Pc, std::string("truncated ") + opcodeName(Code[Pc]));
+        return false;
+      }
+      Starts.insert(Pc);
+      Pc += Len;
+    }
+    return true;
+  }
+
+  bool isStart(uint32_t Pc) const { return Starts.count(Pc) != 0; }
+
+  void checkBranch(uint32_t Pc, int64_t Target) {
+    if (Target < 0 || Target >= static_cast<int64_t>(Code.size()) ||
+        !isStart(static_cast<uint32_t>(Target)))
+      error(Pc, "branch target " + std::to_string(Target) +
+                    " is not an instruction boundary");
+  }
+
+  void checkLocal(uint32_t Pc, uint32_t Slot, int Width) {
+    if (Slot + Width > M.Code->MaxLocals)
+      error(Pc, "local " + std::to_string(Slot) + " exceeds max_locals " +
+                    std::to_string(M.Code->MaxLocals));
+  }
+
+  void checkPool(uint32_t Pc, uint16_t Idx,
+                 std::initializer_list<CpTag> Allowed) {
+    if (!Cf.Pool.valid(Idx)) {
+      error(Pc, "constant pool index " + std::to_string(Idx) +
+                    " out of range");
+      return;
+    }
+    CpTag Tag = Cf.Pool.at(Idx).Tag;
+    for (CpTag A : Allowed)
+      if (Tag == A)
+        return;
+    error(Pc, "constant pool entry " + std::to_string(Idx) +
+                  " has the wrong tag for this instruction");
+  }
+
+  void checkInstruction(uint32_t Pc) {
+    Op O = static_cast<Op>(Code[Pc]);
+    switch (O) {
+    case Op::Iload:
+    case Op::Fload:
+    case Op::Aload:
+    case Op::Istore:
+    case Op::Fstore:
+    case Op::Astore:
+    case Op::Ret:
+      checkLocal(Pc, Code[Pc + 1], 1);
+      return;
+    case Op::Lload:
+    case Op::Dload:
+    case Op::Lstore:
+    case Op::Dstore:
+      checkLocal(Pc, Code[Pc + 1], 2);
+      return;
+    case Op::Iinc:
+      checkLocal(Pc, Code[Pc + 1], 1);
+      return;
+    case Op::Iload0:
+    case Op::Iload1:
+    case Op::Iload2:
+    case Op::Iload3:
+      checkLocal(Pc, static_cast<int>(O) - static_cast<int>(Op::Iload0),
+                 1);
+      return;
+    case Op::Astore0:
+    case Op::Astore1:
+    case Op::Astore2:
+    case Op::Astore3:
+      checkLocal(Pc, static_cast<int>(O) - static_cast<int>(Op::Astore0),
+                 1);
+      return;
+    case Op::Ldc:
+      checkPool(Pc, Code[Pc + 1],
+                {CpTag::Integer, CpTag::Float, CpTag::String,
+                 CpTag::Class});
+      return;
+    case Op::LdcW:
+      checkPool(Pc, rdU2(Pc + 1),
+                {CpTag::Integer, CpTag::Float, CpTag::String,
+                 CpTag::Class});
+      return;
+    case Op::Ldc2W:
+      checkPool(Pc, rdU2(Pc + 1), {CpTag::Long, CpTag::Double});
+      return;
+    case Op::Getstatic:
+    case Op::Putstatic:
+    case Op::Getfield:
+    case Op::Putfield:
+      checkPool(Pc, rdU2(Pc + 1), {CpTag::Fieldref});
+      return;
+    case Op::Invokevirtual:
+    case Op::Invokespecial:
+    case Op::Invokestatic:
+      checkPool(Pc, rdU2(Pc + 1), {CpTag::Methodref});
+      return;
+    case Op::Invokeinterface:
+      checkPool(Pc, rdU2(Pc + 1), {CpTag::InterfaceMethodref});
+      if (Code[Pc + 4] != 0)
+        error(Pc, "invokeinterface fourth operand byte must be zero");
+      return;
+    case Op::New:
+    case Op::Anewarray:
+    case Op::Checkcast:
+    case Op::Instanceof:
+    case Op::Multianewarray:
+      checkPool(Pc, rdU2(Pc + 1), {CpTag::Class});
+      if (O == Op::Multianewarray && Code[Pc + 3] == 0)
+        error(Pc, "multianewarray needs at least one dimension");
+      return;
+    case Op::Newarray: {
+      uint8_t T = Code[Pc + 1];
+      if (T < 4 || T > 11)
+        error(Pc, "newarray type code " + std::to_string(T) +
+                      " out of range");
+      return;
+    }
+    case Op::Ifeq:
+    case Op::Ifne:
+    case Op::Iflt:
+    case Op::Ifge:
+    case Op::Ifgt:
+    case Op::Ifle:
+    case Op::IfIcmpeq:
+    case Op::IfIcmpne:
+    case Op::IfIcmplt:
+    case Op::IfIcmpge:
+    case Op::IfIcmpgt:
+    case Op::IfIcmple:
+    case Op::IfAcmpeq:
+    case Op::IfAcmpne:
+    case Op::Goto:
+    case Op::Jsr:
+    case Op::Ifnull:
+    case Op::Ifnonnull:
+      checkBranch(Pc, static_cast<int64_t>(Pc) +
+                          static_cast<int16_t>(rdU2(Pc + 1)));
+      return;
+    case Op::GotoW:
+    case Op::JsrW:
+      checkBranch(Pc, static_cast<int64_t>(Pc) + rdS4(Pc + 1));
+      return;
+    case Op::Tableswitch: {
+      uint32_t Operand = (Pc + 4) & ~3u;
+      int32_t Default = rdS4(Operand);
+      int32_t Low = rdS4(Operand + 4);
+      int32_t High = rdS4(Operand + 8);
+      checkBranch(Pc, static_cast<int64_t>(Pc) + Default);
+      for (int32_t I = 0; I <= High - Low; ++I)
+        checkBranch(Pc, static_cast<int64_t>(Pc) +
+                            rdS4(Operand + 12 + 4 * I));
+      return;
+    }
+    case Op::Lookupswitch: {
+      uint32_t Operand = (Pc + 4) & ~3u;
+      int32_t Default = rdS4(Operand);
+      int32_t NPairs = rdS4(Operand + 4);
+      checkBranch(Pc, static_cast<int64_t>(Pc) + Default);
+      int32_t Prev = 0;
+      for (int32_t I = 0; I != NPairs; ++I) {
+        int32_t Match = rdS4(Operand + 8 + 8 * I);
+        if (I > 0 && Match <= Prev)
+          error(Pc, "lookupswitch keys must be sorted and distinct");
+        Prev = Match;
+        checkBranch(Pc, static_cast<int64_t>(Pc) +
+                            rdS4(Operand + 12 + 8 * I));
+      }
+      return;
+    }
+    case Op::Wide: {
+      Op Inner = static_cast<Op>(Code[Pc + 1]);
+      switch (Inner) {
+      case Op::Iload:
+      case Op::Fload:
+      case Op::Aload:
+      case Op::Istore:
+      case Op::Fstore:
+      case Op::Astore:
+      case Op::Ret:
+        checkLocal(Pc, rdU2(Pc + 2), 1);
+        return;
+      case Op::Lload:
+      case Op::Dload:
+      case Op::Lstore:
+      case Op::Dstore:
+        checkLocal(Pc, rdU2(Pc + 2), 2);
+        return;
+      case Op::Iinc:
+        checkLocal(Pc, rdU2(Pc + 2), 1);
+        return;
+      default:
+        error(Pc, "wide prefix on a non-widenable instruction");
+        return;
+      }
+    }
+    default:
+      return; // Zero-operand instructions have nothing structural.
+    }
+  }
+
+  void checkHandlers() {
+    for (const ExceptionHandler &H : M.Code->Handlers) {
+      if (H.StartPc >= H.EndPc)
+        error(H.StartPc, "exception handler range is empty or inverted");
+      if (!isStart(H.StartPc) || H.EndPc > Code.size())
+        error(H.StartPc, "exception handler range is misaligned");
+      if (!isStart(H.HandlerPc))
+        error(H.HandlerPc,
+              "exception handler target is not an instruction boundary");
+      if (H.CatchType != 0) {
+        if (!Cf.Pool.valid(H.CatchType) ||
+            Cf.Pool.at(H.CatchType).Tag != CpTag::Class)
+          error(H.HandlerPc, "catch type is not a class constant");
+      }
+    }
+  }
+
+  /// Execution must not run off the end: the final instruction has to be
+  /// a return, throw, or unconditional transfer.
+  void checkFallOff() {
+    uint32_t Last = *Starts.rbegin();
+    switch (static_cast<Op>(Code[Last])) {
+    case Op::Ireturn:
+    case Op::Lreturn:
+    case Op::Freturn:
+    case Op::Dreturn:
+    case Op::Areturn:
+    case Op::Return:
+    case Op::Athrow:
+    case Op::Goto:
+    case Op::GotoW:
+    case Op::Ret:
+    case Op::Tableswitch:
+    case Op::Lookupswitch:
+      return;
+    case Op::Wide:
+      if (static_cast<Op>(Code[Last + 1]) == Op::Ret)
+        return;
+      break;
+    default:
+      break;
+    }
+    error(Last, "execution can fall off the end of the code array");
+  }
+
+  const ClassFile &Cf;
+  const MemberInfo &M;
+  const std::vector<uint8_t> &Code;
+  std::vector<VerifyError> &Errors;
+  std::set<uint32_t> Starts;
+};
+
+} // namespace
+
+std::vector<VerifyError> jvm::verifyClass(const ClassFile &Cf) {
+  std::vector<VerifyError> Errors;
+  if (Cf.ThisClass.empty())
+    Errors.push_back({"", 0, "class has no name"});
+  if (Cf.SuperClass.empty() && Cf.ThisClass != "java/lang/Object")
+    Errors.push_back({"", 0, "only java/lang/Object may lack a super"});
+  for (const MemberInfo &M : Cf.Methods) {
+    bool BodyRequired = !M.isNative() && !(M.AccessFlags & AccAbstract);
+    if (BodyRequired && !M.Code) {
+      Errors.push_back(
+          {M.Name + M.Descriptor, 0, "non-abstract method without code"});
+      continue;
+    }
+    if (!BodyRequired && M.Code) {
+      Errors.push_back({M.Name + M.Descriptor, 0,
+                        "native/abstract method must not carry code"});
+      continue;
+    }
+    if (!desc::parseMethod(M.Descriptor)) {
+      Errors.push_back(
+          {M.Name + M.Descriptor, 0, "malformed method descriptor"});
+      continue;
+    }
+    if (M.Code)
+      MethodVerifier(Cf, M, Errors).run();
+  }
+  return Errors;
+}

@@ -1,0 +1,53 @@
+//===- jvm/classfile/verifier.h - Structural bytecode verifier ---*- C++ -*-==//
+//
+// Part of the Doppio reproduction. See README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural verification of class files before linking — the static
+/// checks of JVM spec chapter 4.8/4.9 that can be performed without
+/// dataflow: every opcode is legal and completely encoded, control
+/// transfers land on instruction boundaries inside the method, local
+/// indices stay below max_locals, constant-pool operands exist and carry
+/// the tag the instruction requires, exception-handler ranges are sane,
+/// and execution cannot fall off the end of the code array.
+///
+/// The paper's prototype trusts its class files; the verifier is one of
+/// the hardening extensions DESIGN.md schedules for the reproduction
+/// (step-5 scope). The class loader runs it on every file that arrives
+/// through the file system.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DOPPIO_JVM_CLASSFILE_VERIFIER_H
+#define DOPPIO_JVM_CLASSFILE_VERIFIER_H
+
+#include "jvm/classfile/classfile.h"
+
+#include <string>
+#include <vector>
+
+namespace doppio {
+namespace jvm {
+
+/// One verification failure.
+struct VerifyError {
+  std::string Method; // "name(descriptor)"; empty for class-level issues.
+  uint32_t Pc = 0;
+  std::string Message;
+
+  std::string str() const {
+    if (Method.empty())
+      return Message;
+    return Method + " @" + std::to_string(Pc) + ": " + Message;
+  }
+};
+
+/// Runs every structural check over \p Cf. Empty result = verified.
+std::vector<VerifyError> verifyClass(const ClassFile &Cf);
+
+} // namespace jvm
+} // namespace doppio
+
+#endif // DOPPIO_JVM_CLASSFILE_VERIFIER_H

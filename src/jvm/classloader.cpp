@@ -1,0 +1,210 @@
+//===- jvm/classloader.cpp ------------------------------------------------==//
+
+#include "jvm/classloader.h"
+
+#include "jvm/classfile/verifier.h"
+
+#include "jvm/jvm.h"
+
+#include <cassert>
+
+using namespace doppio;
+using namespace doppio::jvm;
+using rt::ApiError;
+using rt::Errno;
+using rt::ErrorOr;
+
+Klass *ClassLoader::lookup(const std::string &Name) {
+  auto It = Classes.find(Name);
+  if (It != Classes.end())
+    return It->second.get();
+  if (!Name.empty() && Name[0] == '[')
+    return makeArrayClass(Name);
+  return nullptr;
+}
+
+Klass *ClassLoader::makeArrayClass(const std::string &Name) {
+  // "The special array class that the JVM constructs according to the
+  // array's component type" (§6.7). Reference element classes must be
+  // loaded first; primitive element arrays are always constructible.
+  std::string Elem = Name.substr(1);
+  if (desc::isReference(Elem)) {
+    if (!lookup(desc::toClassName(Elem)))
+      return nullptr; // Element class not yet loaded.
+  }
+  auto K = std::make_unique<Klass>();
+  K->Name = Name;
+  K->Super = lookup("java/lang/Object");
+  assert(K->Super && "array classes require java/lang/Object");
+  K->IsArrayClass = true;
+  K->ElemDesc = Elem;
+  K->Init = Klass::InitState::Initialized;
+  Klass *Raw = K.get();
+  Classes.emplace(Name, std::move(K));
+  return Raw;
+}
+
+Klass *ClassLoader::link(ClassFile Cf) {
+  Klass *Super = nullptr;
+  if (!Cf.SuperClass.empty()) {
+    Super = lookup(Cf.SuperClass);
+    assert(Super && "superclass must be linked first");
+  }
+  std::vector<Klass *> Interfaces;
+  for (const std::string &I : Cf.Interfaces) {
+    Klass *Iface = lookup(I);
+    assert(Iface && "interfaces must be linked first");
+    Interfaces.push_back(Iface);
+  }
+  std::string Name = Cf.ThisClass;
+  Jvm &TheVm = Vm;
+  std::unique_ptr<Klass> K = linkClass(
+      std::move(Cf), Super, std::move(Interfaces),
+      [&TheVm](const Klass &InKlass, const Method &M) {
+        return TheVm.resolveNative(InKlass, M);
+      });
+  Klass *Raw = K.get();
+  Classes.emplace(Name, std::move(K));
+  return Raw;
+}
+
+Klass *ClassLoader::defineBuiltin(ClassFile Cf) {
+  assert(!Classes.count(Cf.ThisClass) && "built-in class defined twice");
+  return link(std::move(Cf));
+}
+
+ErrorOr<Klass *>
+ClassLoader::defineFromBytes(const std::vector<uint8_t> &Bytes) {
+  ErrorOr<ClassFile> Cf = readClassFile(Bytes);
+  if (!Cf)
+    return Cf.error();
+  if (Classes.count(Cf->ThisClass))
+    return ApiError(Errno::Exists, Cf->ThisClass);
+  if (!Cf->SuperClass.empty() && !lookup(Cf->SuperClass))
+    return ApiError(Errno::NoEnt, "superclass " + Cf->SuperClass);
+  for (const std::string &I : Cf->Interfaces)
+    if (!lookup(I))
+      return ApiError(Errno::NoEnt, "interface " + I);
+  return link(std::move(*Cf));
+}
+
+void ClassLoader::fetchFromClasspath(
+    std::shared_ptr<std::string> Name, size_t Index,
+    std::function<void(ErrorOr<std::vector<uint8_t>>)> Done) {
+  if (Index >= Classpath.size()) {
+    Done(ApiError(Errno::NoEnt, *Name + ".class"));
+    return;
+  }
+  std::string Path = Classpath[Index] + "/" + *Name + ".class";
+  // Each class file arrives through the Doppio file system — with an XHR
+  // mount this is the lazy on-demand download of §6.4.
+  Vm.fs().readFile(Path, [this, Name, Index,
+                          Done](ErrorOr<std::vector<uint8_t>> R) {
+    if (R) {
+      ++FileLoads;
+      Done(std::move(R));
+      return;
+    }
+    fetchFromClasspath(Name, Index + 1, Done);
+  });
+}
+
+void ClassLoader::loadAsync(const std::string &Name,
+                            std::function<void(ErrorOr<Klass *>)> Done) {
+  if (Klass *K = lookup(Name)) {
+    Done(K);
+    return;
+  }
+  if (!Name.empty() && Name[0] == '[') {
+    // Array class: load the element class, then synthesize.
+    std::string Elem = Name.substr(1);
+    if (!desc::isReference(Elem)) {
+      Done(ApiError(Errno::Invalid, "bad array class " + Name));
+      return;
+    }
+    loadAsync(desc::toClassName(Elem),
+              [this, Name, Done](ErrorOr<Klass *> R) {
+                if (!R) {
+                  Done(R.error());
+                  return;
+                }
+                Done(makeArrayClass(Name));
+              });
+    return;
+  }
+
+  // Coalesce concurrent requests for the same class.
+  auto [It, IsFirst] = Pending.try_emplace(Name);
+  (void)IsFirst;
+  It->second.push_back(std::move(Done));
+  if (It->second.size() > 1)
+    return; // A load is already in flight.
+
+  auto Complete = [this, Name](ErrorOr<Klass *> R) {
+    auto PendingIt = Pending.find(Name);
+    if (PendingIt == Pending.end())
+      return;
+    std::vector<std::function<void(ErrorOr<Klass *>)>> Waiters =
+        std::move(PendingIt->second);
+    Pending.erase(PendingIt);
+    for (auto &W : Waiters)
+      W(R);
+  };
+
+  auto NamePtr = std::make_shared<std::string>(Name);
+  fetchFromClasspath(
+      NamePtr, 0,
+      [this, Name, Complete](ErrorOr<std::vector<uint8_t>> Bytes) {
+        if (!Bytes) {
+          Complete(Bytes.error());
+          return;
+        }
+        ErrorOr<ClassFile> Cf = readClassFile(*Bytes);
+        if (!Cf) {
+          Complete(Cf.error());
+          return;
+        }
+        if (Cf->ThisClass != Name) {
+          Complete(ApiError(Errno::Invalid,
+                            "class file declares " + Cf->ThisClass));
+          return;
+        }
+        // Structural verification before linking (spec 4.8/4.9 subset).
+        std::vector<VerifyError> Violations = verifyClass(*Cf);
+        if (!Violations.empty()) {
+          Complete(ApiError(Errno::Invalid,
+                            "verification failed: " +
+                                Violations.front().str()));
+          return;
+        }
+        // Load the superclass chain and interfaces, then link. The
+        // dependency list is loaded sequentially; cycles among
+        // superclasses are rejected by the depth guard in Pending.
+        auto Deps = std::make_shared<std::vector<std::string>>();
+        if (!Cf->SuperClass.empty())
+          Deps->push_back(Cf->SuperClass);
+        for (const std::string &I : Cf->Interfaces)
+          Deps->push_back(I);
+        auto CfShared = std::make_shared<ClassFile>(std::move(*Cf));
+        // Self-referencing recursion via shared_ptr so the continuation
+        // outlives this scope.
+        auto LoadNext =
+            std::make_shared<std::function<void(size_t)>>();
+        *LoadNext = [this, Deps, CfShared, Complete,
+                     LoadNext](size_t I) {
+          if (I == Deps->size()) {
+            Complete(link(std::move(*CfShared)));
+            return;
+          }
+          loadAsync((*Deps)[I],
+                    [Complete, LoadNext, I](ErrorOr<Klass *> R) {
+                      if (!R) {
+                        Complete(R.error());
+                        return;
+                      }
+                      (*LoadNext)(I + 1);
+                    });
+        };
+        (*LoadNext)(0);
+      });
+}

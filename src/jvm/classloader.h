@@ -1,0 +1,90 @@
+//===- jvm/classloader.h - Dynamic class loading (§6.4) -----------*- C++ -*-==//
+//
+// Part of the Doppio reproduction. See README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// "When a bytecode instruction references a class for the first time, the
+/// JVM invokes a complex dynamic class loading process... The DoppioJVM
+/// class loader uses the Doppio file system and its Buffer module to
+/// appropriately download and parse JVM class files" (§6.4). The class
+/// path is a list of Doppio-file-system directories (typically an XHR
+/// backend mount, so each class file is downloaded lazily on first
+/// reference), plus a registry of built-in classes defined directly by the
+/// embedder (the synthesized class library).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DOPPIO_JVM_CLASSLOADER_H
+#define DOPPIO_JVM_CLASSLOADER_H
+
+#include "jvm/klass.h"
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace doppio {
+namespace jvm {
+
+class Jvm;
+
+/// Loads, links, and owns Klass objects.
+class ClassLoader {
+public:
+  explicit ClassLoader(Jvm &Vm) : Vm(Vm) {}
+
+  /// Adds a file-system directory ("/classes") searched for
+  /// "<dir>/<internal/name>.class".
+  void addClasspathEntry(std::string Dir) {
+    Classpath.push_back(std::move(Dir));
+  }
+
+  /// Synchronous lookup of an already-loaded class; null if absent. Array
+  /// classes ("[I", "[Ljava/lang/String;") are synthesized on demand when
+  /// their element class (if any) is loaded.
+  Klass *lookup(const std::string &Name);
+
+  /// Loads \p Name (and its superclass chain) through the Doppio file
+  /// system, asynchronously. \p Done runs once the class is linked, or
+  /// with NoClassDefFound-style ENOENT.
+  void loadAsync(const std::string &Name,
+                 std::function<void(rt::ErrorOr<Klass *>)> Done);
+
+  /// Defines a built-in class from an in-memory class file. Superclasses
+  /// must already be defined. Asserts on failure (programming error).
+  Klass *defineBuiltin(ClassFile Cf);
+
+  /// Parses and links class bytes that arrived by other means (§6.8's
+  /// embedding API). Supers must already be loaded.
+  rt::ErrorOr<Klass *> defineFromBytes(const std::vector<uint8_t> &Bytes);
+
+  size_t loadedCount() const { return Classes.size(); }
+  /// Number of class files fetched through the file system.
+  uint64_t fileLoads() const { return FileLoads; }
+
+private:
+  Klass *link(ClassFile Cf);
+  Klass *makeArrayClass(const std::string &Name);
+  /// Tries classpath entries starting at \p Index.
+  void fetchFromClasspath(
+      std::shared_ptr<std::string> Name, size_t Index,
+      std::function<void(rt::ErrorOr<std::vector<uint8_t>>)> Done);
+
+  Jvm &Vm;
+  std::vector<std::string> Classpath;
+  std::map<std::string, std::unique_ptr<Klass>> Classes;
+  /// In-flight loads: completions waiting on the same class.
+  std::map<std::string,
+           std::vector<std::function<void(rt::ErrorOr<Klass *>)>>>
+      Pending;
+  uint64_t FileLoads = 0;
+};
+
+} // namespace jvm
+} // namespace doppio
+
+#endif // DOPPIO_JVM_CLASSLOADER_H

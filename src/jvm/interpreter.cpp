@@ -1,0 +1,1719 @@
+//===- jvm/interpreter.cpp - All 201 opcodes ------------------------------==//
+//
+// The DoppioJVM interpreter core. Execution-mode differences (§7.1's
+// comparison) are concentrated in a handful of helpers: int arithmetic
+// (double+ToInt32 vs hardware int32), long arithmetic (software Long64 vs
+// hardware int64), field access (name-keyed dictionary vs slot index), and
+// the suspend checks at call boundaries that only DoppioJS mode performs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "jvm/interpreter.h"
+
+#include "jvm/classfile/opcodes.h"
+#include "jvm/jsnumber.h"
+
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+using namespace doppio;
+using namespace doppio::jvm;
+using rt::RunOutcome;
+
+//===----------------------------------------------------------------------===//
+// NativeContext
+//===----------------------------------------------------------------------===//
+
+void NativeContext::blockWithResult(
+    std::function<void(NativeCompletion Complete)> Start) {
+  Blocked = true;
+  Jvm &TheVm = Vm;
+  int32_t Tid = Thread.tid();
+  Start([&TheVm, Tid](rt::ErrorOr<Value> R) {
+    JvmThread *T = TheVm.threadForTid(Tid);
+    assert(T && "completion for a dead thread");
+    T->PendingNativeResult = std::move(R);
+    T->AwaitingNativeResult = true;
+    TheVm.pool().unblock(Tid);
+  });
+}
+
+//===----------------------------------------------------------------------===//
+// Mode-sensitive arithmetic
+//===----------------------------------------------------------------------===//
+
+int32_t JvmThread::modeAdd(int32_t A, int32_t B) {
+  if (Vm.mode() == ExecutionMode::DoppioJS)
+    return jsnum::addInt32(A, B);
+  return static_cast<int32_t>(static_cast<int64_t>(A) + B);
+}
+
+int32_t JvmThread::modeSub(int32_t A, int32_t B) {
+  if (Vm.mode() == ExecutionMode::DoppioJS)
+    return jsnum::subInt32(A, B);
+  return static_cast<int32_t>(static_cast<int64_t>(A) - B);
+}
+
+int32_t JvmThread::modeMul(int32_t A, int32_t B) {
+  if (Vm.mode() == ExecutionMode::DoppioJS)
+    return jsnum::mulInt32(A, B);
+  return static_cast<int32_t>(static_cast<int64_t>(A) *
+                              static_cast<int64_t>(B));
+}
+
+/// Long binary operation: software halves in DoppioJS mode (§8), hardware
+/// int64 in the baseline.
+Value JvmThread::modeLongBin(Op O, Value A, Value B) {
+  if (Vm.mode() == ExecutionMode::DoppioJS) {
+    // §8: software longs are "extremely slow when compared to normal
+    // numeric operations" — each op is tens of JS operations (16-bit
+    // chunking; division is a 64-step shift-subtract loop).
+    OpsSinceFlush += (O == Op::Ldiv || O == Op::Lrem) ? 24
+                     : O == Op::Lmul               ? 10
+                                                   : 3;
+    Long64 X = A.asLong64(), Y = B.asLong64();
+    switch (O) {
+    case Op::Ladd:
+      return Value::longVal(addLong(X, Y));
+    case Op::Lsub:
+      return Value::longVal(subLong(X, Y));
+    case Op::Lmul:
+      return Value::longVal(mulLong(X, Y));
+    case Op::Ldiv:
+      return Value::longVal(divLong(X, Y));
+    case Op::Lrem:
+      return Value::longVal(remLong(X, Y));
+    case Op::Land:
+      return Value::longVal(andLong(X, Y));
+    case Op::Lor:
+      return Value::longVal(orLong(X, Y));
+    case Op::Lxor:
+      return Value::longVal(xorLong(X, Y));
+    default:
+      assert(false && "not a long binop");
+      return Value();
+    }
+  }
+  int64_t X = A.J, Y = B.J;
+  uint64_t UX = static_cast<uint64_t>(X), UY = static_cast<uint64_t>(Y);
+  switch (O) {
+  case Op::Ladd:
+    return Value::longVal(static_cast<int64_t>(UX + UY));
+  case Op::Lsub:
+    return Value::longVal(static_cast<int64_t>(UX - UY));
+  case Op::Lmul:
+    return Value::longVal(static_cast<int64_t>(UX * UY));
+  case Op::Ldiv:
+    if (X == INT64_MIN && Y == -1)
+      return Value::longVal(X);
+    return Value::longVal(X / Y);
+  case Op::Lrem:
+    if (X == INT64_MIN && Y == -1)
+      return Value::longVal(static_cast<int64_t>(0));
+    return Value::longVal(X % Y);
+  case Op::Land:
+    return Value::longVal(X & Y);
+  case Op::Lor:
+    return Value::longVal(X | Y);
+  case Op::Lxor:
+    return Value::longVal(X ^ Y);
+  default:
+    assert(false && "not a long binop");
+    return Value();
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Instance checks (arrays included)
+//===----------------------------------------------------------------------===//
+
+/// instanceof/checkcast relation, including array covariance.
+static bool isInstanceOfKlass(Jvm &Vm, Object *O, Klass *Target) {
+  if (!O)
+    return false;
+  Klass *OK = O->klass();
+  if (OK == Target)
+    return true;
+  if (O->isArray()) {
+    if (Target->Name == "java/lang/Object")
+      return true;
+    if (!Target->IsArrayClass)
+      return false;
+    auto *A = static_cast<ArrayObject *>(O);
+    const std::string &SrcElem = A->elemDesc();
+    const std::string &DstElem = Target->ElemDesc;
+    if (SrcElem == DstElem)
+      return true;
+    // Reference-array covariance: [A assignable to [B iff A <= B.
+    if (desc::isReference(SrcElem) && desc::isReference(DstElem)) {
+      if (DstElem == "Ljava/lang/Object;")
+        return true;
+      Klass *Src = Vm.loader().lookup(desc::toClassName(SrcElem));
+      Klass *Dst = Vm.loader().lookup(desc::toClassName(DstElem));
+      return Src && Dst && Src->isAssignableTo(Dst);
+    }
+    return false;
+  }
+  return OK->isAssignableTo(Target);
+}
+
+//===----------------------------------------------------------------------===//
+// Thread entry and the resume loop
+//===----------------------------------------------------------------------===//
+
+void JvmThread::pushEntryFrame(Method *M, std::vector<Value> Args) {
+  assert(M->HasCode && "entry frame needs bytecode");
+  Frame F;
+  F.M = M;
+  // Spread args into slots (category-2 values get padding).
+  for (const Value &V : Args) {
+    F.Locals.push_back(V);
+    if (V.isCategory2())
+      F.Locals.push_back(Value());
+  }
+  F.Locals.resize(M->Code.MaxLocals);
+  F.Stack.reserve(M->Code.MaxStack);
+  CallStack.push_back(std::move(F));
+}
+
+std::string JvmThread::stackTrace() const {
+  std::ostringstream Out;
+  for (auto It = CallStack.rbegin(); It != CallStack.rend(); ++It)
+    Out << "\tat " << It->M->Owner->Name << "." << It->M->Name
+        << It->M->Descriptor << " (pc=" << It->Pc << ")\n";
+  return Out.str();
+}
+
+RunOutcome JvmThread::resume() {
+  // Reacquire a monitor released by Object.wait (§6.2).
+  if (PendingReacquire) {
+    Object *O = PendingReacquire->Obj;
+    Monitor &M = O->monitor();
+    if (M.OwnerTid != -1 && M.OwnerTid != Tid) {
+      bool Queued = false;
+      for (int32_t T : M.EntrySet)
+        Queued |= T == Tid;
+      if (!Queued)
+        M.EntrySet.push_back(Tid);
+      return RunOutcome::Blocked;
+    }
+    M.OwnerTid = Tid;
+    M.EntryCount = PendingReacquire->Count;
+    std::erase(M.EntrySet, Tid);
+    PendingReacquire.reset();
+  }
+
+  // A failed class load becomes NoClassDefFoundError at the faulting
+  // instruction (§6.4).
+  if (PendingLoadFailure) {
+    std::string Name = *PendingLoadFailure;
+    PendingLoadFailure.reset();
+    StepResult R = throwJvm("java/lang/NoClassDefFoundError", Name);
+    if (R == StepResult::Done) {
+      Vm.flushOpCharges(OpsSinceFlush);
+      OpsSinceFlush = 0;
+      Vm.noteThreadFinished(*this);
+      return RunOutcome::Terminated;
+    }
+  }
+
+  // Settle an asynchronous native result (§4.2/§6.3): the program resumes
+  // "as if it had just received data synchronously".
+  if (AwaitingNativeResult) {
+    AwaitingNativeResult = false;
+    if (!PendingNativeResult.ok()) {
+      StepResult R = throwJvm("java/io/IOException",
+                              PendingNativeResult.error().message());
+      if (R == StepResult::Done) {
+        Vm.flushOpCharges(OpsSinceFlush);
+        OpsSinceFlush = 0;
+        Vm.noteThreadFinished(*this);
+        return RunOutcome::Terminated;
+      }
+    } else if (PendingNativeResult->K != Value::Kind::Empty) {
+      pushSlotted(*PendingNativeResult);
+    }
+  }
+
+  while (true) {
+    StepResult R = step();
+    if (R == StepResult::Continue)
+      continue;
+    Vm.flushOpCharges(OpsSinceFlush);
+    OpsSinceFlush = 0;
+    switch (R) {
+    case StepResult::Yield:
+      return RunOutcome::Yielded;
+    case StepResult::Block:
+      return RunOutcome::Blocked;
+    case StepResult::Done:
+      Vm.noteThreadFinished(*this);
+      return RunOutcome::Terminated;
+    case StepResult::Continue:
+      break;
+    }
+  }
+}
+
+bool JvmThread::wantsSuspend() {
+  if (Vm.mode() != ExecutionMode::DoppioJS)
+    return false;
+  // Charge the work done since the last boundary so the virtual clock
+  // advances between checks — the adaptive counter (§4.1) measures the
+  // elapsed time of each countdown from it.
+  Vm.flushOpCharges(OpsSinceFlush);
+  OpsSinceFlush = 0;
+  if (!Vm.suspender().shouldSuspend())
+    return false;
+  ++Vm.stats().SuspendYields;
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Exceptions (§6.6)
+//===----------------------------------------------------------------------===//
+
+JvmThread::StepResult JvmThread::throwJvm(const std::string &ClassName,
+                                          const std::string &Message) {
+  Object *Ex = Vm.makeThrowable(ClassName, Message);
+  return dispatchException(Ex);
+}
+
+JvmThread::StepResult JvmThread::dispatchException(Object *Ex) {
+  std::string Trace = stackTrace(); // §6.1: trivial stack introspection.
+  // "Iterating through its virtual stack representation until it finds a
+  // stack frame with an applicable exception handler" (§6.6).
+  while (!CallStack.empty()) {
+    Frame &F = CallStack.back();
+    if (F.M->HasCode) {
+      for (const ExceptionHandler &H : F.M->Code.Handlers) {
+        if (F.Pc < H.StartPc || F.Pc >= H.EndPc)
+          continue;
+        if (H.CatchType != 0) {
+          const std::string &CatchName =
+              F.M->Owner->Cf.Pool.className(H.CatchType);
+          Klass *Catch = Vm.loader().lookup(CatchName);
+          // An unloaded catch type cannot match: every superclass of the
+          // (loaded) exception class was loaded transitively.
+          if (!Catch || !isInstanceOfKlass(Vm, Ex, Catch))
+            continue;
+        }
+        F.Stack.clear();
+        F.Stack.push_back(Value::ref(Ex));
+        F.Pc = H.HandlerPc;
+        return StepResult::Continue;
+      }
+    }
+    if (F.Locked)
+      releaseMonitor(F.Locked);
+    if (F.ClinitOf)
+      F.ClinitOf->Init = Klass::InitState::Initialized;
+    CallStack.pop_back();
+  }
+  // Uncaught: report and terminate the thread ("exits with an error").
+  Uncaught = true;
+  Finished = true;
+  std::string Msg = "Exception in thread \"" + name() + "\" " +
+                    Ex->klass()->Name;
+  Value Detail = Ex->mode() == ExecutionMode::DoppioJS
+                     ? Ex->getFieldByName("detailMessage")
+                     : Ex->getSlot(0);
+  if (Detail.K == Value::Kind::Ref && Detail.R)
+    Msg += ": " + Vm.stringValue(Detail.R);
+  Vm.process().writeStderr(Msg + "\n" + Trace);
+  return StepResult::Done;
+}
+
+//===----------------------------------------------------------------------===//
+// Class resolution and initialization (§6.4)
+//===----------------------------------------------------------------------===//
+
+Klass *JvmThread::resolveClass(const std::string &Name, StepResult &Out) {
+  if (Klass *K = Vm.loader().lookup(Name)) {
+    Out = StepResult::Continue;
+    return K;
+  }
+  // Not loaded: start the asynchronous download through the Doppio file
+  // system (§6.4) and block; the triggering instruction re-executes.
+  Jvm &TheVm = Vm;
+  int32_t MyTid = Tid;
+  Vm.loader().loadAsync(Name, [&TheVm, MyTid,
+                               Name](rt::ErrorOr<Klass *> R) {
+    JvmThread *T = TheVm.threadForTid(MyTid);
+    if (!R)
+      T->PendingLoadFailure = Name; // Thrown when the thread resumes.
+    TheVm.pool().unblock(MyTid);
+  });
+  Out = StepResult::Block;
+  return nullptr;
+}
+
+bool JvmThread::ensureInitialized(Klass *K, StepResult &Out) {
+  // Find the topmost uninitialized ancestor: supers initialize first.
+  Klass *Top = nullptr;
+  for (Klass *C = K; C; C = C->Super)
+    if (C->Init == Klass::InitState::Uninitialized)
+      Top = C;
+  if (!Top) {
+    Out = StepResult::Continue;
+    return true;
+  }
+  Top->Init = Klass::InitState::Initializing;
+  Method *Clinit = Top->clinit();
+  if (!Clinit || !Clinit->HasCode) {
+    Top->Init = Klass::InitState::Initialized;
+    // Loop: more ancestors (or K itself) may still need work.
+    return ensureInitialized(K, Out);
+  }
+  Frame F;
+  F.M = Clinit;
+  F.Locals.resize(Clinit->Code.MaxLocals);
+  F.Stack.reserve(Clinit->Code.MaxStack);
+  F.ClinitOf = Top;
+  CallStack.push_back(std::move(F));
+  ++Vm.stats().MethodInvocations;
+  Out = StepResult::Continue; // Re-executes the triggering instruction
+  return false;               // after <clinit> returns.
+}
+
+//===----------------------------------------------------------------------===//
+// Monitors (§6.2)
+//===----------------------------------------------------------------------===//
+
+JvmThread::StepResult JvmThread::monitorEnter(Object *O) {
+  Monitor &M = O->monitor();
+  if (M.OwnerTid == -1 || M.OwnerTid == Tid) {
+    M.OwnerTid = Tid;
+    ++M.EntryCount;
+    std::erase(M.EntrySet, Tid);
+    return StepResult::Continue;
+  }
+  bool Queued = false;
+  for (int32_t T : M.EntrySet)
+    Queued |= T == Tid;
+  if (!Queued)
+    M.EntrySet.push_back(Tid);
+  return StepResult::Block;
+}
+
+void JvmThread::releaseMonitor(Object *O) {
+  Monitor &M = O->monitor();
+  assert(M.OwnerTid == Tid && "releasing a monitor we do not own");
+  if (--M.EntryCount > 0)
+    return;
+  M.OwnerTid = -1;
+  // Wake every contender; one will win, the rest re-block (§4.3's
+  // cooperative switching makes this cheap).
+  std::vector<int32_t> Waiters = M.EntrySet;
+  for (int32_t T : Waiters)
+    if (Vm.pool().state(T) == rt::ThreadState::Blocked)
+      Vm.pool().unblock(T);
+}
+
+JvmThread::StepResult JvmThread::monitorExit(Object *O) {
+  Monitor &M = O->monitor();
+  if (M.OwnerTid != Tid)
+    return throwJvm("java/lang/IllegalMonitorStateException",
+                    "thread does not own monitor");
+  releaseMonitor(O);
+  return StepResult::Continue;
+}
+
+//===----------------------------------------------------------------------===//
+// Invocation
+//===----------------------------------------------------------------------===//
+
+JvmThread::StepResult JvmThread::invokeNative(Method *M,
+                                              std::vector<Value> Args,
+                                              uint32_t InsnLen) {
+  NativeContext Ctx(Vm, *this, *M);
+  Ctx.Args = std::move(Args);
+  if (!M->Native)
+    return throwJvm("java/lang/UnsatisfiedLinkError", M->qualifiedName());
+  M->Native(Ctx);
+  // Exceptions dispatch with pc still at the invoke instruction, so
+  // handler ranges that end right after the call still match (§6.6).
+  if (Ctx.Thrown)
+    return throwJvm(Ctx.Thrown->first, Ctx.Thrown->second);
+  if (CallStack.empty()) {
+    // System.exit tore the stack down.
+    Finished = true;
+    return StepResult::Done;
+  }
+  // Completing later (or now) must not re-run the invoke: step past it.
+  CallStack.back().Pc += InsnLen;
+  if (Ctx.Blocked || Ctx.BlockedOnMonitor)
+    return StepResult::Block;
+  if (Ctx.HasRet && M->RetSlots > 0)
+    pushSlotted(Ctx.Ret);
+  if (wantsSuspend())
+    return StepResult::Yield;
+  return StepResult::Continue;
+}
+
+/// Unpacks slot-encoded arguments into distinct values (receiver first).
+static std::vector<Value> unpackArgs(const std::vector<Value> &Slots,
+                                     const Method &M, bool HasReceiver) {
+  std::vector<Value> Args;
+  size_t I = 0;
+  if (HasReceiver)
+    Args.push_back(Slots[I++]);
+  for (const std::string &P : M.Parsed.Params) {
+    Args.push_back(Slots[I]);
+    I += desc::slotSize(P);
+  }
+  return Args;
+}
+
+JvmThread::StepResult JvmThread::invokeMethod(Method *M, bool HasReceiver,
+                                              uint32_t InsnLen) {
+  // The caller resolved everything and handled synchronization
+  // contention; the argument slots sit on its operand stack and pc still
+  // points at the invoke instruction.
+  Frame &Caller = CallStack.back();
+  int TotalSlots = M->ParamSlots + (HasReceiver ? 1 : 0);
+  std::vector<Value> Slots(Caller.Stack.end() - TotalSlots,
+                           Caller.Stack.end());
+  Caller.Stack.resize(Caller.Stack.size() - TotalSlots);
+  ++Vm.stats().MethodInvocations;
+
+  if (M->isNative())
+    return invokeNative(M, unpackArgs(Slots, *M, HasReceiver), InsnLen);
+
+  if (!M->HasCode)
+    return throwJvm("java/lang/AbstractMethodError", M->qualifiedName());
+
+  Caller.Pc += InsnLen; // Return lands after the invoke.
+  Frame F;
+  F.M = M;
+  F.Locals = std::move(Slots);
+  F.Locals.resize(M->Code.MaxLocals);
+  F.Stack.reserve(M->Code.MaxStack);
+  if (M->isSynchronized()) {
+    Object *Lock = HasReceiver ? F.Locals[0].R : Vm.mirrorOf(M->Owner);
+    // Contention was checked by the caller before popping; entering here
+    // cannot block.
+    StepResult R = monitorEnter(Lock);
+    assert(R == StepResult::Continue && "lock vanished between checks");
+    (void)R;
+    F.Locked = Lock;
+  }
+  CallStack.push_back(std::move(F));
+  // "DoppioJVM checks at each function call boundary whether it should
+  // suspend" (§6.1).
+  if (wantsSuspend())
+    return StepResult::Yield;
+  return StepResult::Continue;
+}
+
+JvmThread::StepResult
+JvmThread::returnFromFrame(std::optional<Value> Ret) {
+  Frame &F = CallStack.back();
+  if (F.Locked)
+    releaseMonitor(F.Locked);
+  Klass *InitDone = F.ClinitOf;
+  CallStack.pop_back();
+  if (InitDone)
+    InitDone->Init = Klass::InitState::Initialized;
+  if (CallStack.empty()) {
+    Finished = true;
+    return StepResult::Done;
+  }
+  if (Ret)
+    pushSlotted(*Ret);
+  if (wantsSuspend())
+    return StepResult::Yield;
+  return StepResult::Continue;
+}
+
+//===----------------------------------------------------------------------===//
+// The dispatch loop
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Big-endian operand readers.
+inline uint8_t rdU1(const std::vector<uint8_t> &C, uint32_t At) {
+  return C[At];
+}
+inline int8_t rdS1(const std::vector<uint8_t> &C, uint32_t At) {
+  return static_cast<int8_t>(C[At]);
+}
+inline uint16_t rdU2(const std::vector<uint8_t> &C, uint32_t At) {
+  return static_cast<uint16_t>((C[At] << 8) | C[At + 1]);
+}
+inline int16_t rdS2(const std::vector<uint8_t> &C, uint32_t At) {
+  return static_cast<int16_t>(rdU2(C, At));
+}
+inline int32_t rdS4(const std::vector<uint8_t> &C, uint32_t At) {
+  return static_cast<int32_t>((static_cast<uint32_t>(C[At]) << 24) |
+                              (static_cast<uint32_t>(C[At + 1]) << 16) |
+                              (static_cast<uint32_t>(C[At + 2]) << 8) |
+                              static_cast<uint32_t>(C[At + 3]));
+}
+
+} // namespace
+
+JvmThread::StepResult JvmThread::step() {
+  Frame &F = CallStack.back();
+  const std::vector<uint8_t> &C = F.M->Code.Bytecode;
+  assert(F.Pc < C.size() && "pc ran off the end of the method");
+  Op O = static_cast<Op>(C[F.Pc]);
+  ++Vm.stats().OpsExecuted;
+  ++OpsSinceFlush;
+
+  switch (O) {
+  case Op::Nop:
+    ++F.Pc;
+    return StepResult::Continue;
+
+  // Constants -----------------------------------------------------------
+  case Op::AconstNull:
+    push(Value::null());
+    ++F.Pc;
+    return StepResult::Continue;
+  case Op::IconstM1:
+  case Op::Iconst0:
+  case Op::Iconst1:
+  case Op::Iconst2:
+  case Op::Iconst3:
+  case Op::Iconst4:
+  case Op::Iconst5:
+    push(Value::intVal(static_cast<int32_t>(O) -
+                       static_cast<int32_t>(Op::Iconst0)));
+    ++F.Pc;
+    return StepResult::Continue;
+  case Op::Lconst0:
+  case Op::Lconst1:
+    push2(Value::longVal(static_cast<int64_t>(
+        static_cast<int32_t>(O) - static_cast<int32_t>(Op::Lconst0))));
+    ++F.Pc;
+    return StepResult::Continue;
+  case Op::Fconst0:
+  case Op::Fconst1:
+  case Op::Fconst2:
+    push(Value::floatVal(static_cast<float>(
+        static_cast<int32_t>(O) - static_cast<int32_t>(Op::Fconst0))));
+    ++F.Pc;
+    return StepResult::Continue;
+  case Op::Dconst0:
+  case Op::Dconst1:
+    push2(Value::doubleVal(static_cast<double>(
+        static_cast<int32_t>(O) - static_cast<int32_t>(Op::Dconst0))));
+    ++F.Pc;
+    return StepResult::Continue;
+  case Op::Bipush:
+    push(Value::intVal(rdS1(C, F.Pc + 1)));
+    F.Pc += 2;
+    return StepResult::Continue;
+  case Op::Sipush:
+    push(Value::intVal(rdS2(C, F.Pc + 1)));
+    F.Pc += 3;
+    return StepResult::Continue;
+
+  case Op::Ldc:
+  case Op::LdcW: {
+    uint16_t Idx = O == Op::Ldc ? rdU1(C, F.Pc + 1) : rdU2(C, F.Pc + 1);
+    uint32_t Len = O == Op::Ldc ? 2 : 3;
+    const CpEntry &E = F.M->Owner->Cf.Pool.at(Idx);
+    switch (E.Tag) {
+    case CpTag::Integer:
+      push(Value::intVal(E.Int));
+      break;
+    case CpTag::Float:
+      push(Value::floatVal(E.F));
+      break;
+    case CpTag::String:
+      push(Value::ref(
+          Vm.internString(F.M->Owner->Cf.Pool.stringValue(Idx))));
+      break;
+    case CpTag::Class: {
+      StepResult R;
+      Klass *K = resolveClass(F.M->Owner->Cf.Pool.className(Idx), R);
+      if (!K)
+        return R;
+      push(Value::ref(Vm.mirrorOf(K)));
+      break;
+    }
+    default:
+      return throwJvm("java/lang/ClassFormatError", "bad ldc constant");
+    }
+    F.Pc += Len;
+    return StepResult::Continue;
+  }
+  case Op::Ldc2W: {
+    uint16_t Idx = rdU2(C, F.Pc + 1);
+    const CpEntry &E = F.M->Owner->Cf.Pool.at(Idx);
+    if (E.Tag == CpTag::Long)
+      push2(Value::longVal(E.LongBits));
+    else if (E.Tag == CpTag::Double)
+      push2(Value::doubleVal(std::bit_cast<double>(E.LongBits)));
+    else
+      return throwJvm("java/lang/ClassFormatError", "bad ldc2_w constant");
+    F.Pc += 3;
+    return StepResult::Continue;
+  }
+
+  // Loads ----------------------------------------------------------------
+  case Op::Iload:
+  case Op::Fload:
+  case Op::Aload:
+    push(F.Locals[rdU1(C, F.Pc + 1)]);
+    F.Pc += 2;
+    return StepResult::Continue;
+  case Op::Lload:
+  case Op::Dload:
+    push2(F.Locals[rdU1(C, F.Pc + 1)]);
+    F.Pc += 2;
+    return StepResult::Continue;
+  case Op::Iload0:
+  case Op::Iload1:
+  case Op::Iload2:
+  case Op::Iload3:
+    push(F.Locals[static_cast<int>(O) - static_cast<int>(Op::Iload0)]);
+    ++F.Pc;
+    return StepResult::Continue;
+  case Op::Lload0:
+  case Op::Lload1:
+  case Op::Lload2:
+  case Op::Lload3:
+    push2(F.Locals[static_cast<int>(O) - static_cast<int>(Op::Lload0)]);
+    ++F.Pc;
+    return StepResult::Continue;
+  case Op::Fload0:
+  case Op::Fload1:
+  case Op::Fload2:
+  case Op::Fload3:
+    push(F.Locals[static_cast<int>(O) - static_cast<int>(Op::Fload0)]);
+    ++F.Pc;
+    return StepResult::Continue;
+  case Op::Dload0:
+  case Op::Dload1:
+  case Op::Dload2:
+  case Op::Dload3:
+    push2(F.Locals[static_cast<int>(O) - static_cast<int>(Op::Dload0)]);
+    ++F.Pc;
+    return StepResult::Continue;
+  case Op::Aload0:
+  case Op::Aload1:
+  case Op::Aload2:
+  case Op::Aload3:
+    push(F.Locals[static_cast<int>(O) - static_cast<int>(Op::Aload0)]);
+    ++F.Pc;
+    return StepResult::Continue;
+
+  // Array loads ----------------------------------------------------------
+  case Op::Iaload:
+  case Op::Laload:
+  case Op::Faload:
+  case Op::Daload:
+  case Op::Aaload:
+  case Op::Baload:
+  case Op::Caload:
+  case Op::Saload: {
+    int32_t Index = pop().I;
+    Object *Ref = pop().R;
+    if (!Ref)
+      return throwJvm("java/lang/NullPointerException", "array load");
+    auto *A = static_cast<ArrayObject *>(Ref);
+    if (Index < 0 || Index >= A->length())
+      return throwJvm("java/lang/ArrayIndexOutOfBoundsException",
+                      std::to_string(Index));
+    Value V = A->get(Index);
+    if (O == Op::Laload || O == Op::Daload)
+      push2(V);
+    else
+      push(V);
+    ++F.Pc;
+    return StepResult::Continue;
+  }
+
+  // Stores ---------------------------------------------------------------
+  case Op::Istore:
+  case Op::Fstore:
+  case Op::Astore:
+    F.Locals[rdU1(C, F.Pc + 1)] = pop();
+    F.Pc += 2;
+    return StepResult::Continue;
+  case Op::Lstore:
+  case Op::Dstore:
+    F.Locals[rdU1(C, F.Pc + 1)] = pop2();
+    F.Pc += 2;
+    return StepResult::Continue;
+  case Op::Istore0:
+  case Op::Istore1:
+  case Op::Istore2:
+  case Op::Istore3:
+    F.Locals[static_cast<int>(O) - static_cast<int>(Op::Istore0)] = pop();
+    ++F.Pc;
+    return StepResult::Continue;
+  case Op::Lstore0:
+  case Op::Lstore1:
+  case Op::Lstore2:
+  case Op::Lstore3:
+    F.Locals[static_cast<int>(O) - static_cast<int>(Op::Lstore0)] = pop2();
+    ++F.Pc;
+    return StepResult::Continue;
+  case Op::Fstore0:
+  case Op::Fstore1:
+  case Op::Fstore2:
+  case Op::Fstore3:
+    F.Locals[static_cast<int>(O) - static_cast<int>(Op::Fstore0)] = pop();
+    ++F.Pc;
+    return StepResult::Continue;
+  case Op::Dstore0:
+  case Op::Dstore1:
+  case Op::Dstore2:
+  case Op::Dstore3:
+    F.Locals[static_cast<int>(O) - static_cast<int>(Op::Dstore0)] = pop2();
+    ++F.Pc;
+    return StepResult::Continue;
+  case Op::Astore0:
+  case Op::Astore1:
+  case Op::Astore2:
+  case Op::Astore3:
+    F.Locals[static_cast<int>(O) - static_cast<int>(Op::Astore0)] = pop();
+    ++F.Pc;
+    return StepResult::Continue;
+
+  // Array stores ---------------------------------------------------------
+  case Op::Iastore:
+  case Op::Fastore:
+  case Op::Aastore:
+  case Op::Bastore:
+  case Op::Castore:
+  case Op::Sastore:
+  case Op::Lastore:
+  case Op::Dastore: {
+    Value V = (O == Op::Lastore || O == Op::Dastore) ? pop2() : pop();
+    int32_t Index = pop().I;
+    Object *Ref = pop().R;
+    if (!Ref)
+      return throwJvm("java/lang/NullPointerException", "array store");
+    auto *A = static_cast<ArrayObject *>(Ref);
+    if (Index < 0 || Index >= A->length())
+      return throwJvm("java/lang/ArrayIndexOutOfBoundsException",
+                      std::to_string(Index));
+    switch (O) {
+    case Op::Bastore:
+      V = Value::intVal(static_cast<int8_t>(V.I));
+      break;
+    case Op::Castore:
+      V = Value::intVal(V.I & 0xFFFF);
+      break;
+    case Op::Sastore:
+      V = Value::intVal(static_cast<int16_t>(V.I));
+      break;
+    case Op::Aastore:
+      if (V.R && desc::isReference(A->elemDesc()) &&
+          A->elemDesc() != "Ljava/lang/Object;") {
+        Klass *ElemK = Vm.loader().lookup(desc::toClassName(A->elemDesc()));
+        if (ElemK && !isInstanceOfKlass(Vm, V.R, ElemK))
+          return throwJvm("java/lang/ArrayStoreException",
+                          V.R->klass()->Name);
+      }
+      break;
+    default:
+      break;
+    }
+    A->set(Index, V);
+    ++F.Pc;
+    return StepResult::Continue;
+  }
+
+  // Stack manipulation ----------------------------------------------------
+  case Op::Pop:
+    pop();
+    ++F.Pc;
+    return StepResult::Continue;
+  case Op::Pop2:
+    pop();
+    pop();
+    ++F.Pc;
+    return StepResult::Continue;
+  case Op::Dup: {
+    Value V = peek();
+    push(V);
+    ++F.Pc;
+    return StepResult::Continue;
+  }
+  case Op::DupX1: {
+    Value A = pop(), B = pop();
+    push(A);
+    push(B);
+    push(A);
+    ++F.Pc;
+    return StepResult::Continue;
+  }
+  case Op::DupX2: {
+    Value A = pop(), B = pop(), X = pop();
+    push(A);
+    push(X);
+    push(B);
+    push(A);
+    ++F.Pc;
+    return StepResult::Continue;
+  }
+  case Op::Dup2: {
+    Value A = pop(), B = pop();
+    push(B);
+    push(A);
+    push(B);
+    push(A);
+    ++F.Pc;
+    return StepResult::Continue;
+  }
+  case Op::Dup2X1: {
+    Value A = pop(), B = pop(), X = pop();
+    push(B);
+    push(A);
+    push(X);
+    push(B);
+    push(A);
+    ++F.Pc;
+    return StepResult::Continue;
+  }
+  case Op::Dup2X2: {
+    Value A = pop(), B = pop(), X = pop(), Y = pop();
+    push(B);
+    push(A);
+    push(Y);
+    push(X);
+    push(B);
+    push(A);
+    ++F.Pc;
+    return StepResult::Continue;
+  }
+  case Op::Swap: {
+    Value A = pop(), B = pop();
+    push(A);
+    push(B);
+    ++F.Pc;
+    return StepResult::Continue;
+  }
+
+  // Integer arithmetic ----------------------------------------------------
+  case Op::Iadd: {
+    int32_t B = pop().I, A = pop().I;
+    push(Value::intVal(modeAdd(A, B)));
+    ++F.Pc;
+    return StepResult::Continue;
+  }
+  case Op::Isub: {
+    int32_t B = pop().I, A = pop().I;
+    push(Value::intVal(modeSub(A, B)));
+    ++F.Pc;
+    return StepResult::Continue;
+  }
+  case Op::Imul: {
+    int32_t B = pop().I, A = pop().I;
+    push(Value::intVal(modeMul(A, B)));
+    ++F.Pc;
+    return StepResult::Continue;
+  }
+  case Op::Idiv: {
+    int32_t B = pop().I, A = pop().I;
+    if (B == 0)
+      return throwJvm("java/lang/ArithmeticException", "/ by zero");
+    if (Vm.mode() == ExecutionMode::DoppioJS)
+      push(Value::intVal(jsnum::divInt32(A, B)));
+    else
+      push(Value::intVal(A == INT32_MIN && B == -1 ? A : A / B));
+    ++F.Pc;
+    return StepResult::Continue;
+  }
+  case Op::Irem: {
+    int32_t B = pop().I, A = pop().I;
+    if (B == 0)
+      return throwJvm("java/lang/ArithmeticException", "/ by zero");
+    if (Vm.mode() == ExecutionMode::DoppioJS)
+      push(Value::intVal(jsnum::remInt32(A, B)));
+    else
+      push(Value::intVal(A == INT32_MIN && B == -1 ? 0 : A % B));
+    ++F.Pc;
+    return StepResult::Continue;
+  }
+  case Op::Ineg: {
+    int32_t A = pop().I;
+    push(Value::intVal(Vm.mode() == ExecutionMode::DoppioJS
+                           ? jsnum::negInt32(A)
+                           : modeSub(0, A)));
+    ++F.Pc;
+    return StepResult::Continue;
+  }
+  case Op::Ishl: {
+    int32_t B = pop().I, A = pop().I;
+    push(Value::intVal(jsnum::shlInt32(A, B)));
+    ++F.Pc;
+    return StepResult::Continue;
+  }
+  case Op::Ishr: {
+    int32_t B = pop().I, A = pop().I;
+    push(Value::intVal(jsnum::shrInt32(A, B)));
+    ++F.Pc;
+    return StepResult::Continue;
+  }
+  case Op::Iushr: {
+    int32_t B = pop().I, A = pop().I;
+    push(Value::intVal(jsnum::ushrInt32(A, B)));
+    ++F.Pc;
+    return StepResult::Continue;
+  }
+  case Op::Iand: {
+    int32_t B = pop().I, A = pop().I;
+    push(Value::intVal(A & B));
+    ++F.Pc;
+    return StepResult::Continue;
+  }
+  case Op::Ior: {
+    int32_t B = pop().I, A = pop().I;
+    push(Value::intVal(A | B));
+    ++F.Pc;
+    return StepResult::Continue;
+  }
+  case Op::Ixor: {
+    int32_t B = pop().I, A = pop().I;
+    push(Value::intVal(A ^ B));
+    ++F.Pc;
+    return StepResult::Continue;
+  }
+  case Op::Iinc: {
+    uint8_t Slot = rdU1(C, F.Pc + 1);
+    int8_t Delta = rdS1(C, F.Pc + 2);
+    F.Locals[Slot] = Value::intVal(modeAdd(F.Locals[Slot].I, Delta));
+    F.Pc += 3;
+    return StepResult::Continue;
+  }
+
+  // Long arithmetic (§8's software longs in DoppioJS mode) ----------------
+  case Op::Ladd:
+  case Op::Lsub:
+  case Op::Lmul:
+  case Op::Land:
+  case Op::Lor:
+  case Op::Lxor: {
+    Value B = pop2(), A = pop2();
+    push2(modeLongBin(O, A, B));
+    ++F.Pc;
+    return StepResult::Continue;
+  }
+  case Op::Ldiv:
+  case Op::Lrem: {
+    Value B = pop2(), A = pop2();
+    if (B.J == 0)
+      return throwJvm("java/lang/ArithmeticException", "/ by zero");
+    push2(modeLongBin(O, A, B));
+    ++F.Pc;
+    return StepResult::Continue;
+  }
+  case Op::Lneg: {
+    Value A = pop2();
+    if (Vm.mode() == ExecutionMode::DoppioJS)
+      push2(Value::longVal(negLong(A.asLong64())));
+    else
+      push2(Value::longVal(
+          static_cast<int64_t>(0 - static_cast<uint64_t>(A.J))));
+    ++F.Pc;
+    return StepResult::Continue;
+  }
+  case Op::Lshl:
+  case Op::Lshr:
+  case Op::Lushr: {
+    int32_t Count = pop().I;
+    Value A = pop2();
+    if (Vm.mode() == ExecutionMode::DoppioJS) {
+      OpsSinceFlush += 2; // Software shift across the 32-bit halves.
+      Long64 X = A.asLong64();
+      Long64 R = O == Op::Lshl    ? shlLong(X, Count)
+                 : O == Op::Lshr ? shrLong(X, Count)
+                                 : ushrLong(X, Count);
+      push2(Value::longVal(R));
+    } else {
+      int64_t X = A.J;
+      int32_t S = Count & 63;
+      int64_t R;
+      if (O == Op::Lshl)
+        R = static_cast<int64_t>(static_cast<uint64_t>(X) << S);
+      else if (O == Op::Lshr)
+        R = X >> S;
+      else
+        R = static_cast<int64_t>(static_cast<uint64_t>(X) >> S);
+      push2(Value::longVal(R));
+    }
+    ++F.Pc;
+    return StepResult::Continue;
+  }
+
+  // Float/double arithmetic ------------------------------------------------
+  case Op::Fadd: {
+    float B = pop().F, A = pop().F;
+    push(Value::floatVal(A + B));
+    ++F.Pc;
+    return StepResult::Continue;
+  }
+  case Op::Fsub: {
+    float B = pop().F, A = pop().F;
+    push(Value::floatVal(A - B));
+    ++F.Pc;
+    return StepResult::Continue;
+  }
+  case Op::Fmul: {
+    float B = pop().F, A = pop().F;
+    push(Value::floatVal(A * B));
+    ++F.Pc;
+    return StepResult::Continue;
+  }
+  case Op::Fdiv: {
+    float B = pop().F, A = pop().F;
+    push(Value::floatVal(A / B));
+    ++F.Pc;
+    return StepResult::Continue;
+  }
+  case Op::Frem: {
+    float B = pop().F, A = pop().F;
+    push(Value::floatVal(std::fmod(A, B)));
+    ++F.Pc;
+    return StepResult::Continue;
+  }
+  case Op::Fneg:
+    push(Value::floatVal(-pop().F));
+    ++F.Pc;
+    return StepResult::Continue;
+  case Op::Dadd: {
+    Value B = pop2(), A = pop2();
+    push2(Value::doubleVal(A.D + B.D));
+    ++F.Pc;
+    return StepResult::Continue;
+  }
+  case Op::Dsub: {
+    Value B = pop2(), A = pop2();
+    push2(Value::doubleVal(A.D - B.D));
+    ++F.Pc;
+    return StepResult::Continue;
+  }
+  case Op::Dmul: {
+    Value B = pop2(), A = pop2();
+    push2(Value::doubleVal(A.D * B.D));
+    ++F.Pc;
+    return StepResult::Continue;
+  }
+  case Op::Ddiv: {
+    Value B = pop2(), A = pop2();
+    push2(Value::doubleVal(A.D / B.D));
+    ++F.Pc;
+    return StepResult::Continue;
+  }
+  case Op::Drem: {
+    Value B = pop2(), A = pop2();
+    push2(Value::doubleVal(std::fmod(A.D, B.D)));
+    ++F.Pc;
+    return StepResult::Continue;
+  }
+  case Op::Dneg: {
+    Value A = pop2();
+    push2(Value::doubleVal(-A.D));
+    ++F.Pc;
+    return StepResult::Continue;
+  }
+
+  // Conversions ------------------------------------------------------------
+  case Op::I2l: {
+    int32_t A = pop().I;
+    push2(Value::longVal(Vm.mode() == ExecutionMode::DoppioJS
+                             ? Long64::fromInt32(A)
+                             : Long64::fromBits(A)));
+    ++F.Pc;
+    return StepResult::Continue;
+  }
+  case Op::I2f:
+    push(Value::floatVal(static_cast<float>(pop().I)));
+    ++F.Pc;
+    return StepResult::Continue;
+  case Op::I2d:
+    push2(Value::doubleVal(static_cast<double>(pop().I)));
+    ++F.Pc;
+    return StepResult::Continue;
+  case Op::L2i: {
+    Value A = pop2();
+    push(Value::intVal(Vm.mode() == ExecutionMode::DoppioJS
+                           ? A.asLong64().toInt32()
+                           : static_cast<int32_t>(A.J)));
+    ++F.Pc;
+    return StepResult::Continue;
+  }
+  case Op::L2f: {
+    Value A = pop2();
+    push(Value::floatVal(Vm.mode() == ExecutionMode::DoppioJS
+                             ? A.asLong64().toFloat()
+                             : static_cast<float>(A.J)));
+    ++F.Pc;
+    return StepResult::Continue;
+  }
+  case Op::L2d: {
+    Value A = pop2();
+    push2(Value::doubleVal(Vm.mode() == ExecutionMode::DoppioJS
+                               ? A.asLong64().toDouble()
+                               : static_cast<double>(A.J)));
+    ++F.Pc;
+    return StepResult::Continue;
+  }
+  case Op::F2i:
+    push(Value::intVal(jsnum::doubleToInt(pop().F)));
+    ++F.Pc;
+    return StepResult::Continue;
+  case Op::F2l: {
+    float A = pop().F;
+    push2(Value::longVal(Long64::fromDouble(A)));
+    ++F.Pc;
+    return StepResult::Continue;
+  }
+  case Op::F2d:
+    push2(Value::doubleVal(static_cast<double>(pop().F)));
+    ++F.Pc;
+    return StepResult::Continue;
+  case Op::D2i: {
+    Value A = pop2();
+    push(Value::intVal(jsnum::doubleToInt(A.D)));
+    ++F.Pc;
+    return StepResult::Continue;
+  }
+  case Op::D2l: {
+    Value A = pop2();
+    push2(Value::longVal(Long64::fromDouble(A.D)));
+    ++F.Pc;
+    return StepResult::Continue;
+  }
+  case Op::D2f: {
+    Value A = pop2();
+    push(Value::floatVal(static_cast<float>(A.D)));
+    ++F.Pc;
+    return StepResult::Continue;
+  }
+  case Op::I2b:
+    push(Value::intVal(static_cast<int8_t>(pop().I)));
+    ++F.Pc;
+    return StepResult::Continue;
+  case Op::I2c:
+    push(Value::intVal(pop().I & 0xFFFF));
+    ++F.Pc;
+    return StepResult::Continue;
+  case Op::I2s:
+    push(Value::intVal(static_cast<int16_t>(pop().I)));
+    ++F.Pc;
+    return StepResult::Continue;
+
+  // Comparisons ------------------------------------------------------------
+  case Op::Lcmp: {
+    Value B = pop2(), A = pop2();
+    int32_t R;
+    if (Vm.mode() == ExecutionMode::DoppioJS) {
+      OpsSinceFlush += 2; // Software comparison of the halves.
+      R = cmpLong(A.asLong64(), B.asLong64());
+    }
+    else
+      R = A.J < B.J ? -1 : (A.J > B.J ? 1 : 0);
+    push(Value::intVal(R));
+    ++F.Pc;
+    return StepResult::Continue;
+  }
+  case Op::Fcmpl:
+  case Op::Fcmpg: {
+    float B = pop().F, A = pop().F;
+    int32_t R;
+    if (std::isnan(A) || std::isnan(B))
+      R = O == Op::Fcmpg ? 1 : -1;
+    else
+      R = A < B ? -1 : (A > B ? 1 : 0);
+    push(Value::intVal(R));
+    ++F.Pc;
+    return StepResult::Continue;
+  }
+  case Op::Dcmpl:
+  case Op::Dcmpg: {
+    Value VB = pop2(), VA = pop2();
+    double B = VB.D, A = VA.D;
+    int32_t R;
+    if (std::isnan(A) || std::isnan(B))
+      R = O == Op::Dcmpg ? 1 : -1;
+    else
+      R = A < B ? -1 : (A > B ? 1 : 0);
+    push(Value::intVal(R));
+    ++F.Pc;
+    return StepResult::Continue;
+  }
+
+  // Branches ---------------------------------------------------------------
+  case Op::Ifeq:
+  case Op::Ifne:
+  case Op::Iflt:
+  case Op::Ifge:
+  case Op::Ifgt:
+  case Op::Ifle: {
+    int32_t A = pop().I;
+    bool Taken = false;
+    switch (O) {
+    case Op::Ifeq:
+      Taken = A == 0;
+      break;
+    case Op::Ifne:
+      Taken = A != 0;
+      break;
+    case Op::Iflt:
+      Taken = A < 0;
+      break;
+    case Op::Ifge:
+      Taken = A >= 0;
+      break;
+    case Op::Ifgt:
+      Taken = A > 0;
+      break;
+    default:
+      Taken = A <= 0;
+      break;
+    }
+    F.Pc = Taken ? F.Pc + rdS2(C, F.Pc + 1) : F.Pc + 3;
+    return StepResult::Continue;
+  }
+  case Op::IfIcmpeq:
+  case Op::IfIcmpne:
+  case Op::IfIcmplt:
+  case Op::IfIcmpge:
+  case Op::IfIcmpgt:
+  case Op::IfIcmple: {
+    int32_t B = pop().I, A = pop().I;
+    bool Taken = false;
+    switch (O) {
+    case Op::IfIcmpeq:
+      Taken = A == B;
+      break;
+    case Op::IfIcmpne:
+      Taken = A != B;
+      break;
+    case Op::IfIcmplt:
+      Taken = A < B;
+      break;
+    case Op::IfIcmpge:
+      Taken = A >= B;
+      break;
+    case Op::IfIcmpgt:
+      Taken = A > B;
+      break;
+    default:
+      Taken = A <= B;
+      break;
+    }
+    F.Pc = Taken ? F.Pc + rdS2(C, F.Pc + 1) : F.Pc + 3;
+    return StepResult::Continue;
+  }
+  case Op::IfAcmpeq:
+  case Op::IfAcmpne: {
+    Object *B = pop().R, *A = pop().R;
+    bool Taken = O == Op::IfAcmpeq ? A == B : A != B;
+    F.Pc = Taken ? F.Pc + rdS2(C, F.Pc + 1) : F.Pc + 3;
+    return StepResult::Continue;
+  }
+  case Op::Ifnull:
+  case Op::Ifnonnull: {
+    Object *A = pop().R;
+    bool Taken = O == Op::Ifnull ? A == nullptr : A != nullptr;
+    F.Pc = Taken ? F.Pc + rdS2(C, F.Pc + 1) : F.Pc + 3;
+    return StepResult::Continue;
+  }
+  case Op::Goto:
+    F.Pc += rdS2(C, F.Pc + 1);
+    return StepResult::Continue;
+  case Op::GotoW:
+    F.Pc += rdS4(C, F.Pc + 1);
+    return StepResult::Continue;
+  case Op::Jsr:
+    push(Value::retAddr(F.Pc + 3));
+    F.Pc += rdS2(C, F.Pc + 1);
+    return StepResult::Continue;
+  case Op::JsrW:
+    push(Value::retAddr(F.Pc + 5));
+    F.Pc += rdS4(C, F.Pc + 1);
+    return StepResult::Continue;
+  case Op::Ret:
+    F.Pc = F.Locals[rdU1(C, F.Pc + 1)].Ret;
+    return StepResult::Continue;
+
+  case Op::Tableswitch: {
+    uint32_t Base = F.Pc;
+    uint32_t Operands = (Base + 4) & ~3u;
+    int32_t Default = rdS4(C, Operands);
+    int32_t Low = rdS4(C, Operands + 4);
+    int32_t High = rdS4(C, Operands + 8);
+    int32_t Index = pop().I;
+    if (Index < Low || Index > High) {
+      F.Pc = Base + Default;
+    } else {
+      int32_t Offset = rdS4(C, Operands + 12 + 4 * (Index - Low));
+      F.Pc = Base + Offset;
+    }
+    return StepResult::Continue;
+  }
+  case Op::Lookupswitch: {
+    uint32_t Base = F.Pc;
+    uint32_t Operands = (Base + 4) & ~3u;
+    int32_t Default = rdS4(C, Operands);
+    int32_t NPairs = rdS4(C, Operands + 4);
+    int32_t Key = pop().I;
+    int32_t Offset = Default;
+    for (int32_t I = 0; I != NPairs; ++I) {
+      int32_t Match = rdS4(C, Operands + 8 + 8 * I);
+      if (Match == Key) {
+        Offset = rdS4(C, Operands + 12 + 8 * I);
+        break;
+      }
+    }
+    F.Pc = Base + Offset;
+    return StepResult::Continue;
+  }
+
+  // Returns ----------------------------------------------------------------
+  case Op::Ireturn:
+  case Op::Freturn:
+  case Op::Areturn:
+    return returnFromFrame(pop());
+  case Op::Lreturn:
+  case Op::Dreturn:
+    return returnFromFrame(pop2());
+  case Op::Return:
+    return returnFromFrame(std::nullopt);
+
+  // Fields -----------------------------------------------------------------
+  case Op::Getstatic:
+  case Op::Putstatic: {
+    uint16_t Idx = rdU2(C, F.Pc + 1);
+    ConstantPool::MemberRef Ref = F.M->Owner->Cf.Pool.memberRef(Idx);
+    StepResult R;
+    Klass *K = resolveClass(Ref.ClassName, R);
+    if (!K)
+      return R;
+    if (!ensureInitialized(K, R))
+      return R;
+    // The field may be declared in a superclass.
+    Klass *Holder = K;
+    while (Holder && !Holder->Statics.count(Ref.Name))
+      Holder = Holder->Super;
+    if (!Holder)
+      return throwJvm("java/lang/NoSuchFieldError",
+                      Ref.ClassName + "." + Ref.Name);
+    if (O == Op::Getstatic) {
+      Value V = Holder->Statics[Ref.Name];
+      if (desc::slotSize(Ref.Descriptor) == 2)
+        push2(V);
+      else
+        push(V);
+    } else {
+      Holder->Statics[Ref.Name] =
+          desc::slotSize(Ref.Descriptor) == 2 ? pop2() : pop();
+    }
+    F.Pc += 3;
+    return StepResult::Continue;
+  }
+  case Op::Getfield: {
+    uint16_t Idx = rdU2(C, F.Pc + 1);
+    ConstantPool::MemberRef Ref = F.M->Owner->Cf.Pool.memberRef(Idx);
+    Object *Obj = pop().R;
+    if (!Obj)
+      return throwJvm("java/lang/NullPointerException",
+                      "getfield " + Ref.Name);
+    Value V;
+    if (Vm.mode() == ExecutionMode::DoppioJS) {
+      // §6.7: dictionary keyed on the field name.
+      V = Obj->getFieldByName(Ref.Name);
+      if (V.K == Value::Kind::Empty)
+        V = ArrayObject::defaultElement(Ref.Descriptor);
+    } else {
+      FieldInfo *FI = Obj->klass()->findField(Ref.Name);
+      if (!FI)
+        return throwJvm("java/lang/NoSuchFieldError", Ref.Name);
+      V = Obj->getSlot(FI->SlotIndex);
+      if (V.K == Value::Kind::Empty)
+        V = ArrayObject::defaultElement(Ref.Descriptor);
+    }
+    if (desc::slotSize(Ref.Descriptor) == 2)
+      push2(V);
+    else
+      push(V);
+    F.Pc += 3;
+    return StepResult::Continue;
+  }
+  case Op::Putfield: {
+    uint16_t Idx = rdU2(C, F.Pc + 1);
+    ConstantPool::MemberRef Ref = F.M->Owner->Cf.Pool.memberRef(Idx);
+    Value V = desc::slotSize(Ref.Descriptor) == 2 ? pop2() : pop();
+    Object *Obj = pop().R;
+    if (!Obj)
+      return throwJvm("java/lang/NullPointerException",
+                      "putfield " + Ref.Name);
+    if (Vm.mode() == ExecutionMode::DoppioJS) {
+      Obj->setFieldByName(Ref.Name, V);
+    } else {
+      FieldInfo *FI = Obj->klass()->findField(Ref.Name);
+      if (!FI)
+        return throwJvm("java/lang/NoSuchFieldError", Ref.Name);
+      Obj->setSlot(FI->SlotIndex, V);
+    }
+    F.Pc += 3;
+    return StepResult::Continue;
+  }
+
+  // Invocations (§6.1 call-boundary suspend checks live in the helpers) ---
+  case Op::Invokestatic: {
+    uint16_t Idx = rdU2(C, F.Pc + 1);
+    ConstantPool::MemberRef Ref = F.M->Owner->Cf.Pool.memberRef(Idx);
+    StepResult R;
+    Klass *K = resolveClass(Ref.ClassName, R);
+    if (!K)
+      return R;
+    if (!ensureInitialized(K, R))
+      return R;
+    Method *M = K->findMethod(Ref.Name, Ref.Descriptor);
+    if (!M)
+      return throwJvm("java/lang/NoSuchMethodError",
+                      Ref.ClassName + "." + Ref.Name + Ref.Descriptor);
+    if (M->isSynchronized()) {
+      Object *Lock = Vm.mirrorOf(M->Owner);
+      Monitor &Mon = Lock->monitor();
+      if (Mon.OwnerTid != -1 && Mon.OwnerTid != Tid)
+        return monitorEnter(Lock) == StepResult::Block
+                   ? StepResult::Block
+                   : StepResult::Continue;
+    }
+    return invokeMethod(M, /*HasReceiver=*/false, /*InsnLen=*/3);
+  }
+  case Op::Invokespecial:
+  case Op::Invokevirtual:
+  case Op::Invokeinterface: {
+    uint16_t Idx = rdU2(C, F.Pc + 1);
+    uint32_t InsnLen = O == Op::Invokeinterface ? 5 : 3;
+    ConstantPool::MemberRef Ref = F.M->Owner->Cf.Pool.memberRef(Idx);
+    StepResult R;
+    Klass *K = resolveClass(Ref.ClassName, R);
+    if (!K)
+      return R;
+    std::optional<desc::MethodDesc> D = desc::parseMethod(Ref.Descriptor);
+    int ArgSlots = desc::paramSlots(*D);
+    Value Receiver = peek(ArgSlots);
+    if (!Receiver.R)
+      return throwJvm("java/lang/NullPointerException",
+                      "invoke " + Ref.Name);
+    Method *M = nullptr;
+    if (O == Op::Invokespecial) {
+      M = K->findMethod(Ref.Name, Ref.Descriptor);
+    } else {
+      // Virtual dispatch from the receiver's class (§6.7's class ref).
+      M = Receiver.R->klass()->findVirtual(Ref.Name, Ref.Descriptor);
+      if (!M)
+        M = K->findMethod(Ref.Name, Ref.Descriptor);
+    }
+    if (!M)
+      return throwJvm("java/lang/NoSuchMethodError",
+                      Ref.ClassName + "." + Ref.Name + Ref.Descriptor);
+    if (M->isAbstract())
+      return throwJvm("java/lang/AbstractMethodError", M->qualifiedName());
+    if (M->isSynchronized()) {
+      Monitor &Mon = Receiver.R->monitor();
+      if (Mon.OwnerTid != -1 && Mon.OwnerTid != Tid)
+        return monitorEnter(Receiver.R) == StepResult::Block
+                   ? StepResult::Block
+                   : StepResult::Continue;
+    }
+    return invokeMethod(M, /*HasReceiver=*/true, InsnLen);
+  }
+
+  // Allocation -------------------------------------------------------------
+  case Op::New: {
+    uint16_t Idx = rdU2(C, F.Pc + 1);
+    const std::string &Name = F.M->Owner->Cf.Pool.className(Idx);
+    StepResult R;
+    Klass *K = resolveClass(Name, R);
+    if (!K)
+      return R;
+    if (!ensureInitialized(K, R))
+      return R;
+    if (K->isInterface() || (K->AccessFlags & AccAbstract))
+      return throwJvm("java/lang/InstantiationError", Name);
+    push(Value::ref(Vm.allocObject(K)));
+    F.Pc += 3;
+    return StepResult::Continue;
+  }
+  case Op::Newarray: {
+    int32_t Len = pop().I;
+    if (Len < 0)
+      return throwJvm("java/lang/NegativeArraySizeException",
+                      std::to_string(Len));
+    static const char *Descs[] = {"Z", "C", "F", "D", "B", "S", "I", "J"};
+    uint8_t AType = rdU1(C, F.Pc + 1);
+    assert(AType >= 4 && AType <= 11 && "bad newarray type");
+    push(Value::ref(Vm.allocArrayOf(Descs[AType - 4], Len)));
+    F.Pc += 2;
+    return StepResult::Continue;
+  }
+  case Op::Anewarray: {
+    uint16_t Idx = rdU2(C, F.Pc + 1);
+    const std::string &ElemName = F.M->Owner->Cf.Pool.className(Idx);
+    StepResult R;
+    Klass *Elem = resolveClass(ElemName, R);
+    if (!Elem)
+      return R;
+    int32_t Len = pop().I;
+    if (Len < 0)
+      return throwJvm("java/lang/NegativeArraySizeException",
+                      std::to_string(Len));
+    std::string ElemDesc = desc::toFieldDesc(ElemName);
+    push(Value::ref(Vm.allocArrayOf(ElemDesc, Len)));
+    F.Pc += 3;
+    return StepResult::Continue;
+  }
+  case Op::Multianewarray: {
+    uint16_t Idx = rdU2(C, F.Pc + 1);
+    uint8_t Dims = rdU1(C, F.Pc + 3);
+    std::string ArrayDesc = F.M->Owner->Cf.Pool.className(Idx);
+    StepResult R;
+    if (!resolveClass(ArrayDesc, R))
+      return R;
+    std::vector<int32_t> Counts(Dims);
+    for (int I = Dims - 1; I >= 0; --I)
+      Counts[I] = pop().I;
+    for (int32_t N : Counts)
+      if (N < 0)
+        return throwJvm("java/lang/NegativeArraySizeException",
+                        std::to_string(N));
+    // Recursive allocation of the nested arrays.
+    std::function<Object *(const std::string &, size_t)> Build =
+        [&](const std::string &Desc, size_t Dim) -> Object * {
+      std::string Elem = Desc.substr(1);
+      ArrayObject *A = Vm.allocArrayOf(Elem, Counts[Dim]);
+      if (Dim + 1 < Counts.size() && !Elem.empty() && Elem[0] == '[')
+        for (int32_t I = 0; I != Counts[Dim]; ++I)
+          A->set(I, Value::ref(Build(Elem, Dim + 1)));
+      return A;
+    };
+    push(Value::ref(Build(ArrayDesc, 0)));
+    F.Pc += 4;
+    return StepResult::Continue;
+  }
+  case Op::Arraylength: {
+    Object *Ref = pop().R;
+    if (!Ref)
+      return throwJvm("java/lang/NullPointerException", "arraylength");
+    push(Value::intVal(static_cast<ArrayObject *>(Ref)->length()));
+    ++F.Pc;
+    return StepResult::Continue;
+  }
+
+  // Casts ------------------------------------------------------------------
+  case Op::Checkcast: {
+    uint16_t Idx = rdU2(C, F.Pc + 1);
+    const std::string &Name = F.M->Owner->Cf.Pool.className(Idx);
+    StepResult R;
+    Klass *K = resolveClass(Name, R);
+    if (!K)
+      return R;
+    Object *Obj = peek().R;
+    if (Obj && !isInstanceOfKlass(Vm, Obj, K))
+      return throwJvm("java/lang/ClassCastException",
+                      Obj->klass()->Name + " cannot be cast to " + Name);
+    F.Pc += 3;
+    return StepResult::Continue;
+  }
+  case Op::Instanceof: {
+    uint16_t Idx = rdU2(C, F.Pc + 1);
+    const std::string &Name = F.M->Owner->Cf.Pool.className(Idx);
+    StepResult R;
+    Klass *K = resolveClass(Name, R);
+    if (!K)
+      return R;
+    Object *Obj = pop().R;
+    push(Value::intVal(isInstanceOfKlass(Vm, Obj, K) ? 1 : 0));
+    F.Pc += 3;
+    return StepResult::Continue;
+  }
+
+  // Exceptions and monitors --------------------------------------------------
+  case Op::Athrow: {
+    Object *Ex = pop().R;
+    if (!Ex)
+      return throwJvm("java/lang/NullPointerException", "athrow");
+    return dispatchException(Ex);
+  }
+  case Op::Monitorenter: {
+    Object *Obj = peek().R;
+    if (!Obj)
+      return throwJvm("java/lang/NullPointerException", "monitorenter");
+    StepResult R = monitorEnter(Obj);
+    if (R == StepResult::Block)
+      return R; // pc unchanged; retried when the owner releases.
+    pop();
+    ++F.Pc;
+    // §6.2: monitor checks are DoppioJVM's context-switch points.
+    ++Vm.stats().ContextSwitchPoints;
+    if (wantsSuspend())
+      return StepResult::Yield;
+    return StepResult::Continue;
+  }
+  case Op::Monitorexit: {
+    Object *Obj = pop().R;
+    if (!Obj)
+      return throwJvm("java/lang/NullPointerException", "monitorexit");
+    StepResult R = monitorExit(Obj);
+    if (R != StepResult::Continue)
+      return R;
+    ++F.Pc;
+    ++Vm.stats().ContextSwitchPoints;
+    if (wantsSuspend())
+      return StepResult::Yield;
+    return StepResult::Continue;
+  }
+
+  case Op::Wide:
+    return stepWide(F);
+  }
+  return throwJvm("java/lang/ClassFormatError",
+                  "illegal opcode " + std::to_string(C[F.Pc]));
+}
+
+JvmThread::StepResult JvmThread::stepWide(Frame &F) {
+  const std::vector<uint8_t> &C = F.M->Code.Bytecode;
+  Op Inner = static_cast<Op>(C[F.Pc + 1]);
+  uint16_t Slot = rdU2(C, F.Pc + 2);
+  switch (Inner) {
+  case Op::Iload:
+  case Op::Fload:
+  case Op::Aload:
+    push(F.Locals[Slot]);
+    F.Pc += 4;
+    return StepResult::Continue;
+  case Op::Lload:
+  case Op::Dload:
+    push2(F.Locals[Slot]);
+    F.Pc += 4;
+    return StepResult::Continue;
+  case Op::Istore:
+  case Op::Fstore:
+  case Op::Astore:
+    F.Locals[Slot] = pop();
+    F.Pc += 4;
+    return StepResult::Continue;
+  case Op::Lstore:
+  case Op::Dstore:
+    F.Locals[Slot] = pop2();
+    F.Pc += 4;
+    return StepResult::Continue;
+  case Op::Ret:
+    F.Pc = F.Locals[Slot].Ret;
+    return StepResult::Continue;
+  case Op::Iinc: {
+    int16_t Delta = rdS2(C, F.Pc + 4);
+    F.Locals[Slot] = Value::intVal(modeAdd(F.Locals[Slot].I, Delta));
+    F.Pc += 6;
+    return StepResult::Continue;
+  }
+  default:
+    return throwJvm("java/lang/ClassFormatError", "bad wide instruction");
+  }
+}

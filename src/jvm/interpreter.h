@@ -1,0 +1,181 @@
+//===- jvm/interpreter.h - The bytecode interpreter (§6.1-6.6) ----*- C++ -*-==//
+//
+// Part of the Doppio reproduction. See README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The DoppioJVM interpreter: all 201 JVM-spec-2 opcodes over an explicit,
+/// heap-allocated call stack — "DoppioJVM's stack frame is a JavaScript
+/// object that contains an array for the operand stack, an array for the
+/// local variables, and a reference to the method that the stack frame
+/// belongs to. The call stack is simply an array of these stack frame
+/// objects" (§6.1). Because the stack is explicit, the thread can suspend
+/// at any call boundary (automatic event segmentation), block on
+/// asynchronous natives (§4.2/§6.3), switch threads at monitor points
+/// (§6.2), and dispatch exceptions by walking the virtual stack (§6.6).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DOPPIO_JVM_INTERPRETER_H
+#define DOPPIO_JVM_INTERPRETER_H
+
+#include "doppio/threads.h"
+#include "jvm/jvm.h"
+#include "jvm/klass.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace doppio {
+namespace jvm {
+
+/// One frame of the explicit call stack (§6.1).
+struct Frame {
+  Method *M = nullptr;
+  uint32_t Pc = 0;
+  /// Local variable array; category-2 values take a slot plus padding.
+  std::vector<Value> Locals;
+  /// The operand stack; same two-slot convention as the specification.
+  std::vector<Value> Stack;
+  /// Monitor held by a synchronized method (released on exit/unwind).
+  Object *Locked = nullptr;
+  /// When this frame is a <clinit>, the class to mark initialized on
+  /// return.
+  Klass *ClinitOf = nullptr;
+};
+
+/// A JVM thread: a guest thread of the Doppio pool (§4.3/§6.2).
+class JvmThread : public rt::GuestThread {
+public:
+  JvmThread(Jvm &Vm, int32_t Tid) : Vm(Vm), Tid(Tid) {}
+
+  rt::RunOutcome resume() override;
+  std::string name() const override {
+    return "jvm-thread-" + std::to_string(Tid);
+  }
+
+  /// Pushes a frame invoking \p M with \p Args (receiver first for
+  /// instance methods). Used to seed main() and Thread.run().
+  void pushEntryFrame(Method *M, std::vector<Value> Args);
+
+  int32_t tid() const { return Tid; }
+  bool finished() const { return Finished; }
+  bool uncaughtException() const { return Uncaught; }
+  const std::vector<Frame> &callStack() const { return CallStack; }
+
+  /// The java.lang.Thread object bound to this thread (may be null for
+  /// the main thread until Thread.currentThread materializes it).
+  Object *ThreadObj = nullptr;
+  /// Threads blocked in join() on this one.
+  std::vector<int32_t> JoinWaiters;
+
+  // Asynchronous-native bookkeeping (§4.2/§6.3): the invoke already
+  // completed (args popped, pc advanced); on resume the settled result is
+  // pushed or the stored error thrown.
+  bool AwaitingNativeResult = false;
+  rt::ErrorOr<Value> PendingNativeResult{Value()};
+  /// Set when an asynchronous class load failed; thrown as
+  /// NoClassDefFoundError when the thread resumes (§6.4).
+  std::optional<std::string> PendingLoadFailure;
+
+  // Object.wait reacquisition (§6.2): after a notify, the monitor must be
+  // reacquired at its saved entry count before wait() returns.
+  struct Reacquire {
+    Object *Obj;
+    int32_t Count;
+  };
+  std::optional<Reacquire> PendingReacquire;
+  /// Generation counter distinguishing timed-wait timeouts.
+  uint64_t WaitGeneration = 0;
+
+  /// Formats the virtual stack as a Java-style trace (§6.1's free stack
+  /// introspection).
+  std::string stackTrace() const;
+
+  /// Tears the call stack down (System.exit): the invoking native returns
+  /// into an empty stack and the thread terminates.
+  void killForExit() { CallStack.clear(); }
+
+private:
+  enum class StepResult { Continue, Yield, Block, Done };
+
+  StepResult step();
+  StepResult stepWide(Frame &F);
+
+  // Operand stack helpers (two-slot convention for category 2).
+  void push(Value V) { CallStack.back().Stack.push_back(V); }
+  void push2(Value V) {
+    push(V);
+    push(Value()); // Padding slot.
+  }
+  Value pop() {
+    Value V = CallStack.back().Stack.back();
+    CallStack.back().Stack.pop_back();
+    return V;
+  }
+  Value pop2() {
+    CallStack.back().Stack.pop_back(); // Padding.
+    return pop();
+  }
+  Value &peek(int Depth = 0) {
+    auto &S = CallStack.back().Stack;
+    return S[S.size() - 1 - Depth];
+  }
+  /// Pushes a value using the slot convention its kind demands.
+  void pushSlotted(Value V) {
+    if (V.isCategory2())
+      push2(V);
+    else
+      push(V);
+  }
+
+  // Arithmetic helpers honouring the execution mode.
+  int32_t modeAdd(int32_t A, int32_t B);
+  int32_t modeSub(int32_t A, int32_t B);
+  int32_t modeMul(int32_t A, int32_t B);
+  Value modeLongBin(Op O, Value A, Value B);
+
+  // Exception machinery (§6.6).
+  StepResult throwJvm(const std::string &ClassName,
+                      const std::string &Message);
+  StepResult dispatchException(Object *Exception);
+
+  // Class resolution that may block on the Doppio fs (§6.4).
+  Klass *resolveClass(const std::string &Name, StepResult &Out);
+  /// Ensures static initialization; pushes a <clinit> frame and asks the
+  /// caller to re-execute when initialization is pending.
+  bool ensureInitialized(Klass *K, StepResult &Out);
+
+  // Invocation.
+  StepResult invokeMethod(Method *M, bool HasReceiver,
+                          uint32_t InsnLen);
+  StepResult invokeNative(Method *M, std::vector<Value> Args,
+                          uint32_t InsnLen);
+  StepResult returnFromFrame(std::optional<Value> Ret);
+
+  // Monitors (§6.2).
+  StepResult monitorEnter(Object *O);
+  StepResult monitorExit(Object *O);
+  void releaseMonitor(Object *O);
+
+  /// Call-boundary suspend check (§6.1); also counts context-switch
+  /// points.
+  bool wantsSuspend();
+
+  friend struct NativeContext;
+  friend class Jvm;
+
+  Jvm &Vm;
+  int32_t Tid;
+  std::vector<Frame> CallStack;
+  bool Finished = false;
+  bool Uncaught = false;
+  uint64_t OpsSinceFlush = 0;
+};
+
+} // namespace jvm
+} // namespace doppio
+
+#endif // DOPPIO_JVM_INTERPRETER_H

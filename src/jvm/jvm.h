@@ -1,0 +1,194 @@
+//===- jvm/jvm.h - The DoppioJVM embedder facade (§6, §6.8) -------*- C++ -*-==//
+//
+// Part of the Doppio reproduction. See README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The top-level DoppioJVM object: "DoppioJVM also makes it possible for a
+/// JavaScript program to invoke the JVM much as one would invoke Java on
+/// the command line via an API: the programmer specifies the classpath,
+/// main class, and arguments, and optionally, custom functions to redirect
+/// standard input and output" (§6.8). It owns every subsystem the JVM sits
+/// on: the Doppio execution environment (suspender + thread pool + async
+/// bridge), the file system, the unmanaged heap (for sun.misc.Unsafe,
+/// §6.5), the class loader, the native-method registry, the object arena
+/// (standing in for the JavaScript garbage collector of §6.7), and the
+/// string intern table.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DOPPIO_JVM_JVM_H
+#define DOPPIO_JVM_JVM_H
+
+#include "doppio/fs.h"
+#include "doppio/heap.h"
+#include "doppio/threads.h"
+#include "jvm/classfile/builder.h"
+#include "jvm/classloader.h"
+#include "jvm/natives.h"
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+namespace doppio {
+namespace jvm {
+
+class JvmThread;
+
+/// Construction options.
+struct JvmOptions {
+  ExecutionMode Mode = ExecutionMode::DoppioJS;
+  /// Unmanaged heap size (§5.2/§6.5).
+  uint32_t HeapBytes = 4u << 20;
+  /// Directories searched for class files.
+  std::vector<std::string> Classpath = {"/classes"};
+  /// Virtual JS-engine cost per interpreted bytecode (DoppioJS mode; the
+  /// browser profile's engine factor scales it further).
+  uint64_t OpCostNs = 64;
+  /// Virtual cost per bytecode for the native-interpreter baseline, used
+  /// when benchmarks compare browser virtual time against HotSpot
+  /// (DESIGN.md: calibrated so Chrome lands in the paper's 24-42x band).
+  uint64_t NativeOpCostNs = 2;
+};
+
+/// Statistics the evaluation harness reads.
+struct JvmStats {
+  uint64_t OpsExecuted = 0;
+  uint64_t MethodInvocations = 0;
+  uint64_t ObjectsAllocated = 0;
+  uint64_t SuspendYields = 0;
+  uint64_t ContextSwitchPoints = 0;
+};
+
+/// One DoppioJVM instance inside one browser tab.
+class Jvm {
+public:
+  /// \p Fs is the Doppio file system the JVM mounts (class path, program
+  /// I/O). The built-in class library is installed immediately.
+  Jvm(browser::BrowserEnv &Env, rt::fs::FileSystem &Fs, rt::Process &Proc,
+      JvmOptions Options = JvmOptions());
+  ~Jvm();
+
+  // Subsystems.
+  browser::BrowserEnv &env() { return Env; }
+  rt::fs::FileSystem &fs() { return Fs; }
+  rt::Process &process() { return Proc; }
+  rt::Suspender &suspender() { return Susp; }
+  rt::ThreadPool &pool() { return Pool; }
+  rt::UnmanagedHeap &heap() { return Heap; }
+  ClassLoader &loader() { return Loader; }
+  const JvmOptions &options() const { return Options; }
+  ExecutionMode mode() const { return Options.Mode; }
+  JvmStats &stats() { return Stats; }
+
+  // Native registry (§6.3). Key: "pkg/Cls.name(desc)".
+  void registerNative(const std::string &ClassName, const std::string &Name,
+                      const std::string &Desc, NativeFn Fn);
+  NativeFn resolveNative(const Klass &K, const Method &M) const;
+
+  // Object allocation: the arena stands in for the JS garbage collector
+  // (§6.7) — objects live until the Jvm dies. DESIGN.md records this
+  // substitution.
+  Object *allocObject(Klass *K);
+  ArrayObject *allocArray(Klass *ArrayKlass, const std::string &ElemDesc,
+                          int32_t Length);
+  /// Allocates an array, synthesizing its array class ("[I", "[Lx;").
+  ArrayObject *allocArrayOf(const std::string &ElemDesc, int32_t Length);
+
+  // String support: java.lang.String objects backed by char arrays.
+  Object *internString(const std::string &Utf8);
+  Object *newString(const std::string &Utf8);
+  /// Reads a java.lang.String's characters back; "<null>" for null.
+  std::string stringValue(Object *Str) const;
+
+  /// The java.lang.Class mirror of \p K (created lazily).
+  Object *mirrorOf(Klass *K);
+  /// Inverse of mirrorOf; null if \p Mirror is not a mirror.
+  Klass *mirroredClass(Object *Mirror) const;
+
+  /// Identity hash codes (stable per object).
+  int32_t identityHash(Object *O);
+
+  /// Constructs a Throwable instance of \p ClassName with \p Message
+  /// (fields set directly; constructors are not run — matches how the VM
+  /// itself raises errors).
+  Object *makeThrowable(const std::string &ClassName,
+                        const std::string &Message);
+
+  // Threads (§6.2): the JVM thread table.
+  JvmThread *threadForTid(int32_t Tid);
+  JvmThread *threadForObject(Object *ThreadObj);
+  /// Spawns a JVM thread whose first frame invokes \p M with \p Args.
+  int32_t spawnThread(Method *M, std::vector<Value> Args,
+                      Object *ThreadObj);
+  int32_t currentTid() const { return Pool.currentThread(); }
+
+  // §6.8: JavaScript interop. The embedder may install an eval hook; the
+  // doppio/JS.eval native routes through it.
+  void setJsEval(std::function<std::string(const std::string &)> Hook) {
+    JsEval = std::move(Hook);
+  }
+  const std::function<std::string(const std::string &)> &jsEval() const {
+    return JsEval;
+  }
+
+  /// §6.8 command-line-style entry: loads \p MainClass, runs
+  /// main([Ljava/lang/String;)V on a fresh thread. \p Done receives the
+  /// exit code (0, or 1 after an uncaught exception / missing main).
+  void runMain(const std::string &MainClass,
+               const std::vector<std::string> &Args,
+               std::function<void(int)> Done);
+
+  /// runMain + drive the event loop until the JVM is idle. For tests,
+  /// examples, and benchmarks.
+  int runMainToCompletion(const std::string &MainClass,
+                          const std::vector<std::string> &Args);
+
+  /// Charges accumulated interpreter work to the browser's virtual clock
+  /// (DoppioJS mode). Called by the interpreter at slice boundaries.
+  void flushOpCharges(uint64_t Ops);
+
+  /// Exit code recorded by the main thread (-1 while running).
+  int exitCode() const { return ExitCode; }
+  void setExitCode(int Code) { ExitCode = Code; }
+
+  /// Called by the interpreter when a thread terminates: wakes join
+  /// waiters, and completes the runMain callback for the main thread.
+  void noteThreadFinished(JvmThread &T);
+
+private:
+  browser::BrowserEnv &Env;
+  rt::fs::FileSystem &Fs;
+  rt::Process &Proc;
+  JvmOptions Options;
+  rt::Suspender Susp;
+  rt::ThreadPool Pool;
+  rt::UnmanagedHeap Heap;
+  ClassLoader Loader;
+  JvmStats Stats;
+
+  std::map<std::string, NativeFn> NativeRegistry;
+  std::vector<std::unique_ptr<Object>> Arena;
+  std::unordered_map<std::string, Object *> InternedStrings;
+  std::unordered_map<Klass *, Object *> Mirrors;
+  std::unordered_map<Object *, Klass *> MirrorToKlass;
+  std::unordered_map<Object *, int32_t> IdentityHashes;
+  std::unordered_map<Object *, int32_t> ThreadObjToTid;
+  std::vector<JvmThread *> Threads; // Indexed by tid; owned by the pool.
+  std::function<std::string(const std::string &)> JsEval;
+  int ExitCode = -1;
+  int32_t MainTid = -1;
+  std::function<void(int)> MainDone;
+};
+
+/// Installs the built-in class library (jcl.cpp): java/lang core,
+/// java/io streams over the Doppio fs, sun/misc/Unsafe over the heap,
+/// doppio/Socket over WebSockets, doppio/JS interop.
+void installCoreClasses(Jvm &Vm);
+
+} // namespace jvm
+} // namespace doppio
+
+#endif // DOPPIO_JVM_JVM_H

@@ -1,0 +1,135 @@
+//===- jvm/klass.h - Linked runtime classes -----------------------*- C++ -*-==//
+//
+// Part of the Doppio reproduction. See README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The linked, runtime form of a loaded class: resolved superclass and
+/// interface pointers, the instance-field layout (slot offsets for the
+/// NativeHotspot mode; field names for the DoppioJS dictionary mode),
+/// method tables, static storage, and the initialization state machine
+/// driven by the interpreter's <clinit> handling (§6.4).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DOPPIO_JVM_KLASS_H
+#define DOPPIO_JVM_KLASS_H
+
+#include "jvm/classfile/classfile.h"
+#include "jvm/classfile/descriptor.h"
+#include "jvm/object.h"
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace doppio {
+namespace jvm {
+
+class Klass;
+struct NativeContext;
+
+/// A native method body, implemented in the host (paper: in JavaScript,
+/// §6.3).
+using NativeFn = std::function<void(NativeContext &)>;
+
+/// One resolved method.
+struct Method {
+  Klass *Owner = nullptr;
+  uint16_t AccessFlags = 0;
+  std::string Name;
+  std::string Descriptor;
+  desc::MethodDesc Parsed;
+  int ParamSlots = 0; // Excluding the receiver.
+  int RetSlots = 0;
+  CodeAttr Code; // Empty for native/abstract methods.
+  bool HasCode = false;
+  NativeFn Native; // Bound at link time from the native registry (§6.3).
+
+  bool isStatic() const { return AccessFlags & AccStatic; }
+  bool isNative() const { return AccessFlags & AccNative; }
+  bool isSynchronized() const { return AccessFlags & AccSynchronized; }
+  bool isAbstract() const { return AccessFlags & AccAbstract; }
+  std::string key() const { return Name + Descriptor; }
+  std::string qualifiedName() const;
+};
+
+/// One declared field.
+struct FieldInfo {
+  Klass *Owner = nullptr;
+  uint16_t AccessFlags = 0;
+  std::string Name;
+  std::string Descriptor;
+  /// Instance slot index (NativeHotspot layout), -1 for statics.
+  int32_t SlotIndex = -1;
+  uint16_t ConstantValueIndex = 0;
+
+  bool isStatic() const { return AccessFlags & AccStatic; }
+};
+
+/// A loaded, linked class.
+class Klass {
+public:
+  enum class InitState { Uninitialized, Initializing, Initialized };
+
+  std::string Name;
+  Klass *Super = nullptr;
+  std::vector<Klass *> Interfaces;
+  uint16_t AccessFlags = 0;
+  ClassFile Cf; // Retains the constant pool for ldc/invoke/field insns.
+
+  /// All declared fields (instance and static).
+  std::vector<FieldInfo> Fields;
+  /// Instance slots including superclasses (NativeHotspot layout size).
+  uint32_t InstanceSlotCount = 0;
+  /// Static values keyed by field name.
+  std::map<std::string, Value> Statics;
+
+  std::vector<std::unique_ptr<Method>> Methods;
+  InitState Init = InitState::Uninitialized;
+
+  // Array classes (§6.7: "the special array class that the JVM constructs
+  // according to the array's component type").
+  bool IsArrayClass = false;
+  std::string ElemDesc;
+
+  /// Declared method lookup (this class only).
+  Method *findDeclaredMethod(const std::string &Name,
+                             const std::string &Desc);
+  /// Resolution along the superclass chain (and interfaces).
+  Method *findMethod(const std::string &Name, const std::string &Desc);
+  /// Virtual dispatch from this (receiver) class.
+  Method *findVirtual(const std::string &Name, const std::string &Desc) {
+    return findMethod(Name, Desc);
+  }
+
+  /// Field lookup along the superclass chain.
+  FieldInfo *findField(const std::string &Name);
+
+  bool isSubclassOf(const Klass *Other) const;
+  bool implementsInterface(const Klass *Iface) const;
+  /// instanceof / checkcast relation (subclass or interface; array
+  /// covariance is handled by the interpreter).
+  bool isAssignableTo(const Klass *Target) const;
+
+  bool isInterface() const { return AccessFlags & AccInterface; }
+
+  Method *clinit() { return findDeclaredMethod("<clinit>", "()V"); }
+};
+
+/// Links a parsed class file into a Klass. \p Super and \p Interfaces must
+/// already be linked. \p ResolveNative binds native methods (may return an
+/// empty function for unknown natives — calling one throws
+/// UnsatisfiedLinkError at run time).
+std::unique_ptr<Klass>
+linkClass(ClassFile Cf, Klass *Super, std::vector<Klass *> Interfaces,
+          const std::function<NativeFn(const Klass &, const Method &)>
+              &ResolveNative);
+
+} // namespace jvm
+} // namespace doppio
+
+#endif // DOPPIO_JVM_KLASS_H

@@ -1,0 +1,189 @@
+//===- jvm/long64.cpp -----------------------------------------------------==//
+//
+// Software 64-bit arithmetic from 32-bit pieces. The structure mirrors what
+// a JavaScript implementation (like DoppioJVM's gLong) performs: additions
+// carry through 16-bit chunks, multiplication is the schoolbook product of
+// 16-bit digits, and division is binary shift-subtract — all expressible
+// with JS doubles.
+//
+//===----------------------------------------------------------------------===//
+
+#include "jvm/long64.h"
+
+#include <cmath>
+
+using namespace doppio;
+using namespace doppio::jvm;
+
+Long64 Long64::fromDouble(double V) {
+  if (std::isnan(V))
+    return {0, 0};
+  // Clamp to the long range, as (long) double conversion requires.
+  if (V >= 9223372036854775807.0)
+    return {0xFFFFFFFFu, 0x7FFFFFFFu};
+  if (V <= -9223372036854775808.0)
+    return {0u, 0x80000000u};
+  bool Negative = V < 0;
+  double Abs = std::floor(std::abs(V));
+  uint32_t Hi = static_cast<uint32_t>(std::floor(Abs / 4294967296.0));
+  uint32_t Lo = static_cast<uint32_t>(Abs - Hi * 4294967296.0);
+  Long64 R = {Lo, Hi};
+  return Negative ? negLong(R) : R;
+}
+
+double Long64::toDouble() const {
+  if (isNegative()) {
+    Long64 Neg = negLong(*this);
+    // MIN_VALUE negates to itself; handle via unsigned interpretation.
+    if (Neg.isNegative())
+      return -9223372036854775808.0;
+    return -Neg.toDouble();
+  }
+  return static_cast<double>(Hi) * 4294967296.0 + static_cast<double>(Lo);
+}
+
+Long64 jvm::addLong(Long64 A, Long64 B) {
+  // 16-bit chunk addition with explicit carries (all values stay far below
+  // 2^53, so a JS double computes each chunk exactly).
+  uint32_t A0 = A.Lo & 0xFFFF, A1 = A.Lo >> 16;
+  uint32_t A2 = A.Hi & 0xFFFF, A3 = A.Hi >> 16;
+  uint32_t B0 = B.Lo & 0xFFFF, B1 = B.Lo >> 16;
+  uint32_t B2 = B.Hi & 0xFFFF, B3 = B.Hi >> 16;
+  uint32_t C0 = A0 + B0;
+  uint32_t C1 = A1 + B1 + (C0 >> 16);
+  uint32_t C2 = A2 + B2 + (C1 >> 16);
+  uint32_t C3 = A3 + B3 + (C2 >> 16);
+  return {(C0 & 0xFFFF) | ((C1 & 0xFFFF) << 16),
+          (C2 & 0xFFFF) | ((C3 & 0xFFFF) << 16)};
+}
+
+Long64 jvm::negLong(Long64 A) {
+  // Two's complement: ~A + 1.
+  return addLong({~A.Lo, ~A.Hi}, {1, 0});
+}
+
+Long64 jvm::subLong(Long64 A, Long64 B) { return addLong(A, negLong(B)); }
+
+Long64 jvm::mulLong(Long64 A, Long64 B) {
+  // Schoolbook product of 16-bit digits, keeping the low 64 bits.
+  uint32_t AD[4] = {A.Lo & 0xFFFF, A.Lo >> 16, A.Hi & 0xFFFF, A.Hi >> 16};
+  uint32_t BD[4] = {B.Lo & 0xFFFF, B.Lo >> 16, B.Hi & 0xFFFF, B.Hi >> 16};
+  uint32_t Out[4] = {0, 0, 0, 0};
+  for (int I = 0; I != 4; ++I) {
+    uint32_t Carry = 0;
+    for (int J = 0; I + J < 4; ++J) {
+      // Max value: 0xFFFF*0xFFFF + 0xFFFF + carry < 2^32 (and < 2^53 as a
+      // JS double).
+      uint32_t Prod = AD[I] * BD[J] + (Out[I + J] & 0xFFFF) + Carry;
+      Out[I + J] = Prod & 0xFFFF;
+      Carry = Prod >> 16;
+    }
+  }
+  return {Out[0] | (Out[1] << 16), Out[2] | (Out[3] << 16)};
+}
+
+/// Unsigned comparison of halves.
+static bool ugeLong(Long64 A, Long64 B) {
+  if (A.Hi != B.Hi)
+    return A.Hi > B.Hi;
+  return A.Lo >= B.Lo;
+}
+
+/// Unsigned shift-subtract division of magnitudes: 64 iterations, each one
+/// built from 32-bit operations — exactly why software long division is so
+/// slow in the browser (§8).
+static void udivmod(Long64 N, Long64 D, Long64 &Q, Long64 &R) {
+  Q = {0, 0};
+  R = {0, 0};
+  for (int Bit = 63; Bit >= 0; --Bit) {
+    // R <<= 1; R.lo0 = bit of N.
+    R = jvm::shlLong(R, 1);
+    uint32_t NBit = Bit >= 32 ? ((N.Hi >> (Bit - 32)) & 1)
+                              : ((N.Lo >> Bit) & 1);
+    R.Lo |= NBit;
+    if (ugeLong(R, D)) {
+      R = jvm::subLong(R, D);
+      if (Bit >= 32)
+        Q.Hi |= 1u << (Bit - 32);
+      else
+        Q.Lo |= 1u << Bit;
+    }
+  }
+}
+
+Long64 jvm::divLong(Long64 A, Long64 B) {
+  bool NegA = A.isNegative(), NegB = B.isNegative();
+  Long64 MagA = NegA ? negLong(A) : A;
+  Long64 MagB = NegB ? negLong(B) : B;
+  Long64 Q, R;
+  udivmod(MagA, MagB, Q, R);
+  // Note MIN_VALUE / -1: magnitudes overflow back to MIN_VALUE, and the
+  // sign fix-up below wraps correctly, matching JVM semantics.
+  return NegA != NegB ? negLong(Q) : Q;
+}
+
+Long64 jvm::remLong(Long64 A, Long64 B) {
+  bool NegA = A.isNegative(), NegB = B.isNegative();
+  Long64 MagA = NegA ? negLong(A) : A;
+  Long64 MagB = NegB ? negLong(B) : B;
+  Long64 Q, R;
+  udivmod(MagA, MagB, Q, R);
+  return NegA ? negLong(R) : R;
+}
+
+Long64 jvm::andLong(Long64 A, Long64 B) {
+  return {A.Lo & B.Lo, A.Hi & B.Hi};
+}
+
+Long64 jvm::orLong(Long64 A, Long64 B) {
+  return {A.Lo | B.Lo, A.Hi | B.Hi};
+}
+
+Long64 jvm::xorLong(Long64 A, Long64 B) {
+  return {A.Lo ^ B.Lo, A.Hi ^ B.Hi};
+}
+
+Long64 jvm::shlLong(Long64 A, int32_t Count) {
+  Count &= 63;
+  if (Count == 0)
+    return A;
+  if (Count >= 32)
+    return {0, A.Lo << (Count - 32)};
+  return {A.Lo << Count, (A.Hi << Count) | (A.Lo >> (32 - Count))};
+}
+
+Long64 jvm::shrLong(Long64 A, int32_t Count) {
+  Count &= 63;
+  if (Count == 0)
+    return A;
+  uint32_t SignFill = A.isNegative() ? 0xFFFFFFFFu : 0u;
+  if (Count >= 32) {
+    uint32_t Lo = Count == 32
+                      ? A.Hi
+                      : (A.Hi >> (Count - 32)) |
+                            (SignFill << (64 - Count));
+    return {Lo, SignFill};
+  }
+  return {(A.Lo >> Count) | (A.Hi << (32 - Count)),
+          (A.Hi >> Count) | (SignFill << (32 - Count))};
+}
+
+Long64 jvm::ushrLong(Long64 A, int32_t Count) {
+  Count &= 63;
+  if (Count == 0)
+    return A;
+  if (Count >= 32)
+    return {A.Hi >> (Count - 32), 0};
+  return {(A.Lo >> Count) | (A.Hi << (32 - Count)), A.Hi >> Count};
+}
+
+int32_t jvm::cmpLong(Long64 A, Long64 B) {
+  bool NegA = A.isNegative(), NegB = B.isNegative();
+  if (NegA != NegB)
+    return NegA ? -1 : 1;
+  if (A.Hi != B.Hi)
+    return A.Hi < B.Hi ? -1 : 1;
+  if (A.Lo != B.Lo)
+    return A.Lo < B.Lo ? -1 : 1;
+  return 0;
+}

@@ -1,0 +1,116 @@
+//===- jvm/object.h - JVM objects and arrays (§6.7) ---------------*- C++ -*-==//
+//
+// Part of the Doppio reproduction. See README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// "DoppioJVM maps JVM objects to JavaScript objects, where each object
+/// contains a reference to its class and a dictionary that contains all of
+/// its fields keyed on their names. JVM arrays ... are mapped to a
+/// JavaScript object that contains an array of values and a reference to
+/// the special array class" (§6.7). In DoppioJS mode fields live in exactly
+/// that dictionary; in NativeHotspot mode they live in slot-indexed
+/// storage, which is part of the baseline's speed advantage.
+///
+/// Every object can lazily grow a monitor (owner, entry count, entry set,
+/// wait set) for synchronized blocks and Object.wait/notify (§6.2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DOPPIO_JVM_OBJECT_H
+#define DOPPIO_JVM_OBJECT_H
+
+#include "jvm/value.h"
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace doppio {
+namespace jvm {
+
+class Klass;
+
+/// Monitor state attached lazily to objects used for locking.
+struct Monitor {
+  /// Owning thread id, -1 when free.
+  int32_t OwnerTid = -1;
+  int32_t EntryCount = 0;
+  /// Threads blocked trying to enter.
+  std::vector<int32_t> EntrySet;
+  /// Threads parked in Object.wait.
+  std::vector<int32_t> WaitSet;
+};
+
+/// A JVM object instance.
+class Object {
+public:
+  Object(Klass *K, ExecutionMode Mode, uint32_t SlotCount)
+      : K(K), Mode(Mode) {
+    if (Mode == ExecutionMode::NativeHotspot)
+      Slots.resize(SlotCount);
+  }
+  virtual ~Object();
+
+  Klass *klass() const { return K; }
+  ExecutionMode mode() const { return Mode; }
+
+  // DoppioJS-mode access: the name-keyed dictionary of §6.7.
+  Value getFieldByName(const std::string &Name) const {
+    auto It = Dict.find(Name);
+    return It == Dict.end() ? Value() : It->second;
+  }
+  void setFieldByName(const std::string &Name, Value V) { Dict[Name] = V; }
+
+  // NativeHotspot-mode access: precomputed slot offsets.
+  Value getSlot(uint32_t Index) const { return Slots[Index]; }
+  void setSlot(uint32_t Index, Value V) { Slots[Index] = V; }
+
+  /// The object's monitor, created on first use.
+  Monitor &monitor() {
+    if (!Mon)
+      Mon = std::make_unique<Monitor>();
+    return *Mon;
+  }
+  bool hasMonitor() const { return Mon != nullptr; }
+
+  virtual bool isArray() const { return false; }
+
+private:
+  Klass *K;
+  ExecutionMode Mode;
+  std::unordered_map<std::string, Value> Dict; // DoppioJS fields.
+  std::vector<Value> Slots;                    // NativeHotspot fields.
+  std::unique_ptr<Monitor> Mon;
+};
+
+/// A JVM array: element storage plus the array class reference (§6.7).
+class ArrayObject : public Object {
+public:
+  ArrayObject(Klass *ArrayKlass, ExecutionMode Mode, std::string ElemDesc,
+              int32_t Length)
+      : Object(ArrayKlass, Mode, 0), ElemDesc(std::move(ElemDesc)),
+        Elems(Length, defaultElement(this->ElemDesc)) {}
+
+  bool isArray() const override { return true; }
+
+  int32_t length() const { return static_cast<int32_t>(Elems.size()); }
+  Value get(int32_t Index) const { return Elems[Index]; }
+  void set(int32_t Index, Value V) { Elems[Index] = V; }
+  const std::string &elemDesc() const { return ElemDesc; }
+  std::vector<Value> &elems() { return Elems; }
+
+  /// Zero/null of the element type.
+  static Value defaultElement(const std::string &Desc);
+
+private:
+  std::string ElemDesc;
+  std::vector<Value> Elems;
+};
+
+} // namespace jvm
+} // namespace doppio
+
+#endif // DOPPIO_JVM_OBJECT_H

@@ -1,0 +1,147 @@
+//===- vm32/game.cpp ------------------------------------------------------==//
+
+#include "vm32/game.h"
+
+#include <random>
+
+using namespace doppio;
+using namespace doppio::vm32;
+
+std::vector<std::string> vm32::gameAssetPaths(const GameConfig &Config) {
+  std::vector<std::string> Paths;
+  for (int L = 0; L != Config.Levels; ++L)
+    Paths.push_back("/srv/assets/level" + std::to_string(L) + ".dat");
+  return Paths;
+}
+
+std::vector<std::pair<std::string, std::vector<uint8_t>>>
+vm32::makeGameAssets(const GameConfig &Config) {
+  std::vector<std::pair<std::string, std::vector<uint8_t>>> Assets;
+  std::mt19937 Rng(424242);
+  for (const std::string &Path : gameAssetPaths(Config)) {
+    std::vector<uint8_t> Bytes(Config.AssetBytes);
+    for (auto &B : Bytes)
+      B = static_cast<uint8_t>(Rng());
+    Assets.emplace_back(Path, std::move(Bytes));
+  }
+  return Assets;
+}
+
+MProgram vm32::buildShadowGame(const GameConfig &Config) {
+  MProgram P;
+  for (const std::string &Path : gameAssetPaths(Config))
+    P.Strings.push_back(Path); // Index == level number.
+  int SaveStr = static_cast<int>(P.Strings.size());
+  P.Strings.push_back(gameSavePath());
+  int OverStr = static_cast<int>(P.Strings.size());
+  P.Strings.push_back("game over");
+
+  // physics(f): ~40 arithmetic steps per frame.
+  {
+    MFunctionBuilder B("physics", /*NumLocals=*/3); // 0=f 1=i 2=acc
+    auto Loop = B.newLabel(), Done = B.newLabel();
+    B.emit(MOp::LoadLocal, 0).emit(MOp::StoreLocal, 2);
+    B.emit(MOp::Push, 0).emit(MOp::StoreLocal, 1);
+    B.bind(Loop)
+        .emit(MOp::LoadLocal, 1)
+        .emit(MOp::Push, 40)
+        .emit(MOp::CmpLt)
+        .jump(MOp::Jz, Done)
+        // acc = (acc * 3 + i) ^ f
+        .emit(MOp::LoadLocal, 2)
+        .emit(MOp::Push, 3)
+        .emit(MOp::Mul)
+        .emit(MOp::LoadLocal, 1)
+        .emit(MOp::Add)
+        .emit(MOp::LoadLocal, 0)
+        .emit(MOp::Xor)
+        .emit(MOp::StoreLocal, 2)
+        // i++
+        .emit(MOp::LoadLocal, 1)
+        .emit(MOp::Push, 1)
+        .emit(MOp::Add)
+        .emit(MOp::StoreLocal, 1)
+        .jump(MOp::Jmp, Loop)
+        .bind(Done)
+        .emit(MOp::LoadLocal, 2)
+        .emit(MOp::Ret);
+    P.Functions.push_back(B.finish());
+  }
+  int PhysicsFn = 0;
+
+  // main: per level, load asset, run frames, save progress.
+  {
+    MFunctionBuilder B("main", /*NumLocals=*/3); // 0=level 1=frame 2=total
+    auto LevelLoop = B.newLabel(), LevelDone = B.newLabel();
+    auto FrameLoop = B.newLabel(), FrameDone = B.newLabel();
+    std::vector<MFunctionBuilder::Label> LevelCases;
+    B.emit(MOp::Push, 0).emit(MOp::StoreLocal, 2);
+    B.emit(MOp::Push, 0).emit(MOp::StoreLocal, 0);
+    B.bind(LevelLoop)
+        .emit(MOp::LoadLocal, 0)
+        .emit(MOp::Push, Config.Levels)
+        .emit(MOp::CmpLt)
+        .jump(MOp::Jz, LevelDone);
+    // total ^= LoadAsset(level's path). The string index is level-
+    // dependent; a dispatch chain selects it (the VM has no indirect
+    // string operand).
+    auto AfterLoad = B.newLabel();
+    for (int L = 0; L != Config.Levels; ++L) {
+      auto ThisLevel = B.newLabel();
+      B.emit(MOp::LoadLocal, 0)
+          .emit(MOp::Push, L)
+          .emit(MOp::Xor)              // 0 iff level == L.
+          .jump(MOp::Jz, ThisLevel);   // Take the case when equal.
+      LevelCases.push_back(ThisLevel);
+    }
+    // Fallthrough (never reached when level < Levels).
+    B.emit(MOp::Push, 0).jump(MOp::Jmp, AfterLoad);
+    for (int L = 0; L != Config.Levels; ++L) {
+      B.bind(LevelCases[L]);
+      B.emit(MOp::LoadAsset, L).jump(MOp::Jmp, AfterLoad);
+    }
+    B.bind(AfterLoad)
+        .emit(MOp::LoadLocal, 2)
+        .emit(MOp::Xor)
+        .emit(MOp::StoreLocal, 2);
+    // Frame loop.
+    B.emit(MOp::Push, 0).emit(MOp::StoreLocal, 1);
+    B.bind(FrameLoop)
+        .emit(MOp::LoadLocal, 1)
+        .emit(MOp::Push, Config.FramesPerLevel)
+        .emit(MOp::CmpLt)
+        .jump(MOp::Jz, FrameDone)
+        .emit(MOp::LoadLocal, 1)
+        .emit(MOp::Call, PhysicsFn, 1)
+        .emit(MOp::LoadLocal, 2)
+        .emit(MOp::Xor)
+        .emit(MOp::StoreLocal, 2)
+        .emit(MOp::FrameMark)
+        .emit(MOp::LoadLocal, 1)
+        .emit(MOp::Push, 1)
+        .emit(MOp::Add)
+        .emit(MOp::StoreLocal, 1)
+        .jump(MOp::Jmp, FrameLoop)
+        .bind(FrameDone);
+    // Save progress: level+1.
+    B.emit(MOp::LoadLocal, 0)
+        .emit(MOp::Push, 1)
+        .emit(MOp::Add)
+        .emit(MOp::SaveState, SaveStr);
+    // level++
+    B.emit(MOp::LoadLocal, 0)
+        .emit(MOp::Push, 1)
+        .emit(MOp::Add)
+        .emit(MOp::StoreLocal, 0)
+        .jump(MOp::Jmp, LevelLoop)
+        .bind(LevelDone)
+        .emit(MOp::LoadLocal, 2)
+        .emit(MOp::Print)
+        .emit(MOp::Puts, OverStr)
+        .emit(MOp::Push, 0)
+        .emit(MOp::Halt);
+    P.Functions.push_back(B.finish());
+    P.Entry = 1;
+  }
+  return P;
+}

@@ -1,0 +1,48 @@
+//===- vm32/game.h - The "Me and My Shadow" analog (§7.2) ---------*- C++ -*-==//
+//
+// Part of the Doppio reproduction. See README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The case-study game: a level-based "compiled C++" program that loads
+/// one asset per level, simulates physics frames, and saves progress to a
+/// configuration file after each level — the exact behaviours §7.2
+/// contrasts between plain Emscripten (preload everything, no saving,
+/// page freezes) and Emscripten+Doppio (lazy loading, persistent saves,
+/// responsive page).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DOPPIO_VM32_GAME_H
+#define DOPPIO_VM32_GAME_H
+
+#include "vm32/minivm.h"
+
+namespace doppio {
+namespace vm32 {
+
+struct GameConfig {
+  int Levels = 4;
+  int FramesPerLevel = 1500;
+  /// Size of each level's asset file.
+  int AssetBytes = 32 * 1024;
+};
+
+/// The "compiled" game program.
+MProgram buildShadowGame(const GameConfig &Config);
+
+/// Server paths of the game's level assets ("/srv/assets/levelK.dat").
+std::vector<std::string> gameAssetPaths(const GameConfig &Config);
+
+/// Generates the level asset files (path -> bytes) for the web server.
+std::vector<std::pair<std::string, std::vector<uint8_t>>>
+makeGameAssets(const GameConfig &Config);
+
+/// Where the game saves its progress.
+inline const char *gameSavePath() { return "/save/progress.txt"; }
+
+} // namespace vm32
+} // namespace doppio
+
+#endif // DOPPIO_VM32_GAME_H

@@ -1,0 +1,341 @@
+//===- vm32/minivm.cpp ----------------------------------------------------==//
+
+#include "vm32/minivm.h"
+
+#include <cassert>
+
+using namespace doppio;
+using namespace doppio::vm32;
+using rt::ApiError;
+using rt::Errno;
+using rt::ErrorOr;
+
+const char *vm32::vm32StatusName(Vm32Status St) {
+  switch (St) {
+  case Vm32Status::Idle:
+    return "idle";
+  case Vm32Status::Running:
+    return "running";
+  case Vm32Status::Finished:
+    return "finished";
+  case Vm32Status::Killed:
+    return "killed-by-watchdog";
+  case Vm32Status::Faulted:
+    return "faulted";
+  }
+  return "?";
+}
+
+MFunction MFunctionBuilder::finish() {
+  for (size_t At : Fixups) {
+    int32_t L = F.Code[At].A;
+    assert(LabelPos[L] >= 0 && "jump to unbound label");
+    F.Code[At].A = LabelPos[L];
+  }
+  return std::move(F);
+}
+
+namespace doppio {
+namespace vm32 {
+
+/// The Doppio-mode guest thread wrapper: the compiled program's explicit
+/// stack lives in the MiniVm; this adapter plugs it into the pool (§4.3).
+class Vm32Thread : public rt::GuestThread {
+public:
+  explicit Vm32Thread(MiniVm &Vm) : Vm(Vm) {}
+
+  rt::RunOutcome resume() override {
+    // Deliver a settled blocking syscall result (§4.2).
+    if (Vm.AwaitingResult) {
+      Vm.AwaitingResult = false;
+      if (!Vm.PendingResult.ok()) {
+        Vm.fault(Vm.PendingResult.error().message());
+        return rt::RunOutcome::Terminated;
+      }
+      if (Vm.PendingPush)
+        Vm.Operands.push_back(*Vm.PendingResult);
+    }
+    switch (Vm.run(/*Segmented=*/true)) {
+    case MiniVm::StepOutcome::Yield:
+      return rt::RunOutcome::Yielded;
+    case MiniVm::StepOutcome::Block:
+      return rt::RunOutcome::Blocked;
+    default:
+      return rt::RunOutcome::Terminated;
+    }
+  }
+
+  std::string name() const override { return "vm32"; }
+
+private:
+  MiniVm &Vm;
+};
+
+} // namespace vm32
+} // namespace doppio
+
+MiniVm::MiniVm(browser::BrowserEnv &Env, rt::fs::FileSystem &Fs, MProgram P,
+               HostMode Mode)
+    : Env(Env), Fs(Fs), Prog(std::move(P)), Mode(Mode), Susp(Env),
+      Pool(Env, Susp) {}
+
+MiniVm::~MiniVm() = default;
+
+void MiniVm::fault(const std::string &Reason) {
+  Status = Vm32Status::Faulted;
+  FaultReason = Reason;
+  CallStack.clear();
+}
+
+static int32_t checksumBytes(const std::vector<uint8_t> &Bytes) {
+  uint32_t H = 2166136261u;
+  for (uint8_t B : Bytes)
+    H = (H ^ B) * 16777619u;
+  return static_cast<int32_t>(H);
+}
+
+void MiniVm::preloadAndRun(const std::vector<std::string> &AssetPaths) {
+  assert(Mode == HostMode::Emscripten &&
+         "preloadAndRun models Emscripten packaging");
+  Status = Vm32Status::Running;
+  // Emscripten's file packager: every asset is fetched before main runs,
+  // whether the program will need it or not (§7.2: "the Emscripten demo
+  // needs to load all of the game's assets into memory prior to
+  // execution").
+  auto Remaining = std::make_shared<size_t>(AssetPaths.size());
+  auto RunMain = [this] {
+    Env.loop().enqueueTask([this] {
+      // main() as one long event: no segmentation.
+      CallStack.push_back(
+          {&Prog.Functions[Prog.Entry], 0,
+           std::vector<int32_t>(Prog.Functions[Prog.Entry].NumLocals, 0)});
+      run(/*Segmented=*/false);
+    });
+  };
+  if (AssetPaths.empty()) {
+    RunMain();
+    return;
+  }
+  for (const std::string &Path : AssetPaths) {
+    Fs.readFile(Path, [this, Path, Remaining,
+                       RunMain](ErrorOr<std::vector<uint8_t>> R) {
+      if (!R) {
+        fault("preload failed: " + R.error().message());
+        return;
+      }
+      S.AssetBytesPreloaded += R->size();
+      Preloaded[Path] = std::move(*R);
+      if (--*Remaining == 0)
+        RunMain();
+    });
+  }
+}
+
+void MiniVm::start() {
+  assert(Mode == HostMode::DoppioRt && "start spawns on the Doppio pool");
+  Status = Vm32Status::Running;
+  CallStack.push_back(
+      {&Prog.Functions[Prog.Entry], 0,
+       std::vector<int32_t>(Prog.Functions[Prog.Entry].NumLocals, 0)});
+  PoolTid =
+      static_cast<int32_t>(Pool.spawn(std::make_unique<Vm32Thread>(*this)));
+}
+
+MiniVm::StepOutcome MiniVm::run(bool Segmented) {
+  while (true) {
+    StepOutcome R = step(Segmented);
+    if (R != StepOutcome::Continue)
+      return R;
+  }
+}
+
+MiniVm::StepOutcome MiniVm::step(bool Segmented) {
+  if (CallStack.empty())
+    return StepOutcome::Done;
+  MFrame &F = CallStack.back();
+  if (F.Pc >= F.F->Code.size()) {
+    fault("fell off the end of " + F.F->Name);
+    return StepOutcome::Done;
+  }
+  const MInsn &I = F.F->Code[F.Pc];
+  ++S.InsnsExecuted;
+  // Model the compiled code's execution cost on the engine.
+  Env.chargeCompute(12);
+
+  auto pop = [this] {
+    int32_t V = Operands.back();
+    Operands.pop_back();
+    return V;
+  };
+
+  switch (I.Op) {
+  case MOp::Push:
+    Operands.push_back(I.A);
+    ++F.Pc;
+    return StepOutcome::Continue;
+  case MOp::Pop:
+    pop();
+    ++F.Pc;
+    return StepOutcome::Continue;
+  case MOp::Dup:
+    Operands.push_back(Operands.back());
+    ++F.Pc;
+    return StepOutcome::Continue;
+  case MOp::LoadLocal:
+    Operands.push_back(F.Locals[I.A]);
+    ++F.Pc;
+    return StepOutcome::Continue;
+  case MOp::StoreLocal:
+    F.Locals[I.A] = pop();
+    ++F.Pc;
+    return StepOutcome::Continue;
+  case MOp::Add: {
+    int32_t B = pop(), A = pop();
+    Operands.push_back(static_cast<int32_t>(
+        static_cast<int64_t>(A) + B));
+    ++F.Pc;
+    return StepOutcome::Continue;
+  }
+  case MOp::Sub: {
+    int32_t B = pop(), A = pop();
+    Operands.push_back(static_cast<int32_t>(
+        static_cast<int64_t>(A) - B));
+    ++F.Pc;
+    return StepOutcome::Continue;
+  }
+  case MOp::Mul: {
+    int32_t B = pop(), A = pop();
+    Operands.push_back(static_cast<int32_t>(
+        static_cast<int64_t>(A) * B));
+    ++F.Pc;
+    return StepOutcome::Continue;
+  }
+  case MOp::Xor: {
+    int32_t B = pop(), A = pop();
+    Operands.push_back(A ^ B);
+    ++F.Pc;
+    return StepOutcome::Continue;
+  }
+  case MOp::CmpLt: {
+    int32_t B = pop(), A = pop();
+    Operands.push_back(A < B ? 1 : 0);
+    ++F.Pc;
+    return StepOutcome::Continue;
+  }
+  case MOp::Jmp:
+    F.Pc = static_cast<size_t>(I.A);
+    return StepOutcome::Continue;
+  case MOp::Jz:
+    F.Pc = pop() == 0 ? static_cast<size_t>(I.A) : F.Pc + 1;
+    return StepOutcome::Continue;
+  case MOp::Call: {
+    const MFunction &Callee = Prog.Functions[I.A];
+    MFrame New{&Callee, 0, std::vector<int32_t>(Callee.NumLocals, 0)};
+    for (int Arg = I.B - 1; Arg >= 0; --Arg)
+      New.Locals[Arg] = pop();
+    ++F.Pc;
+    CallStack.push_back(std::move(New));
+    return StepOutcome::Continue;
+  }
+  case MOp::Ret: {
+    int32_t V = pop();
+    CallStack.pop_back();
+    Operands.push_back(V);
+    return StepOutcome::Continue;
+  }
+  case MOp::Print:
+    Console += std::to_string(pop()) + "\n";
+    ++F.Pc;
+    return StepOutcome::Continue;
+  case MOp::Puts:
+    Console += Prog.Strings[I.A] + "\n";
+    ++F.Pc;
+    return StepOutcome::Continue;
+
+  case MOp::LoadAsset: {
+    const std::string &Path = Prog.Strings[I.A];
+    ++S.AssetsLoaded;
+    if (Mode == HostMode::Emscripten) {
+      // Only the preloaded memory FS is reachable synchronously (§7.2).
+      auto It = Preloaded.find(Path);
+      if (It == Preloaded.end()) {
+        fault("synchronous load of non-preloaded asset " + Path);
+        return StepOutcome::Done;
+      }
+      Operands.push_back(checksumBytes(It->second));
+      ++F.Pc;
+      return StepOutcome::Continue;
+    }
+    // Doppio mode: block this green thread on the asynchronous download;
+    // the program observes a synchronous read (§4.2).
+    ++F.Pc;
+    Fs.readFile(Path, [this](ErrorOr<std::vector<uint8_t>> R) {
+      if (!R)
+        PendingResult = R.error();
+      else
+        PendingResult = checksumBytes(*R);
+      AwaitingResult = true;
+      PendingPush = true;
+      Pool.unblock(PoolTid);
+    });
+    return StepOutcome::Block;
+  }
+
+  case MOp::SaveState: {
+    const std::string &Path = Prog.Strings[I.A];
+    int32_t V = pop();
+    ++S.SavesAttempted;
+    if (Mode == HostMode::Emscripten) {
+      // No persistent backing: "does not back files to a persistent
+      // storage mechanism ... does not support game saving" (§7.2). The
+      // write is silently lost (MEMFS semantics).
+      ++F.Pc;
+      return StepOutcome::Continue;
+    }
+    ++F.Pc;
+    std::string Text = std::to_string(V);
+    Fs.writeFile(Path, std::vector<uint8_t>(Text.begin(), Text.end()),
+                 [this](std::optional<ApiError> E) {
+                   if (E) {
+                     PendingResult = *E;
+                   } else {
+                     ++S.SavesSucceeded;
+                     PendingResult = 0;
+                   }
+                   AwaitingResult = true;
+                   PendingPush = false;
+                   Pool.unblock(PoolTid);
+                 });
+    return StepOutcome::Block;
+  }
+
+  case MOp::FrameMark:
+    ++S.Frames;
+    ++F.Pc;
+    Env.chargeCompute(browser::usToNs(150)); // Render + physics residue.
+    if (!Segmented) {
+      // Unsegmented Emscripten main loop: the browser eventually kills
+      // the unresponsive script (§3.1).
+      if (Env.loop().currentEventOverLimit()) {
+        Status = Vm32Status::Killed;
+        FaultReason = "browser stopped an unresponsive script";
+        CallStack.clear();
+        return StepOutcome::Done;
+      }
+      return StepOutcome::Continue;
+    }
+    if (Susp.shouldSuspend()) {
+      ++S.SuspendYields;
+      return StepOutcome::Yield;
+    }
+    return StepOutcome::Continue;
+
+  case MOp::Halt:
+    ExitValue = pop();
+    Status = Vm32Status::Finished;
+    CallStack.clear();
+    return StepOutcome::Done;
+  }
+  fault("illegal instruction");
+  return StepOutcome::Done;
+}

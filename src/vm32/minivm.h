@@ -1,0 +1,211 @@
+//===- vm32/minivm.h - The Emscripten case-study VM (§7.2) --------*- C++ -*-==//
+//
+// Part of the Doppio reproduction. See README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A miniature stack VM standing in for "C++ compiled to JavaScript with
+/// Emscripten" (§7.2, DESIGN.md's substitution table). The same compiled
+/// program can be hosted two ways, reproducing the case study's contrast:
+///
+///  - HostMode::Emscripten — how plain Emscripten output runs: main() is
+///    one long browser event (no automatic segmentation, so the watchdog
+///    kills long programs, §2.1/§3.1); files must be preloaded into a
+///    memory FS before execution because there is no synchronous dynamic
+///    loading; and writes have no persistent backing, so saving fails.
+///
+///  - HostMode::DoppioRt — the same program on the Doppio runtime: it runs
+///    as a green thread with suspend checks (page stays responsive),
+///    LoadAsset blocks through the §4.2 bridge onto the Doppio file system
+///    (lazy XHR downloads), and SaveState writes to a persistent mount.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DOPPIO_VM32_MINIVM_H
+#define DOPPIO_VM32_MINIVM_H
+
+#include "doppio/fs.h"
+#include "doppio/threads.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace doppio {
+namespace vm32 {
+
+/// Instruction set of the compiled program.
+enum class MOp : uint8_t {
+  Push,       // A: immediate -> push
+  Pop,        //
+  Dup,        //
+  LoadLocal,  // A: slot
+  StoreLocal, // A: slot
+  Add,
+  Sub,
+  Mul,
+  Xor,
+  CmpLt, // push(a < b)
+  Jmp,   // A: target index
+  Jz,    // A: target (pops condition)
+  Call,  // A: function index, B: argument count
+  Ret,   // pops return value
+  Print,     // pops value -> stdout line
+  Puts,      // A: string index -> stdout line
+  LoadAsset, // A: string index (path) -> pushes byte checksum
+  SaveState, // A: string index (path); pops value, writes it as text
+  FrameMark, // end of a game frame: yield/watchdog point
+  Halt,      // pops exit value
+};
+
+struct MInsn {
+  MOp Op;
+  int32_t A = 0;
+  int32_t B = 0;
+};
+
+struct MFunction {
+  std::string Name;
+  int NumLocals = 0; // Including arguments (slots 0..argc-1).
+  std::vector<MInsn> Code;
+};
+
+struct MProgram {
+  std::vector<MFunction> Functions;
+  std::vector<std::string> Strings;
+  int Entry = 0;
+};
+
+/// Tiny assembler for MPrograms with label fixups.
+class MFunctionBuilder {
+public:
+  explicit MFunctionBuilder(std::string Name, int NumLocals)
+      : F{std::move(Name), NumLocals, {}} {}
+
+  using Label = int;
+  Label newLabel() {
+    LabelPos.push_back(-1);
+    return static_cast<Label>(LabelPos.size() - 1);
+  }
+  MFunctionBuilder &bind(Label L) {
+    LabelPos[L] = static_cast<int32_t>(F.Code.size());
+    return *this;
+  }
+  MFunctionBuilder &emit(MOp Op, int32_t A = 0, int32_t B = 0) {
+    F.Code.push_back({Op, A, B});
+    return *this;
+  }
+  MFunctionBuilder &jump(MOp Op, Label L) {
+    Fixups.push_back(F.Code.size());
+    F.Code.push_back({Op, L, 0});
+    return *this;
+  }
+  MFunction finish();
+
+private:
+  MFunction F;
+  std::vector<int32_t> LabelPos;
+  std::vector<size_t> Fixups;
+};
+
+/// How the compiled program is hosted in the browser (§7.2).
+enum class HostMode { Emscripten, DoppioRt };
+
+/// Terminal states.
+enum class Vm32Status {
+  Idle,
+  Running,
+  Finished,
+  /// The browser watchdog killed the script mid-run (Emscripten mode's
+  /// fate on long computations, §2.1).
+  Killed,
+  /// A syscall failed (e.g. SaveState without persistent storage, or
+  /// LoadAsset of a non-preloaded file in Emscripten mode).
+  Faulted,
+};
+
+const char *vm32StatusName(Vm32Status S);
+
+/// Executes one MProgram under either host mode.
+class MiniVm {
+public:
+  MiniVm(browser::BrowserEnv &Env, rt::fs::FileSystem &Fs, MProgram P,
+         HostMode Mode);
+  ~MiniVm();
+
+  /// Emscripten mode: asynchronously preloads \p Paths into the in-memory
+  /// asset map (Emscripten's preinit file packaging), then runs main as a
+  /// single browser event. Drive the event loop afterwards.
+  void preloadAndRun(const std::vector<std::string> &AssetPaths);
+
+  /// Doppio mode: spawns the program on a Doppio thread pool; assets load
+  /// lazily and saves persist. Drive the event loop afterwards.
+  void start();
+
+  Vm32Status status() const { return Status; }
+  int32_t exitValue() const { return ExitValue; }
+  const std::string &consoleOutput() const { return Console; }
+  const std::string &faultReason() const { return FaultReason; }
+
+  struct Stats {
+    uint64_t InsnsExecuted = 0;
+    uint64_t Frames = 0;
+    uint64_t AssetsLoaded = 0;
+    uint64_t AssetBytesPreloaded = 0;
+    uint64_t SavesAttempted = 0;
+    uint64_t SavesSucceeded = 0;
+    uint64_t SuspendYields = 0;
+  };
+  const Stats &stats() const { return S; }
+
+  rt::Suspender &suspender() { return Susp; }
+
+private:
+  friend class Vm32Thread;
+
+  struct MFrame {
+    const MFunction *F;
+    size_t Pc = 0;
+    std::vector<int32_t> Locals;
+  };
+
+  enum class StepOutcome { Continue, Yield, Block, Done };
+
+  /// Executes until a stopping condition; used by both host modes.
+  StepOutcome run(bool Segmented);
+  StepOutcome step(bool Segmented);
+  void fault(const std::string &Reason);
+
+  browser::BrowserEnv &Env;
+  rt::fs::FileSystem &Fs;
+  MProgram Prog;
+  HostMode Mode;
+  rt::Suspender Susp;
+  rt::ThreadPool Pool;
+
+  std::vector<MFrame> CallStack;
+  std::vector<int32_t> Operands;
+  Vm32Status Status = Vm32Status::Idle;
+  int32_t ExitValue = 0;
+  std::string Console;
+  std::string FaultReason;
+  Stats S;
+
+  // Emscripten-mode preloaded assets (path -> bytes).
+  std::map<std::string, std::vector<uint8_t>> Preloaded;
+
+  // Doppio-mode async-syscall state.
+  bool AwaitingResult = false;
+  /// Whether the settled result is a value to push (LoadAsset) or a
+  /// completion with no stack effect (SaveState).
+  bool PendingPush = false;
+  rt::ErrorOr<int32_t> PendingResult{0};
+  int32_t PoolTid = -1;
+};
+
+} // namespace vm32
+} // namespace doppio
+
+#endif // DOPPIO_VM32_MINIVM_H

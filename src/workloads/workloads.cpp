@@ -1,0 +1,1095 @@
+//===- workloads/workloads.cpp --------------------------------------------==//
+
+#include "workloads/workloads.h"
+
+#include <cassert>
+#include <random>
+
+using namespace doppio;
+using namespace doppio::jvm;
+using namespace doppio::workloads;
+
+void workloads::publish(const Workload &W, browser::StaticServer &Server) {
+  for (const auto &[Name, Bytes] : W.Classes)
+    Server.addFile("/classes/" + Name + ".class", Bytes);
+  for (const auto &[Path, Bytes] : W.DataFiles)
+    Server.addFile(Path, Bytes);
+}
+
+namespace {
+
+const char *OutDesc = "Ljava/io/PrintStream;";
+const char *StrDesc = "Ljava/lang/String;";
+const char *SbDesc = "Ljava/lang/StringBuilder;";
+
+MethodBuilder &mainOf(ClassBuilder &B) {
+  return B.method(AccPublic | AccStatic, "main",
+                  "([Ljava/lang/String;)V");
+}
+
+/// Emits println of the int on top of the stack.
+void printlnInt(MethodBuilder &M) {
+  M.getstatic("java/lang/System", "out", OutDesc)
+      .op(Op::Swap)
+      .invokevirtual("java/io/PrintStream", "println", "(I)V");
+}
+
+/// Emits println of the String on top of the stack.
+void printlnStr(MethodBuilder &M) {
+  M.getstatic("java/lang/System", "out", OutDesc)
+      .op(Op::Swap)
+      .invokevirtual("java/io/PrintStream", "println",
+                     "(Ljava/lang/String;)V");
+}
+
+void takeClass(Workload &W, ClassBuilder &B) {
+  std::string Name = B.name();
+  W.Classes.emplace_back(Name, B.bytes());
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// recursive (SunSpider analog)
+//===----------------------------------------------------------------------===//
+
+Workload workloads::makeRecursive(int FibN, int TakN) {
+  Workload W;
+  W.Name = "recursive";
+  W.MainClass = "bench/Recursive";
+  ClassBuilder B("bench/Recursive");
+  {
+    MethodBuilder &Fib = B.method(AccPublic | AccStatic, "fib", "(I)I");
+    MethodBuilder::Label Rec = Fib.newLabel();
+    Fib.iload(0)
+        .iconst(2)
+        .branch(Op::IfIcmpge, Rec)
+        .iload(0)
+        .op(Op::Ireturn)
+        .bind(Rec)
+        .iload(0)
+        .iconst(1)
+        .op(Op::Isub)
+        .invokestatic("bench/Recursive", "fib", "(I)I")
+        .iload(0)
+        .iconst(2)
+        .op(Op::Isub)
+        .invokestatic("bench/Recursive", "fib", "(I)I")
+        .op(Op::Iadd)
+        .op(Op::Ireturn);
+  }
+  {
+    // tak(x,y,z) = y >= x ? z : tak(tak(x-1,y,z), tak(y-1,z,x),
+    //                               tak(z-1,x,y))
+    MethodBuilder &Tak = B.method(AccPublic | AccStatic, "tak", "(III)I");
+    MethodBuilder::Label Rec = Tak.newLabel();
+    Tak.iload(1)
+        .iload(0)
+        .branch(Op::IfIcmplt, Rec)
+        .iload(2)
+        .op(Op::Ireturn)
+        .bind(Rec)
+        .iload(0)
+        .iconst(1)
+        .op(Op::Isub)
+        .iload(1)
+        .iload(2)
+        .invokestatic("bench/Recursive", "tak", "(III)I")
+        .iload(1)
+        .iconst(1)
+        .op(Op::Isub)
+        .iload(2)
+        .iload(0)
+        .invokestatic("bench/Recursive", "tak", "(III)I")
+        .iload(2)
+        .iconst(1)
+        .op(Op::Isub)
+        .iload(0)
+        .iload(1)
+        .invokestatic("bench/Recursive", "tak", "(III)I")
+        .invokestatic("bench/Recursive", "tak", "(III)I")
+        .op(Op::Ireturn);
+  }
+  MethodBuilder &M = mainOf(B);
+  M.iconst(FibN).invokestatic("bench/Recursive", "fib", "(I)I");
+  printlnInt(M);
+  M.iconst(TakN * 3)
+      .iconst(TakN * 2)
+      .iconst(TakN)
+      .invokestatic("bench/Recursive", "tak", "(III)I");
+  printlnInt(M);
+  M.op(Op::Return);
+  takeClass(W, B);
+  return W;
+}
+
+//===----------------------------------------------------------------------===//
+// binarytrees (SunSpider analog)
+//===----------------------------------------------------------------------===//
+
+Workload workloads::makeBinaryTrees(int MaxDepth) {
+  Workload W;
+  W.Name = "binarytrees";
+  W.MainClass = "bench/BinaryTrees";
+
+  ClassBuilder Node("bench/TreeNode");
+  Node.addField(AccPublic, "l", "Lbench/TreeNode;");
+  Node.addField(AccPublic, "r", "Lbench/TreeNode;");
+  Node.addField(AccPublic, "item", "I");
+  Node.addDefaultConstructor();
+  {
+    // static TreeNode make(int item, int depth)
+    MethodBuilder &Make = Node.method(AccPublic | AccStatic, "make",
+                                      "(II)Lbench/TreeNode;");
+    MethodBuilder::Label Leaf = Make.newLabel();
+    // t = new TreeNode(); t.item = item;   (local 2 = t)
+    Make.anew("bench/TreeNode")
+        .op(Op::Dup)
+        .invokespecial("bench/TreeNode", "<init>", "()V")
+        .astore(2)
+        .aload(2)
+        .iload(0)
+        .putfield("bench/TreeNode", "item", "I")
+        .iload(1)
+        .branch(Op::Ifeq, Leaf)
+        // t.l = make(2*item-1, depth-1)
+        .aload(2)
+        .iconst(2)
+        .iload(0)
+        .op(Op::Imul)
+        .iconst(1)
+        .op(Op::Isub)
+        .iload(1)
+        .iconst(1)
+        .op(Op::Isub)
+        .invokestatic("bench/TreeNode", "make", "(II)Lbench/TreeNode;")
+        .putfield("bench/TreeNode", "l", "Lbench/TreeNode;")
+        // t.r = make(2*item, depth-1)
+        .aload(2)
+        .iconst(2)
+        .iload(0)
+        .op(Op::Imul)
+        .iload(1)
+        .iconst(1)
+        .op(Op::Isub)
+        .invokestatic("bench/TreeNode", "make", "(II)Lbench/TreeNode;")
+        .putfield("bench/TreeNode", "r", "Lbench/TreeNode;")
+        .bind(Leaf)
+        .aload(2)
+        .op(Op::Areturn);
+  }
+  {
+    // int check(): leaf -> item; else item + l.check() - r.check()
+    MethodBuilder &Check = Node.method(AccPublic, "check", "()I");
+    MethodBuilder::Label Inner = Check.newLabel();
+    Check.aload(0)
+        .getfield("bench/TreeNode", "l", "Lbench/TreeNode;")
+        .branch(Op::Ifnonnull, Inner)
+        .aload(0)
+        .getfield("bench/TreeNode", "item", "I")
+        .op(Op::Ireturn)
+        .bind(Inner)
+        .aload(0)
+        .getfield("bench/TreeNode", "item", "I")
+        .aload(0)
+        .getfield("bench/TreeNode", "l", "Lbench/TreeNode;")
+        .invokevirtual("bench/TreeNode", "check", "()I")
+        .op(Op::Iadd)
+        .aload(0)
+        .getfield("bench/TreeNode", "r", "Lbench/TreeNode;")
+        .invokevirtual("bench/TreeNode", "check", "()I")
+        .op(Op::Isub)
+        .op(Op::Ireturn);
+  }
+  takeClass(W, Node);
+
+  ClassBuilder B("bench/BinaryTrees");
+  MethodBuilder &M = mainOf(B);
+  // locals: 1=total, 2=depth, 3=iters, 4=i
+  MethodBuilder::Label DepthLoop = M.newLabel(), DepthDone = M.newLabel();
+  MethodBuilder::Label IterLoop = M.newLabel(), IterDone = M.newLabel();
+  M.iconst(0).istore(1);
+  M.iconst(4).istore(2);
+  M.bind(DepthLoop)
+      .iload(2)
+      .iconst(MaxDepth)
+      .branch(Op::IfIcmpgt, DepthDone)
+      // iters = 1 << (MaxDepth - depth + 4)
+      .iconst(1)
+      .iconst(MaxDepth + 4)
+      .iload(2)
+      .op(Op::Isub)
+      .op(Op::Ishl)
+      .istore(3)
+      .iconst(0)
+      .istore(4)
+      .bind(IterLoop)
+      .iload(4)
+      .iload(3)
+      .branch(Op::IfIcmpge, IterDone)
+      .iload(1)
+      .iload(4)
+      .iload(2)
+      .invokestatic("bench/TreeNode", "make", "(II)Lbench/TreeNode;")
+      .invokevirtual("bench/TreeNode", "check", "()I")
+      .op(Op::Iadd)
+      .istore(1)
+      .iinc(4, 1)
+      .branch(Op::Goto, IterLoop)
+      .bind(IterDone)
+      .iinc(2, 2)
+      .branch(Op::Goto, DepthLoop)
+      .bind(DepthDone)
+      .iload(1);
+  printlnInt(M);
+  M.op(Op::Return);
+  takeClass(W, B);
+  return W;
+}
+
+//===----------------------------------------------------------------------===//
+// nqueens (Kawa analog)
+//===----------------------------------------------------------------------===//
+
+Workload workloads::makeNQueens(int N) {
+  Workload W;
+  W.Name = "nqueens";
+  W.MainClass = "bench/NQueens";
+  ClassBuilder B("bench/NQueens");
+  B.addField(AccPublic | AccStatic, "count", "I");
+  {
+    // static boolean ok(int[] b, int row, int col)
+    MethodBuilder &Ok = B.method(AccPublic | AccStatic, "ok", "([III)Z");
+    MethodBuilder::Label Loop = Ok.newLabel(), Next = Ok.newLabel(),
+                         Yes = Ok.newLabel(), No = Ok.newLabel();
+    // locals: 0=b 1=row 2=col 3=i 4=c
+    Ok.iconst(0).istore(3);
+    Ok.bind(Loop)
+        .iload(3)
+        .iload(1)
+        .branch(Op::IfIcmpge, Yes)
+        .aload(0)
+        .iload(3)
+        .op(Op::Iaload)
+        .istore(4)
+        // c == col ?
+        .iload(4)
+        .iload(2)
+        .branch(Op::IfIcmpeq, No)
+        // c - i == col - row ?
+        .iload(4)
+        .iload(3)
+        .op(Op::Isub)
+        .iload(2)
+        .iload(1)
+        .op(Op::Isub)
+        .branch(Op::IfIcmpeq, No)
+        // c + i == col + row ?
+        .iload(4)
+        .iload(3)
+        .op(Op::Iadd)
+        .iload(2)
+        .iload(1)
+        .op(Op::Iadd)
+        .branch(Op::IfIcmpeq, No)
+        .branch(Op::Goto, Next)
+        .bind(Next)
+        .iinc(3, 1)
+        .branch(Op::Goto, Loop)
+        .bind(Yes)
+        .iconst(1)
+        .op(Op::Ireturn)
+        .bind(No)
+        .iconst(0)
+        .op(Op::Ireturn);
+  }
+  {
+    // static void place(int[] b, int row, int n)
+    MethodBuilder &Place =
+        B.method(AccPublic | AccStatic, "place", "([III)V");
+    MethodBuilder::Label NotFull = Place.newLabel(),
+                         Loop = Place.newLabel(), Skip = Place.newLabel(),
+                         Done = Place.newLabel();
+    // locals: 0=b 1=row 2=n 3=c
+    Place.iload(1)
+        .iload(2)
+        .branch(Op::IfIcmplt, NotFull)
+        .getstatic("bench/NQueens", "count", "I")
+        .iconst(1)
+        .op(Op::Iadd)
+        .putstatic("bench/NQueens", "count", "I")
+        .op(Op::Return)
+        .bind(NotFull)
+        .iconst(0)
+        .istore(3)
+        .bind(Loop)
+        .iload(3)
+        .iload(2)
+        .branch(Op::IfIcmpge, Done)
+        .aload(0)
+        .iload(1)
+        .iload(3)
+        .invokestatic("bench/NQueens", "ok", "([III)Z")
+        .branch(Op::Ifeq, Skip)
+        .aload(0)
+        .iload(1)
+        .iload(3)
+        .op(Op::Iastore)
+        .aload(0)
+        .iload(1)
+        .iconst(1)
+        .op(Op::Iadd)
+        .iload(2)
+        .invokestatic("bench/NQueens", "place", "([III)V")
+        .bind(Skip)
+        .iinc(3, 1)
+        .branch(Op::Goto, Loop)
+        .bind(Done)
+        .op(Op::Return);
+  }
+  MethodBuilder &M = mainOf(B);
+  M.iconst(N)
+      .newarray(ArrayType::Int)
+      .iconst(0)
+      .iconst(N)
+      .invokestatic("bench/NQueens", "place", "([III)V")
+      .getstatic("bench/NQueens", "count", "I");
+  printlnInt(M);
+  M.op(Op::Return);
+  takeClass(W, B);
+  return W;
+}
+
+//===----------------------------------------------------------------------===//
+// deltablue analog: one-way constraint chain
+//===----------------------------------------------------------------------===//
+
+Workload workloads::makeDeltaBlue(int Length, int Iterations) {
+  Workload W;
+  W.Name = "deltablue";
+  W.MainClass = "bench/DeltaBlue";
+
+  ClassBuilder Var("bench/Variable");
+  Var.addField(AccPublic, "value", "I");
+  Var.addDefaultConstructor();
+  takeClass(W, Var);
+
+  // Base constraint: out.value = in.value (equality).
+  ClassBuilder Cons("bench/Constraint");
+  Cons.addField(AccPublic, "in", "Lbench/Variable;");
+  Cons.addField(AccPublic, "out", "Lbench/Variable;");
+  Cons.addDefaultConstructor();
+  {
+    MethodBuilder &Exec = Cons.method(AccPublic, "execute", "()V");
+    Exec.aload(0)
+        .getfield("bench/Constraint", "out", "Lbench/Variable;")
+        .aload(0)
+        .getfield("bench/Constraint", "in", "Lbench/Variable;")
+        .getfield("bench/Variable", "value", "I")
+        .putfield("bench/Variable", "value", "I")
+        .op(Op::Return);
+  }
+  takeClass(W, Cons);
+
+  // Scale constraint: out.value = in.value * scale + offset.
+  ClassBuilder Scale("bench/ScaleConstraint", "bench/Constraint");
+  Scale.addField(AccPublic, "scale", "I");
+  Scale.addField(AccPublic, "offset", "I");
+  Scale.addDefaultConstructor();
+  {
+    MethodBuilder &Exec = Scale.method(AccPublic, "execute", "()V");
+    Exec.aload(0)
+        .getfield("bench/Constraint", "out", "Lbench/Variable;")
+        .aload(0)
+        .getfield("bench/Constraint", "in", "Lbench/Variable;")
+        .getfield("bench/Variable", "value", "I")
+        .aload(0)
+        .getfield("bench/ScaleConstraint", "scale", "I")
+        .op(Op::Imul)
+        .aload(0)
+        .getfield("bench/ScaleConstraint", "offset", "I")
+        .op(Op::Iadd)
+        .putfield("bench/Variable", "value", "I")
+        .op(Op::Return);
+  }
+  takeClass(W, Scale);
+
+  ClassBuilder B("bench/DeltaBlue");
+  MethodBuilder &M = mainOf(B);
+  // locals: 1=vars 2=chain 3=i 4=iter 5=checksum 6=tmp constraint
+  MethodBuilder::Label BuildLoop = M.newLabel(), BuildDone = M.newLabel();
+  MethodBuilder::Label IterLoop = M.newLabel(), IterDone = M.newLabel();
+  MethodBuilder::Label ExecLoop = M.newLabel(), ExecDone = M.newLabel();
+  MethodBuilder::Label IsScale = M.newLabel(), Wired = M.newLabel();
+  // Variable[] vars = new Variable[Length + 1]; all allocated.
+  M.iconst(Length + 1).anewarray("bench/Variable").astore(1);
+  M.iconst(0).istore(3);
+  MethodBuilder::Label VarLoop = M.newLabel(), VarDone = M.newLabel();
+  M.bind(VarLoop)
+      .iload(3)
+      .iconst(Length + 1)
+      .branch(Op::IfIcmpge, VarDone)
+      .aload(1)
+      .iload(3)
+      .anew("bench/Variable")
+      .op(Op::Dup)
+      .invokespecial("bench/Variable", "<init>", "()V")
+      .op(Op::Aastore)
+      .iinc(3, 1)
+      .branch(Op::Goto, VarLoop)
+      .bind(VarDone);
+  // Constraint[] chain = new Constraint[Length]; alternate kinds.
+  M.iconst(Length).anewarray("bench/Constraint").astore(2);
+  M.iconst(0).istore(3);
+  M.bind(BuildLoop)
+      .iload(3)
+      .iconst(Length)
+      .branch(Op::IfIcmpge, BuildDone)
+      .iload(3)
+      .iconst(1)
+      .op(Op::Iand)
+      .branch(Op::Ifne, IsScale)
+      // Even: equality constraint.
+      .anew("bench/Constraint")
+      .op(Op::Dup)
+      .invokespecial("bench/Constraint", "<init>", "()V")
+      .astore(4)
+      .branch(Op::Goto, Wired)
+      .bind(IsScale)
+      // Odd: scale constraint with scale 2, offset 1.
+      .anew("bench/ScaleConstraint")
+      .op(Op::Dup)
+      .invokespecial("bench/ScaleConstraint", "<init>", "()V")
+      .astore(4)
+      .aload(4)
+      .checkcast("bench/ScaleConstraint")
+      .iconst(2)
+      .putfield("bench/ScaleConstraint", "scale", "I")
+      .aload(4)
+      .checkcast("bench/ScaleConstraint")
+      .iconst(1)
+      .putfield("bench/ScaleConstraint", "offset", "I")
+      .bind(Wired)
+      // c.in = vars[i]; c.out = vars[i+1]; chain[i] = c;
+      .aload(4)
+      .aload(1)
+      .iload(3)
+      .op(Op::Aaload)
+      .putfield("bench/Constraint", "in", "Lbench/Variable;")
+      .aload(4)
+      .aload(1)
+      .iload(3)
+      .iconst(1)
+      .op(Op::Iadd)
+      .op(Op::Aaload)
+      .putfield("bench/Constraint", "out", "Lbench/Variable;")
+      .aload(2)
+      .iload(3)
+      .aload(4)
+      .op(Op::Aastore)
+      .iinc(3, 1)
+      .branch(Op::Goto, BuildLoop)
+      .bind(BuildDone);
+  // Iterations: plan execution — vars[0].value = iter; run the chain
+  // (virtual dispatch per constraint); checksum last variable mod 2^31.
+  M.iconst(0).istore(5); // checksum
+  M.iconst(0).istore(4); // iter
+  M.bind(IterLoop)
+      .iload(4)
+      .iconst(Iterations)
+      .branch(Op::IfIcmpge, IterDone)
+      .aload(1)
+      .iconst(0)
+      .op(Op::Aaload)
+      .iload(4)
+      .putfield("bench/Variable", "value", "I")
+      .iconst(0)
+      .istore(3)
+      .bind(ExecLoop)
+      .iload(3)
+      .iconst(Length)
+      .branch(Op::IfIcmpge, ExecDone)
+      .aload(2)
+      .iload(3)
+      .op(Op::Aaload)
+      .invokevirtual("bench/Constraint", "execute", "()V")
+      .iinc(3, 1)
+      .branch(Op::Goto, ExecLoop)
+      .bind(ExecDone)
+      .iload(5)
+      .aload(1)
+      .iconst(Length)
+      .op(Op::Aaload)
+      .getfield("bench/Variable", "value", "I")
+      .op(Op::Ixor)
+      .istore(5)
+      .iinc(4, 1)
+      .branch(Op::Goto, IterLoop)
+      .bind(IterDone)
+      .iload(5);
+  printlnInt(M);
+  M.op(Op::Return);
+  takeClass(W, B);
+  return W;
+}
+
+//===----------------------------------------------------------------------===//
+// pidigits: Rabinowitz-Wagon spigot with long arithmetic
+//===----------------------------------------------------------------------===//
+
+Workload workloads::makePiDigits(int Digits) {
+  Workload W;
+  W.Name = "pidigits";
+  W.MainClass = "bench/PiDigits";
+  ClassBuilder B("bench/PiDigits");
+  MethodBuilder &M = mainOf(B);
+  int Len = Digits * 10 / 3 + 2;
+  // locals: 1=a(long[]) 2=sb 3=predigit 4=nines 5=first 6=j 7..8=q(long)
+  //         9=i 10..11=x(long) 12=digit
+  MethodBuilder::Label InitLoop = M.newLabel(), InitDone = M.newLabel();
+  M.iconst(Len).newarray(ArrayType::Long).astore(1);
+  M.iconst(0).istore(9);
+  M.bind(InitLoop)
+      .iload(9)
+      .iconst(Len)
+      .branch(Op::IfIcmpge, InitDone)
+      .aload(1)
+      .iload(9)
+      .lconst(2)
+      .op(Op::Lastore)
+      .iinc(9, 1)
+      .branch(Op::Goto, InitLoop)
+      .bind(InitDone);
+  M.anew("java/lang/StringBuilder")
+      .op(Op::Dup)
+      .invokespecial("java/lang/StringBuilder", "<init>", "()V")
+      .astore(2);
+  M.iconst(0).istore(3); // predigit
+  M.iconst(0).istore(4); // nines
+  M.iconst(1).istore(5); // first
+  M.iconst(0).istore(6); // j
+  MethodBuilder::Label JLoop = M.newLabel(), JDone = M.newLabel();
+  MethodBuilder::Label ILoop = M.newLabel(), IDone = M.newLabel();
+  M.bind(JLoop).iload(6).iconst(Digits).branch(Op::IfIcmpge, JDone);
+  // q = 0; for (i = Len-1; i >= 1; i--)
+  M.lconst(0).lstore(7);
+  M.iconst(Len - 1).istore(9);
+  M.bind(ILoop).iload(9).iconst(1).branch(Op::IfIcmplt, IDone);
+  // x = 10*a[i] + q*(i+1)
+  M.lconst(10)
+      .aload(1)
+      .iload(9)
+      .op(Op::Laload)
+      .op(Op::Lmul)
+      .lload(7)
+      .iload(9)
+      .iconst(1)
+      .op(Op::Iadd)
+      .op(Op::I2l)
+      .op(Op::Lmul)
+      .op(Op::Ladd)
+      .lstore(10);
+  // a[i] = x % (2*i+1); q = x / (2*i+1)
+  M.aload(1)
+      .iload(9)
+      .lload(10)
+      .iconst(2)
+      .iload(9)
+      .op(Op::Imul)
+      .iconst(1)
+      .op(Op::Iadd)
+      .op(Op::I2l)
+      .op(Op::Lrem)
+      .op(Op::Lastore);
+  M.lload(10)
+      .iconst(2)
+      .iload(9)
+      .op(Op::Imul)
+      .iconst(1)
+      .op(Op::Iadd)
+      .op(Op::I2l)
+      .op(Op::Ldiv)
+      .lstore(7);
+  M.iinc(9, -1).branch(Op::Goto, ILoop).bind(IDone);
+  // x = 10*a[0] + q; a[0] = x % 10; digit = (int)(x / 10)
+  M.lconst(10)
+      .aload(1)
+      .iconst(0)
+      .op(Op::Laload)
+      .op(Op::Lmul)
+      .lload(7)
+      .op(Op::Ladd)
+      .lstore(10);
+  M.aload(1)
+      .iconst(0)
+      .lload(10)
+      .lconst(10)
+      .op(Op::Lrem)
+      .op(Op::Lastore);
+  M.lload(10).lconst(10).op(Op::Ldiv).op(Op::L2i).istore(12);
+  // Predigit buffering.
+  MethodBuilder::Label Nine = M.newLabel(), Ten = M.newLabel(),
+                       Plain = M.newLabel(), Next = M.newLabel();
+  MethodBuilder::Label EmitPre = M.newLabel(), NinesLoopA = M.newLabel(),
+                       NinesDoneA = M.newLabel(), NinesLoopB = M.newLabel(),
+                       NinesDoneB = M.newLabel();
+  M.iload(12).iconst(9).branch(Op::IfIcmpeq, Nine);
+  M.iload(12).iconst(10).branch(Op::IfIcmpeq, Ten);
+  M.branch(Op::Goto, Plain);
+  // digit == 9: buffer it.
+  M.bind(Nine).iinc(4, 1).branch(Op::Goto, Next);
+  // digit == 10: carry into predigit, nines become zeros.
+  M.bind(Ten)
+      .aload(2)
+      .iload(3)
+      .iconst(1)
+      .op(Op::Iadd)
+      .invokevirtual("java/lang/StringBuilder", "append",
+                     "(I)Ljava/lang/StringBuilder;")
+      .op(Op::Pop)
+      .bind(NinesLoopA)
+      .iload(4)
+      .branch(Op::Ifle, NinesDoneA)
+      .aload(2)
+      .iconst(0)
+      .invokevirtual("java/lang/StringBuilder", "append",
+                     "(I)Ljava/lang/StringBuilder;")
+      .op(Op::Pop)
+      .iinc(4, -1)
+      .branch(Op::Goto, NinesLoopA)
+      .bind(NinesDoneA)
+      .iconst(0)
+      .istore(3)
+      .iconst(0)
+      .istore(5) // No longer first.
+      .branch(Op::Goto, Next);
+  // Plain digit: flush predigit (unless first) and buffered nines.
+  M.bind(Plain)
+      .iload(5)
+      .branch(Op::Ifne, EmitPre) // Still first: skip the flush.
+      .aload(2)
+      .iload(3)
+      .invokevirtual("java/lang/StringBuilder", "append",
+                     "(I)Ljava/lang/StringBuilder;")
+      .op(Op::Pop)
+      .bind(EmitPre)
+      .bind(NinesLoopB)
+      .iload(4)
+      .branch(Op::Ifle, NinesDoneB)
+      .aload(2)
+      .iconst(9)
+      .invokevirtual("java/lang/StringBuilder", "append",
+                     "(I)Ljava/lang/StringBuilder;")
+      .op(Op::Pop)
+      .iinc(4, -1)
+      .branch(Op::Goto, NinesLoopB)
+      .bind(NinesDoneB)
+      .iload(12)
+      .istore(3)
+      .iconst(0)
+      .istore(5)
+      .bind(Next)
+      .iinc(6, 1)
+      .branch(Op::Goto, JLoop)
+      .bind(JDone);
+  // Flush the final predigit and print.
+  M.aload(2)
+      .iload(3)
+      .invokevirtual("java/lang/StringBuilder", "append",
+                     "(I)Ljava/lang/StringBuilder;")
+      .op(Op::Pop)
+      .aload(2)
+      .invokevirtual("java/lang/StringBuilder", "toString",
+                     "()Ljava/lang/String;");
+  printlnStr(M);
+  M.op(Op::Return);
+  takeClass(W, B);
+  return W;
+}
+
+//===----------------------------------------------------------------------===//
+// classdump (javap analog)
+//===----------------------------------------------------------------------===//
+
+/// Synthesizes \p Count plausible class files as program input data.
+static std::vector<std::pair<std::string, std::vector<uint8_t>>>
+makeSyntheticClassLibrary(int Count) {
+  std::vector<std::pair<std::string, std::vector<uint8_t>>> Files;
+  std::mt19937 Rng(20140609); // PLDI'14 started June 9.
+  for (int I = 0; I != Count; ++I) {
+    ClassBuilder B("lib/Gen" + std::to_string(I));
+    int Fields = 4 + Rng() % 10;
+    for (int F = 0; F != Fields; ++F)
+      B.addField(AccPrivate, "field" + std::to_string(F),
+                 F % 2 ? "I" : "Ljava/lang/String;");
+    B.addDefaultConstructor();
+    int Methods = 4 + Rng() % 8;
+    for (int Mi = 0; Mi != Methods; ++Mi) {
+      MethodBuilder &M = B.method(AccPublic, "m" + std::to_string(Mi),
+                                  "(I)I");
+      M.iload(1).iconst(static_cast<int32_t>(Rng() % 1000)).op(Op::Iadd);
+      // Pad with string constants so file sizes vary realistically.
+      int Pad = 8 + Rng() % 16;
+      for (int P = 0; P != Pad; ++P)
+        M.ldcString("padding-constant-" + std::to_string(Rng() % 64))
+            .op(Op::Pop);
+      M.op(Op::Ireturn);
+    }
+    Files.emplace_back("/srv/classlib/Gen" + std::to_string(I) + ".class",
+                       B.bytes());
+  }
+  return Files;
+}
+
+Workload workloads::makeClassDump(int FileCount) {
+  Workload W;
+  W.Name = "classdump";
+  W.MainClass = "bench/ClassDump";
+  W.DataFiles = makeSyntheticClassLibrary(FileCount);
+
+  ClassBuilder B("bench/ClassDump");
+  {
+    // static int u2(byte[] b, int off): big-endian 16-bit read.
+    MethodBuilder &U2 = B.method(AccPublic | AccStatic, "u2", "([BI)I");
+    U2.aload(0)
+        .iload(1)
+        .op(Op::Baload)
+        .iconst(255)
+        .op(Op::Iand)
+        .iconst(8)
+        .op(Op::Ishl)
+        .aload(0)
+        .iload(1)
+        .iconst(1)
+        .op(Op::Iadd)
+        .op(Op::Baload)
+        .iconst(255)
+        .op(Op::Iand)
+        .op(Op::Ior)
+        .op(Op::Ireturn);
+  }
+  {
+    // static int parse(byte[] b): walks the constant pool, returns its
+    // entry count; the real javap does this before disassembling.
+    MethodBuilder &P = B.method(AccPublic | AccStatic, "parse", "([B)I");
+    // locals: 0=b 1=cpCount 2=off 3=i 4=tag 5=len
+    MethodBuilder::Label Loop = P.newLabel(), Done = P.newLabel();
+    MethodBuilder::Label TUtf8 = P.newLabel(), T4 = P.newLabel(),
+                         T8 = P.newLabel(), T2 = P.newLabel(),
+                         TRef = P.newLabel(), Bad = P.newLabel(),
+                         Advance = P.newLabel();
+    P.aload(0).iconst(8).invokestatic("bench/ClassDump", "u2", "([BI)I")
+        .istore(1);
+    P.iconst(10).istore(2);
+    P.iconst(1).istore(3);
+    P.bind(Loop).iload(3).iload(1).branch(Op::IfIcmpge, Done);
+    P.aload(0)
+        .iload(2)
+        .op(Op::Baload)
+        .iconst(255)
+        .op(Op::Iand)
+        .istore(4)
+        .iinc(2, 1)
+        .iload(4)
+        .lookupswitch(Bad, {{1, TUtf8},
+                            {3, T4},
+                            {4, T4},
+                            {5, T8},
+                            {6, T8},
+                            {7, T2},
+                            {8, T2},
+                            {9, TRef},
+                            {10, TRef},
+                            {11, TRef},
+                            {12, TRef}});
+    P.bind(TUtf8)
+        .aload(0)
+        .iload(2)
+        .invokestatic("bench/ClassDump", "u2", "([BI)I")
+        .istore(5)
+        .iload(2)
+        .iconst(2)
+        .op(Op::Iadd)
+        .iload(5)
+        .op(Op::Iadd)
+        .istore(2)
+        .branch(Op::Goto, Advance);
+    P.bind(T4).iinc(2, 4).branch(Op::Goto, Advance);
+    P.bind(T8).iinc(2, 8).iinc(3, 1).branch(Op::Goto, Advance);
+    P.bind(T2).iinc(2, 2).branch(Op::Goto, Advance);
+    P.bind(TRef).iinc(2, 4).branch(Op::Goto, Advance);
+    P.bind(Bad).iconst(-1).op(Op::Ireturn);
+    P.bind(Advance).iinc(3, 1).branch(Op::Goto, Loop);
+    P.bind(Done).iload(1).op(Op::Ireturn);
+  }
+  MethodBuilder &M = mainOf(B);
+  // locals: 1=names 2=i 3=bytes 4=cp 5=totalCp 6=totalBytes 7=sb 8=name
+  MethodBuilder::Label Loop = M.newLabel(), Done = M.newLabel(),
+                       BadMagic = M.newLabel(), Cont = M.newLabel();
+  M.ldcString("/srv/classlib")
+      .invokestatic("doppio/io/Files", "list",
+                    "(Ljava/lang/String;)[Ljava/lang/String;")
+      .astore(1);
+  M.anew("java/lang/StringBuilder")
+      .op(Op::Dup)
+      .invokespecial("java/lang/StringBuilder", "<init>", "()V")
+      .astore(7);
+  M.iconst(0).istore(2).iconst(0).istore(5).iconst(0).istore(6);
+  M.bind(Loop)
+      .iload(2)
+      .aload(1)
+      .op(Op::Arraylength)
+      .branch(Op::IfIcmpge, Done)
+      // name = "/srv/classlib/" + names[i]
+      .ldcString("/srv/classlib/")
+      .aload(1)
+      .iload(2)
+      .op(Op::Aaload)
+      .checkcast("java/lang/String")
+      .invokevirtual("java/lang/String", "concat",
+                     "(Ljava/lang/String;)Ljava/lang/String;")
+      .astore(8)
+      .aload(8)
+      .invokestatic("doppio/io/Files", "readAllBytes",
+                    "(Ljava/lang/String;)[B")
+      .astore(3)
+      .iload(6)
+      .aload(3)
+      .op(Op::Arraylength)
+      .op(Op::Iadd)
+      .istore(6)
+      // magic check: (b[0] & 0xFF) == 0xCA
+      .aload(3)
+      .iconst(0)
+      .op(Op::Baload)
+      .iconst(255)
+      .op(Op::Iand)
+      .iconst(0xCA)
+      .branch(Op::IfIcmpne, BadMagic)
+      .aload(3)
+      .invokestatic("bench/ClassDump", "parse", "([B)I")
+      .istore(4)
+      .iload(5)
+      .iload(4)
+      .op(Op::Iadd)
+      .istore(5)
+      // sb.append(name).append(" cp=").append(cp).append("\n")
+      .aload(7)
+      .aload(8)
+      .invokevirtual("java/lang/StringBuilder", "append",
+                     ("(Ljava/lang/String;)" + std::string(SbDesc)))
+      .ldcString(" cp=")
+      .invokevirtual("java/lang/StringBuilder", "append",
+                     ("(Ljava/lang/String;)" + std::string(SbDesc)))
+      .iload(4)
+      .invokevirtual("java/lang/StringBuilder", "append",
+                     ("(I)" + std::string(SbDesc)))
+      .ldcString("\n")
+      .invokevirtual("java/lang/StringBuilder", "append",
+                     ("(Ljava/lang/String;)" + std::string(SbDesc)))
+      .op(Op::Pop)
+      .branch(Op::Goto, Cont)
+      .bind(BadMagic)
+      .ldcString("bad magic");
+  printlnStr(M);
+  M.bind(Cont)
+      .iinc(2, 1)
+      .branch(Op::Goto, Loop)
+      .bind(Done)
+      // Files.mkdirs("/data"); writeString("/data/classdump.out", ...)
+      .ldcString("/data")
+      .invokestatic("doppio/io/Files", "mkdirs", "(Ljava/lang/String;)V")
+      .ldcString("/data/classdump.out")
+      .aload(7)
+      .invokevirtual("java/lang/StringBuilder", "toString",
+                     "()Ljava/lang/String;")
+      .invokestatic("doppio/io/Files", "writeString",
+                    "(Ljava/lang/String;Ljava/lang/String;)V")
+      .iload(5);
+  printlnInt(M);
+  M.iload(6);
+  printlnInt(M);
+  M.op(Op::Return);
+  takeClass(W, B);
+  return W;
+}
+
+//===----------------------------------------------------------------------===//
+// minicompile (javac analog)
+//===----------------------------------------------------------------------===//
+
+/// Deterministic "java-like" source text.
+static std::string syntheticSource(int Index, int Lines) {
+  std::mt19937 Rng(777 + Index);
+  static const char *Words[] = {"int",    "return", "class",  "public",
+                                "value",  "count",  "result", "temp",
+                                "buffer", "index",  "widget", "солнце"};
+  std::string Out = "class Gen" + std::to_string(Index) + " {\n";
+  for (int L = 0; L != Lines; ++L) {
+    Out += "  int m" + std::to_string(L) + "(int x) { return x + ";
+    Out += std::to_string(Rng() % 10000);
+    Out += " + ";
+    Out += Words[Rng() % 11];
+    Out += "; }\n";
+  }
+  Out += "}\n";
+  return Out;
+}
+
+Workload workloads::makeMiniCompile(int SourceCount) {
+  Workload W;
+  W.Name = "minicompile";
+  W.MainClass = "bench/MiniCompile";
+  for (int I = 0; I != SourceCount; ++I) {
+    std::string Text = syntheticSource(I, 40 + (I * 7) % 30);
+    W.DataFiles.emplace_back("/srv/src/Gen" + std::to_string(I) + ".src",
+                             std::vector<uint8_t>(Text.begin(),
+                                                  Text.end()));
+  }
+
+  ClassBuilder B("bench/MiniCompile");
+  {
+    // static int lex(String src): token count (idents, numbers, symbols).
+    MethodBuilder &Lex =
+        B.method(AccPublic | AccStatic, "lex", "(Ljava/lang/String;)I");
+    // locals: 0=src 1=n 2=i 3=tokens 4=c
+    MethodBuilder::Label Loop = Lex.newLabel(), Done = Lex.newLabel();
+    MethodBuilder::Label Ws = Lex.newLabel(), Ident = Lex.newLabel(),
+                         Num = Lex.newLabel(), Sym = Lex.newLabel();
+    MethodBuilder::Label IdLoop = Lex.newLabel(), IdDone = Lex.newLabel();
+    MethodBuilder::Label NumLoop = Lex.newLabel(),
+                         NumDone = Lex.newLabel();
+    Lex.aload(0)
+        .invokevirtual("java/lang/String", "length", "()I")
+        .istore(1)
+        .iconst(0)
+        .istore(2)
+        .iconst(0)
+        .istore(3);
+    Lex.bind(Loop).iload(2).iload(1).branch(Op::IfIcmpge, Done);
+    Lex.aload(0)
+        .iload(2)
+        .invokevirtual("java/lang/String", "charAt", "(I)C")
+        .istore(4);
+    Lex.iload(4)
+        .invokestatic("java/lang/Character", "isWhitespace", "(C)Z")
+        .branch(Op::Ifne, Ws);
+    Lex.iload(4)
+        .invokestatic("java/lang/Character", "isLetter", "(C)Z")
+        .branch(Op::Ifne, Ident);
+    Lex.iload(4)
+        .invokestatic("java/lang/Character", "isDigit", "(C)Z")
+        .branch(Op::Ifne, Num);
+    Lex.branch(Op::Goto, Sym);
+    Lex.bind(Ws).iinc(2, 1).branch(Op::Goto, Loop);
+    // Identifier: consume letters/digits.
+    Lex.bind(Ident).bind(IdLoop).iload(2).iload(1).branch(Op::IfIcmpge,
+                                                          IdDone);
+    MethodBuilder::Label IdMore = Lex.newLabel();
+    Lex.aload(0)
+        .iload(2)
+        .invokevirtual("java/lang/String", "charAt", "(I)C")
+        .istore(4)
+        .iload(4)
+        .invokestatic("java/lang/Character", "isLetter", "(C)Z")
+        .branch(Op::Ifne, IdMore)
+        .iload(4)
+        .invokestatic("java/lang/Character", "isDigit", "(C)Z")
+        .branch(Op::Ifne, IdMore)
+        .branch(Op::Goto, IdDone)
+        .bind(IdMore)
+        .iinc(2, 1)
+        .branch(Op::Goto, IdLoop)
+        .bind(IdDone)
+        .iinc(3, 1)
+        .branch(Op::Goto, Loop);
+    // Number: consume digits.
+    Lex.bind(Num).bind(NumLoop).iload(2).iload(1).branch(Op::IfIcmpge,
+                                                         NumDone);
+    MethodBuilder::Label NumMore = Lex.newLabel();
+    Lex.aload(0)
+        .iload(2)
+        .invokevirtual("java/lang/String", "charAt", "(I)C")
+        .invokestatic("java/lang/Character", "isDigit", "(C)Z")
+        .branch(Op::Ifne, NumMore)
+        .branch(Op::Goto, NumDone)
+        .bind(NumMore)
+        .iinc(2, 1)
+        .branch(Op::Goto, NumLoop)
+        .bind(NumDone)
+        .iinc(3, 1)
+        .branch(Op::Goto, Loop);
+    Lex.bind(Sym).iinc(2, 1).iinc(3, 1).branch(Op::Goto, Loop);
+    Lex.bind(Done).iload(3).op(Op::Ireturn);
+  }
+  MethodBuilder &M = mainOf(B);
+  // locals: 1=names 2=i 3=src 4=tokens 5=total 6=name
+  MethodBuilder::Label Loop = M.newLabel(), Done = M.newLabel();
+  M.ldcString("/data/build")
+      .invokestatic("doppio/io/Files", "mkdirs", "(Ljava/lang/String;)V");
+  M.ldcString("/srv/src")
+      .invokestatic("doppio/io/Files", "list",
+                    "(Ljava/lang/String;)[Ljava/lang/String;")
+      .astore(1);
+  M.iconst(0).istore(2).iconst(0).istore(5);
+  M.bind(Loop)
+      .iload(2)
+      .aload(1)
+      .op(Op::Arraylength)
+      .branch(Op::IfIcmpge, Done)
+      .aload(1)
+      .iload(2)
+      .op(Op::Aaload)
+      .checkcast("java/lang/String")
+      .astore(6)
+      .ldcString("/srv/src/")
+      .aload(6)
+      .invokevirtual("java/lang/String", "concat",
+                     "(Ljava/lang/String;)Ljava/lang/String;")
+      .invokestatic("doppio/io/Files", "readString",
+                    "(Ljava/lang/String;)Ljava/lang/String;")
+      .astore(3)
+      .aload(3)
+      .invokestatic("bench/MiniCompile", "lex", "(Ljava/lang/String;)I")
+      .istore(4)
+      .iload(5)
+      .iload(4)
+      .op(Op::Iadd)
+      .istore(5)
+      // writeString("/data/build/"+name+".out", "tokens="+tokens)
+      .ldcString("/data/build/")
+      .aload(6)
+      .invokevirtual("java/lang/String", "concat",
+                     "(Ljava/lang/String;)Ljava/lang/String;")
+      .ldcString(".out")
+      .invokevirtual("java/lang/String", "concat",
+                     "(Ljava/lang/String;)Ljava/lang/String;")
+      .ldcString("tokens=")
+      .iload(4)
+      .invokestatic("java/lang/Integer", "toString",
+                    "(I)Ljava/lang/String;")
+      .invokevirtual("java/lang/String", "concat",
+                     "(Ljava/lang/String;)Ljava/lang/String;")
+      .invokestatic("doppio/io/Files", "writeString",
+                    "(Ljava/lang/String;Ljava/lang/String;)V")
+      .iinc(2, 1)
+      .branch(Op::Goto, Loop)
+      .bind(Done)
+      .iload(5);
+  printlnInt(M);
+  M.op(Op::Return);
+  takeClass(W, B);
+  (void)StrDesc;
+  (void)OutDesc;
+  return W;
+}
+
+std::vector<Workload> workloads::figure3Workloads() {
+  std::vector<Workload> Out;
+  Out.push_back(makeClassDump(491)); // javap over javac's 491 class files.
+  Out.push_back(makeMiniCompile(19)); // javac over javap's 19 sources.
+  Out.push_back(makeRecursive());
+  Out.push_back(makeBinaryTrees());
+  Out.push_back(makeNQueens(8));
+  return Out;
+}

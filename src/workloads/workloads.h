@@ -1,0 +1,90 @@
+//===- workloads/workloads.h - The §7 benchmark programs ----------*- C++ -*-==//
+//
+// Part of the Doppio reproduction. See README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The JVM programs behind the paper's evaluation (§7.1), synthesized with
+/// the bytecode assembler because the OpenJDK originals cannot ship here
+/// (DESIGN.md documents the substitution). Workload shapes match the
+/// paper's:
+///
+///  - classdump: the javap analog — walks a directory of class files,
+///    parses each one's constant pool and member tables, and writes a
+///    disassembly summary (file-heavy; the Safari typed-array leak bites
+///    here, §7.1).
+///  - minicompile: the javac analog — reads source files, tokenizes them,
+///    and writes "compiled" output (mixed fs + compute; its fs activity
+///    seeds the Figure 6 trace).
+///  - recursive, binarytrees: the Rhino/SunSpider programs.
+///  - nqueens: the Kawa-Scheme benchmark.
+///  - deltablue: the §7.1 microbenchmark — a one-way constraint chain
+///    solved via virtual dispatch over an object graph.
+///  - pidigits: the spigot algorithm, long-arithmetic-heavy (§8's software
+///    longs dominate it in DoppioJS mode).
+///
+/// Every workload prints deterministic output, so the two execution modes
+/// can be differential-tested against each other.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DOPPIO_WORKLOADS_WORKLOADS_H
+#define DOPPIO_WORKLOADS_WORKLOADS_H
+
+#include "browser/xhr.h"
+#include "jvm/classfile/builder.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace doppio {
+namespace workloads {
+
+/// A ready-to-run benchmark program.
+struct Workload {
+  std::string Name;
+  std::string MainClass;
+  std::vector<std::string> Args;
+  /// Class name -> class file bytes.
+  std::vector<std::pair<std::string, std::vector<uint8_t>>> Classes;
+  /// Extra server files (program input data), path -> bytes.
+  std::vector<std::pair<std::string, std::vector<uint8_t>>> DataFiles;
+};
+
+/// Publishes the workload's classes (under /classes) and data files onto
+/// the simulated web server.
+void publish(const Workload &W, browser::StaticServer &Server);
+
+/// SunSpider "recursive": fib + tak, printing checksums.
+Workload makeRecursive(int FibN = 22, int TakN = 7);
+
+/// SunSpider "binary-trees": allocate/walk binary trees of \p MaxDepth.
+Workload makeBinaryTrees(int MaxDepth = 10);
+
+/// Kawa nqueens(n): counts solutions with a backtracking board walk.
+Workload makeNQueens(int N = 8);
+
+/// DeltaBlue-style one-way constraint chain: \p Length constraints
+/// re-solved \p Iterations times through virtual calls.
+Workload makeDeltaBlue(int Length = 60, int Iterations = 100);
+
+/// Spigot pi digits (long-arithmetic-heavy).
+Workload makePiDigits(int Digits = 200);
+
+/// javap analog over \p FileCount synthesized class files served under
+/// /data/classlib; writes a summary to /data/classdump.out.
+Workload makeClassDump(int FileCount = 60);
+
+/// javac analog over \p SourceCount synthetic source files under
+/// /data/src; writes one output per source plus a summary.
+Workload makeMiniCompile(int SourceCount = 19);
+
+/// All macro workloads of Figure 3, in the paper's order.
+std::vector<Workload> figure3Workloads();
+
+} // namespace workloads
+} // namespace doppio
+
+#endif // DOPPIO_WORKLOADS_WORKLOADS_H

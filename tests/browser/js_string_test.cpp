@@ -1,0 +1,66 @@
+//===- tests/browser/js_string_test.cpp -----------------------------------==//
+
+#include "browser/js_string.h"
+
+#include "gtest/gtest.h"
+
+using namespace doppio;
+
+namespace {
+
+TEST(JsString, AsciiRoundTrip) {
+  std::string Text = "Hello, Doppio! 0123\t\n";
+  EXPECT_EQ(js::toAscii(js::fromAscii(Text)), Text);
+}
+
+TEST(JsString, FromAsciiHandlesHighBytes) {
+  std::string Bytes;
+  for (int I = 0; I != 256; ++I)
+    Bytes.push_back(static_cast<char>(I));
+  js::String S = js::fromAscii(Bytes);
+  ASSERT_EQ(S.size(), 256u);
+  for (int I = 0; I != 256; ++I)
+    EXPECT_EQ(S[I], static_cast<char16_t>(I));
+  EXPECT_EQ(js::toAscii(S), Bytes);
+}
+
+TEST(JsString, ByteSizeIsTwoPerCodeUnit) {
+  EXPECT_EQ(js::byteSize(js::fromAscii("abcd")), 8u);
+  EXPECT_EQ(js::byteSize(js::String()), 0u);
+}
+
+TEST(JsString, ValidatesWellFormedUtf16) {
+  EXPECT_TRUE(js::isValidUtf16(js::fromAscii("plain ascii")));
+  // A surrogate pair (U+1F600) is valid.
+  js::String Pair = {0xD83D, 0xDE00};
+  EXPECT_TRUE(js::isValidUtf16(Pair));
+  // BMP characters around the surrogate range are valid.
+  js::String Bmp = {0xD7FF, 0xE000, 0xFFFF};
+  EXPECT_TRUE(js::isValidUtf16(Bmp));
+}
+
+TEST(JsString, RejectsLoneSurrogates) {
+  // These are exactly the 2-byte sequences §5.1 says are not valid UTF-16;
+  // validating browsers refuse them, forcing the 1-byte-per-char fallback.
+  js::String LoneHigh = {0xD800};
+  EXPECT_FALSE(js::isValidUtf16(LoneHigh));
+  js::String LoneLow = {0xDC00};
+  EXPECT_FALSE(js::isValidUtf16(LoneLow));
+  js::String HighThenChar = {0xD800, u'a'};
+  EXPECT_FALSE(js::isValidUtf16(HighThenChar));
+  js::String Reversed = {0xDC00, 0xD800};
+  EXPECT_FALSE(js::isValidUtf16(Reversed));
+}
+
+TEST(JsString, SurrogateClassifiers) {
+  EXPECT_TRUE(js::isHighSurrogate(0xD800));
+  EXPECT_TRUE(js::isHighSurrogate(0xDBFF));
+  EXPECT_FALSE(js::isHighSurrogate(0xDC00));
+  EXPECT_TRUE(js::isLowSurrogate(0xDC00));
+  EXPECT_TRUE(js::isLowSurrogate(0xDFFF));
+  EXPECT_FALSE(js::isLowSurrogate(0xD800));
+  EXPECT_FALSE(js::isHighSurrogate(u'a'));
+  EXPECT_FALSE(js::isLowSurrogate(u'a'));
+}
+
+} // namespace

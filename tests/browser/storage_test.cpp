@@ -1,0 +1,161 @@
+//===- tests/browser/storage_test.cpp -------------------------------------==//
+//
+// Tests for the Table 2 storage mechanisms: quotas, synchrony, string
+// validation, and IndexedDB's asynchronous delivery.
+//
+//===----------------------------------------------------------------------===//
+
+#include "browser/env.h"
+
+#include "gtest/gtest.h"
+
+using namespace doppio;
+using namespace doppio::browser;
+
+namespace {
+
+TEST(LocalStorage, SetGetRemove) {
+  BrowserEnv Env(chromeProfile());
+  LocalStorage &LS = Env.localStorage();
+  EXPECT_EQ(LS.setItem("key", js::fromAscii("value")), StoreResult::Ok);
+  auto Got = LS.getItem("key");
+  ASSERT_TRUE(Got.has_value());
+  EXPECT_EQ(js::toAscii(*Got), "value");
+  LS.removeItem("key");
+  EXPECT_FALSE(LS.getItem("key").has_value());
+}
+
+TEST(LocalStorage, OverwriteReplacesAndAdjustsUsage) {
+  BrowserEnv Env(chromeProfile());
+  LocalStorage &LS = Env.localStorage();
+  LS.setItem("k", js::fromAscii(std::string(100, 'a')));
+  uint64_t UsedBig = LS.usedBytes();
+  LS.setItem("k", js::fromAscii("b"));
+  EXPECT_LT(LS.usedBytes(), UsedBig);
+  EXPECT_EQ(js::toAscii(*LS.getItem("k")), "b");
+}
+
+TEST(LocalStorage, FiveMegabyteQuota) {
+  BrowserEnv Env(chromeProfile());
+  LocalStorage &LS = Env.localStorage();
+  EXPECT_EQ(LS.quotaBytes(), 5u << 20);
+  // 2 MB of UTF-16 data = 1M code units; two fit, a third does not.
+  js::String TwoMb(1u << 20, u'x');
+  EXPECT_EQ(LS.setItem("a", TwoMb), StoreResult::Ok);
+  EXPECT_EQ(LS.setItem("b", TwoMb), StoreResult::Ok);
+  EXPECT_EQ(LS.setItem("c", TwoMb), StoreResult::QuotaExceeded);
+  // The failed write must not corrupt existing data.
+  EXPECT_TRUE(LS.getItem("a").has_value());
+  EXPECT_FALSE(LS.getItem("c").has_value());
+}
+
+TEST(Cookies, FourKilobyteQuota) {
+  BrowserEnv Env(chromeProfile());
+  CookieJar &Jar = Env.cookies();
+  EXPECT_EQ(Jar.quotaBytes(), 4096u);
+  js::String ThreeKb(1536, u'x'); // 3 KB as UTF-16.
+  EXPECT_EQ(Jar.setItem("a", ThreeKb), StoreResult::Ok);
+  EXPECT_EQ(Jar.setItem("b", ThreeKb), StoreResult::QuotaExceeded);
+}
+
+TEST(LocalStorage, ValidatingBrowserRejectsLoneSurrogates) {
+  // Opera validates strings (§5.1): the 2-bytes-per-char packed format
+  // cannot be stored there.
+  BrowserEnv Env(operaProfile());
+  js::String Packed = {0xD800, 0x1234};
+  EXPECT_EQ(Env.localStorage().setItem("k", Packed),
+            StoreResult::InvalidString);
+  // Chrome does not validate; the same bytes store fine.
+  BrowserEnv Chrome(chromeProfile());
+  EXPECT_EQ(Chrome.localStorage().setItem("k", Packed), StoreResult::Ok);
+}
+
+TEST(LocalStorage, KeysAndClear) {
+  BrowserEnv Env(chromeProfile());
+  LocalStorage &LS = Env.localStorage();
+  LS.setItem("one", js::fromAscii("1"));
+  LS.setItem("two", js::fromAscii("2"));
+  EXPECT_EQ(LS.keys().size(), 2u);
+  LS.clear();
+  EXPECT_TRUE(LS.keys().empty());
+  EXPECT_EQ(LS.usedBytes(), 0u);
+}
+
+TEST(LocalStorage, SynchronousWritesChargeTime) {
+  BrowserEnv Env(chromeProfile());
+  uint64_t Before = Env.clock().nowNs();
+  Env.localStorage().setItem("k", js::fromAscii(std::string(4096, 'x')));
+  EXPECT_GT(Env.clock().nowNs(), Before);
+}
+
+TEST(IndexedDB, AvailabilityMatchesTable2) {
+  // Table 2: IndexedDB compatibility is under 50% of the market.
+  int Supported = 0;
+  for (const Profile &P : allProfiles()) {
+    BrowserEnv Env(P);
+    if (Env.indexedDB())
+      ++Supported;
+  }
+  EXPECT_EQ(Supported, 3); // Chrome, Firefox, IE10.
+}
+
+TEST(IndexedDB, PutAndGetAreAsynchronous) {
+  BrowserEnv Env(chromeProfile());
+  IndexedDB *Db = Env.indexedDB();
+  ASSERT_NE(Db, nullptr);
+  bool PutDone = false;
+  std::optional<std::vector<uint8_t>> Fetched;
+  Db->put("file", {1, 2, 3}, [&](bool Ok) {
+    EXPECT_TRUE(Ok);
+    PutDone = true;
+    Db->get("file", [&](std::optional<std::vector<uint8_t>> V) {
+      Fetched = std::move(V);
+    });
+  });
+  // Nothing has happened yet: results arrive only via the event loop.
+  EXPECT_FALSE(PutDone);
+  Env.loop().run();
+  EXPECT_TRUE(PutDone);
+  ASSERT_TRUE(Fetched.has_value());
+  EXPECT_EQ(*Fetched, (std::vector<uint8_t>{1, 2, 3}));
+}
+
+TEST(IndexedDB, GetMissingKeyYieldsNullopt) {
+  BrowserEnv Env(firefoxProfile());
+  bool Called = false;
+  Env.indexedDB()->get("missing",
+                       [&](std::optional<std::vector<uint8_t>> V) {
+                         EXPECT_FALSE(V.has_value());
+                         Called = true;
+                       });
+  Env.loop().run();
+  EXPECT_TRUE(Called);
+}
+
+TEST(IndexedDB, QuotaRejectsOversizedPut) {
+  BrowserEnv Env(chromeProfile());
+  IndexedDB *Db = Env.indexedDB();
+  Db->setQuotaBytes(1024);
+  bool Ok = true;
+  Db->put("big", std::vector<uint8_t>(2048, 7), [&](bool R) { Ok = R; });
+  Env.loop().run();
+  EXPECT_FALSE(Ok);
+  EXPECT_EQ(Db->usedBytes(), 0u);
+}
+
+TEST(IndexedDB, RemoveAndListKeys) {
+  BrowserEnv Env(ie10Profile());
+  IndexedDB *Db = Env.indexedDB();
+  ASSERT_NE(Db, nullptr);
+  Db->put("a", {1}, nullptr);
+  Db->put("b", {2}, nullptr);
+  Env.loop().run();
+  Db->remove("a", nullptr);
+  Env.loop().run();
+  std::vector<std::string> Keys;
+  Db->listKeys([&](std::vector<std::string> K) { Keys = std::move(K); });
+  Env.loop().run();
+  EXPECT_EQ(Keys, (std::vector<std::string>{"b"}));
+}
+
+} // namespace

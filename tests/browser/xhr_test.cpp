@@ -1,0 +1,93 @@
+//===- tests/browser/xhr_test.cpp -----------------------------------------==//
+
+#include "browser/env.h"
+
+#include "gtest/gtest.h"
+
+using namespace doppio;
+using namespace doppio::browser;
+
+namespace {
+
+std::vector<uint8_t> bytesOf(const std::string &S) {
+  return std::vector<uint8_t>(S.begin(), S.end());
+}
+
+TEST(Xhr, DownloadsExistingFileAsynchronously) {
+  BrowserEnv Env(chromeProfile());
+  Env.server().addFile("/classes/Main.class", bytesOf("CAFEBABE"));
+  bool Done = false;
+  Env.xhr().get("/classes/Main.class", [&](Xhr::Response R) {
+    EXPECT_EQ(R.Status, 200);
+    EXPECT_EQ(R.Body, bytesOf("CAFEBABE"));
+    EXPECT_EQ(R.Transport, XhrTransport::TypedArray);
+    Done = true;
+  });
+  EXPECT_FALSE(Done) << "XHR must not complete synchronously (§3.2)";
+  Env.loop().run();
+  EXPECT_TRUE(Done);
+}
+
+TEST(Xhr, MissingFileIs404) {
+  BrowserEnv Env(chromeProfile());
+  int Status = 0;
+  Env.xhr().get("/nope", [&](Xhr::Response R) { Status = R.Status; });
+  Env.loop().run();
+  EXPECT_EQ(Status, 404);
+}
+
+TEST(Xhr, Ie8ReceivesBinaryAsString) {
+  // §5.1: browsers without typed arrays can only download binary data as a
+  // JavaScript string.
+  BrowserEnv Env(ie8Profile());
+  Env.server().addFile("/data.bin", {0, 1, 2, 255});
+  XhrTransport Transport = XhrTransport::TypedArray;
+  std::vector<uint8_t> Body;
+  Env.xhr().get("/data.bin", [&](Xhr::Response R) {
+    Transport = R.Transport;
+    Body = R.Body;
+  });
+  Env.loop().run();
+  EXPECT_EQ(Transport, XhrTransport::BinaryString);
+  EXPECT_EQ(Body, (std::vector<uint8_t>{0, 1, 2, 255}));
+}
+
+TEST(Xhr, LargerFilesTakeLonger) {
+  BrowserEnv Env(chromeProfile());
+  Env.server().addFile("/small", std::vector<uint8_t>(64, 1));
+  Env.server().addFile("/large", std::vector<uint8_t>(1 << 20, 1));
+  uint64_t SmallAt = 0, LargeAt = 0;
+  Env.xhr().get("/small", [&](Xhr::Response) {
+    SmallAt = Env.clock().nowNs();
+  });
+  Env.xhr().get("/large", [&](Xhr::Response) {
+    LargeAt = Env.clock().nowNs();
+  });
+  Env.loop().run();
+  EXPECT_LT(SmallAt, LargeAt);
+}
+
+TEST(Xhr, TracksTrafficStatistics) {
+  BrowserEnv Env(chromeProfile());
+  Env.server().addFile("/a", std::vector<uint8_t>(100, 1));
+  Env.xhr().get("/a", [](Xhr::Response) {});
+  Env.xhr().get("/a", [](Xhr::Response) {});
+  Env.loop().run();
+  EXPECT_EQ(Env.xhr().requestCount(), 2u);
+  EXPECT_EQ(Env.xhr().bytesTransferred(), 200u);
+}
+
+TEST(StaticServer, ListsByPrefix) {
+  StaticServer Server;
+  Server.addFile("/cls/A.class", {});
+  Server.addFile("/cls/B.class", {});
+  Server.addFile("/src/A.java", {});
+  auto Classes = Server.list("/cls/");
+  ASSERT_EQ(Classes.size(), 2u);
+  EXPECT_EQ(Classes[0], "/cls/A.class");
+  EXPECT_EQ(Classes[1], "/cls/B.class");
+  EXPECT_EQ(Server.list("/none/").size(), 0u);
+  EXPECT_EQ(Server.fileCount(), 3u);
+}
+
+} // namespace

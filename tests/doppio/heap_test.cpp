@@ -1,0 +1,227 @@
+//===- tests/doppio/heap_test.cpp -----------------------------------------==//
+//
+// Tests for the first-fit unmanaged heap (§5.2): allocation placement,
+// coalescing, copy-in/copy-out little-endian data access, and randomized
+// allocator invariants.
+//
+//===----------------------------------------------------------------------===//
+
+#include "doppio/heap.h"
+
+#include "gtest/gtest.h"
+
+#include <map>
+#include <random>
+
+using namespace doppio;
+using namespace doppio::rt;
+using namespace doppio::browser;
+
+namespace {
+
+TEST(Heap, MallocReturnsNonNullDistinctBlocks) {
+  BrowserEnv Env(chromeProfile());
+  UnmanagedHeap Heap(Env, 4096);
+  UnmanagedHeap::Addr A = Heap.malloc(16);
+  UnmanagedHeap::Addr B = Heap.malloc(16);
+  ASSERT_NE(A, 0u);
+  ASSERT_NE(B, 0u);
+  EXPECT_NE(A, B);
+  EXPECT_GE(B, A + 16);
+  EXPECT_EQ(Heap.allocationCount(), 2u);
+  EXPECT_TRUE(Heap.checkInvariants());
+}
+
+TEST(Heap, FirstFitReusesEarliestHole) {
+  BrowserEnv Env(chromeProfile());
+  UnmanagedHeap Heap(Env, 4096);
+  UnmanagedHeap::Addr A = Heap.malloc(64);
+  UnmanagedHeap::Addr B = Heap.malloc(64);
+  UnmanagedHeap::Addr C = Heap.malloc(64);
+  (void)B;
+  Heap.free(A);
+  // The first hole (where A lived) satisfies the next small request.
+  UnmanagedHeap::Addr D = Heap.malloc(32);
+  EXPECT_EQ(D, A);
+  EXPECT_LT(D, C);
+  EXPECT_TRUE(Heap.checkInvariants());
+}
+
+TEST(Heap, ExhaustionReturnsNull) {
+  BrowserEnv Env(chromeProfile());
+  UnmanagedHeap Heap(Env, 256);
+  EXPECT_EQ(Heap.malloc(10000), 0u);
+  UnmanagedHeap::Addr A = Heap.malloc(128);
+  EXPECT_NE(A, 0u);
+  EXPECT_EQ(Heap.malloc(200), 0u);
+  Heap.free(A);
+  EXPECT_NE(Heap.malloc(128), 0u);
+}
+
+TEST(Heap, FreeCoalescesNeighbors) {
+  BrowserEnv Env(chromeProfile());
+  UnmanagedHeap Heap(Env, 4096);
+  UnmanagedHeap::Addr A = Heap.malloc(32);
+  UnmanagedHeap::Addr B = Heap.malloc(32);
+  UnmanagedHeap::Addr C = Heap.malloc(32);
+  UnmanagedHeap::Addr Tail = Heap.malloc(32); // Prevents merging into the
+  (void)Tail;                                 // trailing free space.
+  Heap.free(A);
+  Heap.free(C);
+  EXPECT_EQ(Heap.freeBlockCount(), 3u); // A-hole, C-hole, tail space.
+  Heap.free(B);
+  // A+B+C coalesce into one hole.
+  EXPECT_EQ(Heap.freeBlockCount(), 2u);
+  EXPECT_TRUE(Heap.checkInvariants());
+  // The coalesced hole fits an allocation larger than any single piece.
+  UnmanagedHeap::Addr Big = Heap.malloc(100);
+  EXPECT_EQ(Big, A);
+}
+
+TEST(Heap, FreeNullIsNoOp) {
+  BrowserEnv Env(chromeProfile());
+  UnmanagedHeap Heap(Env, 256);
+  Heap.free(0);
+  EXPECT_TRUE(Heap.checkInvariants());
+}
+
+TEST(Heap, ZeroByteMallocStillAllocates) {
+  BrowserEnv Env(chromeProfile());
+  UnmanagedHeap Heap(Env, 256);
+  UnmanagedHeap::Addr A = Heap.malloc(0);
+  EXPECT_NE(A, 0u);
+  Heap.free(A);
+}
+
+TEST(Heap, LittleEndianLayout) {
+  // §5.2: data is stored little endian to match typed arrays.
+  BrowserEnv Env(chromeProfile());
+  UnmanagedHeap Heap(Env, 256);
+  UnmanagedHeap::Addr A = Heap.malloc(8);
+  Heap.writeInt32(A, 0x11223344);
+  EXPECT_EQ(Heap.readInt8(A), 0x44);
+  EXPECT_EQ(Heap.readInt8(A + 1), 0x33);
+  EXPECT_EQ(Heap.readInt8(A + 2), 0x22);
+  EXPECT_EQ(Heap.readInt8(A + 3), 0x11);
+}
+
+TEST(Heap, ScalarRoundTrips) {
+  BrowserEnv Env(chromeProfile());
+  UnmanagedHeap Heap(Env, 1024);
+  UnmanagedHeap::Addr A = Heap.malloc(64);
+  Heap.writeInt8(A, -5);
+  EXPECT_EQ(Heap.readInt8(A), -5);
+  Heap.writeInt16(A + 2, -30000);
+  EXPECT_EQ(Heap.readInt16(A + 2), -30000);
+  Heap.writeInt32(A + 4, -2000000000);
+  EXPECT_EQ(Heap.readInt32(A + 4), -2000000000);
+  Heap.writeInt64(A + 8, -0x123456789ABCDEF0ll);
+  EXPECT_EQ(Heap.readInt64(A + 8), -0x123456789ABCDEF0ll);
+  Heap.writeFloat(A + 16, 2.5f);
+  EXPECT_EQ(Heap.readFloat(A + 16), 2.5f);
+  Heap.writeDouble(A + 24, -1e300);
+  EXPECT_EQ(Heap.readDouble(A + 24), -1e300);
+}
+
+TEST(Heap, UnalignedByteAccess) {
+  BrowserEnv Env(chromeProfile());
+  UnmanagedHeap Heap(Env, 256);
+  UnmanagedHeap::Addr A = Heap.malloc(16);
+  uint8_t Src[5] = {1, 2, 3, 4, 5};
+  Heap.writeBytes(A + 3, Src, 5); // Straddles word boundaries.
+  uint8_t Dst[5] = {};
+  Heap.readBytes(A + 3, Dst, 5);
+  for (int I = 0; I != 5; ++I)
+    EXPECT_EQ(Dst[I], Src[I]);
+}
+
+TEST(Heap, CopyOutSemantics) {
+  // §5.2: heap data is copied in and out; later source mutation must not
+  // affect stored bytes.
+  BrowserEnv Env(chromeProfile());
+  UnmanagedHeap Heap(Env, 256);
+  UnmanagedHeap::Addr A = Heap.malloc(4);
+  uint8_t Src[4] = {9, 9, 9, 9};
+  Heap.writeBytes(A, Src, 4);
+  Src[0] = 0;
+  uint8_t Out[4];
+  Heap.readBytes(A, Out, 4);
+  EXPECT_EQ(Out[0], 9);
+}
+
+TEST(Heap, BackingFollowsProfile) {
+  BrowserEnv Chrome(chromeProfile());
+  UnmanagedHeap Fast(Chrome, 1024);
+  EXPECT_TRUE(Fast.usesTypedArray());
+  EXPECT_EQ(Chrome.liveTypedArrayBytes(), Fast.sizeBytes());
+  BrowserEnv Ie8(ie8Profile());
+  UnmanagedHeap Slow(Ie8, 1024);
+  EXPECT_FALSE(Slow.usesTypedArray());
+  EXPECT_EQ(Ie8.liveTypedArrayBytes(), 0u);
+}
+
+TEST(Heap, NumberArrayHeapChargesMore) {
+  BrowserEnv Chrome(chromeProfile());
+  BrowserEnv Ie8(ie8Profile());
+  UnmanagedHeap Fast(Chrome, 8192), Slow(Ie8, 8192);
+  UnmanagedHeap::Addr A = Fast.malloc(4096), B = Slow.malloc(4096);
+  std::vector<uint8_t> Data(4096, 7);
+  uint64_t T0 = Chrome.clock().nowNs();
+  Fast.writeBytes(A, Data.data(), Data.size());
+  uint64_t FastCost = Chrome.clock().nowNs() - T0;
+  uint64_t T1 = Ie8.clock().nowNs();
+  Slow.writeBytes(B, Data.data(), Data.size());
+  uint64_t SlowCost = Ie8.clock().nowNs() - T1;
+  EXPECT_GT(SlowCost, FastCost);
+}
+
+// Property: randomized alloc/free keeps the allocator consistent and
+// data intact.
+class HeapProperty : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(HeapProperty, RandomAllocFreeKeepsInvariants) {
+  BrowserEnv Env(chromeProfile());
+  UnmanagedHeap Heap(Env, 64 * 1024);
+  std::mt19937 Rng(GetParam());
+  std::map<UnmanagedHeap::Addr, std::pair<uint32_t, uint8_t>> Live;
+  for (int Step = 0; Step != 600; ++Step) {
+    bool DoAlloc = Live.empty() || (Rng() % 3) != 0;
+    if (DoAlloc) {
+      uint32_t Size = 1 + Rng() % 400;
+      UnmanagedHeap::Addr A = Heap.malloc(Size);
+      if (A == 0)
+        continue; // Full: acceptable.
+      uint8_t Tag = static_cast<uint8_t>(Rng());
+      std::vector<uint8_t> Payload(Size, Tag);
+      Heap.writeBytes(A, Payload.data(), Size);
+      // No overlap with any live allocation.
+      for (const auto &[Addr, Info] : Live) {
+        bool Disjoint = A + Size <= Addr || Addr + Info.first <= A;
+        ASSERT_TRUE(Disjoint) << "overlapping allocations";
+      }
+      Live[A] = {Size, Tag};
+    } else {
+      auto It = Live.begin();
+      std::advance(It, Rng() % Live.size());
+      // Contents must be intact before the block dies.
+      std::vector<uint8_t> Out(It->second.first);
+      Heap.readBytes(It->first, Out.data(), Out.size());
+      for (uint8_t Byte : Out)
+        ASSERT_EQ(Byte, It->second.second) << "clobbered allocation";
+      Heap.free(It->first);
+      Live.erase(It);
+    }
+    ASSERT_TRUE(Heap.checkInvariants()) << "step " << Step;
+  }
+  for (const auto &[Addr, Info] : Live)
+    Heap.free(Addr);
+  EXPECT_EQ(Heap.allocationCount(), 0u);
+  EXPECT_EQ(Heap.freeBlockCount(), 1u) << "everything coalesced back";
+  EXPECT_TRUE(Heap.checkInvariants());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HeapProperty,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u,
+                                           34u));
+
+} // namespace

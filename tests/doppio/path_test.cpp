@@ -1,0 +1,85 @@
+//===- tests/doppio/path_test.cpp -----------------------------------------==//
+
+#include "doppio/path.h"
+
+#include "gtest/gtest.h"
+
+using namespace doppio;
+using namespace doppio::rt;
+
+namespace {
+
+TEST(Path, Normalize) {
+  EXPECT_EQ(path::normalize("/a/b/c"), "/a/b/c");
+  EXPECT_EQ(path::normalize("/a//b///c"), "/a/b/c");
+  EXPECT_EQ(path::normalize("/a/./b"), "/a/b");
+  EXPECT_EQ(path::normalize("/a/b/.."), "/a");
+  EXPECT_EQ(path::normalize("/a/b/../../c"), "/c");
+  EXPECT_EQ(path::normalize("/.."), "/");
+  EXPECT_EQ(path::normalize("/../../x"), "/x");
+  EXPECT_EQ(path::normalize(""), ".");
+  EXPECT_EQ(path::normalize("."), ".");
+  EXPECT_EQ(path::normalize("a/b/"), "a/b");
+  EXPECT_EQ(path::normalize("../a"), "../a");
+  EXPECT_EQ(path::normalize("a/../.."), "..");
+  EXPECT_EQ(path::normalize("/"), "/");
+}
+
+TEST(Path, IsAbsolute) {
+  EXPECT_TRUE(path::isAbsolute("/a"));
+  EXPECT_TRUE(path::isAbsolute("/"));
+  EXPECT_FALSE(path::isAbsolute("a/b"));
+  EXPECT_FALSE(path::isAbsolute(""));
+}
+
+TEST(Path, Join) {
+  EXPECT_EQ(path::join({"/a", "b", "c"}), "/a/b/c");
+  EXPECT_EQ(path::join({"/a/", "/b/"}), "/a/b");
+  EXPECT_EQ(path::join({"a", "..", "b"}), "b");
+  EXPECT_EQ(path::join2("/root", "sub/file.txt"), "/root/sub/file.txt");
+  EXPECT_EQ(path::join({"", ""}), ".");
+}
+
+TEST(Path, Resolve) {
+  EXPECT_EQ(path::resolve("/home/user", "file.txt"), "/home/user/file.txt");
+  EXPECT_EQ(path::resolve("/home/user", "/etc/passwd"), "/etc/passwd");
+  EXPECT_EQ(path::resolve("/home/user", "../other"), "/home/other");
+  EXPECT_EQ(path::resolve("/", "."), "/");
+}
+
+TEST(Path, DirnameBasenameExtname) {
+  EXPECT_EQ(path::dirname("/a/b/c.txt"), "/a/b");
+  EXPECT_EQ(path::dirname("/a"), "/");
+  EXPECT_EQ(path::dirname("/"), "/");
+  EXPECT_EQ(path::dirname("name"), ".");
+  EXPECT_EQ(path::basename("/a/b/c.txt"), "c.txt");
+  EXPECT_EQ(path::basename("/a/b/"), "b");
+  EXPECT_EQ(path::basename("plain"), "plain");
+  EXPECT_EQ(path::extname("/a/b/c.txt"), ".txt");
+  EXPECT_EQ(path::extname("archive.tar.gz"), ".gz");
+  EXPECT_EQ(path::extname("noext"), "");
+  EXPECT_EQ(path::extname(".hidden"), "");
+}
+
+TEST(Path, Split) {
+  EXPECT_EQ(path::split("/a/b/c"),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(path::split("/"), std::vector<std::string>());
+}
+
+// Property: normalize is idempotent.
+class PathNormalizeProperty : public ::testing::TestWithParam<const char *> {
+};
+
+TEST_P(PathNormalizeProperty, Idempotent) {
+  std::string Once = path::normalize(GetParam());
+  EXPECT_EQ(path::normalize(Once), Once);
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, PathNormalizeProperty,
+                         ::testing::Values("/a/b/../c", "a//b/./..", "/../..",
+                                           "x/../../y/z/", "////",
+                                           "/a/./././b", "..", ".",
+                                           "/very/deep/../../../up"));
+
+} // namespace

@@ -1,0 +1,146 @@
+//===- tests/doppio/sockets_test.cpp --------------------------------------==//
+//
+// Tests for §5.3: the Unix-style socket API over WebSockets, talking to an
+// unmodified TCP service through the websockify bridge.
+//
+//===----------------------------------------------------------------------===//
+
+#include "doppio/sockets.h"
+
+#include "gtest/gtest.h"
+
+using namespace doppio;
+using namespace doppio::rt;
+using namespace doppio::browser;
+
+namespace {
+
+std::vector<uint8_t> bytesOf(const std::string &S) {
+  return std::vector<uint8_t>(S.begin(), S.end());
+}
+
+/// An unmodified line-oriented TCP service: reverses each message.
+void startReverseServer(SimNet &Net, uint16_t Port) {
+  Net.listen(Port, [](TcpConnection &C) {
+    C.setOnData([Conn = &C](const std::vector<uint8_t> &D) {
+      std::vector<uint8_t> Reversed(D.rbegin(), D.rend());
+      Conn->send(Reversed);
+    });
+  });
+}
+
+struct Rig {
+  Rig(const Profile &P) : Env(P), Proxy(Env.net(), 8080, 9090) {
+    startReverseServer(Env.net(), 9090);
+  }
+  BrowserEnv Env;
+  WebsockifyProxy Proxy;
+};
+
+TEST(DoppioSocket, ConnectSendRecv) {
+  Rig R(chromeProfile());
+  DoppioSocket Sock(R.Env);
+  std::string Got;
+  Sock.connect(8080, [&](std::optional<ApiError> E) {
+    ASSERT_FALSE(E.has_value());
+    Sock.send(bytesOf("hello"), [](std::optional<ApiError>) {});
+    Sock.recv([&](ErrorOr<std::vector<uint8_t>> Msg) {
+      ASSERT_TRUE(Msg.ok());
+      Got.assign(Msg->begin(), Msg->end());
+    });
+  });
+  R.Env.loop().run();
+  EXPECT_EQ(Got, "olleh");
+  EXPECT_EQ(Sock.bytesSent(), 5u);
+}
+
+TEST(DoppioSocket, RecvBeforeDataArrivesCompletesLater) {
+  Rig R(chromeProfile());
+  DoppioSocket Sock(R.Env);
+  int Completed = 0;
+  Sock.connect(8080, [&](std::optional<ApiError> E) {
+    ASSERT_FALSE(E.has_value());
+    // recv first, send afterwards: the pending recv completes on arrival.
+    Sock.recv([&](ErrorOr<std::vector<uint8_t>> Msg) {
+      ASSERT_TRUE(Msg.ok());
+      EXPECT_EQ(std::string(Msg->begin(), Msg->end()), "ba");
+      ++Completed;
+    });
+    Sock.send(bytesOf("ab"), [](std::optional<ApiError>) {});
+  });
+  R.Env.loop().run();
+  EXPECT_EQ(Completed, 1);
+}
+
+TEST(DoppioSocket, ConnectionRefused) {
+  BrowserEnv Env(chromeProfile());
+  DoppioSocket Sock(Env);
+  std::optional<ApiError> Err;
+  Sock.connect(4444, [&](std::optional<ApiError> E) { Err = E; });
+  Env.loop().run();
+  ASSERT_TRUE(Err.has_value());
+  EXPECT_EQ(Err->Code, Errno::ConnRefused);
+  EXPECT_FALSE(Sock.isConnected());
+}
+
+TEST(DoppioSocket, SendWithoutConnectIsEnotconn) {
+  BrowserEnv Env(chromeProfile());
+  DoppioSocket Sock(Env);
+  std::optional<ApiError> Err;
+  Sock.send(bytesOf("x"), [&](std::optional<ApiError> E) { Err = E; });
+  ASSERT_TRUE(Err.has_value());
+  EXPECT_EQ(Err->Code, Errno::NotConn);
+}
+
+TEST(DoppioSocket, CloseDeliversEofToPendingRecv) {
+  Rig R(chromeProfile());
+  DoppioSocket Sock(R.Env);
+  bool SawEof = false;
+  Sock.connect(8080, [&](std::optional<ApiError> E) {
+    ASSERT_FALSE(E.has_value());
+    Sock.recv([&](ErrorOr<std::vector<uint8_t>> Msg) {
+      ASSERT_TRUE(Msg.ok());
+      SawEof = Msg->empty();
+    });
+    Sock.close();
+  });
+  R.Env.loop().run();
+  EXPECT_TRUE(SawEof);
+}
+
+TEST(DoppioSocket, Ie8GoesThroughFlashShim) {
+  Rig R(ie8Profile());
+  DoppioSocket Sock(R.Env);
+  std::string Got;
+  Sock.connect(8080, [&](std::optional<ApiError> E) {
+    ASSERT_FALSE(E.has_value());
+    Sock.send(bytesOf("ie8"), [](std::optional<ApiError>) {});
+    Sock.recv([&](ErrorOr<std::vector<uint8_t>> Msg) {
+      Got.assign(Msg->begin(), Msg->end());
+    });
+  });
+  R.Env.loop().run();
+  EXPECT_EQ(Got, "8ei");
+  EXPECT_TRUE(Sock.usedFlashShim());
+}
+
+TEST(DoppioSocket, MultipleMessagesQueueInOrder) {
+  Rig R(chromeProfile());
+  DoppioSocket Sock(R.Env);
+  std::vector<std::string> Messages;
+  Sock.connect(8080, [&](std::optional<ApiError> E) {
+    ASSERT_FALSE(E.has_value());
+    Sock.send(bytesOf("one"), [](std::optional<ApiError>) {});
+    Sock.send(bytesOf("two"), [](std::optional<ApiError>) {});
+    Sock.send(bytesOf("three"), [](std::optional<ApiError>) {});
+  });
+  R.Env.loop().run();
+  for (int I = 0; I != 3; ++I)
+    Sock.recv([&](ErrorOr<std::vector<uint8_t>> Msg) {
+      Messages.emplace_back(Msg->begin(), Msg->end());
+    });
+  EXPECT_EQ(Messages,
+            (std::vector<std::string>{"eno", "owt", "eerht"}));
+}
+
+} // namespace

@@ -1,0 +1,86 @@
+//===- tests/jvm/fstrace_test.cpp -----------------------------------------==//
+//
+// Guards the §7.3 trace statistics that EXPERIMENTS.md reports, and the
+// replay machinery the Figure 6 harness depends on.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/fstrace.h"
+
+#include "doppio/backends/in_memory.h"
+
+#include "gtest/gtest.h"
+
+using namespace doppio;
+using namespace doppio::rt;
+using namespace doppio::workloads;
+
+namespace {
+
+TEST(FsTrace, MatchesThePaperStatistics) {
+  FsTrace T = makeJavacTrace();
+  // §7.3: 3185 operations, 1560 unique files, over 10.5 MB read, ~97 KB
+  // written.
+  EXPECT_EQ(T.Ops.size(), 3185u);
+  EXPECT_EQ(T.uniqueFiles(), 1560u);
+  EXPECT_GE(T.ExpectedReadBytes, 10u * 1024 * 1024 + 512 * 1024);
+  EXPECT_NEAR(static_cast<double>(T.ExpectedWriteBytes), 97.0 * 1024,
+              2048.0);
+}
+
+TEST(FsTrace, TraceIsDeterministic) {
+  FsTrace A = makeJavacTrace();
+  FsTrace B = makeJavacTrace();
+  ASSERT_EQ(A.Ops.size(), B.Ops.size());
+  for (size_t I = 0; I != A.Ops.size(); ++I) {
+    EXPECT_EQ(A.Ops[I].Path, B.Ops[I].Path);
+    EXPECT_EQ(static_cast<int>(A.Ops[I].K), static_cast<int>(B.Ops[I].K));
+  }
+}
+
+TEST(FsTrace, ReplaysWithoutErrors) {
+  browser::BrowserEnv Env(browser::chromeProfile());
+  Process Proc;
+  fs::FileSystem Fs(Env, Proc,
+                    std::make_unique<fs::InMemoryBackend>(Env));
+  Suspender Susp(Env);
+  FsTrace T = makeJavacTrace();
+  ReplayStats S;
+  bool Done = false;
+  replayTrace(T, Fs, Env, Susp, [&](ReplayStats R) {
+    S = R;
+    Done = true;
+  });
+  ASSERT_TRUE(Done);
+  EXPECT_EQ(S.Errors, 0u);
+  EXPECT_EQ(S.Operations, T.Ops.size());
+  EXPECT_EQ(S.BytesRead, T.ExpectedReadBytes);
+  EXPECT_EQ(S.BytesWritten, T.ExpectedWriteBytes);
+  EXPECT_GT(S.VirtualNs, 0u);
+  // Every blocking call resumed through the suspender.
+  EXPECT_GE(Susp.resumptionCount(), T.Ops.size());
+}
+
+TEST(FsTrace, ResumptionMechanismDominatesPerBrowserCost) {
+  // The Figure 6 inversion in miniature: IE10's setImmediate makes the
+  // same trace cheaper than Chrome's sendMessage path.
+  auto ReplayNs = [](const browser::Profile &P) {
+    browser::BrowserEnv Env(P);
+    Process Proc;
+    fs::FileSystem Fs(Env, Proc,
+                      std::make_unique<fs::InMemoryBackend>(Env));
+    Suspender Susp(Env);
+    FsTrace T = makeJavacTrace();
+    uint64_t Out = 0;
+    replayTrace(T, Fs, Env, Susp,
+                [&Out](ReplayStats R) { Out = R.VirtualNs; });
+    return Out;
+  };
+  uint64_t Chrome = ReplayNs(browser::chromeProfile());
+  uint64_t Ie10 = ReplayNs(browser::ie10Profile());
+  uint64_t Ie8 = ReplayNs(browser::ie8Profile());
+  EXPECT_LT(Ie10, Chrome) << "setImmediate beats sendMessage (§4.4)";
+  EXPECT_GT(Ie8, 10 * Chrome) << "the 4 ms setTimeout clamp per call";
+}
+
+} // namespace

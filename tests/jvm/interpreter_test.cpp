@@ -1,0 +1,846 @@
+//===- tests/jvm/interpreter_test.cpp -------------------------------------==//
+//
+// End-to-end interpreter tests, parameterized over both execution modes
+// (the paper's system and its HotSpot-interpreter baseline): identical
+// observable behaviour is itself the §7.1 completeness claim in miniature.
+//
+//===----------------------------------------------------------------------===//
+
+#include "jvm_test_util.h"
+
+#include "gtest/gtest.h"
+
+using namespace doppio;
+using namespace doppio::jvm;
+using namespace doppio::testutil;
+
+namespace {
+
+const char *PrintlnI = "(I)V";
+const char *Out = "Ljava/io/PrintStream;";
+
+/// Starts a main method builder that is expected to end with Return.
+MethodBuilder &mainOf(ClassBuilder &B) {
+  return B.method(AccPublic | AccStatic, "main",
+                  "([Ljava/lang/String;)V");
+}
+
+/// Emits: System.out.println(<int on stack>).
+void printlnInt(MethodBuilder &M) {
+  // Stack: ..., value -> print it. getstatic pushes the stream, so swap.
+  M.getstatic("java/lang/System", "out", Out)
+      .op(Op::Swap)
+      .invokevirtual("java/io/PrintStream", "println", PrintlnI);
+}
+
+class BothModes : public ::testing::TestWithParam<ExecutionMode> {};
+
+TEST_P(BothModes, ArithmeticAndPrintln) {
+  JvmRig Rig(GetParam());
+  ClassBuilder B("Main");
+  MethodBuilder &M = mainOf(B);
+  M.iconst(6).iconst(7).op(Op::Imul);
+  printlnInt(M);
+  M.op(Op::Return);
+  Rig.addClass(B);
+  EXPECT_EQ(Rig.run("Main"), 0);
+  EXPECT_EQ(Rig.out(), "42\n");
+}
+
+TEST_P(BothModes, IntegerOverflowWraps) {
+  JvmRig Rig(GetParam());
+  ClassBuilder B("Main");
+  MethodBuilder &M = mainOf(B);
+  M.iconst(INT32_MAX).iconst(1).op(Op::Iadd);
+  printlnInt(M);
+  M.iconst(INT32_MIN).iconst(-1).op(Op::Imul); // MIN * -1 wraps to MIN.
+  printlnInt(M);
+  M.iconst(123456789).iconst(987654321).op(Op::Imul);
+  printlnInt(M);
+  M.op(Op::Return);
+  Rig.addClass(B);
+  EXPECT_EQ(Rig.run("Main"), 0);
+  EXPECT_EQ(Rig.out(), "-2147483648\n-2147483648\n-67153019\n");
+}
+
+TEST_P(BothModes, LoopsAndConditionals) {
+  // Sum of 1..100 via a while loop.
+  JvmRig Rig(GetParam());
+  ClassBuilder B("Main");
+  MethodBuilder &M = mainOf(B);
+  MethodBuilder::Label Loop = M.newLabel(), Done = M.newLabel();
+  M.iconst(0).istore(1); // sum
+  M.iconst(1).istore(2); // i
+  M.bind(Loop)
+      .iload(2)
+      .iconst(100)
+      .branch(Op::IfIcmpgt, Done)
+      .iload(1)
+      .iload(2)
+      .op(Op::Iadd)
+      .istore(1)
+      .iinc(2, 1)
+      .branch(Op::Goto, Loop)
+      .bind(Done)
+      .iload(1);
+  printlnInt(M);
+  M.op(Op::Return);
+  Rig.addClass(B);
+  EXPECT_EQ(Rig.run("Main"), 0);
+  EXPECT_EQ(Rig.out(), "5050\n");
+}
+
+TEST_P(BothModes, StaticMethodCallsAndRecursion) {
+  // fib(15) = 610, doubly recursive.
+  JvmRig Rig(GetParam());
+  ClassBuilder B("Main");
+  MethodBuilder &Fib = B.method(AccPublic | AccStatic, "fib", "(I)I");
+  MethodBuilder::Label Recurse = Fib.newLabel();
+  Fib.iload(0)
+      .iconst(2)
+      .branch(Op::IfIcmpge, Recurse)
+      .iload(0)
+      .op(Op::Ireturn)
+      .bind(Recurse)
+      .iload(0)
+      .iconst(1)
+      .op(Op::Isub)
+      .invokestatic("Main", "fib", "(I)I")
+      .iload(0)
+      .iconst(2)
+      .op(Op::Isub)
+      .invokestatic("Main", "fib", "(I)I")
+      .op(Op::Iadd)
+      .op(Op::Ireturn);
+  MethodBuilder &M = mainOf(B);
+  M.iconst(15).invokestatic("Main", "fib", "(I)I");
+  printlnInt(M);
+  M.op(Op::Return);
+  Rig.addClass(B);
+  EXPECT_EQ(Rig.run("Main"), 0);
+  EXPECT_EQ(Rig.out(), "610\n");
+}
+
+TEST_P(BothModes, LongArithmeticSoftwareVsHardware) {
+  JvmRig Rig(GetParam());
+  ClassBuilder B("Main");
+  MethodBuilder &M = mainOf(B);
+  auto PrintL = [&](MethodBuilder &MB) {
+    MB.invokestatic("java/lang/Long", "toString",
+                    "(J)Ljava/lang/String;")
+        .getstatic("java/lang/System", "out", Out)
+        .op(Op::Swap)
+        .invokevirtual("java/io/PrintStream", "println",
+                       "(Ljava/lang/String;)V");
+  };
+  M.lconst(123456789012345ll).lconst(987654321ll).op(Op::Ladd);
+  PrintL(M);
+  M.lconst(1ll << 40).lconst(3).op(Op::Lmul);
+  PrintL(M);
+  M.lconst(-1000000000000ll).lconst(7).op(Op::Ldiv);
+  PrintL(M);
+  M.lconst(-1000000000000ll).lconst(7).op(Op::Lrem);
+  PrintL(M);
+  M.lconst(1).iconst(62).op(Op::Lshl);
+  PrintL(M);
+  M.lconst(-8).iconst(1).op(Op::Lshr);
+  PrintL(M);
+  M.lconst(-8).iconst(1).op(Op::Lushr);
+  PrintL(M);
+  M.op(Op::Return);
+  Rig.addClass(B);
+  EXPECT_EQ(Rig.run("Main"), 0);
+  EXPECT_EQ(Rig.out(), "123457776666666\n3298534883328\n-142857142857\n"
+                       "-1\n4611686018427387904\n-4\n9223372036854775804\n");
+}
+
+TEST_P(BothModes, LongComparisonDrivesControlFlow) {
+  JvmRig Rig(GetParam());
+  ClassBuilder B("Main");
+  MethodBuilder &M = mainOf(B);
+  MethodBuilder::Label Less = M.newLabel(), End = M.newLabel();
+  M.lconst(0x123456789ll)
+      .lconst(0x123456790ll)
+      .op(Op::Lcmp)
+      .branch(Op::Iflt, Less)
+      .iconst(0);
+  printlnInt(M);
+  M.branch(Op::Goto, End).bind(Less).iconst(1);
+  printlnInt(M);
+  M.bind(End).op(Op::Return);
+  Rig.addClass(B);
+  EXPECT_EQ(Rig.run("Main"), 0);
+  EXPECT_EQ(Rig.out(), "1\n");
+}
+
+TEST_P(BothModes, FloatsAndDoubles) {
+  JvmRig Rig(GetParam());
+  ClassBuilder B("Main");
+  MethodBuilder &M = mainOf(B);
+  // (int)(2.5 * 4.0) == 10
+  M.dconst(2.5).dconst(4.0).op(Op::Dmul).op(Op::D2i);
+  printlnInt(M);
+  // float comparison: 1.5f > 1.0f
+  MethodBuilder::Label True1 = M.newLabel(), End1 = M.newLabel();
+  M.fconst(1.5f)
+      .fconst(1.0f)
+      .op(Op::Fcmpl)
+      .branch(Op::Ifgt, True1)
+      .iconst(0)
+      .branch(Op::Goto, End1)
+      .bind(True1)
+      .iconst(1)
+      .bind(End1);
+  printlnInt(M);
+  // Math.sqrt(144.0) -> 12
+  M.dconst(144.0)
+      .invokestatic("java/lang/Math", "sqrt", "(D)D")
+      .op(Op::D2i);
+  printlnInt(M);
+  M.op(Op::Return);
+  Rig.addClass(B);
+  EXPECT_EQ(Rig.run("Main"), 0);
+  EXPECT_EQ(Rig.out(), "10\n1\n12\n");
+}
+
+TEST_P(BothModes, ArraysAndArraycopy) {
+  JvmRig Rig(GetParam());
+  ClassBuilder B("Main");
+  MethodBuilder &M = mainOf(B);
+  // int[] a = new int[5]; a[i] = i*i; sum
+  MethodBuilder::Label Fill = M.newLabel(), Sum = M.newLabel(),
+                       Done = M.newLabel();
+  M.iconst(5).newarray(ArrayType::Int).astore(1);
+  M.iconst(0).istore(2);
+  M.bind(Fill)
+      .iload(2)
+      .iconst(5)
+      .branch(Op::IfIcmpge, Sum)
+      .aload(1)
+      .iload(2)
+      .iload(2)
+      .iload(2)
+      .op(Op::Imul)
+      .op(Op::Iastore)
+      .iinc(2, 1)
+      .branch(Op::Goto, Fill);
+  M.bind(Sum).iconst(0).istore(3).iconst(0).istore(2);
+  MethodBuilder::Label Loop2 = M.newLabel();
+  M.bind(Loop2)
+      .iload(2)
+      .aload(1)
+      .op(Op::Arraylength)
+      .branch(Op::IfIcmpge, Done)
+      .iload(3)
+      .aload(1)
+      .iload(2)
+      .op(Op::Iaload)
+      .op(Op::Iadd)
+      .istore(3)
+      .iinc(2, 1)
+      .branch(Op::Goto, Loop2);
+  M.bind(Done).iload(3);
+  printlnInt(M); // 0+1+4+9+16 = 30
+  M.op(Op::Return);
+  Rig.addClass(B);
+  EXPECT_EQ(Rig.run("Main"), 0);
+  EXPECT_EQ(Rig.out(), "30\n");
+}
+
+TEST_P(BothModes, MultiDimensionalArrays) {
+  JvmRig Rig(GetParam());
+  ClassBuilder B("Main");
+  MethodBuilder &M = mainOf(B);
+  // int[][] m = new int[3][4]; m[2][3] = 77; print m[2][3] and m[0][0].
+  M.iconst(3).iconst(4).multianewarray("[[I", 2).astore(1);
+  M.aload(1).iconst(2).op(Op::Aaload).iconst(3).iconst(77).op(Op::Iastore);
+  M.aload(1).iconst(2).op(Op::Aaload).iconst(3).op(Op::Iaload);
+  printlnInt(M);
+  M.aload(1).iconst(0).op(Op::Aaload).iconst(0).op(Op::Iaload);
+  printlnInt(M);
+  M.op(Op::Return);
+  Rig.addClass(B);
+  EXPECT_EQ(Rig.run("Main"), 0);
+  EXPECT_EQ(Rig.out(), "77\n0\n");
+}
+
+TEST_P(BothModes, ObjectsFieldsAndVirtualDispatch) {
+  JvmRig Rig(GetParam());
+  // class Animal { int legs() { return 4; } }
+  ClassBuilder Animal("Animal");
+  Animal.addDefaultConstructor();
+  Animal.method(AccPublic, "legs", "()I").iconst(4).op(Op::Ireturn);
+  // class Bird extends Animal { int legs() { return 2; } }
+  ClassBuilder Bird("Bird", "Animal");
+  Bird.addDefaultConstructor();
+  Bird.method(AccPublic, "legs", "()I").iconst(2).op(Op::Ireturn);
+  // main: Animal a = new Bird(); print a.legs() + new Animal().legs()
+  ClassBuilder B("Main");
+  MethodBuilder &M = mainOf(B);
+  M.anew("Bird")
+      .op(Op::Dup)
+      .invokespecial("Bird", "<init>", "()V")
+      .invokevirtual("Animal", "legs", "()I")
+      .anew("Animal")
+      .op(Op::Dup)
+      .invokespecial("Animal", "<init>", "()V")
+      .invokevirtual("Animal", "legs", "()I")
+      .op(Op::Iadd);
+  printlnInt(M);
+  M.op(Op::Return);
+  Rig.addClass(Animal);
+  Rig.addClass(Bird);
+  Rig.addClass(B);
+  EXPECT_EQ(Rig.run("Main"), 0);
+  EXPECT_EQ(Rig.out(), "6\n");
+}
+
+TEST_P(BothModes, InstanceFieldsAndCounters) {
+  JvmRig Rig(GetParam());
+  ClassBuilder Counter("Counter");
+  Counter.addField(AccPrivate, "count", "I");
+  Counter.addDefaultConstructor();
+  MethodBuilder &Inc = Counter.method(AccPublic, "inc", "()V");
+  Inc.aload(0)
+      .aload(0)
+      .getfield("Counter", "count", "I")
+      .iconst(1)
+      .op(Op::Iadd)
+      .putfield("Counter", "count", "I")
+      .op(Op::Return);
+  MethodBuilder &Get = Counter.method(AccPublic, "get", "()I");
+  Get.aload(0).getfield("Counter", "count", "I").op(Op::Ireturn);
+
+  ClassBuilder B("Main");
+  MethodBuilder &M = mainOf(B);
+  MethodBuilder::Label Loop = M.newLabel(), Done = M.newLabel();
+  M.anew("Counter")
+      .op(Op::Dup)
+      .invokespecial("Counter", "<init>", "()V")
+      .astore(1)
+      .iconst(0)
+      .istore(2)
+      .bind(Loop)
+      .iload(2)
+      .iconst(10)
+      .branch(Op::IfIcmpge, Done)
+      .aload(1)
+      .invokevirtual("Counter", "inc", "()V")
+      .iinc(2, 1)
+      .branch(Op::Goto, Loop)
+      .bind(Done)
+      .aload(1)
+      .invokevirtual("Counter", "get", "()I");
+  printlnInt(M);
+  M.op(Op::Return);
+  Rig.addClass(Counter);
+  Rig.addClass(B);
+  EXPECT_EQ(Rig.run("Main"), 0);
+  EXPECT_EQ(Rig.out(), "10\n");
+}
+
+TEST_P(BothModes, InterfacesAndInvokeinterface) {
+  JvmRig Rig(GetParam());
+  ClassBuilder Shape("Shape");
+  Shape.setAccess(AccPublic | AccInterface | AccAbstract);
+  Shape.abstractMethod(AccPublic, "area", "()I");
+  ClassBuilder Square("Square");
+  Square.addInterface("Shape");
+  Square.addField(AccPrivate, "side", "I");
+  Square.addDefaultConstructor();
+  MethodBuilder &SetSide = Square.method(AccPublic, "setSide", "(I)V");
+  SetSide.aload(0).iload(1).putfield("Square", "side", "I").op(Op::Return);
+  MethodBuilder &Area = Square.method(AccPublic, "area", "()I");
+  Area.aload(0)
+      .getfield("Square", "side", "I")
+      .aload(0)
+      .getfield("Square", "side", "I")
+      .op(Op::Imul)
+      .op(Op::Ireturn);
+  ClassBuilder B("Main");
+  MethodBuilder &M = mainOf(B);
+  M.anew("Square")
+      .op(Op::Dup)
+      .invokespecial("Square", "<init>", "()V")
+      .astore(1)
+      .aload(1)
+      .iconst(9)
+      .invokevirtual("Square", "setSide", "(I)V")
+      .aload(1)
+      .invokeinterface("Shape", "area", "()I");
+  printlnInt(M);
+  // instanceof through the interface.
+  M.aload(1).instanceOf("Shape");
+  printlnInt(M);
+  M.op(Op::Return);
+  Rig.addClass(Shape);
+  Rig.addClass(Square);
+  Rig.addClass(B);
+  EXPECT_EQ(Rig.run("Main"), 0);
+  EXPECT_EQ(Rig.out(), "81\n1\n");
+}
+
+TEST_P(BothModes, StaticFieldsAndClinit) {
+  JvmRig Rig(GetParam());
+  ClassBuilder Config("Config");
+  Config.addField(AccPublic | AccStatic, "magic", "I");
+  MethodBuilder &Clinit =
+      Config.method(AccStatic, "<clinit>", "()V");
+  Clinit.iconst(1234)
+      .putstatic("Config", "magic", "I")
+      .getstatic("java/lang/System", "out", Out)
+      .ldcString("clinit ran")
+      .invokevirtual("java/io/PrintStream", "println",
+                     "(Ljava/lang/String;)V")
+      .op(Op::Return);
+  ClassBuilder B("Main");
+  MethodBuilder &M = mainOf(B);
+  // Two reads: <clinit> must run exactly once.
+  M.getstatic("Config", "magic", "I");
+  printlnInt(M);
+  M.getstatic("Config", "magic", "I");
+  printlnInt(M);
+  M.op(Op::Return);
+  Rig.addClass(Config);
+  Rig.addClass(B);
+  EXPECT_EQ(Rig.run("Main"), 0);
+  EXPECT_EQ(Rig.out(), "clinit ran\n1234\n1234\n");
+}
+
+TEST_P(BothModes, StringsAndStringBuilder) {
+  JvmRig Rig(GetParam());
+  ClassBuilder B("Main");
+  MethodBuilder &M = mainOf(B);
+  const char *SB = "Ljava/lang/StringBuilder;";
+  M.anew("java/lang/StringBuilder")
+      .op(Op::Dup)
+      .invokespecial("java/lang/StringBuilder", "<init>", "()V")
+      .ldcString("x=")
+      .invokevirtual("java/lang/StringBuilder", "append",
+                     ("(Ljava/lang/String;)" + std::string(SB)))
+      .iconst(42)
+      .invokevirtual("java/lang/StringBuilder", "append",
+                     ("(I)" + std::string(SB)))
+      .ldcString(", y=")
+      .invokevirtual("java/lang/StringBuilder", "append",
+                     ("(Ljava/lang/String;)" + std::string(SB)))
+      .dconst(1.5)
+      .invokevirtual("java/lang/StringBuilder", "append",
+                     ("(D)" + std::string(SB)))
+      .invokevirtual("java/lang/StringBuilder", "toString",
+                     "()Ljava/lang/String;")
+      .getstatic("java/lang/System", "out", Out)
+      .op(Op::Swap)
+      .invokevirtual("java/io/PrintStream", "println",
+                     "(Ljava/lang/String;)V");
+  // String methods: length, charAt, substring, equals, intern identity.
+  M.ldcString("doppio")
+      .invokevirtual("java/lang/String", "length", "()I");
+  printlnInt(M);
+  M.ldcString("doppio")
+      .iconst(1)
+      .invokevirtual("java/lang/String", "charAt", "(I)C");
+  printlnInt(M); // 'o' = 111
+  M.ldcString("breaking the barrier")
+      .iconst(9)
+      .iconst(12)
+      .invokevirtual("java/lang/String", "substring",
+                     "(II)Ljava/lang/String;")
+      .ldcString("the")
+      .invokevirtual("java/lang/String", "equals",
+                     "(Ljava/lang/Object;)Z");
+  printlnInt(M);
+  M.op(Op::Return);
+  Rig.addClass(B);
+  EXPECT_EQ(Rig.run("Main"), 0);
+  EXPECT_EQ(Rig.out(), "x=42, y=1.500000\n6\n111\n1\n");
+}
+
+TEST_P(BothModes, ExceptionsCaughtBySubtype) {
+  JvmRig Rig(GetParam());
+  ClassBuilder B("Main");
+  MethodBuilder &M = mainOf(B);
+  MethodBuilder::Label Start = M.newLabel(), End = M.newLabel(),
+                       Handler = M.newLabel(), After = M.newLabel();
+  M.bind(Start)
+      .iconst(10)
+      .iconst(0)
+      .op(Op::Idiv) // Throws ArithmeticException.
+      .op(Op::Pop)
+      .bind(End)
+      .branch(Op::Goto, After)
+      .bind(Handler) // Catches java/lang/Exception (a supertype).
+      .invokevirtual("java/lang/Throwable", "getMessage",
+                     "()Ljava/lang/String;")
+      .getstatic("java/lang/System", "out", Out)
+      .op(Op::Swap)
+      .invokevirtual("java/io/PrintStream", "println",
+                     "(Ljava/lang/String;)V")
+      .bind(After)
+      .op(Op::Return)
+      .handler(Start, End, Handler, "java/lang/Exception");
+  Rig.addClass(B);
+  EXPECT_EQ(Rig.run("Main"), 0);
+  EXPECT_EQ(Rig.out(), "/ by zero\n");
+}
+
+TEST_P(BothModes, ExceptionsUnwindAcrossFrames) {
+  JvmRig Rig(GetParam());
+  ClassBuilder B("Main");
+  // thrower(): throws ArrayIndexOutOfBounds deep in a call chain.
+  MethodBuilder &Deep = B.method(AccPublic | AccStatic, "deep", "()I");
+  Deep.iconst(1)
+      .newarray(ArrayType::Int)
+      .iconst(5)
+      .op(Op::Iaload)
+      .op(Op::Ireturn);
+  MethodBuilder &Mid = B.method(AccPublic | AccStatic, "mid", "()I");
+  Mid.invokestatic("Main", "deep", "()I").op(Op::Ireturn);
+  MethodBuilder &M = mainOf(B);
+  MethodBuilder::Label Start = M.newLabel(), End = M.newLabel(),
+                       Handler = M.newLabel(), After = M.newLabel();
+  M.bind(Start)
+      .invokestatic("Main", "mid", "()I")
+      .op(Op::Pop)
+      .bind(End)
+      .branch(Op::Goto, After)
+      .bind(Handler)
+      .op(Op::Pop)
+      .iconst(-7);
+  printlnInt(M);
+  M.bind(After).op(Op::Return).handler(
+      Start, End, Handler, "java/lang/ArrayIndexOutOfBoundsException");
+  Rig.addClass(B);
+  EXPECT_EQ(Rig.run("Main"), 0);
+  EXPECT_EQ(Rig.out(), "-7\n");
+}
+
+TEST_P(BothModes, UserThrownExceptionsWithAthrow) {
+  JvmRig Rig(GetParam());
+  ClassBuilder B("Main");
+  MethodBuilder &M = mainOf(B);
+  MethodBuilder::Label Start = M.newLabel(), End = M.newLabel(),
+                       Handler = M.newLabel(), After = M.newLabel();
+  M.bind(Start)
+      .anew("java/lang/IllegalStateException")
+      .op(Op::Dup)
+      .ldcString("custom failure")
+      .invokespecial("java/lang/IllegalStateException", "<init>",
+                     "(Ljava/lang/String;)V")
+      .op(Op::Athrow)
+      .bind(End)
+      .bind(Handler)
+      .invokevirtual("java/lang/Throwable", "getMessage",
+                     "()Ljava/lang/String;")
+      .getstatic("java/lang/System", "out", Out)
+      .op(Op::Swap)
+      .invokevirtual("java/io/PrintStream", "println",
+                     "(Ljava/lang/String;)V")
+      .bind(After)
+      .op(Op::Return)
+      .handler(Start, End, Handler, "java/lang/IllegalStateException");
+  Rig.addClass(B);
+  EXPECT_EQ(Rig.run("Main"), 0);
+  EXPECT_EQ(Rig.out(), "custom failure\n");
+}
+
+TEST_P(BothModes, UncaughtExceptionExitsWithError) {
+  JvmRig Rig(GetParam());
+  ClassBuilder B("Main");
+  MethodBuilder &M = mainOf(B);
+  M.aconstNull()
+      .invokevirtual("java/lang/Object", "hashCode", "()I")
+      .op(Op::Pop)
+      .op(Op::Return);
+  Rig.addClass(B);
+  EXPECT_EQ(Rig.run("Main"), 1);
+  EXPECT_NE(Rig.err().find("java/lang/NullPointerException"),
+            std::string::npos);
+  EXPECT_NE(Rig.err().find("Main.main"), std::string::npos)
+      << "stack trace should name the frame (§6.1)";
+}
+
+TEST_P(BothModes, CheckcastAndClassCastException) {
+  JvmRig Rig(GetParam());
+  ClassBuilder A("A");
+  A.addDefaultConstructor();
+  ClassBuilder C("C");
+  C.addDefaultConstructor();
+  ClassBuilder B("Main");
+  MethodBuilder &M = mainOf(B);
+  MethodBuilder::Label Start = M.newLabel(), End = M.newLabel(),
+                       Handler = M.newLabel(), After = M.newLabel();
+  M.bind(Start)
+      .anew("A")
+      .op(Op::Dup)
+      .invokespecial("A", "<init>", "()V")
+      .checkcast("C") // Throws: A is not a C.
+      .op(Op::Pop)
+      .bind(End)
+      .branch(Op::Goto, After)
+      .bind(Handler)
+      .op(Op::Pop)
+      .iconst(99);
+  printlnInt(M);
+  M.bind(After).op(Op::Return).handler(Start, End, Handler,
+                                       "java/lang/ClassCastException");
+  Rig.addClass(A);
+  Rig.addClass(C);
+  Rig.addClass(B);
+  EXPECT_EQ(Rig.run("Main"), 0);
+  EXPECT_EQ(Rig.out(), "99\n");
+}
+
+TEST_P(BothModes, SwitchStatements) {
+  JvmRig Rig(GetParam());
+  ClassBuilder B("Main");
+  MethodBuilder &Pick = B.method(AccPublic | AccStatic, "pick", "(I)I");
+  MethodBuilder::Label C0 = Pick.newLabel(), C1 = Pick.newLabel(),
+                       C2 = Pick.newLabel(), Def = Pick.newLabel();
+  Pick.iload(0).tableswitch(Def, 0, {C0, C1, C2});
+  Pick.bind(C0).iconst(100).op(Op::Ireturn);
+  Pick.bind(C1).iconst(200).op(Op::Ireturn);
+  Pick.bind(C2).iconst(300).op(Op::Ireturn);
+  Pick.bind(Def).iconst(-1).op(Op::Ireturn);
+  MethodBuilder &Look =
+      B.method(AccPublic | AccStatic, "look", "(I)I");
+  MethodBuilder::Label L1 = Look.newLabel(), L2 = Look.newLabel(),
+                       LD = Look.newLabel();
+  Look.iload(0).lookupswitch(LD, {{-5, L1}, {1000, L2}});
+  Look.bind(L1).iconst(11).op(Op::Ireturn);
+  Look.bind(L2).iconst(22).op(Op::Ireturn);
+  Look.bind(LD).iconst(0).op(Op::Ireturn);
+  MethodBuilder &M = mainOf(B);
+  for (int I = -1; I <= 3; ++I) {
+    M.iconst(I).invokestatic("Main", "pick", "(I)I");
+    printlnInt(M);
+  }
+  for (int V : {-5, 1000, 7}) {
+    M.iconst(V).invokestatic("Main", "look", "(I)I");
+    printlnInt(M);
+  }
+  M.op(Op::Return);
+  Rig.addClass(B);
+  EXPECT_EQ(Rig.run("Main"), 0);
+  EXPECT_EQ(Rig.out(), "-1\n100\n200\n300\n-1\n11\n22\n0\n");
+}
+
+TEST_P(BothModes, LazyClassLoadingThroughXhrFs) {
+  // §6.4: classes download on first reference, not eagerly.
+  JvmRig Rig(GetParam());
+  ClassBuilder Helper("util/Helper");
+  Helper.addDefaultConstructor();
+  Helper.method(AccPublic | AccStatic, "seven", "()I")
+      .iconst(7)
+      .op(Op::Ireturn);
+  ClassBuilder Unused("util/Unused");
+  Unused.addDefaultConstructor();
+  ClassBuilder B("Main");
+  MethodBuilder &M = mainOf(B);
+  M.invokestatic("util/Helper", "seven", "()I");
+  printlnInt(M);
+  M.op(Op::Return);
+  Rig.addClass(Helper);
+  Rig.addClass(Unused);
+  Rig.addClass(B);
+  EXPECT_EQ(Rig.run("Main"), 0);
+  EXPECT_EQ(Rig.out(), "7\n");
+  // Main + Helper were fetched; Unused was not.
+  EXPECT_EQ(Rig.vm().loader().fileLoads(), 2u);
+  EXPECT_EQ(Rig.vm().loader().lookup("util/Unused"), nullptr);
+}
+
+TEST_P(BothModes, MissingClassIsNoClassDefFoundError) {
+  JvmRig Rig(GetParam());
+  ClassBuilder B("Main");
+  MethodBuilder &M = mainOf(B);
+  M.invokestatic("does/not/Exist", "f", "()I").op(Op::Pop).op(Op::Return);
+  Rig.addClass(B);
+  EXPECT_EQ(Rig.run("Main"), 1);
+  EXPECT_NE(Rig.err().find("NoClassDefFoundError"), std::string::npos);
+}
+
+TEST_P(BothModes, SystemExitStopsProgram) {
+  JvmRig Rig(GetParam());
+  ClassBuilder B("Main");
+  MethodBuilder &M = mainOf(B);
+  M.iconst(1);
+  printlnInt(M);
+  M.iconst(42).invokestatic("java/lang/System", "exit", "(I)V");
+  M.iconst(2); // Never reached.
+  printlnInt(M);
+  M.op(Op::Return);
+  Rig.addClass(B);
+  EXPECT_EQ(Rig.run("Main"), 42);
+  EXPECT_EQ(Rig.out(), "1\n");
+}
+
+TEST_P(BothModes, CommandLineArguments) {
+  JvmRig Rig(GetParam());
+  ClassBuilder B("Main");
+  MethodBuilder &M = mainOf(B);
+  // print args.length, then args[1].
+  M.aload(0).op(Op::Arraylength);
+  printlnInt(M);
+  M.aload(0)
+      .iconst(1)
+      .op(Op::Aaload)
+      .checkcast("java/lang/String")
+      .getstatic("java/lang/System", "out", Out)
+      .op(Op::Swap)
+      .invokevirtual("java/io/PrintStream", "println",
+                     "(Ljava/lang/String;)V")
+      .op(Op::Return);
+  Rig.addClass(B);
+  EXPECT_EQ(Rig.run("Main", {"alpha", "beta"}), 0);
+  EXPECT_EQ(Rig.out(), "2\nbeta\n");
+}
+
+TEST_P(BothModes, FileIoThroughBlockingBridge) {
+  // §6.3: file natives retain synchronous JVM semantics over the
+  // asynchronous Doppio fs.
+  JvmRig Rig(GetParam());
+  ClassBuilder B("Main");
+  MethodBuilder &M = mainOf(B);
+  M.ldcString("/data/input.txt")
+      .invokestatic("doppio/io/Files", "readString",
+                    "(Ljava/lang/String;)Ljava/lang/String;")
+      .astore(1)
+      .getstatic("java/lang/System", "out", Out)
+      .aload(1)
+      .invokevirtual("java/io/PrintStream", "println",
+                     "(Ljava/lang/String;)V");
+  M.ldcString("/data/output.txt")
+      .aload(1)
+      .ldcString(" (copied)")
+      .invokevirtual("java/lang/String", "concat",
+                     "(Ljava/lang/String;)Ljava/lang/String;")
+      .invokestatic("doppio/io/Files", "writeString",
+                    "(Ljava/lang/String;Ljava/lang/String;)V");
+  M.ldcString("/data/input.txt")
+      .invokestatic("doppio/io/Files", "size", "(Ljava/lang/String;)I");
+  printlnInt(M);
+  M.op(Op::Return);
+  Rig.addClass(B);
+  Rig.seedFile("/data/input.txt", "hello from the fs");
+  EXPECT_EQ(Rig.run("Main"), 0);
+  EXPECT_EQ(Rig.out(), "hello from the fs\n17\n");
+  EXPECT_EQ(Rig.fileText("/data/output.txt"),
+            "hello from the fs (copied)");
+}
+
+TEST_P(BothModes, MissingFileThrowsIoException) {
+  JvmRig Rig(GetParam());
+  ClassBuilder B("Main");
+  MethodBuilder &M = mainOf(B);
+  MethodBuilder::Label Start = M.newLabel(), End = M.newLabel(),
+                       Handler = M.newLabel(), After = M.newLabel();
+  M.bind(Start)
+      .ldcString("/missing")
+      .invokestatic("doppio/io/Files", "readAllBytes",
+                    "(Ljava/lang/String;)[B")
+      .op(Op::Pop)
+      .bind(End)
+      .branch(Op::Goto, After)
+      .bind(Handler)
+      .op(Op::Pop)
+      .iconst(404);
+  printlnInt(M);
+  M.bind(After).op(Op::Return).handler(Start, End, Handler,
+                                       "java/io/IOException");
+  Rig.addClass(B);
+  EXPECT_EQ(Rig.run("Main"), 0);
+  EXPECT_EQ(Rig.out(), "404\n");
+}
+
+TEST_P(BothModes, StdinReadLineOverAsyncKeyboard) {
+  // The paper's §3.2 motivating example: synchronous console input.
+  JvmRig Rig(GetParam());
+  ClassBuilder B("Main");
+  MethodBuilder &M = mainOf(B);
+  M.getstatic("java/lang/System", "out", Out)
+      .ldcString("Please enter your name: ")
+      .invokevirtual("java/io/PrintStream", "print",
+                     "(Ljava/lang/String;)V");
+  M.invokestatic("doppio/Stdin", "readLine", "()Ljava/lang/String;")
+      .astore(1)
+      .getstatic("java/lang/System", "out", Out)
+      .ldcString("Your name is ")
+      .aload(1)
+      .invokevirtual("java/lang/String", "concat",
+                     "(Ljava/lang/String;)Ljava/lang/String;")
+      .invokevirtual("java/io/PrintStream", "println",
+                     "(Ljava/lang/String;)V")
+      .op(Op::Return);
+  Rig.addClass(B);
+  Rig.vm(); // Materialize the process before pushing input.
+  Rig.Proc.pushStdin("Ada Lovelace");
+  EXPECT_EQ(Rig.run("Main"), 0);
+  EXPECT_EQ(Rig.out(), "Please enter your name: Your name is Ada Lovelace\n");
+}
+
+TEST_P(BothModes, UnsafeUsesTheUnmanagedHeap) {
+  // §6.5: sun.misc.Unsafe over the Doppio heap.
+  JvmRig Rig(GetParam());
+  ClassBuilder B("Main");
+  MethodBuilder &M = mainOf(B);
+  M.getstatic("sun/misc/Unsafe", "theUnsafe", "Lsun/misc/Unsafe;")
+      .astore(1);
+  // long addr = unsafe.allocateMemory(16);
+  M.aload(1)
+      .lconst(16)
+      .invokevirtual("sun/misc/Unsafe", "allocateMemory", "(J)J")
+      .lstore(2);
+  // unsafe.putInt(addr, 0x01020304); endianness probe: getByte(addr).
+  M.aload(1)
+      .lload(2)
+      .iconst(0x01020304)
+      .invokevirtual("sun/misc/Unsafe", "putInt", "(JI)V");
+  M.aload(1)
+      .lload(2)
+      .invokevirtual("sun/misc/Unsafe", "getByte", "(J)B");
+  printlnInt(M); // 4: the heap is little endian (§5.2).
+  M.aload(1)
+      .lload(2)
+      .invokevirtual("sun/misc/Unsafe", "getInt", "(J)I");
+  printlnInt(M);
+  M.aload(1)
+      .lload(2)
+      .invokevirtual("sun/misc/Unsafe", "freeMemory", "(J)V")
+      .op(Op::Return);
+  Rig.addClass(B);
+  EXPECT_EQ(Rig.run("Main"), 0);
+  EXPECT_EQ(Rig.out(), "4\n16909060\n");
+  EXPECT_EQ(Rig.vm().heap().allocationCount(), 0u);
+}
+
+TEST_P(BothModes, JsEvalInterop) {
+  // §6.8: eval returns the result coerced to a JVM String.
+  JvmRig Rig(GetParam());
+  ClassBuilder B("Main");
+  MethodBuilder &M = mainOf(B);
+  M.ldcString("1+2")
+      .invokestatic("doppio/JS", "eval",
+                    "(Ljava/lang/String;)Ljava/lang/String;")
+      .getstatic("java/lang/System", "out", Out)
+      .op(Op::Swap)
+      .invokevirtual("java/io/PrintStream", "println",
+                     "(Ljava/lang/String;)V")
+      .op(Op::Return);
+  Rig.addClass(B);
+  Rig.vm().setJsEval([](const std::string &Src) {
+    return Src == "1+2" ? "3" : "undefined";
+  });
+  EXPECT_EQ(Rig.run("Main"), 0);
+  EXPECT_EQ(Rig.out(), "3\n");
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, BothModes,
+                         ::testing::Values(ExecutionMode::DoppioJS,
+                                           ExecutionMode::NativeHotspot),
+                         [](const auto &Info) {
+                           return std::string(
+                               executionModeName(Info.param));
+                         });
+
+} // namespace

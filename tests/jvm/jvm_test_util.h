@@ -1,0 +1,97 @@
+//===- tests/jvm/jvm_test_util.h - Test rig for DoppioJVM --------*- C++ -*-==//
+//
+// A complete simulated deployment for JVM tests: class files produced by
+// the assembler are published on the simulated web server; the file system
+// mounts an XHR backend at /classes (lazy class downloads, §6.4) over an
+// in-memory root; the JVM runs inside the browser environment in either
+// execution mode.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef DOPPIO_TESTS_JVM_JVM_TEST_UTIL_H
+#define DOPPIO_TESTS_JVM_JVM_TEST_UTIL_H
+
+#include "doppio/backends/in_memory.h"
+#include "doppio/backends/mountable.h"
+#include "doppio/backends/xhr_fs.h"
+#include "doppio/fs.h"
+#include "jvm/interpreter.h"
+#include "jvm/jvm.h"
+
+#include <memory>
+#include <string>
+
+namespace doppio {
+namespace testutil {
+
+class JvmRig {
+public:
+  explicit JvmRig(jvm::ExecutionMode Mode,
+                  const browser::Profile &P = browser::chromeProfile())
+      : Env(P), Mode(Mode) {}
+
+  /// Publishes a class on the web server's /classes tree.
+  void addClass(jvm::ClassBuilder &B) {
+    Env.server().addFile("/classes/" + B.name() + ".class", B.bytes());
+  }
+
+  void addClassBytes(const std::string &Name, std::vector<uint8_t> Bytes) {
+    Env.server().addFile("/classes/" + Name + ".class", std::move(Bytes));
+  }
+
+  /// The file system and VM, constructed on first use (after all classes
+  /// are published, since the XHR index is built at mount time).
+  jvm::Jvm &vm() {
+    if (!TheVm) {
+      auto RootBackend = std::make_unique<rt::fs::InMemoryBackend>(Env);
+      Root = RootBackend.get();
+      auto Mounted = std::make_unique<rt::fs::MountableFileSystem>(
+          std::move(RootBackend));
+      Mounted->mount("/classes",
+                     std::make_unique<rt::fs::XhrBackend>(Env, "/classes"));
+      // Read-only program inputs (game assets, class libraries to dump)
+      // are served from the origin server; /data stays writable.
+      Mounted->mount("/srv",
+                     std::make_unique<rt::fs::XhrBackend>(Env, "/srv"));
+      Fs = std::make_unique<rt::fs::FileSystem>(Env, Proc,
+                                                std::move(Mounted));
+      jvm::JvmOptions Options;
+      Options.Mode = Mode;
+      TheVm = std::make_unique<jvm::Jvm>(Env, *Fs, Proc, Options);
+    }
+    return *TheVm;
+  }
+
+  /// Runs main and returns the exit code (asserting the loop drained).
+  int run(const std::string &MainClass,
+          const std::vector<std::string> &Args = {}) {
+    return vm().runMainToCompletion(MainClass, Args);
+  }
+
+  const std::string &out() { return Proc.capturedStdout(); }
+  const std::string &err() { return Proc.capturedStderr(); }
+
+  /// Seeds a file in the in-memory root (program input data).
+  void seedFile(const std::string &Path, const std::string &Text) {
+    vm();
+    Root->seedFile(Path, std::vector<uint8_t>(Text.begin(), Text.end()));
+  }
+
+  std::string fileText(const std::string &Path) {
+    vm();
+    const std::vector<uint8_t> *B = Root->contents(Path);
+    return B ? std::string(B->begin(), B->end()) : "<missing>";
+  }
+
+  browser::BrowserEnv Env;
+  rt::Process Proc;
+  jvm::ExecutionMode Mode;
+  std::unique_ptr<rt::fs::FileSystem> Fs;
+  rt::fs::InMemoryBackend *Root = nullptr;
+  std::unique_ptr<jvm::Jvm> TheVm;
+};
+
+} // namespace testutil
+} // namespace doppio
+
+#endif // DOPPIO_TESTS_JVM_JVM_TEST_UTIL_H

@@ -1,0 +1,147 @@
+//===- tests/jvm/long64_test.cpp ------------------------------------------==//
+//
+// Differential tests of the software 64-bit integers (§8) against the
+// hardware int64 the NativeHotspot baseline uses: on every operation and a
+// seeded sweep of operands, both must agree bit-for-bit.
+//
+//===----------------------------------------------------------------------===//
+
+#include "jvm/long64.h"
+
+#include "gtest/gtest.h"
+
+#include <limits>
+#include <random>
+
+using namespace doppio;
+using namespace doppio::jvm;
+
+namespace {
+
+const int64_t Interesting[] = {
+    0,
+    1,
+    -1,
+    2,
+    -2,
+    42,
+    -1000000,
+    0x7FFFFFFF,
+    -0x80000000ll,
+    0x100000000ll,
+    -0x100000000ll,
+    0x123456789ABCDEFll,
+    -0x123456789ABCDEFll,
+    std::numeric_limits<int64_t>::max(),
+    std::numeric_limits<int64_t>::min(),
+    std::numeric_limits<int64_t>::min() + 1,
+};
+
+TEST(Long64, BitsRoundTrip) {
+  for (int64_t V : Interesting)
+    EXPECT_EQ(Long64::fromBits(V).bits(), V);
+}
+
+TEST(Long64, FromInt32SignExtends) {
+  EXPECT_EQ(Long64::fromInt32(-1).bits(), -1);
+  EXPECT_EQ(Long64::fromInt32(INT32_MIN).bits(),
+            static_cast<int64_t>(INT32_MIN));
+  EXPECT_EQ(Long64::fromInt32(12345).bits(), 12345);
+}
+
+TEST(Long64, ToInt32Truncates) {
+  EXPECT_EQ(Long64::fromBits(0x1FFFFFFFFll).toInt32(), -1);
+  EXPECT_EQ(Long64::fromBits(0x100000000ll).toInt32(), 0);
+}
+
+TEST(Long64, DoubleConversions) {
+  EXPECT_DOUBLE_EQ(Long64::fromBits(1000000).toDouble(), 1e6);
+  EXPECT_DOUBLE_EQ(Long64::fromBits(-1000000).toDouble(), -1e6);
+  EXPECT_EQ(Long64::fromDouble(1e6).bits(), 1000000);
+  EXPECT_EQ(Long64::fromDouble(-1.5).bits(), -1);
+  EXPECT_EQ(Long64::fromDouble(std::nan("")).bits(), 0);
+  EXPECT_EQ(Long64::fromDouble(1e300).bits(),
+            std::numeric_limits<int64_t>::max());
+  EXPECT_EQ(Long64::fromDouble(-1e300).bits(),
+            std::numeric_limits<int64_t>::min());
+  EXPECT_DOUBLE_EQ(Long64::fromBits(INT64_MIN).toDouble(),
+                   -9223372036854775808.0);
+}
+
+TEST(Long64, ExhaustiveOnInterestingPairs) {
+  for (int64_t A : Interesting) {
+    Long64 LA = Long64::fromBits(A);
+    uint64_t UA = static_cast<uint64_t>(A);
+    EXPECT_EQ(negLong(LA).bits(), static_cast<int64_t>(0 - UA)) << A;
+    for (int64_t B : Interesting) {
+      Long64 LB = Long64::fromBits(B);
+      uint64_t UB = static_cast<uint64_t>(B);
+      EXPECT_EQ(addLong(LA, LB).bits(), static_cast<int64_t>(UA + UB))
+          << A << "+" << B;
+      EXPECT_EQ(subLong(LA, LB).bits(), static_cast<int64_t>(UA - UB))
+          << A << "-" << B;
+      EXPECT_EQ(mulLong(LA, LB).bits(), static_cast<int64_t>(UA * UB))
+          << A << "*" << B;
+      EXPECT_EQ(andLong(LA, LB).bits(), A & B);
+      EXPECT_EQ(orLong(LA, LB).bits(), A | B);
+      EXPECT_EQ(xorLong(LA, LB).bits(), A ^ B);
+      EXPECT_EQ(cmpLong(LA, LB), A < B ? -1 : (A > B ? 1 : 0))
+          << A << "<=>" << B;
+      EXPECT_EQ(eqLong(LA, LB), A == B);
+      if (B != 0) {
+        // JVM semantics: MIN / -1 wraps to MIN.
+        int64_t Q = (A == INT64_MIN && B == -1) ? A : A / B;
+        int64_t R = (A == INT64_MIN && B == -1) ? 0 : A % B;
+        EXPECT_EQ(divLong(LA, LB).bits(), Q) << A << "/" << B;
+        EXPECT_EQ(remLong(LA, LB).bits(), R) << A << "%" << B;
+      }
+    }
+  }
+}
+
+TEST(Long64, ShiftsMatchHardware) {
+  for (int64_t A : Interesting) {
+    Long64 LA = Long64::fromBits(A);
+    for (int32_t S : {0, 1, 5, 31, 32, 33, 63, 64, 65, -1}) {
+      int32_t Masked = S & 63;
+      EXPECT_EQ(shlLong(LA, S).bits(),
+                static_cast<int64_t>(static_cast<uint64_t>(A) << Masked))
+          << A << "<<" << S;
+      EXPECT_EQ(shrLong(LA, S).bits(), A >> Masked) << A << ">>" << S;
+      EXPECT_EQ(ushrLong(LA, S).bits(),
+                static_cast<int64_t>(static_cast<uint64_t>(A) >> Masked))
+          << A << ">>>" << S;
+    }
+  }
+}
+
+// Property sweep: random 64-bit operands.
+class Long64Property : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(Long64Property, RandomDifferentialSweep) {
+  std::mt19937_64 Rng(GetParam());
+  for (int I = 0; I != 2000; ++I) {
+    int64_t A = static_cast<int64_t>(Rng());
+    int64_t B = static_cast<int64_t>(Rng());
+    // Mix in small operands, where carries matter most.
+    if (I % 3 == 0)
+      B = static_cast<int32_t>(B);
+    if (I % 5 == 0)
+      A = static_cast<int16_t>(A);
+    Long64 LA = Long64::fromBits(A), LB = Long64::fromBits(B);
+    uint64_t UA = static_cast<uint64_t>(A), UB = static_cast<uint64_t>(B);
+    ASSERT_EQ(addLong(LA, LB).bits(), static_cast<int64_t>(UA + UB));
+    ASSERT_EQ(subLong(LA, LB).bits(), static_cast<int64_t>(UA - UB));
+    ASSERT_EQ(mulLong(LA, LB).bits(), static_cast<int64_t>(UA * UB));
+    if (B != 0 && !(A == INT64_MIN && B == -1)) {
+      ASSERT_EQ(divLong(LA, LB).bits(), A / B);
+      ASSERT_EQ(remLong(LA, LB).bits(), A % B);
+    }
+    ASSERT_EQ(cmpLong(LA, LB), A < B ? -1 : (A > B ? 1 : 0));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Long64Property,
+                         ::testing::Values(11u, 22u, 33u, 44u));
+
+} // namespace

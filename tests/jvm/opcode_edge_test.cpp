@@ -1,0 +1,252 @@
+//===- tests/jvm/opcode_edge_test.cpp -------------------------------------==//
+//
+// Edge-of-the-instruction-set tests: the rarely-generated opcodes (jsr/
+// ret, goto_w, the dup2 family over category-2 values, wide iinc), numeric
+// conversion corner cases (NaN, clamping), and float comparison NaN
+// variants — in both execution modes.
+//
+//===----------------------------------------------------------------------===//
+
+#include "jvm_test_util.h"
+
+#include "gtest/gtest.h"
+
+#include <cmath>
+
+using namespace doppio;
+using namespace doppio::jvm;
+using namespace doppio::testutil;
+
+namespace {
+
+MethodBuilder &mainOf(ClassBuilder &B) {
+  return B.method(AccPublic | AccStatic, "main",
+                  "([Ljava/lang/String;)V");
+}
+
+void printlnInt(MethodBuilder &M) {
+  M.getstatic("java/lang/System", "out", "Ljava/io/PrintStream;")
+      .op(Op::Swap)
+      .invokevirtual("java/io/PrintStream", "println", "(I)V");
+}
+
+class EdgeModes : public ::testing::TestWithParam<ExecutionMode> {};
+
+TEST_P(EdgeModes, JsrRetSubroutine) {
+  // The finally-block pattern of pre-Java-6 compilers: call a subroutine
+  // twice via jsr; it returns through ret.
+  JvmRig Rig(GetParam());
+  ClassBuilder B("Main");
+  MethodBuilder &M = mainOf(B);
+  MethodBuilder::Label Sub = M.newLabel(), After1 = M.newLabel(),
+                       AfterAll = M.newLabel();
+  // counter in local 1; subroutine adds 10.
+  M.iconst(0).istore(1);
+  M.branch(Op::Jsr, Sub).bind(After1).branch(Op::Jsr, Sub)
+      .branch(Op::Goto, AfterAll);
+  M.bind(Sub)
+      .astore(2) // Return address into local 2.
+      .iload(1)
+      .iconst(10)
+      .op(Op::Iadd)
+      .istore(1)
+      .retLocal(2);
+  M.bind(AfterAll).iload(1);
+  printlnInt(M);
+  M.op(Op::Return);
+  Rig.addClass(B);
+  EXPECT_EQ(Rig.run("Main"), 0);
+  EXPECT_EQ(Rig.out(), "20\n");
+}
+
+TEST_P(EdgeModes, WideGotoAndJsr) {
+  JvmRig Rig(GetParam());
+  ClassBuilder B("Main");
+  MethodBuilder &M = mainOf(B);
+  MethodBuilder::Label Target = M.newLabel(), Sub = M.newLabel(),
+                       End = M.newLabel();
+  M.branch(Op::GotoW, Target);
+  // Subroutine: stores 5 into local 2 (side effects only; jsr
+  // subroutines must leave the stack as they found it).
+  M.bind(Sub).astore(1).iconst(5).istore(2).retLocal(1);
+  M.bind(Target).branch(Op::JsrW, Sub).iload(2);
+  printlnInt(M);
+  M.bind(End).op(Op::Return);
+  Rig.addClass(B);
+  EXPECT_EQ(Rig.run("Main"), 0);
+  EXPECT_EQ(Rig.out(), "5\n");
+}
+
+TEST_P(EdgeModes, Dup2FamilyOverLongs) {
+  JvmRig Rig(GetParam());
+  ClassBuilder B("Main");
+  MethodBuilder &M = mainOf(B);
+  // dup2 over a long: (J) -> (J, J); add them: 2*J.
+  M.lconst(21).op(Op::Dup2).op(Op::Ladd).op(Op::L2i);
+  printlnInt(M);
+  // dup2_x1 with an int under a long: 7, 100L -> 100L, 7, 100L.
+  // Consume the top copy with l2i, add: 7 + 100 = 107; the buried long
+  // copy proves the reordering happened.
+  M.iconst(7).lconst(100).op(Op::Dup2X1).op(Op::L2i).op(Op::Iadd);
+  printlnInt(M);
+  M.op(Op::Pop2); // The reordered long underneath.
+  M.op(Op::Return);
+  Rig.addClass(B);
+  EXPECT_EQ(Rig.run("Main"), 0);
+  EXPECT_EQ(Rig.out(), "42\n107\n");
+}
+
+TEST_P(EdgeModes, WideIincAndManyLocals) {
+  JvmRig Rig(GetParam());
+  ClassBuilder B("Main");
+  MethodBuilder &M = mainOf(B);
+  M.iconst(1000).istore(300); // Wide istore.
+  M.iinc(300, 100);           // Narrow iinc on a wide slot -> wide iinc.
+  M.iinc(5, 2000);            // Wide iinc via large delta.
+  M.iload(300);
+  printlnInt(M);
+  M.iload(5);
+  printlnInt(M);
+  M.op(Op::Return);
+  Rig.addClass(B);
+  EXPECT_EQ(Rig.run("Main"), 0);
+  EXPECT_EQ(Rig.out(), "1100\n2000\n");
+}
+
+TEST_P(EdgeModes, ConversionCornerCases) {
+  JvmRig Rig(GetParam());
+  ClassBuilder B("Main");
+  MethodBuilder &M = mainOf(B);
+  // (int) NaN == 0.
+  M.dconst(std::nan("")).op(Op::D2i);
+  printlnInt(M);
+  // (int) 1e18 clamps to MAX_VALUE.
+  M.dconst(1e18).op(Op::D2i);
+  printlnInt(M);
+  // (long) -1e30 clamps to MIN_VALUE; (MIN >>> 32) narrows to
+  // 0x80000000, printed as the signed int MIN_VALUE.
+  M.dconst(-1e30).op(Op::D2l).iconst(32).op(Op::Lushr).op(Op::L2i);
+  printlnInt(M);
+  // i2b sign-extends: (byte)200 == -56.
+  M.iconst(200).op(Op::I2b);
+  printlnInt(M);
+  // i2c zero-extends: (char)-1 == 65535.
+  M.iconst(-1).op(Op::I2c);
+  printlnInt(M);
+  // i2s: (short)70000 == 4464.
+  M.iconst(70000).op(Op::I2s);
+  printlnInt(M);
+  M.op(Op::Return);
+  Rig.addClass(B);
+  EXPECT_EQ(Rig.run("Main"), 0);
+  EXPECT_EQ(Rig.out(),
+            "0\n2147483647\n-2147483648\n-56\n65535\n4464\n");
+}
+
+TEST_P(EdgeModes, FloatNaNComparisonVariants) {
+  // fcmpl pushes -1 on NaN, fcmpg pushes +1: this is how javac compiles
+  // < vs > so that NaN fails every comparison.
+  JvmRig Rig(GetParam());
+  ClassBuilder B("Main");
+  MethodBuilder &M = mainOf(B);
+  M.fconst(std::nanf("")).fconst(1.0f).op(Op::Fcmpl);
+  printlnInt(M);
+  M.fconst(std::nanf("")).fconst(1.0f).op(Op::Fcmpg);
+  printlnInt(M);
+  M.dconst(std::nan("")).dconst(1.0).op(Op::Dcmpl);
+  printlnInt(M);
+  M.dconst(std::nan("")).dconst(1.0).op(Op::Dcmpg);
+  printlnInt(M);
+  M.op(Op::Return);
+  Rig.addClass(B);
+  EXPECT_EQ(Rig.run("Main"), 0);
+  EXPECT_EQ(Rig.out(), "-1\n1\n-1\n1\n");
+}
+
+TEST_P(EdgeModes, NegativeArrayAndDivisionOverflow) {
+  JvmRig Rig(GetParam());
+  ClassBuilder B("Main");
+  MethodBuilder &M = mainOf(B);
+  MethodBuilder::Label Start = M.newLabel(), End = M.newLabel(),
+                       H = M.newLabel(), After = M.newLabel();
+  M.bind(Start)
+      .iconst(-3)
+      .newarray(ArrayType::Int)
+      .op(Op::Pop)
+      .bind(End)
+      .branch(Op::Goto, After)
+      .bind(H)
+      .op(Op::Pop)
+      .iconst(11);
+  printlnInt(M);
+  M.bind(After);
+  // MIN_VALUE / -1 wraps (no exception).
+  M.iconst(INT32_MIN).iconst(-1).op(Op::Idiv);
+  printlnInt(M);
+  M.iconst(INT32_MIN).iconst(-1).op(Op::Irem);
+  printlnInt(M);
+  // Long MIN / -1 also wraps.
+  M.lconst(INT64_MIN).lconst(-1).op(Op::Ldiv).iconst(63).op(Op::Lushr)
+      .op(Op::L2i);
+  printlnInt(M);
+  M.op(Op::Return).handler(Start, End, H,
+                           "java/lang/NegativeArraySizeException");
+  Rig.addClass(B);
+  EXPECT_EQ(Rig.run("Main"), 0);
+  EXPECT_EQ(Rig.out(), "11\n-2147483648\n0\n1\n");
+}
+
+TEST_P(EdgeModes, LookupswitchWithNegativeKeys) {
+  JvmRig Rig(GetParam());
+  ClassBuilder B("Main");
+  MethodBuilder &Pick = B.method(AccPublic | AccStatic, "pick", "(I)I");
+  MethodBuilder::Label A = Pick.newLabel(), C = Pick.newLabel(),
+                       D = Pick.newLabel();
+  Pick.iload(0).lookupswitch(D, {{INT32_MIN, A}, {0, C}});
+  Pick.bind(A).iconst(1).op(Op::Ireturn);
+  Pick.bind(C).iconst(2).op(Op::Ireturn);
+  Pick.bind(D).iconst(3).op(Op::Ireturn);
+  MethodBuilder &M = mainOf(B);
+  for (int32_t V : {INT32_MIN, 0, 5}) {
+    M.iconst(V).invokestatic("Main", "pick", "(I)I");
+    printlnInt(M);
+  }
+  M.op(Op::Return);
+  Rig.addClass(B);
+  EXPECT_EQ(Rig.run("Main"), 0);
+  EXPECT_EQ(Rig.out(), "1\n2\n3\n");
+}
+
+TEST_P(EdgeModes, StringCharAtOutOfBoundsThrows) {
+  JvmRig Rig(GetParam());
+  ClassBuilder B("Main");
+  MethodBuilder &M = mainOf(B);
+  MethodBuilder::Label Start = M.newLabel(), End = M.newLabel(),
+                       H = M.newLabel(), After = M.newLabel();
+  M.bind(Start)
+      .ldcString("abc")
+      .iconst(9)
+      .invokevirtual("java/lang/String", "charAt", "(I)C")
+      .op(Op::Pop)
+      .bind(End)
+      .branch(Op::Goto, After)
+      .bind(H)
+      .op(Op::Pop)
+      .iconst(-1);
+  printlnInt(M);
+  M.bind(After).op(Op::Return).handler(
+      Start, End, H, "java/lang/StringIndexOutOfBoundsException");
+  Rig.addClass(B);
+  EXPECT_EQ(Rig.run("Main"), 0);
+  EXPECT_EQ(Rig.out(), "-1\n");
+}
+
+INSTANTIATE_TEST_SUITE_P(Modes, EdgeModes,
+                         ::testing::Values(ExecutionMode::DoppioJS,
+                                           ExecutionMode::NativeHotspot),
+                         [](const auto &Info) {
+                           return std::string(
+                               executionModeName(Info.param));
+                         });
+
+} // namespace
