@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_suspend.dir/fig5_suspend.cpp.o"
+  "CMakeFiles/fig5_suspend.dir/fig5_suspend.cpp.o.d"
+  "fig5_suspend"
+  "fig5_suspend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_suspend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

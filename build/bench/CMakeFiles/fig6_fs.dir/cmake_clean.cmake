@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_fs.dir/fig6_fs.cpp.o"
+  "CMakeFiles/fig6_fs.dir/fig6_fs.cpp.o.d"
+  "fig6_fs"
+  "fig6_fs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_fs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table2_storage.cpp" "bench/CMakeFiles/table2_storage.dir/table2_storage.cpp.o" "gcc" "bench/CMakeFiles/table2_storage.dir/table2_storage.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/jvm/CMakeFiles/jvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/doppio/CMakeFiles/doppio_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/browser/CMakeFiles/browser.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fs_tour.dir/fs_tour.cpp.o"
+  "CMakeFiles/fs_tour.dir/fs_tour.cpp.o.d"
+  "fs_tour"
+  "fs_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fs_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/javap_tool.dir/javap_tool.cpp.o"
+  "CMakeFiles/javap_tool.dir/javap_tool.cpp.o.d"
+  "javap_tool"
+  "javap_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/javap_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

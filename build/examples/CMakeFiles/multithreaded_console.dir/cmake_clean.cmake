@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multithreaded_console.dir/multithreaded_console.cpp.o"
+  "CMakeFiles/multithreaded_console.dir/multithreaded_console.cpp.o.d"
+  "multithreaded_console"
+  "multithreaded_console.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multithreaded_console.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

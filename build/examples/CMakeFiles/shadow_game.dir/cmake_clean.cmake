@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shadow_game.dir/shadow_game.cpp.o"
+  "CMakeFiles/shadow_game.dir/shadow_game.cpp.o.d"
+  "shadow_game"
+  "shadow_game.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shadow_game.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/browser/event_loop.cpp" "src/browser/CMakeFiles/browser.dir/event_loop.cpp.o" "gcc" "src/browser/CMakeFiles/browser.dir/event_loop.cpp.o.d"
+  "/root/repo/src/browser/js_string.cpp" "src/browser/CMakeFiles/browser.dir/js_string.cpp.o" "gcc" "src/browser/CMakeFiles/browser.dir/js_string.cpp.o.d"
+  "/root/repo/src/browser/message_channel.cpp" "src/browser/CMakeFiles/browser.dir/message_channel.cpp.o" "gcc" "src/browser/CMakeFiles/browser.dir/message_channel.cpp.o.d"
+  "/root/repo/src/browser/profile.cpp" "src/browser/CMakeFiles/browser.dir/profile.cpp.o" "gcc" "src/browser/CMakeFiles/browser.dir/profile.cpp.o.d"
+  "/root/repo/src/browser/simnet.cpp" "src/browser/CMakeFiles/browser.dir/simnet.cpp.o" "gcc" "src/browser/CMakeFiles/browser.dir/simnet.cpp.o.d"
+  "/root/repo/src/browser/storage.cpp" "src/browser/CMakeFiles/browser.dir/storage.cpp.o" "gcc" "src/browser/CMakeFiles/browser.dir/storage.cpp.o.d"
+  "/root/repo/src/browser/websocket.cpp" "src/browser/CMakeFiles/browser.dir/websocket.cpp.o" "gcc" "src/browser/CMakeFiles/browser.dir/websocket.cpp.o.d"
+  "/root/repo/src/browser/xhr.cpp" "src/browser/CMakeFiles/browser.dir/xhr.cpp.o" "gcc" "src/browser/CMakeFiles/browser.dir/xhr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/browser.dir/event_loop.cpp.o"
+  "CMakeFiles/browser.dir/event_loop.cpp.o.d"
+  "CMakeFiles/browser.dir/js_string.cpp.o"
+  "CMakeFiles/browser.dir/js_string.cpp.o.d"
+  "CMakeFiles/browser.dir/message_channel.cpp.o"
+  "CMakeFiles/browser.dir/message_channel.cpp.o.d"
+  "CMakeFiles/browser.dir/profile.cpp.o"
+  "CMakeFiles/browser.dir/profile.cpp.o.d"
+  "CMakeFiles/browser.dir/simnet.cpp.o"
+  "CMakeFiles/browser.dir/simnet.cpp.o.d"
+  "CMakeFiles/browser.dir/storage.cpp.o"
+  "CMakeFiles/browser.dir/storage.cpp.o.d"
+  "CMakeFiles/browser.dir/websocket.cpp.o"
+  "CMakeFiles/browser.dir/websocket.cpp.o.d"
+  "CMakeFiles/browser.dir/xhr.cpp.o"
+  "CMakeFiles/browser.dir/xhr.cpp.o.d"
+  "libbrowser.a"
+  "libbrowser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/browser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

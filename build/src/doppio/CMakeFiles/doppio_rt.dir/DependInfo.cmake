@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/doppio/backends/in_memory.cpp" "src/doppio/CMakeFiles/doppio_rt.dir/backends/in_memory.cpp.o" "gcc" "src/doppio/CMakeFiles/doppio_rt.dir/backends/in_memory.cpp.o.d"
+  "/root/repo/src/doppio/backends/kv_backend.cpp" "src/doppio/CMakeFiles/doppio_rt.dir/backends/kv_backend.cpp.o" "gcc" "src/doppio/CMakeFiles/doppio_rt.dir/backends/kv_backend.cpp.o.d"
+  "/root/repo/src/doppio/backends/kv_store.cpp" "src/doppio/CMakeFiles/doppio_rt.dir/backends/kv_store.cpp.o" "gcc" "src/doppio/CMakeFiles/doppio_rt.dir/backends/kv_store.cpp.o.d"
+  "/root/repo/src/doppio/backends/mountable.cpp" "src/doppio/CMakeFiles/doppio_rt.dir/backends/mountable.cpp.o" "gcc" "src/doppio/CMakeFiles/doppio_rt.dir/backends/mountable.cpp.o.d"
+  "/root/repo/src/doppio/backends/xhr_fs.cpp" "src/doppio/CMakeFiles/doppio_rt.dir/backends/xhr_fs.cpp.o" "gcc" "src/doppio/CMakeFiles/doppio_rt.dir/backends/xhr_fs.cpp.o.d"
+  "/root/repo/src/doppio/buffer.cpp" "src/doppio/CMakeFiles/doppio_rt.dir/buffer.cpp.o" "gcc" "src/doppio/CMakeFiles/doppio_rt.dir/buffer.cpp.o.d"
+  "/root/repo/src/doppio/errors.cpp" "src/doppio/CMakeFiles/doppio_rt.dir/errors.cpp.o" "gcc" "src/doppio/CMakeFiles/doppio_rt.dir/errors.cpp.o.d"
+  "/root/repo/src/doppio/fs.cpp" "src/doppio/CMakeFiles/doppio_rt.dir/fs.cpp.o" "gcc" "src/doppio/CMakeFiles/doppio_rt.dir/fs.cpp.o.d"
+  "/root/repo/src/doppio/fs_backend.cpp" "src/doppio/CMakeFiles/doppio_rt.dir/fs_backend.cpp.o" "gcc" "src/doppio/CMakeFiles/doppio_rt.dir/fs_backend.cpp.o.d"
+  "/root/repo/src/doppio/heap.cpp" "src/doppio/CMakeFiles/doppio_rt.dir/heap.cpp.o" "gcc" "src/doppio/CMakeFiles/doppio_rt.dir/heap.cpp.o.d"
+  "/root/repo/src/doppio/path.cpp" "src/doppio/CMakeFiles/doppio_rt.dir/path.cpp.o" "gcc" "src/doppio/CMakeFiles/doppio_rt.dir/path.cpp.o.d"
+  "/root/repo/src/doppio/suspend.cpp" "src/doppio/CMakeFiles/doppio_rt.dir/suspend.cpp.o" "gcc" "src/doppio/CMakeFiles/doppio_rt.dir/suspend.cpp.o.d"
+  "/root/repo/src/doppio/threads.cpp" "src/doppio/CMakeFiles/doppio_rt.dir/threads.cpp.o" "gcc" "src/doppio/CMakeFiles/doppio_rt.dir/threads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/browser/CMakeFiles/browser.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

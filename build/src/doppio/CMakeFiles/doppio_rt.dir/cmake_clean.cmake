@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/doppio_rt.dir/backends/in_memory.cpp.o"
+  "CMakeFiles/doppio_rt.dir/backends/in_memory.cpp.o.d"
+  "CMakeFiles/doppio_rt.dir/backends/kv_backend.cpp.o"
+  "CMakeFiles/doppio_rt.dir/backends/kv_backend.cpp.o.d"
+  "CMakeFiles/doppio_rt.dir/backends/kv_store.cpp.o"
+  "CMakeFiles/doppio_rt.dir/backends/kv_store.cpp.o.d"
+  "CMakeFiles/doppio_rt.dir/backends/mountable.cpp.o"
+  "CMakeFiles/doppio_rt.dir/backends/mountable.cpp.o.d"
+  "CMakeFiles/doppio_rt.dir/backends/xhr_fs.cpp.o"
+  "CMakeFiles/doppio_rt.dir/backends/xhr_fs.cpp.o.d"
+  "CMakeFiles/doppio_rt.dir/buffer.cpp.o"
+  "CMakeFiles/doppio_rt.dir/buffer.cpp.o.d"
+  "CMakeFiles/doppio_rt.dir/errors.cpp.o"
+  "CMakeFiles/doppio_rt.dir/errors.cpp.o.d"
+  "CMakeFiles/doppio_rt.dir/fs.cpp.o"
+  "CMakeFiles/doppio_rt.dir/fs.cpp.o.d"
+  "CMakeFiles/doppio_rt.dir/fs_backend.cpp.o"
+  "CMakeFiles/doppio_rt.dir/fs_backend.cpp.o.d"
+  "CMakeFiles/doppio_rt.dir/heap.cpp.o"
+  "CMakeFiles/doppio_rt.dir/heap.cpp.o.d"
+  "CMakeFiles/doppio_rt.dir/path.cpp.o"
+  "CMakeFiles/doppio_rt.dir/path.cpp.o.d"
+  "CMakeFiles/doppio_rt.dir/suspend.cpp.o"
+  "CMakeFiles/doppio_rt.dir/suspend.cpp.o.d"
+  "CMakeFiles/doppio_rt.dir/threads.cpp.o"
+  "CMakeFiles/doppio_rt.dir/threads.cpp.o.d"
+  "libdoppio_rt.a"
+  "libdoppio_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/doppio_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

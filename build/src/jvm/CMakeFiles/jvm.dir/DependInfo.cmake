@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/jvm/classfile/builder.cpp" "src/jvm/CMakeFiles/jvm.dir/classfile/builder.cpp.o" "gcc" "src/jvm/CMakeFiles/jvm.dir/classfile/builder.cpp.o.d"
+  "/root/repo/src/jvm/classfile/constant_pool.cpp" "src/jvm/CMakeFiles/jvm.dir/classfile/constant_pool.cpp.o" "gcc" "src/jvm/CMakeFiles/jvm.dir/classfile/constant_pool.cpp.o.d"
+  "/root/repo/src/jvm/classfile/descriptor.cpp" "src/jvm/CMakeFiles/jvm.dir/classfile/descriptor.cpp.o" "gcc" "src/jvm/CMakeFiles/jvm.dir/classfile/descriptor.cpp.o.d"
+  "/root/repo/src/jvm/classfile/disasm.cpp" "src/jvm/CMakeFiles/jvm.dir/classfile/disasm.cpp.o" "gcc" "src/jvm/CMakeFiles/jvm.dir/classfile/disasm.cpp.o.d"
+  "/root/repo/src/jvm/classfile/opcodes.cpp" "src/jvm/CMakeFiles/jvm.dir/classfile/opcodes.cpp.o" "gcc" "src/jvm/CMakeFiles/jvm.dir/classfile/opcodes.cpp.o.d"
+  "/root/repo/src/jvm/classfile/reader.cpp" "src/jvm/CMakeFiles/jvm.dir/classfile/reader.cpp.o" "gcc" "src/jvm/CMakeFiles/jvm.dir/classfile/reader.cpp.o.d"
+  "/root/repo/src/jvm/classfile/verifier.cpp" "src/jvm/CMakeFiles/jvm.dir/classfile/verifier.cpp.o" "gcc" "src/jvm/CMakeFiles/jvm.dir/classfile/verifier.cpp.o.d"
+  "/root/repo/src/jvm/classfile/writer.cpp" "src/jvm/CMakeFiles/jvm.dir/classfile/writer.cpp.o" "gcc" "src/jvm/CMakeFiles/jvm.dir/classfile/writer.cpp.o.d"
+  "/root/repo/src/jvm/classloader.cpp" "src/jvm/CMakeFiles/jvm.dir/classloader.cpp.o" "gcc" "src/jvm/CMakeFiles/jvm.dir/classloader.cpp.o.d"
+  "/root/repo/src/jvm/interpreter.cpp" "src/jvm/CMakeFiles/jvm.dir/interpreter.cpp.o" "gcc" "src/jvm/CMakeFiles/jvm.dir/interpreter.cpp.o.d"
+  "/root/repo/src/jvm/jcl.cpp" "src/jvm/CMakeFiles/jvm.dir/jcl.cpp.o" "gcc" "src/jvm/CMakeFiles/jvm.dir/jcl.cpp.o.d"
+  "/root/repo/src/jvm/jvm.cpp" "src/jvm/CMakeFiles/jvm.dir/jvm.cpp.o" "gcc" "src/jvm/CMakeFiles/jvm.dir/jvm.cpp.o.d"
+  "/root/repo/src/jvm/klass.cpp" "src/jvm/CMakeFiles/jvm.dir/klass.cpp.o" "gcc" "src/jvm/CMakeFiles/jvm.dir/klass.cpp.o.d"
+  "/root/repo/src/jvm/long64.cpp" "src/jvm/CMakeFiles/jvm.dir/long64.cpp.o" "gcc" "src/jvm/CMakeFiles/jvm.dir/long64.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/doppio/CMakeFiles/doppio_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/browser/CMakeFiles/browser.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

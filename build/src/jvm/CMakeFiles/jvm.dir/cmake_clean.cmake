@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jvm.dir/classfile/builder.cpp.o"
+  "CMakeFiles/jvm.dir/classfile/builder.cpp.o.d"
+  "CMakeFiles/jvm.dir/classfile/constant_pool.cpp.o"
+  "CMakeFiles/jvm.dir/classfile/constant_pool.cpp.o.d"
+  "CMakeFiles/jvm.dir/classfile/descriptor.cpp.o"
+  "CMakeFiles/jvm.dir/classfile/descriptor.cpp.o.d"
+  "CMakeFiles/jvm.dir/classfile/disasm.cpp.o"
+  "CMakeFiles/jvm.dir/classfile/disasm.cpp.o.d"
+  "CMakeFiles/jvm.dir/classfile/opcodes.cpp.o"
+  "CMakeFiles/jvm.dir/classfile/opcodes.cpp.o.d"
+  "CMakeFiles/jvm.dir/classfile/reader.cpp.o"
+  "CMakeFiles/jvm.dir/classfile/reader.cpp.o.d"
+  "CMakeFiles/jvm.dir/classfile/verifier.cpp.o"
+  "CMakeFiles/jvm.dir/classfile/verifier.cpp.o.d"
+  "CMakeFiles/jvm.dir/classfile/writer.cpp.o"
+  "CMakeFiles/jvm.dir/classfile/writer.cpp.o.d"
+  "CMakeFiles/jvm.dir/classloader.cpp.o"
+  "CMakeFiles/jvm.dir/classloader.cpp.o.d"
+  "CMakeFiles/jvm.dir/interpreter.cpp.o"
+  "CMakeFiles/jvm.dir/interpreter.cpp.o.d"
+  "CMakeFiles/jvm.dir/jcl.cpp.o"
+  "CMakeFiles/jvm.dir/jcl.cpp.o.d"
+  "CMakeFiles/jvm.dir/jvm.cpp.o"
+  "CMakeFiles/jvm.dir/jvm.cpp.o.d"
+  "CMakeFiles/jvm.dir/klass.cpp.o"
+  "CMakeFiles/jvm.dir/klass.cpp.o.d"
+  "CMakeFiles/jvm.dir/long64.cpp.o"
+  "CMakeFiles/jvm.dir/long64.cpp.o.d"
+  "libjvm.a"
+  "libjvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vm32.dir/game.cpp.o"
+  "CMakeFiles/vm32.dir/game.cpp.o.d"
+  "CMakeFiles/vm32.dir/minivm.cpp.o"
+  "CMakeFiles/vm32.dir/minivm.cpp.o.d"
+  "libvm32.a"
+  "libvm32.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vm32.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvm32.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workloads.dir/fstrace.cpp.o"
+  "CMakeFiles/workloads.dir/fstrace.cpp.o.d"
+  "CMakeFiles/workloads.dir/workloads.cpp.o"
+  "CMakeFiles/workloads.dir/workloads.cpp.o.d"
+  "libworkloads.a"
+  "libworkloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/browser/event_loop_test.cpp" "tests/CMakeFiles/browser_test.dir/browser/event_loop_test.cpp.o" "gcc" "tests/CMakeFiles/browser_test.dir/browser/event_loop_test.cpp.o.d"
+  "/root/repo/tests/browser/js_string_test.cpp" "tests/CMakeFiles/browser_test.dir/browser/js_string_test.cpp.o" "gcc" "tests/CMakeFiles/browser_test.dir/browser/js_string_test.cpp.o.d"
+  "/root/repo/tests/browser/storage_test.cpp" "tests/CMakeFiles/browser_test.dir/browser/storage_test.cpp.o" "gcc" "tests/CMakeFiles/browser_test.dir/browser/storage_test.cpp.o.d"
+  "/root/repo/tests/browser/websocket_test.cpp" "tests/CMakeFiles/browser_test.dir/browser/websocket_test.cpp.o" "gcc" "tests/CMakeFiles/browser_test.dir/browser/websocket_test.cpp.o.d"
+  "/root/repo/tests/browser/xhr_test.cpp" "tests/CMakeFiles/browser_test.dir/browser/xhr_test.cpp.o" "gcc" "tests/CMakeFiles/browser_test.dir/browser/xhr_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/browser/CMakeFiles/browser.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

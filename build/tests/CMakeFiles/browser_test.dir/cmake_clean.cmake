@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/browser_test.dir/browser/event_loop_test.cpp.o"
+  "CMakeFiles/browser_test.dir/browser/event_loop_test.cpp.o.d"
+  "CMakeFiles/browser_test.dir/browser/js_string_test.cpp.o"
+  "CMakeFiles/browser_test.dir/browser/js_string_test.cpp.o.d"
+  "CMakeFiles/browser_test.dir/browser/storage_test.cpp.o"
+  "CMakeFiles/browser_test.dir/browser/storage_test.cpp.o.d"
+  "CMakeFiles/browser_test.dir/browser/websocket_test.cpp.o"
+  "CMakeFiles/browser_test.dir/browser/websocket_test.cpp.o.d"
+  "CMakeFiles/browser_test.dir/browser/xhr_test.cpp.o"
+  "CMakeFiles/browser_test.dir/browser/xhr_test.cpp.o.d"
+  "browser_test"
+  "browser_test.pdb"
+  "browser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/browser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/doppio/buffer_test.cpp" "tests/CMakeFiles/doppio_test.dir/doppio/buffer_test.cpp.o" "gcc" "tests/CMakeFiles/doppio_test.dir/doppio/buffer_test.cpp.o.d"
+  "/root/repo/tests/doppio/fs_test.cpp" "tests/CMakeFiles/doppio_test.dir/doppio/fs_test.cpp.o" "gcc" "tests/CMakeFiles/doppio_test.dir/doppio/fs_test.cpp.o.d"
+  "/root/repo/tests/doppio/heap_test.cpp" "tests/CMakeFiles/doppio_test.dir/doppio/heap_test.cpp.o" "gcc" "tests/CMakeFiles/doppio_test.dir/doppio/heap_test.cpp.o.d"
+  "/root/repo/tests/doppio/path_test.cpp" "tests/CMakeFiles/doppio_test.dir/doppio/path_test.cpp.o" "gcc" "tests/CMakeFiles/doppio_test.dir/doppio/path_test.cpp.o.d"
+  "/root/repo/tests/doppio/sockets_test.cpp" "tests/CMakeFiles/doppio_test.dir/doppio/sockets_test.cpp.o" "gcc" "tests/CMakeFiles/doppio_test.dir/doppio/sockets_test.cpp.o.d"
+  "/root/repo/tests/doppio/suspend_test.cpp" "tests/CMakeFiles/doppio_test.dir/doppio/suspend_test.cpp.o" "gcc" "tests/CMakeFiles/doppio_test.dir/doppio/suspend_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/doppio/CMakeFiles/doppio_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/browser/CMakeFiles/browser.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/doppio_test.dir/doppio/buffer_test.cpp.o"
+  "CMakeFiles/doppio_test.dir/doppio/buffer_test.cpp.o.d"
+  "CMakeFiles/doppio_test.dir/doppio/fs_test.cpp.o"
+  "CMakeFiles/doppio_test.dir/doppio/fs_test.cpp.o.d"
+  "CMakeFiles/doppio_test.dir/doppio/heap_test.cpp.o"
+  "CMakeFiles/doppio_test.dir/doppio/heap_test.cpp.o.d"
+  "CMakeFiles/doppio_test.dir/doppio/path_test.cpp.o"
+  "CMakeFiles/doppio_test.dir/doppio/path_test.cpp.o.d"
+  "CMakeFiles/doppio_test.dir/doppio/sockets_test.cpp.o"
+  "CMakeFiles/doppio_test.dir/doppio/sockets_test.cpp.o.d"
+  "CMakeFiles/doppio_test.dir/doppio/suspend_test.cpp.o"
+  "CMakeFiles/doppio_test.dir/doppio/suspend_test.cpp.o.d"
+  "doppio_test"
+  "doppio_test.pdb"
+  "doppio_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/doppio_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

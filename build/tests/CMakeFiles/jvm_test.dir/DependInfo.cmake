@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/jvm/classfile_test.cpp" "tests/CMakeFiles/jvm_test.dir/jvm/classfile_test.cpp.o" "gcc" "tests/CMakeFiles/jvm_test.dir/jvm/classfile_test.cpp.o.d"
+  "/root/repo/tests/jvm/fstrace_test.cpp" "tests/CMakeFiles/jvm_test.dir/jvm/fstrace_test.cpp.o" "gcc" "tests/CMakeFiles/jvm_test.dir/jvm/fstrace_test.cpp.o.d"
+  "/root/repo/tests/jvm/interpreter_test.cpp" "tests/CMakeFiles/jvm_test.dir/jvm/interpreter_test.cpp.o" "gcc" "tests/CMakeFiles/jvm_test.dir/jvm/interpreter_test.cpp.o.d"
+  "/root/repo/tests/jvm/long64_test.cpp" "tests/CMakeFiles/jvm_test.dir/jvm/long64_test.cpp.o" "gcc" "tests/CMakeFiles/jvm_test.dir/jvm/long64_test.cpp.o.d"
+  "/root/repo/tests/jvm/opcode_edge_test.cpp" "tests/CMakeFiles/jvm_test.dir/jvm/opcode_edge_test.cpp.o" "gcc" "tests/CMakeFiles/jvm_test.dir/jvm/opcode_edge_test.cpp.o.d"
+  "/root/repo/tests/jvm/threads_test.cpp" "tests/CMakeFiles/jvm_test.dir/jvm/threads_test.cpp.o" "gcc" "tests/CMakeFiles/jvm_test.dir/jvm/threads_test.cpp.o.d"
+  "/root/repo/tests/jvm/verifier_test.cpp" "tests/CMakeFiles/jvm_test.dir/jvm/verifier_test.cpp.o" "gcc" "tests/CMakeFiles/jvm_test.dir/jvm/verifier_test.cpp.o.d"
+  "/root/repo/tests/jvm/workloads_test.cpp" "tests/CMakeFiles/jvm_test.dir/jvm/workloads_test.cpp.o" "gcc" "tests/CMakeFiles/jvm_test.dir/jvm/workloads_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/jvm/CMakeFiles/jvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/doppio/CMakeFiles/doppio_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/browser/CMakeFiles/browser.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

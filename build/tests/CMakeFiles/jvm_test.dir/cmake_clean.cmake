@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jvm_test.dir/jvm/classfile_test.cpp.o"
+  "CMakeFiles/jvm_test.dir/jvm/classfile_test.cpp.o.d"
+  "CMakeFiles/jvm_test.dir/jvm/fstrace_test.cpp.o"
+  "CMakeFiles/jvm_test.dir/jvm/fstrace_test.cpp.o.d"
+  "CMakeFiles/jvm_test.dir/jvm/interpreter_test.cpp.o"
+  "CMakeFiles/jvm_test.dir/jvm/interpreter_test.cpp.o.d"
+  "CMakeFiles/jvm_test.dir/jvm/long64_test.cpp.o"
+  "CMakeFiles/jvm_test.dir/jvm/long64_test.cpp.o.d"
+  "CMakeFiles/jvm_test.dir/jvm/opcode_edge_test.cpp.o"
+  "CMakeFiles/jvm_test.dir/jvm/opcode_edge_test.cpp.o.d"
+  "CMakeFiles/jvm_test.dir/jvm/threads_test.cpp.o"
+  "CMakeFiles/jvm_test.dir/jvm/threads_test.cpp.o.d"
+  "CMakeFiles/jvm_test.dir/jvm/verifier_test.cpp.o"
+  "CMakeFiles/jvm_test.dir/jvm/verifier_test.cpp.o.d"
+  "CMakeFiles/jvm_test.dir/jvm/workloads_test.cpp.o"
+  "CMakeFiles/jvm_test.dir/jvm/workloads_test.cpp.o.d"
+  "jvm_test"
+  "jvm_test.pdb"
+  "jvm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jvm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

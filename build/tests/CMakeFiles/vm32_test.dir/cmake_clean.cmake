@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vm32_test.dir/vm32/vm32_test.cpp.o"
+  "CMakeFiles/vm32_test.dir/vm32/vm32_test.cpp.o.d"
+  "vm32_test"
+  "vm32_test.pdb"
+  "vm32_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vm32_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

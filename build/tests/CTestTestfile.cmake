@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/browser_test[1]_include.cmake")
+include("/root/repo/build/tests/doppio_test[1]_include.cmake")
+include("/root/repo/build/tests/jvm_test[1]_include.cmake")
+include("/root/repo/build/tests/vm32_test[1]_include.cmake")
