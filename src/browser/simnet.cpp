@@ -2,20 +2,28 @@
 
 #include "browser/simnet.h"
 
+#include <algorithm>
+
 using namespace doppio;
 using namespace doppio::browser;
 
 void TcpConnection::send(std::vector<uint8_t> Data) {
   if (!Open || !Peer || Data.empty())
     return;
-  TcpConnection *Dest = Peer;
   uint64_t Latency =
       Net.Costs.NetLatencyNs + Net.Costs.XhrPerByteNs * Data.size();
+  uint64_t NowNs = Net.Loop.clock().nowNs();
+  // TCP is FIFO: a short message must not overtake an earlier long one
+  // whose per-byte latency put its delivery later. Each send is due no
+  // earlier than every send before it (and close() orders the FIN after
+  // LastSendDueNs, so data never races the connection teardown either).
+  uint64_t DueNs = std::max(LastSendDueNs, NowNs + Latency);
+  LastSendDueNs = DueNs;
   Net.Loop.scheduleAfter(
-      [Dest, Data = std::move(Data)]() mutable {
+      [Dest = Peer->shared_from_this(), Data = std::move(Data)]() mutable {
         Dest->deliver(std::move(Data));
       },
-      Latency);
+      DueNs - NowNs);
 }
 
 void TcpConnection::setOnData(DataHandler H) {
@@ -42,10 +50,16 @@ void TcpConnection::close() {
     return;
   Open = false;
   if (Peer) {
-    TcpConnection *Dest = Peer;
-    Net.Loop.scheduleAfter([Dest] { Dest->peerClosed(); },
-                           Net.Costs.NetLatencyNs);
+    // FIN ordering: the close is delivered no earlier than the last data
+    // event already scheduled toward the peer.
+    uint64_t Delay = Net.Costs.NetLatencyNs;
+    uint64_t NowNs = Net.Loop.clock().nowNs();
+    if (LastSendDueNs > NowNs)
+      Delay = std::max(Delay, LastSendDueNs - NowNs);
+    Net.Loop.scheduleAfter(
+        [Dest = Peer->shared_from_this()] { Dest->peerClosed(); }, Delay);
   }
+  Net.noteClosed(*this);
 }
 
 void TcpConnection::peerClosed() {
@@ -54,6 +68,7 @@ void TcpConnection::peerClosed() {
   Open = false;
   if (OnClose)
     OnClose();
+  Net.noteClosed(*this);
 }
 
 bool SimNet::listen(uint16_t Port, AcceptHandler OnAccept) {
@@ -70,18 +85,52 @@ void SimNet::connect(uint16_t Port,
           Done(nullptr);
           return;
         }
-        auto ClientSide = std::unique_ptr<TcpConnection>(
-            new TcpConnection(*this));
-        auto ServerSide = std::unique_ptr<TcpConnection>(
-            new TcpConnection(*this));
+        auto ClientSide =
+            std::shared_ptr<TcpConnection>(new TcpConnection(*this));
+        auto ServerSide =
+            std::shared_ptr<TcpConnection>(new TcpConnection(*this));
         ClientSide->Peer = ServerSide.get();
         ServerSide->Peer = ClientSide.get();
-        TcpConnection *Client = ClientSide.get();
-        TcpConnection *Server = ServerSide.get();
-        Connections.push_back(std::move(ClientSide));
-        Connections.push_back(std::move(ServerSide));
-        It->second(*Server);
-        Done(Client);
+        Connections.push_back(ClientSide);
+        Connections.push_back(ServerSide);
+        ++TotalConnections;
+        It->second(*ServerSide);
+        // A listener that closed the connection inside its accept handler
+        // refused it (e.g. accept-queue overflow): the client observes
+        // ECONNREFUSED instead of an instantly-dead pipe.
+        if (!ServerSide->isOpen()) {
+          ClientSide->close();
+          Done(nullptr);
+          return;
+        }
+        Done(ClientSide.get());
       },
       Costs.NetLatencyNs);
+}
+
+size_t SimNet::reapClosed() {
+  size_t Before = Connections.size();
+  // Pairs die atomically: an endpoint is reapable only once its peer is
+  // closed too, so no survivor is ever left with a dangling Peer pointer.
+  std::erase_if(Connections, [](const std::shared_ptr<TcpConnection> &C) {
+    return !C->Open && (!C->Peer || !C->Peer->Open);
+  });
+  return Before - Connections.size();
+}
+
+void SimNet::noteClosed(TcpConnection &C) {
+  if (!C.Peer || !C.Peer->Open)
+    scheduleReap();
+}
+
+void SimNet::scheduleReap() {
+  if (ReapScheduled)
+    return;
+  ReapScheduled = true;
+  // Deferred: the endpoints may still be on the call stack (a close handler
+  // running inside a delivery event).
+  Loop.enqueueTask([this] {
+    ReapScheduled = false;
+    reapClosed();
+  });
 }

@@ -6,10 +6,21 @@
 ///
 /// \file
 /// An in-simulation TCP network. "Native" endpoints (servers the browser
-/// talks to: the websockify wrapper of §5.3, echo services in tests) use
-/// this API directly; browser-side JavaScript can only reach the network
-/// through the WebSocket layer built on top. Data delivery is asynchronous
-/// through the event loop with the profile's network latency.
+/// talks to: the websockify wrapper of §5.3, echo services in tests, and the
+/// in-runtime doppiod server of doppio/server/) use this API directly;
+/// browser-side JavaScript can only reach the network through the WebSocket
+/// layer built on top. Data delivery is asynchronous through the event loop
+/// with the profile's network latency.
+///
+/// Lifetime: connection pairs are owned by the fabric and reaped once both
+/// endpoints have closed, so a long-running server does not accumulate dead
+/// connections. Holders of TcpConnection pointers must therefore drop them
+/// when the connection closes (locally or via the close handler); in-flight
+/// deliveries keep the endpoint alive until they drain.
+///
+/// Close ordering: a close follows any bytes already in flight, like a TCP
+/// FIN — the peer's close handler never fires before previously-sent data
+/// has been delivered.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -31,7 +42,7 @@ namespace browser {
 class SimNet;
 
 /// One side of an established duplex byte-stream connection.
-class TcpConnection {
+class TcpConnection : public std::enable_shared_from_this<TcpConnection> {
 public:
   using DataHandler = std::function<void(const std::vector<uint8_t> &)>;
   using CloseHandler = std::function<void()>;
@@ -44,7 +55,8 @@ public:
   void setOnData(DataHandler H);
   void setOnClose(CloseHandler H) { OnClose = std::move(H); }
 
-  /// Closes both directions; the peer's close handler fires as an event.
+  /// Closes both directions. The peer's close handler fires as an event,
+  /// ordered after any data already in flight (FIN semantics).
   void close();
 
   bool isOpen() const { return Open; }
@@ -59,6 +71,9 @@ private:
   SimNet &Net;
   TcpConnection *Peer = nullptr;
   bool Open = true;
+  /// Virtual due time of the last data event scheduled toward the peer;
+  /// a close is delivered no earlier than this (FIN ordering).
+  uint64_t LastSendDueNs = 0;
   DataHandler OnData;
   CloseHandler OnClose;
   std::deque<std::vector<uint8_t>> Undelivered;
@@ -75,13 +90,30 @@ public:
   /// Starts a listener on \p Port. Returns false if the port is taken.
   bool listen(uint16_t Port, AcceptHandler OnAccept);
 
-  /// Stops listening on \p Port.
+  /// Stops listening on \p Port. Connects already in flight observe the
+  /// port as closed (connection refused).
   void unlisten(uint16_t Port) { Listeners.erase(Port); }
+
+  bool isListening(uint16_t Port) const { return Listeners.count(Port); }
 
   /// Opens a connection to \p Port. \p Done receives the client-side
   /// connection, or null if nothing is listening (connection refused).
+  /// A listener that closes the server-side connection from inside its
+  /// accept handler also refuses: \p Done receives null (the backlog
+  /// overflow path of doppio/server/server_socket.h).
   /// Both the accept and the completion run as later events.
   void connect(uint16_t Port, std::function<void(TcpConnection *)> Done);
+
+  /// Removes connection pairs where both endpoints have closed. Runs
+  /// automatically (as a scheduled task) after a pair finishes closing;
+  /// exposed for tests. Returns the number of endpoints reaped.
+  size_t reapClosed();
+
+  /// Endpoints currently owned by the fabric (2 per live connection).
+  size_t liveConnections() const { return Connections.size(); }
+
+  /// Connection pairs ever established (accepted connects).
+  uint64_t totalConnections() const { return TotalConnections; }
 
   EventLoop &loop() { return Loop; }
   const CostModel &costs() const { return Costs; }
@@ -89,12 +121,19 @@ public:
 private:
   friend class TcpConnection;
 
+  /// Called by an endpoint that just closed; schedules a reap sweep once
+  /// its pair is fully dead.
+  void noteClosed(TcpConnection &C);
+  void scheduleReap();
+
   EventLoop &Loop;
   const CostModel &Costs;
   std::map<uint16_t, AcceptHandler> Listeners;
-  // Connections live for the duration of the simulation; pointers handed
-  // out remain valid.
-  std::vector<std::unique_ptr<TcpConnection>> Connections;
+  // Owned connection endpoints. Scheduled deliveries hold shared_ptr
+  // copies, so reaping a pair never invalidates an event in flight.
+  std::vector<std::shared_ptr<TcpConnection>> Connections;
+  bool ReapScheduled = false;
+  uint64_t TotalConnections = 0;
 };
 
 } // namespace browser

@@ -2,6 +2,8 @@
 
 #include "browser/websocket.h"
 
+#include "browser/wire.h"
+
 #include <cassert>
 
 using namespace doppio;
@@ -19,12 +21,10 @@ std::vector<uint8_t> wsframe::encode(const Frame &F,
     Out.push_back(MaskBit | static_cast<uint8_t>(Len));
   } else if (Len < 65536) {
     Out.push_back(MaskBit | 126);
-    Out.push_back(static_cast<uint8_t>(Len >> 8));
-    Out.push_back(static_cast<uint8_t>(Len));
+    wire::putU16(Out, static_cast<uint16_t>(Len));
   } else {
     Out.push_back(MaskBit | 127);
-    for (int Shift = 56; Shift >= 0; Shift -= 8)
-      Out.push_back(static_cast<uint8_t>(Len >> Shift));
+    wire::putU64(Out, Len);
   }
   uint8_t Key[4] = {0, 0, 0, 0};
   if (MaskKey) {
@@ -48,14 +48,12 @@ std::optional<Frame> Decoder::next() {
   if (Len == 126) {
     if (Buffer.size() < 4)
       return std::nullopt;
-    Len = (static_cast<uint64_t>(Buffer[2]) << 8) | Buffer[3];
+    Len = wire::getU16(&Buffer[2]);
     HeaderSize = 4;
   } else if (Len == 127) {
     if (Buffer.size() < 10)
       return std::nullopt;
-    Len = 0;
-    for (int I = 0; I != 8; ++I)
-      Len = (Len << 8) | Buffer[2 + I];
+    Len = wire::getU64(&Buffer[2]);
     HeaderSize = 10;
   }
   size_t MaskOffset = HeaderSize;
@@ -102,6 +100,10 @@ void WebSocketClient::connect(uint16_t Port,
           Conn->setOnData(
               [this](const std::vector<uint8_t> &Data) { handleData(Data); });
           Conn->setOnClose([this] {
+            // Drop the pointer first: the connection may be reaped once
+            // both sides are closed.
+            Conn = nullptr;
+            HandshakeDone = false;
             if (OnClose)
               OnClose();
           });
@@ -127,14 +129,18 @@ void WebSocketClient::handleData(const std::vector<uint8_t> &Data) {
       PendingOnOpen = nullptr;
       CB(Ok);
     }
-    if (!Ok && Conn)
+    if (!Ok && Conn) {
       Conn->close();
+      Conn = nullptr;
+    }
     return;
   }
   Decode.feed(Data);
   while (auto F = Decode.next()) {
     if (F->Op == Opcode::Close) {
       close();
+      if (OnClose)
+        OnClose();
       return;
     }
     if (OnMessage)
@@ -159,16 +165,22 @@ void WebSocketClient::close() {
     Conn->send(encode(F, NextMask));
     Conn->close();
   }
+  Conn = nullptr;
   HandshakeDone = false;
 }
 
 WebSocketServerConn::WebSocketServerConn(TcpConnection &Conn) : Conn(Conn) {
   Conn.setOnData(
       [this](const std::vector<uint8_t> &Data) { handleData(Data); });
-  Conn.setOnClose([this] {
-    if (OnClose)
-      OnClose();
-  });
+  Conn.setOnClose([this] { notifyClose(); });
+}
+
+void WebSocketServerConn::notifyClose() {
+  if (CloseNotified)
+    return;
+  CloseNotified = true;
+  if (OnClose)
+    OnClose();
 }
 
 void WebSocketServerConn::handleData(const std::vector<uint8_t> &Data) {
@@ -180,7 +192,7 @@ void WebSocketServerConn::handleData(const std::vector<uint8_t> &Data) {
     bool IsUpgrade = HandshakeBuffer.find("Upgrade: websocket") !=
                      std::string::npos;
     if (!IsUpgrade) {
-      Conn.close();
+      close();
       return;
     }
     HandshakeDone = true;
@@ -198,7 +210,7 @@ void WebSocketServerConn::handleData(const std::vector<uint8_t> &Data) {
   Decode.feed(Data);
   while (auto F = Decode.next()) {
     if (F->Op == Opcode::Close) {
-      Conn.close();
+      close();
       return;
     }
     if (OnMessage)
@@ -217,9 +229,10 @@ WebsockifyProxy::WebsockifyProxy(SimNet &Net, uint16_t WsPort,
                                  uint16_t TcpPort)
     : Net(Net), TcpPort(TcpPort) {
   Net.listen(WsPort, [this](TcpConnection &WsSide) {
+    uint64_t Id = NextBridgeId++;
     auto Server = std::make_unique<WebSocketServerConn>(WsSide);
     WebSocketServerConn *Ws = Server.get();
-    ServerConns.push_back(std::move(Server));
+    Bridges.emplace(Id, std::move(Server));
     ++Bridged;
     // Connect the plain-TCP side and pipe payloads in both directions.
     // Messages arriving before the TCP connection completes are buffered.
@@ -231,24 +244,43 @@ WebsockifyProxy::WebsockifyProxy(SimNet &Net, uint16_t WsPort,
       else
         Pending->push_back(std::move(Payload));
     });
-    this->Net.connect(this->TcpPort,
-                      [Ws, Pending, TcpSide](TcpConnection *C) {
-                        if (!C) {
-                          Ws->close();
-                          return;
-                        }
-                        *TcpSide = C;
-                        C->setOnData([Ws](const std::vector<uint8_t> &Data) {
-                          Ws->sendBinary(Data);
-                        });
-                        C->setOnClose([Ws] { Ws->close(); });
-                        for (auto &Buffered : *Pending)
-                          C->send(std::move(Buffered));
-                        Pending->clear();
-                      });
-    Ws->setOnClose([TcpSide] {
-      if (*TcpSide)
+    this->Net.connect(
+        this->TcpPort, [this, Id, Pending, TcpSide](TcpConnection *C) {
+          auto It = Bridges.find(Id);
+          if (It == Bridges.end()) {
+            // Bridge died before the TCP side came up.
+            if (C)
+              C->close();
+            return;
+          }
+          WebSocketServerConn *Bridge = It->second.get();
+          if (!C) {
+            Bridge->close();
+            return;
+          }
+          *TcpSide = C;
+          C->setOnData([this, Id](const std::vector<uint8_t> &Data) {
+            auto BridgeIt = Bridges.find(Id);
+            if (BridgeIt != Bridges.end())
+              BridgeIt->second->sendBinary(Data);
+          });
+          C->setOnClose([this, Id, TcpSide] {
+            *TcpSide = nullptr;
+            auto BridgeIt = Bridges.find(Id);
+            if (BridgeIt != Bridges.end())
+              BridgeIt->second->close();
+          });
+          for (auto &Buffered : *Pending)
+            C->send(std::move(Buffered));
+          Pending->clear();
+        });
+    Ws->setOnClose([this, Id, TcpSide] {
+      if (*TcpSide) {
         (*TcpSide)->close();
+        *TcpSide = nullptr;
+      }
+      // Deferred: we may be inside one of the bridge's own callbacks.
+      this->Net.loop().enqueueTask([this, Id] { Bridges.erase(Id); });
     });
   });
 }

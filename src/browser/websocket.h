@@ -25,6 +25,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <optional>
 #include <string>
 #include <vector>
@@ -101,6 +102,8 @@ private:
 
 /// Server-side WebSocket endpoint: accepts the upgrade handshake and
 /// exchanges unmasked frames. Used by WebsockifyProxy and by tests.
+/// The close handler fires exactly once, whether the connection was closed
+/// locally, by a Close frame, or by the peer going away.
 class WebSocketServerConn {
 public:
   explicit WebSocketServerConn(TcpConnection &Conn);
@@ -110,13 +113,18 @@ public:
     OnMessage = std::move(H);
   }
   void setOnClose(std::function<void()> H) { OnClose = std::move(H); }
-  void close() { Conn.close(); }
+  void close() {
+    Conn.close();
+    notifyClose();
+  }
 
 private:
   void handleData(const std::vector<uint8_t> &Data);
+  void notifyClose();
 
   TcpConnection &Conn;
   bool HandshakeDone = false;
+  bool CloseNotified = false;
   std::string HandshakeBuffer;
   wsframe::Decoder Decode;
   std::function<void(std::vector<uint8_t>)> OnMessage;
@@ -131,13 +139,16 @@ public:
   WebsockifyProxy(SimNet &Net, uint16_t WsPort, uint16_t TcpPort);
 
   uint64_t bridgedConnections() const { return Bridged; }
+  /// Bridges still alive; finished bridges are dropped so a long-running
+  /// proxy does not grow without bound.
+  size_t activeBridges() const { return Bridges.size(); }
 
 private:
   SimNet &Net;
   uint16_t TcpPort;
   uint64_t Bridged = 0;
-  // Live bridge state; entries leak intentionally for simulation lifetime.
-  std::vector<std::unique_ptr<WebSocketServerConn>> ServerConns;
+  uint64_t NextBridgeId = 0;
+  std::map<uint64_t, std::unique_ptr<WebSocketServerConn>> Bridges;
 };
 
 } // namespace browser

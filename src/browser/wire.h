@@ -1,0 +1,61 @@
+//===- browser/wire.h - Big-endian wire-format helpers -----------*- C++ -*-==//
+//
+// Part of the Doppio reproduction. See README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Network-byte-order integer packing shared by every wire protocol in the
+/// tree: the RFC6455 WebSocket codec (browser/websocket.cpp) and the
+/// doppiod length-prefixed frame codec (doppio/server/frame.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DOPPIO_BROWSER_WIRE_H
+#define DOPPIO_BROWSER_WIRE_H
+
+#include <cstdint>
+#include <vector>
+
+namespace doppio {
+namespace browser {
+namespace wire {
+
+inline void putU16(std::vector<uint8_t> &Out, uint16_t V) {
+  Out.push_back(static_cast<uint8_t>(V >> 8));
+  Out.push_back(static_cast<uint8_t>(V));
+}
+
+inline void putU32(std::vector<uint8_t> &Out, uint32_t V) {
+  for (int Shift = 24; Shift >= 0; Shift -= 8)
+    Out.push_back(static_cast<uint8_t>(V >> Shift));
+}
+
+inline void putU64(std::vector<uint8_t> &Out, uint64_t V) {
+  for (int Shift = 56; Shift >= 0; Shift -= 8)
+    Out.push_back(static_cast<uint8_t>(V >> Shift));
+}
+
+inline uint16_t getU16(const uint8_t *P) {
+  return static_cast<uint16_t>((static_cast<uint16_t>(P[0]) << 8) | P[1]);
+}
+
+inline uint32_t getU32(const uint8_t *P) {
+  uint32_t V = 0;
+  for (int I = 0; I != 4; ++I)
+    V = (V << 8) | P[I];
+  return V;
+}
+
+inline uint64_t getU64(const uint8_t *P) {
+  uint64_t V = 0;
+  for (int I = 0; I != 8; ++I)
+    V = (V << 8) | P[I];
+  return V;
+}
+
+} // namespace wire
+} // namespace browser
+} // namespace doppio
+
+#endif // DOPPIO_BROWSER_WIRE_H

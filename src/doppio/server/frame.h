@@ -1,0 +1,104 @@
+//===- doppio/server/frame.h - doppiod wire protocol --------------*- C++ -*-==//
+//
+// Part of the Doppio reproduction. See README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The doppiod wire protocol, shared by the server (doppio/server/server.h)
+/// and its clients (doppio/server/client.h). A TCP byte stream carries
+/// *frames*: a 4-byte big-endian payload length followed by the payload.
+/// Frames in turn carry requests and responses:
+///
+///   request payload  = [u8 handler-name length][handler name][body]
+///   response payload = [u8 status][body]
+///
+/// The codec is incremental — feed arbitrary byte chunks, pop complete
+/// frames — because SimNet delivers whatever chunking the sender used and
+/// the websockify bridge may coalesce or split writes. Byte-order packing
+/// comes from browser/wire.h, the same helpers the RFC6455 WebSocket codec
+/// uses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DOPPIO_DOPPIO_SERVER_FRAME_H
+#define DOPPIO_DOPPIO_SERVER_FRAME_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace doppio {
+namespace rt {
+namespace server {
+namespace frame {
+
+/// Bytes of the length prefix on every frame.
+constexpr size_t HeaderBytes = 4;
+
+/// Frames advertising more than this are treated as stream corruption.
+constexpr uint32_t MaxPayloadBytes = 16u << 20;
+
+/// Wraps \p Payload in a length-prefixed frame.
+std::vector<uint8_t> encode(const std::vector<uint8_t> &Payload);
+
+/// Incremental frame decoder: feed byte chunks, pop complete payloads.
+class Decoder {
+public:
+  void feed(const std::vector<uint8_t> &Data);
+
+  /// Extracts the next complete frame payload, or nullopt if more bytes
+  /// are needed. Returns nullopt forever once the stream is corrupted.
+  std::optional<std::vector<uint8_t>> next();
+
+  /// True once an oversized length prefix was seen; the connection should
+  /// be dropped.
+  bool corrupted() const { return Corrupted; }
+
+  size_t bufferedBytes() const { return Buffer.size(); }
+
+private:
+  std::vector<uint8_t> Buffer;
+  bool Corrupted = false;
+};
+
+/// Response status byte.
+enum class Status : uint8_t {
+  Ok = 0,
+  BadRequest = 1, // Malformed request payload.
+  NoHandler = 2,  // No handler registered under that name.
+  Error = 3,      // Handler failed; body carries the errno-style message.
+};
+
+const char *statusName(Status S);
+
+/// A decoded request: which handler, and its argument bytes.
+struct Request {
+  std::string Handler;
+  std::vector<uint8_t> Body;
+};
+
+/// A decoded response.
+struct Response {
+  Status S = Status::Ok;
+  std::vector<uint8_t> Body;
+
+  std::string text() const { return std::string(Body.begin(), Body.end()); }
+};
+
+/// Handler names are length-prefixed with one byte.
+constexpr size_t MaxHandlerNameBytes = 255;
+
+std::vector<uint8_t> encodeRequest(const Request &R);
+std::optional<Request> decodeRequest(const std::vector<uint8_t> &Payload);
+
+std::vector<uint8_t> encodeResponse(const Response &R);
+std::optional<Response> decodeResponse(const std::vector<uint8_t> &Payload);
+
+} // namespace frame
+} // namespace server
+} // namespace rt
+} // namespace doppio
+
+#endif // DOPPIO_DOPPIO_SERVER_FRAME_H

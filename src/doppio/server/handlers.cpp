@@ -1,0 +1,66 @@
+//===- doppio/server/handlers.cpp -----------------------------------------==//
+
+#include "doppio/server/handlers.h"
+
+#include "doppio/fs.h"
+
+#include <cstdio>
+
+using namespace doppio;
+using namespace doppio::rt;
+using namespace doppio::rt::server;
+
+static std::vector<uint8_t> bytesOf(const std::string &S) {
+  return std::vector<uint8_t>(S.begin(), S.end());
+}
+
+Router::Handler server::makeEchoHandler() {
+  return [](const frame::Request &R, Router::RespondFn Respond) {
+    Respond(frame::Status::Ok, R.Body);
+  };
+}
+
+Router::Handler server::makeStatHandler(fs::FileSystem &Fs) {
+  return [&Fs](const frame::Request &R, Router::RespondFn Respond) {
+    std::string Path(R.Body.begin(), R.Body.end());
+    if (Path.empty()) {
+      Respond(frame::Status::BadRequest, bytesOf("stat: empty path"));
+      return;
+    }
+    Fs.stat(Path, [Respond = std::move(Respond)](ErrorOr<fs::Stats> S) {
+      if (!S.ok()) {
+        Respond(frame::Status::Error, bytesOf(S.error().message()));
+        return;
+      }
+      char Line[64];
+      snprintf(Line, sizeof(Line), "%s %llu",
+               S->isDirectory() ? "dir" : "file",
+               static_cast<unsigned long long>(S->SizeBytes));
+      Respond(frame::Status::Ok, bytesOf(Line));
+    });
+  };
+}
+
+Router::Handler server::makeFileHandler(fs::FileSystem &Fs) {
+  return [&Fs](const frame::Request &R, Router::RespondFn Respond) {
+    std::string Path(R.Body.begin(), R.Body.end());
+    if (Path.empty()) {
+      Respond(frame::Status::BadRequest, bytesOf("file: empty path"));
+      return;
+    }
+    Fs.readFile(Path, [Respond = std::move(Respond)](
+                          ErrorOr<std::vector<uint8_t>> Data) {
+      if (!Data.ok()) {
+        Respond(frame::Status::Error, bytesOf(Data.error().message()));
+        return;
+      }
+      Respond(frame::Status::Ok, std::move(*Data));
+    });
+  };
+}
+
+void server::installDefaultHandlers(Router &R, fs::FileSystem &Fs) {
+  R.handle("echo", makeEchoHandler());
+  R.handle("stat", makeStatHandler(Fs));
+  R.handle("file", makeFileHandler(Fs));
+}

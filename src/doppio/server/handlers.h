@@ -1,0 +1,47 @@
+//===- doppio/server/handlers.h - stock doppiod handlers ----------*- C++ -*-==//
+//
+// Part of the Doppio reproduction. See README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The handlers doppiod ships with:
+///
+///  - "echo": body echoed back (the classic socket smoke test).
+///  - "stat": body is a path; responds "file <size>" / "dir <size>" from
+///    fs.stat.
+///  - "file": body is a path; responds with the file's bytes out of the
+///    Doppio FS — the server serving real content through the paper's §5.1
+///    file system, which is what the fig7 load benchmark measures.
+///
+/// FS-backed handlers respond asynchronously (the FS API is async-only,
+/// §3.2); errors map to Status::Error with the errno-style message as the
+/// body.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DOPPIO_DOPPIO_SERVER_HANDLERS_H
+#define DOPPIO_DOPPIO_SERVER_HANDLERS_H
+
+#include "doppio/server/router.h"
+
+namespace doppio {
+namespace rt {
+namespace fs {
+class FileSystem;
+} // namespace fs
+
+namespace server {
+
+Router::Handler makeEchoHandler();
+Router::Handler makeStatHandler(fs::FileSystem &Fs);
+Router::Handler makeFileHandler(fs::FileSystem &Fs);
+
+/// Registers echo, stat, and file under their stock names.
+void installDefaultHandlers(Router &R, fs::FileSystem &Fs);
+
+} // namespace server
+} // namespace rt
+} // namespace doppio
+
+#endif // DOPPIO_DOPPIO_SERVER_HANDLERS_H

@@ -1,0 +1,72 @@
+//===- doppio/server/router.h - doppiod request router ------------*- C++ -*-==//
+//
+// Part of the Doppio reproduction. See README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Routes decoded requests to pluggable handlers by name. Handlers complete
+/// asynchronously through a respond callback, so a handler may suspend into
+/// the Doppio FS (doppio/server/handlers.h) and respond events later —
+/// which is exactly how the file handler exercises the paper's OS services
+/// under server load.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DOPPIO_DOPPIO_SERVER_ROUTER_H
+#define DOPPIO_DOPPIO_SERVER_ROUTER_H
+
+#include "doppio/server/frame.h"
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace doppio {
+namespace rt {
+namespace server {
+
+/// Name -> handler dispatch table.
+class Router {
+public:
+  /// Completes a request exactly once.
+  using RespondFn = std::function<void(frame::Status, std::vector<uint8_t>)>;
+  /// A request handler. May respond inline or from a later event.
+  using Handler = std::function<void(const frame::Request &, RespondFn)>;
+
+  /// Registers (or replaces) the handler for \p Name.
+  void handle(std::string Name, Handler H) {
+    Routes[std::move(Name)] = std::move(H);
+  }
+
+  bool has(const std::string &Name) const { return Routes.count(Name); }
+
+  std::vector<std::string> names() const {
+    std::vector<std::string> Out;
+    for (const auto &[Name, H] : Routes)
+      Out.push_back(Name);
+    return Out;
+  }
+
+  /// Dispatches \p R; an unknown handler name completes immediately with
+  /// Status::NoHandler.
+  void dispatch(const frame::Request &R, RespondFn Respond) const {
+    auto It = Routes.find(R.Handler);
+    if (It == Routes.end()) {
+      Respond(frame::Status::NoHandler,
+              std::vector<uint8_t>(R.Handler.begin(), R.Handler.end()));
+      return;
+    }
+    It->second(R, std::move(Respond));
+  }
+
+private:
+  std::map<std::string, Handler> Routes;
+};
+
+} // namespace server
+} // namespace rt
+} // namespace doppio
+
+#endif // DOPPIO_DOPPIO_SERVER_ROUTER_H

@@ -1,0 +1,224 @@
+//===- doppio/server/server.cpp -------------------------------------------==//
+
+#include "doppio/server/server.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+using namespace doppio;
+using namespace doppio::rt::server;
+using browser::TcpConnection;
+
+static std::vector<uint8_t> bytesOf(const char *S) {
+  return std::vector<uint8_t>(S, S + std::strlen(S));
+}
+
+Server::~Server() {
+  // Detach callbacks so events still in the loop cannot reach a dead
+  // server; connections close, the fabric reaps them.
+  for (auto &[Id, C] : Conns) {
+    C->Tcp->setOnData(nullptr);
+    C->Tcp->setOnClose(nullptr);
+    C->Tcp->close();
+  }
+}
+
+uint64_t Server::nowNs() const { return Env.clock().nowNs(); }
+
+bool Server::start() {
+  if (Running)
+    return false;
+  if (!Sock.listen(Cfg.Port, Cfg.Backlog))
+    return false;
+  Running = true;
+  Draining = false;
+  acceptNext();
+  return true;
+}
+
+void Server::acceptNext() {
+  if (!Running || AcceptArmed || Conns.size() >= Cfg.MaxConnections)
+    return; // At the cap the backlog provides the backpressure.
+  AcceptArmed = true;
+  Sock.accept([this](TcpConnection *T) {
+    AcceptArmed = false;
+    if (!T)
+      return; // Socket closed.
+    onAccepted(*T);
+    acceptNext();
+  });
+}
+
+void Server::onAccepted(TcpConnection &T) {
+  uint64_t Id = NextConnId++;
+  auto C = std::make_unique<Conn>();
+  C->Id = Id;
+  C->Tcp = &T;
+  C->LastActiveNs = nowNs();
+  Conns.emplace(Id, std::move(C));
+  ++S.Accepted;
+  ++S.Active;
+  T.setOnData([this, Id](const std::vector<uint8_t> &D) { onData(Id, D); });
+  T.setOnClose([this, Id] { closeConn(Id, CloseReason::PeerClosed); });
+  armIdleSweep();
+}
+
+void Server::onData(uint64_t Id, const std::vector<uint8_t> &Data) {
+  {
+    auto It = Conns.find(Id);
+    if (It == Conns.end())
+      return;
+    Conn &C = *It->second;
+    S.BytesIn += Data.size();
+    C.LastActiveNs = nowNs();
+    C.Decode.feed(Data);
+  }
+  // Re-find each round: an inline respond may close and erase the
+  // connection mid-drain (e.g. the last response of a draining conn).
+  while (true) {
+    auto It = Conns.find(Id);
+    if (It == Conns.end())
+      return;
+    Conn &C = *It->second;
+    auto Payload = C.Decode.next();
+    if (!Payload) {
+      if (C.Decode.corrupted())
+        closeConn(Id, CloseReason::ProtocolError);
+      return;
+    }
+    serveRequest(Id, C, std::move(*Payload));
+  }
+}
+
+void Server::serveRequest(uint64_t Id, Conn &C,
+                          std::vector<uint8_t> Payload) {
+  ++C.InFlight;
+  uint64_t Seq = C.NextSeq++;
+  uint64_t StartNs = nowNs();
+  auto Respond = [this, Id, Seq, StartNs](frame::Status St,
+                                          std::vector<uint8_t> Body) {
+    finishRequest(Id, Seq, StartNs, St, std::move(Body));
+  };
+  auto Req = frame::decodeRequest(Payload);
+  if (!Req) {
+    Respond(frame::Status::BadRequest, bytesOf("malformed request"));
+    return;
+  }
+  Routes.dispatch(*Req, std::move(Respond));
+}
+
+void Server::finishRequest(uint64_t Id, uint64_t Seq, uint64_t StartNs,
+                           frame::Status St, std::vector<uint8_t> Body) {
+  auto It = Conns.find(Id);
+  if (It == Conns.end())
+    return; // Connection died while the handler ran.
+  Conn &C = *It->second;
+  assert(C.InFlight > 0 && "response without a matching request");
+  --C.InFlight;
+  uint64_t NowNs = nowNs();
+  C.LastActiveNs = NowNs;
+  S.ServiceNs.push_back(NowNs - StartNs);
+  if (St == frame::Status::Ok)
+    ++S.RequestsServed;
+  else
+    ++S.RequestErrors;
+  // Responses leave in request order; a response completing ahead of an
+  // earlier in-flight one parks in Ready until its turn.
+  C.Ready.emplace(Seq,
+                  frame::encode(frame::encodeResponse({St, std::move(Body)})));
+  while (true) {
+    auto RIt = C.Ready.find(C.NextToSend);
+    if (RIt == C.Ready.end())
+      break;
+    S.BytesOut += RIt->second.size();
+    C.Tcp->send(std::move(RIt->second));
+    C.Ready.erase(RIt);
+    ++C.NextToSend;
+  }
+  // A draining connection closes once its last response is on the wire;
+  // the FIN is ordered after the data, so the client still gets it.
+  if (Draining && C.InFlight == 0)
+    closeConn(Id, CloseReason::Shutdown);
+}
+
+void Server::closeConn(uint64_t Id, CloseReason Why) {
+  auto It = Conns.find(Id);
+  if (It == Conns.end())
+    return;
+  std::unique_ptr<Conn> C = std::move(It->second);
+  Conns.erase(It);
+  if (Why == CloseReason::Idle)
+    ++S.IdleClosed;
+  C->Tcp->setOnData(nullptr);
+  C->Tcp->setOnClose(nullptr);
+  C->Tcp->close(); // No-op if the peer closed first.
+  assert(S.Active > 0);
+  --S.Active;
+  if (Draining)
+    maybeFinishShutdown();
+  else
+    acceptNext(); // A slot freed below the cap: resume accepting.
+}
+
+void Server::armIdleSweep() {
+  if (Cfg.IdleTimeoutNs == 0 || SweepArmed || Draining || Conns.empty())
+    return;
+  SweepArmed = true;
+  uint64_t Period = std::max<uint64_t>(1, Cfg.IdleTimeoutNs / 2);
+  Env.loop().scheduleAfter(
+      [this] {
+        SweepArmed = false;
+        idleSweep();
+      },
+      Period);
+}
+
+void Server::idleSweep() {
+  if (Draining)
+    return; // Shutdown handles the remaining connections itself.
+  uint64_t NowNs = nowNs();
+  std::vector<uint64_t> Idle;
+  for (auto &[Id, C] : Conns)
+    if (C->InFlight == 0 && NowNs - C->LastActiveNs >= Cfg.IdleTimeoutNs)
+      Idle.push_back(Id);
+  for (uint64_t Id : Idle)
+    closeConn(Id, CloseReason::Idle);
+  armIdleSweep();
+}
+
+void Server::shutdown(std::function<void()> Done) {
+  if (!Running) {
+    if (Done)
+      Done();
+    return;
+  }
+  Running = false;
+  Draining = true;
+  OnDrained = std::move(Done);
+  Sock.close(); // Release the port; queued connects are refused.
+  std::vector<uint64_t> IdleIds;
+  for (auto &[Id, C] : Conns)
+    if (C->InFlight == 0)
+      IdleIds.push_back(Id);
+  for (uint64_t Id : IdleIds)
+    closeConn(Id, CloseReason::Shutdown);
+  maybeFinishShutdown();
+}
+
+void Server::maybeFinishShutdown() {
+  if (!Draining || !Conns.empty())
+    return;
+  Draining = false;
+  if (OnDrained) {
+    auto Done = std::move(OnDrained);
+    OnDrained = nullptr;
+    Done();
+  }
+}
+
+ServerStats Server::stats() const {
+  ServerStats Out = S;
+  Out.Refused += Sock.refused();
+  return Out;
+}

@@ -1,0 +1,83 @@
+//===- doppio/server/server_socket.cpp ------------------------------------==//
+
+#include "doppio/server/server_socket.h"
+
+#include <algorithm>
+
+using namespace doppio;
+using namespace doppio::rt::server;
+using browser::TcpConnection;
+
+bool ServerSocket::listen(uint16_t ListenPort, size_t ListenBacklog) {
+  if (Listening)
+    return false;
+  if (!Net.listen(ListenPort,
+                  [this](TcpConnection &C) { onIncoming(C); }))
+    return false;
+  Listening = true;
+  Port = ListenPort;
+  Backlog = ListenBacklog;
+  return true;
+}
+
+void ServerSocket::onIncoming(TcpConnection &C) {
+  if (!Listening) {
+    C.close(); // Refused: socket closed under an in-flight connect.
+    ++Refused;
+    return;
+  }
+  if (!PendingAccepts.empty()) {
+    AcceptCb Done = std::move(PendingAccepts.front());
+    PendingAccepts.pop_front();
+    Done(&C);
+    return;
+  }
+  if (AcceptQueue.size() >= Backlog) {
+    // Backlog overflow: closing inside the accept handler makes SimNet
+    // report ECONNREFUSED to the connector.
+    C.close();
+    ++Refused;
+    return;
+  }
+  AcceptQueue.push_back(&C);
+  // A queued connection whose client gives up must leave the queue before
+  // its pair is reaped.
+  C.setOnClose([this, Conn = &C] { dropFromQueue(Conn); });
+}
+
+void ServerSocket::dropFromQueue(TcpConnection *C) {
+  auto It = std::find(AcceptQueue.begin(), AcceptQueue.end(), C);
+  if (It != AcceptQueue.end())
+    AcceptQueue.erase(It);
+}
+
+void ServerSocket::accept(AcceptCb Done) {
+  if (!Listening && AcceptQueue.empty()) {
+    Done(nullptr);
+    return;
+  }
+  if (!AcceptQueue.empty()) {
+    TcpConnection *C = AcceptQueue.front();
+    AcceptQueue.pop_front();
+    C->setOnClose(nullptr); // The acceptor installs its own handler.
+    Done(C);
+    return;
+  }
+  PendingAccepts.push_back(std::move(Done));
+}
+
+void ServerSocket::close() {
+  if (!Listening)
+    return;
+  Listening = false;
+  Net.unlisten(Port);
+  for (TcpConnection *C : AcceptQueue) {
+    C->setOnClose(nullptr);
+    C->close();
+    ++Refused;
+  }
+  AcceptQueue.clear();
+  for (AcceptCb &Done : PendingAccepts)
+    Done(nullptr);
+  PendingAccepts.clear();
+}

@@ -1,0 +1,87 @@
+//===- doppio/server/server_socket.h - listen/accept sockets ------*- C++ -*-==//
+//
+// Part of the Doppio reproduction. See README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The server half the paper could not build: §5.3 stops at client sockets
+/// because "browsers do not permit incoming connections", deferring servers
+/// to an external websockify process. Browsix (PAPERS.md) later brought
+/// listen/accept into the browser runtime itself; this class is that
+/// missing half over the SimNet fabric.
+///
+/// Unix semantics: listen(port, backlog) claims the port; incoming
+/// connections queue until accept() takes them. When the accept queue is
+/// full the connection is refused — the SimNet accept path translates the
+/// immediate server-side close into ECONNREFUSED at the connector, exactly
+/// like a kernel dropping a SYN when the backlog overflows.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DOPPIO_DOPPIO_SERVER_SERVER_SOCKET_H
+#define DOPPIO_DOPPIO_SERVER_SERVER_SOCKET_H
+
+#include "browser/simnet.h"
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+namespace doppio {
+namespace rt {
+namespace server {
+
+/// A listening socket with an accept queue and a backlog limit.
+class ServerSocket {
+public:
+  explicit ServerSocket(browser::SimNet &Net) : Net(Net) {}
+  ~ServerSocket() { close(); }
+
+  ServerSocket(const ServerSocket &) = delete;
+  ServerSocket &operator=(const ServerSocket &) = delete;
+
+  /// Callback for one accepted connection; null means the socket closed
+  /// while the accept was pending.
+  using AcceptCb = std::function<void(browser::TcpConnection *)>;
+
+  /// Claims \p Port with an accept queue of at most \p Backlog pending
+  /// connections. Returns false if the port is taken or already listening.
+  bool listen(uint16_t Port, size_t Backlog);
+
+  /// Takes the next pending connection, or parks until one arrives.
+  /// Accepts are served in arrival order.
+  void accept(AcceptCb Done);
+
+  /// Stops listening: releases the port, refuses every queued connection,
+  /// and completes parked accepts with null.
+  void close();
+
+  bool isListening() const { return Listening; }
+  uint16_t port() const { return Port; }
+
+  /// Connections waiting in the accept queue.
+  size_t backlogDepth() const { return AcceptQueue.size(); }
+
+  /// Connections refused because the queue was full (plus any queued
+  /// connections discarded by close()).
+  uint64_t refused() const { return Refused; }
+
+private:
+  void onIncoming(browser::TcpConnection &C);
+  void dropFromQueue(browser::TcpConnection *C);
+
+  browser::SimNet &Net;
+  uint16_t Port = 0;
+  size_t Backlog = 0;
+  bool Listening = false;
+  std::deque<browser::TcpConnection *> AcceptQueue;
+  std::deque<AcceptCb> PendingAccepts;
+  uint64_t Refused = 0;
+};
+
+} // namespace server
+} // namespace rt
+} // namespace doppio
+
+#endif // DOPPIO_DOPPIO_SERVER_SERVER_SOCKET_H

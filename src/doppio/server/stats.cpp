@@ -1,0 +1,25 @@
+//===- doppio/server/stats.cpp --------------------------------------------==//
+
+#include "doppio/server/stats.h"
+
+#include <algorithm>
+
+namespace doppio {
+namespace rt {
+namespace server {
+
+uint64_t percentileNs(const std::vector<uint64_t> &SamplesNs, double Pct) {
+  if (SamplesNs.empty())
+    return 0;
+  std::vector<uint64_t> Sorted = SamplesNs;
+  size_t Rank = static_cast<size_t>(
+      (Pct / 100.0) * static_cast<double>(Sorted.size() - 1) + 0.5);
+  if (Rank >= Sorted.size())
+    Rank = Sorted.size() - 1;
+  std::nth_element(Sorted.begin(), Sorted.begin() + Rank, Sorted.end());
+  return Sorted[Rank];
+}
+
+} // namespace server
+} // namespace rt
+} // namespace doppio

@@ -1,0 +1,107 @@
+//===- workloads/traffic.cpp ----------------------------------------------==//
+
+#include "workloads/traffic.h"
+
+using namespace doppio;
+using namespace doppio::workloads;
+namespace server = doppio::rt::server;
+
+struct TrafficGen::Client {
+  explicit Client(browser::SimNet &Net) : Net(Net) {}
+  server::FrameClient Net;
+  size_t Sent = 0;
+  size_t Received = 0;
+  bool Done = false;
+};
+
+TrafficGen::TrafficGen(browser::BrowserEnv &Env, TrafficConfig Cfg)
+    : Env(Env), Cfg(std::move(Cfg)) {}
+
+TrafficGen::~TrafficGen() {
+  // Sever the fleet's connections before the callbacks' target dies.
+  for (auto &C : Fleet)
+    C->Net.close();
+}
+
+void TrafficGen::start(std::function<void()> Done) {
+  Started = true;
+  OnDone = std::move(Done);
+  Remaining = Cfg.Clients;
+  Report.StartNs = Env.clock().nowNs();
+  if (Cfg.Clients == 0) {
+    Report.EndNs = Report.StartNs;
+    if (OnDone)
+      OnDone();
+    return;
+  }
+  Fleet.reserve(Cfg.Clients);
+  for (size_t I = 0; I < Cfg.Clients; ++I)
+    Fleet.push_back(std::make_unique<Client>(Env.net()));
+  for (size_t I = 0; I < Cfg.Clients; ++I) {
+    uint64_t Delay = Cfg.SpawnSpacingNs * I;
+    if (Delay == 0)
+      spawn(I);
+    else
+      Env.loop().scheduleAfter([this, I] { spawn(I); }, Delay);
+  }
+}
+
+void TrafficGen::spawn(size_t Index) {
+  Client &C = *Fleet[Index];
+  C.Net.setOnClose([this, &C] {
+    // Server-initiated close (idle reap, shutdown) mid-run: whatever was
+    // pending already failed through FrameClient; stop the client.
+    if (!C.Done && C.Received >= C.Sent)
+      clientDone(C);
+  });
+  C.Net.connect(Cfg.Port, [this, &C](bool Ok) {
+    if (!Ok) {
+      ++Report.ConnectFailures;
+      clientDone(C);
+      return;
+    }
+    nextRequest(C);
+  });
+}
+
+void TrafficGen::nextRequest(Client &C) {
+  if (C.Sent >= Cfg.RequestsPerClient || !C.Net.isOpen()) {
+    clientDone(C);
+    return;
+  }
+  std::vector<uint8_t> Body;
+  if (!Cfg.Bodies.empty())
+    Body = Cfg.Bodies[C.Sent % Cfg.Bodies.size()];
+  ++C.Sent;
+  uint64_t SentNs = Env.clock().nowNs();
+  C.Net.request(Cfg.Handler, std::move(Body),
+                [this, &C, SentNs](server::frame::Response R) {
+                  ++C.Received;
+                  Report.LatenciesNs.push_back(Env.clock().nowNs() - SentNs);
+                  if (R.S == server::frame::Status::Ok)
+                    ++Report.Completed;
+                  else
+                    ++Report.Errors;
+                  if (C.Done)
+                    return; // Failure path already retired this client.
+                  nextRequest(C);
+                });
+}
+
+void TrafficGen::clientDone(Client &C) {
+  if (C.Done)
+    return;
+  C.Done = true;
+  Report.BytesReceived += C.Net.bytesReceived();
+  C.Net.close();
+  if (Remaining > 0)
+    --Remaining;
+  if (Remaining == 0) {
+    Report.EndNs = Env.clock().nowNs();
+    if (OnDone) {
+      auto Done = std::move(OnDone);
+      OnDone = nullptr;
+      Done();
+    }
+  }
+}

@@ -1,0 +1,166 @@
+//===- tests/browser/simnet_test.cpp --------------------------------------==//
+//
+// Tests for the simulated TCP fabric: connection lifetime (closed pairs
+// are reaped, not accumulated), refusal paths (no listener, unlisten with
+// a connect in flight, listener closing inside accept), and the ordering
+// guarantees servers rely on — FIFO data delivery and FIN-after-data.
+//
+//===----------------------------------------------------------------------===//
+
+#include "browser/env.h"
+#include "browser/simnet.h"
+
+#include "gtest/gtest.h"
+
+using namespace doppio;
+using namespace doppio::browser;
+
+namespace {
+
+std::vector<uint8_t> bytesOf(const std::string &S) {
+  return std::vector<uint8_t>(S.begin(), S.end());
+}
+
+TEST(SimNet, ConnectToUnlistenedPortIsRefused) {
+  BrowserEnv Env(chromeProfile());
+  bool Called = false;
+  Env.net().connect(4444, [&](TcpConnection *C) {
+    Called = true;
+    EXPECT_EQ(C, nullptr);
+  });
+  Env.loop().run();
+  EXPECT_TRUE(Called);
+  EXPECT_EQ(Env.net().liveConnections(), 0u);
+}
+
+TEST(SimNet, UnlistenWithConnectInFlightRefuses) {
+  BrowserEnv Env(chromeProfile());
+  Env.net().listen(7000, [](TcpConnection &) { FAIL() << "accepted"; });
+  bool Refused = false;
+  Env.net().connect(7000,
+                    [&](TcpConnection *C) { Refused = (C == nullptr); });
+  // The connect is in flight (it completes as a later event); pulling the
+  // listener now must refuse it, not accept into a dead port.
+  Env.net().unlisten(7000);
+  EXPECT_FALSE(Env.net().isListening(7000));
+  Env.loop().run();
+  EXPECT_TRUE(Refused);
+}
+
+TEST(SimNet, ListenerClosingInAcceptRefusesTheConnect) {
+  BrowserEnv Env(chromeProfile());
+  // A listener that closes the server side inside accept (doppiod's
+  // backlog-overflow path) turns the connect into ECONNREFUSED.
+  Env.net().listen(7000, [](TcpConnection &C) { C.close(); });
+  bool Refused = false;
+  Env.net().connect(7000,
+                    [&](TcpConnection *C) { Refused = (C == nullptr); });
+  Env.loop().run();
+  EXPECT_TRUE(Refused);
+  EXPECT_EQ(Env.net().liveConnections(), 0u);
+}
+
+TEST(SimNet, ClosedPairsAreReaped) {
+  BrowserEnv Env(chromeProfile());
+  bool ServerSawClose = false;
+  Env.net().listen(7000, [&](TcpConnection &C) {
+    // The pointer dies with the reap, so observe the close by event, the
+    // way every long-lived holder has to.
+    C.setOnClose([&] { ServerSawClose = true; });
+  });
+  Env.net().connect(7000, [&](TcpConnection *C) {
+    ASSERT_NE(C, nullptr);
+    C->send(bytesOf("ping"));
+    C->close();
+  });
+  Env.loop().run();
+  EXPECT_TRUE(ServerSawClose);
+  // Regression: a long-running fabric must not accumulate dead pairs.
+  EXPECT_EQ(Env.net().liveConnections(), 0u);
+  EXPECT_EQ(Env.net().totalConnections(), 1u);
+}
+
+TEST(SimNet, HalfClosedPairIsNotReaped) {
+  BrowserEnv Env(chromeProfile());
+  Env.net().listen(7000, [](TcpConnection &) {});
+  TcpConnection *Client = nullptr;
+  Env.net().connect(7000, [&](TcpConnection *C) { Client = C; });
+  Env.loop().run();
+  ASSERT_NE(Client, nullptr);
+  EXPECT_EQ(Env.net().liveConnections(), 2u);
+  EXPECT_EQ(Env.net().reapClosed(), 0u);
+  Client->close();
+  Env.loop().run();
+  EXPECT_EQ(Env.net().liveConnections(), 0u);
+}
+
+TEST(SimNet, DataDeliveryIsFifoAcrossMessageSizes) {
+  BrowserEnv Env(chromeProfile());
+  // A large message's per-byte latency must not let a later small message
+  // overtake it (TCP byte-stream ordering).
+  std::vector<std::string> Got;
+  Env.net().listen(7000, [&](TcpConnection &C) {
+    C.setOnData([&](const std::vector<uint8_t> &D) {
+      Got.emplace_back(D.begin(), D.end());
+    });
+  });
+  Env.net().connect(7000, [&](TcpConnection *C) {
+    ASSERT_NE(C, nullptr);
+    C->send(std::vector<uint8_t>(1u << 20, 'A')); // ~4ms of wire time.
+    C->send(bytesOf("tail"));
+    C->close();
+  });
+  Env.loop().run();
+  ASSERT_EQ(Got.size(), 2u);
+  EXPECT_EQ(Got[0].size(), 1u << 20);
+  EXPECT_EQ(Got[1], "tail");
+}
+
+TEST(SimNet, CloseIsOrderedAfterInFlightData) {
+  BrowserEnv Env(chromeProfile());
+  // FIN semantics: send-then-close must deliver the data before the close
+  // handler fires — graceful server shutdown depends on it.
+  std::vector<std::string> Events;
+  Env.net().listen(7000, [&](TcpConnection &C) {
+    C.setOnData([&](const std::vector<uint8_t> &D) {
+      Events.emplace_back(D.begin(), D.end());
+    });
+    C.setOnClose([&] { Events.emplace_back("<close>"); });
+  });
+  Env.net().connect(7000, [&](TcpConnection *C) {
+    ASSERT_NE(C, nullptr);
+    C->send(std::vector<uint8_t>(1u << 20, 'B'));
+    C->close();
+  });
+  Env.loop().run();
+  ASSERT_EQ(Events.size(), 2u);
+  EXPECT_EQ(Events[0].size(), 1u << 20);
+  EXPECT_EQ(Events[1], "<close>");
+  EXPECT_EQ(Env.net().liveConnections(), 0u);
+}
+
+TEST(SimNet, ManyConnectionsDoNotAccumulate) {
+  BrowserEnv Env(chromeProfile());
+  uint64_t Served = 0;
+  Env.net().listen(7000, [&](TcpConnection &C) {
+    C.setOnData([&Served, Conn = &C](const std::vector<uint8_t> &D) {
+      ++Served;
+      Conn->send(D);
+      Conn->close();
+    });
+  });
+  for (int I = 0; I < 50; ++I)
+    Env.net().connect(7000, [](TcpConnection *C) {
+      ASSERT_NE(C, nullptr);
+      C->send(bytesOf("hi"));
+      C->setOnClose(nullptr);
+    });
+  Env.loop().run();
+  EXPECT_EQ(Served, 50u);
+  EXPECT_EQ(Env.net().totalConnections(), 50u);
+  // The server closed each connection after replying; once the events
+  // drain, the fabric holds nothing.
+  EXPECT_EQ(Env.net().liveConnections(), 0u);
+}
+
+} // namespace

@@ -124,6 +124,33 @@ TEST(DoppioSocket, Ie8GoesThroughFlashShim) {
   EXPECT_TRUE(Sock.usedFlashShim());
 }
 
+TEST(DoppioSocket, RemoteCloseDuringPendingRecvDeliversEof) {
+  BrowserEnv Env(chromeProfile());
+  WebsockifyProxy Proxy(Env.net(), 8080, 9090);
+  // A service that hangs up as soon as it hears from us — the client's
+  // already-pending recv must complete with EOF, not dangle forever.
+  Env.net().listen(9090, [](TcpConnection &C) {
+    C.setOnData(
+        [Conn = &C](const std::vector<uint8_t> &) { Conn->close(); });
+  });
+  DoppioSocket Sock(Env);
+  int Recvs = 0;
+  bool SawEof = false;
+  Sock.connect(8080, [&](std::optional<ApiError> E) {
+    ASSERT_FALSE(E.has_value());
+    Sock.recv([&](ErrorOr<std::vector<uint8_t>> Msg) {
+      ASSERT_TRUE(Msg.ok());
+      ++Recvs;
+      SawEof = Msg->empty();
+    });
+    Sock.send(bytesOf("bye"), [](std::optional<ApiError>) {});
+  });
+  Env.loop().run();
+  EXPECT_EQ(Recvs, 1);
+  EXPECT_TRUE(SawEof);
+  EXPECT_FALSE(Sock.isConnected());
+}
+
 TEST(DoppioSocket, MultipleMessagesQueueInOrder) {
   Rig R(chromeProfile());
   DoppioSocket Sock(R.Env);
