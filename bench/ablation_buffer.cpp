@@ -28,6 +28,7 @@ void printAblation() {
   std::vector<uint8_t> Payload(1024);
   for (size_t I = 0; I != Payload.size(); ++I)
     Payload[I] = static_cast<uint8_t>(I * 131);
+  bench::BenchJson Json("ablation_buffer");
   for (const browser::Profile &P : browser::allProfiles()) {
     browser::BrowserEnv Env(P);
     Buffer B(Env, Payload);
@@ -41,7 +42,12 @@ void printAblation() {
         1024.0;
     printf("%-10s %-8s %16.0f %20.0f\n", P.Name.c_str(),
            Packed ? "yes" : "no", UnitsPerKb, PayloadPerQuota);
+    Json.row(P.Name)
+        .metric("packed", Packed ? 1 : 0)
+        .metric("units_per_kb", UnitsPerKb)
+        .metric("quota_holds_kb", PayloadPerQuota);
   }
+  Json.write();
   printf("(validating engines — opera, ie8 — halve effective\n"
          " localStorage capacity for binary data, §5.1)\n\n");
 }

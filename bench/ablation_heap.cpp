@@ -49,6 +49,7 @@ void printAblation() {
   printf("(virtual time of 4000 alloc/fill/read/free rounds)\n");
   printf("==========================================================\n");
   printf("%-10s %-14s %12s\n", "browser", "backing", "virtual ms");
+  bench::BenchJson Json("ablation_heap");
   for (const browser::Profile &P : browser::allProfiles()) {
     browser::BrowserEnv Env(P);
     UnmanagedHeap Probe(Env, 4096);
@@ -56,7 +57,11 @@ void printAblation() {
     printf("%-10s %-14s %12.2f\n", P.Name.c_str(),
            Probe.usesTypedArray() ? "typed array" : "number array",
            static_cast<double>(Ns) / 1e6);
+    Json.row(P.Name)
+        .metric("typed_array", Probe.usesTypedArray() ? 1 : 0)
+        .metric("virtual_ms", static_cast<double>(Ns) / 1e6);
   }
+  Json.write();
   printf("(ie8 lacks typed arrays: every access decodes boxed doubles,\n"
          " §5.2 — the same mechanism that slows its Buffer in Figure 6)\n\n");
 }

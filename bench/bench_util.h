@@ -128,6 +128,99 @@ inline void printBrowserHeader(const char *FirstColumn) {
   printf("\n");
 }
 
+/// Machine-readable result emission: every harness writes a
+/// `BENCH_<name>.json` next to its table so the repo accumulates a perf
+/// trajectory that scripts can diff across commits. The file holds the
+/// deterministic virtual-clock series (one row per browser/configuration)
+/// plus the host-time factor of generating them on this machine.
+///
+///   BenchJson J("fig7_server");
+///   J.row("chrome").metric("req_per_s", 144200).metric("p99_us", 727.1);
+///   J.hostMetric("slowdown_factor", 38.2);   // optional
+///   J.write();                               // -> BENCH_fig7_server.json
+class BenchJson {
+public:
+  explicit BenchJson(std::string Name)
+      : Name(std::move(Name)), Started(std::chrono::steady_clock::now()) {}
+
+  class Row {
+  public:
+    explicit Row(std::string Label) : Label(std::move(Label)) {}
+    Row &metric(const std::string &Key, double Value) {
+      Metrics.emplace_back(Key, Value);
+      return *this;
+    }
+
+  private:
+    friend class BenchJson;
+    std::string Label;
+    std::vector<std::pair<std::string, double>> Metrics;
+  };
+
+  /// Appends (or retrieves) the virtual-clock series row for \p Label —
+  /// typically a browser profile name.
+  Row &row(const std::string &Label) {
+    for (Row &R : Rows)
+      if (R.Label == Label)
+        return R;
+    Rows.emplace_back(Label);
+    return Rows.back();
+  }
+
+  /// Adds a host-time metric (real-machine measurement, not virtual).
+  void hostMetric(const std::string &Key, double Value) {
+    HostMetrics.emplace_back(Key, Value);
+  }
+
+  /// Writes BENCH_<name>.json into the working directory. Returns false
+  /// (and warns) on I/O failure; benches keep running either way.
+  bool write() {
+    double HostSeconds = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - Started)
+                             .count();
+    std::string Path = "BENCH_" + Name + ".json";
+    FILE *F = fopen(Path.c_str(), "w");
+    if (!F) {
+      fprintf(stderr, "bench: cannot write %s\n", Path.c_str());
+      return false;
+    }
+    fprintf(F, "{\n  \"bench\": \"%s\",\n", Name.c_str());
+    fprintf(F, "  \"schema\": \"doppio-bench-v1\",\n");
+    fprintf(F, "  \"clock\": \"virtual\",\n");
+    fprintf(F, "  \"series\": [\n");
+    for (size_t I = 0; I < Rows.size(); ++I) {
+      const Row &R = Rows[I];
+      fprintf(F, "    {\"label\": \"%s\"", R.Label.c_str());
+      for (const auto &[K, V] : R.Metrics)
+        fprintf(F, ", \"%s\": %s", K.c_str(), num(V).c_str());
+      fprintf(F, "}%s\n", I + 1 < Rows.size() ? "," : "");
+    }
+    fprintf(F, "  ],\n");
+    fprintf(F, "  \"host\": {\"table_seconds\": %s", num(HostSeconds).c_str());
+    for (const auto &[K, V] : HostMetrics)
+      fprintf(F, ", \"%s\": %s", K.c_str(), num(V).c_str());
+    fprintf(F, "}\n}\n");
+    fclose(F);
+    printf("[wrote %s]\n", Path.c_str());
+    return true;
+  }
+
+private:
+  /// JSON has no NaN/Inf; clamp them to null.
+  static std::string num(double V) {
+    if (!std::isfinite(V))
+      return "null";
+    char Buf[32];
+    snprintf(Buf, sizeof(Buf), "%.6g", V);
+    return Buf;
+  }
+
+  std::string Name;
+  std::chrono::steady_clock::time_point Started;
+  std::vector<Row> Rows;
+  std::vector<std::pair<std::string, double>> HostMetrics;
+};
+
 } // namespace bench
 } // namespace doppio
 

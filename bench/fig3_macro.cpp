@@ -53,6 +53,7 @@ void printFigure3() {
   printf("==========================================================\n");
   printBrowserHeader("benchmark");
   std::vector<double> ChromeFactors;
+  BenchJson Json("fig3_macro");
   for (Workload &W : macroWorkloads()) {
     RunMetrics Native =
         runJvmWorkload(W, ExecutionMode::NativeHotspot,
@@ -63,15 +64,20 @@ void printFigure3() {
     }
     uint64_t BaselineNs = nativeNominalNs(Native);
     std::vector<double> Cells;
-    std::string Reference;
+    BenchJson::Row &R = Json.row(W.Name);
     for (const browser::Profile &P : browser::allProfiles()) {
       RunMetrics Js = runJvmWorkload(W, ExecutionMode::DoppioJS, P);
       if (Js.Exit != 0 || Js.Output != Native.Output) {
         Cells.push_back(-1);
+        R.metric(P.Name, -1);
         continue;
       }
-      Cells.push_back(static_cast<double>(Js.VirtualWallNs) /
-                      static_cast<double>(BaselineNs));
+      double Factor = static_cast<double>(Js.VirtualWallNs) /
+                      static_cast<double>(BaselineNs);
+      Cells.push_back(Factor);
+      R.metric(P.Name, Factor);
+      if (&P == &browser::allProfiles().front() && Native.RealSeconds > 0)
+        R.metric("host_factor", Js.RealSeconds / Native.RealSeconds);
     }
     const char *Alias = paperLabel(W.Name);
     printRow(Alias ? Alias : W.Name.c_str(), Cells);
@@ -79,6 +85,8 @@ void printFigure3() {
   }
   printf("%-14s %9.1fx   (paper: 32x)\n", "geomean(chrome)",
          geomean(ChromeFactors));
+  Json.hostMetric("geomean_chrome", geomean(ChromeFactors));
+  Json.write();
   printf("* classdump/minicompile are the synthesized javap/javac analogs"
          " (DESIGN.md)\n\n");
 }

@@ -33,6 +33,7 @@ void printFigure4() {
   Micros.push_back({"deltablue", makeDeltaBlue(60, 400)});
   Micros.push_back({"pidigits", makePiDigits(200)});
   printBrowserHeader("benchmark");
+  BenchJson Json("fig4_micro");
   for (Micro &M : Micros) {
     RunMetrics Native = runJvmWorkload(M.W, ExecutionMode::NativeHotspot,
                                        browser::chromeProfile());
@@ -49,10 +50,17 @@ void printFigure4() {
                     static_cast<double>(BaselineNs));
       Wall.push_back(static_cast<double>(Js.VirtualWallNs) /
                      static_cast<double>(BaselineNs));
+      Json.row(std::string(M.Label) + "/" + P.Name)
+          .metric("cpu_factor", Cpu.back())
+          .metric("wall_factor", Wall.back())
+          .metric("host_factor", Native.RealSeconds > 0
+                                     ? Js.RealSeconds / Native.RealSeconds
+                                     : -1);
     }
     printRow((std::string(M.Label) + " cpu").c_str(), Cpu);
     printRow((std::string(M.Label) + " wall").c_str(), Wall);
   }
+  Json.write();
   printf("\npidigits note: its long arithmetic runs on the software\n");
   printf("Long64 halves in DoppioJS mode (§8), which is why its factors\n");
   printf("exceed deltablue's.\n\n");

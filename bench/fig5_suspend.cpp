@@ -41,14 +41,20 @@ void printFigure5() {
   std::vector<Micro> Micros;
   Micros.push_back({"deltablue", makeDeltaBlue(60, 400)});
   Micros.push_back({"pidigits", makePiDigits(200)});
+  BenchJson Json("fig5_suspend");
   for (Micro &M : Micros) {
     printf("%-14s", M.Label);
     for (const browser::Profile &P : browser::allProfiles()) {
       RunMetrics Js = runJvmWorkload(M.W, ExecutionMode::DoppioJS, P);
       printf(" %9.2f%%", suspendedPercent(Js));
+      Json.row(std::string(M.Label) + "/" + P.Name)
+          .metric("suspended_pct", suspendedPercent(Js))
+          .metric("resumptions", static_cast<double>(Js.Resumptions))
+          .metric("host_seconds", Js.RealSeconds);
     }
     printf("\n");
   }
+  Json.write();
   printf("\n");
 }
 

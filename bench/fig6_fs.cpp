@@ -75,19 +75,25 @@ void printFigure6() {
   printf("native baseline (Node on OS fs, modeled): %.1f ms\n\n",
          static_cast<double>(BaselineNs) / 1e6);
   printBrowserHeader("backend");
+  BenchJson Json("fig6_fs");
   for (const char *Backend : {"inmemory", "indexeddb", "cloud"}) {
     printf("%-14s", Backend);
+    BenchJson::Row &R = Json.row(Backend);
     for (const browser::Profile &P : browser::allProfiles()) {
       ReplayStats S = replayOn(P, Backend);
       if (S.Operations == 0) {
         printf(" %10s", "n/a");
+        R.metric(P.Name, -1);
         continue;
       }
-      printf(" %9.2fx", static_cast<double>(S.VirtualNs) /
-                            static_cast<double>(BaselineNs));
+      double Factor = static_cast<double>(S.VirtualNs) /
+                      static_cast<double>(BaselineNs);
+      printf(" %9.2fx", Factor);
+      R.metric(P.Name, Factor);
     }
     printf("\n");
   }
+  Json.write();
   printf("(inmemory is the paper's configuration; the per-browser\n"
          " differences come from each browser's resumption mechanism —\n"
          " IE10's setImmediate is why it is near-native, §4.4. Safari\n"

@@ -103,6 +103,7 @@ void printFigure7() {
   printf("%-10s %10s %9s %9s %9s %7s %7s\n", "browser", "req/s", "p50us",
          "p99us", "srv-p99", "refuse", "drain");
   bool AllOk = true;
+  BenchJson Json("fig7_server");
   for (const browser::Profile &P : browser::allProfiles()) {
     Fig7Result R = runServerLoad(P);
     uint64_t Expected = NumClients * RequestsPerClient;
@@ -119,7 +120,15 @@ void printFigure7() {
            static_cast<double>(R.Stats.p99Ns()) / 1e3,
            static_cast<unsigned long long>(R.Stats.Refused),
            Ok ? "clean" : "FAIL");
+    Json.row(P.Name)
+        .metric("req_per_s", R.Client.requestsPerSecond())
+        .metric("p50_us", static_cast<double>(R.Client.p50Ns()) / 1e3)
+        .metric("p99_us", static_cast<double>(R.Client.p99Ns()) / 1e3)
+        .metric("srv_p99_us", static_cast<double>(R.Stats.p99Ns()) / 1e3)
+        .metric("refused", static_cast<double>(R.Stats.Refused))
+        .metric("drain_clean", Ok ? 1 : 0);
   }
+  Json.write();
   printf("(req/s is virtual time; srv-p99 is server-side service time;\n"
          " refuse counts backlog overflows absorbed by client retry-free\n"
          " accounting; drain=clean means every response was delivered and\n"

@@ -280,10 +280,16 @@ void printTable1() {
   };
   printf("%-26s %-10s %-11s %-6s %-7s %-7s %s\n", "feature",
          "DoppioJVM", "Emscripten", "GWT", "ASM.js", "IL2JS", "WeScheme");
-  for (const Row &R : Rows)
+  BenchJson Json("table1_features");
+  for (const Row &R : Rows) {
     printf("%-26s %-10s %-11s %-6s %-7s %-7s %s\n", R.Feature,
            mark(R.Doppio), mark(R.Emscripten), R.Gwt, R.Asmjs, R.Il2js,
            R.WeScheme);
+    Json.row(R.Feature)
+        .metric("doppio", R.Doppio ? 1 : 0)
+        .metric("emscripten", R.Emscripten ? 1 : 0);
+  }
+  Json.write();
   printf("('*' / '+': limited support per the paper's footnotes)\n\n");
 }
 

@@ -76,6 +76,19 @@ void printTable2() {
   BrowserEnv Chrome(chromeProfile());
   uint64_t CookieMax = measureQuota(Chrome.cookies());
   uint64_t LocalMax = measureQuota(Chrome.localStorage());
+  BenchJson Json("table2_storage");
+  Json.row("cookies")
+      .metric("max_kb", static_cast<double>(CookieMax) / 1024.0)
+      .metric("sync", 1)
+      .metric("compat_pct", 100.0 * CookieShare / Total);
+  Json.row("localStorage")
+      .metric("max_kb", static_cast<double>(LocalMax) / 1024.0)
+      .metric("sync", 1)
+      .metric("compat_pct", 100.0 * LocalShare / Total);
+  Json.row("IndexedDB")
+      .metric("sync", 0)
+      .metric("compat_pct", 100.0 * IdbShare / Total);
+  Json.write();
   printf("%-14s %-22s %-5s %9.0f KB %9.0f%%  (paper: >99%%)\n", "cookies",
          "string key/value", "yes",
          static_cast<double>(CookieMax) / 1024.0,

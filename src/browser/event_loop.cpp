@@ -7,9 +7,11 @@
 
 using namespace doppio;
 using namespace doppio::browser;
+using doppio::kernel::Lane;
 
 void EventLoop::enqueueTask(Event Fn, EventKind Kind) {
-  Ready.push_back({std::move(Fn), Kind, Clock.nowNs()});
+  K.post(Kind == EventKind::Input ? Lane::Input : Lane::Background,
+         std::move(Fn));
 }
 
 uint64_t EventLoop::setTimeout(Event Fn, uint64_t DelayNs, EventKind Kind) {
@@ -17,74 +19,39 @@ uint64_t EventLoop::setTimeout(Event Fn, uint64_t DelayNs, EventKind Kind) {
   // identifies this 4 ms clamp as what makes setTimeout-based resumption
   // unacceptably slow.
   uint64_t Effective = std::max(DelayNs, Prof.MinTimeoutClampNs);
-  uint64_t Handle = NextHandle++;
-  Timers.push_back(
-      {Clock.nowNs() + Effective, NextSeq++, Handle, std::move(Fn), Kind});
-  return Handle;
+  return K.postAfter(Kind == EventKind::Input ? Lane::Input : Lane::Timer,
+                     std::move(Fn), Effective);
 }
 
-void EventLoop::clearTimeout(uint64_t Handle) {
-  for (Timer &T : Timers)
-    if (T.Handle == Handle)
-      T.Cancelled = true;
-}
+void EventLoop::clearTimeout(uint64_t Handle) { K.cancelTimer(Handle); }
 
 void EventLoop::scheduleAfter(Event Fn, uint64_t DelayNs, EventKind Kind) {
-  uint64_t Handle = NextHandle++;
-  (void)Handle;
-  Timers.push_back(
-      {Clock.nowNs() + DelayNs, NextSeq++, Handle, std::move(Fn), Kind});
+  K.postAfter(Kind == EventKind::Input ? Lane::Input : Lane::IoCompletion,
+              std::move(Fn), DelayNs);
 }
 
 bool EventLoop::trySetImmediate(Event Fn) {
   if (!Prof.HasSetImmediate)
     return false;
   Clock.chargeNs(Prof.Costs.ImmediateLatencyNs);
-  enqueueTask(std::move(Fn));
+  K.post(Lane::Resume, std::move(Fn));
   return true;
 }
 
-void EventLoop::promoteDueTimers() {
-  uint64_t Now = Clock.nowNs();
-  // Stable order: due time, then insertion sequence.
-  std::stable_sort(Timers.begin(), Timers.end(),
-                   [](const Timer &A, const Timer &B) {
-                     if (A.DueNs != B.DueNs)
-                       return A.DueNs < B.DueNs;
-                     return A.Seq < B.Seq;
-                   });
-  size_t I = 0;
-  for (; I != Timers.size() && Timers[I].DueNs <= Now; ++I) {
-    if (Timers[I].Cancelled)
-      continue;
-    Ready.push_back({std::move(Timers[I].Fn), Timers[I].Kind,
-                     Timers[I].DueNs});
-  }
-  Timers.erase(Timers.begin(), Timers.begin() + I);
+void EventLoop::post(kernel::Lane L, Event Fn, kernel::CancelToken Cancel) {
+  K.post(L, std::move(Fn), std::move(Cancel));
+}
+
+uint64_t EventLoop::postAfter(kernel::Lane L, Event Fn, uint64_t DelayNs,
+                              kernel::CancelToken Cancel) {
+  return K.postAfter(L, std::move(Fn), DelayNs, std::move(Cancel));
 }
 
 bool EventLoop::runOne() {
-  promoteDueTimers();
-  if (Ready.empty()) {
-    // Idle: jump to the next timer, if any.
-    auto Next = std::min_element(Timers.begin(), Timers.end(),
-                                 [](const Timer &A, const Timer &B) {
-                                   if (A.Cancelled != B.Cancelled)
-                                     return !A.Cancelled;
-                                   if (A.DueNs != B.DueNs)
-                                     return A.DueNs < B.DueNs;
-                                   return A.Seq < B.Seq;
-                                 });
-    if (Next == Timers.end() || Next->Cancelled)
-      return false;
-    Clock.advanceTo(std::max(Clock.nowNs(), Next->DueNs));
-    promoteDueTimers();
-    if (Ready.empty())
-      return false;
-  }
-  ReadyEvent E = std::move(Ready.front());
-  Ready.pop_front();
-  dispatch(std::move(E));
+  std::optional<kernel::Kernel::Work> W = K.next();
+  if (!W)
+    return false;
+  dispatch(std::move(*W));
   return true;
 }
 
@@ -93,23 +60,25 @@ void EventLoop::run() {
   }
 }
 
-void EventLoop::dispatch(ReadyEvent E) {
+void EventLoop::dispatch(kernel::Kernel::Work W) {
   assert(EventDepth == 0 && "browser events never nest");
   uint64_t Start = Clock.nowNs();
-  if (E.Kind == EventKind::Input) {
-    uint64_t Latency = Start - E.ReadyAtNs;
+  if (W.L == Lane::Input) {
+    uint64_t Latency = Start > W.ReadyNs ? Start - W.ReadyNs : 0;
     S.MaxInputLatencyNs = std::max(S.MaxInputLatencyNs, Latency);
   }
   CurrentEventStartNs = Start;
   ++EventDepth;
-  E.Fn();
+  W.Fn();
   --EventDepth;
-  uint64_t DurationNs = Clock.nowNs() - Start;
+  uint64_t End = Clock.nowNs();
+  uint64_t DurationNs = End - Start;
   ++S.EventsRun;
   S.TotalEventNs += DurationNs;
   S.MaxEventNs = std::max(S.MaxEventNs, DurationNs);
   if (DurationNs > Prof.WatchdogLimitNs)
     ++S.WatchdogKills;
+  K.noteDispatched(W, Start, End);
 }
 
 uint64_t EventLoop::currentEventElapsedNs() const {

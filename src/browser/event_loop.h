@@ -13,6 +13,14 @@
 /// the setTimeout 4 ms minimum clamp (§4.4) and per-event latency
 /// accounting used to measure page responsiveness in the §7.2 case study.
 ///
+/// Since the unified-kernel refactor the loop no longer owns queues of its
+/// own: it is a run-to-completion facade over doppio::kernel::Kernel's
+/// prioritized dispatch lanes. Browser policy lives here (the timer clamp,
+/// watchdog accounting, input-latency stats); ordering, timers,
+/// cancellation, and tracing live in the kernel. The classic browser API
+/// (enqueueTask / setTimeout / scheduleAfter / trySetImmediate) maps onto
+/// lanes, and lane-aware callers can use post()/postAfter() directly.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DOPPIO_BROWSER_EVENT_LOOP_H
@@ -20,12 +28,10 @@
 
 #include "browser/profile.h"
 #include "browser/virtual_clock.h"
+#include "doppio/kernel/kernel.h"
 
 #include <cstdint>
-#include <deque>
 #include <functional>
-#include <string>
-#include <vector>
 
 namespace doppio {
 namespace browser {
@@ -34,7 +40,8 @@ namespace browser {
 /// interaction; their queueing delay is the "page responsiveness" metric.
 enum class EventKind { Task, Input };
 
-/// The single-threaded, run-to-completion browser event loop.
+/// The single-threaded, run-to-completion browser event loop: browser
+/// semantics over kernel scheduling.
 class EventLoop {
 public:
   using Event = std::function<void()>;
@@ -52,9 +59,11 @@ public:
   };
 
   EventLoop(VirtualClock &Clock, const Profile &P)
-      : Clock(Clock), Prof(P) {}
+      : Clock(Clock), Prof(P), K(Clock) {}
 
-  /// Places \p Fn at the back of the ready queue (a macrotask).
+  /// Places \p Fn at the back of the ready queue (a macrotask). Input
+  /// events go to the Input lane (dispatched ahead of everything else);
+  /// plain tasks go to the Background lane.
   void enqueueTask(Event Fn, EventKind Kind = EventKind::Task);
 
   /// Schedules \p Fn after \p DelayNs, subject to the profile's minimum
@@ -69,7 +78,8 @@ public:
   /// Schedules \p Fn exactly \p DelayNs from now with no minimum clamp.
   /// This is not a JavaScript-visible API: it models the completion of
   /// browser-internal asynchronous work (XHR responses, IndexedDB
-  /// transactions, network frames) which is not subject to timer clamping.
+  /// transactions, network frames) which is not subject to timer clamping;
+  /// it lands in the I/O-completion lane.
   void scheduleAfter(Event Fn, uint64_t DelayNs,
                      EventKind Kind = EventKind::Task);
 
@@ -77,11 +87,24 @@ public:
   /// (scheduling nothing) if this browser lacks setImmediate (§4.4).
   bool trySetImmediate(Event Fn);
 
+  /// Lane-aware enqueue: \p Fn is eligible now, dispatched in \p L's
+  /// priority position. Work carrying a cancelled token is skipped.
+  void post(kernel::Lane L, Event Fn, kernel::CancelToken Cancel = {});
+
+  /// Lane-aware timer: \p Fn runs on lane \p L after exactly \p DelayNs
+  /// (no clamp). Returns a kernel timer handle for cancelTimer().
+  uint64_t postAfter(kernel::Lane L, Event Fn, uint64_t DelayNs,
+                     kernel::CancelToken Cancel = {});
+
+  /// Cancels a handle from postAfter()/setTimeout(). Returns false for
+  /// already-fired, already-cancelled, or unknown handles.
+  bool cancelTimer(uint64_t Handle) { return K.cancelTimer(Handle); }
+
   /// Dispatches a single event, advancing the virtual clock over idle gaps.
   /// Returns false when no work remains.
   bool runOne();
 
-  /// Runs until both the ready queue and the timer queue are empty.
+  /// Runs until every lane and the timer heap are empty.
   void run();
 
   /// True while an event callback is executing.
@@ -101,35 +124,19 @@ public:
   const Profile &profile() const { return Prof; }
   VirtualClock &clock() { return Clock; }
 
+  /// The scheduling core: trace ring, per-lane counters, timer state.
+  kernel::Kernel &kernel() { return K; }
+  const kernel::Kernel &kernel() const { return K; }
+
   /// True once any event has overrun the watchdog limit.
   bool watchdogFired() const { return S.WatchdogKills > 0; }
 
 private:
-  struct ReadyEvent {
-    Event Fn;
-    EventKind Kind;
-    uint64_t ReadyAtNs; // When it became eligible to run.
-  };
-
-  struct Timer {
-    uint64_t DueNs;
-    uint64_t Seq;
-    uint64_t Handle;
-    Event Fn;
-    EventKind Kind;
-    bool Cancelled = false;
-  };
-
-  void dispatch(ReadyEvent E);
-  /// Moves every timer due at or before now into the ready queue.
-  void promoteDueTimers();
+  void dispatch(kernel::Kernel::Work W);
 
   VirtualClock &Clock;
   const Profile &Prof;
-  std::deque<ReadyEvent> Ready;
-  std::vector<Timer> Timers; // Kept sorted on demand; small in practice.
-  uint64_t NextSeq = 0;
-  uint64_t NextHandle = 1;
+  kernel::Kernel K;
   int EventDepth = 0;
   uint64_t CurrentEventStartNs = 0;
   Stats S;

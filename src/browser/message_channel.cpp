@@ -19,7 +19,9 @@ void MessageChannel::post(js::String Msg) {
   }
   Loop.clock().chargeNs(P.Costs.MessageLatencyNs);
   Handler &H = OnMessage;
-  Loop.enqueueTask([&H, M = std::move(Msg)] {
+  // Message delivery is a resumption transport (§4.4): it lands on the
+  // kernel's Resume lane, ahead of background work but behind input/IO.
+  Loop.post(kernel::Lane::Resume, [&H, M = std::move(Msg)] {
     if (H)
       H(M);
   });

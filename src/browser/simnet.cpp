@@ -19,7 +19,10 @@ void TcpConnection::send(std::vector<uint8_t> Data) {
   // LastSendDueNs, so data never races the connection teardown either).
   uint64_t DueNs = std::max(LastSendDueNs, NowNs + Latency);
   LastSendDueNs = DueNs;
-  Net.Loop.scheduleAfter(
+  // Wire delivery is an I/O completion: the kernel keeps FIFO order for
+  // equal due times (heap ties break on insertion sequence).
+  Net.Loop.postAfter(
+      kernel::Lane::IoCompletion,
       [Dest = Peer->shared_from_this(), Data = std::move(Data)]() mutable {
         Dest->deliver(std::move(Data));
       },
@@ -56,8 +59,11 @@ void TcpConnection::close() {
     uint64_t NowNs = Net.Loop.clock().nowNs();
     if (LastSendDueNs > NowNs)
       Delay = std::max(Delay, LastSendDueNs - NowNs);
-    Net.Loop.scheduleAfter(
-        [Dest = Peer->shared_from_this()] { Dest->peerClosed(); }, Delay);
+    Net.Loop.postAfter(kernel::Lane::IoCompletion,
+                       [Dest = Peer->shared_from_this()] {
+                         Dest->peerClosed();
+                       },
+                       Delay);
   }
   Net.noteClosed(*this);
 }
@@ -78,7 +84,8 @@ bool SimNet::listen(uint16_t Port, AcceptHandler OnAccept) {
 
 void SimNet::connect(uint16_t Port,
                      std::function<void(TcpConnection *)> Done) {
-  Loop.scheduleAfter(
+  Loop.postAfter(
+      kernel::Lane::IoCompletion,
       [this, Port, Done = std::move(Done)] {
         auto It = Listeners.find(Port);
         if (It == Listeners.end()) {
@@ -128,8 +135,9 @@ void SimNet::scheduleReap() {
     return;
   ReapScheduled = true;
   // Deferred: the endpoints may still be on the call stack (a close handler
-  // running inside a delivery event).
-  Loop.enqueueTask([this] {
+  // running inside a delivery event). Reaping is cleanup, so it rides the
+  // lowest-priority lane — behind any pending deliveries and input.
+  Loop.post(kernel::Lane::Background, [this] {
     ReapScheduled = false;
     reapClosed();
   });

@@ -88,7 +88,8 @@ void WebSocketClient::connect(uint16_t Port,
     UsedFlashShim = true;
     ShimLatency = Prof.Costs.FlashShimLatencyNs;
   }
-  Net.loop().scheduleAfter(
+  Net.loop().postAfter(
+      kernel::Lane::IoCompletion,
       [this, Port] {
         Net.connect(Port, [this](TcpConnection *C) {
           if (!C) {
@@ -280,7 +281,9 @@ WebsockifyProxy::WebsockifyProxy(SimNet &Net, uint16_t WsPort,
         *TcpSide = nullptr;
       }
       // Deferred: we may be inside one of the bridge's own callbacks.
-      this->Net.loop().enqueueTask([this, Id] { Bridges.erase(Id); });
+      // Teardown is cleanup — Background lane.
+      this->Net.loop().post(kernel::Lane::Background,
+                            [this, Id] { Bridges.erase(Id); });
     });
   });
 }

@@ -1,0 +1,191 @@
+//===- doppio/kernel/kernel.cpp - Unified scheduling kernel ---------------==//
+
+#include "doppio/kernel/kernel.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace doppio;
+using namespace doppio::kernel;
+
+const char *doppio::kernel::laneName(Lane L) {
+  switch (L) {
+  case Lane::Input:
+    return "input";
+  case Lane::IoCompletion:
+    return "io";
+  case Lane::Resume:
+    return "resume";
+  case Lane::Timer:
+    return "timer";
+  case Lane::Background:
+    return "background";
+  }
+  return "?";
+}
+
+std::vector<TraceEntry> TraceRing::snapshot() const {
+  std::vector<TraceEntry> Out;
+  size_t N = size();
+  Out.reserve(N);
+  size_t Start = Total < Buf.size() ? 0 : Next;
+  for (size_t I = 0; I < N; ++I)
+    Out.push_back(Buf[(Start + I) % Buf.size()]);
+  return Out;
+}
+
+uint64_t Kernel::post(Lane L, WorkFn Fn, CancelToken Cancel) {
+  assert(Fn && "posting empty work");
+  size_t Idx = static_cast<size_t>(L);
+  uint64_t Id = NextWorkId++;
+  Lanes[Idx].push_back(
+      {std::move(Fn), Id, Clock.nowNs(), std::move(Cancel)});
+  ++C.Lanes[Idx].Posted;
+  return Id;
+}
+
+uint64_t Kernel::postAfter(Lane L, WorkFn Fn, uint64_t DelayNs,
+                           CancelToken Cancel) {
+  assert(Fn && "scheduling empty work");
+  auto Rec = std::make_unique<TimerRec>();
+  Rec->DueNs = Clock.nowNs() + DelayNs;
+  Rec->Seq = NextSeq++;
+  Rec->Handle = NextHandle++;
+  Rec->L = L;
+  Rec->Fn = std::move(Fn);
+  Rec->Cancel = std::move(Cancel);
+  uint64_t Handle = Rec->Handle;
+  LiveTimers.emplace(Handle, Rec.get());
+  heapPush(std::move(Rec));
+  ++C.TimersScheduled;
+  ++C.Lanes[static_cast<size_t>(L)].Posted;
+  return Handle;
+}
+
+bool Kernel::cancelTimer(uint64_t Handle) {
+  auto It = LiveTimers.find(Handle);
+  if (It == LiveTimers.end())
+    return false;
+  It->second->Cancelled = true;
+  It->second->Fn = nullptr; // Drop captured state eagerly.
+  LiveTimers.erase(It);
+  ++CancelledInHeap;
+  ++C.TimersCancelled;
+  compactIfNeeded();
+  return true;
+}
+
+bool Kernel::heapLater(const std::unique_ptr<TimerRec> &A,
+                       const std::unique_ptr<TimerRec> &B) {
+  // std::push_heap builds a max-heap; invert so the earliest (DueNs, Seq)
+  // surfaces at Heap.front().
+  if (A->DueNs != B->DueNs)
+    return A->DueNs > B->DueNs;
+  return A->Seq > B->Seq;
+}
+
+void Kernel::heapPush(std::unique_ptr<TimerRec> Rec) {
+  Heap.push_back(std::move(Rec));
+  std::push_heap(Heap.begin(), Heap.end(), heapLater);
+}
+
+std::unique_ptr<Kernel::TimerRec> Kernel::heapPop() {
+  std::pop_heap(Heap.begin(), Heap.end(), heapLater);
+  std::unique_ptr<TimerRec> Rec = std::move(Heap.back());
+  Heap.pop_back();
+  return Rec;
+}
+
+void Kernel::dropCancelledTop() {
+  while (!Heap.empty() && Heap.front()->Cancelled) {
+    heapPop();
+    --CancelledInHeap;
+    ++C.TimersReaped;
+  }
+}
+
+void Kernel::promoteDue() {
+  uint64_t NowNs = Clock.nowNs();
+  for (;;) {
+    dropCancelledTop();
+    if (Heap.empty() || Heap.front()->DueNs > NowNs)
+      break;
+    std::unique_ptr<TimerRec> Rec = heapPop();
+    LiveTimers.erase(Rec->Handle);
+    // A promoted timer's ReadyNs is its due time, not the promotion
+    // moment: queue-delay accounting should charge the wait behind other
+    // work, and input-latency tracking in the facade depends on it.
+    Lanes[static_cast<size_t>(Rec->L)].push_back({std::move(Rec->Fn),
+                                                  NextWorkId++, Rec->DueNs,
+                                                  std::move(Rec->Cancel)});
+  }
+}
+
+void Kernel::compactIfNeeded() {
+  // Lazy deletion keeps cancelTimer O(1), but a server that arms and
+  // cancels an idle-sweep timer per connection forever would grow the
+  // heap without bound. Rebuild once cancelled entries dominate.
+  if (Heap.size() < 64 || CancelledInHeap * 2 <= Heap.size())
+    return;
+  C.TimersReaped += CancelledInHeap;
+  ++C.HeapCompactions;
+  std::erase_if(Heap, [](const std::unique_ptr<TimerRec> &Rec) {
+    return Rec->Cancelled;
+  });
+  std::make_heap(Heap.begin(), Heap.end(), heapLater);
+  CancelledInHeap = 0;
+}
+
+std::optional<Kernel::Work> Kernel::next() {
+  for (;;) {
+    promoteDue();
+    bool Popped = false;
+    for (size_t Idx = 0; Idx < NumLanes; ++Idx) {
+      std::deque<ReadyItem> &Q = Lanes[Idx];
+      if (Q.empty())
+        continue;
+      ReadyItem Item = std::move(Q.front());
+      Q.pop_front();
+      Popped = true;
+      if (Item.Cancel.cancelled()) {
+        ++C.Lanes[Idx].CancelledSkipped;
+        break; // Re-promote and re-scan from the top lane.
+      }
+      return Work{std::move(Item.Fn), static_cast<Lane>(Idx), Item.Id,
+                  Item.ReadyNs};
+    }
+    if (Popped)
+      continue;
+    // Every lane empty. If live timers remain, the system is idle until
+    // the earliest due time: advance the virtual clock over the gap.
+    dropCancelledTop();
+    if (Heap.empty())
+      return std::nullopt;
+    Clock.advanceTo(Heap.front()->DueNs);
+  }
+}
+
+void Kernel::noteDispatched(const Work &W, uint64_t StartNs,
+                            uint64_t EndNs) {
+  assert(EndNs >= StartNs);
+  uint64_t QueueDelayNs = StartNs > W.ReadyNs ? StartNs - W.ReadyNs : 0;
+  uint64_t RunNs = EndNs - StartNs;
+  LaneCounters &LC = C.Lanes[static_cast<size_t>(W.L)];
+  ++LC.Dispatched;
+  LC.TotalQueueDelayNs += QueueDelayNs;
+  LC.MaxQueueDelayNs = std::max(LC.MaxQueueDelayNs, QueueDelayNs);
+  LC.TotalRunNs += RunNs;
+  LC.MaxRunNs = std::max(LC.MaxRunNs, RunNs);
+  Trace.push({W.Id, W.L, W.ReadyNs, StartNs, QueueDelayNs, RunNs});
+}
+
+bool Kernel::idle() const {
+  return queuedWork() == 0 && pendingTimers() == 0;
+}
+
+size_t Kernel::queuedWork() const {
+  size_t N = 0;
+  for (const std::deque<ReadyItem> &Q : Lanes)
+    N += Q.size();
+  return N;
+}

@@ -1,0 +1,316 @@
+//===- doppio/kernel/kernel.h - Unified scheduling kernel --------*- C++ -*-==//
+//
+// Part of the Doppio reproduction. See README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The single dispatch core under every scheduling path in the system. The
+/// paper's execution environment is one mechanism viewed from four angles —
+/// event segmentation (§3.1, §4.1), resumption scheduling (§4.4), green
+/// threads (§4.3), and sync-over-async I/O (§4.2) — and before this kernel
+/// existed each angle kept its own ad-hoc callback queue (the event loop's
+/// ready deque, the Suspender's resumption registry, the AsyncBridge's
+/// inline unblocks, SimNet's deliveries, doppiod's sweep timers). Browsix
+/// (PAPERS.md) shows that pushing these into one shared in-browser kernel
+/// is what unlocks multi-process scale; this class is that kernel.
+///
+/// It provides:
+///
+///  - **Prioritized dispatch lanes.** Ready work lives in five lanes
+///    (input, I/O completion, resumption, timer, background), drained in
+///    strict priority order with FIFO order inside a lane. A queued input
+///    event therefore always dispatches before pending background
+///    completions — a 100-client request flood can no longer starve user
+///    input (the §3.1 responsiveness property, now structural).
+///
+///  - **An O(log n) timer heap.** Timed work is a binary min-heap keyed by
+///    (due time, sequence), replacing the event loop's sorted-on-demand
+///    vector. Equal due times preserve insertion order, which is what TCP
+///    FIFO delivery in SimNet relies on.
+///
+///  - **First-class cancellation.** Timers return handles with O(1)
+///    cancellation; any work item can additionally carry a CancelToken.
+///    Cancelled entries are reaped on promotion and the heap is compacted
+///    whenever cancelled entries outnumber live ones, so a long-lived
+///    server that arms and cancels timers forever stays bounded.
+///
+///  - **A trace ring buffer + counters.** Every dispatch is recorded
+///    (event id, lane, queue delay, run time, virtual-clock timestamps) in
+///    a fixed-size ring (default: the last 4096 dispatches), with
+///    aggregate per-lane counters — the data that answers *why* a
+///    Figure 5/7 number moved.
+///
+/// The kernel is policy-free about browser semantics: the 4 ms setTimeout
+/// clamp, the watchdog, and per-profile costs stay in browser::EventLoop,
+/// which is now a run-to-completion facade over these lanes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DOPPIO_DOPPIO_KERNEL_KERNEL_H
+#define DOPPIO_DOPPIO_KERNEL_KERNEL_H
+
+#include "browser/virtual_clock.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+namespace doppio {
+namespace kernel {
+
+/// Dispatch lanes in strict priority order: when several lanes hold ready
+/// work, the lowest-numbered lane always runs first; within a lane order
+/// is FIFO (by due time, then insertion sequence, for timed work).
+enum class Lane : uint8_t {
+  /// User interaction; its queueing delay is the page-responsiveness
+  /// metric of §3.1.
+  Input = 0,
+  /// Completions of browser-internal asynchronous work: XHR responses,
+  /// IndexedDB transactions, SimNet/WebSocket deliveries (§4.2).
+  IoCompletion = 1,
+  /// Suspend-and-resume resumption callbacks and green-thread slices
+  /// (§4.3, §4.4).
+  Resume = 2,
+  /// JavaScript-visible timers (setTimeout) and housekeeping timers such
+  /// as doppiod's idle sweep.
+  Timer = 3,
+  /// Deferred cleanup: connection reaping, bridge teardown.
+  Background = 4,
+};
+
+constexpr size_t NumLanes = 5;
+
+const char *laneName(Lane L);
+
+class CancelSource;
+
+/// Observer half of a cancellation pair. Copyable; work items carrying a
+/// cancelled token are skipped (never run) at dispatch time. A
+/// default-constructed token never reports cancelled.
+class CancelToken {
+public:
+  CancelToken() = default;
+
+  bool cancelled() const { return Flag && *Flag; }
+  /// True if this token is connected to a CancelSource.
+  bool attached() const { return Flag != nullptr; }
+
+private:
+  friend class CancelSource;
+  explicit CancelToken(std::shared_ptr<const bool> Flag)
+      : Flag(std::move(Flag)) {}
+  std::shared_ptr<const bool> Flag;
+};
+
+/// Owner half of a cancellation pair: hand out tokens, flip them all with
+/// one cancel() call. Single-threaded, like everything over the virtual
+/// clock.
+class CancelSource {
+public:
+  CancelSource() : Flag(std::make_shared<bool>(false)) {}
+
+  CancelToken token() const { return CancelToken(Flag); }
+  void cancel() { *Flag = true; }
+  bool cancelled() const { return *Flag; }
+  /// Re-arms the source: outstanding tokens from before reset() stay
+  /// cancelled; token() hands out fresh ones.
+  void reset() { Flag = std::make_shared<bool>(false); }
+
+private:
+  std::shared_ptr<bool> Flag;
+};
+
+/// One dispatched event, as recorded in the trace ring.
+struct TraceEntry {
+  /// Monotonically increasing dispatch id (kernel-wide).
+  uint64_t Id = 0;
+  Lane L = Lane::Background;
+  /// Virtual time the item became eligible to run (post time, or a
+  /// timer's due time).
+  uint64_t ReadyNs = 0;
+  /// Virtual time dispatch started.
+  uint64_t StartNs = 0;
+  /// StartNs - ReadyNs: how long the item waited behind other work.
+  uint64_t QueueDelayNs = 0;
+  /// Virtual duration of the callback itself.
+  uint64_t RunNs = 0;
+};
+
+/// Fixed-size ring of the most recent dispatches.
+class TraceRing {
+public:
+  explicit TraceRing(size_t Capacity) : Buf(Capacity) {}
+
+  void push(const TraceEntry &E) {
+    if (Buf.empty())
+      return;
+    Buf[Next] = E;
+    Next = (Next + 1) % Buf.size();
+    ++Total;
+  }
+
+  size_t capacity() const { return Buf.size(); }
+  /// Dispatches ever recorded (not bounded by capacity).
+  uint64_t recorded() const { return Total; }
+  /// Entries currently held.
+  size_t size() const {
+    return Total < Buf.size() ? static_cast<size_t>(Total) : Buf.size();
+  }
+
+  /// The retained entries, oldest first.
+  std::vector<TraceEntry> snapshot() const;
+
+private:
+  std::vector<TraceEntry> Buf;
+  size_t Next = 0;
+  uint64_t Total = 0;
+};
+
+/// Aggregate dispatch statistics for one lane.
+struct LaneCounters {
+  uint64_t Posted = 0;
+  uint64_t Dispatched = 0;
+  /// Items skipped because their CancelToken fired before dispatch.
+  uint64_t CancelledSkipped = 0;
+  uint64_t TotalQueueDelayNs = 0;
+  uint64_t MaxQueueDelayNs = 0;
+  uint64_t TotalRunNs = 0;
+  uint64_t MaxRunNs = 0;
+};
+
+/// Exported kernel counters (per lane + timer machinery).
+struct Counters {
+  LaneCounters Lanes[NumLanes];
+  uint64_t TimersScheduled = 0;
+  /// Successful cancelTimer() calls.
+  uint64_t TimersCancelled = 0;
+  /// Cancelled heap entries discarded before firing (on promotion, top
+  /// cleanup, or compaction).
+  uint64_t TimersReaped = 0;
+  uint64_t HeapCompactions = 0;
+
+  uint64_t totalDispatched() const {
+    uint64_t N = 0;
+    for (const LaneCounters &LC : Lanes)
+      N += LC.Dispatched;
+    return N;
+  }
+};
+
+/// The unified scheduler. Single-threaded over the virtual clock; drained
+/// by a host loop (browser::EventLoop) that calls next(), runs the item,
+/// and reports the dispatch back via noteDispatched().
+class Kernel {
+public:
+  using WorkFn = std::function<void()>;
+
+  static constexpr size_t DefaultTraceCapacity = 4096;
+
+  explicit Kernel(browser::VirtualClock &Clock,
+                  size_t TraceCapacity = DefaultTraceCapacity)
+      : Clock(Clock), Trace(TraceCapacity) {}
+
+  Kernel(const Kernel &) = delete;
+  Kernel &operator=(const Kernel &) = delete;
+
+  /// Enqueues \p Fn at the back of lane \p L, eligible to run now.
+  /// Returns the work id (also the future trace id).
+  uint64_t post(Lane L, WorkFn Fn, CancelToken Cancel = {});
+
+  /// Schedules \p Fn on lane \p L, due \p DelayNs from now. Returns a
+  /// timer handle usable with cancelTimer().
+  uint64_t postAfter(Lane L, WorkFn Fn, uint64_t DelayNs,
+                     CancelToken Cancel = {});
+
+  /// Cancels a pending timer in O(1). Returns false (a no-op) for
+  /// already-fired, already-cancelled, or unknown handles.
+  bool cancelTimer(uint64_t Handle);
+
+  /// A dispatched unit of work, handed to the host loop.
+  struct Work {
+    WorkFn Fn;
+    Lane L = Lane::Background;
+    uint64_t Id = 0;
+    /// When the item became eligible (for queue-delay accounting).
+    uint64_t ReadyNs = 0;
+  };
+
+  /// Promotes due timers, then pops the highest-priority ready item,
+  /// skipping cancelled work. If every lane is empty but live timers
+  /// remain, advances the virtual clock over the idle gap to the next due
+  /// time. Returns nullopt when no runnable work remains.
+  std::optional<Work> next();
+
+  /// Records trace + counters for a dispatch performed by the host loop.
+  void noteDispatched(const Work &W, uint64_t StartNs, uint64_t EndNs);
+
+  /// True when no queued work and no live timers remain.
+  bool idle() const;
+
+  /// Live (non-cancelled) timers in the heap.
+  size_t pendingTimers() const { return HeapSize() - CancelledInHeap; }
+  /// Cancelled entries still occupying heap slots (bounded: reaped on
+  /// promotion and compacted when they outnumber live entries).
+  size_t cancelledTimers() const { return CancelledInHeap; }
+  /// Items currently queued across all lanes (including not-yet-skipped
+  /// cancelled items).
+  size_t queuedWork() const;
+
+  const Counters &counters() const { return C; }
+  const TraceRing &trace() const { return Trace; }
+
+private:
+  struct ReadyItem {
+    WorkFn Fn;
+    uint64_t Id = 0;
+    uint64_t ReadyNs = 0;
+    CancelToken Cancel;
+  };
+
+  struct TimerRec {
+    uint64_t DueNs = 0;
+    uint64_t Seq = 0;
+    uint64_t Handle = 0;
+    Lane L = Lane::Timer;
+    WorkFn Fn;
+    CancelToken Cancel;
+    bool Cancelled = false;
+  };
+
+  size_t HeapSize() const { return Heap.size(); }
+  /// Min-heap ordering: earliest (DueNs, Seq) at the top.
+  static bool heapLater(const std::unique_ptr<TimerRec> &A,
+                        const std::unique_ptr<TimerRec> &B);
+  void heapPush(std::unique_ptr<TimerRec> Rec);
+  std::unique_ptr<TimerRec> heapPop();
+  /// Discards cancelled records sitting at the top of the heap.
+  void dropCancelledTop();
+  /// Moves every timer due at or before now into its lane, reaping
+  /// cancelled entries it passes over.
+  void promoteDue();
+  /// Rebuilds the heap without cancelled entries once they outnumber live
+  /// ones (keeps a cancel-heavy server's heap bounded).
+  void compactIfNeeded();
+
+  browser::VirtualClock &Clock;
+  std::deque<ReadyItem> Lanes[NumLanes];
+  std::vector<std::unique_ptr<TimerRec>> Heap;
+  std::unordered_map<uint64_t, TimerRec *> LiveTimers;
+  size_t CancelledInHeap = 0;
+  uint64_t NextSeq = 0;
+  uint64_t NextHandle = 1;
+  uint64_t NextWorkId = 1;
+  Counters C;
+  TraceRing Trace;
+};
+
+} // namespace kernel
+} // namespace doppio
+
+#endif // DOPPIO_DOPPIO_KERNEL_KERNEL_H

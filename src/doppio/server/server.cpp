@@ -166,12 +166,13 @@ void Server::armIdleSweep() {
     return;
   SweepArmed = true;
   uint64_t Period = std::max<uint64_t>(1, Cfg.IdleTimeoutNs / 2);
-  Env.loop().scheduleAfter(
+  SweepTimer = Env.loop().postAfter(
+      kernel::Lane::Timer,
       [this] {
         SweepArmed = false;
         idleSweep();
       },
-      Period);
+      Period, SweepCancel.token());
 }
 
 void Server::idleSweep() {
@@ -196,6 +197,13 @@ void Server::shutdown(std::function<void()> Done) {
   Running = false;
   Draining = true;
   OnDrained = std::move(Done);
+  // Kill the housekeeping timer: the handle removes it from the kernel's
+  // heap; the token covers a sweep already promoted but not yet run.
+  SweepCancel.cancel();
+  if (SweepArmed) {
+    Env.loop().cancelTimer(SweepTimer);
+    SweepArmed = false;
+  }
   Sock.close(); // Release the port; queued connects are refused.
   std::vector<uint64_t> IdleIds;
   for (auto &[Id, C] : Conns)

@@ -128,6 +128,11 @@ private:
   bool AcceptArmed = false;
   bool SweepArmed = false;
   bool Draining = false;
+  /// Pending idle-sweep timer: a kernel Timer-lane entry, cancelled (via
+  /// both the handle and the token) when shutdown begins so the drain
+  /// does not wait out a dead housekeeping timer.
+  uint64_t SweepTimer = 0;
+  kernel::CancelSource SweepCancel;
   std::function<void()> OnDrained;
 };
 

@@ -37,35 +37,33 @@ Suspender::Suspender(browser::BrowserEnv &Env)
 }
 
 void Suspender::scheduleResumption(std::function<void()> Resume) {
-  uint64_t Id = NextResumptionId++;
   uint64_t SuspendedAt = Env.clock().nowNs();
-  PendingResumptions[Id] = [this, SuspendedAt,
-                            Resume = std::move(Resume)] {
+  dispatchViaMechanism([this, SuspendedAt, Resume = std::move(Resume)] {
     SuspendedNs += Env.clock().nowNs() - SuspendedAt;
     ++Resumptions;
     beginSlice();
     Resume();
-  };
-  dispatchViaMechanism(Id);
+  });
 }
 
-void Suspender::dispatchViaMechanism(uint64_t Id) {
-  auto Runner = [this, Id] {
-    auto It = PendingResumptions.find(Id);
-    if (It == PendingResumptions.end())
-      return;
-    std::function<void()> Fn = std::move(It->second);
-    PendingResumptions.erase(It);
-    Fn();
-  };
+void Suspender::dispatchViaMechanism(std::function<void()> Fn) {
+  // Mechanism choice is kernel lane-backend selection: every path lands
+  // the resumption on the Resume lane; what differs is the latency charged
+  // on the way there (immediate cost, message cost, or the 4 ms clamp).
   switch (Mechanism) {
   case ResumeMechanism::SetImmediate: {
-    bool Ok = Env.loop().trySetImmediate(Runner);
+    bool Ok = Env.loop().trySetImmediate(std::move(Fn));
     assert(Ok && "setImmediate chosen on a browser without it");
     (void)Ok;
     return;
   }
   case ResumeMechanism::SendMessage: {
+    // sendMessage carries only strings, so the callback parks in a
+    // registry demultiplexed by a unique ID (§4.4) — the one place a
+    // side table survives the kernel refactor, because the transport
+    // itself cannot carry a closure.
+    uint64_t Id = NextResumptionId++;
+    PendingResumptions[Id] = std::move(Fn);
     if (!HandlerRegistered) {
       // One global handler demultiplexes by the unique string ID (§4.4).
       Env.channel().setOnMessage([this](const js::String &Msg) {
@@ -88,7 +86,10 @@ void Suspender::dispatchViaMechanism(uint64_t Id) {
     return;
   }
   case ResumeMechanism::SetTimeout:
-    Env.loop().setTimeout(Runner, 0);
+    // IE8 fallback: the resumption still targets the Resume lane but
+    // must eat the HTML timer clamp on the way (§4.4).
+    Env.loop().postAfter(kernel::Lane::Resume, std::move(Fn),
+                         Env.profile().MinTimeoutClampNs);
     return;
   }
 }

@@ -101,7 +101,7 @@ public:
   uint64_t currentCounterTarget() const { return CounterTarget; }
 
 private:
-  void dispatchViaMechanism(uint64_t Id);
+  void dispatchViaMechanism(std::function<void()> Fn);
 
   browser::BrowserEnv &Env;
   ResumeMechanism Mechanism;

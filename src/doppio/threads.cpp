@@ -16,19 +16,32 @@ ThreadPool::ThreadId ThreadPool::spawn(std::unique_ptr<GuestThread> Thread) {
   return Id;
 }
 
-void ThreadPool::unblock(ThreadId Id) {
+bool ThreadPool::unblock(ThreadId Id) {
   assert(Id < Threads.size() && "bad thread id");
   Entry &E = Threads[Id];
-  if (E.State == ThreadState::Running) {
+  switch (E.State) {
+  case ThreadState::Running:
     // The asynchronous operation completed synchronously (inline-callback
     // storage backends): the thread has not reported Blocked yet.
+    if (E.UnblockPending) {
+      ++SpuriousUnblocks;
+      return false;
+    }
     E.UnblockPending = true;
-    return;
+    return true;
+  case ThreadState::Blocked:
+    E.State = ThreadState::Ready;
+    pump();
+    return true;
+  case ThreadState::Ready:
+  case ThreadState::Terminated:
+    // Duplicate or late completion — e.g. an I/O event finishing after
+    // its thread was already woken or died. Kernel-scheduled completions
+    // make this ordering legal, so tolerate and count it.
+    ++SpuriousUnblocks;
+    return false;
   }
-  assert(E.State == ThreadState::Blocked &&
-         "unblocking a thread that is not blocked");
-  E.State = ThreadState::Ready;
-  pump();
+  return false;
 }
 
 bool ThreadPool::hasLiveThreads() const {

@@ -84,8 +84,11 @@ public:
   /// completions) and reschedules driving. Safe to call while the thread
   /// is still Running (a completion that fired synchronously, e.g. from a
   /// localStorage-backed file system): the wake-up is remembered and
-  /// applied when the thread reports Blocked.
-  void unblock(ThreadId Id);
+  /// applied when the thread reports Blocked. Unblocking a Terminated or
+  /// already-Ready thread is a tolerated no-op — completions can outlive
+  /// the thread they targeted (e.g. I/O finishing after a watchdog kill) —
+  /// counted in spuriousUnblocks(). Returns true if a wake-up was applied.
+  bool unblock(ThreadId Id);
 
   ThreadState state(ThreadId Id) const { return Threads[Id].State; }
   GuestThread *thread(ThreadId Id) { return Threads[Id].Guest.get(); }
@@ -100,6 +103,9 @@ public:
   uint64_t contextSwitches() const { return ContextSwitches; }
   /// Number of execution slices driven.
   uint64_t slicesRun() const { return Slices; }
+  /// Unblocks that found no Blocked/Running thread to wake (duplicate or
+  /// late completions).
+  uint64_t spuriousUnblocks() const { return SpuriousUnblocks; }
 
   Suspender &suspender() { return Susp; }
   browser::BrowserEnv &env() { return Env; }
@@ -127,6 +133,7 @@ private:
   ThreadId LastRun = ~0u;
   uint64_t ContextSwitches = 0;
   uint64_t Slices = 0;
+  uint64_t SpuriousUnblocks = 0;
 };
 
 /// §4.2: synchronous source-language calls over asynchronous browser APIs.
@@ -138,15 +145,23 @@ public:
   /// initiate the asynchronous operation, capturing the provided Resume
   /// callback into its completion; when the completion runs (as a browser
   /// event) it stores its results into guest state and calls Resume, which
-  /// unblocks the thread. The caller's resume() must then return
-  /// RunOutcome::Blocked.
+  /// schedules the unblock on the kernel's I/O-completion lane. The
+  /// caller's resume() must then return RunOutcome::Blocked.
   void blockOn(ThreadPool::ThreadId Id,
                std::function<void(std::function<void()>)> Start) {
-    Start([this, Id] { Pool.unblock(Id); });
+    Start([this, Id] {
+      ++Completions;
+      Pool.env().loop().post(kernel::Lane::IoCompletion,
+                             [this, Id] { Pool.unblock(Id); });
+    });
   }
+
+  /// Asynchronous completions delivered through the bridge.
+  uint64_t completionCount() const { return Completions; }
 
 private:
   ThreadPool &Pool;
+  uint64_t Completions = 0;
 };
 
 } // namespace rt

@@ -507,7 +507,10 @@ void registerObjectNatives(Jvm &Vm) {
     Ctx.BlockedOnMonitor = true;
     if (TimeoutMs > 0) {
       Jvm &TheVm = Ctx.Vm;
-      Ctx.Vm.env().loop().scheduleAfter(
+      // Object.wait(timeout) is a JVM-visible timer, not an I/O
+      // completion: Timer lane.
+      Ctx.Vm.env().loop().postAfter(
+          kernel::Lane::Timer,
           [&TheVm, O, Tid, Generation] {
             JvmThread *T = TheVm.threadForTid(Tid);
             if (!T || T->WaitGeneration != Generation)
@@ -1111,17 +1114,22 @@ void registerThreadNatives(Jvm &Vm) {
       "java/lang/Thread", "sleep", "(J)V", [](NativeContext &Ctx) {
         int64_t Ms = longArg(Ctx.Args[0]);
         Ctx.blockWithResult([&Ctx, Ms](NativeCompletion Complete) {
-          Ctx.Vm.env().loop().scheduleAfter(
-              [Complete] { Complete(Value()); },
+          // Thread.sleep is a timer wake-up, not I/O.
+          Ctx.Vm.env().loop().postAfter(
+              kernel::Lane::Timer, [Complete] { Complete(Value()); },
               browser::msToNs(static_cast<uint64_t>(Ms < 0 ? 0 : Ms)));
         });
       });
   Vm.registerNative(
       "java/lang/Thread", "yield", "()V", [](NativeContext &Ctx) {
-        // Yield by bouncing through the event queue: other threads and
-        // browser events run before this one resumes.
+        // Yield by bouncing through the Resume lane: other threads'
+        // pending slices (FIFO ahead of this wake-up) run before this one
+        // resumes. The Background lane would deadlock the pool under
+        // strict priority — the pool's own drive chain lives on Resume
+        // and would starve the bounce forever.
         Ctx.blockWithResult([&Ctx](NativeCompletion Complete) {
-          Ctx.Vm.env().loop().enqueueTask([Complete] { Complete(Value()); });
+          Ctx.Vm.env().loop().post(kernel::Lane::Resume,
+                                   [Complete] { Complete(Value()); });
         });
       });
   Vm.registerNative(
@@ -1390,8 +1398,10 @@ void registerFileNatives(Jvm &Vm) {
           return;
         }
         Ctx.blockWithResult([&TheVm](NativeCompletion Complete) {
-          // Model keystroke delivery latency.
-          TheVm.env().loop().scheduleAfter(
+          // Model keystroke delivery latency; a keystroke is user input,
+          // so it arrives on the Input lane ahead of everything queued.
+          TheVm.env().loop().postAfter(
+              kernel::Lane::Input,
               [&TheVm, Complete] {
                 if (!TheVm.process().hasStdin()) {
                   Complete(Value::null());

@@ -104,7 +104,7 @@ void MiniVm::preloadAndRun(const std::vector<std::string> &AssetPaths) {
   // execution").
   auto Remaining = std::make_shared<size_t>(AssetPaths.size());
   auto RunMain = [this] {
-    Env.loop().enqueueTask([this] {
+    Env.loop().post(kernel::Lane::Background, [this] {
       // main() as one long event: no segmentation.
       CallStack.push_back(
           {&Prog.Functions[Prog.Entry], 0,

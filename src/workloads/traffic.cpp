@@ -42,7 +42,9 @@ void TrafficGen::start(std::function<void()> Done) {
     if (Delay == 0)
       spawn(I);
     else
-      Env.loop().scheduleAfter([this, I] { spawn(I); }, Delay);
+      // Client arrival pacing is a scheduled timer, not an I/O completion.
+      Env.loop().postAfter(kernel::Lane::Timer, [this, I] { spawn(I); },
+                           Delay);
   }
 }
 

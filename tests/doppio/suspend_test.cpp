@@ -346,4 +346,105 @@ TEST(AsyncBridge, OtherThreadsRunWhileOneBlocks) {
       << "the compute thread ran while the other was blocked on I/O";
 }
 
+//===--------------------------------------------------------------------===//
+// AsyncBridge edge cases: completions are kernel-scheduled events, so they
+// can legally arrive after the thread they targeted has moved on or died.
+//===--------------------------------------------------------------------===//
+
+/// Like BlockingReadThread, but the async operation fires its completion
+/// twice (a buggy or racy browser API).
+class DoubleCompletionThread : public GuestThread {
+public:
+  DoubleCompletionThread(BrowserEnv &Env, ThreadPool &Pool,
+                         AsyncBridge &Bridge)
+      : Env(Env), Pool(Pool), Bridge(Bridge) {}
+
+  RunOutcome resume() override {
+    switch (Stage) {
+    case 0:
+      Stage = 1;
+      Bridge.blockOn(Pool.currentThread(),
+                     [this](std::function<void()> Resume) {
+                       Env.loop().scheduleAfter([this, Resume] {
+                         Result = 42;
+                         Resume();
+                       }, msToNs(3));
+                       Env.loop().scheduleAfter([Resume] { Resume(); },
+                                                msToNs(5));
+                     });
+      return RunOutcome::Blocked;
+    case 1:
+      SawResult = Result;
+      return RunOutcome::Terminated;
+    }
+    return RunOutcome::Terminated;
+  }
+
+  int sawResult() const { return SawResult; }
+
+private:
+  BrowserEnv &Env;
+  ThreadPool &Pool;
+  AsyncBridge &Bridge;
+  int Stage = 0;
+  int Result = 0;
+  int SawResult = -1;
+};
+
+TEST(AsyncBridge, UnblockOfTerminatedThreadIsTolerated) {
+  BrowserEnv Env(chromeProfile());
+  Suspender Susp(Env);
+  ThreadPool Pool(Env, Susp);
+  std::vector<int> Journal;
+  ThreadPool::ThreadId Id =
+      Pool.spawn(std::make_unique<WorkThread>(Env, Susp, 10, Journal, 1));
+  Env.loop().run();
+  ASSERT_EQ(Pool.state(Id), ThreadState::Terminated);
+  // A late completion targeting the dead thread: no crash, no state
+  // change, counted as spurious.
+  EXPECT_FALSE(Pool.unblock(Id));
+  EXPECT_EQ(Pool.state(Id), ThreadState::Terminated);
+  EXPECT_EQ(Pool.spuriousUnblocks(), 1u);
+}
+
+TEST(AsyncBridge, DoubleUnblockIsCountedSpurious) {
+  BrowserEnv Env(chromeProfile());
+  Suspender Susp(Env);
+  ThreadPool Pool(Env, Susp);
+  AsyncBridge Bridge(Pool);
+  auto Thread =
+      std::make_unique<DoubleCompletionThread>(Env, Pool, Bridge);
+  DoubleCompletionThread *Raw = Thread.get();
+  ThreadPool::ThreadId Id = Pool.spawn(std::move(Thread));
+  Env.loop().run();
+  // The first completion wakes the thread; the duplicate finds it already
+  // finished and is absorbed.
+  EXPECT_EQ(Raw->sawResult(), 42);
+  EXPECT_EQ(Pool.state(Id), ThreadState::Terminated);
+  EXPECT_EQ(Bridge.completionCount(), 2u);
+  EXPECT_EQ(Pool.spuriousUnblocks(), 1u);
+}
+
+TEST(AsyncBridge, CompletionArrivingDuringWatchdogOverrunStillUnblocks) {
+  // The completion comes due at t=3ms, but a runaway event is hogging the
+  // thread far past the watchdog limit at that point. The kernel holds
+  // the completion until the event ends; the blocked thread still wakes
+  // and finishes.
+  BrowserEnv Env(chromeProfile());
+  Suspender Susp(Env);
+  ThreadPool Pool(Env, Susp);
+  AsyncBridge Bridge(Pool);
+  auto Thread = std::make_unique<BlockingReadThread>(Env, Pool, Bridge);
+  BlockingReadThread *Raw = Thread.get();
+  ThreadPool::ThreadId Id = Pool.spawn(std::move(Thread));
+  // The runaway event: overruns the watchdog while the completion is due.
+  Env.loop().enqueueTask(
+      [&] { Env.clock().chargeNs(Env.profile().WatchdogLimitNs + msToNs(1)); });
+  Env.loop().run();
+  EXPECT_TRUE(Env.loop().watchdogFired());
+  EXPECT_EQ(Raw->sawResult(), 42);
+  EXPECT_EQ(Pool.state(Id), ThreadState::Terminated);
+  EXPECT_EQ(Pool.spuriousUnblocks(), 0u);
+}
+
 } // namespace
