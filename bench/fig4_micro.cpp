@@ -60,6 +60,44 @@ void printFigure4() {
     printRow((std::string(M.Label) + " cpu").c_str(), Cpu);
     printRow((std::string(M.Label) + " wall").c_str(), Wall);
   }
+  // Check-elision ablation (DESIGN.md §12): the same workloads with the
+  // verifier trusted (per-instruction guards elided) and distrusted
+  // (guarded execution for every frame). The virtual clock charges both
+  // identically, so the win is host time; outputs must be bit-identical.
+  printf("\nCheck-elision ablation (host time, chrome profile):\n");
+  printf("%-14s %11s %11s %8s\n", "benchmark", "guarded_s", "elided_s",
+         "speedup");
+  for (Micro &M : Micros) {
+    JvmOptions Guarded, Elided;
+    Guarded.TrustVerifier = false;
+    Elided.TrustVerifier = true;
+    // Best of 3: one-shot host timings are noisy at this scale.
+    RunMetrics G, E;
+    for (int Rep = 0; Rep != 3; ++Rep) {
+      RunMetrics G1 = runJvmWorkload(M.W, ExecutionMode::DoppioJS,
+                                     browser::chromeProfile(), Guarded);
+      RunMetrics E1 = runJvmWorkload(M.W, ExecutionMode::DoppioJS,
+                                     browser::chromeProfile(), Elided);
+      if (Rep == 0 || G1.RealSeconds < G.RealSeconds)
+        G = G1;
+      if (Rep == 0 || E1.RealSeconds < E.RealSeconds)
+        E = E1;
+    }
+    if (G.Exit != E.Exit || G.Output != E.Output) {
+      printf("%-14s  OUTPUT MISMATCH between guarded and elided runs\n",
+             M.Label);
+      Json.row(std::string(M.Label) + "/elision").metric("speedup", -1);
+      continue;
+    }
+    double Speedup =
+        E.RealSeconds > 0 ? G.RealSeconds / E.RealSeconds : -1;
+    printf("%-14s %11.4f %11.4f %7.2fx\n", M.Label, G.RealSeconds,
+           E.RealSeconds, Speedup);
+    Json.row(std::string(M.Label) + "/elision")
+        .metric("guarded_s", G.RealSeconds)
+        .metric("elided_s", E.RealSeconds)
+        .metric("speedup", Speedup);
+  }
   Json.write();
   printf("\npidigits note: its long arithmetic runs on the software\n");
   printf("Long64 halves in DoppioJS mode (§8), which is why its factors\n");

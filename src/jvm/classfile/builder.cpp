@@ -2,6 +2,8 @@
 
 #include "jvm/classfile/builder.h"
 
+#include "jvm/classfile/dataflow.h"
+
 #include "doppio/path.h"
 
 #include <bit>
@@ -681,6 +683,31 @@ MethodBuilder &MethodBuilder::handler(Label Start, Label End, Label Handler,
   return *this;
 }
 
+MethodBuilder &MethodBuilder::rawOp(Op Opcode) {
+  Code.push_back(static_cast<uint8_t>(Opcode));
+  return *this;
+}
+
+MethodBuilder &MethodBuilder::rawU1(uint8_t V) {
+  Code.push_back(V);
+  return *this;
+}
+
+MethodBuilder &MethodBuilder::rawU2(uint16_t V) {
+  emitU2(V);
+  return *this;
+}
+
+MethodBuilder &MethodBuilder::overrideMaxStack(int V) {
+  MaxStackOverride = V;
+  return *this;
+}
+
+MethodBuilder &MethodBuilder::overrideMaxLocals(int V) {
+  MaxLocalsOverride = V;
+  return *this;
+}
+
 MemberInfo MethodBuilder::finish() {
   for (const Fixup &F : Fixups) {
     assert(LabelPos[F.Target] != -1 && "branch to unbound label");
@@ -719,7 +746,34 @@ MemberInfo MethodBuilder::finish() {
     Attr.Handlers.push_back(E);
   }
   M.Code = std::move(Attr);
+  if (!Handlers.empty())
+    refineMaxStack(M);
+  if (MaxStackOverride >= 0)
+    M.Code->MaxStack = static_cast<uint16_t>(MaxStackOverride);
+  if (MaxLocalsOverride >= 0)
+    M.Code->MaxLocals = static_cast<uint16_t>(MaxLocalsOverride);
   return M;
+}
+
+/// The linear depth simulation cannot see a handler body that is bound
+/// while the assembler is in dead code: the usual try/catch idiom emits
+/// the body after an unconditional branch and only registers it with
+/// handler() afterwards, so none of its pushes reach MaxStack. Re-derive
+/// max_stack from the dataflow analysis, which seeds every handler entry
+/// at depth 1, keeping the simulated value as a floor (the analysis may
+/// stop early on a method that is being built broken on purpose).
+void MethodBuilder::refineMaxStack(MemberInfo &M) {
+  MemberInfo Probe;
+  Probe.AccessFlags = Flags;
+  Probe.Name = Name;
+  Probe.Descriptor = Descriptor;
+  Probe.Code = *M.Code;
+  Probe.Code->MaxStack = 0xFFFF; // Depth discovery must not clip.
+  MethodDataflow Flow = analyzeMethodDataflow(Cb.Cf, Probe);
+  size_t Deep = M.Code->MaxStack;
+  for (const auto &Entry : Flow.In)
+    Deep = std::max(Deep, Entry.second.Stack.size());
+  M.Code->MaxStack = static_cast<uint16_t>(Deep);
 }
 
 //===----------------------------------------------------------------------===//

@@ -126,6 +126,18 @@ public:
   MethodBuilder &handler(Label Start, Label End, Label Handler,
                          const std::string &CatchClass = "");
 
+  // Raw emission, for forging deliberately invalid methods in verifier
+  // tests: bytes are appended with no stack simulation, reachability
+  // tracking, or locals inference. Combine with the overrides below to
+  // pin the exact max_stack / max_locals the forged method declares.
+  MethodBuilder &rawOp(Op Opcode);
+  MethodBuilder &rawU1(uint8_t V);
+  MethodBuilder &rawU2(uint16_t V);
+  /// Forces the emitted max_stack, bypassing the computed value.
+  MethodBuilder &overrideMaxStack(int V);
+  /// Forces the emitted max_locals, bypassing the inferred value.
+  MethodBuilder &overrideMaxLocals(int V);
+
   /// Current bytecode size (for tests).
   size_t codeSize() const { return Code.size(); }
 
@@ -148,6 +160,7 @@ private:
                         const std::string &Name, const std::string &Desc);
   /// Finalizes: patches branches, fills the Code attribute.
   MemberInfo finish();
+  void refineMaxStack(MemberInfo &M);
 
   ClassBuilder &Cb;
   uint16_t Flags;
@@ -175,6 +188,8 @@ private:
   bool Reachable = true;
   int MaxStack = 0;
   int MaxLocals = 0;
+  int MaxStackOverride = -1;  // -1: use the computed value.
+  int MaxLocalsOverride = -1; // -1: use the inferred value.
 };
 
 /// Builds one class.

@@ -2,6 +2,7 @@
 
 #include "jvm/classfile/disasm.h"
 
+#include "jvm/classfile/dataflow.h"
 #include "jvm/classfile/opcodes.h"
 
 #include <bit>
@@ -92,7 +93,8 @@ static std::string describeConstant(const ClassFile &Cf, uint16_t Idx) {
 }
 
 std::string jvm::disassembleMethod(const ClassFile &Cf,
-                                   const MemberInfo &M) {
+                                   const MemberInfo &M,
+                                   const MethodDataflow *Flow) {
   if (!M.Code)
     return "";
   std::ostringstream Out;
@@ -102,9 +104,10 @@ std::string jvm::disassembleMethod(const ClassFile &Cf,
   uint32_t Pc = 0;
   while (Pc < Code.size()) {
     uint32_t Len = instructionLength(Code, Pc);
-    Out << "    " << Pc << ": " << opcodeName(Code[Pc]);
+    std::ostringstream Line;
+    Line << "    " << Pc << ": " << opcodeName(Code[Pc]);
     if (Len == 0) {
-      Out << " <malformed>\n";
+      Out << Line.str() << " <malformed>\n";
       break;
     }
     Op O = static_cast<Op>(Code[Pc]);
@@ -113,13 +116,13 @@ std::string jvm::disassembleMethod(const ClassFile &Cf,
     };
     switch (O) {
     case Op::Bipush:
-      Out << " " << static_cast<int>(static_cast<int8_t>(Code[Pc + 1]));
+      Line << " " << static_cast<int>(static_cast<int8_t>(Code[Pc + 1]));
       break;
     case Op::Sipush:
-      Out << " " << static_cast<int16_t>(rdU2(Pc + 1));
+      Line << " " << static_cast<int16_t>(rdU2(Pc + 1));
       break;
     case Op::Ldc:
-      Out << " " << describeConstant(Cf, Code[Pc + 1]);
+      Line << " " << describeConstant(Cf, Code[Pc + 1]);
       break;
     case Op::LdcW:
     case Op::Ldc2W:
@@ -136,7 +139,7 @@ std::string jvm::disassembleMethod(const ClassFile &Cf,
     case Op::Checkcast:
     case Op::Instanceof:
     case Op::Multianewarray:
-      Out << " " << describeConstant(Cf, rdU2(Pc + 1));
+      Line << " " << describeConstant(Cf, rdU2(Pc + 1));
       break;
     case Op::Iload:
     case Op::Lload:
@@ -150,10 +153,10 @@ std::string jvm::disassembleMethod(const ClassFile &Cf,
     case Op::Astore:
     case Op::Ret:
     case Op::Newarray:
-      Out << " " << static_cast<int>(Code[Pc + 1]);
+      Line << " " << static_cast<int>(Code[Pc + 1]);
       break;
     case Op::Iinc:
-      Out << " " << static_cast<int>(Code[Pc + 1]) << " by "
+      Line << " " << static_cast<int>(Code[Pc + 1]) << " by "
           << static_cast<int>(static_cast<int8_t>(Code[Pc + 2]));
       break;
     case Op::Ifeq:
@@ -174,11 +177,21 @@ std::string jvm::disassembleMethod(const ClassFile &Cf,
     case Op::Jsr:
     case Op::Ifnull:
     case Op::Ifnonnull:
-      Out << " -> "
+      Line << " -> "
           << (Pc + static_cast<int16_t>(rdU2(Pc + 1)));
       break;
     default:
       break;
+    }
+    Out << Line.str();
+    if (Flow) {
+      auto It = Flow->In.find(Pc);
+      // Pad so the annotations column-align within one method.
+      for (size_t N = Line.str().size(); N < 36; ++N)
+        Out << ' ';
+      Out << "  ; "
+          << (It != Flow->In.end() ? renderFrameState(It->second)
+                                   : std::string("<unreachable>"));
     }
     Out << "\n";
     Pc += Len;

@@ -23,9 +23,15 @@
 namespace doppio {
 namespace jvm {
 
+struct MethodDataflow;
+
 /// Disassembles one method body ("  0: Iload0", ...). Returns an empty
-/// string for methods without code.
-std::string disassembleMethod(const ClassFile &Cf, const MemberInfo &M);
+/// string for methods without code. When \p Flow (the method's dataflow
+/// analysis, dataflow.h) is given, each line is annotated with the
+/// inferred abstract state entering the instruction — "; [I R] m=0" —
+/// or "; <unreachable>" for dead code the fixpoint never visited.
+std::string disassembleMethod(const ClassFile &Cf, const MemberInfo &M,
+                              const MethodDataflow *Flow = nullptr);
 
 /// Full javap-style listing of \p Cf.
 std::string disassembleClass(const ClassFile &Cf);

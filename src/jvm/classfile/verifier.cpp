@@ -2,6 +2,7 @@
 
 #include "jvm/classfile/verifier.h"
 
+#include "jvm/classfile/dataflow.h"
 #include "jvm/classfile/descriptor.h"
 #include "jvm/classfile/disasm.h"
 #include "jvm/classfile/opcodes.h"
@@ -49,22 +50,30 @@ private:
   }
 
   /// Walks the code array once, recording instruction start offsets.
+  /// Collects every boundary error rather than bailing at the first:
+  /// illegal opcodes resynchronize one byte ahead so later defects still
+  /// surface; a truncated instruction ends the scan (its length — and so
+  /// every later boundary — is unknowable).
   bool decodeBoundaries() {
     uint32_t Pc = 0;
+    bool Clean = true;
     while (Pc < Code.size()) {
       if (!isLegalOpcode(Code[Pc])) {
         error(Pc, "illegal opcode " + std::to_string(Code[Pc]));
-        return false;
+        Clean = false;
+        ++Pc;
+        continue;
       }
       uint32_t Len = instructionLength(Code, Pc);
       if (Len == 0) {
         error(Pc, std::string("truncated ") + opcodeName(Code[Pc]));
         return false;
       }
-      Starts.insert(Pc);
+      if (Clean)
+        Starts.insert(Pc);
       Pc += Len;
     }
-    return true;
+    return Clean;
   }
 
   bool isStart(uint32_t Pc) const { return Starts.count(Pc) != 0; }
@@ -337,8 +346,23 @@ std::vector<VerifyError> jvm::verifyClass(const ClassFile &Cf) {
           {M.Name + M.Descriptor, 0, "malformed method descriptor"});
       continue;
     }
-    if (M.Code)
+    if (M.Code) {
+      size_t Before = Errors.size();
       MethodVerifier(Cf, M, Errors).run();
+      // The dataflow pass assumes structural validity; run it only for
+      // methods the structural checks accepted.
+      if (Errors.size() == Before) {
+        MethodDataflow Flow = analyzeMethodDataflow(Cf, M);
+        Errors.insert(Errors.end(), Flow.Errors.begin(), Flow.Errors.end());
+      }
+    }
   }
   return Errors;
+}
+
+bool jvm::rejectsClass(const std::vector<VerifyError> &Errors) {
+  for (const VerifyError &E : Errors)
+    if (!E.MonitorOnly)
+      return true;
+  return false;
 }

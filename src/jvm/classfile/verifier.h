@@ -36,6 +36,12 @@ struct VerifyError {
   std::string Method; // "name(descriptor)"; empty for class-level issues.
   uint32_t Pc = 0;
   std::string Message;
+  /// True for monitor-balance diagnostics. The JVM spec makes structured-
+  /// locking enforcement optional, and the runtime raises
+  /// IllegalMonitorStateException on actual misuse — so the loader demotes
+  /// the method to guarded (unverified) execution instead of rejecting the
+  /// class.
+  bool MonitorOnly = false;
 
   std::string str() const {
     if (Method.empty())
@@ -44,8 +50,14 @@ struct VerifyError {
   }
 };
 
-/// Runs every structural check over \p Cf. Empty result = verified.
+/// Runs every structural check over \p Cf, then — for each method that
+/// passed them — the dataflow analysis (dataflow.h). Empty result = fully
+/// verified.
 std::vector<VerifyError> verifyClass(const ClassFile &Cf);
+
+/// True if \p Errors contains at least one error that mandates rejecting
+/// the class (anything that is not a MonitorOnly diagnostic).
+bool rejectsClass(const std::vector<VerifyError> &Errors);
 
 } // namespace jvm
 } // namespace doppio

@@ -7,6 +7,7 @@
 #include "jvm/jvm.h"
 
 #include <cassert>
+#include <set>
 
 using namespace doppio;
 using namespace doppio::jvm;
@@ -44,7 +45,30 @@ Klass *ClassLoader::makeArrayClass(const std::string &Name) {
   return Raw;
 }
 
-Klass *ClassLoader::link(ClassFile Cf) {
+/// Marks each method's Verified bit: a method earns check-elided
+/// execution only when the class carried no class-level diagnostics and
+/// none of the method's own. Unverified methods still run — guarded.
+static void markVerified(Klass &K, const std::vector<VerifyError> &Errors) {
+  bool ClassLevel = false;
+  std::set<std::string> Flagged;
+  for (const VerifyError &E : Errors) {
+    if (E.Method.empty())
+      ClassLevel = true;
+    else
+      Flagged.insert(E.Method);
+  }
+  for (std::unique_ptr<Method> &M : K.Methods)
+    M->Verified =
+        M->HasCode && !ClassLevel && Flagged.count(M->key()) == 0;
+}
+
+Klass *ClassLoader::link(ClassFile Cf,
+                         const std::vector<VerifyError> *Known) {
+  std::vector<VerifyError> Computed;
+  if (!Known) {
+    Computed = verifyClass(Cf);
+    Known = &Computed;
+  }
   Klass *Super = nullptr;
   if (!Cf.SuperClass.empty()) {
     Super = lookup(Cf.SuperClass);
@@ -63,6 +87,7 @@ Klass *ClassLoader::link(ClassFile Cf) {
       [&TheVm](const Klass &InKlass, const Method &M) {
         return TheVm.resolveNative(InKlass, M);
       });
+  markVerified(*K, *Known);
   Klass *Raw = K.get();
   Classes.emplace(Name, std::move(K));
   return Raw;
@@ -169,13 +194,18 @@ void ClassLoader::loadAsync(const std::string &Name,
                             "class file declares " + Cf->ThisClass));
           return;
         }
-        // Structural verification before linking (spec 4.8/4.9 subset).
-        std::vector<VerifyError> Violations = verifyClass(*Cf);
-        if (!Violations.empty()) {
-          Complete(ApiError(Errno::Invalid,
-                            "verification failed: " +
-                                Violations.front().str()));
-          return;
+        // Structural + dataflow verification before linking. Monitor-only
+        // diagnostics demote the method to guarded execution rather than
+        // rejecting the class (verifier.h).
+        auto Violations = std::make_shared<std::vector<VerifyError>>(
+            verifyClass(*Cf));
+        if (rejectsClass(*Violations)) {
+          for (const VerifyError &E : *Violations)
+            if (!E.MonitorOnly) {
+              Complete(ApiError(Errno::Invalid,
+                                "verification failed: " + E.str()));
+              return;
+            }
         }
         // Load the superclass chain and interfaces, then link. The
         // dependency list is loaded sequentially; cycles among
@@ -190,10 +220,10 @@ void ClassLoader::loadAsync(const std::string &Name,
         // outlives this scope.
         auto LoadNext =
             std::make_shared<std::function<void(size_t)>>();
-        *LoadNext = [this, Deps, CfShared, Complete,
+        *LoadNext = [this, Deps, CfShared, Violations, Complete,
                      LoadNext](size_t I) {
           if (I == Deps->size()) {
-            Complete(link(std::move(*CfShared)));
+            Complete(link(std::move(*CfShared), Violations.get()));
             return;
           }
           loadAsync((*Deps)[I],

@@ -19,6 +19,7 @@
 #ifndef DOPPIO_JVM_CLASSLOADER_H
 #define DOPPIO_JVM_CLASSLOADER_H
 
+#include "jvm/classfile/verifier.h"
 #include "jvm/klass.h"
 
 #include <functional>
@@ -67,7 +68,11 @@ public:
   uint64_t fileLoads() const { return FileLoads; }
 
 private:
-  Klass *link(ClassFile Cf);
+  /// Links \p Cf and marks each method's Verified bit from \p Known (the
+  /// verifier's diagnostics for this class file); when null, the verifier
+  /// runs here. Definition paths never reject — a method with diagnostics
+  /// merely stays unverified and runs guarded.
+  Klass *link(ClassFile Cf, const std::vector<VerifyError> *Known = nullptr);
   Klass *makeArrayClass(const std::string &Name);
   /// Tries classpath entries starting at \p Index.
   void fetchFromClasspath(

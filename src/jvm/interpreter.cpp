@@ -174,6 +174,7 @@ void JvmThread::pushEntryFrame(Method *M, std::vector<Value> Args) {
   }
   F.Locals.resize(M->Code.MaxLocals);
   F.Stack.reserve(M->Code.MaxStack);
+  F.Trusted = M->Verified && Vm.trustVerifier();
   CallStack.push_back(std::move(F));
 }
 
@@ -371,6 +372,7 @@ bool JvmThread::ensureInitialized(Klass *K, StepResult &Out) {
   F.Locals.resize(Clinit->Code.MaxLocals);
   F.Stack.reserve(Clinit->Code.MaxStack);
   F.ClinitOf = Top;
+  F.Trusted = Clinit->Verified && Vm.trustVerifier();
   CallStack.push_back(std::move(F));
   ++Vm.stats().MethodInvocations;
   Out = StepResult::Continue; // Re-executes the triggering instruction
@@ -490,6 +492,7 @@ JvmThread::StepResult JvmThread::invokeMethod(Method *M, bool HasReceiver,
   F.Locals = std::move(Slots);
   F.Locals.resize(M->Code.MaxLocals);
   F.Stack.reserve(M->Code.MaxStack);
+  F.Trusted = M->Verified && Vm.trustVerifier();
   if (M->isSynchronized()) {
     Object *Lock = HasReceiver ? F.Locals[0].R : Vm.mirrorOf(M->Owner);
     // Contention was checked by the caller before popping; entering here
@@ -555,6 +558,468 @@ inline int32_t rdS4(const std::vector<uint8_t> &C, uint32_t At) {
 
 } // namespace
 
+/// Bounds-checks the next instruction of an untrusted frame: enough
+/// operand-stack slots to pop, room below max_stack for the pushes, and
+/// every local access inside max_locals. Verified frames skip this — the
+/// dataflow analysis proved the same properties statically, which is the
+/// whole point of the elision (DESIGN.md §12). Types are not re-checked
+/// here: slot misuse in unverified code yields wrong values, not memory
+/// errors, exactly as the seed interpreter behaved for all code.
+bool JvmThread::guardedPrecheck(Frame &F, StepResult &Out) {
+  const CodeAttr &Code = F.M->Code;
+  const std::vector<uint8_t> &C = Code.Bytecode;
+  const ConstantPool &Pool = F.M->Owner->Cf.Pool;
+  Op O = static_cast<Op>(C[F.Pc]);
+  int Pops = 0, Pushes = 0;
+  int64_t LocalTop = -1; // Highest local slot touched.
+
+  auto fieldSlots = [&](uint32_t At) -> int {
+    uint16_t Idx = rdU2(C, At);
+    if (!Pool.valid(Idx))
+      return -1;
+    return desc::slotSize(Pool.memberRef(Idx).Descriptor);
+  };
+  auto invokeEffect = [&](uint32_t At, bool HasReceiver) -> bool {
+    uint16_t Idx = rdU2(C, At);
+    if (!Pool.valid(Idx))
+      return false;
+    auto D = desc::parseMethod(Pool.memberRef(Idx).Descriptor);
+    if (!D)
+      return false;
+    Pops = desc::paramSlots(*D) + (HasReceiver ? 1 : 0);
+    Pushes = desc::slotSize(D->Ret);
+    return true;
+  };
+
+  switch (O) {
+  case Op::Nop:
+  case Op::Goto:
+  case Op::GotoW:
+  case Op::Return:
+    break;
+  case Op::New:
+    Pushes = 1;
+    break;
+  case Op::Ret:
+    LocalTop = rdU1(C, F.Pc + 1);
+    break;
+  case Op::Iinc:
+    LocalTop = rdU1(C, F.Pc + 1);
+    break;
+  case Op::AconstNull:
+  case Op::IconstM1:
+  case Op::Iconst0:
+  case Op::Iconst1:
+  case Op::Iconst2:
+  case Op::Iconst3:
+  case Op::Iconst4:
+  case Op::Iconst5:
+  case Op::Fconst0:
+  case Op::Fconst1:
+  case Op::Fconst2:
+  case Op::Bipush:
+  case Op::Sipush:
+  case Op::Ldc:
+  case Op::LdcW:
+  case Op::Jsr:
+  case Op::JsrW:
+    Pushes = 1;
+    break;
+  case Op::Lconst0:
+  case Op::Lconst1:
+  case Op::Dconst0:
+  case Op::Dconst1:
+  case Op::Ldc2W:
+    Pushes = 2;
+    break;
+  case Op::Iload:
+  case Op::Fload:
+  case Op::Aload:
+    Pushes = 1;
+    LocalTop = rdU1(C, F.Pc + 1);
+    break;
+  case Op::Lload:
+  case Op::Dload:
+    Pushes = 2;
+    LocalTop = rdU1(C, F.Pc + 1) + 1;
+    break;
+  case Op::Iload0:
+  case Op::Iload1:
+  case Op::Iload2:
+  case Op::Iload3:
+    Pushes = 1;
+    LocalTop = static_cast<int64_t>(O) - static_cast<int64_t>(Op::Iload0);
+    break;
+  case Op::Fload0:
+  case Op::Fload1:
+  case Op::Fload2:
+  case Op::Fload3:
+    Pushes = 1;
+    LocalTop = static_cast<int64_t>(O) - static_cast<int64_t>(Op::Fload0);
+    break;
+  case Op::Aload0:
+  case Op::Aload1:
+  case Op::Aload2:
+  case Op::Aload3:
+    Pushes = 1;
+    LocalTop = static_cast<int64_t>(O) - static_cast<int64_t>(Op::Aload0);
+    break;
+  case Op::Lload0:
+  case Op::Lload1:
+  case Op::Lload2:
+  case Op::Lload3:
+    Pushes = 2;
+    LocalTop =
+        static_cast<int64_t>(O) - static_cast<int64_t>(Op::Lload0) + 1;
+    break;
+  case Op::Dload0:
+  case Op::Dload1:
+  case Op::Dload2:
+  case Op::Dload3:
+    Pushes = 2;
+    LocalTop =
+        static_cast<int64_t>(O) - static_cast<int64_t>(Op::Dload0) + 1;
+    break;
+  case Op::Iaload:
+  case Op::Faload:
+  case Op::Aaload:
+  case Op::Baload:
+  case Op::Caload:
+  case Op::Saload:
+    Pops = 2;
+    Pushes = 1;
+    break;
+  case Op::Laload:
+  case Op::Daload:
+    Pops = 2;
+    Pushes = 2;
+    break;
+  case Op::Istore:
+  case Op::Fstore:
+  case Op::Astore:
+    Pops = 1;
+    LocalTop = rdU1(C, F.Pc + 1);
+    break;
+  case Op::Lstore:
+  case Op::Dstore:
+    Pops = 2;
+    LocalTop = rdU1(C, F.Pc + 1) + 1;
+    break;
+  case Op::Istore0:
+  case Op::Istore1:
+  case Op::Istore2:
+  case Op::Istore3:
+    Pops = 1;
+    LocalTop = static_cast<int64_t>(O) - static_cast<int64_t>(Op::Istore0);
+    break;
+  case Op::Fstore0:
+  case Op::Fstore1:
+  case Op::Fstore2:
+  case Op::Fstore3:
+    Pops = 1;
+    LocalTop = static_cast<int64_t>(O) - static_cast<int64_t>(Op::Fstore0);
+    break;
+  case Op::Astore0:
+  case Op::Astore1:
+  case Op::Astore2:
+  case Op::Astore3:
+    Pops = 1;
+    LocalTop = static_cast<int64_t>(O) - static_cast<int64_t>(Op::Astore0);
+    break;
+  case Op::Lstore0:
+  case Op::Lstore1:
+  case Op::Lstore2:
+  case Op::Lstore3:
+    Pops = 2;
+    LocalTop =
+        static_cast<int64_t>(O) - static_cast<int64_t>(Op::Lstore0) + 1;
+    break;
+  case Op::Dstore0:
+  case Op::Dstore1:
+  case Op::Dstore2:
+  case Op::Dstore3:
+    Pops = 2;
+    LocalTop =
+        static_cast<int64_t>(O) - static_cast<int64_t>(Op::Dstore0) + 1;
+    break;
+  case Op::Iastore:
+  case Op::Fastore:
+  case Op::Aastore:
+  case Op::Bastore:
+  case Op::Castore:
+  case Op::Sastore:
+    Pops = 3;
+    break;
+  case Op::Lastore:
+  case Op::Dastore:
+    Pops = 4;
+    break;
+  case Op::Pop:
+    Pops = 1;
+    break;
+  case Op::Pop2:
+    Pops = 2;
+    break;
+  case Op::Dup:
+    Pops = 1;
+    Pushes = 2;
+    break;
+  case Op::DupX1:
+    Pops = 2;
+    Pushes = 3;
+    break;
+  case Op::DupX2:
+    Pops = 3;
+    Pushes = 4;
+    break;
+  case Op::Dup2:
+    Pops = 2;
+    Pushes = 4;
+    break;
+  case Op::Dup2X1:
+    Pops = 3;
+    Pushes = 5;
+    break;
+  case Op::Dup2X2:
+    Pops = 4;
+    Pushes = 6;
+    break;
+  case Op::Swap:
+    Pops = 2;
+    Pushes = 2;
+    break;
+  case Op::Iadd:
+  case Op::Isub:
+  case Op::Imul:
+  case Op::Idiv:
+  case Op::Irem:
+  case Op::Ishl:
+  case Op::Ishr:
+  case Op::Iushr:
+  case Op::Iand:
+  case Op::Ior:
+  case Op::Ixor:
+  case Op::Fadd:
+  case Op::Fsub:
+  case Op::Fmul:
+  case Op::Fdiv:
+  case Op::Frem:
+    Pops = 2;
+    Pushes = 1;
+    break;
+  case Op::Ladd:
+  case Op::Lsub:
+  case Op::Lmul:
+  case Op::Ldiv:
+  case Op::Lrem:
+  case Op::Land:
+  case Op::Lor:
+  case Op::Lxor:
+  case Op::Dadd:
+  case Op::Dsub:
+  case Op::Dmul:
+  case Op::Ddiv:
+  case Op::Drem:
+    Pops = 4;
+    Pushes = 2;
+    break;
+  case Op::Lshl:
+  case Op::Lshr:
+  case Op::Lushr:
+    Pops = 3;
+    Pushes = 2;
+    break;
+  case Op::Ineg:
+  case Op::Fneg:
+  case Op::I2f:
+  case Op::F2i:
+  case Op::I2b:
+  case Op::I2c:
+  case Op::I2s:
+  case Op::Newarray:
+  case Op::Anewarray:
+  case Op::Arraylength:
+  case Op::Checkcast:
+  case Op::Instanceof:
+    Pops = 1;
+    Pushes = 1;
+    break;
+  case Op::Lneg:
+  case Op::Dneg:
+  case Op::L2d:
+  case Op::D2l:
+    Pops = 2;
+    Pushes = 2;
+    break;
+  case Op::I2l:
+  case Op::I2d:
+  case Op::F2l:
+  case Op::F2d:
+    Pops = 1;
+    Pushes = 2;
+    break;
+  case Op::L2i:
+  case Op::L2f:
+  case Op::D2i:
+  case Op::D2f:
+  case Op::Fcmpl:
+  case Op::Fcmpg:
+    Pops = 2;
+    Pushes = 1;
+    break;
+  case Op::Lcmp:
+  case Op::Dcmpl:
+  case Op::Dcmpg:
+    Pops = 4;
+    Pushes = 1;
+    break;
+  case Op::Ifeq:
+  case Op::Ifne:
+  case Op::Iflt:
+  case Op::Ifge:
+  case Op::Ifgt:
+  case Op::Ifle:
+  case Op::Ifnull:
+  case Op::Ifnonnull:
+  case Op::Tableswitch:
+  case Op::Lookupswitch:
+  case Op::Ireturn:
+  case Op::Freturn:
+  case Op::Areturn:
+  case Op::Athrow:
+  case Op::Monitorenter:
+  case Op::Monitorexit:
+    Pops = 1;
+    break;
+  case Op::IfIcmpeq:
+  case Op::IfIcmpne:
+  case Op::IfIcmplt:
+  case Op::IfIcmpge:
+  case Op::IfIcmpgt:
+  case Op::IfIcmple:
+  case Op::IfAcmpeq:
+  case Op::IfAcmpne:
+  case Op::Lreturn:
+  case Op::Dreturn:
+    Pops = 2;
+    break;
+  case Op::Getstatic: {
+    int S = fieldSlots(F.Pc + 1);
+    if (S < 0) {
+      Out = throwJvm("java/lang/VerifyError", "bad field reference");
+      return false;
+    }
+    Pushes = S;
+    break;
+  }
+  case Op::Putstatic: {
+    int S = fieldSlots(F.Pc + 1);
+    if (S < 0) {
+      Out = throwJvm("java/lang/VerifyError", "bad field reference");
+      return false;
+    }
+    Pops = S;
+    break;
+  }
+  case Op::Getfield: {
+    int S = fieldSlots(F.Pc + 1);
+    if (S < 0) {
+      Out = throwJvm("java/lang/VerifyError", "bad field reference");
+      return false;
+    }
+    Pops = 1;
+    Pushes = S;
+    break;
+  }
+  case Op::Putfield: {
+    int S = fieldSlots(F.Pc + 1);
+    if (S < 0) {
+      Out = throwJvm("java/lang/VerifyError", "bad field reference");
+      return false;
+    }
+    Pops = 1 + S;
+    break;
+  }
+  case Op::Invokevirtual:
+  case Op::Invokespecial:
+  case Op::Invokeinterface:
+    if (!invokeEffect(F.Pc + 1, /*HasReceiver=*/true)) {
+      Out = throwJvm("java/lang/VerifyError", "bad method reference");
+      return false;
+    }
+    break;
+  case Op::Invokestatic:
+    if (!invokeEffect(F.Pc + 1, /*HasReceiver=*/false)) {
+      Out = throwJvm("java/lang/VerifyError", "bad method reference");
+      return false;
+    }
+    break;
+  case Op::Multianewarray:
+    Pops = rdU1(C, F.Pc + 3);
+    Pushes = 1;
+    break;
+  case Op::Wide: {
+    Op Inner = static_cast<Op>(C[F.Pc + 1]);
+    uint32_t Slot = rdU2(C, F.Pc + 2);
+    switch (Inner) {
+    case Op::Iload:
+    case Op::Fload:
+    case Op::Aload:
+      Pushes = 1;
+      LocalTop = Slot;
+      break;
+    case Op::Lload:
+    case Op::Dload:
+      Pushes = 2;
+      LocalTop = Slot + 1;
+      break;
+    case Op::Istore:
+    case Op::Fstore:
+    case Op::Astore:
+      Pops = 1;
+      LocalTop = Slot;
+      break;
+    case Op::Lstore:
+    case Op::Dstore:
+      Pops = 2;
+      LocalTop = Slot + 1;
+      break;
+    case Op::Iinc:
+    case Op::Ret:
+      LocalTop = Slot;
+      break;
+    default:
+      Out = throwJvm("java/lang/VerifyError",
+                     "wide prefix on a non-widenable instruction");
+      return false;
+    }
+    break;
+  }
+  default:
+    break; // Remaining opcodes touch neither stack slots nor locals.
+  }
+
+  if (F.Stack.size() < static_cast<size_t>(Pops)) {
+    Out = throwJvm("java/lang/VerifyError",
+                   std::string("stack underflow at ") + opcodeName(static_cast<uint8_t>(O)) +
+                       " (pc " + std::to_string(F.Pc) + ")");
+    return false;
+  }
+  if (F.Stack.size() - Pops + Pushes > Code.MaxStack) {
+    Out = throwJvm("java/lang/VerifyError",
+                   std::string("stack overflow at ") + opcodeName(static_cast<uint8_t>(O)) +
+                       " (pc " + std::to_string(F.Pc) + ")");
+    return false;
+  }
+  if (LocalTop >= static_cast<int64_t>(Code.MaxLocals)) {
+    Out = throwJvm("java/lang/VerifyError",
+                   std::string("local out of bounds at ") + opcodeName(static_cast<uint8_t>(O)) +
+                       " (pc " + std::to_string(F.Pc) + ")");
+    return false;
+  }
+  return true;
+}
+
 JvmThread::StepResult JvmThread::step() {
   Frame &F = CallStack.back();
   const std::vector<uint8_t> &C = F.M->Code.Bytecode;
@@ -562,6 +1027,14 @@ JvmThread::StepResult JvmThread::step() {
   Op O = static_cast<Op>(C[F.Pc]);
   ++Vm.stats().OpsExecuted;
   ++OpsSinceFlush;
+
+  // Check-elision fast path: frames the verifier proved skip the guarded
+  // precheck entirely (DESIGN.md §12).
+  if (!F.Trusted) {
+    StepResult Guarded;
+    if (!guardedPrecheck(F, Guarded))
+      return Guarded;
+  }
 
   switch (O) {
   case Op::Nop:
@@ -1660,6 +2133,11 @@ JvmThread::StepResult JvmThread::step() {
     Object *Obj = pop().R;
     if (!Obj)
       return throwJvm("java/lang/NullPointerException", "monitorexit");
+    // An unowned monitor throws. Return the dispatch outcome directly:
+    // when a handler in this frame catches, dispatch already repointed
+    // pc at it, and the ++F.Pc below would skip its first instruction.
+    if (Obj->monitor().OwnerTid != Tid)
+      return monitorExit(Obj);
     StepResult R = monitorExit(Obj);
     if (R != StepResult::Continue)
       return R;

@@ -44,6 +44,10 @@ struct Frame {
   /// When this frame is a <clinit>, the class to mark initialized on
   /// return.
   Klass *ClinitOf = nullptr;
+  /// True when the dataflow verifier proved the method and the VM trusts
+  /// it (Jvm::trustVerifier): step() skips the guarded per-instruction
+  /// stack/locals precheck for this frame (DESIGN.md §12).
+  bool Trusted = false;
 };
 
 /// A JVM thread: a guest thread of the Doppio pool (§4.3/§6.2).
@@ -103,6 +107,11 @@ private:
 
   StepResult step();
   StepResult stepWide(Frame &F);
+  /// Guarded path for frames the verifier did not prove: bounds-checks
+  /// the next instruction's stack pops/pushes and locals accesses before
+  /// step() executes it. Returns false after throwing VerifyError, with
+  /// the dispatch outcome in \p Out.
+  bool guardedPrecheck(Frame &F, StepResult &Out);
 
   // Operand stack helpers (two-slot convention for category 2).
   void push(Value V) { CallStack.back().Stack.push_back(V); }

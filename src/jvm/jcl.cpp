@@ -232,6 +232,7 @@ void defineThrowables(Jvm &Vm) {
   DefEx("java/lang/UnsatisfiedLinkError", "java/lang/LinkageError");
   DefEx("java/lang/InstantiationError", "java/lang/LinkageError");
   DefEx("java/lang/ClassFormatError", "java/lang/LinkageError");
+  DefEx("java/lang/VerifyError", "java/lang/LinkageError");
   DefEx("java/lang/StackOverflowError", "java/lang/Error");
   DefEx("java/lang/OutOfMemoryError", "java/lang/Error");
   DefEx("java/io/IOException", "java/lang/Exception");

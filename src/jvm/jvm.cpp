@@ -5,6 +5,7 @@
 #include "jvm/interpreter.h"
 
 #include <cassert>
+#include <cstdlib>
 
 using namespace doppio;
 using namespace doppio::jvm;
@@ -17,6 +18,8 @@ Jvm::Jvm(browser::BrowserEnv &Env, rt::fs::FileSystem &Fs, rt::Process &Proc,
     : Env(Env), Fs(Fs), Proc(Proc), Options(std::move(InOptions)),
       Susp(Env), Pool(Env, Susp), Heap(Env, Options.HeapBytes),
       Loader(*this) {
+  if (const char *Trust = std::getenv("DOPPIO_JVM_TRUST_VERIFIER"))
+    Options.TrustVerifier = std::string(Trust) != "0";
   for (const std::string &Dir : Options.Classpath)
     Loader.addClasspathEntry(Dir);
   installCoreClasses(*this);

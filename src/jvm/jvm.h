@@ -51,6 +51,11 @@ struct JvmOptions {
   /// when benchmarks compare browser virtual time against HotSpot
   /// (DESIGN.md: calibrated so Chrome lands in the paper's 24-42x band).
   uint64_t NativeOpCostNs = 2;
+  /// When true (the default), methods the dataflow verifier proved safe
+  /// run on the interpreter's check-elided fast path; unverified methods
+  /// keep the guarded path. The DOPPIO_JVM_TRUST_VERIFIER environment
+  /// variable overrides this at construction ("0"/"1"; DESIGN.md §12).
+  bool TrustVerifier = true;
 };
 
 /// Statistics the evaluation harness reads.
@@ -81,6 +86,8 @@ public:
   ClassLoader &loader() { return Loader; }
   const JvmOptions &options() const { return Options; }
   ExecutionMode mode() const { return Options.Mode; }
+  /// True when verified methods may run check-elided (DESIGN.md §12).
+  bool trustVerifier() const { return Options.TrustVerifier; }
   JvmStats &stats() { return Stats; }
 
   // Native registry (§6.3). Key: "pkg/Cls.name(desc)".

@@ -47,6 +47,11 @@ struct Method {
   int RetSlots = 0;
   CodeAttr Code; // Empty for native/abstract methods.
   bool HasCode = false;
+  /// True when the dataflow verifier proved this body safe: the
+  /// interpreter may elide its per-instruction stack and locals guards
+  /// (DESIGN.md §12). Set by the class loader; methods with any verify
+  /// diagnostic run guarded instead.
+  bool Verified = false;
   NativeFn Native; // Bound at link time from the native registry (§6.3).
 
   bool isStatic() const { return AccessFlags & AccStatic; }

@@ -55,7 +55,6 @@ public:
                      std::make_unique<rt::fs::XhrBackend>(Env, "/srv"));
       Fs = std::make_unique<rt::fs::FileSystem>(Env, Proc,
                                                 std::move(Mounted));
-      jvm::JvmOptions Options;
       Options.Mode = Mode;
       TheVm = std::make_unique<jvm::Jvm>(Env, *Fs, Proc, Options);
     }
@@ -86,6 +85,9 @@ public:
   browser::BrowserEnv Env;
   rt::Process Proc;
   jvm::ExecutionMode Mode;
+  /// Construction options; adjust before the first vm()/run() call (Mode
+  /// is overwritten from the constructor argument).
+  jvm::JvmOptions Options;
   std::unique_ptr<rt::fs::FileSystem> Fs;
   rt::fs::InMemoryBackend *Root = nullptr;
   std::unique_ptr<jvm::Jvm> TheVm;
