@@ -17,12 +17,14 @@
 
 #include "bench_util.h"
 
+#include "doppio/obs/registry.h"
 #include "doppio/server/server.h"
 #include "doppio/server/handlers.h"
 #include "workloads/traffic.h"
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cassert>
 #include <cstdlib>
 
@@ -41,6 +43,11 @@ struct Fig7Result {
   TrafficReport Client;
   server::ServerStats Stats;
   bool Drained = false;
+  // Registry-sourced observability figures (src/doppio/obs/): end-to-end
+  // span accounting and kernel dispatch volume for the same run.
+  uint64_t SpansFinished = 0;
+  uint64_t SpanQueueDelayNsMax = 0;
+  uint64_t KernelEventsRun = 0;
 };
 
 /// One full load test in one browser: seed the FS, serve it, hammer it
@@ -70,7 +77,7 @@ Fig7Result runServerLoad(const browser::Profile &P) {
   // under this load, and an idle-reap races the next request otherwise.
   Cfg.IdleTimeoutNs = browser::msToNs(2000);
   server::Server Srv(Env, Cfg);
-  server::installDefaultHandlers(Srv.router(), Fs);
+  server::installDefaultHandlers(Srv.router(), Fs, &Env.metrics());
   bool Started = Srv.start();
   assert(Started);
   (void)Started;
@@ -89,6 +96,12 @@ Fig7Result runServerLoad(const browser::Profile &P) {
 
   Out.Client = Gen.report();
   Out.Stats = Srv.stats();
+  obs::Registry &Reg = Env.metrics();
+  Out.SpansFinished = Reg.spans().finished();
+  for (const obs::Span &Sp : Reg.spans().recent())
+    Out.SpanQueueDelayNsMax =
+        std::max(Out.SpanQueueDelayNsMax, Sp.QueueDelayNs);
+  Out.KernelEventsRun = Reg.counter("loop.events_run").value();
   return Out;
 }
 
@@ -126,7 +139,11 @@ void printFigure7() {
         .metric("p99_us", static_cast<double>(R.Client.p99Ns()) / 1e3)
         .metric("srv_p99_us", static_cast<double>(R.Stats.p99Ns()) / 1e3)
         .metric("refused", static_cast<double>(R.Stats.Refused))
-        .metric("drain_clean", Ok ? 1 : 0);
+        .metric("drain_clean", Ok ? 1 : 0)
+        .metric("spans_finished", static_cast<double>(R.SpansFinished))
+        .metric("span_queue_delay_us_max",
+                static_cast<double>(R.SpanQueueDelayNsMax) / 1e3)
+        .metric("loop_events_run", static_cast<double>(R.KernelEventsRun));
   }
   Json.write();
   printf("(req/s is virtual time; srv-p99 is server-side service time;\n"

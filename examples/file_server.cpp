@@ -45,7 +45,7 @@ int main() {
   Cfg.Port = 8080;
   Cfg.MaxConnections = 8;
   server::Server Srv(Env, Cfg);
-  server::installDefaultHandlers(Srv.router(), Fs);
+  server::installDefaultHandlers(Srv.router(), Fs, &Env.metrics());
   Srv.router().handle("version",
                       [](const server::frame::Request &,
                          server::Router::RespondFn Respond) {

@@ -45,6 +45,9 @@ public:
   const Profile &profile() const { return Prof; }
   VirtualClock &clock() { return Clock; }
   EventLoop &loop() { return Loop; }
+  /// The tab-wide metrics registry + span store (owned by the loop).
+  obs::Registry &metrics() { return Loop.metrics(); }
+  const obs::Registry &metrics() const { return Loop.metrics(); }
   MessageChannel &channel() { return Channel; }
   LocalStorage &localStorage() { return Storage; }
   CookieJar &cookies() { return Cookies; }

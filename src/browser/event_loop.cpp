@@ -14,13 +14,43 @@ void EventLoop::enqueueTask(Event Fn, EventKind Kind) {
          std::move(Fn));
 }
 
-uint64_t EventLoop::setTimeout(Event Fn, uint64_t DelayNs, EventKind Kind) {
+bool TimerHandle::cancel() {
+  if (!armed())
+    return false;
+  // Belt and braces: the heap entry (O(1) when still pending) and the
+  // token (stops a timer already promoted into its lane).
+  Loop->cancelTimer(Handle);
+  Src.cancel();
+  return true;
+}
+
+TimerHandle EventLoop::setTimer(Event Fn, uint64_t DelayNs, EventKind Kind) {
   // The HTML timer specification imposes a minimum delay; the paper (§4.4)
   // identifies this 4 ms clamp as what makes setTimeout-based resumption
   // unacceptably slow.
   uint64_t Effective = std::max(DelayNs, Prof.MinTimeoutClampNs);
-  return K.postAfter(Kind == EventKind::Input ? Lane::Input : Lane::Timer,
-                     std::move(Fn), Effective);
+  return postTimer(Kind == EventKind::Input ? Lane::Input : Lane::Timer,
+                   std::move(Fn), Effective);
+}
+
+TimerHandle EventLoop::postTimer(kernel::Lane L, Event Fn, uint64_t DelayNs) {
+  kernel::CancelSource Src;
+  auto Fired = std::make_shared<bool>(false);
+  uint64_t Handle = K.postAfter(
+      L,
+      [Fired, Fn = std::move(Fn)]() {
+        *Fired = true;
+        Fn();
+      },
+      DelayNs, Src.token());
+  return TimerHandle(this, Handle, std::move(Src), std::move(Fired));
+}
+
+uint64_t EventLoop::setTimeout(Event Fn, uint64_t DelayNs, EventKind Kind) {
+  // Integer shim kept for the JS-visible surface; the clamp lives in
+  // setTimer now. Dropping the TimerHandle does not cancel, so the raw id
+  // remains valid for clearTimeout.
+  return setTimer(std::move(Fn), DelayNs, Kind).id();
 }
 
 void EventLoop::clearTimeout(uint64_t Handle) { K.cancelTimer(Handle); }
@@ -65,20 +95,49 @@ void EventLoop::dispatch(kernel::Kernel::Work W) {
   uint64_t Start = Clock.nowNs();
   if (W.L == Lane::Input) {
     uint64_t Latency = Start > W.ReadyNs ? Start - W.ReadyNs : 0;
-    S.MaxInputLatencyNs = std::max(S.MaxInputLatencyNs, Latency);
+    MaxInputLatencyNsG->noteMax(static_cast<int64_t>(Latency));
   }
+  // Attribute the scheduler wait to the causal span *before* running the
+  // callback: the callback may be the one that closes the span, and a
+  // closed span no longer accepts queue delay.
+  if (W.Span)
+    Reg.spans().addQueueDelay(W.Span, Start > W.ReadyNs ? Start - W.ReadyNs
+                                                        : 0);
   CurrentEventStartNs = Start;
   ++EventDepth;
-  W.Fn();
+  {
+    // Restore the span that was current when the work was posted, so the
+    // causal id follows the operation across the async hop.
+    obs::SpanStore::Scope SpanScope(Reg.spans(), W.Span);
+    W.Fn();
+  }
   --EventDepth;
   uint64_t End = Clock.nowNs();
   uint64_t DurationNs = End - Start;
-  ++S.EventsRun;
-  S.TotalEventNs += DurationNs;
-  S.MaxEventNs = std::max(S.MaxEventNs, DurationNs);
+  EventsRunC->inc();
+  TotalEventNsC->inc(DurationNs);
+  MaxEventNsG->noteMax(static_cast<int64_t>(DurationNs));
   if (DurationNs > Prof.WatchdogLimitNs)
-    ++S.WatchdogKills;
+    WatchdogKillsC->inc();
   K.noteDispatched(W, Start, End);
+}
+
+EventLoop::Stats EventLoop::stats() const {
+  Stats S;
+  S.EventsRun = EventsRunC->value();
+  S.WatchdogKills = WatchdogKillsC->value();
+  S.MaxEventNs = static_cast<uint64_t>(MaxEventNsG->value());
+  S.TotalEventNs = TotalEventNsC->value();
+  S.MaxInputLatencyNs = static_cast<uint64_t>(MaxInputLatencyNsG->value());
+  return S;
+}
+
+void EventLoop::resetStats() {
+  EventsRunC->reset();
+  WatchdogKillsC->reset();
+  TotalEventNsC->reset();
+  MaxEventNsG->reset();
+  MaxInputLatencyNsG->reset();
 }
 
 uint64_t EventLoop::currentEventElapsedNs() const {

@@ -21,6 +21,19 @@
 /// (enqueueTask / setTimeout / scheduleAfter / trySetImmediate) maps onto
 /// lanes, and lane-aware callers can use post()/postAfter() directly.
 ///
+/// The loop also owns the tab's obs::Registry (the simulated tab is the
+/// paper's process): every subsystem above it — fs, doppiod, suspender,
+/// thread pool — allocates instruments there, and the loop restores each
+/// work item's causal span around its dispatch so span ids follow
+/// operations across async hops (see obs/span.h). The loop's own Stats
+/// struct is a registry-backed view (`loop.*` cells).
+///
+/// Timer ownership is typed: setTimer()/postTimer() return a TimerHandle
+/// that can cancel the pending fire even after promotion (handle cancel +
+/// CancelToken, the belt-and-braces doppiod's idle sweep pioneered). The
+/// integer setTimeout()/clearTimeout() surface survives as a thin shim for
+/// the JavaScript-visible API, which hands integer ids to scripts.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DOPPIO_BROWSER_EVENT_LOOP_H
@@ -29,9 +42,11 @@
 #include "browser/profile.h"
 #include "browser/virtual_clock.h"
 #include "doppio/kernel/kernel.h"
+#include "doppio/obs/registry.h"
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 
 namespace doppio {
 namespace browser {
@@ -40,13 +55,63 @@ namespace browser {
 /// interaction; their queueing delay is the "page responsiveness" metric.
 enum class EventKind { Task, Input };
 
+class EventLoop;
+
+/// Owning handle for a pending timer, returned by EventLoop::setTimer /
+/// postTimer. Move-only; destruction does NOT cancel (matching the old
+/// integer-handle semantics, where dropping the id let the timer fire).
+///
+/// cancel() beats the raw kernel handle in one way that matters: a timer
+/// that is already *due* has been promoted out of the heap into its lane,
+/// where cancelTimer() can no longer reach it — but the CancelToken every
+/// typed timer carries still stops it at dispatch. Callers that used to
+/// keep a (handle, CancelSource, armed-flag) triple keep one object.
+class TimerHandle {
+public:
+  TimerHandle() = default;
+  TimerHandle(TimerHandle &&) = default;
+  TimerHandle &operator=(TimerHandle &&) = default;
+  TimerHandle(const TimerHandle &) = delete;
+  TimerHandle &operator=(const TimerHandle &) = delete;
+
+  /// True if this handle was ever bound to a timer.
+  explicit operator bool() const { return Loop != nullptr; }
+
+  /// True while the timer is still going to fire: bound, not yet run, not
+  /// cancelled.
+  bool armed() const { return Loop && Fired && !*Fired && !Src.cancelled(); }
+
+  /// Cancels the pending fire (heap entry in O(1), or via the token if
+  /// already promoted). Returns true if a fire was actually prevented;
+  /// false for unbound, already-fired, or already-cancelled handles.
+  bool cancel();
+
+  /// The underlying kernel timer handle (0 when unbound) — interoperates
+  /// with the integer clearTimeout()/cancelTimer() surface.
+  uint64_t id() const { return Handle; }
+
+private:
+  friend class EventLoop;
+  TimerHandle(EventLoop *Loop, uint64_t Handle, kernel::CancelSource Src,
+              std::shared_ptr<bool> Fired)
+      : Loop(Loop), Handle(Handle), Src(std::move(Src)),
+        Fired(std::move(Fired)) {}
+
+  EventLoop *Loop = nullptr;
+  uint64_t Handle = 0;
+  kernel::CancelSource Src;
+  std::shared_ptr<bool> Fired;
+};
+
 /// The single-threaded, run-to-completion browser event loop: browser
 /// semantics over kernel scheduling.
 class EventLoop {
 public:
   using Event = std::function<void()>;
 
-  /// Aggregate statistics over all dispatched events.
+  /// Aggregate statistics over all dispatched events. A registry-backed
+  /// view since the obs subsystem landed: stats() assembles it from the
+  /// `loop.*` cells, field-for-field what the loop used to keep privately.
   struct Stats {
     uint64_t EventsRun = 0;
     /// Events whose charged virtual duration exceeded the watchdog limit.
@@ -59,20 +124,41 @@ public:
   };
 
   EventLoop(VirtualClock &Clock, const Profile &P)
-      : Clock(Clock), Prof(P), K(Clock) {}
+      : Clock(Clock), Prof(P), Reg(Clock), K(Clock, Reg),
+        EventsRunC(&Reg.counter("loop.events_run")),
+        WatchdogKillsC(&Reg.counter("loop.watchdog_kills")),
+        TotalEventNsC(&Reg.counter("loop.event_ns_total")),
+        MaxEventNsG(&Reg.gauge("loop.event_ns_max")),
+        MaxInputLatencyNsG(&Reg.gauge("loop.input_latency_ns_max")) {}
 
   /// Places \p Fn at the back of the ready queue (a macrotask). Input
   /// events go to the Input lane (dispatched ahead of everything else);
   /// plain tasks go to the Background lane.
   void enqueueTask(Event Fn, EventKind Kind = EventKind::Task);
 
+  /// Typed JavaScript timer: schedules \p Fn after \p DelayNs, subject to
+  /// the profile's minimum timeout clamp, and returns an owning
+  /// TimerHandle. Prefer this over setTimeout() in C++ callers.
+  TimerHandle setTimer(Event Fn, uint64_t DelayNs,
+                       EventKind Kind = EventKind::Task);
+
+  /// Typed lane-aware timer: \p Fn runs on lane \p L after exactly
+  /// \p DelayNs (no clamp), with an owning TimerHandle. Prefer this over
+  /// postAfter() when the caller may need to cancel.
+  TimerHandle postTimer(kernel::Lane L, Event Fn, uint64_t DelayNs);
+
   /// Schedules \p Fn after \p DelayNs, subject to the profile's minimum
   /// timeout clamp. Returns a handle usable with clearTimeout.
+  ///
+  /// Deprecated integer surface: kept because the JavaScript-visible API
+  /// hands integer ids to scripts (jcl's JS setTimeout). New C++ callers
+  /// should use setTimer(); this is now a thin shim over it.
   uint64_t setTimeout(Event Fn, uint64_t DelayNs,
                       EventKind Kind = EventKind::Task);
 
   /// Cancels a pending timeout. Cancelling an already-fired or unknown
-  /// handle is a no-op.
+  /// handle is a no-op. Deprecated with setTimeout (TimerHandle::cancel
+  /// supersedes it); kept for the JS-visible integer surface.
   void clearTimeout(uint64_t Handle);
 
   /// Schedules \p Fn exactly \p DelayNs from now with no minimum clamp.
@@ -118,8 +204,12 @@ public:
   /// script (§3.1).
   bool currentEventOverLimit() const;
 
-  const Stats &stats() const { return S; }
-  void resetStats() { S = Stats(); }
+  /// Snapshot of the loop statistics, assembled from the `loop.*` registry
+  /// cells. By-value; existing `const Stats &S = Loop.stats();` callers
+  /// keep working via temporary lifetime extension.
+  Stats stats() const;
+  /// Zeroes the loop's registry cells (other subsystems' cells survive).
+  void resetStats();
 
   const Profile &profile() const { return Prof; }
   VirtualClock &clock() { return Clock; }
@@ -128,18 +218,29 @@ public:
   kernel::Kernel &kernel() { return K; }
   const kernel::Kernel &kernel() const { return K; }
 
+  /// The tab-wide metrics registry + span store. Every subsystem on this
+  /// loop allocates its instruments here.
+  obs::Registry &metrics() { return Reg; }
+  const obs::Registry &metrics() const { return Reg; }
+
   /// True once any event has overrun the watchdog limit.
-  bool watchdogFired() const { return S.WatchdogKills > 0; }
+  bool watchdogFired() const { return WatchdogKillsC->value() > 0; }
 
 private:
   void dispatch(kernel::Kernel::Work W);
 
   VirtualClock &Clock;
   const Profile &Prof;
+  /// The registry outlives the kernel member, which holds cells in it.
+  obs::Registry Reg;
   kernel::Kernel K;
+  obs::Counter *EventsRunC;
+  obs::Counter *WatchdogKillsC;
+  obs::Counter *TotalEventNsC;
+  obs::Gauge *MaxEventNsG;
+  obs::Gauge *MaxInputLatencyNsG;
   int EventDepth = 0;
   uint64_t CurrentEventStartNs = 0;
-  Stats S;
 };
 
 } // namespace browser

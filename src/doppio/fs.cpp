@@ -2,13 +2,55 @@
 
 #include "doppio/fs.h"
 
+#include "browser/env.h"
+
 using namespace doppio;
 using namespace doppio::rt;
 using namespace doppio::rt::fs;
 
+void FileSystem::bindCells() {
+  // claimPrefix: a second FileSystem on the same tab (nothing in-tree
+  // builds one today) gets "fs2.*" cells instead of corrupting ours.
+  obs::Registry &Reg = Env.metrics();
+  std::string P = Reg.claimPrefix("fs");
+  OpsC = &Reg.counter(P + ".ops");
+  BytesReadC = &Reg.counter(P + ".bytes_read");
+  BytesWrittenC = &Reg.counter(P + ".bytes_written");
+  UniqueFilesC = &Reg.counter(P + ".unique_files");
+  OpNsH = &Reg.histogram(P + ".op_ns");
+}
+
+FileSystem::OpStats FileSystem::stats() const {
+  OpStats S;
+  S.Operations = OpsC->value();
+  S.BytesRead = BytesReadC->value();
+  S.BytesWritten = BytesWrittenC->value();
+  S.UniqueFilesTouched = UniqueFilesC->value();
+  return S;
+}
+
+void FileSystem::resetStats() {
+  OpsC->reset();
+  BytesReadC->reset();
+  BytesWrittenC->reset();
+  UniqueFilesC->reset();
+  OpNsH->reset();
+  Touched.clear();
+}
+
+obs::SpanId FileSystem::beginOp(const char *Name) {
+  return Env.metrics().spans().begin(Name);
+}
+
+void FileSystem::endOp(obs::SpanId Op, uint64_t StartNs) {
+  Env.metrics().spans().end(Op);
+  uint64_t NowNs = Env.clock().nowNs();
+  OpNsH->record(NowNs > StartNs ? NowNs - StartNs : 0);
+}
+
 void FileSystem::open(const std::string &P, const std::string &Mode,
                       ResultCb<FdPtr> Done) {
-  ++S.Operations;
+  OpsC->inc();
   std::optional<OpenFlags> Flags = OpenFlags::parse(Mode);
   if (!Flags) {
     Done(ApiError(Errno::Invalid, "bad open mode '" + Mode + "'"));
@@ -16,45 +58,109 @@ void FileSystem::open(const std::string &P, const std::string &Mode,
   }
   std::string Path = standardize(P);
   touch(Path);
-  Root->open(Path, *Flags, std::move(Done));
+  uint64_t StartNs = Env.clock().nowNs();
+  obs::SpanId Op = beginOp("fs.open");
+  // The op span is current while the backend starts work, so completion
+  // posts capture it and the causal chain survives the async hop.
+  obs::SpanStore::Scope Scope(Env.metrics().spans(), Op);
+  Root->open(Path, *Flags,
+             [this, Op, StartNs, Done = std::move(Done)](ErrorOr<FdPtr> R) {
+               endOp(Op, StartNs);
+               Done(std::move(R));
+             });
 }
 
 void FileSystem::stat(const std::string &P, ResultCb<Stats> Done) {
-  ++S.Operations;
-  Root->stat(standardize(P), std::move(Done));
+  OpsC->inc();
+  uint64_t StartNs = Env.clock().nowNs();
+  obs::SpanId Op = beginOp("fs.stat");
+  obs::SpanStore::Scope Scope(Env.metrics().spans(), Op);
+  Root->stat(standardize(P),
+             [this, Op, StartNs, Done = std::move(Done)](ErrorOr<Stats> R) {
+               endOp(Op, StartNs);
+               Done(std::move(R));
+             });
 }
 
 void FileSystem::rename(const std::string &From, const std::string &To,
                         CompletionCb Done) {
-  ++S.Operations;
-  Root->rename(standardize(From), standardize(To), std::move(Done));
+  OpsC->inc();
+  uint64_t StartNs = Env.clock().nowNs();
+  obs::SpanId Op = beginOp("fs.rename");
+  obs::SpanStore::Scope Scope(Env.metrics().spans(), Op);
+  Root->rename(standardize(From), standardize(To),
+               [this, Op, StartNs,
+                Done = std::move(Done)](std::optional<ApiError> Err) {
+                 endOp(Op, StartNs);
+                 Done(std::move(Err));
+               });
 }
 
 void FileSystem::unlink(const std::string &P, CompletionCb Done) {
-  ++S.Operations;
-  Root->unlink(standardize(P), std::move(Done));
+  OpsC->inc();
+  uint64_t StartNs = Env.clock().nowNs();
+  obs::SpanId Op = beginOp("fs.unlink");
+  obs::SpanStore::Scope Scope(Env.metrics().spans(), Op);
+  Root->unlink(standardize(P),
+               [this, Op, StartNs,
+                Done = std::move(Done)](std::optional<ApiError> Err) {
+                 endOp(Op, StartNs);
+                 Done(std::move(Err));
+               });
 }
 
 void FileSystem::mkdir(const std::string &P, CompletionCb Done) {
-  ++S.Operations;
-  Root->mkdir(standardize(P), std::move(Done));
+  OpsC->inc();
+  uint64_t StartNs = Env.clock().nowNs();
+  obs::SpanId Op = beginOp("fs.mkdir");
+  obs::SpanStore::Scope Scope(Env.metrics().spans(), Op);
+  Root->mkdir(standardize(P),
+              [this, Op, StartNs,
+               Done = std::move(Done)](std::optional<ApiError> Err) {
+                endOp(Op, StartNs);
+                Done(std::move(Err));
+              });
 }
 
 void FileSystem::rmdir(const std::string &P, CompletionCb Done) {
-  ++S.Operations;
-  Root->rmdir(standardize(P), std::move(Done));
+  OpsC->inc();
+  uint64_t StartNs = Env.clock().nowNs();
+  obs::SpanId Op = beginOp("fs.rmdir");
+  obs::SpanStore::Scope Scope(Env.metrics().spans(), Op);
+  Root->rmdir(standardize(P),
+              [this, Op, StartNs,
+               Done = std::move(Done)](std::optional<ApiError> Err) {
+                endOp(Op, StartNs);
+                Done(std::move(Err));
+              });
 }
 
 void FileSystem::readdir(const std::string &P,
                          ResultCb<std::vector<std::string>> Done) {
-  ++S.Operations;
-  Root->readdir(standardize(P), std::move(Done));
+  OpsC->inc();
+  uint64_t StartNs = Env.clock().nowNs();
+  obs::SpanId Op = beginOp("fs.readdir");
+  obs::SpanStore::Scope Scope(Env.metrics().spans(), Op);
+  Root->readdir(standardize(P),
+                [this, Op, StartNs, Done = std::move(Done)](
+                    ErrorOr<std::vector<std::string>> R) {
+                  endOp(Op, StartNs);
+                  Done(std::move(R));
+                });
 }
 
 void FileSystem::readFile(const std::string &P,
                           ResultCb<std::vector<uint8_t>> Done) {
+  uint64_t StartNs = Env.clock().nowNs();
+  obs::SpanId Op = beginOp("fs.readFile");
+  obs::SpanStore::Scope Scope(Env.metrics().spans(), Op);
+  auto Finish = [this, Op, StartNs,
+                 Done = std::move(Done)](ErrorOr<std::vector<uint8_t>> R) {
+    endOp(Op, StartNs);
+    Done(std::move(R));
+  };
   // Simulated over the core API: open -> stat -> read -> close.
-  open(P, "r", [this, Done = std::move(Done)](ErrorOr<FdPtr> R) {
+  open(P, "r", [this, Done = std::move(Finish)](ErrorOr<FdPtr> R) {
     if (!R) {
       Done(R.error());
       return;
@@ -73,7 +179,7 @@ void FileSystem::readFile(const std::string &P,
                    Done(RR.error());
                    return;
                  }
-                 S.BytesRead += *RR;
+                 BytesReadC->inc(*RR);
                  std::vector<uint8_t> Out(
                      Dst->bytes().begin(),
                      Dst->bytes().begin() + std::min(*RR, Size));
@@ -92,9 +198,17 @@ void FileSystem::readFile(const std::string &P,
 
 void FileSystem::writeFile(const std::string &P, std::vector<uint8_t> Data,
                            CompletionCb Done) {
+  uint64_t StartNs = Env.clock().nowNs();
+  obs::SpanId Op = beginOp("fs.writeFile");
+  obs::SpanStore::Scope Scope(Env.metrics().spans(), Op);
+  auto Finish = [this, Op, StartNs,
+                 Done = std::move(Done)](std::optional<ApiError> Err) {
+    endOp(Op, StartNs);
+    Done(std::move(Err));
+  };
   open(P, "w",
        [this, Data = std::move(Data),
-        Done = std::move(Done)](ErrorOr<FdPtr> R) mutable {
+        Done = std::move(Finish)](ErrorOr<FdPtr> R) mutable {
          if (!R) {
            Done(R.error());
            return;
@@ -108,7 +222,7 @@ void FileSystem::writeFile(const std::string &P, std::vector<uint8_t> Data,
                        Done(WR.error());
                        return;
                      }
-                     S.BytesWritten += *WR;
+                     BytesWrittenC->inc(*WR);
                      Fd->close(Done);
                    });
        });
@@ -116,9 +230,17 @@ void FileSystem::writeFile(const std::string &P, std::vector<uint8_t> Data,
 
 void FileSystem::appendFile(const std::string &P, std::vector<uint8_t> Data,
                             CompletionCb Done) {
+  uint64_t StartNs = Env.clock().nowNs();
+  obs::SpanId Op = beginOp("fs.appendFile");
+  obs::SpanStore::Scope Scope(Env.metrics().spans(), Op);
+  auto Finish = [this, Op, StartNs,
+                 Done = std::move(Done)](std::optional<ApiError> Err) {
+    endOp(Op, StartNs);
+    Done(std::move(Err));
+  };
   open(P, "a",
        [this, Data = std::move(Data),
-        Done = std::move(Done)](ErrorOr<FdPtr> R) mutable {
+        Done = std::move(Finish)](ErrorOr<FdPtr> R) mutable {
          if (!R) {
            Done(R.error());
            return;
@@ -132,14 +254,15 @@ void FileSystem::appendFile(const std::string &P, std::vector<uint8_t> Data,
                        Done(WR.error());
                        return;
                      }
-                     S.BytesWritten += *WR;
+                     BytesWrittenC->inc(*WR);
                      Fd->close(Done);
                    });
        });
 }
 
-void FileSystem::exists(const std::string &P,
-                        std::function<void(bool)> Done) {
+void FileSystem::exists(const std::string &P, ResultCb<bool> Done) {
+  // Always a success value: a failed stat means "does not exist", it is
+  // not an error (Node fs.exists semantics).
   stat(P, [Done = std::move(Done)](ErrorOr<Stats> R) { Done(R.ok()); });
 }
 

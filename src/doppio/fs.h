@@ -25,6 +25,7 @@
 #define DOPPIO_DOPPIO_FS_H
 
 #include "doppio/fs_backend.h"
+#include "doppio/obs/registry.h"
 #include "doppio/process.h"
 
 #include <memory>
@@ -39,7 +40,9 @@ class FileSystem {
 public:
   FileSystem(browser::BrowserEnv &Env, Process &Proc,
              std::unique_ptr<FileSystemBackend> Root)
-      : Env(Env), Proc(Proc), Root(std::move(Root)) {}
+      : Env(Env), Proc(Proc), Root(std::move(Root)) {
+    bindCells();
+  }
 
   FileSystemBackend &root() { return *Root; }
   browser::BrowserEnv &env() { return Env; }
@@ -62,7 +65,11 @@ public:
                  CompletionCb Done);
   void appendFile(const std::string &P, std::vector<uint8_t> Data,
                   CompletionCb Done);
-  void exists(const std::string &P, std::function<void(bool)> Done);
+  /// Existence probe. Uses the standard ResultCb shape like every other
+  /// fs completion (it used to be a bare std::function<void(bool)>); the
+  /// result is always a success value — Node's fs.exists never errors,
+  /// a failed stat just means false.
+  void exists(const std::string &P, ResultCb<bool> Done);
   /// Recursive mkdir -p.
   void mkdirp(const std::string &P, CompletionCb Done);
   /// Copy within or across backends (used for EXDEV rename fallback).
@@ -72,15 +79,20 @@ public:
   void move(const std::string &From, const std::string &To,
             CompletionCb Done);
 
-  /// Statistics used by the Figure 6 harness.
+  /// Statistics used by the Figure 6 harness. A registry-backed view
+  /// since the obs subsystem landed: stats() assembles it from this
+  /// instance's `fs.*` cells, field-for-field what the frontend used to
+  /// keep privately.
   struct OpStats {
     uint64_t Operations = 0;
     uint64_t BytesRead = 0;
     uint64_t BytesWritten = 0;
     uint64_t UniqueFilesTouched = 0;
   };
-  const OpStats &stats() const { return S; }
-  void resetStats() { S = OpStats(); Touched.clear(); }
+  /// By-value snapshot; `const OpStats &S = Fs.stats();` callers keep
+  /// working via temporary lifetime extension.
+  OpStats stats() const;
+  void resetStats();
 
 private:
   std::string standardize(const std::string &P) const {
@@ -88,13 +100,25 @@ private:
   }
   void touch(const std::string &P) {
     if (Touched.insert(P).second)
-      ++S.UniqueFilesTouched;
+      UniqueFilesC->inc();
   }
+
+  /// Resolves this instance's registry cells under a claimed "fs" prefix.
+  void bindCells();
+  /// Mints an `fs.<op>` span, parented under whatever operation is
+  /// current (a doppiod request, a suspended guest call).
+  obs::SpanId beginOp(const char *Name);
+  /// Closes an op span and records its latency in the fs.op_ns histogram.
+  void endOp(obs::SpanId Op, uint64_t StartNs);
 
   browser::BrowserEnv &Env;
   Process &Proc;
   std::unique_ptr<FileSystemBackend> Root;
-  OpStats S;
+  obs::Counter *OpsC = nullptr;
+  obs::Counter *BytesReadC = nullptr;
+  obs::Counter *BytesWrittenC = nullptr;
+  obs::Counter *UniqueFilesC = nullptr;
+  obs::Histogram *OpNsH = nullptr;
   std::set<std::string> Touched;
 };
 

@@ -24,6 +24,60 @@ const char *doppio::kernel::laneName(Lane L) {
   return "?";
 }
 
+Kernel::Kernel(browser::VirtualClock &Clock, size_t TraceCapacity)
+    : Clock(Clock), OwnedReg(std::make_unique<obs::Registry>(Clock)),
+      Reg(*OwnedReg), Trace(TraceCapacity) {
+  bindCells();
+}
+
+Kernel::Kernel(browser::VirtualClock &Clock, obs::Registry &Reg,
+               size_t TraceCapacity)
+    : Clock(Clock), Reg(Reg), Trace(TraceCapacity) {
+  bindCells();
+}
+
+void Kernel::bindCells() {
+  // claimPrefix so a second kernel on a shared registry (not a
+  // configuration the tree builds today, but claimPrefix makes it safe)
+  // gets "kernel2.*" cells instead of corrupting the first one's.
+  std::string P = Reg.claimPrefix("kernel");
+  for (size_t I = 0; I < NumLanes; ++I) {
+    std::string Base = P + ".lane." + laneName(static_cast<Lane>(I)) + ".";
+    LaneCells &LC = Cells[I];
+    LC.Posted = &Reg.counter(Base + "posted");
+    LC.Dispatched = &Reg.counter(Base + "dispatched");
+    LC.CancelledSkipped = &Reg.counter(Base + "cancelled_skipped");
+    LC.QueueDelayNsTotal = &Reg.counter(Base + "queue_delay_ns_total");
+    LC.RunNsTotal = &Reg.counter(Base + "run_ns_total");
+    LC.QueueDelayNsMax = &Reg.gauge(Base + "queue_delay_ns_max");
+    LC.RunNsMax = &Reg.gauge(Base + "run_ns_max");
+  }
+  TimersScheduledC = &Reg.counter(P + ".timer.scheduled");
+  TimersCancelledC = &Reg.counter(P + ".timer.cancelled");
+  TimersReapedC = &Reg.counter(P + ".timer.reaped");
+  HeapCompactionsC = &Reg.counter(P + ".timer.heap_compactions");
+}
+
+Counters Kernel::counters() const {
+  Counters Out;
+  for (size_t I = 0; I < NumLanes; ++I) {
+    const LaneCells &LC = Cells[I];
+    LaneCounters &O = Out.Lanes[I];
+    O.Posted = LC.Posted->value();
+    O.Dispatched = LC.Dispatched->value();
+    O.CancelledSkipped = LC.CancelledSkipped->value();
+    O.TotalQueueDelayNs = LC.QueueDelayNsTotal->value();
+    O.MaxQueueDelayNs = static_cast<uint64_t>(LC.QueueDelayNsMax->value());
+    O.TotalRunNs = LC.RunNsTotal->value();
+    O.MaxRunNs = static_cast<uint64_t>(LC.RunNsMax->value());
+  }
+  Out.TimersScheduled = TimersScheduledC->value();
+  Out.TimersCancelled = TimersCancelledC->value();
+  Out.TimersReaped = TimersReapedC->value();
+  Out.HeapCompactions = HeapCompactionsC->value();
+  return Out;
+}
+
 std::vector<TraceEntry> TraceRing::snapshot() const {
   std::vector<TraceEntry> Out;
   size_t N = size();
@@ -38,9 +92,9 @@ uint64_t Kernel::post(Lane L, WorkFn Fn, CancelToken Cancel) {
   assert(Fn && "posting empty work");
   size_t Idx = static_cast<size_t>(L);
   uint64_t Id = NextWorkId++;
-  Lanes[Idx].push_back(
-      {std::move(Fn), Id, Clock.nowNs(), std::move(Cancel)});
-  ++C.Lanes[Idx].Posted;
+  Lanes[Idx].push_back({std::move(Fn), Id, Clock.nowNs(), std::move(Cancel),
+                        Reg.spans().current()});
+  Cells[Idx].Posted->inc();
   return Id;
 }
 
@@ -54,11 +108,12 @@ uint64_t Kernel::postAfter(Lane L, WorkFn Fn, uint64_t DelayNs,
   Rec->L = L;
   Rec->Fn = std::move(Fn);
   Rec->Cancel = std::move(Cancel);
+  Rec->Span = Reg.spans().current();
   uint64_t Handle = Rec->Handle;
   LiveTimers.emplace(Handle, Rec.get());
   heapPush(std::move(Rec));
-  ++C.TimersScheduled;
-  ++C.Lanes[static_cast<size_t>(L)].Posted;
+  TimersScheduledC->inc();
+  Cells[static_cast<size_t>(L)].Posted->inc();
   return Handle;
 }
 
@@ -70,7 +125,7 @@ bool Kernel::cancelTimer(uint64_t Handle) {
   It->second->Fn = nullptr; // Drop captured state eagerly.
   LiveTimers.erase(It);
   ++CancelledInHeap;
-  ++C.TimersCancelled;
+  TimersCancelledC->inc();
   compactIfNeeded();
   return true;
 }
@@ -100,7 +155,7 @@ void Kernel::dropCancelledTop() {
   while (!Heap.empty() && Heap.front()->Cancelled) {
     heapPop();
     --CancelledInHeap;
-    ++C.TimersReaped;
+    TimersReapedC->inc();
   }
 }
 
@@ -115,9 +170,9 @@ void Kernel::promoteDue() {
     // A promoted timer's ReadyNs is its due time, not the promotion
     // moment: queue-delay accounting should charge the wait behind other
     // work, and input-latency tracking in the facade depends on it.
-    Lanes[static_cast<size_t>(Rec->L)].push_back({std::move(Rec->Fn),
-                                                  NextWorkId++, Rec->DueNs,
-                                                  std::move(Rec->Cancel)});
+    Lanes[static_cast<size_t>(Rec->L)].push_back(
+        {std::move(Rec->Fn), NextWorkId++, Rec->DueNs, std::move(Rec->Cancel),
+         Rec->Span});
   }
 }
 
@@ -127,8 +182,8 @@ void Kernel::compactIfNeeded() {
   // heap without bound. Rebuild once cancelled entries dominate.
   if (Heap.size() < 64 || CancelledInHeap * 2 <= Heap.size())
     return;
-  C.TimersReaped += CancelledInHeap;
-  ++C.HeapCompactions;
+  TimersReapedC->inc(CancelledInHeap);
+  HeapCompactionsC->inc();
   std::erase_if(Heap, [](const std::unique_ptr<TimerRec> &Rec) {
     return Rec->Cancelled;
   });
@@ -148,11 +203,11 @@ std::optional<Kernel::Work> Kernel::next() {
       Q.pop_front();
       Popped = true;
       if (Item.Cancel.cancelled()) {
-        ++C.Lanes[Idx].CancelledSkipped;
+        Cells[Idx].CancelledSkipped->inc();
         break; // Re-promote and re-scan from the top lane.
       }
       return Work{std::move(Item.Fn), static_cast<Lane>(Idx), Item.Id,
-                  Item.ReadyNs};
+                  Item.ReadyNs, Item.Span};
     }
     if (Popped)
       continue;
@@ -170,12 +225,12 @@ void Kernel::noteDispatched(const Work &W, uint64_t StartNs,
   assert(EndNs >= StartNs);
   uint64_t QueueDelayNs = StartNs > W.ReadyNs ? StartNs - W.ReadyNs : 0;
   uint64_t RunNs = EndNs - StartNs;
-  LaneCounters &LC = C.Lanes[static_cast<size_t>(W.L)];
-  ++LC.Dispatched;
-  LC.TotalQueueDelayNs += QueueDelayNs;
-  LC.MaxQueueDelayNs = std::max(LC.MaxQueueDelayNs, QueueDelayNs);
-  LC.TotalRunNs += RunNs;
-  LC.MaxRunNs = std::max(LC.MaxRunNs, RunNs);
+  const LaneCells &LC = Cells[static_cast<size_t>(W.L)];
+  LC.Dispatched->inc();
+  LC.QueueDelayNsTotal->inc(QueueDelayNs);
+  LC.QueueDelayNsMax->noteMax(static_cast<int64_t>(QueueDelayNs));
+  LC.RunNsTotal->inc(RunNs);
+  LC.RunNsMax->noteMax(static_cast<int64_t>(RunNs));
   Trace.push({W.Id, W.L, W.ReadyNs, StartNs, QueueDelayNs, RunNs});
 }
 

@@ -51,6 +51,7 @@
 #define DOPPIO_DOPPIO_KERNEL_KERNEL_H
 
 #include "browser/virtual_clock.h"
+#include "doppio/obs/registry.h"
 
 #include <cstddef>
 #include <cstdint>
@@ -184,7 +185,10 @@ struct LaneCounters {
   uint64_t MaxRunNs = 0;
 };
 
-/// Exported kernel counters (per lane + timer machinery).
+/// Exported kernel counters (per lane + timer machinery). Since the obs
+/// registry landed this is a *view*: counters() assembles it on demand
+/// from registry cells (`kernel.lane.<lane>.*`, `kernel.timer.*`), shape
+/// and values identical to when the kernel kept a private struct.
 struct Counters {
   LaneCounters Lanes[NumLanes];
   uint64_t TimersScheduled = 0;
@@ -212,9 +216,15 @@ public:
 
   static constexpr size_t DefaultTraceCapacity = 4096;
 
+  /// Standalone kernel: owns a private metrics registry (tests, tools).
   explicit Kernel(browser::VirtualClock &Clock,
-                  size_t TraceCapacity = DefaultTraceCapacity)
-      : Clock(Clock), Trace(TraceCapacity) {}
+                  size_t TraceCapacity = DefaultTraceCapacity);
+
+  /// Kernel over a shared registry (the event loop's): lane and timer
+  /// counters become cells in \p Reg, and posted work captures the
+  /// registry's current span so causal ids ride every async hop.
+  Kernel(browser::VirtualClock &Clock, obs::Registry &Reg,
+         size_t TraceCapacity = DefaultTraceCapacity);
 
   Kernel(const Kernel &) = delete;
   Kernel &operator=(const Kernel &) = delete;
@@ -239,6 +249,10 @@ public:
     uint64_t Id = 0;
     /// When the item became eligible (for queue-delay accounting).
     uint64_t ReadyNs = 0;
+    /// The span current when the item was posted (0 for none). The host
+    /// loop restores it around the dispatch so the causal id follows the
+    /// operation across the hop.
+    obs::SpanId Span = 0;
   };
 
   /// Promotes due timers, then pops the highest-priority ready item,
@@ -262,8 +276,16 @@ public:
   /// cancelled items).
   size_t queuedWork() const;
 
-  const Counters &counters() const { return C; }
+  /// Snapshot of the kernel counters, assembled from registry cells.
+  /// Shape-compatible with the former by-reference accessor: callers that
+  /// bound `const Counters &C = K.counters();` keep working via temporary
+  /// lifetime extension.
+  Counters counters() const;
   const TraceRing &trace() const { return Trace; }
+
+  /// The metrics registry this kernel reports into (owned or shared).
+  obs::Registry &metrics() { return Reg; }
+  const obs::Registry &metrics() const { return Reg; }
 
 private:
   struct ReadyItem {
@@ -271,6 +293,7 @@ private:
     uint64_t Id = 0;
     uint64_t ReadyNs = 0;
     CancelToken Cancel;
+    obs::SpanId Span = 0;
   };
 
   struct TimerRec {
@@ -281,7 +304,24 @@ private:
     WorkFn Fn;
     CancelToken Cancel;
     bool Cancelled = false;
+    obs::SpanId Span = 0;
   };
+
+  /// Per-lane registry cells, resolved once at construction so the hot
+  /// path stays a pointer increment.
+  struct LaneCells {
+    obs::Counter *Posted = nullptr;
+    obs::Counter *Dispatched = nullptr;
+    obs::Counter *CancelledSkipped = nullptr;
+    obs::Counter *QueueDelayNsTotal = nullptr;
+    obs::Counter *RunNsTotal = nullptr;
+    obs::Gauge *QueueDelayNsMax = nullptr;
+    obs::Gauge *RunNsMax = nullptr;
+  };
+
+  /// Resolves every lane/timer cell in the registry under a claimed
+  /// "kernel" prefix.
+  void bindCells();
 
   size_t HeapSize() const { return Heap.size(); }
   /// Min-heap ordering: earliest (DueNs, Seq) at the top.
@@ -299,6 +339,9 @@ private:
   void compactIfNeeded();
 
   browser::VirtualClock &Clock;
+  /// Set only by the standalone constructor; Reg aliases it then.
+  std::unique_ptr<obs::Registry> OwnedReg;
+  obs::Registry &Reg;
   std::deque<ReadyItem> Lanes[NumLanes];
   std::vector<std::unique_ptr<TimerRec>> Heap;
   std::unordered_map<uint64_t, TimerRec *> LiveTimers;
@@ -306,7 +349,11 @@ private:
   uint64_t NextSeq = 0;
   uint64_t NextHandle = 1;
   uint64_t NextWorkId = 1;
-  Counters C;
+  LaneCells Cells[NumLanes];
+  obs::Counter *TimersScheduledC = nullptr;
+  obs::Counter *TimersCancelledC = nullptr;
+  obs::Counter *TimersReapedC = nullptr;
+  obs::Counter *HeapCompactionsC = nullptr;
   TraceRing Trace;
 };
 

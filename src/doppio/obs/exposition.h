@@ -1,0 +1,48 @@
+//===- doppio/obs/exposition.h - Registry export formats ---------*- C++ -*-==//
+//
+// Part of the Doppio reproduction. See README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one export path for every metric in the system: render a Registry
+/// as Prometheus-style text (counters/gauges as samples, histograms as
+/// cumulative `_bucket`/`_sum`/`_count` series) or as a JSON document
+/// that additionally carries the span store — totals plus the recent
+/// finished spans with parent links, so a scrape shows end-to-end request
+/// attribution, not just aggregates. doppiod serves both through its
+/// `metrics` handler; `doppio_top` renders the same data as tables.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DOPPIO_DOPPIO_OBS_EXPOSITION_H
+#define DOPPIO_DOPPIO_OBS_EXPOSITION_H
+
+#include "doppio/obs/registry.h"
+
+#include <string>
+
+namespace doppio {
+namespace obs {
+
+/// Prometheus text exposition. Instrument names are mangled to the
+/// Prometheus alphabet (dots become underscores) and prefixed `doppio_`;
+/// histograms emit cumulative buckets with `le` labels. Span totals ride
+/// along as `doppio_spans_started` / `doppio_spans_finished`.
+std::string renderPrometheus(const Registry &R);
+
+/// JSON exposition: {"counters": {...}, "gauges": {...},
+/// "histograms": {name: {count, sum_ns, max_ns, p50_ns, p95_ns, p99_ns}},
+/// "spans": {"started", "finished", "open", "recent": [...]}}.
+/// Recent spans carry id/parent/name/start_ns/end_ns/queue_delay_ns.
+std::string renderJson(const Registry &R);
+
+/// `doppio_top`-style plain-text tables (also handy in tests and
+/// examples): counters and gauges sorted by name, histogram percentiles,
+/// and the most recent spans with parent attribution.
+std::string renderTop(const Registry &R, size_t MaxSpans = 16);
+
+} // namespace obs
+} // namespace doppio
+
+#endif // DOPPIO_DOPPIO_OBS_EXPOSITION_H

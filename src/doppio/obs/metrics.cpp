@@ -1,0 +1,66 @@
+//===- doppio/obs/metrics.cpp ---------------------------------------------==//
+
+#include "doppio/obs/metrics.h"
+
+#include <cstdint>
+
+using namespace doppio;
+using namespace doppio::obs;
+
+uint64_t obs::percentileNs(const std::vector<uint64_t> &Samples, double Pct) {
+  if (Samples.empty())
+    return 0;
+  std::vector<uint64_t> Sorted = Samples;
+  size_t Rank = static_cast<size_t>(
+      (Pct / 100.0) * static_cast<double>(Sorted.size() - 1) + 0.5);
+  if (Rank >= Sorted.size())
+    Rank = Sorted.size() - 1;
+  std::nth_element(Sorted.begin(), Sorted.begin() + Rank, Sorted.end());
+  return Sorted[Rank];
+}
+
+uint64_t Histogram::bucketBoundNs(size_t I) {
+  if (I + 1 >= NumBuckets)
+    return UINT64_MAX;
+  return 1000ull << I; // 1us, 2us, 4us, ... ~34s.
+}
+
+void Histogram::record(uint64_t ValueNs) {
+  ++Count;
+  SumNs += ValueNs;
+  MaxNs = std::max(MaxNs, ValueNs);
+  size_t B = 0;
+  while (B + 1 < NumBuckets && ValueNs > bucketBoundNs(B))
+    ++B;
+  ++Buckets[B];
+  if (Opt.KeepSamples)
+    Samples.push_back(ValueNs);
+}
+
+uint64_t Histogram::percentile(double Pct) const {
+  if (Opt.KeepSamples)
+    return percentileNs(Samples, Pct);
+  if (Count == 0)
+    return 0;
+  // Bucket approximation: the upper bound of the bucket containing the
+  // nearest-rank sample.
+  uint64_t Rank = static_cast<uint64_t>(
+      (Pct / 100.0) * static_cast<double>(Count - 1) + 0.5);
+  if (Rank >= Count)
+    Rank = Count - 1;
+  uint64_t Seen = 0;
+  for (size_t B = 0; B < NumBuckets; ++B) {
+    Seen += Buckets[B];
+    if (Seen > Rank)
+      return std::min(bucketBoundNs(B), MaxNs);
+  }
+  return MaxNs;
+}
+
+void Histogram::reset() {
+  Count = 0;
+  SumNs = 0;
+  MaxNs = 0;
+  Buckets.fill(0);
+  Samples.clear();
+}

@@ -1,0 +1,52 @@
+//===- doppio/obs/span.cpp ------------------------------------------------==//
+
+#include "doppio/obs/span.h"
+
+using namespace doppio;
+using namespace doppio::obs;
+
+SpanId SpanStore::beginChildOf(std::string Name, SpanId Parent) {
+  SpanId Id = NextId++;
+  Span S;
+  S.Id = Id;
+  S.Parent = Parent;
+  S.Name = std::move(Name);
+  S.StartNs = Clock.nowNs();
+  Open.emplace(Id, std::move(S));
+  ++Started;
+  return Id;
+}
+
+void SpanStore::end(SpanId Id) {
+  auto It = Open.find(Id);
+  if (It == Open.end())
+    return;
+  Span S = std::move(It->second);
+  Open.erase(It);
+  S.EndNs = Clock.nowNs();
+  ++Ended;
+  Finished.push_back(std::move(S));
+  while (Finished.size() > Retain)
+    Finished.pop_front();
+}
+
+void SpanStore::addQueueDelay(SpanId Id, uint64_t Ns) {
+  if (Id == 0 || Ns == 0)
+    return;
+  auto It = Open.find(Id);
+  if (It != Open.end())
+    It->second.QueueDelayNs += Ns;
+}
+
+const Span *SpanStore::findOpen(SpanId Id) const {
+  auto It = Open.find(Id);
+  return It == Open.end() ? nullptr : &It->second;
+}
+
+void SpanStore::reset() {
+  Open.clear();
+  Finished.clear();
+  Started = 0;
+  Ended = 0;
+  Current = 0;
+}

@@ -3,6 +3,7 @@
 #include "doppio/server/handlers.h"
 
 #include "doppio/fs.h"
+#include "doppio/obs/exposition.h"
 
 #include <cstdio>
 
@@ -59,8 +60,27 @@ Router::Handler server::makeFileHandler(fs::FileSystem &Fs) {
   };
 }
 
-void server::installDefaultHandlers(Router &R, fs::FileSystem &Fs) {
+Router::Handler server::makeMetricsHandler(const obs::Registry &Reg) {
+  return [&Reg](const frame::Request &R, Router::RespondFn Respond) {
+    std::string Format(R.Body.begin(), R.Body.end());
+    if (Format.empty() || Format == "prom") {
+      Respond(frame::Status::Ok, bytesOf(obs::renderPrometheus(Reg)));
+      return;
+    }
+    if (Format == "json") {
+      Respond(frame::Status::Ok, bytesOf(obs::renderJson(Reg)));
+      return;
+    }
+    Respond(frame::Status::BadRequest,
+            bytesOf("metrics: unknown format '" + Format + "'"));
+  };
+}
+
+void server::installDefaultHandlers(Router &R, fs::FileSystem &Fs,
+                                    const obs::Registry *Reg) {
   R.handle("echo", makeEchoHandler());
   R.handle("stat", makeStatHandler(Fs));
   R.handle("file", makeFileHandler(Fs));
+  if (Reg)
+    R.handle("metrics", makeMetricsHandler(*Reg));
 }

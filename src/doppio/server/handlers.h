@@ -13,6 +13,11 @@
 ///  - "file": body is a path; responds with the file's bytes out of the
 ///    Doppio FS — the server serving real content through the paper's §5.1
 ///    file system, which is what the fig7 load benchmark measures.
+///  - "metrics": serves the tab's obs registry over the frame codec. An
+///    empty body (or "prom") responds with the Prometheus text
+///    exposition; "json" responds with the JSON document that also
+///    carries recent spans — a client can scrape end-to-end request
+///    attribution from the server it is load-testing.
 ///
 /// FS-backed handlers respond asynchronously (the FS API is async-only,
 /// §3.2); errors map to Status::Error with the errno-style message as the
@@ -26,6 +31,10 @@
 #include "doppio/server/router.h"
 
 namespace doppio {
+namespace obs {
+class Registry;
+} // namespace obs
+
 namespace rt {
 namespace fs {
 class FileSystem;
@@ -36,9 +45,14 @@ namespace server {
 Router::Handler makeEchoHandler();
 Router::Handler makeStatHandler(fs::FileSystem &Fs);
 Router::Handler makeFileHandler(fs::FileSystem &Fs);
+/// Serves \p Reg: Prometheus text for an empty/"prom" body, the JSON
+/// document (with spans) for "json"; any other body is a BadRequest.
+Router::Handler makeMetricsHandler(const obs::Registry &Reg);
 
-/// Registers echo, stat, and file under their stock names.
-void installDefaultHandlers(Router &R, fs::FileSystem &Fs);
+/// Registers echo, stat, and file under their stock names; when \p Reg is
+/// non-null, also registers metrics.
+void installDefaultHandlers(Router &R, fs::FileSystem &Fs,
+                            const obs::Registry *Reg = nullptr);
 
 } // namespace server
 } // namespace rt

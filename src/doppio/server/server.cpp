@@ -14,6 +14,28 @@ static std::vector<uint8_t> bytesOf(const char *S) {
   return std::vector<uint8_t>(S, S + std::strlen(S));
 }
 
+Server::Server(browser::BrowserEnv &Env, Config Cfg)
+    : Env(Env), Cfg(Cfg), Sock(Env.net()) {
+  bindCells();
+}
+
+void Server::bindCells() {
+  // claimPrefix: sequential or concurrent servers on one tab (the tests
+  // build both) get distinct cell sets, so each instance's stats() view
+  // stays exact.
+  obs::Registry &Reg = Env.metrics();
+  std::string P = Reg.claimPrefix("server");
+  AcceptedC = &Reg.counter(P + ".accepted");
+  RefusedC = &Reg.counter(P + ".refused");
+  ActiveG = &Reg.gauge(P + ".active");
+  IdleClosedC = &Reg.counter(P + ".idle_closed");
+  BytesInC = &Reg.counter(P + ".bytes_in");
+  BytesOutC = &Reg.counter(P + ".bytes_out");
+  RequestsServedC = &Reg.counter(P + ".requests_served");
+  RequestErrorsC = &Reg.counter(P + ".request_errors");
+  ServiceNsH = &Reg.histogram(P + ".service_ns");
+}
+
 Server::~Server() {
   // Detach callbacks so events still in the loop cannot reach a dead
   // server; connections close, the fabric reaps them.
@@ -57,8 +79,8 @@ void Server::onAccepted(TcpConnection &T) {
   C->Tcp = &T;
   C->LastActiveNs = nowNs();
   Conns.emplace(Id, std::move(C));
-  ++S.Accepted;
-  ++S.Active;
+  AcceptedC->inc();
+  ActiveG->add(1);
   T.setOnData([this, Id](const std::vector<uint8_t> &D) { onData(Id, D); });
   T.setOnClose([this, Id] { closeConn(Id, CloseReason::PeerClosed); });
   armIdleSweep();
@@ -70,7 +92,7 @@ void Server::onData(uint64_t Id, const std::vector<uint8_t> &Data) {
     if (It == Conns.end())
       return;
     Conn &C = *It->second;
-    S.BytesIn += Data.size();
+    BytesInC->inc(Data.size());
     C.LastActiveNs = nowNs();
     C.Decode.feed(Data);
   }
@@ -96,11 +118,19 @@ void Server::serveRequest(uint64_t Id, Conn &C,
   ++C.InFlight;
   uint64_t Seq = C.NextSeq++;
   uint64_t StartNs = nowNs();
-  auto Respond = [this, Id, Seq, StartNs](frame::Status St,
-                                          std::vector<uint8_t> Body) {
-    finishRequest(Id, Seq, StartNs, St, std::move(Body));
-  };
   auto Req = frame::decodeRequest(Payload);
+  // One span per request, named for the handler. The span is current
+  // while the handler starts work, so fs ops it issues (and every kernel
+  // hop they take) parent under it — end-to-end attribution of queue
+  // delay, fs time, and handler time.
+  obs::SpanStore &Spans = Env.metrics().spans();
+  obs::SpanId Span = Spans.begin(
+      Req ? "server.req." + Req->Handler : std::string("server.req"));
+  auto Respond = [this, Id, Seq, StartNs, Span](frame::Status St,
+                                                std::vector<uint8_t> Body) {
+    finishRequest(Id, Seq, StartNs, Span, St, std::move(Body));
+  };
+  obs::SpanStore::Scope Scope(Spans, Span);
   if (!Req) {
     Respond(frame::Status::BadRequest, bytesOf("malformed request"));
     return;
@@ -109,7 +139,9 @@ void Server::serveRequest(uint64_t Id, Conn &C,
 }
 
 void Server::finishRequest(uint64_t Id, uint64_t Seq, uint64_t StartNs,
-                           frame::Status St, std::vector<uint8_t> Body) {
+                           obs::SpanId Span, frame::Status St,
+                           std::vector<uint8_t> Body) {
+  Env.metrics().spans().end(Span);
   auto It = Conns.find(Id);
   if (It == Conns.end())
     return; // Connection died while the handler ran.
@@ -118,11 +150,11 @@ void Server::finishRequest(uint64_t Id, uint64_t Seq, uint64_t StartNs,
   --C.InFlight;
   uint64_t NowNs = nowNs();
   C.LastActiveNs = NowNs;
-  S.ServiceNs.push_back(NowNs - StartNs);
+  ServiceNsH->record(NowNs - StartNs);
   if (St == frame::Status::Ok)
-    ++S.RequestsServed;
+    RequestsServedC->inc();
   else
-    ++S.RequestErrors;
+    RequestErrorsC->inc();
   // Responses leave in request order; a response completing ahead of an
   // earlier in-flight one parks in Ready until its turn.
   C.Ready.emplace(Seq,
@@ -131,7 +163,7 @@ void Server::finishRequest(uint64_t Id, uint64_t Seq, uint64_t StartNs,
     auto RIt = C.Ready.find(C.NextToSend);
     if (RIt == C.Ready.end())
       break;
-    S.BytesOut += RIt->second.size();
+    BytesOutC->inc(RIt->second.size());
     C.Tcp->send(std::move(RIt->second));
     C.Ready.erase(RIt);
     ++C.NextToSend;
@@ -149,12 +181,12 @@ void Server::closeConn(uint64_t Id, CloseReason Why) {
   std::unique_ptr<Conn> C = std::move(It->second);
   Conns.erase(It);
   if (Why == CloseReason::Idle)
-    ++S.IdleClosed;
+    IdleClosedC->inc();
   C->Tcp->setOnData(nullptr);
   C->Tcp->setOnClose(nullptr);
   C->Tcp->close(); // No-op if the peer closed first.
-  assert(S.Active > 0);
-  --S.Active;
+  assert(ActiveG->value() > 0);
+  ActiveG->sub(1);
   if (Draining)
     maybeFinishShutdown();
   else
@@ -162,17 +194,11 @@ void Server::closeConn(uint64_t Id, CloseReason Why) {
 }
 
 void Server::armIdleSweep() {
-  if (Cfg.IdleTimeoutNs == 0 || SweepArmed || Draining || Conns.empty())
+  if (Cfg.IdleTimeoutNs == 0 || Sweep.armed() || Draining || Conns.empty())
     return;
-  SweepArmed = true;
   uint64_t Period = std::max<uint64_t>(1, Cfg.IdleTimeoutNs / 2);
-  SweepTimer = Env.loop().postAfter(
-      kernel::Lane::Timer,
-      [this] {
-        SweepArmed = false;
-        idleSweep();
-      },
-      Period, SweepCancel.token());
+  Sweep = Env.loop().postTimer(kernel::Lane::Timer, [this] { idleSweep(); },
+                               Period);
 }
 
 void Server::idleSweep() {
@@ -197,13 +223,10 @@ void Server::shutdown(std::function<void()> Done) {
   Running = false;
   Draining = true;
   OnDrained = std::move(Done);
-  // Kill the housekeeping timer: the handle removes it from the kernel's
-  // heap; the token covers a sweep already promoted but not yet run.
-  SweepCancel.cancel();
-  if (SweepArmed) {
-    Env.loop().cancelTimer(SweepTimer);
-    SweepArmed = false;
-  }
+  // Kill the housekeeping timer: TimerHandle::cancel removes the heap
+  // entry and fires the token, covering a sweep already promoted but not
+  // yet run.
+  Sweep.cancel();
   Sock.close(); // Release the port; queued connects are refused.
   std::vector<uint64_t> IdleIds;
   for (auto &[Id, C] : Conns)
@@ -226,7 +249,15 @@ void Server::maybeFinishShutdown() {
 }
 
 ServerStats Server::stats() const {
-  ServerStats Out = S;
-  Out.Refused += Sock.refused();
+  ServerStats Out;
+  Out.Accepted = AcceptedC->value();
+  Out.Refused = RefusedC->value() + Sock.refused();
+  Out.Active = static_cast<uint64_t>(ActiveG->value());
+  Out.IdleClosed = IdleClosedC->value();
+  Out.BytesIn = BytesInC->value();
+  Out.BytesOut = BytesOutC->value();
+  Out.RequestsServed = RequestsServedC->value();
+  Out.RequestErrors = RequestErrorsC->value();
+  Out.ServiceNs = ServiceNsH->samples();
   return Out;
 }

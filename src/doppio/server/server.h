@@ -60,8 +60,7 @@ public:
   };
 
   explicit Server(browser::BrowserEnv &Env) : Server(Env, Config()) {}
-  Server(browser::BrowserEnv &Env, Config Cfg)
-      : Env(Env), Cfg(Cfg), Sock(Env.net()) {}
+  Server(browser::BrowserEnv &Env, Config Cfg);
   ~Server();
 
   Server(const Server &) = delete;
@@ -81,7 +80,10 @@ public:
   /// idle). Run the event loop to completion for the drain to happen.
   void shutdown(std::function<void()> Done = nullptr);
 
-  /// Counter snapshot (merges the socket's refusal count).
+  /// Counter snapshot (merges the socket's refusal count). Assembled from
+  /// this server's `server.*` registry cells; the service-time samples
+  /// come back verbatim from the server.service_ns histogram, so p50/p99
+  /// stay bit-identical to the pre-registry implementation.
   ServerStats stats() const;
 
   const Config &config() const { return Cfg; }
@@ -106,12 +108,16 @@ private:
   enum class CloseReason { PeerClosed, Idle, Shutdown, ProtocolError };
 
   uint64_t nowNs() const;
+  /// Resolves this server's registry cells under a claimed "server"
+  /// prefix.
+  void bindCells();
   void acceptNext();
   void onAccepted(browser::TcpConnection &T);
   void onData(uint64_t Id, const std::vector<uint8_t> &Data);
   void serveRequest(uint64_t Id, Conn &C, std::vector<uint8_t> Payload);
   void finishRequest(uint64_t Id, uint64_t Seq, uint64_t StartNs,
-                     frame::Status St, std::vector<uint8_t> Body);
+                     obs::SpanId Span, frame::Status St,
+                     std::vector<uint8_t> Body);
   void closeConn(uint64_t Id, CloseReason Why);
   void armIdleSweep();
   void idleSweep();
@@ -121,18 +127,27 @@ private:
   Config Cfg;
   ServerSocket Sock;
   Router Routes;
-  ServerStats S;
+  obs::Counter *AcceptedC = nullptr;
+  obs::Counter *RefusedC = nullptr;
+  obs::Gauge *ActiveG = nullptr;
+  obs::Counter *IdleClosedC = nullptr;
+  obs::Counter *BytesInC = nullptr;
+  obs::Counter *BytesOutC = nullptr;
+  obs::Counter *RequestsServedC = nullptr;
+  obs::Counter *RequestErrorsC = nullptr;
+  /// Keeps exact samples: ServerStats::ServiceNs is served verbatim from
+  /// here, so fig7's percentiles cannot move.
+  obs::Histogram *ServiceNsH = nullptr;
   std::map<uint64_t, std::unique_ptr<Conn>> Conns;
   uint64_t NextConnId = 1;
   bool Running = false;
   bool AcceptArmed = false;
-  bool SweepArmed = false;
   bool Draining = false;
-  /// Pending idle-sweep timer: a kernel Timer-lane entry, cancelled (via
-  /// both the handle and the token) when shutdown begins so the drain
-  /// does not wait out a dead housekeeping timer.
-  uint64_t SweepTimer = 0;
-  kernel::CancelSource SweepCancel;
+  /// Pending idle-sweep timer. TimerHandle::cancel covers both the heap
+  /// entry and a sweep already promoted but not yet run (the
+  /// belt-and-braces this server used to hand-roll with a raw handle +
+  /// CancelSource + armed flag).
+  browser::TimerHandle Sweep;
   std::function<void()> OnDrained;
 };
 

@@ -10,10 +10,17 @@
 /// and per-request service-time samples on the virtual clock from which the
 /// fig7 harness reports p50/p99 tail latency.
 ///
+/// Since the obs subsystem landed this is a *view*: Server::stats()
+/// assembles it from the server's registry cells (`server.*`), and the
+/// percentile math lives in obs::percentileNs — the one copy the whole
+/// repo shares (the duplicate that used to live here is gone).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DOPPIO_DOPPIO_SERVER_STATS_H
 #define DOPPIO_DOPPIO_SERVER_STATS_H
+
+#include "doppio/obs/metrics.h"
 
 #include <cstdint>
 #include <vector>
@@ -21,10 +28,6 @@
 namespace doppio {
 namespace rt {
 namespace server {
-
-/// Nearest-rank percentile over \p SamplesNs (0 when empty). \p Pct in
-/// [0, 100]. Shared by ServerStats and the traffic generator's report.
-uint64_t percentileNs(const std::vector<uint64_t> &SamplesNs, double Pct);
 
 /// Aggregate statistics of one Server.
 struct ServerStats {
@@ -49,8 +52,8 @@ struct ServerStats {
   /// full request frame to response send).
   std::vector<uint64_t> ServiceNs;
 
-  uint64_t p50Ns() const { return percentileNs(ServiceNs, 50.0); }
-  uint64_t p99Ns() const { return percentileNs(ServiceNs, 99.0); }
+  uint64_t p50Ns() const { return obs::percentileNs(ServiceNs, 50.0); }
+  uint64_t p99Ns() const { return obs::percentileNs(ServiceNs, 99.0); }
 };
 
 } // namespace server

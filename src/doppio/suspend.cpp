@@ -34,13 +34,20 @@ Suspender::Suspender(browser::BrowserEnv &Env)
     : Env(Env), Mechanism(chooseResumeMechanism(Env.profile())),
       TimeSliceNs(browser::msToNs(10)) {
   SliceStartNs = Env.clock().nowNs();
+  obs::Registry &Reg = Env.metrics();
+  std::string P = Reg.claimPrefix("suspend");
+  SuspendedNsC = &Reg.counter(P + ".suspended_ns_total");
+  ResumptionsC = &Reg.counter(P + ".resumptions");
+  ResumeNsH = &Reg.histogram(P + ".resume_ns");
 }
 
 void Suspender::scheduleResumption(std::function<void()> Resume) {
   uint64_t SuspendedAt = Env.clock().nowNs();
   dispatchViaMechanism([this, SuspendedAt, Resume = std::move(Resume)] {
-    SuspendedNs += Env.clock().nowNs() - SuspendedAt;
-    ++Resumptions;
+    uint64_t WaitNs = Env.clock().nowNs() - SuspendedAt;
+    SuspendedNsC->inc(WaitNs);
+    ResumptionsC->inc();
+    ResumeNsH->record(WaitNs);
     beginSlice();
     Resume();
   });
@@ -85,12 +92,16 @@ void Suspender::dispatchViaMechanism(std::function<void()> Fn) {
         js::fromAscii("doppio-resume:" + std::to_string(Id)));
     return;
   }
-  case ResumeMechanism::SetTimeout:
+  case ResumeMechanism::SetTimeout: {
     // IE8 fallback: the resumption still targets the Resume lane but
-    // must eat the HTML timer clamp on the way (§4.4).
-    Env.loop().postAfter(kernel::Lane::Resume, std::move(Fn),
-                         Env.profile().MinTimeoutClampNs);
+    // must eat the HTML timer clamp on the way (§4.4). Typed timer API;
+    // a resumption is never cancelled, so the handle is dropped (dropping
+    // does not cancel).
+    browser::TimerHandle T = Env.loop().postTimer(
+        kernel::Lane::Resume, std::move(Fn), Env.profile().MinTimeoutClampNs);
+    (void)T;
     return;
+  }
   }
 }
 

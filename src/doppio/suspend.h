@@ -93,9 +93,9 @@ public:
   /// begins (after resumption).
   void beginSlice();
 
-  // Figure 5 accounting.
-  uint64_t totalSuspendedNs() const { return SuspendedNs; }
-  uint64_t resumptionCount() const { return Resumptions; }
+  // Figure 5 accounting (registry-backed: `suspend.*` cells).
+  uint64_t totalSuspendedNs() const { return SuspendedNsC->value(); }
+  uint64_t resumptionCount() const { return ResumptionsC->value(); }
   /// Average virtual nanoseconds between suspend checks (the CMA of §4.1).
   double avgCheckIntervalNs() const { return CmaCheckNs; }
   uint64_t currentCounterTarget() const { return CounterTarget; }
@@ -121,9 +121,12 @@ private:
   double CmaCheckNs = 0.0;
   uint64_t CmaSamples = 0;
 
-  // Accounting.
-  uint64_t SuspendedNs = 0;
-  uint64_t Resumptions = 0;
+  // Accounting cells (resolved once in the constructor).
+  obs::Counter *SuspendedNsC = nullptr;
+  obs::Counter *ResumptionsC = nullptr;
+  /// Per-resumption suspension latency — the Figure 5 distribution,
+  /// scrapeable through the metrics handler.
+  obs::Histogram *ResumeNsH = nullptr;
 };
 
 } // namespace rt

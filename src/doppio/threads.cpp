@@ -24,7 +24,7 @@ bool ThreadPool::unblock(ThreadId Id) {
     // The asynchronous operation completed synchronously (inline-callback
     // storage backends): the thread has not reported Blocked yet.
     if (E.UnblockPending) {
-      ++SpuriousUnblocks;
+      SpuriousUnblocksC->inc();
       return false;
     }
     E.UnblockPending = true;
@@ -38,7 +38,7 @@ bool ThreadPool::unblock(ThreadId Id) {
     // Duplicate or late completion — e.g. an I/O event finishing after
     // its thread was already woken or died. Kernel-scheduled completions
     // make this ordering legal, so tolerate and count it.
-    ++SpuriousUnblocks;
+    SpuriousUnblocksC->inc();
     return false;
   }
   return false;
@@ -90,11 +90,11 @@ void ThreadPool::driveSlice() {
       }
   }
   if (Next != LastRun && LastRun != ~0u)
-    ++ContextSwitches;
+    ContextSwitchesC->inc();
   LastRun = Next;
   Current = Next;
   Threads[Next].State = ThreadState::Running;
-  ++Slices;
+  SlicesC->inc();
   RunOutcome Outcome = Threads[Next].Guest->resume();
   Current = ~0u;
   switch (Outcome) {

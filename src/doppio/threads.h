@@ -72,7 +72,13 @@ public:
   using Scheduler = std::function<ThreadId(const std::vector<ThreadId> &)>;
 
   ThreadPool(browser::BrowserEnv &Env, Suspender &Susp)
-      : Env(Env), Susp(Susp) {}
+      : Env(Env), Susp(Susp) {
+    obs::Registry &Reg = Env.metrics();
+    std::string P = Reg.claimPrefix("threads");
+    ContextSwitchesC = &Reg.counter(P + ".context_switches");
+    SlicesC = &Reg.counter(P + ".slices");
+    SpuriousUnblocksC = &Reg.counter(P + ".spurious_unblocks");
+  }
 
   /// Adds a thread in the Ready state and ensures the pool is being
   /// driven. Returns its id.
@@ -100,12 +106,13 @@ public:
   bool hasLiveThreads() const;
 
   /// Number of times the pool resumed a different thread than last time.
-  uint64_t contextSwitches() const { return ContextSwitches; }
+  /// Registry-backed (`threads.*` cells), like every stats surface.
+  uint64_t contextSwitches() const { return ContextSwitchesC->value(); }
   /// Number of execution slices driven.
-  uint64_t slicesRun() const { return Slices; }
+  uint64_t slicesRun() const { return SlicesC->value(); }
   /// Unblocks that found no Blocked/Running thread to wake (duplicate or
   /// late completions).
-  uint64_t spuriousUnblocks() const { return SpuriousUnblocks; }
+  uint64_t spuriousUnblocks() const { return SpuriousUnblocksC->value(); }
 
   Suspender &suspender() { return Susp; }
   browser::BrowserEnv &env() { return Env; }
@@ -131,15 +138,18 @@ private:
   bool DrivePending = false;
   ThreadId Current = ~0u;
   ThreadId LastRun = ~0u;
-  uint64_t ContextSwitches = 0;
-  uint64_t Slices = 0;
-  uint64_t SpuriousUnblocks = 0;
+  obs::Counter *ContextSwitchesC = nullptr;
+  obs::Counter *SlicesC = nullptr;
+  obs::Counter *SpuriousUnblocksC = nullptr;
 };
 
 /// §4.2: synchronous source-language calls over asynchronous browser APIs.
 class AsyncBridge {
 public:
-  explicit AsyncBridge(ThreadPool &Pool) : Pool(Pool) {}
+  explicit AsyncBridge(ThreadPool &Pool)
+      : Pool(Pool), CompletionsC(&Pool.env().metrics().counter(
+                        Pool.env().metrics().claimPrefix("bridge") +
+                        ".completions")) {}
 
   /// Called from a native method running on thread \p Id. \p Start must
   /// initiate the asynchronous operation, capturing the provided Resume
@@ -150,18 +160,19 @@ public:
   void blockOn(ThreadPool::ThreadId Id,
                std::function<void(std::function<void()>)> Start) {
     Start([this, Id] {
-      ++Completions;
+      CompletionsC->inc();
       Pool.env().loop().post(kernel::Lane::IoCompletion,
                              [this, Id] { Pool.unblock(Id); });
     });
   }
 
-  /// Asynchronous completions delivered through the bridge.
-  uint64_t completionCount() const { return Completions; }
+  /// Asynchronous completions delivered through the bridge
+  /// (registry-backed: `bridge.completions`).
+  uint64_t completionCount() const { return CompletionsC->value(); }
 
 private:
   ThreadPool &Pool;
-  uint64_t Completions = 0;
+  obs::Counter *CompletionsC;
 };
 
 } // namespace rt

@@ -509,8 +509,11 @@ void registerObjectNatives(Jvm &Vm) {
     if (TimeoutMs > 0) {
       Jvm &TheVm = Ctx.Vm;
       // Object.wait(timeout) is a JVM-visible timer, not an I/O
-      // completion: Timer lane.
-      Ctx.Vm.env().loop().postAfter(
+      // completion: Timer lane. Typed timer API; the wake-up is never
+      // cancelled — a notify is handled by the generation check, and
+      // cancelling would change when the virtual clock goes idle — so the
+      // handle is dropped (dropping does not cancel).
+      Ctx.Vm.env().loop().postTimer(
           kernel::Lane::Timer,
           [&TheVm, O, Tid, Generation] {
             JvmThread *T = TheVm.threadForTid(Tid);
@@ -1115,8 +1118,9 @@ void registerThreadNatives(Jvm &Vm) {
       "java/lang/Thread", "sleep", "(J)V", [](NativeContext &Ctx) {
         int64_t Ms = longArg(Ctx.Args[0]);
         Ctx.blockWithResult([&Ctx, Ms](NativeCompletion Complete) {
-          // Thread.sleep is a timer wake-up, not I/O.
-          Ctx.Vm.env().loop().postAfter(
+          // Thread.sleep is a timer wake-up, not I/O (typed timer API;
+          // sleep is uninterruptible here, the handle is dropped).
+          Ctx.Vm.env().loop().postTimer(
               kernel::Lane::Timer, [Complete] { Complete(Value()); },
               browser::msToNs(static_cast<uint64_t>(Ms < 0 ? 0 : Ms)));
         });
@@ -1317,8 +1321,10 @@ void registerFileNatives(Jvm &Vm) {
         std::string Path = strArg(Ctx.Vm, Ctx.Args[0]);
         Jvm &TheVm = Ctx.Vm;
         Ctx.blockWithResult([&TheVm, Path](NativeCompletion Complete) {
-          TheVm.fs().exists(Path, [Complete](bool Exists) {
-            Complete(Value::intVal(Exists ? 1 : 0));
+          // exists() always yields a success value (a failed stat means
+          // "absent", not an error).
+          TheVm.fs().exists(Path, [Complete](ErrorOr<bool> Exists) {
+            Complete(Value::intVal(*Exists ? 1 : 0));
           });
         });
       });
@@ -1401,7 +1407,9 @@ void registerFileNatives(Jvm &Vm) {
         Ctx.blockWithResult([&TheVm](NativeCompletion Complete) {
           // Model keystroke delivery latency; a keystroke is user input,
           // so it arrives on the Input lane ahead of everything queued.
-          TheVm.env().loop().postAfter(
+          // Typed timer API; the keystroke is never cancelled, so the
+          // handle is dropped (dropping does not cancel).
+          TheVm.env().loop().postTimer(
               kernel::Lane::Input,
               [&TheVm, Complete] {
                 if (!TheVm.process().hasStdin()) {

@@ -76,8 +76,15 @@ void TrafficGen::nextRequest(Client &C) {
     Body = Cfg.Bodies[C.Sent % Cfg.Bodies.size()];
   ++C.Sent;
   uint64_t SentNs = Env.clock().nowNs();
+  // Root span of the whole round trip: current while the request frame
+  // goes out, so the SimNet delivery and the server's request span chain
+  // under it — end-to-end client -> server -> fs attribution.
+  obs::SpanStore &Spans = Env.metrics().spans();
+  obs::SpanId Span = Spans.begin("client.req");
+  obs::SpanStore::Scope Scope(Spans, Span);
   C.Net.request(Cfg.Handler, std::move(Body),
-                [this, &C, SentNs](server::frame::Response R) {
+                [this, &C, SentNs, Span](server::frame::Response R) {
+                  Env.metrics().spans().end(Span);
                   ++C.Received;
                   Report.LatenciesNs.push_back(Env.clock().nowNs() - SentNs);
                   if (R.S == server::frame::Status::Ok)

@@ -20,8 +20,8 @@
 #define DOPPIO_WORKLOADS_TRAFFIC_H
 
 #include "browser/env.h"
+#include "doppio/obs/metrics.h"
 #include "doppio/server/client.h"
-#include "doppio/server/stats.h"
 
 #include <functional>
 #include <memory>
@@ -59,8 +59,8 @@ struct TrafficReport {
       return 0.0;
     return (Completed + Errors) * 1e9 / static_cast<double>(Span);
   }
-  uint64_t p50Ns() const { return rt::server::percentileNs(LatenciesNs, 50.0); }
-  uint64_t p99Ns() const { return rt::server::percentileNs(LatenciesNs, 99.0); }
+  uint64_t p50Ns() const { return obs::percentileNs(LatenciesNs, 50.0); }
+  uint64_t p99Ns() const { return obs::percentileNs(LatenciesNs, 99.0); }
 };
 
 /// Drives TrafficConfig::Clients concurrent FrameClients against a server

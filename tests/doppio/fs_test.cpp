@@ -533,7 +533,7 @@ TEST_F(FrontendTest, RelativePathsResolveAgainstCwd) {
   Proc.chdir("..");
   EXPECT_EQ(Proc.cwd(), "/work");
   bool Exists = false;
-  Fs.exists("dir/notes.txt", [&](bool B) { Exists = B; });
+  Fs.exists("dir/notes.txt", [&](ErrorOr<bool> B) { Exists = *B; });
   Env.loop().run();
   EXPECT_TRUE(Exists);
 }
