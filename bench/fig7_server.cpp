@@ -48,6 +48,11 @@ struct Fig7Result {
   uint64_t SpansFinished = 0;
   uint64_t SpanQueueDelayNsMax = 0;
   uint64_t KernelEventsRun = 0;
+  // Process subsystem (src/doppio/proc/): piped multi-process workloads
+  // run alongside the client load, plus one spawn-handler round trip.
+  PipelineReport Pipes;
+  uint64_t ZombiesAfterDrain = 0;
+  bool SpawnRoundTripOk = false;
 };
 
 /// One full load test in one browser: seed the FS, serve it, hammer it
@@ -76,8 +81,13 @@ Fig7Result runServerLoad(const browser::Profile &P) {
   // Generous: the slowest profile (safari) sees ~266ms p99 round trips
   // under this load, and an idle-reap races the next request otherwise.
   Cfg.IdleTimeoutNs = browser::msToNs(2000);
+  proc::ProcessTable Procs(Env, Fs);
+  proc::ProgramRegistry Progs;
+  proc::installCorePrograms(Progs);
+
   server::Server Srv(Env, Cfg);
-  server::installDefaultHandlers(Srv.router(), Fs, &Env.metrics());
+  server::installDefaultHandlers(Srv.router(), Fs, &Env.metrics(), &Procs,
+                                 &Progs);
   bool Started = Srv.start();
   assert(Started);
   (void)Started;
@@ -89,13 +99,41 @@ Fig7Result runServerLoad(const browser::Profile &P) {
   TCfg.Handler = "file";
   TCfg.Bodies = std::move(Paths);
   TrafficGen Gen(Env, TCfg);
+  PipelineScenario Pipes(Env, Procs);
+  server::FrameClient SpawnClient(Env.net());
 
   Fig7Result Out;
-  Gen.start([&] { Srv.shutdown([&] { Out.Drained = true; }); });
+  // The client load, the piped process workloads, and one spawn-handler
+  // round trip all share the run; drain once the three finish.
+  auto Outstanding = std::make_shared<int>(3);
+  std::function<void()> MaybeDrain = [&Srv, &Out, Outstanding] {
+    if (--*Outstanding == 0)
+      Srv.shutdown([&Out] { Out.Drained = true; });
+  };
+  Gen.start(MaybeDrain);
+  Pipes.start(MaybeDrain);
+  SpawnClient.connect(Cfg.Port, [&](bool Ok) {
+    if (!Ok) {
+      MaybeDrain();
+      return;
+    }
+    std::string Cmd = "echo fig7";
+    SpawnClient.request(
+        "spawn", std::vector<uint8_t>(Cmd.begin(), Cmd.end()),
+        [&](server::frame::Response R) {
+          Out.SpawnRoundTripOk =
+              R.S == server::frame::Status::Ok &&
+              std::string(R.Body.begin(), R.Body.end()) == "fig7\n";
+          SpawnClient.close();
+          MaybeDrain();
+        });
+  });
   Env.loop().run();
 
   Out.Client = Gen.report();
   Out.Stats = Srv.stats();
+  Out.Pipes = Pipes.report();
+  Out.ZombiesAfterDrain = Procs.zombies();
   obs::Registry &Reg = Env.metrics();
   Out.SpansFinished = Reg.spans().finished();
   for (const obs::Span &Sp : Reg.spans().recent())
@@ -124,7 +162,9 @@ void printFigure7() {
               R.Client.Completed + R.Client.Errors +
                       R.Client.ConnectFailures * RequestsPerClient ==
                   Expected &&
-              R.Client.Errors == 0;
+              R.Client.Errors == 0 && R.Pipes.AllExitsZero &&
+              R.Pipes.OutputsMatch && R.ZombiesAfterDrain == 0 &&
+              R.SpawnRoundTripOk;
     AllOk = AllOk && Ok;
     printf("%-10s %10.0f %9.1f %9.1f %9.1f %7llu %7s\n", P.Name.c_str(),
            R.Client.requestsPerSecond(),
@@ -143,7 +183,15 @@ void printFigure7() {
         .metric("spans_finished", static_cast<double>(R.SpansFinished))
         .metric("span_queue_delay_us_max",
                 static_cast<double>(R.SpanQueueDelayNsMax) / 1e3)
-        .metric("loop_events_run", static_cast<double>(R.KernelEventsRun));
+        .metric("loop_events_run", static_cast<double>(R.KernelEventsRun))
+        .metric("processes_spawned",
+                static_cast<double>(R.Pipes.ProcessesSpawned))
+        .metric("pipe_bytes", static_cast<double>(R.Pipes.PipeBytes))
+        .metric("pipe_writer_suspends",
+                static_cast<double>(R.Pipes.PipeWriterSuspends))
+        .metric("zombies_after_drain",
+                static_cast<double>(R.ZombiesAfterDrain))
+        .metric("spawn_roundtrip_ok", R.SpawnRoundTripOk ? 1 : 0);
   }
   Json.write();
   printf("(req/s is virtual time; srv-p99 is server-side service time;\n"

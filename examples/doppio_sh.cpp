@@ -1,0 +1,260 @@
+//===- examples/doppio_sh.cpp - A tiny shell over the process table ------===//
+//
+// The process subsystem (src/doppio/proc/, DESIGN.md §14) demonstrated as
+// a scripted Unix shell running inside a simulated browser tab: programs
+// spawn out of a ProgramRegistry, pipelines wire bounded in-kernel pipes
+// between stages, `cd` is validated against the Doppio file system
+// (ENOENT/ENOTDIR instead of blind normalization), `&` backgrounds a job,
+// `kill %N` delivers SIGTERM, and `wait` reaps children while reporting
+// their exit codes.
+//
+// Build and run:  ./build/examples/doppio_sh
+//
+//===----------------------------------------------------------------------===//
+
+#include "doppio/backends/in_memory.h"
+#include "doppio/fs.h"
+#include "doppio/proc/programs.h"
+
+#include <cstdio>
+
+using namespace doppio;
+using namespace doppio::rt;
+using namespace doppio::rt::proc;
+
+namespace {
+
+std::vector<uint8_t> bytesOf(const std::string &S) {
+  return std::vector<uint8_t>(S.begin(), S.end());
+}
+
+/// Runs a fixed script one command at a time: the next command only
+/// starts after the previous one finished (or was backgrounded), like a
+/// terminal session being typed.
+class Shell {
+public:
+  Shell(ProcessTable &Procs, const ProgramRegistry &Progs,
+        std::vector<std::string> Script)
+      : Procs(Procs), Progs(Progs), Script(std::move(Script)) {
+    // The shell itself is a process (a bare context, no program): its cwd
+    // is what `cd` changes, and its children are what `wait` reaps.
+    ProcessTable::SpawnSpec S;
+    S.Name = "sh";
+    Self = Procs.spawn(std::move(S));
+  }
+
+  void run(std::function<void()> Done) {
+    OnDone = std::move(Done);
+    next();
+  }
+
+private:
+  proc::Process &self() { return *Procs.find(Self); }
+
+  void next() {
+    if (Cursor >= Script.size()) {
+      if (OnDone)
+        OnDone();
+      return;
+    }
+    std::string Line = Script[Cursor++];
+    printf("doppio$ %s\n", Line.c_str());
+    execLine(std::move(Line));
+  }
+
+  void execLine(std::string Line) {
+    bool Background = false;
+    size_t Amp = Line.find_last_of('&');
+    if (Amp != std::string::npos &&
+        Line.find_first_not_of(" \t", Amp + 1) == std::string::npos) {
+      Background = true;
+      Line.erase(Amp);
+    }
+
+    std::vector<std::string> First = tokenize(Line);
+    if (First.empty()) {
+      next();
+      return;
+    }
+    if (First[0] == "cd") {
+      builtinCd(First.size() > 1 ? First[1] : "/");
+      return;
+    }
+    if (First[0] == "wait") {
+      builtinWait();
+      return;
+    }
+    if (First[0] == "kill") {
+      builtinKill(First.size() > 1 ? First[1] : "");
+      return;
+    }
+    runPipeline(Line, Background);
+  }
+
+  void builtinCd(const std::string &Path) {
+    self().state().chdir(Path, [this](std::optional<ApiError> Err) {
+      if (Err)
+        printf("cd: %s\n", Err->message().c_str());
+      else
+        printf("(cwd is now %s)\n", self().state().cwd().c_str());
+      next();
+    });
+  }
+
+  /// Reaps children until ECHILD, reporting how each ended.
+  void builtinWait() {
+    Procs.waitpid(Self, -1, [this](ErrorOr<WaitResult> W) {
+      if (!W.ok()) {
+        printf("wait: all children reaped\n");
+        next();
+        return;
+      }
+      reportExit(*W);
+      builtinWait();
+    });
+  }
+
+  void builtinKill(const std::string &JobRef) {
+    if (JobRef.size() < 2 || JobRef[0] != '%') {
+      printf("kill: expected %%N job reference\n");
+      next();
+      return;
+    }
+    size_t Job = std::strtoul(JobRef.c_str() + 1, nullptr, 10);
+    if (Job == 0 || Job > Jobs.size()) {
+      printf("kill: no such job %s\n", JobRef.c_str());
+      next();
+      return;
+    }
+    Pid Target = Jobs[Job - 1];
+    if (!Procs.kill(Target, Signal::Term))
+      printf("kill: (%d) ESRCH\n", Target);
+    next();
+  }
+
+  void runPipeline(const std::string &Line, bool Background) {
+    std::vector<ProcessTable::SpawnSpec> Stages;
+    size_t Start = 0;
+    while (Start <= Line.size()) {
+      size_t Bar = Line.find('|', Start);
+      std::vector<std::string> Argv = tokenize(Line.substr(
+          Start, Bar == std::string::npos ? std::string::npos : Bar - Start));
+      if (Argv.empty()) {
+        printf("sh: empty pipeline stage\n");
+        next();
+        return;
+      }
+      ProcessTable::SpawnSpec S;
+      S.Name = Argv[0];
+      S.Parent = Self;
+      S.Prog = Progs.create(Argv);
+      if (!S.Prog) {
+        printf("sh: %s: command not found\n", Argv[0].c_str());
+        next();
+        return;
+      }
+      Stages.push_back(std::move(S));
+      if (Bar == std::string::npos)
+        break;
+      Start = Bar + 1;
+    }
+
+    std::vector<Pid> Pids = Procs.spawnPipeline(std::move(Stages));
+    // Stream the last stage's stdout (and every stage's stderr) straight
+    // to the terminal. Programs start on a later dispatch, so the sinks
+    // land before any output does.
+    for (Pid P : Pids)
+      Procs.find(P)->state().setStderr(
+          [](const std::string &T) { fputs(T.c_str(), stderr); });
+    Procs.find(Pids.back())->state().setStdout(
+        [](const std::string &T) { fputs(T.c_str(), stdout); });
+
+    if (Background) {
+      Jobs.push_back(Pids.back());
+      printf("[%zu] %d\n", Jobs.size(), Pids.back());
+      next();
+      return;
+    }
+    waitForeground(Pids, 0);
+  }
+
+  void waitForeground(std::vector<Pid> Pids, size_t Index) {
+    if (Index >= Pids.size()) {
+      next();
+      return;
+    }
+    Pid Target = Pids[Index];
+    Procs.waitpid(Self, Target,
+                  [this, Pids = std::move(Pids),
+                   Index](ErrorOr<WaitResult> W) mutable {
+                    // Only the pipeline's last stage reports its status,
+                    // like $? after a shell pipeline.
+                    if (W.ok() && Index + 1 == Pids.size())
+                      reportExit(*W);
+                    waitForeground(std::move(Pids), Index + 1);
+                  });
+  }
+
+  void reportExit(const WaitResult &W) {
+    if (W.Signaled)
+      printf("(%d) terminated by %s\n", W.P, signalName(W.Sig));
+    else if (W.ExitCode != 0)
+      printf("(%d) exit %d\n", W.P, W.ExitCode);
+  }
+
+  ProcessTable &Procs;
+  const ProgramRegistry &Progs;
+  std::vector<std::string> Script;
+  size_t Cursor = 0;
+  Pid Self = 0;
+  std::vector<Pid> Jobs;
+  std::function<void()> OnDone;
+};
+
+} // namespace
+
+int main() {
+  browser::BrowserEnv Env(browser::chromeProfile());
+  rt::Process Proc;
+  auto Root = std::make_unique<fs::InMemoryBackend>(Env);
+  Root->seedFile("/etc/motd", bytesOf("welcome to doppio\n"));
+  Root->seedFile("/data/fstrace.log",
+                 bytesOf("open /data/a.txt\n"
+                         "read /data/a.txt 4096\n"
+                         "close /data/a.txt\n"
+                         "open /data/b.txt\n"
+                         "close /data/b.txt\n"));
+  Root->seedFile("/data/readme.txt", bytesOf("pipelines compose here\n"));
+  fs::FileSystem Fs(Env, Proc, std::move(Root));
+
+  proc::ProcessTable Procs(Env, Fs);
+  proc::ProgramRegistry Progs;
+  proc::installCorePrograms(Progs);
+
+  Shell Sh(Procs, Progs,
+           {
+               "echo hello from a spawned process",
+               "cat /etc/motd",
+               "cd /missing",          // ENOENT out of the validator.
+               "cd /etc/motd",         // ENOTDIR: it's a file.
+               "cd /data",             // Validated; children inherit it.
+               "cat readme.txt",       // Relative to the new cwd.
+               "cat fstrace.log | grep open | wc",
+               "cat fstrace.log | grep fsync", // grep's exit 1.
+               "upper nonsense-arg | wc &",    // Backgrounded...
+               "pause &",                      // ...and a blocked job.
+               "kill %2",                      // SIGTERM the blocked job.
+               "wait",                         // Reap both, report codes.
+           });
+
+  bool Finished = false;
+  Sh.run([&] { Finished = true; });
+  Env.loop().run();
+
+  printf("---\nshell script %s; %llu spawned, %llu reaped, %llu zombies\n",
+         Finished ? "completed" : "DID NOT FINISH",
+         static_cast<unsigned long long>(Procs.spawned()),
+         static_cast<unsigned long long>(Procs.reaped()),
+         static_cast<unsigned long long>(Procs.zombies()));
+  return Finished && Procs.zombies() == 0 ? 0 : 1;
+}

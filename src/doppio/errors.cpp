@@ -38,6 +38,14 @@ const char *rt::errnoName(Errno E) {
     return "ECONNREFUSED";
   case Errno::NotConn:
     return "ENOTCONN";
+  case Errno::Pipe:
+    return "EPIPE";
+  case Errno::Srch:
+    return "ESRCH";
+  case Errno::Child:
+    return "ECHILD";
+  case Errno::Again:
+    return "EAGAIN";
   }
   return "E???";
 }

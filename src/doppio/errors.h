@@ -41,6 +41,10 @@ enum class Errno {
   Io,  // EIO
   ConnRefused,  // ECONNREFUSED
   NotConn,  // ENOTCONN
+  Pipe,  // EPIPE (write to a pipe with no readers)
+  Srch,  // ESRCH (no such process)
+  Child,  // ECHILD (no waitable children)
+  Again,  // EAGAIN (operation would block)
 };
 
 /// Returns the symbolic name ("ENOENT") for \p E.

@@ -20,6 +20,23 @@ void FileSystem::bindCells() {
   OpNsH = &Reg.histogram(P + ".op_ns");
 }
 
+void FileSystem::installChdirValidator(Process &P) {
+  P.setChdirValidator(
+      [this](const std::string &Abs, Process::ChdirCb Done) {
+        stat(Abs, [Abs, Done = std::move(Done)](ErrorOr<Stats> S) {
+          if (!S.ok()) {
+            Done(S.error());
+            return;
+          }
+          if (!S->isDirectory()) {
+            Done(ApiError(Errno::NotDir, Abs));
+            return;
+          }
+          Done(std::nullopt);
+        });
+      });
+}
+
 FileSystem::OpStats FileSystem::stats() const {
   OpStats S;
   S.Operations = OpsC->value();

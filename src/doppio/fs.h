@@ -42,10 +42,19 @@ public:
              std::unique_ptr<FileSystemBackend> Root)
       : Env(Env), Proc(Proc), Root(std::move(Root)) {
     bindCells();
+    installChdirValidator(Proc);
   }
+  ~FileSystem() { Proc.clearChdirValidator(); }
 
   FileSystemBackend &root() { return *Root; }
   browser::BrowserEnv &env() { return Env; }
+
+  /// Installs this file system as \p P's chdir validator: the target must
+  /// stat (ENOENT otherwise) and be a directory (ENOTDIR otherwise). The
+  /// constructor applies it to the owning Process; the process subsystem
+  /// applies it to every spawned process's state record. The validator
+  /// captures this FileSystem, which must outlive \p P's chdir calls.
+  void installChdirValidator(Process &P);
 
   // Core API (paths may be relative; resolved against the process cwd).
   void open(const std::string &P, const std::string &Mode,

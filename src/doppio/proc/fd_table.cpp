@@ -1,0 +1,281 @@
+//===- doppio/proc/fd_table.cpp -------------------------------------------==//
+
+#include "doppio/proc/fd_table.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace doppio;
+using namespace doppio::rt;
+using namespace doppio::rt::proc;
+
+//===----------------------------------------------------------------------===//
+// OpenFile defaults
+//===----------------------------------------------------------------------===//
+
+OpenFile::~OpenFile() = default;
+
+void OpenFile::read(size_t, fs::ResultCb<std::vector<uint8_t>> Done) {
+  Done(ApiError(Errno::BadFd, std::string(kind()) + " is not readable"));
+}
+
+void OpenFile::write(std::vector<uint8_t>, fs::ResultCb<size_t> Done) {
+  Done(ApiError(Errno::BadFd, std::string(kind()) + " is not writable"));
+}
+
+void OpenFile::closeLast(fs::CompletionCb Done) {
+  if (Done)
+    Done(std::nullopt);
+}
+
+//===----------------------------------------------------------------------===//
+// FsFile: fs::FileDescriptor + shared cursor
+//===----------------------------------------------------------------------===//
+
+void FsFile::read(size_t MaxLen, fs::ResultCb<std::vector<uint8_t>> Done) {
+  auto Dst = std::make_shared<Buffer>(Env, MaxLen);
+  fs::FdPtr F = Fd;
+  Fd->read(*Dst, 0, MaxLen, Pos,
+           [this, Dst, F, Done = std::move(Done)](ErrorOr<size_t> R) {
+             if (!R.ok()) {
+               Done(R.error());
+               return;
+             }
+             Pos += *R;
+             std::vector<uint8_t> Out(Dst->bytes().begin(),
+                                      Dst->bytes().begin() + *R);
+             Done(std::move(Out));
+           });
+}
+
+void FsFile::write(std::vector<uint8_t> Data, fs::ResultCb<size_t> Done) {
+  size_t Len = Data.size();
+  auto Src = std::make_shared<Buffer>(Env, std::move(Data));
+  fs::FdPtr F = Fd;
+  Fd->write(*Src, 0, Len, Pos,
+            [this, Src, F, Done = std::move(Done)](ErrorOr<size_t> R) {
+              if (R.ok())
+                Pos += *R;
+              Done(std::move(R));
+            });
+}
+
+void FsFile::closeLast(fs::CompletionCb Done) {
+  Fd->close([Done = std::move(Done)](std::optional<ApiError> Err) {
+    if (Done)
+      Done(std::move(Err));
+  });
+}
+
+//===----------------------------------------------------------------------===//
+// Pipe ends
+//===----------------------------------------------------------------------===//
+
+void PipeReadEnd::closeLast(fs::CompletionCb Done) {
+  P->closeReader();
+  if (Done)
+    Done(std::nullopt);
+}
+
+void PipeWriteEnd::closeLast(fs::CompletionCb Done) {
+  P->closeWriter();
+  if (Done)
+    Done(std::nullopt);
+}
+
+//===----------------------------------------------------------------------===//
+// Stdio defaults over the rt::Process state record
+//===----------------------------------------------------------------------===//
+
+void StdioOut::write(std::vector<uint8_t> Data, fs::ResultCb<size_t> Done) {
+  std::string Text(Data.begin(), Data.end());
+  if (IsErr)
+    State.writeStderr(Text);
+  else
+    State.writeStdout(Text);
+  size_t N = Data.size();
+  Env.loop().post(kernel::Lane::IoCompletion,
+                  [Done = std::move(Done), N] { Done(N); });
+}
+
+void StdioIn::read(size_t, fs::ResultCb<std::vector<uint8_t>> Done) {
+  std::vector<uint8_t> Out;
+  if (State.hasStdin()) {
+    std::string Line = State.popStdin() + "\n";
+    Out.assign(Line.begin(), Line.end());
+  }
+  Env.loop().post(kernel::Lane::IoCompletion,
+                  [Done = std::move(Done), Out = std::move(Out)]() mutable {
+                    Done(std::move(Out));
+                  });
+}
+
+//===----------------------------------------------------------------------===//
+// FdTable
+//===----------------------------------------------------------------------===//
+
+FdTable::~FdTable() { closeAll(); }
+
+int FdTable::install(std::shared_ptr<OpenFile> F) {
+  for (size_t I = 0; I < Slots.size(); ++I) {
+    if (!Slots[I]) {
+      ++F->TableRefs;
+      Slots[I] = std::move(F);
+      return static_cast<int>(I);
+    }
+  }
+  ++F->TableRefs;
+  Slots.push_back(std::move(F));
+  return static_cast<int>(Slots.size() - 1);
+}
+
+void FdTable::installAt(int Fd, std::shared_ptr<OpenFile> F) {
+  assert(Fd >= 0 && "negative fd");
+  if (static_cast<size_t>(Fd) >= Slots.size())
+    Slots.resize(Fd + 1);
+  if (Slots[Fd])
+    release(Fd);
+  ++F->TableRefs;
+  Slots[Fd] = std::move(F);
+}
+
+void FdTable::open(fs::FileSystem &Fs, const std::string &Path,
+                   const std::string &Mode, fs::ResultCb<int> Done) {
+  Fs.open(Path, Mode,
+          [this, Done = std::move(Done)](ErrorOr<fs::FdPtr> R) {
+            if (!R.ok()) {
+              Done(R.error());
+              return;
+            }
+            Done(install(std::make_shared<FsFile>(Env, std::move(*R))));
+          });
+}
+
+void FdTable::release(int Fd) {
+  std::shared_ptr<OpenFile> F = std::move(Slots[Fd]);
+  Slots[Fd] = nullptr;
+  if (--F->TableRefs == 0)
+    F->closeLast(nullptr);
+}
+
+void FdTable::close(int Fd, fs::CompletionCb Done) {
+  OpenFile *F = get(Fd);
+  if (!F) {
+    if (Done)
+      Done(ApiError(Errno::BadFd, "fd " + std::to_string(Fd)));
+    return;
+  }
+  std::shared_ptr<OpenFile> Held = std::move(Slots[Fd]);
+  Slots[Fd] = nullptr;
+  if (--Held->TableRefs == 0) {
+    Held->closeLast(std::move(Done));
+    return;
+  }
+  if (Done)
+    Done(std::nullopt);
+}
+
+ErrorOr<int> FdTable::dup(int Fd) {
+  OpenFile *F = get(Fd);
+  if (!F)
+    return ApiError(Errno::BadFd, "dup: fd " + std::to_string(Fd));
+  return install(Slots[Fd]);
+}
+
+ErrorOr<int> FdTable::dup2(int From, int To) {
+  OpenFile *F = get(From);
+  if (!F || To < 0)
+    return ApiError(Errno::BadFd, "dup2: fd " + std::to_string(From));
+  if (From == To)
+    return To;
+  installAt(To, Slots[From]);
+  return To;
+}
+
+void FdTable::read(int Fd, size_t MaxLen,
+                   fs::ResultCb<std::vector<uint8_t>> Done) {
+  OpenFile *F = get(Fd);
+  if (!F) {
+    Env.loop().post(kernel::Lane::IoCompletion,
+                    [Done = std::move(Done), Fd] {
+                      Done(ApiError(Errno::BadFd,
+                                    "read: fd " + std::to_string(Fd)));
+                    });
+    return;
+  }
+  // Hold the description across the async op: a close racing the read
+  // must not destroy it mid-flight.
+  std::shared_ptr<OpenFile> Held = Slots[Fd];
+  F->read(MaxLen, [this, Held, Done = std::move(Done)](
+                      ErrorOr<std::vector<uint8_t>> R) {
+    if (R.ok() && BytesIn)
+      BytesIn->inc(R->size());
+    Done(std::move(R));
+  });
+}
+
+void FdTable::write(int Fd, std::vector<uint8_t> Data,
+                    fs::ResultCb<size_t> Done) {
+  OpenFile *F = get(Fd);
+  if (!F) {
+    Env.loop().post(kernel::Lane::IoCompletion,
+                    [Done = std::move(Done), Fd] {
+                      Done(ApiError(Errno::BadFd,
+                                    "write: fd " + std::to_string(Fd)));
+                    });
+    return;
+  }
+  std::shared_ptr<OpenFile> Held = Slots[Fd];
+  F->write(std::move(Data),
+           [this, Held, Done = std::move(Done)](ErrorOr<size_t> R) {
+             if (R.ok() && BytesOut)
+               BytesOut->inc(*R);
+             if (!R.ok() && R.error().Code == Errno::Pipe && OnBrokenPipe)
+               OnBrokenPipe();
+             Done(std::move(R));
+           });
+}
+
+void FdTable::writeAll(int Fd, std::vector<uint8_t> Data,
+                       fs::CompletionCb Done) {
+  if (Data.empty()) {
+    if (Done)
+      Done(std::nullopt);
+    return;
+  }
+  write(Fd, Data, [this, Fd, Data,
+                   Done = std::move(Done)](ErrorOr<size_t> R) mutable {
+    if (!R.ok()) {
+      if (Done)
+        Done(R.error());
+      return;
+    }
+    if (*R >= Data.size()) {
+      if (Done)
+        Done(std::nullopt);
+      return;
+    }
+    Data.erase(Data.begin(), Data.begin() + *R);
+    writeAll(Fd, std::move(Data), std::move(Done));
+  });
+}
+
+void FdTable::closeAll() {
+  for (size_t I = 0; I < Slots.size(); ++I)
+    if (Slots[I])
+      release(static_cast<int>(I));
+  Slots.clear();
+}
+
+OpenFile *FdTable::get(int Fd) {
+  if (Fd < 0 || static_cast<size_t>(Fd) >= Slots.size())
+    return nullptr;
+  return Slots[Fd].get();
+}
+
+size_t FdTable::openCount() const {
+  size_t N = 0;
+  for (const auto &S : Slots)
+    N += S != nullptr;
+  return N;
+}

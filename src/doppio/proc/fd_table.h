@@ -1,0 +1,204 @@
+//===- doppio/proc/fd_table.h - Per-process file descriptors -----*- C++ -*-==//
+//
+// Part of the Doppio reproduction. See README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The per-process file-descriptor table: small integers mapping to shared
+/// open-file descriptions, Unix-style. open() routes through the
+/// fs::FileSystem frontend (§5.1) and installs the resulting object
+/// descriptor at the lowest free slot; dup/dup2 alias a description under a
+/// second number (sharing the file offset, like the Unix dup family);
+/// close() releases a slot and tears the description down when its last
+/// alias goes. Fds 0/1/2 are stdin/stdout/stderr — by default bound to the
+/// process's rt::Process state record (capture buffers / pushStdin queue),
+/// and rebound to pipe ends when the process is spawned into a pipeline.
+///
+/// All I/O is asynchronous with the fs completion shapes (§3.2). A write
+/// completing with EPIPE additionally fires the table's broken-pipe hook,
+/// which the owning process wires to SIGPIPE delivery.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DOPPIO_DOPPIO_PROC_FD_TABLE_H
+#define DOPPIO_DOPPIO_PROC_FD_TABLE_H
+
+#include "doppio/fs.h"
+#include "doppio/proc/pipe.h"
+
+#include <memory>
+#include <vector>
+
+namespace doppio {
+namespace rt {
+namespace proc {
+
+/// One open-file description: the object a (possibly dup'd) fd number
+/// points at. Subclasses: fs files, pipe ends, process stdio.
+class OpenFile {
+public:
+  virtual ~OpenFile();
+
+  /// Reads up to \p MaxLen bytes; empty result means EOF.
+  virtual void read(size_t MaxLen, fs::ResultCb<std::vector<uint8_t>> Done);
+  /// Writes \p Data; completes with bytes accepted (may be partial).
+  virtual void write(std::vector<uint8_t> Data, fs::ResultCb<size_t> Done);
+  /// Torn down when the last table slot referencing this description
+  /// closes. Default: nothing to release.
+  virtual void closeLast(fs::CompletionCb Done);
+
+  virtual const char *kind() const = 0;
+
+private:
+  friend class FdTable;
+  /// Table slots currently aliasing this description (dup refs).
+  int TableRefs = 0;
+};
+
+/// An OpenFile over an fs::FileSystem descriptor, with the shared cursor
+/// dup semantics require.
+class FsFile : public OpenFile {
+public:
+  FsFile(browser::BrowserEnv &Env, fs::FdPtr Fd)
+      : Env(Env), Fd(std::move(Fd)) {}
+
+  void read(size_t MaxLen, fs::ResultCb<std::vector<uint8_t>> Done) override;
+  void write(std::vector<uint8_t> Data, fs::ResultCb<size_t> Done) override;
+  void closeLast(fs::CompletionCb Done) override;
+  const char *kind() const override { return "file"; }
+
+private:
+  browser::BrowserEnv &Env;
+  fs::FdPtr Fd;
+  uint64_t Pos = 0;
+};
+
+/// The read end of a Pipe.
+class PipeReadEnd : public OpenFile {
+public:
+  explicit PipeReadEnd(std::shared_ptr<Pipe> P) : P(std::move(P)) {
+    this->P->addReader();
+  }
+  void read(size_t MaxLen, fs::ResultCb<std::vector<uint8_t>> Done) override {
+    P->read(MaxLen, std::move(Done));
+  }
+  void closeLast(fs::CompletionCb Done) override;
+  const char *kind() const override { return "pipe-r"; }
+
+private:
+  std::shared_ptr<Pipe> P;
+};
+
+/// The write end of a Pipe.
+class PipeWriteEnd : public OpenFile {
+public:
+  explicit PipeWriteEnd(std::shared_ptr<Pipe> P) : P(std::move(P)) {
+    this->P->addWriter();
+  }
+  void write(std::vector<uint8_t> Data, fs::ResultCb<size_t> Done) override {
+    P->write(std::move(Data), std::move(Done));
+  }
+  void closeLast(fs::CompletionCb Done) override;
+  const char *kind() const override { return "pipe-w"; }
+
+private:
+  std::shared_ptr<Pipe> P;
+};
+
+/// Default fd 1/2: writes land in the rt::Process state record (capture
+/// buffer or §6.8 sink).
+class StdioOut : public OpenFile {
+public:
+  StdioOut(browser::BrowserEnv &Env, Process &State, bool IsErr)
+      : Env(Env), State(State), IsErr(IsErr) {}
+  void write(std::vector<uint8_t> Data, fs::ResultCb<size_t> Done) override;
+  const char *kind() const override { return IsErr ? "stderr" : "stdout"; }
+
+private:
+  browser::BrowserEnv &Env;
+  Process &State;
+  bool IsErr;
+};
+
+/// Default fd 0: drains the rt::Process pushStdin line queue; EOF once
+/// the queue is empty.
+class StdioIn : public OpenFile {
+public:
+  StdioIn(browser::BrowserEnv &Env, Process &State)
+      : Env(Env), State(State) {}
+  void read(size_t MaxLen, fs::ResultCb<std::vector<uint8_t>> Done) override;
+  const char *kind() const override { return "stdin"; }
+
+private:
+  browser::BrowserEnv &Env;
+  Process &State;
+};
+
+/// The table itself: fd number -> shared OpenFile.
+class FdTable {
+public:
+  explicit FdTable(browser::BrowserEnv &Env) : Env(Env) {}
+  ~FdTable();
+
+  FdTable(const FdTable &) = delete;
+  FdTable &operator=(const FdTable &) = delete;
+
+  /// Installs \p F at the lowest free fd and returns it.
+  int install(std::shared_ptr<OpenFile> F);
+  /// Installs \p F at exactly \p Fd, closing whatever was there (dup2's
+  /// replace semantics).
+  void installAt(int Fd, std::shared_ptr<OpenFile> F);
+
+  /// Opens \p Path through the fs frontend and installs the descriptor.
+  void open(fs::FileSystem &Fs, const std::string &Path,
+            const std::string &Mode, fs::ResultCb<int> Done);
+
+  /// Releases \p Fd; the description is torn down when its last alias
+  /// goes. EBADF for unknown fds.
+  void close(int Fd, fs::CompletionCb Done = nullptr);
+
+  /// Duplicates \p Fd at the lowest free slot; EBADF if not open.
+  ErrorOr<int> dup(int Fd);
+  /// Duplicates \p From onto \p To (closing \p To first if open).
+  ErrorOr<int> dup2(int From, int To);
+
+  void read(int Fd, size_t MaxLen, fs::ResultCb<std::vector<uint8_t>> Done);
+  void write(int Fd, std::vector<uint8_t> Data, fs::ResultCb<size_t> Done);
+  /// Looping write: retries partial pipe writes until every byte of
+  /// \p Data is accepted (or an error).
+  void writeAll(int Fd, std::vector<uint8_t> Data, fs::CompletionCb Done);
+
+  /// Closes every open fd (process teardown).
+  void closeAll();
+
+  OpenFile *get(int Fd);
+  size_t openCount() const;
+
+  /// Invoked when a write on this table completes with EPIPE; the owning
+  /// process points it at SIGPIPE delivery.
+  void setOnBrokenPipe(std::function<void()> Fn) { OnBrokenPipe = std::move(Fn); }
+
+  /// Per-process byte accounting: every successful read/write through the
+  /// table increments these cells (the owning process points them at its
+  /// "proc.p<pid>" counters).
+  void setByteCounters(obs::Counter *In, obs::Counter *Out) {
+    BytesIn = In;
+    BytesOut = Out;
+  }
+
+private:
+  void release(int Fd);
+
+  browser::BrowserEnv &Env;
+  std::vector<std::shared_ptr<OpenFile>> Slots;
+  std::function<void()> OnBrokenPipe;
+  obs::Counter *BytesIn = nullptr;
+  obs::Counter *BytesOut = nullptr;
+};
+
+} // namespace proc
+} // namespace rt
+} // namespace doppio
+
+#endif // DOPPIO_DOPPIO_PROC_FD_TABLE_H

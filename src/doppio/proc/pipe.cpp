@@ -1,0 +1,125 @@
+//===- doppio/proc/pipe.cpp -----------------------------------------------==//
+
+#include "doppio/proc/pipe.h"
+
+#include <algorithm>
+
+using namespace doppio;
+using namespace doppio::rt;
+using namespace doppio::rt::proc;
+
+void Pipe::write(std::vector<uint8_t> Data, fs::ResultCb<size_t> Done) {
+  if (!hasReaders()) {
+    post([Done = std::move(Done)] { Done(ApiError(Errno::Pipe, "pipe")); });
+    return;
+  }
+  if (Data.empty()) {
+    post([Done = std::move(Done)] { Done(size_t(0)); });
+    return;
+  }
+  if (Buf.size() >= Capacity) {
+    // Full: suspend the writer until a read frees space.
+    if (Counters.WriterSuspends)
+      Counters.WriterSuspends->inc();
+    PendingWrites.push_back({std::move(Data), std::move(Done)});
+    return;
+  }
+  size_t N = std::min(Data.size(), Capacity - Buf.size());
+  Buf.insert(Buf.end(), Data.begin(), Data.begin() + N);
+  if (Counters.Bytes)
+    Counters.Bytes->inc(N);
+  post([Done = std::move(Done), N] { Done(N); });
+  pump();
+}
+
+void Pipe::read(size_t MaxLen, fs::ResultCb<std::vector<uint8_t>> Done) {
+  if (Buf.empty() && PendingWrites.empty()) {
+    if (!hasWriters()) {
+      post([Done = std::move(Done)] { Done(std::vector<uint8_t>()); });
+      return;
+    }
+    // Empty: suspend the reader until a write lands (or EOF).
+    if (Counters.ReaderSuspends)
+      Counters.ReaderSuspends->inc();
+    PendingReads.push_back({MaxLen, std::move(Done)});
+    return;
+  }
+  // Data may still be parked in a suspended write even when the buffer is
+  // momentarily empty; pump() below promotes it, so park and pump.
+  if (Buf.empty()) {
+    PendingReads.push_back({MaxLen, std::move(Done)});
+    pump();
+    return;
+  }
+  size_t N = std::min(MaxLen, Buf.size());
+  std::vector<uint8_t> Out(Buf.begin(), Buf.begin() + N);
+  Buf.erase(Buf.begin(), Buf.begin() + N);
+  post([Done = std::move(Done), Out = std::move(Out)]() mutable {
+    Done(std::move(Out));
+  });
+  pump();
+}
+
+void Pipe::closeWriter() {
+  if (Writers > 0)
+    --Writers;
+  if (Writers == 0)
+    pump(); // Flush EOF to parked readers.
+}
+
+void Pipe::closeReader() {
+  if (Readers > 0)
+    --Readers;
+  if (Readers > 0)
+    return;
+  // Broken pipe: every parked write fails; the buffer's contents have no
+  // one left to read them.
+  Buf.clear();
+  auto Writes = std::move(PendingWrites);
+  PendingWrites.clear();
+  for (auto &W : Writes)
+    post([Done = std::move(W.Done)] { Done(ApiError(Errno::Pipe, "pipe")); });
+}
+
+void Pipe::pump() {
+  // Keep the pipe alive across reentrant completions.
+  auto Self = shared_from_this();
+  bool Progress = true;
+  while (Progress) {
+    Progress = false;
+    // Promote suspended writes into free buffer space.
+    while (!PendingWrites.empty() && Buf.size() < Capacity) {
+      ParkedWrite W = std::move(PendingWrites.front());
+      PendingWrites.pop_front();
+      size_t N = std::min(W.Data.size(), Capacity - Buf.size());
+      Buf.insert(Buf.end(), W.Data.begin(), W.Data.begin() + N);
+      if (Counters.Bytes)
+        Counters.Bytes->inc(N);
+      // The parked writer resumes through the kernel's I/O lane.
+      post([Done = std::move(W.Done), N] { Done(N); });
+      Progress = true;
+    }
+    // Satisfy suspended reads from the buffer.
+    while (!PendingReads.empty() && !Buf.empty()) {
+      ParkedRead R = std::move(PendingReads.front());
+      PendingReads.pop_front();
+      size_t N = std::min(R.MaxLen, Buf.size());
+      std::vector<uint8_t> Out(Buf.begin(), Buf.begin() + N);
+      Buf.erase(Buf.begin(), Buf.begin() + N);
+      post([Done = std::move(R.Done), Out = std::move(Out)]() mutable {
+        Done(std::move(Out));
+      });
+      Progress = true;
+    }
+    // EOF parked readers once the last writer is gone and no data or
+    // parked data remains.
+    if (!hasWriters() && Buf.empty() && PendingWrites.empty()) {
+      while (!PendingReads.empty()) {
+        ParkedRead R = std::move(PendingReads.front());
+        PendingReads.pop_front();
+        post([Done = std::move(R.Done)] { Done(std::vector<uint8_t>()); });
+      }
+    }
+  }
+  (void)Self;
+}

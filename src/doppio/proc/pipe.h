@@ -1,0 +1,121 @@
+//===- doppio/proc/pipe.h - Bounded in-kernel pipes --------------*- C++ -*-==//
+//
+// Part of the Doppio reproduction. See README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The IPC primitive of the process subsystem: a bounded byte channel with
+/// Unix pipe semantics, scheduled on the kernel's dispatch lanes.
+///
+///  - A write that finds buffer space appends up to the free space and
+///    completes with the byte count (partial writes, like write(2)).
+///  - A write that finds the buffer full *suspends*: the completion is
+///    parked until a reader frees space — this is the backpressure that
+///    keeps a fast producer from outrunning a slow consumer. The resumed
+///    completion is posted on the I/O-completion lane, so a writer blocked
+///    on a full pipe is literally resumed via the kernel.
+///  - A read drains up to the requested length; an empty pipe with live
+///    writers parks the reader, and an empty pipe whose last writer closed
+///    completes with zero bytes (EOF).
+///  - A write with no readers left fails with EPIPE; the fd-table layer
+///    translates that into a SIGPIPE for the writing process.
+///
+/// Single-threaded like everything over the virtual clock: "suspend" means
+/// a held callback, never a blocked host thread.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DOPPIO_DOPPIO_PROC_PIPE_H
+#define DOPPIO_DOPPIO_PROC_PIPE_H
+
+#include "browser/env.h"
+#include "doppio/fs_types.h"
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+namespace doppio {
+namespace rt {
+namespace proc {
+
+/// Aggregate pipe instrumentation, owned by the ProcessTable so every pipe
+/// in one table shares cells (the fig7 harness reports table-wide totals).
+struct PipeCounters {
+  obs::Counter *Bytes = nullptr;           // Bytes moved through pipes.
+  obs::Counter *WriterSuspends = nullptr;  // Writes parked on a full pipe.
+  obs::Counter *ReaderSuspends = nullptr;  // Reads parked on an empty pipe.
+};
+
+/// One bounded pipe. Held by shared_ptr: both descriptor ends and any
+/// in-flight completions keep it alive.
+class Pipe : public std::enable_shared_from_this<Pipe> {
+public:
+  static constexpr size_t DefaultCapacity = 4096;
+
+  Pipe(browser::BrowserEnv &Env, size_t Capacity = DefaultCapacity,
+       PipeCounters Counters = PipeCounters())
+      : Env(Env), Capacity(Capacity ? Capacity : 1), Counters(Counters) {}
+
+  Pipe(const Pipe &) = delete;
+  Pipe &operator=(const Pipe &) = delete;
+
+  // End-of-pipe reference counts, manipulated by the descriptor objects
+  // (dup'ing a pipe fd adds a reference to its end).
+  void addWriter() { ++Writers; }
+  void addReader() { ++Readers; }
+  /// Last-writer close flushes EOF to parked readers.
+  void closeWriter();
+  /// Last-reader close breaks the pipe: parked and future writes EPIPE.
+  void closeReader();
+
+  /// Appends up to the free space; parks when the pipe is full. Completes
+  /// with bytes written (possibly fewer than Data.size()), or EPIPE.
+  void write(std::vector<uint8_t> Data, fs::ResultCb<size_t> Done);
+
+  /// Drains up to \p MaxLen bytes; parks when empty with live writers.
+  /// Completes with an empty vector at EOF.
+  void read(size_t MaxLen, fs::ResultCb<std::vector<uint8_t>> Done);
+
+  size_t buffered() const { return Buf.size(); }
+  size_t capacity() const { return Capacity; }
+  bool hasWriters() const { return Writers > 0; }
+  bool hasReaders() const { return Readers > 0; }
+
+private:
+  struct ParkedWrite {
+    std::vector<uint8_t> Data;
+    fs::ResultCb<size_t> Done;
+  };
+  struct ParkedRead {
+    size_t MaxLen;
+    fs::ResultCb<std::vector<uint8_t>> Done;
+  };
+
+  /// Moves bytes between the buffer and parked requests until nothing
+  /// more can make progress, posting completions on the kernel.
+  void pump();
+  /// All completions go through the I/O-completion lane: pipe progress is
+  /// asynchronous I/O, and a parked writer's resumption is a kernel
+  /// dispatch like any other.
+  template <typename Fn> void post(Fn &&F) {
+    Env.loop().post(kernel::Lane::IoCompletion, std::forward<Fn>(F));
+  }
+
+  browser::BrowserEnv &Env;
+  size_t Capacity;
+  PipeCounters Counters;
+  std::deque<uint8_t> Buf;
+  std::deque<ParkedWrite> PendingWrites;
+  std::deque<ParkedRead> PendingReads;
+  uint32_t Writers = 0;
+  uint32_t Readers = 0;
+};
+
+} // namespace proc
+} // namespace rt
+} // namespace doppio
+
+#endif // DOPPIO_DOPPIO_PROC_PIPE_H

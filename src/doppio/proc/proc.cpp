@@ -1,0 +1,410 @@
+//===- doppio/proc/proc.cpp -----------------------------------------------==//
+
+#include "doppio/proc/proc.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace doppio {
+namespace rt {
+namespace proc {
+
+const char *signalName(Signal S) {
+  switch (S) {
+  case Signal::Int:
+    return "SIGINT";
+  case Signal::Kill:
+    return "SIGKILL";
+  case Signal::Pipe:
+    return "SIGPIPE";
+  case Signal::Term:
+    return "SIGTERM";
+  case Signal::Chld:
+    return "SIGCHLD";
+  }
+  return "SIG?";
+}
+
+Program::~Program() = default;
+
+//===----------------------------------------------------------------------===//
+// Process
+//===----------------------------------------------------------------------===//
+
+Process::Process(ProcessTable &Table, browser::BrowserEnv &Env, Pid Id,
+                 Pid Parent, std::string Name)
+    : Table(Table), Env(Env), Id(Id), Parent(Parent), Name(std::move(Name)),
+      Fds(Env) {
+  // Per-process metric prefix: "proc.p<pid>" under the table's claimed
+  // prefix (pids are unique per table, so no claim needed below it).
+  obs::Registry &Reg = Env.metrics();
+  std::string P = Table.metricPrefix() + ".p" + std::to_string(Id);
+  BytesInC = &Reg.counter(P + ".bytes_in");
+  BytesOutC = &Reg.counter(P + ".bytes_out");
+  AliveG = &Reg.gauge(P + ".alive");
+  AliveG->set(1);
+  Fds.setByteCounters(BytesInC, BytesOutC);
+  // EPIPE out of this process's fd table is its SIGPIPE, delivered before
+  // the failing write's guest continuation runs (write(2)'s semantics: the
+  // default disposition kills the writer before the call returns). The
+  // EPIPE completion is itself a kernel dispatch on the I/O lane, so this
+  // is still a dispatch boundary, never reentrant into guest code.
+  Fds.setOnBrokenPipe([this] { this->Table.deliverSignal(*this, Signal::Pipe); });
+}
+
+void Process::installStdioHooks() {
+  State.setStdoutHook(
+      [this](const std::string &Text, std::function<void()> Done) {
+        Fds.writeAll(1, std::vector<uint8_t>(Text.begin(), Text.end()),
+                     [Done = std::move(Done)](std::optional<ApiError>) {
+                       if (Done)
+                         Done();
+                     });
+      });
+  State.setStderrHook(
+      [this](const std::string &Text, std::function<void()> Done) {
+        Fds.writeAll(2, std::vector<uint8_t>(Text.begin(), Text.end()),
+                     [Done = std::move(Done)](std::optional<ApiError>) {
+                       if (Done)
+                         Done();
+                     });
+      });
+  State.setStdinHook(
+      [this](std::function<void(std::optional<std::string>)> Deliver) {
+        readLine(std::move(Deliver));
+      });
+}
+
+void Process::readLine(
+    std::function<void(std::optional<std::string>)> Deliver) {
+  size_t Nl = StdinBuf.find('\n');
+  if (Nl != std::string::npos) {
+    std::string Line = StdinBuf.substr(0, Nl);
+    StdinBuf.erase(0, Nl + 1);
+    Deliver(std::move(Line));
+    return;
+  }
+  Fds.read(0, 4096,
+           [this, Deliver = std::move(Deliver)](
+               ErrorOr<std::vector<uint8_t>> R) mutable {
+             if (!R.ok() || R->empty()) {
+               // EOF (or unreadable fd 0): flush a trailing unterminated
+               // line first.
+               if (!StdinBuf.empty()) {
+                 std::string Line = std::move(StdinBuf);
+                 StdinBuf.clear();
+                 Deliver(std::move(Line));
+                 return;
+               }
+               Deliver(std::nullopt);
+               return;
+             }
+             StdinBuf.append(R->begin(), R->end());
+             readLine(std::move(Deliver));
+           });
+}
+
+void Process::onSignal(Signal S, std::function<void(Signal)> Handler) {
+  Handlers[S] = std::move(Handler);
+}
+
+void Process::exit(int ExitCode) { finish(ExitCode, false, Signal::Term); }
+
+void Process::terminateBySignal(Signal S) {
+  finish(128 + static_cast<int>(S), true, S);
+}
+
+void Process::finish(int ExitCode, bool BySignal, Signal S) {
+  if (!Alive)
+    return;
+  Alive = false;
+  Code = ExitCode;
+  Signaled = BySignal;
+  TermSig = S;
+  // Closing the fds is what propagates EOF down a pipeline (last-writer
+  // close) and EPIPE up it (last-reader close).
+  Fds.closeAll();
+  AliveG->set(0);
+  if (SpawnSpan) {
+    Env.metrics().spans().end(SpawnSpan);
+    SpawnSpan = 0;
+  }
+  Table.noteExit(*this);
+}
+
+//===----------------------------------------------------------------------===//
+// ProcessTable
+//===----------------------------------------------------------------------===//
+
+ProcessTable::ProcessTable(browser::BrowserEnv &Env, fs::FileSystem &Fs)
+    : Env(Env), Fs(Fs) {
+  obs::Registry &Reg = Env.metrics();
+  Prefix = Reg.claimPrefix("proc");
+  SpawnedC = &Reg.counter(Prefix + ".spawned");
+  ExitedC = &Reg.counter(Prefix + ".exited");
+  ReapedC = &Reg.counter(Prefix + ".reaped");
+  ZombiesG = &Reg.gauge(Prefix + ".zombies");
+  SignalsC = &Reg.counter(Prefix + ".signals_delivered");
+  PipeBytesC = &Reg.counter(Prefix + ".pipe.bytes");
+  PipeWriterSuspendsC = &Reg.counter(Prefix + ".pipe.writer_suspends");
+  PipeReaderSuspendsC = &Reg.counter(Prefix + ".pipe.reader_suspends");
+  // Pid 1: init. Bare context; adopts and reaps orphans.
+  SpawnSpec Init;
+  Init.Name = "init";
+  Init.Parent = 0;
+  spawn(std::move(Init));
+}
+
+Process *ProcessTable::find(Pid P) {
+  auto It = Table.find(P);
+  if (It != Table.end())
+    return It->second.get();
+  // Reaped records stay addressable (captured stdout outlives the reap).
+  for (auto &G : Graveyard)
+    if (G->pid() == P)
+      return G.get();
+  return nullptr;
+}
+
+Pid ProcessTable::spawn(SpawnSpec Spec) {
+  Pid Id = NextPid++;
+  auto Rec = std::unique_ptr<Process>(
+      new Process(*this, Env, Id, Spec.Parent, Spec.Name));
+  Process *P = Rec.get();
+  Table.emplace(Id, std::move(Rec));
+  SpawnedC->inc();
+
+  // Absorbed state record: inherit the parent's cwd (or take the spec's,
+  // which the caller vouches for) before the validator is installed —
+  // these are known-good directories, not guest chdir requests.
+  if (!Spec.Cwd.empty())
+    P->State.chdir(Spec.Cwd);
+  else if (Process *Par = find(Spec.Parent))
+    P->State.chdir(Par->State.cwd());
+  Fs.installChdirValidator(P->State);
+
+  // Stdio defaults, then the spec's overrides (pipe ends, redirections).
+  P->Fds.installAt(0, std::make_shared<StdioIn>(Env, P->State));
+  P->Fds.installAt(1, std::make_shared<StdioOut>(Env, P->State, false));
+  P->Fds.installAt(2, std::make_shared<StdioOut>(Env, P->State, true));
+  for (auto &[Fd, F] : Spec.Fds)
+    P->Fds.installAt(Fd, std::move(F));
+  P->installStdioHooks();
+
+  // spawn -> exit span, parented under whatever operation is spawning
+  // (e.g. a doppiod spawn request).
+  P->SpawnSpan =
+      Env.metrics().spans().begin(Prefix + ".spawn." + P->Name);
+
+  if (Spec.Prog) {
+    P->Prog = std::move(Spec.Prog);
+    uint64_t Gen = P->ExecGeneration;
+    // The program starts as its own kernel dispatch on the Background
+    // lane — spawn() itself never runs guest code.
+    obs::SpanStore::Scope Scope(Env.metrics().spans(), P->SpawnSpan);
+    Env.loop().post(kernel::Lane::Background, [P, Gen] {
+      if (P->Alive && P->ExecGeneration == Gen && P->Prog)
+        P->Prog->start(*P);
+    });
+  }
+  return Id;
+}
+
+bool ProcessTable::exec(Pid P, std::unique_ptr<Program> Prog) {
+  Process *Rec = find(P);
+  if (!Rec || !Rec->alive())
+    return false;
+  // The old image is replaced: bump the generation so its pending exit is
+  // ignored, and retire the object (async tails may still reference it).
+  ++Rec->ExecGeneration;
+  if (Rec->Prog)
+    RetiredPrograms.push_back(std::move(Rec->Prog));
+  Rec->Prog = std::move(Prog);
+  uint64_t Gen = Rec->ExecGeneration;
+  Env.loop().post(kernel::Lane::Background, [Rec, Gen] {
+    if (Rec->Alive && Rec->ExecGeneration == Gen && Rec->Prog)
+      Rec->Prog->start(*Rec);
+  });
+  return true;
+}
+
+bool ProcessTable::kill(Pid P, Signal S) {
+  Process *Rec = find(P);
+  if (!Rec || !Rec->alive())
+    return false;
+  // Delivery happens at a dispatch boundary: the signal is its own kernel
+  // work item on the Resume lane, never reentrant into guest code.
+  Env.loop().post(kernel::Lane::Resume, [this, P, S] {
+    Process *Target = find(P);
+    if (!Target || !Target->alive())
+      return; // Died (or was killed) before delivery.
+    deliverSignal(*Target, S);
+  });
+  return true;
+}
+
+void ProcessTable::deliverSignal(Process &P, Signal S) {
+  SignalsC->inc();
+  auto It = P.Handlers.find(S);
+  if (It != P.Handlers.end() && S != Signal::Kill) {
+    It->second(S);
+    return;
+  }
+  switch (S) {
+  case Signal::Chld:
+    break; // Default: ignore.
+  case Signal::Int:
+  case Signal::Kill:
+  case Signal::Pipe:
+  case Signal::Term:
+    P.terminateBySignal(S);
+    break;
+  }
+}
+
+WaitResult ProcessTable::resultFor(const Process &P) const {
+  WaitResult R;
+  R.P = P.pid();
+  R.ExitCode = P.exitCode();
+  R.Signaled = P.signaled();
+  R.Sig = P.terminationSignal();
+  return R;
+}
+
+void ProcessTable::reap(Process &Zombie, const Waiter *W) {
+  auto It = Table.find(Zombie.pid());
+  assert(It != Table.end() && !Zombie.Reaped && "double reap");
+  Zombie.Reaped = true;
+  ZombiesG->sub(1);
+  ReapedC->inc();
+  Graveyard.push_back(std::move(It->second));
+  Table.erase(It);
+  if (W && W->Done) {
+    WaitResult R = resultFor(Zombie);
+    // The waiter resumes at a dispatch boundary, like a signal.
+    Env.loop().post(kernel::Lane::Resume,
+                    [Done = W->Done, R] { Done(R); });
+  }
+}
+
+void ProcessTable::noteExit(Process &P) {
+  ExitedC->inc();
+  ZombiesG->add(1);
+  // Orphaned children are adopted by init; already-dead ones are reaped
+  // right away (init never waits).
+  std::vector<Process *> OrphanZombies;
+  for (auto &[Id, Rec] : Table) {
+    if (Rec->Parent != P.pid() || Rec.get() == &P)
+      continue;
+    Rec->Parent = 1;
+    if (Rec->zombie())
+      OrphanZombies.push_back(Rec.get());
+  }
+  for (Process *Z : OrphanZombies)
+    reap(*Z, nullptr);
+
+  // SIGCHLD to the parent.
+  Process *Par = find(P.Parent);
+  if (Par && Par->alive() && Par->pid() != P.pid())
+    kill(Par->pid(), Signal::Chld);
+
+  // A parked waitpid consumes the zombie immediately.
+  for (size_t I = 0; I < Waiters.size(); ++I) {
+    Waiter &W = Waiters[I];
+    if (W.WaiterPid != P.Parent)
+      continue;
+    if (W.Target >= 0 && W.Target != P.pid())
+      continue;
+    Waiter Claimed = std::move(W);
+    Waiters.erase(Waiters.begin() + I);
+    reap(P, &Claimed);
+    return;
+  }
+  // Nobody will ever wait: children of init (unless a waiter parks later
+  // — it parked already if it exists) and children of dead parents are
+  // reaped here, keeping the drained table zombie-free.
+  if (P.Parent == 1 || !Par || !Par->alive())
+    reap(P, nullptr);
+}
+
+void ProcessTable::waitpid(Pid WaiterPid, Pid Target,
+                           fs::ResultCb<WaitResult> Done) {
+  auto Fail = [&](Errno E, const std::string &Detail) {
+    Env.loop().post(kernel::Lane::Resume,
+                    [Done, Err = ApiError(E, Detail)] { Done(Err); });
+  };
+  if (Target >= 0) {
+    Process *Child = nullptr;
+    auto It = Table.find(Target);
+    if (It != Table.end() && It->second->Parent == WaiterPid)
+      Child = It->second.get();
+    if (!Child) {
+      Fail(Errno::Child, "waitpid: pid " + std::to_string(Target));
+      return;
+    }
+    if (Child->zombie()) {
+      Waiter W{WaiterPid, Target, std::move(Done)};
+      reap(*Child, &W);
+      return;
+    }
+    Waiters.push_back({WaiterPid, Target, std::move(Done)});
+    return;
+  }
+  // Any-child wait: an existing zombie (lowest pid, deterministically)
+  // completes immediately; otherwise park if any child is live.
+  Process *Zombie = nullptr;
+  bool HasChild = false;
+  for (auto &[Id, Rec] : Table) {
+    if (Rec->Parent != WaiterPid)
+      continue;
+    HasChild = true;
+    if (Rec->zombie() && !Zombie)
+      Zombie = Rec.get();
+  }
+  if (Zombie) {
+    Waiter W{WaiterPid, -1, std::move(Done)};
+    reap(*Zombie, &W);
+    return;
+  }
+  if (!HasChild) {
+    Fail(Errno::Child, "waitpid: no children");
+    return;
+  }
+  Waiters.push_back({WaiterPid, -1, std::move(Done)});
+}
+
+std::shared_ptr<Pipe> ProcessTable::makePipe(size_t Capacity) {
+  PipeCounters C;
+  C.Bytes = PipeBytesC;
+  C.WriterSuspends = PipeWriterSuspendsC;
+  C.ReaderSuspends = PipeReaderSuspendsC;
+  return std::make_shared<Pipe>(Env, Capacity, C);
+}
+
+std::vector<Pid> ProcessTable::spawnPipeline(std::vector<SpawnSpec> Stages,
+                                             size_t PipeCapacity) {
+  std::vector<Pid> Pids;
+  std::shared_ptr<Pipe> Upstream;
+  for (size_t I = 0; I < Stages.size(); ++I) {
+    SpawnSpec &S = Stages[I];
+    std::vector<std::pair<int, std::shared_ptr<OpenFile>>> Wiring;
+    if (Upstream)
+      Wiring.emplace_back(0, std::make_shared<PipeReadEnd>(Upstream));
+    std::shared_ptr<Pipe> Downstream;
+    if (I + 1 < Stages.size()) {
+      Downstream = makePipe(PipeCapacity);
+      Wiring.emplace_back(1, std::make_shared<PipeWriteEnd>(Downstream));
+    }
+    // Explicit spec overrides win over the pipeline wiring.
+    for (auto &Override : S.Fds)
+      Wiring.push_back(std::move(Override));
+    S.Fds = std::move(Wiring);
+    Pids.push_back(spawn(std::move(S)));
+    Upstream = std::move(Downstream);
+  }
+  return Pids;
+}
+
+} // namespace proc
+} // namespace rt
+} // namespace doppio

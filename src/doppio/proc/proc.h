@@ -1,0 +1,290 @@
+//===- doppio/proc/proc.h - Processes, signals, spawn/wait -------*- C++ -*-==//
+//
+// Part of the Doppio reproduction. See README.md (Processes & pipes) and
+// DESIGN.md §14.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The process subsystem: Unix-style multi-program composition over the
+/// paper's per-tab OS services (cf. Browsix, PAPERS.md). A ProcessTable
+/// tracks pids, parent/child links, exit codes, and zombies; each
+/// proc::Process is a green-thread-backed execution context that owns
+///
+///  - its rt::Process state record (cwd + stdio capture, absorbed here as
+///    the per-process state),
+///  - a per-process file-descriptor table routed through fs::FileSystem,
+///    with fds 0/1/2 bound to stdin/stdout/stderr,
+///  - a Program: the guest it runs. JVM programs run their green threads
+///    on the JVM's thread pool; native programs are kernel-scheduled
+///    continuation chains (the degenerate single-continuation green
+///    thread).
+///
+/// spawn() launches a program in a fresh process; exec() replaces a live
+/// process's program keeping its pid and fd table; waitpid() parks until a
+/// child exits and reaps it. Signals (kill, SIGCHLD on child exit, SIGPIPE
+/// on broken pipe) are queued and delivered as their own kernel dispatches
+/// on the Resume lane — i.e. at dispatch boundaries, never reentrantly in
+/// the middle of guest code. Children of a dead (or never-waiting init)
+/// parent are reaped automatically, so a drained table holds no zombies.
+///
+/// Observability: the table claims a "proc" registry prefix for aggregate
+/// cells (spawned/exited/reaped/zombies, pipe bytes and suspends, signals)
+/// and every process claims a per-process prefix ("proc.p<pid>") for its
+/// bytes_in/bytes_out/alive cells; a "proc.spawn.<name>" span covers each
+/// process spawn→exit.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DOPPIO_DOPPIO_PROC_PROC_H
+#define DOPPIO_DOPPIO_PROC_PROC_H
+
+#include "doppio/fs.h"
+#include "doppio/proc/fd_table.h"
+#include "doppio/proc/pipe.h"
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace doppio {
+namespace rt {
+namespace proc {
+
+using Pid = int32_t;
+
+/// The signal subset the subsystem delivers.
+enum class Signal {
+  Int = 2,   // SIGINT
+  Kill = 9,  // SIGKILL
+  Pipe = 13, // SIGPIPE (broken pipe)
+  Term = 15, // SIGTERM
+  Chld = 17, // SIGCHLD (child exited)
+};
+
+/// "SIGTERM" for Signal::Term, etc.
+const char *signalName(Signal S);
+
+class Process;
+class ProcessTable;
+
+/// A guest program. start() runs inside the fresh process and must
+/// eventually call Process::exit (directly for native programs, from the
+/// JVM's main-done callback for JVM programs). Destroyed only when the
+/// table is: a program's asynchronous tail (e.g. a JVM thread pool) may
+/// outlive its process record's liveness.
+class Program {
+public:
+  virtual ~Program();
+  virtual void start(Process &P) = 0;
+  virtual std::string name() const { return "program"; }
+};
+
+/// Result of waitpid: which child, how it ended.
+struct WaitResult {
+  Pid P = 0;
+  int ExitCode = 0;
+  bool Signaled = false;
+  Signal Sig = Signal::Term;
+};
+
+/// One process: pid, parentage, state record, fd table, program.
+class Process {
+public:
+  Pid pid() const { return Id; }
+  Pid ppid() const { return Parent; }
+  const std::string &name() const { return Name; }
+
+  /// The absorbed rt::Process record: cwd, stdio capture, §6.8 hooks.
+  rt::Process &state() { return State; }
+  FdTable &fds() { return Fds; }
+
+  bool alive() const { return Alive; }
+  bool zombie() const { return !Alive && !Reaped; }
+  int exitCode() const { return Code; }
+  bool signaled() const { return Signaled; }
+  Signal terminationSignal() const { return TermSig; }
+
+  /// Normal termination: records the code, closes every fd (EOF/EPIPE
+  /// propagation into pipes), ends the spawn span, turns the process into
+  /// a zombie and notifies the parent (SIGCHLD + parked waiters).
+  void exit(int ExitCode);
+
+  /// An exit bound to the current program image: programs capture this at
+  /// start, so after an exec() the replaced image's pending exit is
+  /// ignored instead of tearing down the new one.
+  std::function<void(int)> makeExitFn() {
+    uint64_t Gen = ExecGeneration;
+    return [this, Gen](int Code) {
+      if (Gen == ExecGeneration)
+        exit(Code);
+    };
+  }
+
+  /// Installs a handler for \p S, overriding the default disposition
+  /// (terminate for INT/KILL/TERM/PIPE — KILL's handler is still never
+  /// invoked — ignore for CHLD). Handlers run at dispatch boundaries.
+  void onSignal(Signal S, std::function<void(Signal)> Handler);
+
+  browser::BrowserEnv &env() { return Env; }
+  ProcessTable &table() { return Table; }
+
+  /// Reads one '\n'-terminated line from fd 0 (buffering partial chunks),
+  /// delivering nullopt at EOF. This is what the JVM's System.in hook
+  /// drains (jcl.cpp's doppio/Stdin.readLine).
+  void readLine(std::function<void(std::optional<std::string>)> Deliver);
+
+private:
+  friend class ProcessTable;
+  Process(ProcessTable &Table, browser::BrowserEnv &Env, Pid Id, Pid Parent,
+          std::string Name);
+
+  /// Termination by signal: exit code 128+signo, Signaled set.
+  void terminateBySignal(Signal S);
+  void finish(int ExitCode, bool BySignal, Signal S);
+  /// Routes the rt::Process stdio hooks through the fd table.
+  void installStdioHooks();
+
+  ProcessTable &Table;
+  browser::BrowserEnv &Env;
+  Pid Id;
+  Pid Parent;
+  std::string Name;
+  rt::Process State;
+  FdTable Fds;
+  bool Alive = true;
+  bool Reaped = false;
+  int Code = 0;
+  bool Signaled = false;
+  Signal TermSig = Signal::Term;
+  std::string StdinBuf;
+  std::map<Signal, std::function<void(Signal)>> Handlers;
+  obs::SpanId SpawnSpan = 0;
+  obs::Counter *BytesInC = nullptr;
+  obs::Counter *BytesOutC = nullptr;
+  obs::Gauge *AliveG = nullptr;
+  /// The program is declared after everything it references and moved to
+  /// the table's graveyard on reap, so its asynchronous tail never
+  /// touches freed process state.
+  std::unique_ptr<Program> Prog;
+  /// Bumped by exec(): a stale program's exit is ignored.
+  uint64_t ExecGeneration = 0;
+};
+
+/// The table: owns every process record (for the table's whole lifetime —
+/// records move to a graveyard on reap, because in-flight completions and
+/// JVM thread pools hold references), allocates pids, delivers signals,
+/// and reaps zombies. Must outlive the event-loop run that drives its
+/// processes.
+class ProcessTable {
+public:
+  static constexpr size_t DefaultPipeCapacity = Pipe::DefaultCapacity;
+
+  /// \p Fs is the shared (kernel) file system fd tables route through.
+  ProcessTable(browser::BrowserEnv &Env, fs::FileSystem &Fs);
+
+  ProcessTable(const ProcessTable &) = delete;
+  ProcessTable &operator=(const ProcessTable &) = delete;
+
+  struct SpawnSpec {
+    std::string Name = "proc";
+    /// Parent pid; defaults to init (pid 1), whose children are
+    /// auto-reaped unless a waiter is parked.
+    Pid Parent = 1;
+    std::unique_ptr<Program> Prog; // May be null: a bare context.
+    /// Initial cwd; empty inherits the parent's.
+    std::string Cwd;
+    /// Fd overrides applied over the stdio defaults (0/1/2), e.g. pipe
+    /// ends. Applied before the program starts.
+    std::vector<std::pair<int, std::shared_ptr<OpenFile>>> Fds;
+  };
+
+  /// Creates the process and posts its program's start on the kernel.
+  Pid spawn(SpawnSpec Spec);
+
+  /// Replaces \p P's program, keeping pid, fd table, and cwd. The old
+  /// program's pending exit (if any) is ignored. False if \p P is not a
+  /// live process.
+  bool exec(Pid P, std::unique_ptr<Program> Prog);
+
+  /// Queues \p S for delivery to \p P at the next dispatch boundary.
+  /// False (ESRCH) if no such live process.
+  bool kill(Pid P, Signal S);
+
+  /// Waits for child \p Target of \p Waiter (-1: any child) to exit, then
+  /// reaps it. Completes immediately for an existing zombie; ECHILD when
+  /// \p Waiter has no matching children.
+  void waitpid(Pid Waiter, Pid Target, fs::ResultCb<WaitResult> Done);
+
+  /// Spawns a pipeline: stage i's fd 1 is piped to stage i+1's fd 0 (any
+  /// explicit fd overrides in the specs are applied on top). Returns the
+  /// pids in stage order.
+  std::vector<Pid> spawnPipeline(std::vector<SpawnSpec> Stages,
+                                 size_t PipeCapacity = DefaultPipeCapacity);
+
+  /// A fresh pipe wired to this table's counters.
+  std::shared_ptr<Pipe> makePipe(size_t Capacity = DefaultPipeCapacity);
+
+  /// Live or zombie lookup; nullptr for unknown/reaped pids. The record
+  /// (and its captured stdio) stays valid for the table's lifetime even
+  /// after reaping.
+  Process *find(Pid P);
+
+  fs::FileSystem &fs() { return Fs; }
+  browser::BrowserEnv &env() { return Env; }
+  const std::string &metricPrefix() const { return Prefix; }
+
+  // Registry-backed aggregate views (bench/fig7, tests).
+  uint64_t spawned() const { return SpawnedC->value(); }
+  uint64_t exited() const { return ExitedC->value(); }
+  uint64_t reaped() const { return ReapedC->value(); }
+  uint64_t zombies() const { return static_cast<uint64_t>(ZombiesG->value()); }
+  uint64_t signalsDelivered() const { return SignalsC->value(); }
+  uint64_t pipeBytes() const { return PipeBytesC->value(); }
+  uint64_t pipeWriterSuspends() const { return PipeWriterSuspendsC->value(); }
+  uint64_t pipeReaderSuspends() const { return PipeReaderSuspendsC->value(); }
+
+private:
+  friend class Process;
+
+  struct Waiter {
+    Pid WaiterPid;
+    Pid Target;
+    fs::ResultCb<WaitResult> Done;
+  };
+
+  Process *spawnRecord(SpawnSpec &Spec);
+  void deliverSignal(Process &P, Signal S);
+  /// Zombie bookkeeping after an exit: satisfy a parked waiter, or
+  /// auto-reap when nobody will ever wait (dead parent or init).
+  void noteExit(Process &P);
+  void reap(Process &Zombie, const Waiter *W);
+  WaitResult resultFor(const Process &P) const;
+
+  browser::BrowserEnv &Env;
+  fs::FileSystem &Fs;
+  std::string Prefix;
+  Pid NextPid = 1;
+  std::map<Pid, std::unique_ptr<Process>> Table;
+  /// Reaped records parked until table destruction (see class comment).
+  std::vector<std::unique_ptr<Process>> Graveyard;
+  /// Programs replaced by exec(), parked for the same lifetime reason.
+  std::vector<std::unique_ptr<Program>> RetiredPrograms;
+  std::vector<Waiter> Waiters;
+  obs::Counter *SpawnedC = nullptr;
+  obs::Counter *ExitedC = nullptr;
+  obs::Counter *ReapedC = nullptr;
+  obs::Gauge *ZombiesG = nullptr;
+  obs::Counter *SignalsC = nullptr;
+  obs::Counter *PipeBytesC = nullptr;
+  obs::Counter *PipeWriterSuspendsC = nullptr;
+  obs::Counter *PipeReaderSuspendsC = nullptr;
+};
+
+} // namespace proc
+} // namespace rt
+} // namespace doppio
+
+#endif // DOPPIO_DOPPIO_PROC_PROC_H

@@ -1,0 +1,360 @@
+//===- doppio/proc/programs.cpp -------------------------------------------==//
+
+#include "doppio/proc/programs.h"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+namespace doppio {
+namespace rt {
+namespace proc {
+
+namespace {
+
+std::vector<uint8_t> bytesOf(const std::string &S) {
+  return std::vector<uint8_t>(S.begin(), S.end());
+}
+
+constexpr size_t ChunkSize = 4096;
+
+/// Shared scaffolding: capture the exec-generation-bound exit function at
+/// start, write diagnostics to fd 2, finish exactly once. A failed write
+/// on fd 1 (EPIPE) just exits 1 — if the default SIGPIPE disposition
+/// already terminated the process, the late exit is a no-op.
+class NativeProgram : public Program {
+public:
+  void start(Process &P) final {
+    Proc = &P;
+    Exit = P.makeExitFn();
+    run();
+  }
+
+protected:
+  virtual void run() = 0;
+
+  Process &proc() { return *Proc; }
+
+  void finish(int Code) { Exit(Code); }
+
+  void fail(const std::string &Msg) {
+    proc().fds().writeAll(
+        2, bytesOf(name() + ": " + Msg + "\n"),
+        [this](std::optional<ApiError>) { finish(1); });
+  }
+
+  std::string name() const override { return "native"; }
+
+private:
+  Process *Proc = nullptr;
+  std::function<void(int)> Exit;
+};
+
+/// echo TEXT... : arguments, space-joined, newline-terminated, to fd 1.
+class EchoProgram : public NativeProgram {
+public:
+  explicit EchoProgram(std::vector<std::string> Args)
+      : Args(std::move(Args)) {}
+  std::string name() const override { return "echo"; }
+
+private:
+  void run() override {
+    std::string Out;
+    for (size_t I = 0; I < Args.size(); ++I)
+      Out += (I ? " " : "") + Args[I];
+    Out += "\n";
+    proc().fds().writeAll(1, bytesOf(Out),
+                          [this](std::optional<ApiError> Err) {
+                            finish(Err ? 1 : 0);
+                          });
+  }
+
+  std::vector<std::string> Args;
+};
+
+/// cat [PATH...] : files (opened through the process fd table, so paths
+/// resolve against the process cwd) or fd 0, to fd 1.
+class CatProgram : public NativeProgram {
+public:
+  explicit CatProgram(std::vector<std::string> Args)
+      : Paths(std::move(Args)) {}
+  std::string name() const override { return "cat"; }
+
+private:
+  void run() override {
+    if (Paths.empty()) {
+      copy(0, [this](bool Ok) { finish(Ok ? 0 : 1); });
+      return;
+    }
+    nextFile(0);
+  }
+
+  void nextFile(size_t Index) {
+    if (Index >= Paths.size()) {
+      finish(0);
+      return;
+    }
+    proc().fds().open(
+        proc().table().fs(), proc().state().resolve(Paths[Index]), "r",
+        [this, Index](ErrorOr<int> Fd) {
+          if (!Fd.ok()) {
+            fail(Fd.error().message());
+            return;
+          }
+          copy(*Fd, [this, Index, Fd = *Fd](bool Ok) {
+            proc().fds().close(Fd);
+            if (!Ok) {
+              finish(1);
+              return;
+            }
+            nextFile(Index + 1);
+          });
+        });
+  }
+
+  /// Pumps \p SrcFd to fd 1 until EOF.
+  void copy(int SrcFd, std::function<void(bool)> Done) {
+    proc().fds().read(
+        SrcFd, ChunkSize,
+        [this, SrcFd, Done = std::move(Done)](
+            ErrorOr<std::vector<uint8_t>> R) mutable {
+          if (!R.ok()) {
+            Done(false);
+            return;
+          }
+          if (R->empty()) {
+            Done(true);
+            return;
+          }
+          proc().fds().writeAll(
+              1, std::move(*R),
+              [this, SrcFd, Done = std::move(Done)](
+                  std::optional<ApiError> Err) mutable {
+                if (Err) {
+                  Done(false);
+                  return;
+                }
+                copy(SrcFd, std::move(Done));
+              });
+        });
+  }
+
+  std::vector<std::string> Paths;
+};
+
+/// upper : fd 0 to fd 1, uppercased.
+class UpperProgram : public NativeProgram {
+public:
+  explicit UpperProgram(std::vector<std::string>) {}
+  std::string name() const override { return "upper"; }
+
+private:
+  void run() override { pump(); }
+
+  void pump() {
+    proc().fds().read(0, ChunkSize,
+                      [this](ErrorOr<std::vector<uint8_t>> R) {
+                        if (!R.ok()) {
+                          finish(1);
+                          return;
+                        }
+                        if (R->empty()) {
+                          finish(0);
+                          return;
+                        }
+                        for (uint8_t &B : *R)
+                          B = static_cast<uint8_t>(
+                              std::toupper(static_cast<int>(B)));
+                        proc().fds().writeAll(
+                            1, std::move(*R),
+                            [this](std::optional<ApiError> Err) {
+                              if (Err) {
+                                finish(1);
+                                return;
+                              }
+                              pump();
+                            });
+                      });
+  }
+};
+
+/// grep PATTERN : forward matching lines of fd 0; exit 1 when none match.
+class GrepProgram : public NativeProgram {
+public:
+  explicit GrepProgram(std::vector<std::string> Args)
+      : Pattern(Args.empty() ? "" : Args[0]) {}
+  std::string name() const override { return "grep"; }
+
+private:
+  void run() override {
+    if (Pattern.empty()) {
+      fail("missing pattern");
+      return;
+    }
+    pump();
+  }
+
+  void pump() {
+    proc().readLine([this](std::optional<std::string> Line) {
+      if (!Line) {
+        finish(Matched ? 0 : 1);
+        return;
+      }
+      if (Line->find(Pattern) == std::string::npos) {
+        pump();
+        return;
+      }
+      Matched = true;
+      proc().fds().writeAll(1, bytesOf(*Line + "\n"),
+                            [this](std::optional<ApiError> Err) {
+                              if (Err) {
+                                finish(1);
+                                return;
+                              }
+                              pump();
+                            });
+    });
+  }
+
+  std::string Pattern;
+  bool Matched = false;
+};
+
+/// wc : "<lines> <bytes>\n" for fd 0 at EOF.
+class WcProgram : public NativeProgram {
+public:
+  explicit WcProgram(std::vector<std::string>) {}
+  std::string name() const override { return "wc"; }
+
+private:
+  void run() override { pump(); }
+
+  void pump() {
+    proc().fds().read(0, ChunkSize,
+                      [this](ErrorOr<std::vector<uint8_t>> R) {
+                        if (!R.ok()) {
+                          finish(1);
+                          return;
+                        }
+                        if (R->empty()) {
+                          report();
+                          return;
+                        }
+                        Bytes += R->size();
+                        Lines += std::count(R->begin(), R->end(), '\n');
+                        pump();
+                      });
+  }
+
+  void report() {
+    std::ostringstream Out;
+    Out << Lines << " " << Bytes << "\n";
+    proc().fds().writeAll(1, bytesOf(Out.str()),
+                          [this](std::optional<ApiError> Err) {
+                            finish(Err ? 1 : 0);
+                          });
+  }
+
+  uint64_t Lines = 0;
+  uint64_t Bytes = 0;
+};
+
+/// head -n N : forward the first N lines, then exit — the early close is
+/// what breaks the upstream pipe (SIGPIPE for a still-writing producer).
+class HeadProgram : public NativeProgram {
+public:
+  explicit HeadProgram(std::vector<std::string> Args) {
+    for (size_t I = 0; I + 1 < Args.size(); ++I)
+      if (Args[I] == "-n")
+        Remaining = std::strtol(Args[I + 1].c_str(), nullptr, 10);
+  }
+  std::string name() const override { return "head"; }
+
+private:
+  void run() override { pump(); }
+
+  void pump() {
+    if (Remaining <= 0) {
+      finish(0);
+      return;
+    }
+    proc().readLine([this](std::optional<std::string> Line) {
+      if (!Line) {
+        finish(0);
+        return;
+      }
+      --Remaining;
+      proc().fds().writeAll(1, bytesOf(*Line + "\n"),
+                            [this](std::optional<ApiError> Err) {
+                              if (Err) {
+                                finish(1);
+                                return;
+                              }
+                              pump();
+                            });
+    });
+  }
+
+  long Remaining = 10;
+};
+
+/// pause : read fd 0 forever. With an open pipe upstream this never
+/// completes — the process sits Blocked until a signal terminates it.
+class PauseProgram : public NativeProgram {
+public:
+  explicit PauseProgram(std::vector<std::string>) {}
+  std::string name() const override { return "pause"; }
+
+private:
+  void run() override { pump(); }
+
+  void pump() {
+    proc().fds().read(0, ChunkSize,
+                      [this](ErrorOr<std::vector<uint8_t>> R) {
+                        if (!R.ok() || R->empty()) {
+                          finish(0);
+                          return;
+                        }
+                        pump(); // Discard and keep waiting.
+                      });
+  }
+};
+
+} // namespace
+
+std::vector<std::string> tokenize(const std::string &Line) {
+  std::vector<std::string> Out;
+  std::istringstream In(Line);
+  std::string Tok;
+  while (In >> Tok)
+    Out.push_back(Tok);
+  return Out;
+}
+
+void installCorePrograms(ProgramRegistry &R) {
+  R.add("echo", [](std::vector<std::string> Args) {
+    return std::make_unique<EchoProgram>(std::move(Args));
+  });
+  R.add("cat", [](std::vector<std::string> Args) {
+    return std::make_unique<CatProgram>(std::move(Args));
+  });
+  R.add("upper", [](std::vector<std::string> Args) {
+    return std::make_unique<UpperProgram>(std::move(Args));
+  });
+  R.add("grep", [](std::vector<std::string> Args) {
+    return std::make_unique<GrepProgram>(std::move(Args));
+  });
+  R.add("wc", [](std::vector<std::string> Args) {
+    return std::make_unique<WcProgram>(std::move(Args));
+  });
+  R.add("head", [](std::vector<std::string> Args) {
+    return std::make_unique<HeadProgram>(std::move(Args));
+  });
+  R.add("pause", [](std::vector<std::string> Args) {
+    return std::make_unique<PauseProgram>(std::move(Args));
+  });
+}
+
+} // namespace proc
+} // namespace rt
+} // namespace doppio

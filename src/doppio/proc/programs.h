@@ -1,0 +1,89 @@
+//===- doppio/proc/programs.h - Native guest programs ------------*- C++ -*-==//
+//
+// Part of the Doppio reproduction. See README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The coreutils of the process subsystem: small native programs (cat,
+/// grep, wc, ...) that run as kernel-scheduled continuation chains over
+/// their process's fd table, so pipelines compose `cat | grep`-style over
+/// the Doppio file system. A ProgramRegistry maps argv[0] to a factory;
+/// the doppiod `spawn` handler and the doppio_sh example both launch
+/// programs out of one. JVM programs register through the same interface
+/// (jvm/proc_program.h) — the registry doesn't care what backs a program.
+///
+/// Stock programs (installCorePrograms):
+///   echo TEXT...      write the arguments, space-joined + newline, to fd 1
+///   cat [PATH...]     copy each file (or fd 0 when no paths) to fd 1
+///   upper             uppercase fd 0 to fd 1
+///   grep PATTERN      forward fd 0 lines containing PATTERN; exit 1 if none
+///   wc                count fd 0, write "<lines> <bytes>\n" at EOF
+///   head -n N         forward the first N lines of fd 0, then exit —
+///                     closing the pipe early (the SIGPIPE demo)
+///   pause             block on fd 0 forever (signal-delivery target)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DOPPIO_DOPPIO_PROC_PROGRAMS_H
+#define DOPPIO_DOPPIO_PROC_PROGRAMS_H
+
+#include "doppio/proc/proc.h"
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace doppio {
+namespace rt {
+namespace proc {
+
+/// Builds one program instance from its argv tail (argv[0] stripped).
+using ProgramFactory =
+    std::function<std::unique_ptr<Program>(std::vector<std::string> Args)>;
+
+/// Name -> factory table for spawn-by-name surfaces (doppiod's spawn
+/// handler, the doppio_sh example).
+class ProgramRegistry {
+public:
+  void add(std::string Name, ProgramFactory F) {
+    Factories[std::move(Name)] = std::move(F);
+  }
+
+  bool has(const std::string &Name) const { return Factories.count(Name); }
+
+  std::vector<std::string> names() const {
+    std::vector<std::string> Out;
+    for (const auto &[Name, F] : Factories)
+      Out.push_back(Name);
+    return Out;
+  }
+
+  /// Instantiates \p Argv[0] with the remaining arguments; nullptr for an
+  /// unknown name or empty argv.
+  std::unique_ptr<Program> create(const std::vector<std::string> &Argv) const {
+    if (Argv.empty())
+      return nullptr;
+    auto It = Factories.find(Argv[0]);
+    if (It == Factories.end())
+      return nullptr;
+    return It->second(
+        std::vector<std::string>(Argv.begin() + 1, Argv.end()));
+  }
+
+private:
+  std::map<std::string, ProgramFactory> Factories;
+};
+
+/// Registers the stock native programs listed above.
+void installCorePrograms(ProgramRegistry &R);
+
+/// Splits a command line on whitespace into argv tokens.
+std::vector<std::string> tokenize(const std::string &Line);
+
+} // namespace proc
+} // namespace rt
+} // namespace doppio
+
+#endif // DOPPIO_DOPPIO_PROC_PROGRAMS_H

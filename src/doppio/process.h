@@ -10,15 +10,27 @@
 /// Standard-stream redirection hooks live here too, since the embedding API
 /// of §6.8 lets a page capture a guest program's stdout/stderr.
 ///
+/// Since the process subsystem (src/doppio/proc/) landed this object is the
+/// per-process *state record*: every proc::Process owns one, and installs
+/// the asynchronous stdio hooks below so guest-language I/O (DoppioJVM's
+/// System.in/out/err, jcl.cpp) routes through the owning process's file
+/// descriptor table instead of the legacy capture buffers. Standalone
+/// embedders that never create a ProcessTable keep the old behavior: no
+/// hooks installed, output accumulates in the capture buffers, stdin is the
+/// pushStdin line queue.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DOPPIO_DOPPIO_PROCESS_H
 #define DOPPIO_DOPPIO_PROCESS_H
 
+#include "doppio/errors.h"
 #include "doppio/path.h"
 
 #include <functional>
+#include <optional>
 #include <string>
+#include <vector>
 
 namespace doppio {
 namespace rt {
@@ -26,14 +38,49 @@ namespace rt {
 /// Per-program process state.
 class Process {
 public:
+  /// Completion of a chdir: nullopt on success, ENOENT/ENOTDIR otherwise.
+  using ChdirCb = std::function<void(std::optional<ApiError>)>;
+  /// Validates an absolute candidate cwd against a file system; installed
+  /// by fs::FileSystem (satisfying ENOENT for missing paths and ENOTDIR
+  /// for files) so chdir no longer blindly normalizes.
+  using ChdirValidator =
+      std::function<void(const std::string &Abs, ChdirCb Done)>;
+  /// Asynchronous stdout/stderr write: completion fires when the bytes
+  /// reached their destination (a pipe may exert backpressure first).
+  using WriteHook =
+      std::function<void(const std::string &Text, std::function<void()>)>;
+  /// Asynchronous stdin line read: delivers the next line, or nullopt at
+  /// end of input.
+  using StdinHook = std::function<void(
+      std::function<void(std::optional<std::string>)> Deliver)>;
+
   const std::string &cwd() const { return Cwd; }
 
   /// Changes the working directory; \p NewCwd may be relative to the
-  /// current one. Returns the normalized absolute result.
-  const std::string &chdir(const std::string &NewCwd) {
-    Cwd = path::resolve(Cwd, NewCwd);
-    return Cwd;
+  /// current one. When a validator is installed (any Process attached to
+  /// an fs::FileSystem has one) the target is checked against the file
+  /// system first and the cwd only changes on success; without a file
+  /// system there is nothing to validate against and the path is just
+  /// normalized. \p Done may be null.
+  void chdir(const std::string &NewCwd, ChdirCb Done = nullptr) {
+    std::string Abs = path::resolve(Cwd, NewCwd);
+    if (!Validator) {
+      Cwd = Abs;
+      if (Done)
+        Done(std::nullopt);
+      return;
+    }
+    Validator(Abs, [this, Abs, Done = std::move(Done)](
+                       std::optional<ApiError> Err) {
+      if (!Err)
+        Cwd = Abs;
+      if (Done)
+        Done(std::move(Err));
+    });
   }
+
+  void setChdirValidator(ChdirValidator V) { Validator = std::move(V); }
+  void clearChdirValidator() { Validator = nullptr; }
 
   /// Resolves \p P against the working directory.
   std::string resolve(const std::string &P) const {
@@ -74,10 +121,26 @@ public:
     return Line;
   }
 
+  // Fd-table routing (src/doppio/proc/): when installed, guest-language
+  // stdio goes through these instead of the sinks/queues above, so a
+  // JVM's System.out lands in the owning process's fd 1 (which may be a
+  // pipe into another process) and System.in drains fd 0 — with real
+  // backpressure, since the write hook completes asynchronously.
+  void setStdoutHook(WriteHook H) { StdoutHook = std::move(H); }
+  void setStderrHook(WriteHook H) { StderrHook = std::move(H); }
+  void setStdinHook(StdinHook H) { StdinReadHook = std::move(H); }
+  const WriteHook &stdoutHook() const { return StdoutHook; }
+  const WriteHook &stderrHook() const { return StderrHook; }
+  const StdinHook &stdinHook() const { return StdinReadHook; }
+
 private:
   std::string Cwd = "/";
+  ChdirValidator Validator;
   std::function<void(const std::string &)> StdoutSink;
   std::function<void(const std::string &)> StderrSink;
+  WriteHook StdoutHook;
+  WriteHook StderrHook;
+  StdinHook StdinReadHook;
   std::string StdoutBuffer;
   std::string StderrBuffer;
   std::vector<std::string> StdinLines;

@@ -4,6 +4,7 @@
 
 #include "doppio/fs.h"
 #include "doppio/obs/exposition.h"
+#include "doppio/proc/programs.h"
 
 #include <cstdio>
 
@@ -76,11 +77,89 @@ Router::Handler server::makeMetricsHandler(const obs::Registry &Reg) {
   };
 }
 
+Router::Handler server::makeSpawnHandler(proc::ProcessTable &Procs,
+                                         const proc::ProgramRegistry &Progs) {
+  return [&Procs, &Progs](const frame::Request &R,
+                          Router::RespondFn Respond) {
+    std::string Line(R.Body.begin(), R.Body.end());
+
+    // Split the command line into pipeline stages on '|'.
+    std::vector<std::vector<std::string>> Stages;
+    size_t Start = 0;
+    while (Start <= Line.size()) {
+      size_t Bar = Line.find('|', Start);
+      std::string Part = Line.substr(
+          Start, Bar == std::string::npos ? std::string::npos : Bar - Start);
+      Stages.push_back(proc::tokenize(Part));
+      if (Bar == std::string::npos)
+        break;
+      Start = Bar + 1;
+    }
+
+    std::vector<proc::ProcessTable::SpawnSpec> Specs;
+    for (const auto &Argv : Stages) {
+      if (Argv.empty()) {
+        Respond(frame::Status::BadRequest, bytesOf("spawn: empty command"));
+        return;
+      }
+      proc::ProcessTable::SpawnSpec S;
+      S.Name = Argv[0];
+      S.Prog = Progs.create(Argv);
+      if (!S.Prog) {
+        Respond(frame::Status::BadRequest,
+                bytesOf("spawn: unknown program '" + Argv[0] + "'"));
+        return;
+      }
+      Specs.push_back(std::move(S));
+    }
+
+    std::vector<proc::Pid> Pids = Procs.spawnPipeline(std::move(Specs));
+
+    // Wait for every stage; respond once the whole pipeline has been
+    // reaped. The waiters park before any program starts (starts are
+    // posted on the Background lane), so no exit can race past them.
+    struct Pending {
+      size_t Remaining;
+      proc::Pid Last;
+      int LastCode = 0;
+      Router::RespondFn Respond;
+    };
+    auto State = std::make_shared<Pending>();
+    State->Remaining = Pids.size();
+    State->Last = Pids.back();
+    State->Respond = std::move(Respond);
+    for (proc::Pid P : Pids) {
+      Procs.waitpid(1, P, [&Procs, State, P](ErrorOr<proc::WaitResult> W) {
+        if (W.ok() && W->P == State->Last)
+          State->LastCode = W->ExitCode;
+        if (--State->Remaining > 0)
+          return;
+        proc::Process *LastProc = Procs.find(State->Last);
+        std::string Out =
+            LastProc ? LastProc->state().capturedStdout() : "";
+        if (State->LastCode == 0) {
+          State->Respond(frame::Status::Ok, bytesOf(Out));
+          return;
+        }
+        std::string Err =
+            LastProc ? LastProc->state().capturedStderr() : "";
+        State->Respond(frame::Status::Error,
+                       bytesOf("exit " + std::to_string(State->LastCode) +
+                               ": " + Err));
+      });
+    }
+  };
+}
+
 void server::installDefaultHandlers(Router &R, fs::FileSystem &Fs,
-                                    const obs::Registry *Reg) {
+                                    const obs::Registry *Reg,
+                                    proc::ProcessTable *Procs,
+                                    const proc::ProgramRegistry *Progs) {
   R.handle("echo", makeEchoHandler());
   R.handle("stat", makeStatHandler(Fs));
   R.handle("file", makeFileHandler(Fs));
   if (Reg)
     R.handle("metrics", makeMetricsHandler(*Reg));
+  if (Procs && Progs)
+    R.handle("spawn", makeSpawnHandler(*Procs, *Progs));
 }

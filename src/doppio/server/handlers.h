@@ -18,6 +18,11 @@
 ///    exposition; "json" responds with the JSON document that also
 ///    carries recent spans — a client can scrape end-to-end request
 ///    attribution from the server it is load-testing.
+///  - "spawn": body is a command line, optionally a pipeline ("cat /a |
+///    grep x | wc"). Each request spawns the guest process(es) out of a
+///    ProgramRegistry, waits for every stage, and responds with the last
+///    stage's captured stdout (Ok on exit 0, Error with the exit code and
+///    stderr otherwise) over the frame codec.
 ///
 /// FS-backed handlers respond asynchronously (the FS API is async-only,
 /// §3.2); errors map to Status::Error with the errno-style message as the
@@ -39,6 +44,10 @@ namespace rt {
 namespace fs {
 class FileSystem;
 } // namespace fs
+namespace proc {
+class ProcessTable;
+class ProgramRegistry;
+} // namespace proc
 
 namespace server {
 
@@ -49,10 +58,20 @@ Router::Handler makeFileHandler(fs::FileSystem &Fs);
 /// document (with spans) for "json"; any other body is a BadRequest.
 Router::Handler makeMetricsHandler(const obs::Registry &Reg);
 
+/// Runs one pipeline per request out of \p Progs on \p Procs (both must
+/// outlive the router). Stages spawn as children of init with parked
+/// waiters, so the table drains zombie-free whether or not clients stay
+/// connected.
+Router::Handler makeSpawnHandler(proc::ProcessTable &Procs,
+                                 const proc::ProgramRegistry &Progs);
+
 /// Registers echo, stat, and file under their stock names; when \p Reg is
-/// non-null, also registers metrics.
+/// non-null, also registers metrics; when \p Procs and \p Progs are
+/// non-null, also registers spawn.
 void installDefaultHandlers(Router &R, fs::FileSystem &Fs,
-                            const obs::Registry *Reg = nullptr);
+                            const obs::Registry *Reg = nullptr,
+                            proc::ProcessTable *Procs = nullptr,
+                            const proc::ProgramRegistry *Progs = nullptr);
 
 } // namespace server
 } // namespace rt

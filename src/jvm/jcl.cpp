@@ -815,6 +815,19 @@ void registerSystemNatives(Jvm &Vm) {
                     bool Newline) {
     bool IsErr = getField(Ctx.Vm, Ctx.Args[0].R, "isErr").I != 0;
     std::string Out = Newline ? Text + "\n" : Text;
+    // Process-subsystem routing: when the owning proc::Process installed
+    // an fd-table write hook, the write is asynchronous and may park on a
+    // full pipe — block the green thread until the bytes land, which is
+    // what gives System.out real pipe backpressure (§4.2 bridge).
+    const rt::Process::WriteHook &Hook = IsErr
+                                             ? Ctx.Vm.process().stderrHook()
+                                             : Ctx.Vm.process().stdoutHook();
+    if (Hook) {
+      Ctx.blockWithResult([Hook, Out](NativeCompletion Complete) {
+        Hook(Out, [Complete] { Complete(Value()); });
+      });
+      return;
+    }
     if (IsErr)
       Ctx.Vm.process().writeStderr(Out);
     else
@@ -1400,6 +1413,21 @@ void registerFileNatives(Jvm &Vm) {
       "doppio/Stdin", "readLine", "()Ljava/lang/String;",
       [](NativeContext &Ctx) {
         Jvm &TheVm = Ctx.Vm;
+        // Process-subsystem routing: System.in drains the owning process's
+        // fd 0 (possibly a pipe from an upstream stage), blocking the green
+        // thread until a line — or EOF (null) — arrives.
+        if (const rt::Process::StdinHook &Hook = TheVm.process().stdinHook()) {
+          Ctx.blockWithResult([&TheVm, Hook](NativeCompletion Complete) {
+            Hook([&TheVm, Complete](std::optional<std::string> Line) {
+              if (!Line) {
+                Complete(Value::null()); // EOF.
+                return;
+              }
+              Complete(Value::ref(TheVm.newString(*Line)));
+            });
+          });
+          return;
+        }
         if (!TheVm.process().hasStdin()) {
           Ctx.setReturn(Value::null()); // EOF.
           return;

@@ -1,0 +1,40 @@
+//===- jvm/proc_program.cpp -----------------------------------------------==//
+
+#include "jvm/proc_program.h"
+
+namespace doppio {
+namespace jvm {
+
+namespace {
+
+/// Owns one Jvm for the lifetime of the program object. The program (and
+/// with it the Jvm, its thread pool, and any in-flight green threads)
+/// lives until the ProcessTable is destroyed — see proc::Program — so a
+/// thread-pool tail running after the process exits never dangles.
+class JvmProgram : public rt::proc::Program {
+public:
+  explicit JvmProgram(JvmProgramSpec Spec) : Spec(std::move(Spec)) {}
+
+  std::string name() const override { return "java:" + Spec.MainClass; }
+
+  void start(rt::proc::Process &P) override {
+    // The JVM mounts the process's state record, so the stdio hooks the
+    // process installed route System.in/out/err through its fd table.
+    Vm = std::make_unique<Jvm>(P.env(), P.table().fs(), P.state(),
+                               Spec.Options);
+    Vm->runMain(Spec.MainClass, Spec.Args, P.makeExitFn());
+  }
+
+private:
+  JvmProgramSpec Spec;
+  std::unique_ptr<Jvm> Vm;
+};
+
+} // namespace
+
+std::unique_ptr<rt::proc::Program> makeJvmProgram(JvmProgramSpec Spec) {
+  return std::make_unique<JvmProgram>(std::move(Spec));
+}
+
+} // namespace jvm
+} // namespace doppio

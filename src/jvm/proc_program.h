@@ -1,0 +1,40 @@
+//===- jvm/proc_program.h - JVM guests as processes --------------*- C++ -*-==//
+//
+// Part of the Doppio reproduction. See README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Bridges DoppioJVM into the process subsystem: makeJvmProgram wraps a
+/// (main class, args, options) triple as a proc::Program, so a JVM guest
+/// spawns, pipes, signals, and waits exactly like a native program. The
+/// Jvm is constructed inside start() over the owning process's state
+/// record — its System.in/out/err therefore route through the process fd
+/// table (jcl.cpp consults the rt::Process hooks), and main()'s exit code
+/// becomes the process exit code via Process::makeExitFn.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DOPPIO_JVM_PROC_PROGRAM_H
+#define DOPPIO_JVM_PROC_PROGRAM_H
+
+#include "doppio/proc/proc.h"
+#include "jvm/jvm.h"
+
+namespace doppio {
+namespace jvm {
+
+/// What to run: java MainClass Args... with Options.
+struct JvmProgramSpec {
+  std::string MainClass;
+  std::vector<std::string> Args;
+  JvmOptions Options;
+};
+
+/// A proc::Program backed by a fresh DoppioJVM instance.
+std::unique_ptr<rt::proc::Program> makeJvmProgram(JvmProgramSpec Spec);
+
+} // namespace jvm
+} // namespace doppio
+
+#endif // DOPPIO_JVM_PROC_PROGRAM_H

@@ -114,3 +114,135 @@ void TrafficGen::clientDone(Client &C) {
     }
   }
 }
+
+//===----------------------------------------------------------------------===//
+// PipelineScenario
+//===----------------------------------------------------------------------===//
+
+namespace proc = doppio::rt::proc;
+
+PipelineScenario::PipelineScenario(browser::BrowserEnv &Env,
+                                   proc::ProcessTable &Procs,
+                                   PipelineConfig Cfg)
+    : Env(Env), Procs(Procs), Cfg(std::move(Cfg)) {
+  proc::installCorePrograms(Registry);
+}
+
+std::string PipelineScenario::tracePath(size_t Index) const {
+  return "/data/fstrace-" + std::to_string(Index) + ".log";
+}
+
+std::string PipelineScenario::traceBody(size_t Index) const {
+  // Synthetic fstrace records in the shape minicompile's fs activity
+  // takes: open/read/close triplets over per-pipeline file names.
+  std::string Body;
+  for (size_t L = 0; L < Cfg.TraceLines; ++L) {
+    std::string File =
+        "/data/p" + std::to_string(Index) + "/f" + std::to_string(L / 3);
+    switch (L % 3) {
+    case 0:
+      Body += "open " + File + "\n";
+      break;
+    case 1:
+      Body += "read " + File + " 4096\n";
+      break;
+    default:
+      Body += "close " + File + "\n";
+      break;
+    }
+  }
+  return Body;
+}
+
+std::string PipelineScenario::expectedWc(size_t Index) const {
+  std::string Body = traceBody(Index);
+  uint64_t Lines = 0;
+  uint64_t Bytes = 0;
+  size_t Start = 0;
+  while (Start < Body.size()) {
+    size_t End = Body.find('\n', Start);
+    std::string Line = Body.substr(Start, End - Start);
+    if (Line.find("open") != std::string::npos) {
+      ++Lines;
+      Bytes += Line.size() + 1;
+    }
+    Start = End + 1;
+  }
+  return std::to_string(Lines) + " " + std::to_string(Bytes) + "\n";
+}
+
+void PipelineScenario::start(std::function<void()> Done) {
+  Started = true;
+  OnDone = std::move(Done);
+  StagesRemaining = Cfg.Pipelines * 3;
+  BaseSpawned = Procs.spawned();
+  BasePipeBytes = Procs.pipeBytes();
+  BaseWriterSuspends = Procs.pipeWriterSuspends();
+  if (Cfg.Pipelines == 0) {
+    StagesRemaining = 1;
+    noteStageDone();
+    return;
+  }
+  Procs.fs().mkdirp("/data", [this](std::optional<rt::ApiError>) {
+    for (size_t I = 0; I < Cfg.Pipelines; ++I) {
+      std::string Body = traceBody(I);
+      Procs.fs().writeFile(
+          tracePath(I), std::vector<uint8_t>(Body.begin(), Body.end()),
+          [this, I](std::optional<rt::ApiError> Err) {
+            if (Err) {
+              // Treat a failed seed as three failed stages.
+              ExitsOk = false;
+              for (int S = 0; S < 3; ++S)
+                noteStageDone();
+              return;
+            }
+            launch(I);
+          });
+    }
+  });
+}
+
+void PipelineScenario::launch(size_t Index) {
+  std::vector<proc::ProcessTable::SpawnSpec> Stages(3);
+  Stages[0].Name = "cat";
+  Stages[0].Prog = Registry.create({"cat", tracePath(Index)});
+  Stages[1].Name = "grep";
+  Stages[1].Prog = Registry.create({"grep", "open"});
+  Stages[2].Name = "wc";
+  Stages[2].Prog = Registry.create({"wc"});
+  std::vector<proc::Pid> Pids =
+      Procs.spawnPipeline(std::move(Stages), Cfg.PipeCapacity);
+  proc::Pid Last = Pids.back();
+  for (proc::Pid P : Pids) {
+    Procs.waitpid(
+        1, P, [this, P, Last, Index](rt::ErrorOr<proc::WaitResult> W) {
+          if (!W.ok() || W->ExitCode != 0)
+            ExitsOk = false;
+          if (W.ok() && P == Last) {
+            proc::Process *Wc = Procs.find(P);
+            if (!Wc || Wc->state().capturedStdout() != expectedWc(Index))
+              WcOk = false;
+          }
+          noteStageDone();
+        });
+  }
+}
+
+void PipelineScenario::noteStageDone() {
+  if (StagesRemaining > 0)
+    --StagesRemaining;
+  if (StagesRemaining > 0)
+    return;
+  Report.ProcessesSpawned = Procs.spawned() - BaseSpawned;
+  Report.PipeBytes = Procs.pipeBytes() - BasePipeBytes;
+  Report.PipeWriterSuspends =
+      Procs.pipeWriterSuspends() - BaseWriterSuspends;
+  Report.ZombiesAfterDrain = Procs.zombies();
+  Report.AllExitsZero = ExitsOk;
+  Report.OutputsMatch = WcOk;
+  if (OnDone) {
+    auto Done = std::move(OnDone);
+    OnDone = nullptr;
+    Done();
+  }
+}

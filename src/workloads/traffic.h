@@ -12,6 +12,11 @@
 /// inter-arrival spacing so connection setup, backlog pressure, and idle
 /// reaping all exercise realistically inside one event-loop run.
 ///
+/// PipelineScenario is the process-subsystem counterpart: it seeds fstrace
+/// logs into the Doppio fs and runs `cat | grep | wc` pipelines of spawned
+/// guest processes over them, reporting spawn/pipe/zombie statistics off
+/// the proc metric cells.
+///
 /// Used by bench/fig7_server.cpp and the server test suite.
 ///
 //===----------------------------------------------------------------------===//
@@ -21,6 +26,7 @@
 
 #include "browser/env.h"
 #include "doppio/obs/metrics.h"
+#include "doppio/proc/programs.h"
 #include "doppio/server/client.h"
 
 #include <functional>
@@ -94,6 +100,68 @@ private:
   std::vector<std::unique_ptr<Client>> Fleet;
   size_t Remaining = 0;
   bool Started = false;
+  std::function<void()> OnDone;
+};
+
+struct PipelineConfig {
+  /// Concurrent three-stage pipelines (cat fstrace | grep open | wc).
+  size_t Pipelines = 4;
+  /// Lines per seeded fstrace log (open/read/close records).
+  size_t TraceLines = 60;
+  /// Pipe capacity in bytes. Small relative to the trace so writers block
+  /// on full pipes and the kernel has to resume them.
+  size_t PipeCapacity = 256;
+};
+
+struct PipelineReport {
+  uint64_t ProcessesSpawned = 0;
+  uint64_t PipeBytes = 0;
+  uint64_t PipeWriterSuspends = 0;
+  uint64_t ZombiesAfterDrain = 0;
+  /// Every stage of every pipeline exited 0.
+  bool AllExitsZero = false;
+  /// Every wc stage printed the expected "<lines> <bytes>" for its trace.
+  bool OutputsMatch = false;
+};
+
+/// Runs PipelineConfig::Pipelines piped multi-process workloads on a
+/// ProcessTable. start() seeds /data/fstrace-<i>.log files through the
+/// table's fs, spawns the pipelines, and parks waiters on every stage;
+/// the report is complete once every stage has been reaped (run the loop)
+/// and \p Done fires.
+class PipelineScenario {
+public:
+  PipelineScenario(browser::BrowserEnv &Env, rt::proc::ProcessTable &Procs,
+                   PipelineConfig Cfg = PipelineConfig());
+
+  PipelineScenario(const PipelineScenario &) = delete;
+  PipelineScenario &operator=(const PipelineScenario &) = delete;
+
+  void start(std::function<void()> Done = nullptr);
+
+  bool finished() const { return Started && StagesRemaining == 0; }
+  const PipelineReport &report() const { return Report; }
+
+private:
+  std::string tracePath(size_t Index) const;
+  std::string traceBody(size_t Index) const;
+  /// The wc output grep's "open" lines of trace \p Index reduce to.
+  std::string expectedWc(size_t Index) const;
+  void launch(size_t Index);
+  void noteStageDone();
+
+  browser::BrowserEnv &Env;
+  rt::proc::ProcessTable &Procs;
+  PipelineConfig Cfg;
+  PipelineReport Report;
+  rt::proc::ProgramRegistry Registry;
+  size_t StagesRemaining = 0;
+  bool Started = false;
+  bool ExitsOk = true;
+  bool WcOk = true;
+  uint64_t BaseSpawned = 0;
+  uint64_t BasePipeBytes = 0;
+  uint64_t BaseWriterSuspends = 0;
   std::function<void()> OnDone;
 };
 

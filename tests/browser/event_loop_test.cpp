@@ -233,4 +233,59 @@ TEST(PagingModel, NonLeakingBrowsersReclaim) {
   EXPECT_EQ(Env.liveTypedArrayBytes(), 0u);
 }
 
+TEST(TimerHandle, DoubleCancelOnlyFirstPreventsAFire) {
+  BrowserEnv Env(chromeProfile());
+  bool Fired = false;
+  TimerHandle H = Env.loop().postTimer(kernel::Lane::Timer,
+                                       [&] { Fired = true; }, msToNs(5));
+  EXPECT_TRUE(H.armed());
+  EXPECT_TRUE(H.cancel());
+  // The second cancel prevented nothing: it must say so.
+  EXPECT_FALSE(H.cancel());
+  EXPECT_FALSE(H.armed());
+  Env.loop().run();
+  EXPECT_FALSE(Fired);
+  // And a third, after the loop drained, is still false.
+  EXPECT_FALSE(H.cancel());
+}
+
+TEST(TimerHandle, CancelAfterFireReportsNothingPrevented) {
+  BrowserEnv Env(chromeProfile());
+  bool Fired = false;
+  TimerHandle H = Env.loop().postTimer(kernel::Lane::Timer,
+                                       [&] { Fired = true; }, msToNs(5));
+  Env.loop().run();
+  EXPECT_TRUE(Fired);
+  // Still bound to its (spent) timer, but no longer armed.
+  EXPECT_TRUE(static_cast<bool>(H));
+  EXPECT_FALSE(H.armed());
+  EXPECT_FALSE(H.cancel());
+}
+
+TEST(TimerHandle, MoveAssignmentReleasesOldHandleWithoutCancelling) {
+  BrowserEnv Env(chromeProfile());
+  bool FiredA = false;
+  bool FiredB = false;
+  TimerHandle A = Env.loop().postTimer(kernel::Lane::Timer,
+                                       [&] { FiredA = true; }, msToNs(5));
+  TimerHandle B = Env.loop().postTimer(kernel::Lane::Timer,
+                                       [&] { FiredB = true; }, msToNs(10));
+  uint64_t IdB = B.id();
+  // Overwriting A releases its timer — released, not cancelled: dropping
+  // a handle lets the timer fire (the documented non-owning-destructor
+  // semantics).
+  A = std::move(B);
+  EXPECT_EQ(A.id(), IdB);
+  EXPECT_TRUE(A.armed());
+  EXPECT_FALSE(B.armed()); // NOLINT(bugprone-use-after-move): moved-from
+                           // handles must report disarmed, that's the API.
+  EXPECT_FALSE(B.cancel());
+  // A now controls B's timer: cancelling it stops B's callback while the
+  // released one still fires.
+  EXPECT_TRUE(A.cancel());
+  Env.loop().run();
+  EXPECT_TRUE(FiredA);
+  EXPECT_FALSE(FiredB);
+}
+
 } // namespace

@@ -519,9 +519,14 @@ protected:
 
 TEST_F(FrontendTest, RelativePathsResolveAgainstCwd) {
   // §5.1: process.chdir support exists precisely so relative paths work.
+  // chdir validates against the fs, so each change needs the loop to run
+  // before dependent operations resolve against the new cwd.
   Fs.mkdirp("/work/dir", [](std::optional<ApiError>) {});
   Env.loop().run();
-  Proc.chdir("/work/dir");
+  std::optional<ApiError> CdErr(ApiError(Errno::Io, "pending"));
+  Proc.chdir("/work/dir", [&](std::optional<ApiError> E) { CdErr = E; });
+  Env.loop().run();
+  EXPECT_FALSE(CdErr.has_value());
   Fs.writeFile("notes.txt", bytesOf("hi"), [](std::optional<ApiError>) {});
   Env.loop().run();
   ErrorOr<std::vector<uint8_t>> R(ApiError(Errno::Io, "pending"));
@@ -531,11 +536,60 @@ TEST_F(FrontendTest, RelativePathsResolveAgainstCwd) {
   ASSERT_TRUE(R.ok());
   EXPECT_EQ(textOf(*R), "hi");
   Proc.chdir("..");
+  Env.loop().run();
   EXPECT_EQ(Proc.cwd(), "/work");
   bool Exists = false;
   Fs.exists("dir/notes.txt", [&](ErrorOr<bool> B) { Exists = *B; });
   Env.loop().run();
   EXPECT_TRUE(Exists);
+}
+
+TEST_F(FrontendTest, ChdirValidatesTargetAgainstFs) {
+  // A missing target is ENOENT and the cwd does not move.
+  std::optional<ApiError> E;
+  Proc.chdir("/nowhere", [&](std::optional<ApiError> R) { E = R; });
+  Env.loop().run();
+  ASSERT_TRUE(E.has_value());
+  EXPECT_EQ(E->Code, Errno::NoEnt);
+  EXPECT_EQ(Proc.cwd(), "/");
+
+  // A file target is ENOTDIR and the cwd does not move.
+  Fs.writeFile("/plain.txt", bytesOf("x"), [](std::optional<ApiError>) {});
+  Env.loop().run();
+  Proc.chdir("/plain.txt", [&](std::optional<ApiError> R) { E = R; });
+  Env.loop().run();
+  ASSERT_TRUE(E.has_value());
+  EXPECT_EQ(E->Code, Errno::NotDir);
+  EXPECT_EQ(Proc.cwd(), "/");
+
+  // A real directory validates, including via a relative path.
+  Fs.mkdirp("/a/b", [](std::optional<ApiError>) {});
+  Env.loop().run();
+  Proc.chdir("/a", [&](std::optional<ApiError> R) { E = R; });
+  Env.loop().run();
+  EXPECT_FALSE(E.has_value());
+  EXPECT_EQ(Proc.cwd(), "/a");
+  Proc.chdir("b", [&](std::optional<ApiError> R) { E = R; });
+  Env.loop().run();
+  EXPECT_FALSE(E.has_value());
+  EXPECT_EQ(Proc.cwd(), "/a/b");
+
+  // A failed relative chdir leaves the cwd where it was.
+  Proc.chdir("missing", [&](std::optional<ApiError> R) { E = R; });
+  Env.loop().run();
+  ASSERT_TRUE(E.has_value());
+  EXPECT_EQ(E->Code, Errno::NoEnt);
+  EXPECT_EQ(Proc.cwd(), "/a/b");
+}
+
+TEST_F(FrontendTest, ChdirWithoutFsJustNormalizes) {
+  // A Process not attached to any FileSystem has nothing to validate
+  // against: the legacy normalize-only behavior remains.
+  Process Bare;
+  std::optional<ApiError> E(ApiError(Errno::Io, "pending"));
+  Bare.chdir("/made/up/../dir", [&](std::optional<ApiError> R) { E = R; });
+  EXPECT_FALSE(E.has_value()); // Completes synchronously, no loop needed.
+  EXPECT_EQ(Bare.cwd(), "/made/dir");
 }
 
 TEST_F(FrontendTest, MkdirpCreatesChain) {

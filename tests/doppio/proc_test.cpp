@@ -1,0 +1,658 @@
+//===- tests/doppio/proc_test.cpp -----------------------------------------==//
+//
+// The process subsystem (src/doppio/proc/, DESIGN.md §14): pids and
+// parent/child links, zombies and waitpid reaping, per-process fd tables
+// (dup/dup2, EBADF), bounded pipes with writer/reader backpressure,
+// signal delivery (kill, SIGCHLD, SIGPIPE), exec image replacement, the
+// doppiod spawn handler, and the acceptance pipeline — a JVM producer
+// piped through native filters on every browser profile.
+//
+// Registered under `ctest -L proc`.
+//
+//===----------------------------------------------------------------------===//
+
+#include "doppio/backends/in_memory.h"
+#include "doppio/fs.h"
+#include "doppio/proc/programs.h"
+#include "doppio/server/client.h"
+#include "doppio/server/handlers.h"
+#include "doppio/server/server.h"
+#include "jvm/classfile/builder.h"
+#include "jvm/proc_program.h"
+
+#include "gtest/gtest.h"
+
+#include <map>
+
+using namespace doppio;
+using namespace doppio::rt;
+namespace proc = doppio::rt::proc;
+namespace server = doppio::rt::server;
+
+namespace {
+
+std::vector<uint8_t> bytesOf(const std::string &S) {
+  return std::vector<uint8_t>(S.begin(), S.end());
+}
+
+std::string str(const std::vector<uint8_t> &B) {
+  return std::string(B.begin(), B.end());
+}
+
+/// One browser hosting a process table over a seeded in-memory fs, with
+/// the stock native programs and a bare "sh" process to parent children.
+struct ProcRig {
+  explicit ProcRig(const browser::Profile &P = browser::chromeProfile())
+      : Env(P) {
+    auto RootB = std::make_unique<fs::InMemoryBackend>(Env);
+    Root = RootB.get();
+    Fs = std::make_unique<fs::FileSystem>(Env, KernelState, std::move(RootB));
+    Procs = std::make_unique<proc::ProcessTable>(Env, *Fs);
+    proc::installCorePrograms(Progs);
+    proc::ProcessTable::SpawnSpec S;
+    S.Name = "sh";
+    Sh = Procs->spawn(std::move(S));
+  }
+
+  proc::Process &sh() { return *Procs->find(Sh); }
+
+  /// Spawns `a | b | c`-style \p Line with every stage parented to sh.
+  std::vector<proc::Pid>
+  pipeline(const std::string &Line,
+           size_t PipeCapacity = proc::ProcessTable::DefaultPipeCapacity) {
+    std::vector<proc::ProcessTable::SpawnSpec> Stages;
+    size_t Start = 0;
+    while (Start <= Line.size()) {
+      size_t Bar = Line.find('|', Start);
+      std::vector<std::string> Argv = proc::tokenize(Line.substr(
+          Start, Bar == std::string::npos ? std::string::npos : Bar - Start));
+      proc::ProcessTable::SpawnSpec S;
+      S.Name = Argv.empty() ? "?" : Argv[0];
+      S.Parent = Sh;
+      S.Prog = Progs.create(Argv);
+      EXPECT_TRUE(S.Prog) << Line;
+      Stages.push_back(std::move(S));
+      if (Bar == std::string::npos)
+        break;
+      Start = Bar + 1;
+    }
+    return Procs->spawnPipeline(std::move(Stages), PipeCapacity);
+  }
+
+  /// Parks a waiter for \p P, recording the result.
+  void collect(proc::Pid P, std::map<proc::Pid, proc::WaitResult> &Into) {
+    Procs->waitpid(Sh, P, [&Into](ErrorOr<proc::WaitResult> W) {
+      ASSERT_TRUE(W.ok());
+      Into[W->P] = *W;
+    });
+  }
+
+  browser::BrowserEnv Env;
+  rt::Process KernelState;
+  fs::InMemoryBackend *Root = nullptr;
+  std::unique_ptr<fs::FileSystem> Fs;
+  std::unique_ptr<proc::ProcessTable> Procs;
+  proc::ProgramRegistry Progs;
+  proc::Pid Sh = 0;
+};
+
+//===----------------------------------------------------------------------===//
+// Pipes: bounded buffering, backpressure, EOF, EPIPE
+//===----------------------------------------------------------------------===//
+
+TEST(ProcPipe, WriterParksOnFullPipeAndResumesThroughTheKernel) {
+  ProcRig R;
+  auto P = R.Procs->makePipe(4);
+  P->addWriter();
+  P->addReader();
+
+  // Fills the pipe: partial write, completes with the accepted count.
+  size_t W1 = 0;
+  P->write(bytesOf("abcdef"), [&](ErrorOr<size_t> N) { W1 = *N; });
+  R.Env.loop().run();
+  EXPECT_EQ(W1, 4u);
+  EXPECT_EQ(P->buffered(), 4u);
+
+  // Full: this write suspends — no completion even after the loop drains.
+  bool W2Done = false;
+  size_t W2 = 0;
+  uint64_t SuspendsBefore = R.Procs->pipeWriterSuspends();
+  P->write(bytesOf("gh"), [&](ErrorOr<size_t> N) {
+    W2Done = true;
+    W2 = *N;
+  });
+  R.Env.loop().run();
+  EXPECT_FALSE(W2Done);
+  EXPECT_EQ(R.Procs->pipeWriterSuspends(), SuspendsBefore + 1);
+
+  // A read frees space; the parked writer resumes as a kernel dispatch.
+  std::string Got;
+  P->read(16, [&](ErrorOr<std::vector<uint8_t>> B) { Got = str(*B); });
+  R.Env.loop().run();
+  EXPECT_EQ(Got, "abcd");
+  EXPECT_TRUE(W2Done);
+  EXPECT_EQ(W2, 2u);
+  EXPECT_GE(R.Procs->pipeBytes(), 6u);
+
+  // EOF: last-writer close flushes parked readers with an empty result.
+  bool SawEof = false;
+  uint64_t ReaderSuspendsBefore = R.Procs->pipeReaderSuspends();
+  P->read(16, [&](ErrorOr<std::vector<uint8_t>> B) { Got = str(*B); });
+  P->read(16, [&](ErrorOr<std::vector<uint8_t>> B) {
+    SawEof = B.ok() && B->empty();
+  });
+  R.Env.loop().run();
+  EXPECT_EQ(Got, "gh");
+  EXPECT_FALSE(SawEof); // Parked: a writer is still open.
+  EXPECT_EQ(R.Procs->pipeReaderSuspends(), ReaderSuspendsBefore + 1);
+  P->closeWriter();
+  R.Env.loop().run();
+  EXPECT_TRUE(SawEof);
+}
+
+TEST(ProcPipe, LastReaderCloseBreaksThePipe) {
+  ProcRig R;
+  auto P = R.Procs->makePipe(2);
+  P->addWriter();
+  P->addReader();
+
+  // One parked write, then the reader goes away: both the parked and any
+  // later write fail with EPIPE.
+  P->write(bytesOf("xx"), [](ErrorOr<size_t>) {});
+  std::optional<Errno> ParkedErr, LateErr;
+  P->write(bytesOf("yy"), [&](ErrorOr<size_t> N) {
+    if (!N.ok())
+      ParkedErr = N.error().Code;
+  });
+  P->closeReader();
+  P->write(bytesOf("zz"), [&](ErrorOr<size_t> N) {
+    if (!N.ok())
+      LateErr = N.error().Code;
+  });
+  R.Env.loop().run();
+  EXPECT_EQ(ParkedErr, Errno::Pipe);
+  EXPECT_EQ(LateErr, Errno::Pipe);
+}
+
+//===----------------------------------------------------------------------===//
+// Fd tables: open/dup/dup2 aliasing, EBADF
+//===----------------------------------------------------------------------===//
+
+TEST(ProcFdTable, DupAliasesShareTheCursorAndBadFdsError) {
+  ProcRig R;
+  proc::FdTable &Fds = R.sh().fds();
+
+  int Fd = -1;
+  R.Fs->mkdirp("/tmp", [](std::optional<ApiError>) {});
+  R.Env.loop().run();
+  Fds.open(*R.Fs, "/tmp/out.txt", "w",
+           [&](ErrorOr<int> F) { Fd = *F; });
+  R.Env.loop().run();
+  ASSERT_GE(Fd, 3); // 0/1/2 are stdio.
+
+  // dup takes the lowest free slot; dup2 lands exactly where asked. All
+  // three aliases share one description — and one file cursor.
+  ErrorOr<int> Dup = Fds.dup(Fd);
+  ASSERT_TRUE(Dup.ok());
+  ErrorOr<int> Dup2 = Fds.dup2(Fd, 10);
+  ASSERT_TRUE(Dup2.ok());
+  EXPECT_EQ(*Dup2, 10);
+
+  Fds.writeAll(Fd, bytesOf("ab"), nullptr);
+  R.Env.loop().run();
+  Fds.writeAll(*Dup, bytesOf("cd"), nullptr);
+  R.Env.loop().run();
+  Fds.writeAll(10, bytesOf("ef"), nullptr);
+  R.Env.loop().run();
+  Fds.close(Fd);
+  Fds.close(*Dup);
+  Fds.close(10);
+  R.Env.loop().run();
+
+  std::string Contents;
+  R.Fs->readFile("/tmp/out.txt", [&](ErrorOr<std::vector<uint8_t>> B) {
+    Contents = str(*B);
+  });
+  R.Env.loop().run();
+  EXPECT_EQ(Contents, "abcdef");
+
+  // EBADF surfaces on every entry point.
+  EXPECT_FALSE(Fds.dup(99).ok());
+  EXPECT_FALSE(Fds.dup2(99, 3).ok());
+  std::optional<Errno> ReadErr, WriteErr;
+  Fds.read(99, 16, [&](ErrorOr<std::vector<uint8_t>> B) {
+    ReadErr = B.error().Code;
+  });
+  Fds.write(99, bytesOf("x"), [&](ErrorOr<size_t> N) {
+    WriteErr = N.error().Code;
+  });
+  // Reading process stdout (write-only description) is EBADF too.
+  std::optional<Errno> StdoutReadErr;
+  Fds.read(1, 16, [&](ErrorOr<std::vector<uint8_t>> B) {
+    StdoutReadErr = B.error().Code;
+  });
+  R.Env.loop().run();
+  EXPECT_EQ(ReadErr, Errno::BadFd);
+  EXPECT_EQ(WriteErr, Errno::BadFd);
+  EXPECT_EQ(StdoutReadErr, Errno::BadFd);
+}
+
+TEST(ProcFdTable, DefaultStdinDrainsThePushStdinQueue) {
+  ProcRig R;
+  proc::ProcessTable::SpawnSpec S;
+  S.Name = "grep";
+  S.Parent = R.Sh;
+  S.Prog = R.Progs.create({"grep", "tick"});
+  proc::Pid P = R.Procs->spawn(std::move(S));
+  // The program starts on a later dispatch; queue its input first.
+  R.Procs->find(P)->state().pushStdin("tick one");
+  R.Procs->find(P)->state().pushStdin("nope");
+  R.Procs->find(P)->state().pushStdin("tick two");
+
+  std::map<proc::Pid, proc::WaitResult> Results;
+  R.collect(P, Results);
+  R.Env.loop().run();
+  ASSERT_EQ(Results.count(P), 1u);
+  EXPECT_EQ(Results[P].ExitCode, 0);
+  EXPECT_EQ(R.Procs->find(P)->state().capturedStdout(),
+            "tick one\ntick two\n");
+}
+
+//===----------------------------------------------------------------------===//
+// Zombies and waitpid
+//===----------------------------------------------------------------------===//
+
+TEST(ProcWait, ZombiesParkUntilWaitedAndReapedPidsAreEchild) {
+  ProcRig R;
+  proc::ProcessTable::SpawnSpec S;
+  S.Name = "echo";
+  S.Parent = R.Sh;
+  S.Prog = R.Progs.create({"echo", "hi"});
+  proc::Pid P = R.Procs->spawn(std::move(S));
+  R.Env.loop().run();
+
+  // Exited, parent alive, nobody waiting: a zombie, stdout retained.
+  ASSERT_NE(R.Procs->find(P), nullptr);
+  EXPECT_TRUE(R.Procs->find(P)->zombie());
+  EXPECT_EQ(R.Procs->zombies(), 1u);
+  EXPECT_EQ(R.Procs->find(P)->state().capturedStdout(), "hi\n");
+
+  std::map<proc::Pid, proc::WaitResult> Results;
+  R.collect(P, Results);
+  R.Env.loop().run();
+  ASSERT_EQ(Results.count(P), 1u);
+  EXPECT_EQ(Results[P].ExitCode, 0);
+  EXPECT_FALSE(Results[P].Signaled);
+  EXPECT_EQ(R.Procs->zombies(), 0u);
+  // The reaped record stays addressable (captured stdio outlives reap).
+  ASSERT_NE(R.Procs->find(P), nullptr);
+  EXPECT_EQ(R.Procs->find(P)->state().capturedStdout(), "hi\n");
+
+  // Waiting again — or with no children at all — is ECHILD.
+  std::optional<Errno> Again, NoKids;
+  R.Procs->waitpid(R.Sh, P, [&](ErrorOr<proc::WaitResult> W) {
+    Again = W.error().Code;
+  });
+  R.Procs->waitpid(R.Sh, -1, [&](ErrorOr<proc::WaitResult> W) {
+    NoKids = W.error().Code;
+  });
+  R.Env.loop().run();
+  EXPECT_EQ(Again, Errno::Child);
+  EXPECT_EQ(NoKids, Errno::Child);
+}
+
+TEST(ProcWait, SomeoneElsesChildIsEchildAndInitChildrenAutoReap) {
+  ProcRig R;
+  // Another bare shell, with a child of its own.
+  proc::ProcessTable::SpawnSpec S2;
+  S2.Name = "sh2";
+  proc::Pid Sh2 = R.Procs->spawn(std::move(S2));
+  proc::ProcessTable::SpawnSpec C;
+  C.Name = "echo";
+  C.Parent = Sh2;
+  C.Prog = R.Progs.create({"echo", "x"});
+  proc::Pid Other = R.Procs->spawn(std::move(C));
+  R.Env.loop().run();
+
+  std::optional<Errno> NotMine;
+  R.Procs->waitpid(R.Sh, Other, [&](ErrorOr<proc::WaitResult> W) {
+    NotMine = W.error().Code;
+  });
+  R.Env.loop().run();
+  EXPECT_EQ(NotMine, Errno::Child);
+  // Still a zombie for its real parent.
+  EXPECT_EQ(R.Procs->zombies(), 1u);
+  std::map<proc::Pid, proc::WaitResult> Results;
+  R.Procs->waitpid(Sh2, -1, [&](ErrorOr<proc::WaitResult> W) {
+    ASSERT_TRUE(W.ok());
+    Results[W->P] = *W;
+  });
+  R.Env.loop().run();
+  EXPECT_EQ(Results.count(Other), 1u);
+  EXPECT_EQ(R.Procs->zombies(), 0u);
+
+  // Children of init (the spawn default) never linger: init doesn't wait,
+  // so they are reaped at exit.
+  uint64_t ReapedBefore = R.Procs->reaped();
+  proc::ProcessTable::SpawnSpec I;
+  I.Name = "echo";
+  I.Prog = R.Progs.create({"echo", "orphan"});
+  R.Procs->spawn(std::move(I));
+  R.Env.loop().run();
+  EXPECT_EQ(R.Procs->zombies(), 0u);
+  EXPECT_EQ(R.Procs->reaped(), ReapedBefore + 1);
+}
+
+//===----------------------------------------------------------------------===//
+// Signals
+//===----------------------------------------------------------------------===//
+
+/// Spawns `pause` reading a pipe we hold the write end of, so it stays
+/// parked until a signal arrives.
+proc::Pid spawnBlockedPause(ProcRig &R, std::shared_ptr<proc::OpenFile> &Hold) {
+  auto P = R.Procs->makePipe();
+  proc::ProcessTable::SpawnSpec S;
+  S.Name = "pause";
+  S.Parent = R.Sh;
+  S.Prog = R.Progs.create({"pause"});
+  S.Fds.emplace_back(0, std::make_shared<proc::PipeReadEnd>(P));
+  Hold = std::make_shared<proc::PipeWriteEnd>(P);
+  return R.Procs->spawn(std::move(S));
+}
+
+TEST(ProcSignal, KillTerminatesWithTheSignalAndUnknownPidsAreEsrch) {
+  ProcRig R;
+  std::shared_ptr<proc::OpenFile> Hold;
+  proc::Pid P = spawnBlockedPause(R, Hold);
+  R.Env.loop().run();
+  ASSERT_TRUE(R.Procs->find(P)->alive()); // Parked on the empty pipe.
+
+  EXPECT_FALSE(R.Procs->kill(4242, proc::Signal::Term)); // ESRCH.
+
+  EXPECT_TRUE(R.Procs->kill(P, proc::Signal::Term));
+  std::map<proc::Pid, proc::WaitResult> Results;
+  R.collect(P, Results);
+  R.Env.loop().run();
+  ASSERT_EQ(Results.count(P), 1u);
+  EXPECT_TRUE(Results[P].Signaled);
+  EXPECT_EQ(Results[P].Sig, proc::Signal::Term);
+  EXPECT_EQ(Results[P].ExitCode, 128 + 15);
+  EXPECT_FALSE(R.Procs->kill(P, proc::Signal::Term)); // Dead: ESRCH.
+}
+
+TEST(ProcSignal, InstalledHandlersOverrideTheDefaultDisposition) {
+  ProcRig R;
+  std::shared_ptr<proc::OpenFile> Hold;
+  proc::Pid P = spawnBlockedPause(R, Hold);
+  int Ints = 0;
+  R.Procs->find(P)->onSignal(proc::Signal::Int,
+                             [&Ints](proc::Signal) { ++Ints; });
+  uint64_t DeliveredBefore = R.Procs->signalsDelivered();
+
+  EXPECT_TRUE(R.Procs->kill(P, proc::Signal::Int));
+  R.Env.loop().run();
+  EXPECT_EQ(Ints, 1);
+  EXPECT_TRUE(R.Procs->find(P)->alive()); // Handled, not terminated.
+  EXPECT_EQ(R.Procs->signalsDelivered(), DeliveredBefore + 1);
+
+  EXPECT_TRUE(R.Procs->kill(P, proc::Signal::Kill)); // Uncatchable.
+  std::map<proc::Pid, proc::WaitResult> Results;
+  R.collect(P, Results);
+  R.Env.loop().run();
+  ASSERT_EQ(Results.count(P), 1u);
+  EXPECT_EQ(Results[P].Sig, proc::Signal::Kill);
+}
+
+TEST(ProcSignal, SigpipeTerminatesAProducerWhoseReaderExitedEarly) {
+  ProcRig R;
+  // Far more data than the pipe holds, and a consumer that stops after
+  // one line: cat is still writing when head closes the read end.
+  std::string Big;
+  for (int I = 0; I < 500; ++I)
+    Big += "line " + std::to_string(I) + "\n";
+  R.Root->seedFile("/data/big.txt", bytesOf(Big));
+
+  std::vector<proc::Pid> Pids = R.pipeline("cat /data/big.txt | head -n 1", 64);
+  std::map<proc::Pid, proc::WaitResult> Results;
+  for (proc::Pid P : Pids)
+    R.collect(P, Results);
+  R.Env.loop().run();
+
+  ASSERT_EQ(Results.size(), 2u);
+  EXPECT_EQ(Results[Pids[1]].ExitCode, 0); // head: clean exit.
+  EXPECT_EQ(R.Procs->find(Pids[1])->state().capturedStdout(), "line 0\n");
+  EXPECT_TRUE(Results[Pids[0]].Signaled); // cat: killed by SIGPIPE.
+  EXPECT_EQ(Results[Pids[0]].Sig, proc::Signal::Pipe);
+  EXPECT_EQ(Results[Pids[0]].ExitCode, 128 + 13);
+  EXPECT_EQ(R.Procs->zombies(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// exec
+//===----------------------------------------------------------------------===//
+
+TEST(ProcExec, ReplacesTheImageKeepingThePidAndIgnoresTheStaleExit) {
+  ProcRig R;
+  std::shared_ptr<proc::OpenFile> Hold;
+  proc::Pid P = spawnBlockedPause(R, Hold);
+  R.Env.loop().run();
+  ASSERT_TRUE(R.Procs->find(P)->alive());
+
+  // Replace the parked pause with an echo. The old image's eventual EOF
+  // completion (its fd 0 closes with the process) must not double-exit.
+  ASSERT_TRUE(R.Procs->exec(P, R.Progs.create({"echo", "second", "image"})));
+  std::map<proc::Pid, proc::WaitResult> Results;
+  R.collect(P, Results);
+  R.Env.loop().run();
+  ASSERT_EQ(Results.count(P), 1u);
+  EXPECT_EQ(Results[P].ExitCode, 0);
+  EXPECT_FALSE(Results[P].Signaled);
+  EXPECT_EQ(R.Procs->find(P)->state().capturedStdout(), "second image\n");
+
+  EXPECT_FALSE(R.Procs->exec(P, R.Progs.create({"echo"}))); // Reaped.
+}
+
+TEST(ProcExec, BeforeTheOldImageStartsOnlyTheNewOneRuns) {
+  ProcRig R;
+  proc::ProcessTable::SpawnSpec S;
+  S.Name = "echo";
+  S.Parent = R.Sh;
+  S.Prog = R.Progs.create({"echo", "old"});
+  proc::Pid P = R.Procs->spawn(std::move(S));
+  // Same dispatch as the spawn: the old image never gets to start.
+  ASSERT_TRUE(R.Procs->exec(P, R.Progs.create({"echo", "new"})));
+  std::map<proc::Pid, proc::WaitResult> Results;
+  R.collect(P, Results);
+  R.Env.loop().run();
+  ASSERT_EQ(Results.count(P), 1u);
+  EXPECT_EQ(R.Procs->find(P)->state().capturedStdout(), "new\n");
+}
+
+//===----------------------------------------------------------------------===//
+// Pipelines
+//===----------------------------------------------------------------------===//
+
+TEST(ProcPipeline, BackpressureThrottlesAFastProducer) {
+  ProcRig R;
+  std::string Big(200 * 41, 'x');
+  for (size_t I = 40; I < Big.size(); I += 41)
+    Big[I] = '\n';
+  R.Root->seedFile("/data/big.txt", bytesOf(Big));
+
+  uint64_t SuspendsBefore = R.Procs->pipeWriterSuspends();
+  uint64_t BytesBefore = R.Procs->pipeBytes();
+  // cat reads 4 KB chunks but the pipes hold 64 bytes: every chunk write
+  // parks repeatedly until grep drains.
+  std::vector<proc::Pid> Pids =
+      R.pipeline("cat /data/big.txt | grep x | wc", 64);
+  std::map<proc::Pid, proc::WaitResult> Results;
+  for (proc::Pid P : Pids)
+    R.collect(P, Results);
+  R.Env.loop().run();
+
+  ASSERT_EQ(Results.size(), 3u);
+  for (proc::Pid P : Pids) {
+    EXPECT_EQ(Results[P].ExitCode, 0) << "pid " << P;
+    EXPECT_FALSE(Results[P].Signaled);
+  }
+  EXPECT_EQ(R.Procs->find(Pids[2])->state().capturedStdout(), "200 8200\n");
+  EXPECT_GT(R.Procs->pipeWriterSuspends(), SuspendsBefore);
+  // Both pipes moved the whole stream.
+  EXPECT_GE(R.Procs->pipeBytes() - BytesBefore, 2 * Big.size());
+  EXPECT_EQ(R.Procs->zombies(), 0u);
+}
+
+/// class Produce { public static void main(String[] a) {
+///   for (int i = 0; i < 20; i++) { System.out.println("tick from jvm");
+///                                  System.out.println("noise"); } } }
+std::vector<uint8_t> produceClassBytes() {
+  jvm::ClassBuilder B("Produce");
+  jvm::MethodBuilder &M =
+      B.method(jvm::AccPublic | jvm::AccStatic, "main",
+               "([Ljava/lang/String;)V");
+  jvm::MethodBuilder::Label Loop = M.newLabel(), Done = M.newLabel();
+  M.iconst(0)
+      .istore(1)
+      .bind(Loop)
+      .iload(1)
+      .iconst(20)
+      .branch(jvm::Op::IfIcmpge, Done)
+      .getstatic("java/lang/System", "out", "Ljava/io/PrintStream;")
+      .ldcString("tick from jvm")
+      .invokevirtual("java/io/PrintStream", "println",
+                     "(Ljava/lang/String;)V")
+      .getstatic("java/lang/System", "out", "Ljava/io/PrintStream;")
+      .ldcString("noise")
+      .invokevirtual("java/io/PrintStream", "println",
+                     "(Ljava/lang/String;)V")
+      .iinc(1, 1)
+      .branch(jvm::Op::Goto, Loop)
+      .bind(Done)
+      .op(jvm::Op::Return);
+  return B.bytes();
+}
+
+// The acceptance pipeline: a JVM producer piped through native filters on
+// every browser profile, with SIGCHLD-driven reaping — the parent has no
+// waiter parked when its children exit; its SIGCHLD handler is what
+// issues the reaping waitpids.
+TEST(ProcPipeline, JvmProducerThroughNativeFiltersOnAllProfiles) {
+  for (const browser::Profile &P : browser::allProfiles()) {
+    SCOPED_TRACE(P.Name);
+    ProcRig R(P);
+    R.Root->seedFile("/classes/Produce.class", produceClassBytes());
+
+    std::vector<proc::ProcessTable::SpawnSpec> Stages(3);
+    Stages[0].Name = "java";
+    Stages[0].Parent = R.Sh;
+    Stages[0].Prog = jvm::makeJvmProgram({"Produce", {}, jvm::JvmOptions()});
+    Stages[1].Name = "grep";
+    Stages[1].Parent = R.Sh;
+    Stages[1].Prog = R.Progs.create({"grep", "tick"});
+    Stages[2].Name = "wc";
+    Stages[2].Parent = R.Sh;
+    Stages[2].Prog = R.Progs.create({"wc"});
+    std::vector<proc::Pid> Pids =
+        R.Procs->spawnPipeline(std::move(Stages), 64);
+
+    int Chlds = 0;
+    std::map<proc::Pid, proc::WaitResult> Results;
+    R.sh().onSignal(proc::Signal::Chld, [&](proc::Signal) {
+      ++Chlds;
+      R.Procs->waitpid(R.Sh, -1, [&](ErrorOr<proc::WaitResult> W) {
+        ASSERT_TRUE(W.ok());
+        Results[W->P] = *W;
+      });
+    });
+    uint64_t BytesBefore = R.Procs->pipeBytes();
+    R.Env.loop().run();
+
+    EXPECT_EQ(Chlds, 3);
+    ASSERT_EQ(Results.size(), 3u);
+    for (proc::Pid Pd : Pids) {
+      EXPECT_EQ(Results[Pd].ExitCode, 0) << "pid " << Pd;
+      EXPECT_FALSE(Results[Pd].Signaled);
+    }
+    // 20 "tick from jvm\n" lines survive grep: 20 lines, 280 bytes.
+    EXPECT_EQ(R.Procs->find(Pids[2])->state().capturedStdout(), "20 280\n");
+    EXPECT_GT(R.Procs->pipeBytes(), BytesBefore);
+    EXPECT_EQ(R.Procs->zombies(), 0u);
+    EXPECT_GE(R.Procs->reaped(), 3u);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// The doppiod spawn handler
+//===----------------------------------------------------------------------===//
+
+TEST(ProcServer, SpawnHandlerRoundTripsPipelineOutput) {
+  ProcRig R;
+  server::Server::Config Cfg;
+  Cfg.Port = 7100;
+  Cfg.Backlog = 8;
+  Cfg.MaxConnections = 8;
+  Cfg.IdleTimeoutNs = browser::msToNs(500);
+  server::Server Srv(R.Env, Cfg);
+  server::installDefaultHandlers(Srv.router(), *R.Fs, &R.Env.metrics(),
+                                 R.Procs.get(), &R.Progs);
+  ASSERT_TRUE(Srv.start());
+
+  server::FrameClient C(R.Env.net());
+  std::optional<server::frame::Status> OkStatus, BadStatus;
+  std::string Body, BadBody;
+  C.connect(Cfg.Port, [&](bool Ok) {
+    ASSERT_TRUE(Ok);
+    C.request("spawn", bytesOf("echo hello doppio | upper"),
+              [&](server::frame::Response Resp) {
+                OkStatus = Resp.S;
+                Body = Resp.text();
+                C.request("spawn", bytesOf("nosuchprogram"),
+                          [&](server::frame::Response Bad) {
+                            BadStatus = Bad.S;
+                            BadBody = Bad.text();
+                            C.close();
+                            Srv.shutdown(nullptr);
+                          });
+              });
+  });
+  R.Env.loop().run();
+
+  EXPECT_EQ(OkStatus, server::frame::Status::Ok);
+  EXPECT_EQ(Body, "HELLO DOPPIO\n");
+  EXPECT_EQ(BadStatus, server::frame::Status::BadRequest);
+  EXPECT_NE(BadBody.find("nosuchprogram"), std::string::npos);
+  EXPECT_EQ(R.Procs->zombies(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Observability
+//===----------------------------------------------------------------------===//
+
+TEST(ProcObs, PerProcessMetricsAndSpawnSpans) {
+  ProcRig R;
+  proc::ProcessTable::SpawnSpec S;
+  S.Name = "echo";
+  S.Parent = R.Sh;
+  S.Prog = R.Progs.create({"echo", "observed"});
+  proc::Pid P = R.Procs->spawn(std::move(S));
+  std::map<proc::Pid, proc::WaitResult> Results;
+  R.collect(P, Results);
+  R.Env.loop().run();
+
+  // Per-process cells under "proc.p<pid>".
+  obs::Registry &Reg = R.Env.metrics();
+  std::string Prefix = R.Procs->metricPrefix() + ".p" + std::to_string(P);
+  EXPECT_GE(Reg.counter(Prefix + ".bytes_out").value(), 9u);
+  EXPECT_EQ(Reg.gauge(Prefix + ".alive").value(), 0);
+
+  // A finished spawn -> exit span named after the process (the finished
+  // ring only holds ended spans; the idle virtual clock may leave the
+  // end timestamp at zero).
+  bool SawSpan = false;
+  for (const obs::Span &Sp : Reg.spans().recent())
+    if (Sp.Name == R.Procs->metricPrefix() + ".spawn.echo")
+      SawSpan = true;
+  EXPECT_TRUE(SawSpan);
+}
+
+} // namespace
