@@ -85,9 +85,24 @@ bool EventLoop::runOne() {
   return true;
 }
 
+bool EventLoop::runOne(uint64_t HorizonNs) {
+  std::optional<kernel::Kernel::Work> W = K.next(HorizonNs);
+  if (!W)
+    return false;
+  dispatch(std::move(*W));
+  return true;
+}
+
 void EventLoop::run() {
   while (runOne()) {
   }
+}
+
+size_t EventLoop::runReadyUntil(uint64_t HorizonNs) {
+  size_t N = 0;
+  while (runOne(HorizonNs))
+    ++N;
+  return N;
 }
 
 void EventLoop::dispatch(kernel::Kernel::Work W) {

@@ -190,8 +190,24 @@ public:
   /// Returns false when no work remains.
   bool runOne();
 
+  /// Horizon-bounded variant for multi-tab driving: dispatches a single
+  /// event, but never jumps the clock over an idle gap past \p HorizonNs
+  /// (returns false instead). Already-ready work still runs even when the
+  /// clock has charged past the horizon.
+  bool runOne(uint64_t HorizonNs);
+
   /// Runs until every lane and the timer heap are empty.
   void run();
+
+  /// Dispatches every event reachable without jumping the clock past
+  /// \p HorizonNs; returns the number of events run. The cluster lockstep
+  /// driver calls this per tab per round (doppio/cluster/driver.h).
+  size_t runReadyUntil(uint64_t HorizonNs);
+
+  /// Virtual time of this loop's earliest runnable work (now for queued
+  /// work, a due time for timers, nullopt when fully idle). See
+  /// kernel::Kernel::nextEligibleNs.
+  std::optional<uint64_t> nextEligibleNs() { return K.nextEligibleNs(); }
 
   /// True while an event callback is executing.
   bool inEvent() const { return EventDepth > 0; }

@@ -1,0 +1,130 @@
+//===- doppio/cluster/cluster.cpp -----------------------------------------==//
+
+#include "doppio/cluster/cluster.h"
+
+#include "doppio/cluster/control.h"
+
+using namespace doppio;
+using namespace doppio::cluster;
+
+Cluster::Cluster(const browser::Profile &P, Config Cfg)
+    : Prof(P), Cfg(Cfg), Fab(Cfg.Costs) {
+  // Balancer first: tab 0, the front end.
+  Bal = std::make_unique<Balancer>(Prof, Fab, Cfg.Bal);
+  bool Started = Bal->start();
+  (void)Started;
+  for (size_t I = 0; I < Cfg.Shards; ++I)
+    spawnShard();
+}
+
+Cluster::~Cluster() {
+  // Stat-push timers capture `this`; kill them before members go.
+  for (auto &[Id, R] : ShardsById)
+    R.PushTimer.cancel();
+}
+
+Shard *Cluster::shard(uint32_t Id) {
+  auto It = ShardsById.find(Id);
+  return It == ShardsById.end() ? nullptr : It->second.S.get();
+}
+
+uint32_t Cluster::spawnShard() {
+  uint32_t Id = NextShardId++;
+  Shard::Config SCfg = Cfg.ShardTemplate;
+  SCfg.Id = Id;
+  SCfg.Port = static_cast<uint16_t>(Cfg.ShardBasePort + Id);
+  Rec R;
+  R.S = std::make_unique<Shard>(Prof, Fab, SCfg);
+  ShardsById.emplace(Id, std::move(R));
+  wireShard(Id);
+  Bal->addShard(Id, ShardsById[Id].S->tab(), SCfg.Port);
+  armPush(Id);
+  return Id;
+}
+
+void Cluster::wireShard(uint32_t Id) {
+  Rec &R = ShardsById[Id];
+  Shard *S = R.S.get();
+  TabId ShardTab = S->tab();
+  TabId BalTab = Bal->tab();
+  // The shard's side of the control plane (runs on the shard's loop).
+  Fab.setControlHandler(
+      ShardTab, [this, Id, S, BalTab](TabId, std::vector<uint8_t> B) {
+        auto M = control::decode(B);
+        if (!M)
+          return;
+        Rec &R = ShardsById[Id];
+        switch (M->K) {
+        case control::Kind::Drain:
+          // Balancer closed every link before sending this (FIFO), so
+          // the server's remaining connections are idle: the drain is
+          // immediate, cancels the idle sweep, and leaves zero pending
+          // kernel work.
+          R.DrainStarted = true;
+          R.PushTimer.cancel();
+          S->server().shutdown([this, Id, S, BalTab] {
+            ShardsById[Id].Drained = true;
+            Fab.sendControl(S->tab(), BalTab,
+                            control::encode(control::Kind::DrainDone,
+                                            S->snapshot().encode()));
+          });
+          break;
+        case control::Kind::Kill:
+          // Client-facing cleanup already happened balancer-side; the
+          // shard just tears its server down and reports a last
+          // snapshot.
+          R.Killed = true;
+          R.PushTimer.cancel();
+          S->server().shutdown([this, S, BalTab] {
+            Fab.sendControl(S->tab(), BalTab,
+                            control::encode(control::Kind::Snapshot,
+                                            S->snapshot().encode()));
+          });
+          break;
+        case control::Kind::DrainDone:
+        case control::Kind::Snapshot:
+          break; // Balancer-bound kinds.
+        }
+      });
+}
+
+void Cluster::armPush(uint32_t Id) {
+  if (Cfg.StatsPushPeriodNs == 0)
+    return;
+  Rec &R = ShardsById[Id];
+  if (R.DrainStarted || R.Killed)
+    return;
+  Shard *S = R.S.get();
+  R.PushTimer = S->env().loop().postTimer(
+      kernel::Lane::Timer,
+      [this, Id, S] {
+        S->pushStats(Bal->tab());
+        armPush(Id);
+      },
+      Cfg.StatsPushPeriodNs);
+}
+
+bool Cluster::drainShard(uint32_t Id,
+                         std::function<void(const ShardSnapshot &)> Done) {
+  if (!ShardsById.count(Id))
+    return false;
+  return Bal->drainShard(Id, std::move(Done));
+}
+
+bool Cluster::killShard(uint32_t Id) {
+  if (!ShardsById.count(Id))
+    return false;
+  return Bal->killShard(Id);
+}
+
+bool Cluster::shardDrained(uint32_t Id) const {
+  auto It = ShardsById.find(Id);
+  return It != ShardsById.end() && It->second.Drained;
+}
+
+std::optional<uint64_t> Cluster::shardPendingWorkNs(uint32_t Id) {
+  auto It = ShardsById.find(Id);
+  if (It == ShardsById.end())
+    return std::nullopt;
+  return It->second.S->env().loop().nextEligibleNs();
+}

@@ -1,0 +1,117 @@
+//===- doppio/cluster/cluster.h - Sharded doppiod cluster --------*- C++ -*-==//
+//
+// Part of the Doppio reproduction. See README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The cluster facade (DESIGN.md §15): one Fabric, one Balancer tab, N
+/// Shard tabs, and the control-plane wiring between them. This is the
+/// ROADMAP's "production-scale" shape: clients talk to one front-end port;
+/// behind it, whole doppiod server stacks — each a full tab with its own
+/// kernel, clock, fs, and process table — scale horizontally, exactly the
+/// way a browser would fan work out across SharedWorker-connected tabs.
+///
+/// Lifecycle APIs: spawnShard() live-adds a shard (consistent hashing
+/// keeps remapping to ~1/N of connections); drainShard() removes one
+/// gracefully (balancer-led: zero lost requests, the shard's doppiod
+/// drains to zero pending kernel work); killShard() removes one abruptly
+/// (outstanding requests get error responses, connections re-route).
+///
+/// Drive the cluster with a LockstepDriver (deterministic tests/figures)
+/// or a ThreadedDriver (real-parallelism bench rows); see
+/// doppio/cluster/driver.h.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DOPPIO_DOPPIO_CLUSTER_CLUSTER_H
+#define DOPPIO_DOPPIO_CLUSTER_CLUSTER_H
+
+#include "doppio/cluster/balancer.h"
+#include "doppio/cluster/driver.h"
+#include "doppio/cluster/fabric.h"
+#include "doppio/cluster/shard.h"
+
+#include <map>
+#include <memory>
+
+namespace doppio {
+namespace cluster {
+
+/// Balancer + shards + fabric, wired.
+class Cluster {
+public:
+  struct Config {
+    /// Shards spawned at construction (more via spawnShard()).
+    size_t Shards = 4;
+    uint16_t ShardBasePort = 7100;
+    Balancer::Config Bal;
+    /// Per-shard settings; Id and Port are assigned per shard.
+    Shard::Config ShardTemplate;
+    /// Period of each shard's stat push to the balancer. 0 pushes only at
+    /// drain/kill — required for run-to-quiescence tests, since a
+    /// repeating timer never quiesces.
+    uint64_t StatsPushPeriodNs = 0;
+    Fabric::Costs Costs;
+  };
+
+  explicit Cluster(const browser::Profile &P) : Cluster(P, Config()) {}
+  Cluster(const browser::Profile &P, Config Cfg);
+  ~Cluster();
+
+  Cluster(const Cluster &) = delete;
+  Cluster &operator=(const Cluster &) = delete;
+
+  Fabric &fabric() { return Fab; }
+  Balancer &balancer() { return *Bal; }
+
+  size_t shardCount() const { return ShardsById.size(); }
+  /// Lookup by shard id; nullptr for unknown (never for drained/killed —
+  /// their tabs live on for inspection).
+  Shard *shard(uint32_t Id);
+
+  /// Live-adds a shard tab and registers it with the balancer. Must not
+  /// race a running ThreadedDriver (lockstep: call between rounds).
+  /// Returns the new shard's id.
+  uint32_t spawnShard();
+
+  /// Balancer-led graceful drain; \p Done fires (balancer loop) with the
+  /// shard's final snapshot. See Balancer::drainShard.
+  bool drainShard(uint32_t Id,
+                  std::function<void(const ShardSnapshot &)> Done = nullptr);
+
+  /// Abrupt removal. See Balancer::killShard.
+  bool killShard(uint32_t Id);
+
+  /// True once the shard's doppiod finished its graceful drain.
+  bool shardDrained(uint32_t Id) const;
+
+  /// The shard tab's earliest pending kernel work (nullopt = quiescent).
+  /// After a drain completes and the cluster runs to quiescence this must
+  /// be nullopt: a drained shard leaves zero pending kernel work.
+  std::optional<uint64_t> shardPendingWorkNs(uint32_t Id);
+
+private:
+  struct Rec {
+    std::unique_ptr<Shard> S;
+    browser::TimerHandle PushTimer;
+    bool DrainStarted = false;
+    bool Drained = false;
+    bool Killed = false;
+  };
+
+  void wireShard(uint32_t Id);
+  void armPush(uint32_t Id);
+
+  const browser::Profile &Prof;
+  Config Cfg;
+  Fabric Fab;
+  std::unique_ptr<Balancer> Bal;
+  std::map<uint32_t, Rec> ShardsById;
+  uint32_t NextShardId = 0;
+};
+
+} // namespace cluster
+} // namespace doppio
+
+#endif // DOPPIO_DOPPIO_CLUSTER_CLUSTER_H

@@ -1,0 +1,70 @@
+//===- doppio/cluster/control.h - Cluster control-plane codec ----*- C++ -*-==//
+//
+// Part of the Doppio reproduction. See README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The balancer <-> shard control-plane messages that ride
+/// Fabric::sendControl: one kind byte, then a kind-specific payload
+/// (browser/wire.h byte order, like every codec in the tree). Control mail
+/// shares the data plane's FIFO and stamping guarantees, which the drain
+/// protocol depends on: a Drain command sent *after* the balancer closed
+/// its links to a shard arrives after those closes, so the shard only ever
+/// drains idle connections.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DOPPIO_DOPPIO_CLUSTER_CONTROL_H
+#define DOPPIO_DOPPIO_CLUSTER_CONTROL_H
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace doppio {
+namespace cluster {
+namespace control {
+
+enum class Kind : uint8_t {
+  /// Balancer -> shard: gracefully drain the doppiod server. Sent only
+  /// once every balancer link to the shard is closed.
+  Drain = 1,
+  /// Shard -> balancer: drain finished; payload is the shard's final
+  /// ShardSnapshot.
+  DrainDone = 2,
+  /// Shard -> balancer: periodic stat push; payload is a ShardSnapshot.
+  Snapshot = 3,
+  /// Balancer -> shard: abrupt removal. The balancer has already
+  /// synthesized error responses and re-routed; the shard just tears
+  /// down.
+  Kill = 4,
+};
+
+inline std::vector<uint8_t> encode(Kind K, std::vector<uint8_t> Payload) {
+  std::vector<uint8_t> Out;
+  Out.reserve(1 + Payload.size());
+  Out.push_back(static_cast<uint8_t>(K));
+  Out.insert(Out.end(), Payload.begin(), Payload.end());
+  return Out;
+}
+
+struct Message {
+  Kind K;
+  std::vector<uint8_t> Payload;
+};
+
+inline std::optional<Message> decode(const std::vector<uint8_t> &B) {
+  if (B.empty() || B[0] < 1 || B[0] > 4)
+    return std::nullopt;
+  Message M;
+  M.K = static_cast<Kind>(B[0]);
+  M.Payload.assign(B.begin() + 1, B.end());
+  return M;
+}
+
+} // namespace control
+} // namespace cluster
+} // namespace doppio
+
+#endif // DOPPIO_DOPPIO_CLUSTER_CONTROL_H

@@ -1,0 +1,104 @@
+//===- doppio/cluster/hash_ring.cpp ---------------------------------------==//
+
+#include "doppio/cluster/hash_ring.h"
+
+#include <algorithm>
+
+using namespace doppio;
+using namespace doppio::cluster;
+
+uint64_t cluster::fnv1a64(const void *Data, size_t Len) {
+  const uint8_t *P = static_cast<const uint8_t *>(Data);
+  uint64_t H = 14695981039346656037ull; // FNV offset basis.
+  for (size_t I = 0; I < Len; ++I) {
+    H ^= P[I];
+    H *= 1099511628211ull; // FNV prime.
+  }
+  return H;
+}
+
+uint64_t cluster::mix64(uint64_t H) {
+  H ^= H >> 33;
+  H *= 0xff51afd7ed558ccdull;
+  H ^= H >> 33;
+  H *= 0xc4ceb9fe1a85ec53ull;
+  H ^= H >> 33;
+  return H;
+}
+
+uint64_t cluster::hashKey(uint64_t Key) {
+  uint8_t Bytes[8];
+  for (int I = 0; I < 8; ++I)
+    Bytes[I] = static_cast<uint8_t>(Key >> (8 * I));
+  return mix64(fnv1a64(Bytes, sizeof(Bytes)));
+}
+
+/// The ring point of virtual node \p Replica of \p Shard: finalized FNV-1a
+/// over the 8 fixed-layout bytes (shard LE32, replica LE32). Byte-explicit,
+/// so the placement is identical on every platform.
+static uint64_t vnodePoint(uint32_t Shard, uint32_t Replica) {
+  uint8_t Bytes[8];
+  for (int I = 0; I < 4; ++I)
+    Bytes[I] = static_cast<uint8_t>(Shard >> (8 * I));
+  for (int I = 0; I < 4; ++I)
+    Bytes[4 + I] = static_cast<uint8_t>(Replica >> (8 * I));
+  return mix64(fnv1a64(Bytes, sizeof(Bytes)));
+}
+
+void HashRing::add(uint32_t Shard) {
+  if (contains(Shard))
+    return;
+  Shards.insert(std::upper_bound(Shards.begin(), Shards.end(), Shard),
+                Shard);
+  Points.reserve(Points.size() + VNodes);
+  for (uint32_t R = 0; R < VNodes; ++R)
+    Points.emplace_back(vnodePoint(Shard, R), Shard);
+  std::sort(Points.begin(), Points.end());
+}
+
+void HashRing::remove(uint32_t Shard) {
+  if (!contains(Shard))
+    return;
+  Shards.erase(std::find(Shards.begin(), Shards.end(), Shard));
+  std::erase_if(Points, [Shard](const std::pair<uint64_t, uint32_t> &P) {
+    return P.second == Shard;
+  });
+}
+
+bool HashRing::contains(uint32_t Shard) const {
+  return std::binary_search(Shards.begin(), Shards.end(), Shard);
+}
+
+std::optional<uint32_t> HashRing::lookup(uint64_t Key) const {
+  if (Points.empty())
+    return std::nullopt;
+  uint64_t H = hashKey(Key);
+  auto It = std::lower_bound(
+      Points.begin(), Points.end(), H,
+      [](const std::pair<uint64_t, uint32_t> &P, uint64_t V) {
+        return P.first < V;
+      });
+  if (It == Points.end())
+    It = Points.begin(); // Wrap around the ring.
+  return It->second;
+}
+
+std::vector<uint32_t> HashRing::candidates(uint64_t Key, size_t N) const {
+  std::vector<uint32_t> Out;
+  if (Points.empty() || N == 0)
+    return Out;
+  uint64_t H = hashKey(Key);
+  auto It = std::lower_bound(
+      Points.begin(), Points.end(), H,
+      [](const std::pair<uint64_t, uint32_t> &P, uint64_t V) {
+        return P.first < V;
+      });
+  size_t Start = static_cast<size_t>(It - Points.begin()) % Points.size();
+  size_t Want = std::min(N, Shards.size());
+  for (size_t I = 0; I < Points.size() && Out.size() < Want; ++I) {
+    uint32_t S = Points[(Start + I) % Points.size()].second;
+    if (std::find(Out.begin(), Out.end(), S) == Out.end())
+      Out.push_back(S);
+  }
+  return Out;
+}

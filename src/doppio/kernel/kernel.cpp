@@ -191,7 +191,7 @@ void Kernel::compactIfNeeded() {
   CancelledInHeap = 0;
 }
 
-std::optional<Kernel::Work> Kernel::next() {
+std::optional<Kernel::Work> Kernel::next(std::optional<uint64_t> HorizonNs) {
   for (;;) {
     promoteDue();
     bool Popped = false;
@@ -212,12 +212,28 @@ std::optional<Kernel::Work> Kernel::next() {
     if (Popped)
       continue;
     // Every lane empty. If live timers remain, the system is idle until
-    // the earliest due time: advance the virtual clock over the gap.
+    // the earliest due time: advance the virtual clock over the gap —
+    // unless a horizon forbids jumping that far (lockstep cluster
+    // driving: traffic from another tab may still be due earlier).
     dropCancelledTop();
     if (Heap.empty())
       return std::nullopt;
+    if (HorizonNs && Heap.front()->DueNs > *HorizonNs)
+      return std::nullopt;
     Clock.advanceTo(Heap.front()->DueNs);
   }
+}
+
+std::optional<uint64_t> Kernel::nextEligibleNs() {
+  // Queued lane work (even token-cancelled items: popping them is still a
+  // dispatch step) is eligible immediately.
+  for (const std::deque<ReadyItem> &Q : Lanes)
+    if (!Q.empty())
+      return Clock.nowNs();
+  dropCancelledTop();
+  if (Heap.empty())
+    return std::nullopt;
+  return Heap.front()->DueNs;
 }
 
 void Kernel::noteDispatched(const Work &W, uint64_t StartNs,

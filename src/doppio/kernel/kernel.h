@@ -259,7 +259,22 @@ public:
   /// skipping cancelled work. If every lane is empty but live timers
   /// remain, advances the virtual clock over the idle gap to the next due
   /// time. Returns nullopt when no runnable work remains.
-  std::optional<Work> next();
+  ///
+  /// With \p HorizonNs set, the idle-gap advance is bounded: the clock is
+  /// never jumped past the horizon, and nullopt is returned instead when
+  /// the earliest timer lies beyond it. Already-queued lane work still
+  /// runs even if the clock has charged past the horizon — the bound
+  /// gates clock *jumps*, not execution. This is what lets a cluster
+  /// driver interleave several kernels (one per tab) without any tab
+  /// skipping over traffic still in flight from another tab
+  /// (doppio/cluster/driver.h).
+  std::optional<Work> next(std::optional<uint64_t> HorizonNs = std::nullopt);
+
+  /// Virtual time of the earliest runnable work: now if any lane holds an
+  /// item, else the earliest live timer's due time, else nullopt (fully
+  /// idle). Reaps cancelled heap tops as a side effect, hence non-const.
+  /// The cluster lockstep driver uses this to pick its global horizon.
+  std::optional<uint64_t> nextEligibleNs();
 
   /// Records trace + counters for a dispatch performed by the host loop.
   void noteDispatched(const Work &W, uint64_t StartNs, uint64_t EndNs);

@@ -37,6 +37,11 @@ void Server::bindCells() {
 }
 
 Server::~Server() {
+  // A server torn down without a graceful drain (cluster kill-shard, test
+  // teardown) must not leave its idle-sweep timer behind: the pending
+  // fire captures `this` and would both dangle and count as pending
+  // kernel work against the tab's quiescence.
+  Sweep.cancel();
   // Detach callbacks so events still in the loop cannot reach a dead
   // server; connections close, the fabric reaps them.
   for (auto &[Id, C] : Conns) {
@@ -215,6 +220,21 @@ void Server::idleSweep() {
 }
 
 void Server::shutdown(std::function<void()> Done) {
+  if (Draining) {
+    // A second shutdown during an in-flight drain joins it rather than
+    // firing early: both callbacks run once the drain actually finishes.
+    if (Done) {
+      if (OnDrained)
+        OnDrained = [First = std::move(OnDrained),
+                     Second = std::move(Done)] {
+          First();
+          Second();
+        };
+      else
+        OnDrained = std::move(Done);
+    }
+    return;
+  }
   if (!Running) {
     if (Done)
       Done();

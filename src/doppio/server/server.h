@@ -23,7 +23,10 @@
 /// refused), idle connections close immediately, busy connections finish
 /// their in-flight requests, every response reaches the wire before the FIN
 /// (SimNet orders close after data), and the completion callback fires once
-/// ServerStats.Active reaches zero.
+/// ServerStats.Active reaches zero. Both drain and destruction cancel the
+/// idle-sweep timer, so a drained (or killed) server leaves zero pending
+/// kernel work behind — the property a drained cluster shard's quiescence
+/// check relies on (doppio/cluster/).
 ///
 //===----------------------------------------------------------------------===//
 

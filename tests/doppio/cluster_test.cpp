@@ -1,0 +1,646 @@
+//===- tests/doppio/cluster_test.cpp --------------------------------------==//
+//
+// Tests for the cluster subsystem (doppio/cluster/): the cross-tab fabric
+// (frame delivery edges, FIN ordering, cross-tab ECONNREFUSED), lockstep
+// determinism, and the balancer's shard lifecycle — routing, metrics
+// interception, graceful drain with zero lost requests, kill with
+// synthesized errors, and saturation refusal.
+//
+//===----------------------------------------------------------------------===//
+
+#include "doppio/cluster/cluster.h"
+
+#include "browser/profile.h"
+#include "doppio/cluster/control.h"
+#include "doppio/server/client.h"
+
+#include "gtest/gtest.h"
+
+#include <optional>
+
+using namespace doppio;
+using namespace doppio::browser;
+using namespace doppio::cluster;
+using doppio::rt::server::FrameClient;
+
+namespace {
+
+std::vector<uint8_t> bytesOf(const char *S) {
+  return std::vector<uint8_t>(S, S + std::char_traits<char>::length(S));
+}
+
+//===----------------------------------------------------------------------===//
+// Fabric: cross-tab delivery edges
+//===----------------------------------------------------------------------===//
+
+TEST(Fabric, EchoRoundTripAcrossTabs) {
+  Fabric Fab;
+  BrowserEnv A(chromeProfile()), B(chromeProfile());
+  TabId TA = Fab.attach(A), TB = Fab.attach(B);
+
+  bool Listening = B.net().listen(9000, [](TcpConnection &T) {
+    TcpConnection *P = &T;
+    P->setOnData([P](const std::vector<uint8_t> &D) { P->send(D); });
+  });
+  ASSERT_TRUE(Listening);
+
+  std::vector<uint8_t> Echoed;
+  bool Connected = false;
+  Fab.connect(TA, TB, 9000, [&](Fabric::Endpoint *Ep) {
+    ASSERT_NE(Ep, nullptr);
+    Connected = true;
+    Ep->setOnData([&, Ep](const std::vector<uint8_t> &D) {
+      Echoed.insert(Echoed.end(), D.begin(), D.end());
+      if (Echoed.size() >= 5)
+        Ep->close();
+    });
+    Ep->send(bytesOf("hello"));
+  });
+
+  LockstepDriver(Fab).run(100000);
+  EXPECT_TRUE(Connected);
+  EXPECT_EQ(Echoed, bytesOf("hello"));
+  EXPECT_TRUE(Fab.quiescent());
+  EXPECT_GT(Fab.crossings(), 0u);
+}
+
+TEST(Fabric, SplitFramesReassembleAcrossTabs) {
+  // A doppiod frame sent one byte per mail record must reassemble on the
+  // far side; a dangling partial header must neither produce a frame nor
+  // corrupt the stream.
+  namespace frame = rt::server::frame;
+  Fabric Fab;
+  BrowserEnv A(chromeProfile()), B(chromeProfile());
+  TabId TA = Fab.attach(A), TB = Fab.attach(B);
+
+  frame::Decoder Dec;
+  size_t Frames = 0;
+  std::vector<uint8_t> Got;
+  B.net().listen(9100, [&](TcpConnection &T) {
+    T.setOnData([&](const std::vector<uint8_t> &D) {
+      Dec.feed(D);
+      while (auto P = Dec.next()) {
+        ++Frames;
+        Got = *P;
+      }
+    });
+  });
+
+  std::vector<uint8_t> Payload = bytesOf("cross-tab frame payload");
+  std::vector<uint8_t> Encoded = frame::encode(Payload);
+  Fab.connect(TA, TB, 9100, [&](Fabric::Endpoint *Ep) {
+    ASSERT_NE(Ep, nullptr);
+    for (uint8_t Byte : Encoded)
+      Ep->send({Byte});
+    // Then a partial next frame: two header bytes of four, never
+    // completed.
+    Ep->send({0, 0});
+  });
+
+  LockstepDriver(Fab).run(100000);
+  EXPECT_EQ(Frames, 1u);
+  EXPECT_EQ(Got, Payload);
+  EXPECT_FALSE(Dec.corrupted());
+  EXPECT_EQ(Dec.bufferedBytes(), 2u);
+}
+
+TEST(Fabric, FinArrivesAfterDataBothDirections) {
+  Fabric Fab;
+  BrowserEnv A(chromeProfile()), B(chromeProfile());
+  TabId TA = Fab.attach(A), TB = Fab.attach(B);
+
+  // Originator -> gateway: 10 chunks then an immediate close. The
+  // listener must have every byte by the time its close handler fires.
+  size_t SrvBytes = 0, SrvBytesAtClose = 0;
+  bool SrvClosed = false;
+  B.net().listen(9200, [&](TcpConnection &T) {
+    T.setOnData(
+        [&](const std::vector<uint8_t> &D) { SrvBytes += D.size(); });
+    T.setOnClose([&] {
+      SrvClosed = true;
+      SrvBytesAtClose = SrvBytes;
+    });
+  });
+  Fab.connect(TA, TB, 9200, [&](Fabric::Endpoint *Ep) {
+    ASSERT_NE(Ep, nullptr);
+    for (int I = 0; I < 10; ++I)
+      Ep->send(std::vector<uint8_t>(100, 'x'));
+    Ep->close();
+  });
+  LockstepDriver(Fab).run(100000);
+  EXPECT_TRUE(SrvClosed);
+  EXPECT_EQ(SrvBytesAtClose, 1000u);
+
+  // Gateway -> originator: the listener sends then closes; the endpoint
+  // must see the bytes before its close handler.
+  size_t CliBytes = 0, CliBytesAtClose = 0;
+  bool CliClosed = false;
+  B.net().listen(9300, [&](TcpConnection &T) {
+    T.send(std::vector<uint8_t>(256, 'y'));
+    // Close *after* accept returns: closing inside the accept handler is
+    // SimNet's refusal signal and would never establish the connection.
+    TcpConnection *P = &T;
+    B.loop().post(kernel::Lane::Background, [P] { P->close(); });
+  });
+  Fab.connect(TA, TB, 9300, [&](Fabric::Endpoint *Ep) {
+    ASSERT_NE(Ep, nullptr);
+    Ep->setOnData(
+        [&](const std::vector<uint8_t> &D) { CliBytes += D.size(); });
+    Ep->setOnClose([&] {
+      CliClosed = true;
+      CliBytesAtClose = CliBytes;
+    });
+  });
+  LockstepDriver(Fab).run(100000);
+  EXPECT_TRUE(CliClosed);
+  EXPECT_EQ(CliBytesAtClose, 256u);
+}
+
+TEST(Fabric, CrossTabConnectionRefused) {
+  Fabric Fab;
+  BrowserEnv A(chromeProfile()), B(chromeProfile());
+  TabId TA = Fab.attach(A), TB = Fab.attach(B);
+
+  // Nothing listening on the port.
+  bool RefusedNoListener = false;
+  Fab.connect(TA, TB, 9400, [&](Fabric::Endpoint *Ep) {
+    RefusedNoListener = Ep == nullptr;
+  });
+
+  // A listener that closes inside accept — SimNet's backlog-overflow
+  // semantics — must also surface as a refused cross-tab connect.
+  B.net().listen(9500, [](TcpConnection &T) { T.close(); });
+  bool RefusedOverflow = false;
+  Fab.connect(TA, TB, 9500, [&](Fabric::Endpoint *Ep) {
+    RefusedOverflow = Ep == nullptr;
+  });
+
+  LockstepDriver(Fab).run(100000);
+  EXPECT_TRUE(RefusedNoListener);
+  EXPECT_TRUE(RefusedOverflow);
+  EXPECT_TRUE(Fab.quiescent());
+}
+
+TEST(Fabric, ControlPlaneDelivery) {
+  Fabric Fab;
+  BrowserEnv A(chromeProfile()), B(chromeProfile());
+  TabId TA = Fab.attach(A), TB = Fab.attach(B);
+
+  std::optional<TabId> GotFrom;
+  std::vector<uint8_t> GotPayload;
+  Fab.setControlHandler(TB, [&](TabId From, std::vector<uint8_t> P) {
+    GotFrom = From;
+    GotPayload = std::move(P);
+  });
+  Fab.sendControl(TA, TB, control::encode(control::Kind::Drain,
+                                          bytesOf("payload")));
+  LockstepDriver(Fab).run(100000);
+
+  ASSERT_TRUE(GotFrom.has_value());
+  EXPECT_EQ(*GotFrom, TA);
+  auto M = control::decode(GotPayload);
+  ASSERT_TRUE(M.has_value());
+  EXPECT_EQ(M->K, control::Kind::Drain);
+  EXPECT_EQ(M->Payload, bytesOf("payload"));
+}
+
+//===----------------------------------------------------------------------===//
+// Cluster: routing, interception, lifecycle
+//===----------------------------------------------------------------------===//
+
+/// f<I>.bin as seeded by every shard.
+size_t seedSize(size_t I) { return 64 + 251 * I; }
+
+TEST(Cluster, EndToEndRequestsAndMetricsInterception) {
+  Cluster::Config Cfg;
+  Cfg.Shards = 2;
+  Cluster Cl(chromeProfile(), Cfg);
+  LockstepDriver Drv(Cl.fabric());
+
+  FrameClient C(Cl.balancer().env().net());
+  std::vector<rt::server::frame::Response> Responses;
+  C.connect(Cl.balancer().port(), [&](bool Ok) {
+    ASSERT_TRUE(Ok);
+    auto Collect = [&](rt::server::frame::Response R) {
+      Responses.push_back(std::move(R));
+      if (Responses.size() == 3)
+        C.close();
+    };
+    // Pipelined: shard, balancer-local, shard. The metrics response must
+    // still land second — the balancer slots it into response order.
+    C.request("work", bytesOf("50 /srv/f2.bin"), Collect);
+    C.request("metrics", bytesOf("json"), Collect);
+    C.request("work", bytesOf("50 /srv/f3.bin"), Collect);
+  });
+
+  auto Rep = Drv.run(1000000);
+  ASSERT_LT(Rep.Rounds, 1000000u);
+  ASSERT_EQ(Responses.size(), 3u);
+  EXPECT_EQ(Responses[0].S, rt::server::frame::Status::Ok);
+  EXPECT_EQ(Responses[0].Body.size(), seedSize(2));
+  EXPECT_EQ(Responses[1].S, rt::server::frame::Status::Ok);
+  EXPECT_NE(Responses[1].text().find("balancer"), std::string::npos);
+  EXPECT_EQ(Responses[2].S, rt::server::frame::Status::Ok);
+  EXPECT_EQ(Responses[2].Body.size(), seedSize(3));
+
+  Balancer::Stats St = Cl.balancer().stats();
+  EXPECT_EQ(St.ConnsAccepted, 1u);
+  EXPECT_EQ(St.MetricsServed, 1u);
+  EXPECT_EQ(St.RequestsForwarded, 2u);
+  EXPECT_EQ(St.ResponsesReturned, 3u);
+  EXPECT_EQ(St.ErrorsSynthesized, 0u);
+  EXPECT_FALSE(St.UpstreamRttNs.empty());
+  EXPECT_FALSE(St.RouteNs.empty());
+
+  // The per-shard proc workers (echo | wc pipelines) ran to completion
+  // inside each shard tab during the same lockstep run.
+  for (uint32_t S = 0; S < 2; ++S)
+    EXPECT_EQ(Cl.shard(S)->workersDone(),
+              Cl.shard(S)->config().WorkerPipelines)
+        << "shard " << S;
+}
+
+TEST(Cluster, SnapshotAggregationUnderShardPrefixes) {
+  Cluster::Config Cfg;
+  Cfg.Shards = 2;
+  Cluster Cl(chromeProfile(), Cfg);
+  LockstepDriver Drv(Cl.fabric());
+
+  // Phase 1: put some load through so shard stats are non-zero.
+  FrameClient C(Cl.balancer().env().net());
+  size_t Got = 0;
+  C.connect(Cl.balancer().port(), [&](bool Ok) {
+    ASSERT_TRUE(Ok);
+    for (int I = 0; I < 4; ++I)
+      C.request("work", bytesOf("20 /srv/f1.bin"),
+                [&](rt::server::frame::Response R) {
+                  EXPECT_EQ(R.S, rt::server::frame::Status::Ok);
+                  if (++Got == 4)
+                    C.close();
+                });
+  });
+  Drv.run(1000000);
+  ASSERT_EQ(Got, 4u);
+
+  // Phase 2: shards push snapshots over the control plane; the balancer
+  // mirrors them under its claimed "shard" prefixes.
+  Cl.shard(0)->pushStats(Cl.balancer().tab());
+  Cl.shard(1)->pushStats(Cl.balancer().tab());
+  Drv.run(1000000);
+
+  ASSERT_EQ(Cl.balancer().snapshots().size(), 2u);
+  uint64_t Served = 0;
+  for (const auto &[Id, S] : Cl.balancer().snapshots()) {
+    EXPECT_EQ(S.ShardId, Id);
+    Served += S.RequestsServed;
+    EXPECT_GT(S.VirtualNowNs, 0u);
+  }
+  EXPECT_EQ(Served, 4u);
+
+  // Phase 3: a metrics request through the front door sees the
+  // aggregated view.
+  FrameClient C2(Cl.balancer().env().net());
+  std::string Body;
+  C2.connect(Cl.balancer().port(), [&](bool Ok) {
+    ASSERT_TRUE(Ok);
+    C2.request("metrics", {}, [&](rt::server::frame::Response R) {
+      EXPECT_EQ(R.S, rt::server::frame::Status::Ok);
+      Body = R.text();
+      C2.close();
+    });
+  });
+  Drv.run(1000000);
+  EXPECT_NE(Body.find("shard"), std::string::npos);
+  EXPECT_NE(Body.find("balancer"), std::string::npos);
+}
+
+TEST(Cluster, LockstepRunsAreDeterministic) {
+  // Two identical runs must produce identical virtual timelines: same
+  // fabric crossings, same per-tab clocks, same round count.
+  struct Fingerprint {
+    uint64_t Crossings = 0;
+    uint64_t Rounds = 0;
+    uint64_t Ok = 0;
+    std::vector<uint64_t> Clocks;
+    bool operator==(const Fingerprint &O) const {
+      return Crossings == O.Crossings && Rounds == O.Rounds && Ok == O.Ok &&
+             Clocks == O.Clocks;
+    }
+  };
+  auto RunOnce = [] {
+    Cluster::Config Cfg;
+    Cfg.Shards = 2;
+    Cluster Cl(chromeProfile(), Cfg);
+    LockstepDriver Drv(Cl.fabric());
+    std::vector<std::unique_ptr<FrameClient>> Clients;
+    uint64_t Ok = 0;
+    for (int I = 0; I < 6; ++I) {
+      auto C = std::make_unique<FrameClient>(Cl.balancer().env().net());
+      FrameClient *P = C.get();
+      P->connect(Cl.balancer().port(), [P, &Ok](bool Connected) {
+        if (!Connected)
+          return;
+        for (int R = 0; R < 3; ++R)
+          P->request("work", bytesOf("100 /srv/f2.bin"),
+                     [P, R, &Ok](rt::server::frame::Response Resp) {
+                       if (Resp.S == rt::server::frame::Status::Ok)
+                         ++Ok;
+                       if (R == 2)
+                         P->close();
+                     });
+      });
+      Clients.push_back(std::move(C));
+    }
+    auto Rep = Drv.run(1000000);
+    Fingerprint F;
+    F.Crossings = Cl.fabric().crossings();
+    F.Rounds = Rep.Rounds;
+    F.Ok = Ok;
+    F.Clocks.push_back(Cl.balancer().env().clock().nowNs());
+    for (uint32_t S = 0; S < 2; ++S)
+      F.Clocks.push_back(Cl.shard(S)->env().clock().nowNs());
+    return F;
+  };
+  Fingerprint A = RunOnce();
+  Fingerprint B = RunOnce();
+  EXPECT_EQ(A.Ok, 18u);
+  EXPECT_TRUE(A == B);
+}
+
+TEST(Cluster, DrainUnderLoadLosesNothingAndLeavesNoPendingWork) {
+  Cluster::Config Cfg;
+  Cfg.Shards = 2;
+  Cluster Cl(chromeProfile(), Cfg);
+  LockstepDriver Drv(Cl.fabric());
+
+  constexpr int NumClients = 12, Requests = 5;
+  std::vector<std::unique_ptr<FrameClient>> Clients;
+  uint64_t Ok = 0, NotOk = 0;
+  for (int I = 0; I < NumClients; ++I) {
+    auto C = std::make_unique<FrameClient>(Cl.balancer().env().net());
+    FrameClient *P = C.get();
+    P->connect(Cl.balancer().port(), [P, &Ok, &NotOk](bool Connected) {
+      ASSERT_TRUE(Connected);
+      for (int R = 0; R < Requests; ++R)
+        P->request("work", bytesOf("200 /srv/f1.bin"),
+                   [P, R, &Ok, &NotOk](rt::server::frame::Response Resp) {
+                     Resp.S == rt::server::frame::Status::Ok ? ++Ok
+                                                             : ++NotOk;
+                     if (R == Requests - 1)
+                       P->close();
+                   });
+    });
+    Clients.push_back(std::move(C));
+  }
+
+  // At 3ms virtual — connections established (setup alone costs ~1ms of
+  // fabric hops and SimNet latency), workload mid-flight — drain
+  // whichever shard is busiest.
+  uint32_t Victim = 0;
+  uint64_t VictimActive = 0;
+  bool DrainDone = false;
+  std::optional<ShardSnapshot> Final;
+  browser::TimerHandle DrainTimer = Cl.balancer().env().loop().postTimer(
+      kernel::Lane::Timer,
+      [&] {
+        uint64_t Best = 0;
+        for (uint32_t S = 0; S < 2; ++S) {
+          uint64_t A = Cl.shard(S)->server().stats().Active;
+          if (A >= Best) {
+            Best = A;
+            Victim = S;
+          }
+        }
+        VictimActive = Best;
+        bool Started = Cl.drainShard(Victim, [&](const ShardSnapshot &S) {
+          DrainDone = true;
+          Final = S;
+        });
+        EXPECT_TRUE(Started);
+      },
+      msToNs(3));
+
+  auto Rep = Drv.run(1000000);
+  ASSERT_LT(Rep.Rounds, 1000000u);
+
+  // Zero lost requests: every pipelined request of every client came back
+  // Ok — outstanding ones finished on the old shard, queued ones followed
+  // the re-route.
+  EXPECT_EQ(Ok, static_cast<uint64_t>(NumClients) * Requests);
+  EXPECT_EQ(NotOk, 0u);
+  EXPECT_GT(VictimActive, 0u) << "drain landed after the load finished";
+
+  // The drain completed: shard off the ring, DrainDone with a final
+  // snapshot, doppiod stopped.
+  EXPECT_TRUE(DrainDone);
+  ASSERT_TRUE(Final.has_value());
+  EXPECT_EQ(Final->ShardId, Victim);
+  EXPECT_GT(Final->RequestsServed, 0u);
+  EXPECT_EQ(Final->Active, 0u);
+  EXPECT_TRUE(Cl.shardDrained(Victim));
+  EXPECT_FALSE(Cl.shard(Victim)->server().isRunning());
+  EXPECT_EQ(Cl.balancer().liveShards(), 1u);
+
+  // The drained shard's tab reached zero pending kernel work: the drain
+  // cancelled the idle sweep along with everything else.
+  EXPECT_FALSE(Cl.shardPendingWorkNs(Victim).has_value());
+  EXPECT_TRUE(Cl.fabric().quiescent());
+
+  Balancer::Stats St = Cl.balancer().stats();
+  EXPECT_EQ(St.ErrorsSynthesized, 0u);
+  EXPECT_GT(St.Rerouted, 0u);
+}
+
+TEST(Cluster, KillSynthesizesErrorsAndReroutes) {
+  Cluster::Config Cfg;
+  Cfg.Shards = 2;
+  Cluster Cl(chromeProfile(), Cfg);
+  LockstepDriver Drv(Cl.fabric());
+
+  constexpr int NumClients = 6, Requests = 4;
+  std::vector<std::unique_ptr<FrameClient>> Clients;
+  uint64_t Ok = 0, Errors = 0;
+  for (int I = 0; I < NumClients; ++I) {
+    auto C = std::make_unique<FrameClient>(Cl.balancer().env().net());
+    FrameClient *P = C.get();
+    P->connect(Cl.balancer().port(), [P, &Ok, &Errors](bool Connected) {
+      ASSERT_TRUE(Connected);
+      for (int R = 0; R < Requests; ++R)
+        P->request("work", bytesOf("300 /srv/f1.bin"),
+                   [P, R, &Ok, &Errors](rt::server::frame::Response Resp) {
+                     Resp.S == rt::server::frame::Status::Ok ? ++Ok
+                                                             : ++Errors;
+                     if (R == Requests - 1)
+                       P->close();
+                   });
+    });
+    Clients.push_back(std::move(C));
+  }
+
+  uint32_t Victim = 0;
+  uint64_t VictimActive = 0;
+  browser::TimerHandle KillTimer = Cl.balancer().env().loop().postTimer(
+      kernel::Lane::Timer,
+      [&] {
+        uint64_t Best = 0;
+        for (uint32_t S = 0; S < 2; ++S) {
+          uint64_t A = Cl.shard(S)->server().stats().Active;
+          if (A >= Best) {
+            Best = A;
+            Victim = S;
+          }
+        }
+        VictimActive = Best;
+        EXPECT_TRUE(Cl.killShard(Victim));
+      },
+      msToNs(3));
+
+  auto Rep = Drv.run(1000000);
+  ASSERT_LT(Rep.Rounds, 1000000u);
+
+  // Every request got exactly one response; forwarded-but-unanswered ones
+  // came back as synthesized errors, in order.
+  EXPECT_EQ(Ok + Errors, static_cast<uint64_t>(NumClients) * Requests);
+  EXPECT_GT(VictimActive, 0u) << "kill landed after the load finished";
+  Balancer::Stats St = Cl.balancer().stats();
+  EXPECT_EQ(Errors, St.ErrorsSynthesized);
+  EXPECT_GT(St.ErrorsSynthesized, 0u);
+  EXPECT_GT(St.Rerouted, 0u);
+
+  // The killed shard tore down cleanly: final snapshot reported, no
+  // pending kernel work, ring shrunk.
+  EXPECT_TRUE(Cl.balancer().snapshots().count(Victim));
+  EXPECT_FALSE(Cl.shard(Victim)->server().isRunning());
+  EXPECT_FALSE(Cl.shardPendingWorkNs(Victim).has_value());
+  EXPECT_EQ(Cl.balancer().liveShards(), 1u);
+  EXPECT_TRUE(Cl.fabric().quiescent());
+}
+
+TEST(Cluster, SaturatedFleetRefusesVisibly) {
+  // One shard, one-connection capacity, zero backlog: the second client's
+  // upstream walk exhausts every candidate and the front door refuses
+  // with accounting, never a silent drop.
+  Cluster::Config Cfg;
+  Cfg.Shards = 1;
+  Cfg.ShardTemplate.MaxConnections = 1;
+  Cfg.ShardTemplate.Backlog = 0;
+  Cluster Cl(chromeProfile(), Cfg);
+  LockstepDriver Drv(Cl.fabric());
+
+  FrameClient C1(Cl.balancer().env().net());
+  FrameClient C2(Cl.balancer().env().net());
+  std::optional<rt::server::frame::Response> R2;
+  C1.connect(Cl.balancer().port(), [&](bool Ok) {
+    ASSERT_TRUE(Ok);
+    C1.request("work", bytesOf("10 /srv/f0.bin"),
+               [&](rt::server::frame::Response R) {
+                 EXPECT_EQ(R.S, rt::server::frame::Status::Ok);
+                 // Shard slot now provably held by C1; bring in C2.
+                 C2.connect(Cl.balancer().port(), [&](bool Ok2) {
+                   EXPECT_TRUE(Ok2); // Front door accepts...
+                   C2.request("work", bytesOf("10 /srv/f0.bin"),
+                              [&](rt::server::frame::Response R) {
+                                R2 = std::move(R); // ...routing refuses.
+                                C1.close();
+                              });
+                 });
+               });
+  });
+
+  Drv.run(1000000);
+  ASSERT_TRUE(R2.has_value());
+  EXPECT_EQ(R2->S, rt::server::frame::Status::Error);
+  EXPECT_EQ(Cl.balancer().stats().RefusedSaturated, 1u);
+}
+
+TEST(Cluster, FrontDoorCapRefuses) {
+  Cluster::Config Cfg;
+  Cfg.Shards = 1;
+  Cfg.Bal.MaxConnections = 1;
+  Cluster Cl(chromeProfile(), Cfg);
+  LockstepDriver Drv(Cl.fabric());
+
+  FrameClient C1(Cl.balancer().env().net());
+  FrameClient C2(Cl.balancer().env().net());
+  std::optional<bool> C2Connected;
+  C1.connect(Cl.balancer().port(), [&](bool Ok) {
+    ASSERT_TRUE(Ok);
+    C2.connect(Cl.balancer().port(), [&](bool Ok2) {
+      C2Connected = Ok2;
+      C1.close();
+    });
+  });
+
+  Drv.run(1000000);
+  ASSERT_TRUE(C2Connected.has_value());
+  EXPECT_FALSE(*C2Connected);
+  EXPECT_EQ(Cl.balancer().stats().ConnsRefused, 1u);
+}
+
+TEST(Cluster, EmptyRingRefusesAsSaturated) {
+  Cluster::Config Cfg;
+  Cfg.Shards = 1;
+  Cluster Cl(chromeProfile(), Cfg);
+  LockstepDriver Drv(Cl.fabric());
+
+  // Drain the only shard (idle, so it completes immediately).
+  bool Drained = false;
+  Cl.balancer().env().loop().post(kernel::Lane::Background, [&] {
+    Cl.drainShard(0, [&](const ShardSnapshot &) { Drained = true; });
+  });
+  Drv.run(1000000);
+  ASSERT_TRUE(Drained);
+  EXPECT_EQ(Cl.balancer().liveShards(), 0u);
+
+  // With nothing on the ring the walk exhausts synchronously inside the
+  // accept path, so the close surfaces as a refused connect (SimNet's
+  // close-inside-accept semantics) — and it is accounted as saturation.
+  FrameClient C(Cl.balancer().env().net());
+  std::optional<bool> Connected;
+  C.connect(Cl.balancer().port(), [&](bool Ok) { Connected = Ok; });
+  Drv.run(1000000);
+  ASSERT_TRUE(Connected.has_value());
+  EXPECT_FALSE(*Connected);
+  EXPECT_EQ(Cl.balancer().stats().RefusedSaturated, 1u);
+}
+
+TEST(Cluster, LiveSpawnTakesNewConnections) {
+  Cluster::Config Cfg;
+  Cfg.Shards = 1;
+  Cluster Cl(chromeProfile(), Cfg);
+  LockstepDriver Drv(Cl.fabric());
+
+  auto RunClients = [&](int N) {
+    std::vector<std::unique_ptr<FrameClient>> Clients;
+    uint64_t Ok = 0;
+    for (int I = 0; I < N; ++I) {
+      auto C = std::make_unique<FrameClient>(Cl.balancer().env().net());
+      FrameClient *P = C.get();
+      P->connect(Cl.balancer().port(), [P, &Ok](bool Connected) {
+        ASSERT_TRUE(Connected);
+        P->request("work", bytesOf("20 /srv/f0.bin"),
+                   [P, &Ok](rt::server::frame::Response R) {
+                     if (R.S == rt::server::frame::Status::Ok)
+                       ++Ok;
+                     P->close();
+                   });
+      });
+      Clients.push_back(std::move(C));
+    }
+    Drv.run(1000000);
+    return Ok;
+  };
+
+  EXPECT_EQ(RunClients(4), 4u);
+
+  // Live-add a shard between lockstep rounds; the consistent-hash ring
+  // now routes a share of fresh connections to it.
+  uint32_t NewId = Cl.spawnShard();
+  EXPECT_EQ(Cl.balancer().liveShards(), 2u);
+  EXPECT_EQ(RunClients(16), 16u);
+  EXPECT_GT(Cl.shard(NewId)->server().stats().Accepted, 0u)
+      << "no fresh connection landed on the spawned shard";
+  EXPECT_GT(Cl.shard(0)->server().stats().Accepted, 0u);
+}
+
+} // namespace

@@ -1,0 +1,177 @@
+//===- tests/doppio/hash_ring_test.cpp ------------------------------------==//
+//
+// Tests for the cluster's consistent-hash ring (doppio/cluster/hash_ring.h):
+// platform-deterministic placement (FNV-1a over explicit bytes, never
+// std::hash), minimal key remapping on shard join/leave, load balance
+// across shards, and the candidate failover walk.
+//
+//===----------------------------------------------------------------------===//
+
+#include "doppio/cluster/hash_ring.h"
+
+#include "gtest/gtest.h"
+
+#include <map>
+
+using namespace doppio;
+using namespace doppio::cluster;
+
+namespace {
+
+TEST(Fnv1a, MatchesReferenceVectors) {
+  // Published FNV-1a 64 vectors: the hash must be bit-identical on every
+  // platform, or shard placement (and every figure derived from it)
+  // would drift between machines.
+  EXPECT_EQ(fnv1a64("", 0), 14695981039346656037ull);
+  EXPECT_EQ(fnv1a64("a", 1), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(fnv1a64("foobar", 6), 0x85944171f73967e8ull);
+}
+
+TEST(Fnv1a, KeyHashIsFinalizedLittleEndianFnv) {
+  // hashKey serializes the u64 little-endian byte-explicitly and runs the
+  // avalanche finalizer on top (raw FNV-1a of low-entropy inputs is
+  // nearly affine — fatal for ring balance); pin the composition so an
+  // accidental endianness or width change cannot slip by.
+  EXPECT_EQ(hashKey(0), mix64(fnv1a64("\0\0\0\0\0\0\0\0", 8)));
+  uint8_t One[8] = {1, 0, 0, 0, 0, 0, 0, 0};
+  EXPECT_EQ(hashKey(1), mix64(fnv1a64(One, 8)));
+  EXPECT_NE(hashKey(1), hashKey(1ull << 56)); // LE: different bytes.
+  // fmix64 reference vector (murmur3 finalizer of 1).
+  EXPECT_EQ(mix64(1), 0xb456bcfc34c2cb2cull);
+}
+
+TEST(HashRing, DeterministicPlacement) {
+  // Same shards, any insertion order -> identical lookups, with pinned
+  // expected owners for a few keys (guards cross-platform determinism
+  // and accidental algorithm changes alike).
+  HashRing A, B;
+  for (uint32_t S : {0u, 1u, 2u, 3u})
+    A.add(S);
+  for (uint32_t S : {3u, 1u, 0u, 2u})
+    B.add(S);
+  for (uint64_t K = 0; K < 4096; ++K)
+    EXPECT_EQ(A.lookup(K), B.lookup(K)) << "key " << K;
+
+  EXPECT_EQ(A.lookup(0).value(), 0u);
+  EXPECT_EQ(A.lookup(1).value(), 1u);
+  EXPECT_EQ(A.lookup(2).value(), 2u);
+  EXPECT_EQ(A.lookup(42).value(), 2u);
+  EXPECT_EQ(A.lookup(1000000).value(), 2u);
+}
+
+TEST(HashRing, EmptyAndSingleShard) {
+  HashRing R;
+  EXPECT_TRUE(R.empty());
+  EXPECT_FALSE(R.lookup(7).has_value());
+  EXPECT_TRUE(R.candidates(7, 3).empty());
+  R.add(9);
+  EXPECT_EQ(R.size(), 1u);
+  for (uint64_t K = 0; K < 100; ++K)
+    EXPECT_EQ(R.lookup(K).value(), 9u);
+  R.remove(9);
+  EXPECT_TRUE(R.empty());
+  EXPECT_FALSE(R.lookup(7).has_value());
+}
+
+TEST(HashRing, JoinRemapsAboutOneNth) {
+  // Adding a shard to N-1 must move roughly 1/N of the keys and leave
+  // every other key where it was — the whole point of consistent
+  // hashing. Budget: <= 1.5/N moved, and every moved key moved TO the
+  // new shard.
+  constexpr uint64_t Keys = 20000;
+  for (size_t N : {2u, 4u, 8u}) {
+    HashRing R;
+    for (uint32_t S = 0; S + 1 < N; ++S)
+      R.add(S);
+    std::map<uint64_t, uint32_t> Before;
+    for (uint64_t K = 0; K < Keys; ++K)
+      Before[K] = R.lookup(K).value();
+    R.add(static_cast<uint32_t>(N - 1));
+    uint64_t Moved = 0;
+    for (uint64_t K = 0; K < Keys; ++K) {
+      uint32_t Now = R.lookup(K).value();
+      if (Now != Before[K]) {
+        ++Moved;
+        EXPECT_EQ(Now, N - 1) << "key moved between old shards";
+      }
+    }
+    double Frac = static_cast<double>(Moved) / Keys;
+    EXPECT_LE(Frac, 1.5 / static_cast<double>(N)) << "N=" << N;
+    EXPECT_GT(Moved, 0u) << "N=" << N;
+  }
+}
+
+TEST(HashRing, LeaveRemapsOnlyTheLeaversKeys) {
+  constexpr uint64_t Keys = 20000;
+  HashRing R;
+  for (uint32_t S = 0; S < 4; ++S)
+    R.add(S);
+  std::map<uint64_t, uint32_t> Before;
+  for (uint64_t K = 0; K < Keys; ++K)
+    Before[K] = R.lookup(K).value();
+  R.remove(2);
+  uint64_t Moved = 0;
+  for (uint64_t K = 0; K < Keys; ++K) {
+    uint32_t Now = R.lookup(K).value();
+    EXPECT_NE(Now, 2u);
+    if (Now != Before[K]) {
+      ++Moved;
+      // Only keys the leaver owned may move.
+      EXPECT_EQ(Before[K], 2u) << "key " << K << " moved without cause";
+    }
+  }
+  EXPECT_LE(static_cast<double>(Moved) / Keys, 1.5 / 4.0);
+  EXPECT_GT(Moved, 0u);
+}
+
+TEST(HashRing, LoadBalancedWithinTwoXAcrossEightShards) {
+  // 128 vnodes/shard must keep max/min shard load under 2x over a large
+  // key population — the balance budget the balancer relies on.
+  constexpr uint64_t Keys = 100000;
+  HashRing R;
+  for (uint32_t S = 0; S < 8; ++S)
+    R.add(S);
+  std::map<uint32_t, uint64_t> Load;
+  for (uint64_t K = 0; K < Keys; ++K)
+    ++Load[R.lookup(K).value()];
+  ASSERT_EQ(Load.size(), 8u) << "some shard owns no keys at all";
+  uint64_t Min = UINT64_MAX, Max = 0;
+  for (const auto &[S, N] : Load) {
+    Min = std::min(Min, N);
+    Max = std::max(Max, N);
+  }
+  EXPECT_LT(static_cast<double>(Max),
+            2.0 * static_cast<double>(Min))
+      << "max=" << Max << " min=" << Min;
+}
+
+TEST(HashRing, CandidatesAreDistinctAndStartWithTheOwner) {
+  HashRing R;
+  for (uint32_t S = 0; S < 5; ++S)
+    R.add(S);
+  for (uint64_t K = 0; K < 500; ++K) {
+    std::vector<uint32_t> C = R.candidates(K, 5);
+    ASSERT_EQ(C.size(), 5u);
+    EXPECT_EQ(C[0], R.lookup(K).value());
+    std::vector<uint32_t> Sorted = C;
+    std::sort(Sorted.begin(), Sorted.end());
+    EXPECT_EQ(std::unique(Sorted.begin(), Sorted.end()), Sorted.end());
+  }
+  // Asking for more than exist caps at the shard count.
+  EXPECT_EQ(R.candidates(1, 64).size(), 5u);
+  EXPECT_EQ(R.candidates(1, 0).size(), 0u);
+}
+
+TEST(HashRing, AddRemoveIdempotent) {
+  HashRing R;
+  R.add(1);
+  R.add(1);
+  EXPECT_EQ(R.size(), 1u);
+  R.remove(7); // Absent: no-op.
+  EXPECT_EQ(R.size(), 1u);
+  R.remove(1);
+  R.remove(1);
+  EXPECT_TRUE(R.empty());
+}
+
+} // namespace

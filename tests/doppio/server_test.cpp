@@ -467,6 +467,82 @@ TEST(Server, ShutdownWhenIdleCompletesImmediately) {
   EXPECT_EQ(R.Srv->stats().Active, 0u);
 }
 
+TEST(Server, ShutdownCancelsIdleSweepLeavingZeroPendingWork) {
+  // A drained server must leave zero pending kernel work — including the
+  // idle-sweep timer, which is armed the moment a connection exists. With
+  // a 10-virtual-minute sweep, an uncancelled timer would idle the clock
+  // all the way forward before the loop could finish.
+  Server::Config Cfg = testConfig();
+  Cfg.IdleTimeoutNs = browser::msToNs(600000);
+  ServerRig R(Cfg);
+  FrameClient C(R.Env.net());
+  bool Drained = false;
+  C.connect(7000, [&](bool Ok) {
+    ASSERT_TRUE(Ok);
+    C.request("echo", bytesOf("x"), [&](frame::Response Resp) {
+      EXPECT_EQ(Resp.S, frame::Status::Ok);
+      R.Srv->shutdown([&] { Drained = true; });
+    });
+  });
+  R.Env.loop().run();
+  EXPECT_TRUE(Drained);
+  EXPECT_FALSE(R.Env.loop().nextEligibleNs().has_value());
+  EXPECT_LT(R.Env.clock().nowNs(), Cfg.IdleTimeoutNs);
+}
+
+TEST(Server, DestroyWithArmedSweepLeavesZeroPendingWork) {
+  // Abrupt teardown (the cluster's kill-shard path): destroying the
+  // server with the sweep armed must cancel it, not leave a pending fire
+  // that captures a dead `this`.
+  Server::Config Cfg = testConfig();
+  Cfg.IdleTimeoutNs = browser::msToNs(600000);
+  ServerRig R(Cfg);
+  FrameClient C(R.Env.net());
+  C.connect(7000, [&](bool Ok) {
+    ASSERT_TRUE(Ok);
+    C.request("echo", bytesOf("x"), [&](frame::Response Resp) {
+      EXPECT_EQ(Resp.S, frame::Status::Ok);
+      C.close();
+      R.Srv.reset();
+    });
+  });
+  R.Env.loop().run();
+  EXPECT_FALSE(R.Env.loop().nextEligibleNs().has_value());
+  EXPECT_LT(R.Env.clock().nowNs(), Cfg.IdleTimeoutNs);
+}
+
+TEST(Server, ShutdownDuringDrainChainsCompletions) {
+  ServerRig R;
+  R.Srv->router().handle(
+      "slow", [&R](const frame::Request &, Router::RespondFn Respond) {
+        R.Env.loop().scheduleAfter(
+            [Respond = std::move(Respond)] {
+              Respond(frame::Status::Ok, {});
+            },
+            browser::msToNs(10));
+      });
+  FrameClient C(R.Env.net());
+  C.connect(7000, [&](bool Ok) {
+    ASSERT_TRUE(Ok);
+    C.request("slow", {}, [](frame::Response) {});
+  });
+  std::vector<int> Fired;
+  R.Env.loop().scheduleAfter(
+      [&] { R.Srv->shutdown([&] { Fired.push_back(1); }); },
+      browser::msToNs(2));
+  // A second shutdown mid-drain joins the first: both callbacks fire once
+  // the drain actually completes, in order.
+  R.Env.loop().scheduleAfter(
+      [&] { R.Srv->shutdown([&] { Fired.push_back(2); }); },
+      browser::msToNs(4));
+  R.Env.loop().run();
+  EXPECT_EQ(Fired, (std::vector<int>{1, 2}));
+  // And on a stopped server, shutdown completes immediately.
+  bool Immediate = false;
+  R.Srv->shutdown([&] { Immediate = true; });
+  EXPECT_TRUE(Immediate);
+}
+
 //===----------------------------------------------------------------------===//
 // Traffic generator and the §5.3 client stack
 //===----------------------------------------------------------------------===//
