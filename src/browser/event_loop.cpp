@@ -72,6 +72,11 @@ void EventLoop::post(kernel::Lane L, Event Fn, kernel::CancelToken Cancel) {
   K.post(L, std::move(Fn), std::move(Cancel));
 }
 
+void EventLoop::post(kernel::Lane L, rt::Continuation Cont,
+                     kernel::CancelToken Cancel) {
+  K.post(L, std::move(Cont), std::move(Cancel));
+}
+
 uint64_t EventLoop::postAfter(kernel::Lane L, Event Fn, uint64_t DelayNs,
                               kernel::CancelToken Cancel) {
   return K.postAfter(L, std::move(Fn), DelayNs, std::move(Cancel));

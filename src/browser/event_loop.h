@@ -177,6 +177,10 @@ public:
   /// priority position. Work carrying a cancelled token is skipped.
   void post(kernel::Lane L, Event Fn, kernel::CancelToken Cancel = {});
 
+  /// Posts a reified continuation (DESIGN.md §16) for one-shot dispatch
+  /// on lane \p L.
+  void post(kernel::Lane L, rt::Continuation K, kernel::CancelToken Cancel = {});
+
   /// Lane-aware timer: \p Fn runs on lane \p L after exactly \p DelayNs
   /// (no clamp). Returns a kernel timer handle for cancelTimer().
   uint64_t postAfter(kernel::Lane L, Event Fn, uint64_t DelayNs,

@@ -51,8 +51,34 @@ Balancer::Balancer(const browser::Profile &P, Fabric &Fab, Config Cfg)
       }
       break;
     }
+    case control::Kind::MigrateDone: {
+      auto D = control::MigrateDoneMsg::decode(M->Payload);
+      if (!D)
+        break;
+      auto It = MigrationsInFlight.find(D->RequestId);
+      if (It == MigrationsInFlight.end())
+        break;
+      auto Done = std::move(It->second);
+      MigrationsInFlight.erase(It);
+      (D->Ok ? MigrationsC : MigrationFailuresC)->inc();
+      if (Done) {
+        MigrationResult R;
+        R.SrcShard = D->SrcShard;
+        R.DstShard = D->DstShard;
+        R.Ok = D->Ok;
+        R.NewPid = D->NewPid;
+        R.CaptureUs = D->CaptureUs;
+        R.RestoreUs = D->RestoreUs;
+        R.BlobBytes = D->BlobBytes;
+        R.Error = std::move(D->Error);
+        Done(R);
+      }
+      break;
+    }
     case control::Kind::Drain:
     case control::Kind::Kill:
+    case control::Kind::Migrate:
+    case control::Kind::MigrateBlob:
       break; // Shard-bound kinds; ignore if misdelivered.
     }
   });
@@ -88,6 +114,8 @@ void Balancer::bindCells() {
   MetricsServedC = &Reg.counter(P + ".metrics_served");
   DrainsC = &Reg.counter(P + ".drains");
   KillsC = &Reg.counter(P + ".kills");
+  MigrationsC = &Reg.counter(P + ".migrations");
+  MigrationFailuresC = &Reg.counter(P + ".migration_failures");
   LiveShardsG = &Reg.gauge(P + ".live_shards");
   UpstreamRttNsH = &Reg.histogram(P + ".upstream_rtt_ns");
   RouteNsH = &Reg.histogram(P + ".route_ns");
@@ -444,6 +472,28 @@ bool Balancer::killShard(uint32_t Id) {
     S.OnDrained = nullptr;
   return true;
 }
+
+bool Balancer::migrateProcess(uint32_t SrcShard, uint32_t DstShard,
+                              rt::proc::Pid P,
+                              std::function<void(const MigrationResult &)>
+                                  Done) {
+  auto SrcIt = Shards.find(SrcShard);
+  auto DstIt = Shards.find(DstShard);
+  if (SrcIt == Shards.end() || SrcIt->second.Dead ||
+      DstIt == Shards.end() || DstIt->second.Dead || SrcShard == DstShard)
+    return false;
+  control::MigrateCmd Cmd;
+  Cmd.RequestId = NextMigrationId++;
+  Cmd.DstShard = DstShard;
+  Cmd.DstTab = DstIt->second.Tab;
+  Cmd.Pid = P;
+  MigrationsInFlight.emplace(Cmd.RequestId, std::move(Done));
+  Fab.sendControl(Tab, SrcIt->second.Tab,
+                  control::encode(control::Kind::Migrate, Cmd.encode()));
+  return true;
+}
+
+uint64_t Balancer::migrationsDone() const { return MigrationsC->value(); }
 
 void Balancer::beginReroute(Conn &C, bool Abrupt) {
   C.Rerouting = true; // Forwarding pauses; new requests queue.

@@ -105,6 +105,33 @@ public:
   /// Abrupt removal (see file comment). False if unknown or already dead.
   bool killShard(uint32_t Id);
 
+  /// Outcome of one live migration (DESIGN.md §16), as reported by the
+  /// MigrateDone control frame.
+  struct MigrationResult {
+    uint32_t SrcShard = 0;
+    uint32_t DstShard = 0;
+    bool Ok = false;
+    rt::proc::Pid NewPid = 0;
+    /// Virtual-time cost components of the guest's downtime: freeze on
+    /// the source clock, revive on the destination clock (the fabric hop
+    /// between them is Fabric::Costs::HopLatencyNs).
+    uint64_t CaptureUs = 0;
+    uint64_t RestoreUs = 0;
+    uint64_t BlobBytes = 0;
+    std::string Error;
+  };
+
+  /// Live-migrates process \p P from \p SrcShard to \p DstShard: the
+  /// source checkpoints it (retrying until quiescent), kills the local
+  /// copy, ships the blob over the fabric, and the destination revives
+  /// it. \p Done fires on the balancer loop with the outcome. False if
+  /// either shard is unknown or dead.
+  bool migrateProcess(uint32_t SrcShard, uint32_t DstShard, rt::proc::Pid P,
+                      std::function<void(const MigrationResult &)> Done);
+
+  /// Completed migrations (registry-backed: `balancer.migrations`).
+  uint64_t migrationsDone() const;
+
   /// Mirrors \p S into this tab's registry under the shard's claimed
   /// prefix. Normally fed by the control plane; exposed for tests.
   void noteSnapshot(const ShardSnapshot &S);
@@ -219,6 +246,11 @@ private:
   std::map<uint32_t, ShardSnapshot> Snapshots;
   std::map<uint64_t, std::unique_ptr<Conn>> Conns;
   uint64_t NextConnId = 1;
+  /// In-flight migrations, keyed by the request id echoed through the
+  /// Migrate/MigrateBlob/MigrateDone frames.
+  std::map<uint64_t, std::function<void(const MigrationResult &)>>
+      MigrationsInFlight;
+  uint64_t NextMigrationId = 1;
 
   obs::Counter *ConnsAcceptedC = nullptr;
   obs::Counter *ConnsRefusedC = nullptr;
@@ -231,6 +263,8 @@ private:
   obs::Counter *MetricsServedC = nullptr;
   obs::Counter *DrainsC = nullptr;
   obs::Counter *KillsC = nullptr;
+  obs::Counter *MigrationsC = nullptr;
+  obs::Counter *MigrationFailuresC = nullptr;
   obs::Gauge *LiveShardsG = nullptr;
   obs::Histogram *UpstreamRttNsH = nullptr;
   obs::Histogram *RouteNsH = nullptr;

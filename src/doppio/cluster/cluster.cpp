@@ -81,11 +81,108 @@ void Cluster::wireShard(uint32_t Id) {
                                             S->snapshot().encode()));
           });
           break;
+        case control::Kind::Migrate: {
+          // Balancer wants a process moved off this shard. The checkpoint
+          // may need retries (EAGAIN until the guest reaches a data-borne
+          // quiescent point), so the source half runs as its own routine.
+          if (auto Cmd = control::MigrateCmd::decode(M->Payload))
+            migrateFrom(Id, *Cmd);
+          break;
+        }
+        case control::Kind::MigrateBlob: {
+          // A frozen process arriving from a peer shard: revive it through
+          // this shard's restore factories and report the outcome.
+          auto BM = control::MigrateBlobMsg::decode(M->Payload);
+          if (!BM)
+            break;
+          control::MigrateDoneMsg D;
+          D.RequestId = BM->RequestId;
+          D.SrcShard = BM->SrcShard;
+          D.DstShard = Id;
+          D.CaptureUs = BM->CaptureUs;
+          D.BlobBytes = BM->Blob.size();
+          uint64_t Before = S->env().clock().nowNs();
+          rt::ErrorOr<rt::proc::Pid> P = S->restoreProcess(BM->Blob);
+          if (P.ok()) {
+            // Revive cost on the destination clock: dominated by image
+            // deserialization, so it scales with the blob.
+            S->env().chargeCompute(
+                browser::usToNs(20 + BM->Blob.size() / 1024));
+            D.Ok = true;
+            D.NewPid = *P;
+          } else {
+            D.Error = P.error().message();
+          }
+          D.RestoreUs = (S->env().clock().nowNs() - Before) / 1000;
+          Fab.sendControl(S->tab(), BalTab,
+                          control::encode(control::Kind::MigrateDone,
+                                          D.encode()));
+          break;
+        }
         case control::Kind::DrainDone:
         case control::Kind::Snapshot:
+        case control::Kind::MigrateDone:
           break; // Balancer-bound kinds.
         }
       });
+}
+
+void Cluster::migrateFrom(uint32_t Id, control::MigrateCmd Cmd) {
+  auto It = ShardsById.find(Id);
+  if (It == ShardsById.end() || It->second.Killed)
+    return;
+  Shard *S = It->second.S.get();
+  TabId BalTab = Bal->tab();
+  uint64_t Before = S->env().clock().nowNs();
+  rt::ErrorOr<std::vector<uint8_t>> Blob = S->checkpointProcess(Cmd.Pid);
+  if (!Blob.ok()) {
+    if (Blob.error().Code == rt::Errno::Again) {
+      // Not quiescent yet (an in-flight native, a class load, a timed
+      // wait): let the guest run on and retry shortly. The retry rides
+      // the Resume lane — green-thread slices run there and it outranks
+      // Timer, so a Timer-lane retry would starve behind a compute-bound
+      // guest until it exits. The handle is dropped on purpose —
+      // destruction does not cancel (event_loop.h), and the retry must
+      // outlive this frame.
+      browser::TimerHandle Retry = S->env().loop().postTimer(
+          kernel::Lane::Resume, [this, Id, Cmd] { migrateFrom(Id, Cmd); },
+          browser::usToNs(100));
+      (void)Retry;
+      return;
+    }
+    control::MigrateDoneMsg D;
+    D.RequestId = Cmd.RequestId;
+    D.SrcShard = Id;
+    D.DstShard = Cmd.DstShard;
+    D.Error = Blob.error().message();
+    Fab.sendControl(S->tab(), BalTab,
+                    control::encode(control::Kind::MigrateDone, D.encode()));
+    return;
+  }
+  // Freeze cost on the source clock: dominated by image serialization.
+  S->env().chargeCompute(browser::usToNs(20 + Blob->size() / 1024));
+  uint64_t CaptureUs = (S->env().clock().nowNs() - Before) / 1000;
+  // The blob is the process now; the local copy dies before the blob is
+  // shipped, so exactly one copy ever runs. killNow, not kill: deferred
+  // delivery would let an already-queued guest slice run past the
+  // checkpoint, and the destination would replay that overlap.
+  S->procs().killNow(Cmd.Pid, rt::proc::Signal::Kill);
+  control::MigrateBlobMsg BM;
+  BM.RequestId = Cmd.RequestId;
+  BM.SrcShard = Id;
+  BM.DstShard = Cmd.DstShard;
+  BM.CaptureUs = CaptureUs;
+  BM.Blob = std::move(*Blob);
+  Fab.sendControl(S->tab(), Cmd.DstTab,
+                  control::encode(control::Kind::MigrateBlob, BM.encode()));
+}
+
+bool Cluster::migrateProcess(
+    uint32_t Src, uint32_t Dst, rt::proc::Pid P,
+    std::function<void(const Balancer::MigrationResult &)> Done) {
+  if (!ShardsById.count(Src) || !ShardsById.count(Dst))
+    return false;
+  return Bal->migrateProcess(Src, Dst, P, std::move(Done));
 }
 
 void Cluster::armPush(uint32_t Id) {

@@ -28,6 +28,7 @@
 #define DOPPIO_DOPPIO_CLUSTER_CLUSTER_H
 
 #include "doppio/cluster/balancer.h"
+#include "doppio/cluster/control.h"
 #include "doppio/cluster/driver.h"
 #include "doppio/cluster/fabric.h"
 #include "doppio/cluster/shard.h"
@@ -91,6 +92,13 @@ public:
   /// be nullopt: a drained shard leaves zero pending kernel work.
   std::optional<uint64_t> shardPendingWorkNs(uint32_t Id);
 
+  /// Live-migrates process \p P from shard \p Src to shard \p Dst
+  /// (DESIGN.md §16). See Balancer::migrateProcess; \p Done fires on the
+  /// balancer loop.
+  bool migrateProcess(uint32_t Src, uint32_t Dst, rt::proc::Pid P,
+                      std::function<void(const Balancer::MigrationResult &)>
+                          Done);
+
 private:
   struct Rec {
     std::unique_ptr<Shard> S;
@@ -102,6 +110,10 @@ private:
 
   void wireShard(uint32_t Id);
   void armPush(uint32_t Id);
+  /// Source half of a migration: checkpoint (retrying on the shard's
+  /// timer until the guest is quiescent), kill the local copy, ship the
+  /// blob to the destination tab. Runs on the source shard's loop.
+  void migrateFrom(uint32_t Id, control::MigrateCmd Cmd);
 
   const browser::Profile &Prof;
   Config Cfg;

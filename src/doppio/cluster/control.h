@@ -18,8 +18,11 @@
 #ifndef DOPPIO_DOPPIO_CLUSTER_CONTROL_H
 #define DOPPIO_DOPPIO_CLUSTER_CONTROL_H
 
+#include "browser/wire.h"
+
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
 namespace doppio {
@@ -39,6 +42,20 @@ enum class Kind : uint8_t {
   /// synthesized error responses and re-routed; the shard just tears
   /// down.
   Kill = 4,
+  /// Balancer -> source shard: checkpoint process <pid> and ship it to
+  /// the destination shard (DESIGN.md §16). Payload: [u64 request id]
+  /// [u32 dst shard id][u32 dst tab][u64 pid]. The shard retries on its
+  /// own timer until the program is quiescent.
+  Migrate = 5,
+  /// Source shard -> destination shard: the frozen process. Payload:
+  /// [u64 request id][u32 src shard id][u32 dst shard id]
+  /// [u64 capture us][checkpoint blob...].
+  MigrateBlob = 6,
+  /// Either shard -> balancer: migration finished (or failed). Payload:
+  /// [u64 request id][u32 src shard id][u32 dst shard id][u8 ok]
+  /// [u64 new pid][u64 capture us][u64 restore us][u64 blob bytes]
+  /// [error text...].
+  MigrateDone = 7,
 };
 
 inline std::vector<uint8_t> encode(Kind K, std::vector<uint8_t> Payload) {
@@ -55,13 +72,118 @@ struct Message {
 };
 
 inline std::optional<Message> decode(const std::vector<uint8_t> &B) {
-  if (B.empty() || B[0] < 1 || B[0] > 4)
+  if (B.empty() || B[0] < 1 || B[0] > 7)
     return std::nullopt;
   Message M;
   M.K = static_cast<Kind>(B[0]);
   M.Payload.assign(B.begin() + 1, B.end());
   return M;
 }
+
+//===----------------------------------------------------------------------===//
+// Migration payloads (DESIGN.md §16)
+//===----------------------------------------------------------------------===//
+
+/// Kind::Migrate payload.
+struct MigrateCmd {
+  uint64_t RequestId = 0;
+  uint32_t DstShard = 0;
+  uint32_t DstTab = 0;
+  int64_t Pid = 0;
+
+  std::vector<uint8_t> encode() const {
+    std::vector<uint8_t> Out;
+    browser::wire::putU64(Out, RequestId);
+    browser::wire::putU32(Out, DstShard);
+    browser::wire::putU32(Out, DstTab);
+    browser::wire::putU64(Out, static_cast<uint64_t>(Pid));
+    return Out;
+  }
+  static std::optional<MigrateCmd> decode(const std::vector<uint8_t> &B) {
+    if (B.size() != 24)
+      return std::nullopt;
+    MigrateCmd M;
+    M.RequestId = browser::wire::getU64(B.data());
+    M.DstShard = browser::wire::getU32(B.data() + 8);
+    M.DstTab = browser::wire::getU32(B.data() + 12);
+    M.Pid = static_cast<int64_t>(browser::wire::getU64(B.data() + 16));
+    return M;
+  }
+};
+
+/// Kind::MigrateBlob payload: header + the opaque checkpoint blob.
+struct MigrateBlobMsg {
+  uint64_t RequestId = 0;
+  uint32_t SrcShard = 0;
+  uint32_t DstShard = 0;
+  uint64_t CaptureUs = 0;
+  std::vector<uint8_t> Blob;
+
+  std::vector<uint8_t> encode() const {
+    std::vector<uint8_t> Out;
+    browser::wire::putU64(Out, RequestId);
+    browser::wire::putU32(Out, SrcShard);
+    browser::wire::putU32(Out, DstShard);
+    browser::wire::putU64(Out, CaptureUs);
+    Out.insert(Out.end(), Blob.begin(), Blob.end());
+    return Out;
+  }
+  static std::optional<MigrateBlobMsg>
+  decode(const std::vector<uint8_t> &B) {
+    if (B.size() < 24)
+      return std::nullopt;
+    MigrateBlobMsg M;
+    M.RequestId = browser::wire::getU64(B.data());
+    M.SrcShard = browser::wire::getU32(B.data() + 8);
+    M.DstShard = browser::wire::getU32(B.data() + 12);
+    M.CaptureUs = browser::wire::getU64(B.data() + 16);
+    M.Blob.assign(B.begin() + 24, B.end());
+    return M;
+  }
+};
+
+/// Kind::MigrateDone payload.
+struct MigrateDoneMsg {
+  uint64_t RequestId = 0;
+  uint32_t SrcShard = 0;
+  uint32_t DstShard = 0;
+  bool Ok = false;
+  int64_t NewPid = 0;
+  uint64_t CaptureUs = 0;
+  uint64_t RestoreUs = 0;
+  uint64_t BlobBytes = 0;
+  std::string Error;
+
+  std::vector<uint8_t> encode() const {
+    std::vector<uint8_t> Out;
+    browser::wire::putU64(Out, RequestId);
+    browser::wire::putU32(Out, SrcShard);
+    browser::wire::putU32(Out, DstShard);
+    Out.push_back(Ok ? 1 : 0);
+    browser::wire::putU64(Out, static_cast<uint64_t>(NewPid));
+    browser::wire::putU64(Out, CaptureUs);
+    browser::wire::putU64(Out, RestoreUs);
+    browser::wire::putU64(Out, BlobBytes);
+    Out.insert(Out.end(), Error.begin(), Error.end());
+    return Out;
+  }
+  static std::optional<MigrateDoneMsg>
+  decode(const std::vector<uint8_t> &B) {
+    if (B.size() < 49)
+      return std::nullopt;
+    MigrateDoneMsg M;
+    M.RequestId = browser::wire::getU64(B.data());
+    M.SrcShard = browser::wire::getU32(B.data() + 8);
+    M.DstShard = browser::wire::getU32(B.data() + 12);
+    M.Ok = B[16] == 1;
+    M.NewPid = static_cast<int64_t>(browser::wire::getU64(B.data() + 17));
+    M.CaptureUs = browser::wire::getU64(B.data() + 25);
+    M.RestoreUs = browser::wire::getU64(B.data() + 33);
+    M.BlobBytes = browser::wire::getU64(B.data() + 41);
+    M.Error.assign(B.begin() + 49, B.end());
+    return M;
+  }
+};
 
 } // namespace control
 } // namespace cluster

@@ -132,6 +132,9 @@ Shard::Shard(const browser::Profile &P, Fabric &Fab, Config Cfg)
   (void)Started;
 
   startWorkers();
+
+  if (Cfg.Setup)
+    Cfg.Setup(*this);
 }
 
 Shard::~Shard() = default;

@@ -31,6 +31,7 @@
 #include "browser/env.h"
 #include "doppio/cluster/fabric.h"
 #include "doppio/fs.h"
+#include "doppio/proc/checkpoint.h"
 #include "doppio/proc/proc.h"
 #include "doppio/proc/programs.h"
 #include "doppio/server/server.h"
@@ -78,6 +79,11 @@ public:
     /// Worker pipelines (echo | wc over the proc subsystem) launched at
     /// startup, exercising pids/pipes inside every shard.
     size_t WorkerPipelines = 2;
+    /// Runs on the shard at the end of construction. Benches use it to
+    /// seed extra fs content (e.g. /classes) and bind restore factories
+    /// in checkpoints() — keeping the cluster library guest-agnostic
+    /// while its shards host migratable JVM programs (DESIGN.md §16).
+    std::function<void(Shard &)> Setup;
   };
 
   Shard(const browser::Profile &P, Fabric &Fab, Config Cfg);
@@ -105,6 +111,23 @@ public:
   /// Worker pipelines that have finished with exit 0 and matching output.
   size_t workersDone() const { return WorkersOk; }
 
+  /// Restore factories for migrated-in checkpoint blobs; bound by the
+  /// Config::Setup hook (the cluster library knows no guest languages).
+  rt::proc::CheckpointRegistry &checkpoints() { return Checkpoints; }
+
+  /// Freezes live process \p P (EAGAIN while it is not quiescent — the
+  /// migration wiring retries on a shard timer). On this shard's thread.
+  rt::ErrorOr<std::vector<uint8_t>> checkpointProcess(rt::proc::Pid P) {
+    return rt::proc::checkpointProcess(*Procs, P);
+  }
+
+  /// Revives a migrated-in blob through checkpoints(). On this shard's
+  /// thread.
+  rt::ErrorOr<rt::proc::Pid>
+  restoreProcess(const std::vector<uint8_t> &Blob) {
+    return rt::proc::restoreProcess(*Procs, Blob, Checkpoints);
+  }
+
 private:
   void startWorkers();
 
@@ -115,6 +138,7 @@ private:
   std::unique_ptr<rt::fs::FileSystem> Fs;
   std::unique_ptr<rt::proc::ProcessTable> Procs;
   rt::proc::ProgramRegistry Progs;
+  rt::proc::CheckpointRegistry Checkpoints;
   std::unique_ptr<rt::server::Server> Srv;
   TabId Tab = 0;
   size_t WorkersOk = 0;

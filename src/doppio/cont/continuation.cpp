@@ -1,0 +1,44 @@
+//===- doppio/cont/continuation.cpp ---------------------------------------==//
+
+#include "doppio/cont/continuation.h"
+
+#include "doppio/cont/snapshot.h"
+
+using namespace doppio;
+using namespace doppio::rt;
+
+namespace {
+// 'D' 'K' (Doppio Kontinuation) + format generation.
+constexpr uint32_t ContMagic = 0x444b4e54; // "DKNT"
+constexpr uint32_t ContVersion = 1;
+} // namespace
+
+std::vector<uint8_t> Continuation::serialize() const {
+  if (!armed() || !Desc)
+    return {};
+  snap::Writer W(ContMagic, ContVersion);
+  W.str(Desc->Tag);
+  W.u64(promptId());
+  W.bytes(Desc->State);
+  return W.take();
+}
+
+std::optional<Continuation>
+Continuation::deserialize(const std::vector<uint8_t> &Wire,
+                          ResumerRegistry &Reg) {
+  snap::Reader R(Wire, ContMagic, ContVersion);
+  std::string Tag = R.str();
+  uint64_t Prompt = R.u64();
+  std::vector<uint8_t> State = R.bytes();
+  if (!R.atEnd())
+    return std::nullopt;
+  std::optional<Continuation> K = Reg.rebuild(Tag, State);
+  if (!K)
+    return std::nullopt;
+  // The rebuilt continuation stays serializable (tag + state survive the
+  // hop), so a restored program can be checkpointed again. The prompt id
+  // rides along for demultiplexing parity.
+  K->setDescriptor(Tag, State);
+  (void)Prompt;
+  return K;
+}

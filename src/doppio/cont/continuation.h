@@ -1,0 +1,313 @@
+//===- doppio/cont/continuation.h - First-class continuations ----*- C++ -*-==//
+//
+// Part of the Doppio reproduction. See README.md and DESIGN.md §16.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one suspend substrate: a reified, heap-owned delimited continuation.
+///
+/// Doppio's §4.1–§4.4 mechanisms — suspend-and-resume, green threads, the
+/// AsyncBridge — plus the kernel Resume lane and proc parking are five
+/// hand-rolled reimplementations of "capture the rest of this computation".
+/// Wasm/k ("Delimited Continuations for WebAssembly", PAPERS.md) argues
+/// these should be one reified primitive; Stopify shows capture can be made
+/// cheap by careful placement. This header is that primitive:
+///
+///  - rt::Continuation — capture() the rest of the computation as a value,
+///    resume() it exactly once, later, from anywhere. One-shot enforcement
+///    is accounted (and assert-checked in debug builds): resuming twice is
+///    a bug, dropping without resuming is a leak, and both are visible as
+///    registry cells shared by every subsystem in a tab
+///    (`cont.captured/resumed/dropped/double_resumes/live`).
+///
+///  - rt::ContinuationOf<T> — the same, carrying a value to the suspended
+///    computation on resume (pipe reads/writes, waitpid results).
+///
+///  - A versioned serialize()/deserialize() wire form. The *host-side*
+///    entry of a continuation (a C++ closure) cannot cross a wire; what
+///    can is the guest-visible state it delimits (JVM interpreter frames
+///    and vm32 frames are explicit heap structures — serialization is
+///    frame-walking, not stack-ripping). A serializable continuation
+///    therefore carries a (tag, state-bytes) descriptor; deserialization
+///    rebinds the tag to a resume entry through a ResumerRegistry on the
+///    destination side. proc::checkpoint and cluster migration are built
+///    on exactly this split.
+///
+/// Continuations are move-only values: whoever holds one owns the rest of
+/// that computation. Everything is single-threaded over the virtual clock.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DOPPIO_DOPPIO_CONT_CONTINUATION_H
+#define DOPPIO_DOPPIO_CONT_CONTINUATION_H
+
+#include "doppio/obs/registry.h"
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace doppio {
+namespace rt {
+namespace cont {
+
+/// The shared accounting cells, resolved by fixed (unprefixed) name so
+/// every subsystem in one tab reports into the same counters — the whole
+/// point is that there is *one* substrate.
+struct Cells {
+  obs::Counter *Captured = nullptr;
+  obs::Counter *Resumed = nullptr;
+  /// Continuations destroyed while still armed (never resumed): leaks.
+  obs::Counter *Dropped = nullptr;
+  /// resume() calls on an already-resumed continuation: bugs.
+  obs::Counter *DoubleResumes = nullptr;
+  /// Currently armed (captured, not yet resumed or dropped).
+  obs::Gauge *Live = nullptr;
+
+  static Cells resolve(obs::Registry &Reg) {
+    Cells C;
+    C.Captured = &Reg.counter("cont.captured");
+    C.Resumed = &Reg.counter("cont.resumed");
+    C.Dropped = &Reg.counter("cont.dropped");
+    C.DoubleResumes = &Reg.counter("cont.double_resumes");
+    C.Live = &Reg.gauge("cont.live");
+    return C;
+  }
+};
+
+/// Move-only one-shot accounting core shared by Continuation and
+/// ContinuationOf<T>: tracks Armed/Resumed across moves and feeds the
+/// cells. The resume entries themselves live in the wrappers (they differ
+/// in signature).
+class Accounting {
+public:
+  Accounting() = default;
+  Accounting(Cells C, const char *Origin, uint64_t PromptId)
+      : C(C), Origin(Origin), Prompt(PromptId), Armed(true) {
+    if (C.Captured)
+      C.Captured->inc();
+    if (C.Live)
+      C.Live->add(1);
+  }
+
+  Accounting(Accounting &&O) noexcept { swap(O); }
+  Accounting &operator=(Accounting &&O) noexcept {
+    drop();
+    swap(O);
+    return *this;
+  }
+  Accounting(const Accounting &) = delete;
+  Accounting &operator=(const Accounting &) = delete;
+
+  ~Accounting() { drop(); }
+
+  bool armed() const { return Armed; }
+  const char *origin() const { return Origin; }
+  /// The delimiter this continuation was captured up to. Subsystems use it
+  /// as a demux key (the Suspender's resumption id, a pipe's park slot).
+  uint64_t promptId() const { return Prompt; }
+
+  /// Marks the one shot fired. Returns false (and counts a double resume)
+  /// if it already was.
+  bool fire() {
+    if (!Armed) {
+      if (C.DoubleResumes)
+        C.DoubleResumes->inc();
+      assert(!"continuation resumed twice");
+      return false;
+    }
+    Armed = false;
+    if (C.Resumed)
+      C.Resumed->inc();
+    if (C.Live)
+      C.Live->add(-1);
+    return true;
+  }
+
+private:
+  void swap(Accounting &O) {
+    std::swap(C, O.C);
+    std::swap(Origin, O.Origin);
+    std::swap(Prompt, O.Prompt);
+    std::swap(Armed, O.Armed);
+  }
+  void drop() {
+    if (!Armed)
+      return;
+    Armed = false;
+    if (C.Dropped)
+      C.Dropped->inc();
+    if (C.Live)
+      C.Live->add(-1);
+  }
+
+  Cells C;
+  const char *Origin = "";
+  uint64_t Prompt = 0;
+  bool Armed = false;
+};
+
+} // namespace cont
+
+class ResumerRegistry;
+
+/// A first-class delimited continuation: "the rest of this computation",
+/// captured as a heap-owned value. Resume it exactly once.
+class Continuation {
+public:
+  /// An inert continuation: not armed, resume() is a counted error.
+  Continuation() = default;
+
+  /// Captures \p Fn — the rest of the computation from the suspension
+  /// point — as a continuation. \p Origin is a static string naming the
+  /// capturing subsystem (shows up in leak triage); \p PromptId is the
+  /// delimiter key, 0 when the capturer does not demux.
+  static Continuation capture(cont::Cells C, std::function<void()> Fn,
+                              const char *Origin = "", uint64_t PromptId = 0) {
+    Continuation K;
+    K.Acct = cont::Accounting(C, Origin, PromptId);
+    K.Fn = std::move(Fn);
+    return K;
+  }
+  /// Convenience: resolves the cells from \p Reg (5 name lookups; callers
+  /// on hot paths resolve a cont::Cells once instead).
+  static Continuation capture(obs::Registry &Reg, std::function<void()> Fn,
+                              const char *Origin = "", uint64_t PromptId = 0) {
+    return capture(cont::Cells::resolve(Reg), std::move(Fn), Origin, PromptId);
+  }
+
+  Continuation(Continuation &&) = default;
+  Continuation &operator=(Continuation &&) = default;
+
+  /// True while the one shot is still pending.
+  bool armed() const { return Acct.armed(); }
+  const char *origin() const { return Acct.origin(); }
+  uint64_t promptId() const { return Acct.promptId(); }
+
+  /// Runs the rest of the computation. One-shot: a second call is counted
+  /// in `cont.double_resumes`, asserts in debug builds, and is otherwise
+  /// ignored.
+  void resume() {
+    if (!Acct.fire())
+      return;
+    std::function<void()> F = std::move(Fn);
+    Fn = nullptr;
+    F();
+  }
+
+  //===--------------------------------------------------------------------===//
+  // Wire form (serializable continuations)
+  //===--------------------------------------------------------------------===//
+
+  /// Attaches a wire descriptor: \p Tag names the resume entry on the
+  /// destination side (looked up in a ResumerRegistry), \p State is the
+  /// guest-visible state the continuation delimits.
+  void setDescriptor(std::string Tag, std::vector<uint8_t> State) {
+    Desc = Descriptor{std::move(Tag), std::move(State)};
+  }
+  bool serializable() const { return Desc.has_value(); }
+  const std::string *descriptorTag() const {
+    return Desc ? &Desc->Tag : nullptr;
+  }
+
+  /// Versioned wire form ([magic][version][tag][state]); empty when the
+  /// continuation is unarmed or carries no descriptor.
+  std::vector<uint8_t> serialize() const;
+
+  /// Rebuilds a continuation from \p Wire, rebinding its tag to a resume
+  /// entry through \p Reg. nullopt on a bad wire form or unknown tag.
+  static std::optional<Continuation>
+  deserialize(const std::vector<uint8_t> &Wire, ResumerRegistry &Reg);
+
+private:
+  struct Descriptor {
+    std::string Tag;
+    std::vector<uint8_t> State;
+  };
+
+  cont::Accounting Acct;
+  std::function<void()> Fn;
+  std::optional<Descriptor> Desc;
+};
+
+/// Destination-side rebinding table for serialized continuations: maps a
+/// descriptor tag to a factory that rebuilds the resume entry from the
+/// guest state bytes. The factory returns an armed Continuation (captured
+/// against the destination's cells).
+class ResumerRegistry {
+public:
+  using Factory =
+      std::function<std::optional<Continuation>(const std::vector<uint8_t> &)>;
+
+  explicit ResumerRegistry(obs::Registry &Reg)
+      : C(cont::Cells::resolve(Reg)) {}
+
+  void bind(std::string Tag, Factory F) { Tags[std::move(Tag)] = std::move(F); }
+  bool bound(const std::string &Tag) const { return Tags.count(Tag) != 0; }
+
+  std::optional<Continuation> rebuild(const std::string &Tag,
+                                      const std::vector<uint8_t> &State) {
+    auto It = Tags.find(Tag);
+    if (It == Tags.end())
+      return std::nullopt;
+    return It->second(State);
+  }
+
+  cont::Cells cells() const { return C; }
+
+private:
+  cont::Cells C;
+  std::map<std::string, Factory> Tags;
+};
+
+/// A continuation expecting a value: resume(V) delivers \p V to the
+/// suspended computation (a pipe read's bytes, a waitpid result).
+template <typename T> class ContinuationOf {
+public:
+  ContinuationOf() = default;
+
+  static ContinuationOf capture(cont::Cells C, std::function<void(T)> Fn,
+                                const char *Origin = "",
+                                uint64_t PromptId = 0) {
+    ContinuationOf K;
+    K.Acct = cont::Accounting(C, Origin, PromptId);
+    K.Fn = std::move(Fn);
+    return K;
+  }
+  static ContinuationOf capture(obs::Registry &Reg, std::function<void(T)> Fn,
+                                const char *Origin = "",
+                                uint64_t PromptId = 0) {
+    return capture(cont::Cells::resolve(Reg), std::move(Fn), Origin, PromptId);
+  }
+
+  ContinuationOf(ContinuationOf &&) = default;
+  ContinuationOf &operator=(ContinuationOf &&) = default;
+
+  bool armed() const { return Acct.armed(); }
+  const char *origin() const { return Acct.origin(); }
+  uint64_t promptId() const { return Acct.promptId(); }
+
+  void resume(T V) {
+    if (!Acct.fire())
+      return;
+    std::function<void(T)> F = std::move(Fn);
+    Fn = nullptr;
+    F(std::move(V));
+  }
+
+private:
+  cont::Accounting Acct;
+  std::function<void(T)> Fn;
+};
+
+} // namespace rt
+} // namespace doppio
+
+#endif // DOPPIO_DOPPIO_CONT_CONTINUATION_H

@@ -98,6 +98,20 @@ uint64_t Kernel::post(Lane L, WorkFn Fn, CancelToken Cancel) {
   return Id;
 }
 
+uint64_t Kernel::post(Lane L, rt::Continuation K, CancelToken Cancel) {
+  // WorkFn is a copyable std::function; the move-only continuation rides
+  // in a shared_ptr. One-shot enforcement lives in the continuation, so
+  // even a pathological double-dispatch is accounted, not undefined.
+  auto Held = std::make_shared<rt::Continuation>(std::move(K));
+  return post(
+      L,
+      [Held] {
+        if (Held->armed())
+          Held->resume();
+      },
+      std::move(Cancel));
+}
+
 uint64_t Kernel::postAfter(Lane L, WorkFn Fn, uint64_t DelayNs,
                            CancelToken Cancel) {
   assert(Fn && "scheduling empty work");

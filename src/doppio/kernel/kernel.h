@@ -51,6 +51,7 @@
 #define DOPPIO_DOPPIO_KERNEL_KERNEL_H
 
 #include "browser/virtual_clock.h"
+#include "doppio/cont/continuation.h"
 #include "doppio/obs/registry.h"
 
 #include <cstddef>
@@ -232,6 +233,13 @@ public:
   /// Enqueues \p Fn at the back of lane \p L, eligible to run now.
   /// Returns the work id (also the future trace id).
   uint64_t post(Lane L, WorkFn Fn, CancelToken Cancel = {});
+
+  /// Enqueues a reified continuation on lane \p L (DESIGN.md §16). The
+  /// registry's current span is captured like any other post, so causal
+  /// ids follow the suspended computation across the hop. A continuation
+  /// disarmed before dispatch (resumed elsewhere, or its owner died) is a
+  /// tolerated no-op at dispatch time.
+  uint64_t post(Lane L, rt::Continuation K, CancelToken Cancel = {});
 
   /// Schedules \p Fn on lane \p L, due \p DelayNs from now. Returns a
   /// timer handle usable with cancelTimer().

@@ -1,0 +1,66 @@
+//===- doppio/proc/checkpoint.cpp - Process freeze & revive ----------------==//
+
+#include "doppio/proc/checkpoint.h"
+
+#include "doppio/cont/snapshot.h"
+
+using namespace doppio;
+using namespace doppio::rt;
+using namespace doppio::rt::proc;
+
+namespace {
+constexpr uint32_t ProcImageMagic = 0x44504350; // "DPCP"
+constexpr uint32_t ProcImageVersion = 1;
+} // namespace
+
+ErrorOr<std::vector<uint8_t>> doppio::rt::proc::checkpointProcess(
+    ProcessTable &T, Pid P) {
+  Process *Pr = T.find(P);
+  if (!Pr || !Pr->alive())
+    return ApiError(Errno::Srch, "checkpoint: pid " + std::to_string(P));
+  Program *Prog = Pr->program();
+  if (!Prog)
+    return ApiError(Errno::NotSup, "checkpoint: bare process");
+  // No image kind means the program can never checkpoint (native programs
+  // hold their progress in host closures): ENOTSUP, permanently. A named
+  // kind that is merely not quiescent yet is EAGAIN — retry later.
+  if (Prog->checkpointKind().empty())
+    return ApiError(Errno::NotSup, "checkpoint: " + Prog->name() +
+                                       " holds no serializable image");
+  std::string Why;
+  if (!Prog->canCheckpoint(&Why))
+    return ApiError(Errno::Again, Why);
+  ErrorOr<std::vector<uint8_t>> Image = Prog->checkpoint();
+  if (!Image)
+    return Image.error();
+  snap::Writer W(ProcImageMagic, ProcImageVersion);
+  W.str(Pr->name());
+  W.str(Pr->state().cwd());
+  W.str(Prog->checkpointKind());
+  W.bytes(*Image);
+  return W.take();
+}
+
+ErrorOr<Pid> doppio::rt::proc::restoreProcess(
+    ProcessTable &T, const std::vector<uint8_t> &Blob,
+    const CheckpointRegistry &Reg, Pid Parent) {
+  snap::Reader R(Blob, ProcImageMagic, ProcImageVersion);
+  std::string Name = R.str();
+  std::string Cwd = R.str();
+  std::string Kind = R.str();
+  std::vector<uint8_t> Image = R.bytes();
+  if (!R.ok() || !R.atEnd())
+    return ApiError(Errno::Io, "restore: corrupt blob");
+  const CheckpointRegistry::RestoreFactory *F = Reg.factory(Kind);
+  if (!F)
+    return ApiError(Errno::NotSup, "restore: unbound image kind " + Kind);
+  ErrorOr<std::unique_ptr<Program>> Prog = (*F)(T, Image);
+  if (!Prog)
+    return Prog.error();
+  ProcessTable::SpawnSpec Spec;
+  Spec.Name = std::move(Name);
+  Spec.Parent = Parent;
+  Spec.Cwd = std::move(Cwd);
+  Spec.Prog = std::move(*Prog);
+  return T.spawn(std::move(Spec));
+}

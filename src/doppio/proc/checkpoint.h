@@ -1,0 +1,82 @@
+//===- doppio/proc/checkpoint.h - Process freeze & revive --------*- C++ -*-==//
+//
+// Part of the Doppio reproduction. See README.md and DESIGN.md §16.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Process-level checkpointing over the continuation substrate: because a
+/// quiescent program's entire progress lives in explicit guest state (the
+/// payoff of reifying every suspension), a live process can be frozen
+/// into a self-describing blob — process name, cwd, program kind, program
+/// image — and revived later, in the same table or on another shard (the
+/// cluster's Migrate frames carry exactly these blobs).
+///
+/// The blob's program image is opaque here; a CheckpointRegistry maps the
+/// kind tag back to a restore factory, keeping this layer free of any
+/// guest-language dependency (the JVM binds its factory in
+/// jvm/proc_program.h).
+///
+/// Not carried: fd-table contents beyond the default stdio binding (a
+/// migrated process gets fresh stdio capture — callers concatenate), and
+/// pending signals. checkpointProcess is EAGAIN until the program is
+/// quiescent; migration callers retry on a short timer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DOPPIO_DOPPIO_PROC_CHECKPOINT_H
+#define DOPPIO_DOPPIO_PROC_CHECKPOINT_H
+
+#include "doppio/proc/proc.h"
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace doppio {
+namespace rt {
+namespace proc {
+
+/// Restore factories keyed by program kind ("jvm", ...). The factory
+/// rebuilds a Program from its serialized image; the program resumes its
+/// guest when start() runs in the revived process.
+class CheckpointRegistry {
+public:
+  using RestoreFactory = std::function<ErrorOr<std::unique_ptr<Program>>(
+      ProcessTable &Table, const std::vector<uint8_t> &Image)>;
+
+  void bind(std::string Kind, RestoreFactory F) {
+    Factories[std::move(Kind)] = std::move(F);
+  }
+  bool bound(const std::string &Kind) const {
+    return Factories.count(Kind) != 0;
+  }
+  const RestoreFactory *factory(const std::string &Kind) const {
+    auto It = Factories.find(Kind);
+    return It == Factories.end() ? nullptr : &It->second;
+  }
+
+private:
+  std::map<std::string, RestoreFactory> Factories;
+};
+
+/// Freezes live process \p P into a blob. ESRCH for unknown/dead pids,
+/// ENOTSUP for programs without checkpoint support, EAGAIN while the
+/// program is not quiescent (retry after its in-flight I/O settles). The
+/// process keeps running — callers migrating it kill it after the blob is
+/// safely away.
+ErrorOr<std::vector<uint8_t>> checkpointProcess(ProcessTable &T, Pid P);
+
+/// Revives a checkpointProcess blob as a fresh process of \p T (new pid,
+/// parent \p Parent, fresh stdio capture, restored cwd). The program kind
+/// must be bound in \p Reg.
+ErrorOr<Pid> restoreProcess(ProcessTable &T, const std::vector<uint8_t> &Blob,
+                            const CheckpointRegistry &Reg, Pid Parent = 1);
+
+} // namespace proc
+} // namespace rt
+} // namespace doppio
+
+#endif // DOPPIO_DOPPIO_PROC_CHECKPOINT_H

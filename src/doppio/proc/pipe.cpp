@@ -8,6 +8,16 @@ using namespace doppio;
 using namespace doppio::rt;
 using namespace doppio::rt::proc;
 
+namespace {
+/// Posts a parked continuation's resumption with its value; the move-only
+/// continuation rides the copyable closure in a shared_ptr.
+template <typename Post, typename T, typename V>
+void postResume(Post &&P, ContinuationOf<T> K, V Val) {
+  auto Held = std::make_shared<ContinuationOf<T>>(std::move(K));
+  P([Held, Val = std::move(Val)]() mutable { Held->resume(std::move(Val)); });
+}
+} // namespace
+
 void Pipe::write(std::vector<uint8_t> Data, fs::ResultCb<size_t> Done) {
   if (!hasReaders()) {
     post([Done = std::move(Done)] { Done(ApiError(Errno::Pipe, "pipe")); });
@@ -21,7 +31,9 @@ void Pipe::write(std::vector<uint8_t> Data, fs::ResultCb<size_t> Done) {
     // Full: suspend the writer until a read frees space.
     if (Counters.WriterSuspends)
       Counters.WriterSuspends->inc();
-    PendingWrites.push_back({std::move(Data), std::move(Done)});
+    PendingWrites.push_back(
+        {std::move(Data), ContinuationOf<ErrorOr<size_t>>::capture(
+                              ContCells, std::move(Done), "pipe.write")});
     return;
   }
   size_t N = std::min(Data.size(), Capacity - Buf.size());
@@ -41,13 +53,17 @@ void Pipe::read(size_t MaxLen, fs::ResultCb<std::vector<uint8_t>> Done) {
     // Empty: suspend the reader until a write lands (or EOF).
     if (Counters.ReaderSuspends)
       Counters.ReaderSuspends->inc();
-    PendingReads.push_back({MaxLen, std::move(Done)});
+    PendingReads.push_back(
+        {MaxLen, ContinuationOf<ErrorOr<std::vector<uint8_t>>>::capture(
+                     ContCells, std::move(Done), "pipe.read")});
     return;
   }
   // Data may still be parked in a suspended write even when the buffer is
   // momentarily empty; pump() below promotes it, so park and pump.
   if (Buf.empty()) {
-    PendingReads.push_back({MaxLen, std::move(Done)});
+    PendingReads.push_back(
+        {MaxLen, ContinuationOf<ErrorOr<std::vector<uint8_t>>>::capture(
+                     ContCells, std::move(Done), "pipe.read")});
     pump();
     return;
   }
@@ -78,7 +94,9 @@ void Pipe::closeReader() {
   auto Writes = std::move(PendingWrites);
   PendingWrites.clear();
   for (auto &W : Writes)
-    post([Done = std::move(W.Done)] { Done(ApiError(Errno::Pipe, "pipe")); });
+    postResume([this](std::function<void()> F) { post(std::move(F)); },
+               std::move(W.Done),
+               ErrorOr<size_t>(ApiError(Errno::Pipe, "pipe")));
 }
 
 void Pipe::pump() {
@@ -96,7 +114,8 @@ void Pipe::pump() {
       if (Counters.Bytes)
         Counters.Bytes->inc(N);
       // The parked writer resumes through the kernel's I/O lane.
-      post([Done = std::move(W.Done), N] { Done(N); });
+      postResume([this](std::function<void()> F) { post(std::move(F)); },
+                 std::move(W.Done), ErrorOr<size_t>(N));
       Progress = true;
     }
     // Satisfy suspended reads from the buffer.
@@ -106,9 +125,9 @@ void Pipe::pump() {
       size_t N = std::min(R.MaxLen, Buf.size());
       std::vector<uint8_t> Out(Buf.begin(), Buf.begin() + N);
       Buf.erase(Buf.begin(), Buf.begin() + N);
-      post([Done = std::move(R.Done), Out = std::move(Out)]() mutable {
-        Done(std::move(Out));
-      });
+      postResume([this](std::function<void()> F) { post(std::move(F)); },
+                 std::move(R.Done),
+                 ErrorOr<std::vector<uint8_t>>(std::move(Out)));
       Progress = true;
     }
     // EOF parked readers once the last writer is gone and no data or
@@ -117,7 +136,9 @@ void Pipe::pump() {
       while (!PendingReads.empty()) {
         ParkedRead R = std::move(PendingReads.front());
         PendingReads.pop_front();
-        post([Done = std::move(R.Done)] { Done(std::vector<uint8_t>()); });
+        postResume([this](std::function<void()> F) { post(std::move(F)); },
+                   std::move(R.Done),
+                   ErrorOr<std::vector<uint8_t>>(std::vector<uint8_t>()));
       }
     }
   }

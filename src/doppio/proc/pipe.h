@@ -30,6 +30,7 @@
 #define DOPPIO_DOPPIO_PROC_PIPE_H
 
 #include "browser/env.h"
+#include "doppio/cont/continuation.h"
 #include "doppio/fs_types.h"
 
 #include <cstdint>
@@ -57,7 +58,8 @@ public:
 
   Pipe(browser::BrowserEnv &Env, size_t Capacity = DefaultCapacity,
        PipeCounters Counters = PipeCounters())
-      : Env(Env), Capacity(Capacity ? Capacity : 1), Counters(Counters) {}
+      : Env(Env), Capacity(Capacity ? Capacity : 1), Counters(Counters),
+        ContCells(cont::Cells::resolve(Env.metrics())) {}
 
   Pipe(const Pipe &) = delete;
   Pipe &operator=(const Pipe &) = delete;
@@ -85,13 +87,16 @@ public:
   bool hasReaders() const { return Readers > 0; }
 
 private:
+  // Parked requests hold the suspended caller as a reified continuation
+  // (DESIGN.md §16): backpressure *is* a suspension, and the substrate's
+  // one-shot/leak accounting now covers it.
   struct ParkedWrite {
     std::vector<uint8_t> Data;
-    fs::ResultCb<size_t> Done;
+    ContinuationOf<ErrorOr<size_t>> Done;
   };
   struct ParkedRead {
     size_t MaxLen;
-    fs::ResultCb<std::vector<uint8_t>> Done;
+    ContinuationOf<ErrorOr<std::vector<uint8_t>>> Done;
   };
 
   /// Moves bytes between the buffer and parked requests until nothing
@@ -107,6 +112,7 @@ private:
   browser::BrowserEnv &Env;
   size_t Capacity;
   PipeCounters Counters;
+  cont::Cells ContCells;
   std::deque<uint8_t> Buf;
   std::deque<ParkedWrite> PendingWrites;
   std::deque<ParkedRead> PendingReads;

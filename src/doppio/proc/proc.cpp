@@ -148,6 +148,7 @@ ProcessTable::ProcessTable(browser::BrowserEnv &Env, fs::FileSystem &Fs)
   PipeBytesC = &Reg.counter(Prefix + ".pipe.bytes");
   PipeWriterSuspendsC = &Reg.counter(Prefix + ".pipe.writer_suspends");
   PipeReaderSuspendsC = &Reg.counter(Prefix + ".pipe.reader_suspends");
+  ContCells = rt::cont::Cells::resolve(Reg);
   // Pid 1: init. Bare context; adopts and reaps orphans.
   SpawnSpec Init;
   Init.Name = "init";
@@ -243,6 +244,14 @@ bool ProcessTable::kill(Pid P, Signal S) {
   return true;
 }
 
+bool ProcessTable::killNow(Pid P, Signal S) {
+  Process *Rec = find(P);
+  if (!Rec || !Rec->alive())
+    return false;
+  deliverSignal(*Rec, S);
+  return true;
+}
+
 void ProcessTable::deliverSignal(Process &P, Signal S) {
   SignalsC->inc();
   auto It = P.Handlers.find(S);
@@ -271,7 +280,7 @@ WaitResult ProcessTable::resultFor(const Process &P) const {
   return R;
 }
 
-void ProcessTable::reap(Process &Zombie, const Waiter *W) {
+void ProcessTable::reap(Process &Zombie, Waiter *W) {
   auto It = Table.find(Zombie.pid());
   assert(It != Table.end() && !Zombie.Reaped && "double reap");
   Zombie.Reaped = true;
@@ -279,11 +288,13 @@ void ProcessTable::reap(Process &Zombie, const Waiter *W) {
   ReapedC->inc();
   Graveyard.push_back(std::move(It->second));
   Table.erase(It);
-  if (W && W->Done) {
+  if (W && W->Done.armed()) {
     WaitResult R = resultFor(Zombie);
-    // The waiter resumes at a dispatch boundary, like a signal.
-    Env.loop().post(kernel::Lane::Resume,
-                    [Done = W->Done, R] { Done(R); });
+    // The waiter resumes at a dispatch boundary, like a signal; the
+    // move-only continuation rides the copyable closure in a shared_ptr.
+    auto Held = std::make_shared<ContinuationOf<ErrorOr<WaitResult>>>(
+        std::move(W->Done));
+    Env.loop().post(kernel::Lane::Resume, [Held, R] { Held->resume(R); });
   }
 }
 
@@ -343,11 +354,15 @@ void ProcessTable::waitpid(Pid WaiterPid, Pid Target,
       return;
     }
     if (Child->zombie()) {
-      Waiter W{WaiterPid, Target, std::move(Done)};
+      Waiter W{WaiterPid, Target,
+               ContinuationOf<ErrorOr<WaitResult>>::capture(
+                   ContCells, std::move(Done), "proc.waitpid")};
       reap(*Child, &W);
       return;
     }
-    Waiters.push_back({WaiterPid, Target, std::move(Done)});
+    Waiters.push_back({WaiterPid, Target,
+                       ContinuationOf<ErrorOr<WaitResult>>::capture(
+                           ContCells, std::move(Done), "proc.waitpid")});
     return;
   }
   // Any-child wait: an existing zombie (lowest pid, deterministically)
@@ -362,7 +377,9 @@ void ProcessTable::waitpid(Pid WaiterPid, Pid Target,
       Zombie = Rec.get();
   }
   if (Zombie) {
-    Waiter W{WaiterPid, -1, std::move(Done)};
+    Waiter W{WaiterPid, -1,
+             ContinuationOf<ErrorOr<WaitResult>>::capture(
+                 ContCells, std::move(Done), "proc.waitpid")};
     reap(*Zombie, &W);
     return;
   }
@@ -370,7 +387,9 @@ void ProcessTable::waitpid(Pid WaiterPid, Pid Target,
     Fail(Errno::Child, "waitpid: no children");
     return;
   }
-  Waiters.push_back({WaiterPid, -1, std::move(Done)});
+  Waiters.push_back({WaiterPid, -1,
+                     ContinuationOf<ErrorOr<WaitResult>>::capture(
+                         ContCells, std::move(Done), "proc.waitpid")});
 }
 
 std::shared_ptr<Pipe> ProcessTable::makePipe(size_t Capacity) {

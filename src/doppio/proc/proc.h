@@ -80,6 +80,21 @@ public:
   virtual ~Program();
   virtual void start(Process &P) = 0;
   virtual std::string name() const { return "program"; }
+
+  // Checkpoint support (DESIGN.md §16). A checkpointable program reports
+  // canCheckpoint() true when quiescent, names its image kind — the key a
+  // CheckpointRegistry restore factory is bound under — and serializes
+  // its entire guest state. The default is "no" (native programs hold
+  // their progress in host closures).
+  virtual bool canCheckpoint(std::string *WhyNot = nullptr) {
+    if (WhyNot)
+      *WhyNot = "program does not support checkpointing";
+    return false;
+  }
+  virtual std::string checkpointKind() const { return ""; }
+  virtual ErrorOr<std::vector<uint8_t>> checkpoint() {
+    return ApiError(Errno::NotSup, "checkpoint");
+  }
 };
 
 /// Result of waitpid: which child, how it ended.
@@ -100,6 +115,8 @@ public:
   /// The absorbed rt::Process record: cwd, stdio capture, §6.8 hooks.
   rt::Process &state() { return State; }
   FdTable &fds() { return Fds; }
+  /// The running program image; null for a bare context.
+  Program *program() { return Prog.get(); }
 
   bool alive() const { return Alive; }
   bool zombie() const { return !Alive && !Reaped; }
@@ -213,6 +230,15 @@ public:
   /// False (ESRCH) if no such live process.
   bool kill(Pid P, Signal S);
 
+  /// Delivers \p S immediately instead of queueing. Only safe from a
+  /// dispatch boundary, never from inside guest code. Migration needs
+  /// this (DESIGN.md §16): after checkpointProcess the blob IS the
+  /// process, so not even one already-queued slice may run locally —
+  /// kill()'s deferred delivery would let the local copy outrun its own
+  /// checkpoint before dying, and the destination would replay the
+  /// overlap.
+  bool killNow(Pid P, Signal S);
+
   /// Waits for child \p Target of \p Waiter (-1: any child) to exit, then
   /// reaps it. Completes immediately for an existing zombie; ECHILD when
   /// \p Waiter has no matching children.
@@ -249,10 +275,12 @@ public:
 private:
   friend class Process;
 
+  /// A parked waitpid: the waiting computation is held as a reified
+  /// continuation (DESIGN.md §16) until a matching child exits.
   struct Waiter {
     Pid WaiterPid;
     Pid Target;
-    fs::ResultCb<WaitResult> Done;
+    ContinuationOf<ErrorOr<WaitResult>> Done;
   };
 
   Process *spawnRecord(SpawnSpec &Spec);
@@ -260,7 +288,7 @@ private:
   /// Zombie bookkeeping after an exit: satisfy a parked waiter, or
   /// auto-reap when nobody will ever wait (dead parent or init).
   void noteExit(Process &P);
-  void reap(Process &Zombie, const Waiter *W);
+  void reap(Process &Zombie, Waiter *W);
   WaitResult resultFor(const Process &P) const;
 
   browser::BrowserEnv &Env;
@@ -281,6 +309,7 @@ private:
   obs::Counter *PipeBytesC = nullptr;
   obs::Counter *PipeWriterSuspendsC = nullptr;
   obs::Counter *PipeReaderSuspendsC = nullptr;
+  cont::Cells ContCells;
 };
 
 } // namespace proc

@@ -39,52 +39,91 @@ Suspender::Suspender(browser::BrowserEnv &Env)
   SuspendedNsC = &Reg.counter(P + ".suspended_ns_total");
   ResumptionsC = &Reg.counter(P + ".resumptions");
   ResumeNsH = &Reg.histogram(P + ".resume_ns");
+  PendingG = &Reg.gauge(P + ".pending_resumptions");
+  ResumeMissesC = &Reg.counter(P + ".resume_misses");
+  ContCells = cont::Cells::resolve(Reg);
+}
+
+void Suspender::forceFixedCounter(uint64_t Count) {
+  FixedCounter = Count;
+  if (Count) {
+    CounterTarget = Count;
+    Counter = Count;
+    return;
+  }
+  // Restoring adaptation: reseed from the CMA now. Leaving the stale
+  // pinned target in place would run one whole countdown (possibly
+  // millions of checks at an ablation-sized target) before the next
+  // adaptation point corrects it.
+  CounterTarget = targetFromCma();
+  Counter = CounterTarget;
+}
+
+uint64_t Suspender::targetFromCma() const {
+  if (CmaCheckNs <= 0.0)
+    return DefaultCounterTarget;
+  double Target = static_cast<double>(TimeSliceNs) / CmaCheckNs;
+  return static_cast<uint64_t>(
+      std::clamp(Target, 64.0, 64.0 * 1024.0 * 1024.0));
 }
 
 void Suspender::scheduleResumption(std::function<void()> Resume) {
-  uint64_t SuspendedAt = Env.clock().nowNs();
-  dispatchViaMechanism([this, SuspendedAt, Resume = std::move(Resume)] {
-    uint64_t WaitNs = Env.clock().nowNs() - SuspendedAt;
-    SuspendedNsC->inc(WaitNs);
-    ResumptionsC->inc();
-    ResumeNsH->record(WaitNs);
-    beginSlice();
-    Resume();
-  });
+  scheduleResumption(
+      Continuation::capture(ContCells, std::move(Resume), "suspend"));
 }
 
-void Suspender::dispatchViaMechanism(std::function<void()> Fn) {
+void Suspender::scheduleResumption(Continuation K) {
+  uint64_t Id = NextResumptionId++;
+  PendingResumptions.emplace(
+      Id, Pending{std::move(K), Env.clock().nowNs()});
+  PendingG->set(static_cast<int64_t>(PendingResumptions.size()));
+  dispatchViaMechanism(Id);
+}
+
+void Suspender::fire(uint64_t Id) {
+  auto It = PendingResumptions.find(Id);
+  if (It == PendingResumptions.end()) {
+    // A dispatch with no parked resumption: the id fired twice, or was
+    // never registered. Either way a one-shot invariant broke upstream.
+    ResumeMissesC->inc();
+    assert(!"resumption dispatched with no parked continuation");
+    return;
+  }
+  Continuation K = std::move(It->second.K);
+  uint64_t SuspendedAt = It->second.SuspendedAtNs;
+  PendingResumptions.erase(It);
+  PendingG->set(static_cast<int64_t>(PendingResumptions.size()));
+  uint64_t WaitNs = Env.clock().nowNs() - SuspendedAt;
+  SuspendedNsC->inc(WaitNs);
+  ResumptionsC->inc();
+  ResumeNsH->record(WaitNs);
+  beginSlice();
+  K.resume();
+}
+
+void Suspender::dispatchViaMechanism(uint64_t Id) {
   // Mechanism choice is kernel lane-backend selection: every path lands
   // the resumption on the Resume lane; what differs is the latency charged
   // on the way there (immediate cost, message cost, or the 4 ms clamp).
+  // The continuation stays parked in PendingResumptions; only the prompt
+  // id crosses the hop.
   switch (Mechanism) {
   case ResumeMechanism::SetImmediate: {
-    bool Ok = Env.loop().trySetImmediate(std::move(Fn));
+    bool Ok = Env.loop().trySetImmediate([this, Id] { fire(Id); });
     assert(Ok && "setImmediate chosen on a browser without it");
     (void)Ok;
     return;
   }
   case ResumeMechanism::SendMessage: {
-    // sendMessage carries only strings, so the callback parks in a
-    // registry demultiplexed by a unique ID (§4.4) — the one place a
-    // side table survives the kernel refactor, because the transport
-    // itself cannot carry a closure.
-    uint64_t Id = NextResumptionId++;
-    PendingResumptions[Id] = std::move(Fn);
+    // sendMessage carries only strings; the hop is the unique string ID,
+    // demultiplexed by one global handler (§4.4).
     if (!HandlerRegistered) {
-      // One global handler demultiplexes by the unique string ID (§4.4).
       Env.channel().setOnMessage([this](const js::String &Msg) {
         std::string Text = js::toAscii(Msg);
         const std::string Prefix = "doppio-resume:";
         if (Text.compare(0, Prefix.size(), Prefix) != 0)
           return;
-        uint64_t MsgId = std::stoull(Text.substr(Prefix.size()));
-        auto It = PendingResumptions.find(MsgId);
-        if (It == PendingResumptions.end())
-          return;
-        std::function<void()> Fn = std::move(It->second);
-        PendingResumptions.erase(It);
-        Fn();
+        fire(std::stoull(Text.substr(Prefix.size())));
       });
       HandlerRegistered = true;
     }
@@ -98,7 +137,8 @@ void Suspender::dispatchViaMechanism(std::function<void()> Fn) {
     // a resumption is never cancelled, so the handle is dropped (dropping
     // does not cancel).
     browser::TimerHandle T = Env.loop().postTimer(
-        kernel::Lane::Resume, std::move(Fn), Env.profile().MinTimeoutClampNs);
+        kernel::Lane::Resume, [this, Id] { fire(Id); },
+        Env.profile().MinTimeoutClampNs);
     (void)T;
     return;
   }
@@ -122,12 +162,14 @@ bool Suspender::shouldSuspend() {
   if (FixedCounter) {
     // Ablation mode: no adaptation.
     CounterTarget = FixedCounter;
+  } else if (CmaCheckNs > 0.0) {
+    CounterTarget = targetFromCma();
   } else {
-    double Target = CmaCheckNs > 0.0
-                        ? static_cast<double>(TimeSliceNs) / CmaCheckNs
-                        : static_cast<double>(CounterTarget) * 2.0;
-    CounterTarget = static_cast<uint64_t>(
-        std::clamp(Target, 64.0, 64.0 * 1024.0 * 1024.0));
+    // Clock did not advance over the countdown: double, within the same
+    // clamp range the CMA path uses.
+    CounterTarget = static_cast<uint64_t>(std::clamp(
+        static_cast<double>(CounterTarget) * 2.0, 64.0,
+        64.0 * 1024.0 * 1024.0));
   }
   Counter = CounterTarget;
   SliceStartNs = Now;

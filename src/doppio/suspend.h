@@ -33,6 +33,7 @@
 #define DOPPIO_DOPPIO_SUSPEND_H
 
 #include "browser/env.h"
+#include "doppio/cont/continuation.h"
 
 #include <cstdint>
 #include <functional>
@@ -63,19 +64,21 @@ public:
 
   /// Ablation of §4.1's adaptive counter: pins the countdown to a fixed
   /// value instead of deriving it from the cumulative moving average.
-  /// Pass 0 to restore adaptation.
-  void forceFixedCounter(uint64_t Count) {
-    FixedCounter = Count;
-    if (Count) {
-      CounterTarget = Count;
-      Counter = Count;
-    }
-  }
+  /// Pass 0 to restore adaptation: the next countdown is reseeded from
+  /// the CMA immediately (not left at the stale pinned target).
+  void forceFixedCounter(uint64_t Count);
 
   /// Schedules \p Resume to run as a fresh event at the back of the queue.
   /// The time between this call and the callback running is accounted as
   /// suspension time (Figure 5).
   void scheduleResumption(std::function<void()> Resume);
+
+  /// The reified form (DESIGN.md §16): parks \p K in the resumption
+  /// registry and dispatches it through the §4.4 mechanism. Every
+  /// mechanism — not just sendMessage — now demultiplexes through the
+  /// registry by prompt id, so the one-shot/leak accounting covers all of
+  /// them and a double dispatch is detected instead of silently lost.
+  void scheduleResumption(rt::Continuation K);
 
   /// Sets the target duration of one execution slice (default 10 ms — the
   /// event must stay well under the watchdog limit while staying long
@@ -100,23 +103,45 @@ public:
   double avgCheckIntervalNs() const { return CmaCheckNs; }
   uint64_t currentCounterTarget() const { return CounterTarget; }
 
+  /// Resumptions currently parked (scheduled, not yet dispatched).
+  size_t pendingResumptions() const { return PendingResumptions.size(); }
+  /// Dispatches that found no parked resumption for their id — a double
+  /// dispatch or a dropped registration; always a bug.
+  uint64_t resumeMisses() const { return ResumeMissesC->value(); }
+
 private:
-  void dispatchViaMechanism(std::function<void()> Fn);
+  static constexpr uint64_t DefaultCounterTarget = 1000;
+
+  /// One parked resumption: the continuation plus the suspend timestamp
+  /// that prices the Figure 5 wait on dispatch.
+  struct Pending {
+    rt::Continuation K;
+    uint64_t SuspendedAtNs = 0;
+  };
+
+  void dispatchViaMechanism(uint64_t Id);
+  /// Dispatch tail shared by all three mechanisms: unparks \p Id, charges
+  /// the suspension wait, and resumes the continuation.
+  void fire(uint64_t Id);
+  /// §4.1 counter size for the current CMA estimate (clamped).
+  uint64_t targetFromCma() const;
 
   browser::BrowserEnv &Env;
   ResumeMechanism Mechanism;
 
-  // Resumption-callback registry: sendMessage carries only strings, so
-  // callbacks are mapped from unique IDs (§4.4).
-  std::map<uint64_t, std::function<void()>> PendingResumptions;
+  // Resumption registry: every mechanism parks the continuation here and
+  // carries only the prompt id across the browser hop (sendMessage can
+  // carry nothing else — strings only, §4.4 — and the others follow the
+  // same discipline so the accounting is uniform).
+  std::map<uint64_t, Pending> PendingResumptions;
   uint64_t NextResumptionId = 1;
   bool HandlerRegistered = false;
 
   // Adaptive counter state (§4.1).
   uint64_t FixedCounter = 0; // Nonzero disables adaptation (ablation).
   uint64_t TimeSliceNs;
-  uint64_t CounterTarget = 1000;
-  uint64_t Counter = 1000;
+  uint64_t CounterTarget = DefaultCounterTarget;
+  uint64_t Counter = DefaultCounterTarget;
   uint64_t SliceStartNs = 0;
   double CmaCheckNs = 0.0;
   uint64_t CmaSamples = 0;
@@ -127,6 +152,10 @@ private:
   /// Per-resumption suspension latency — the Figure 5 distribution,
   /// scrapeable through the metrics handler.
   obs::Histogram *ResumeNsH = nullptr;
+  /// Parked-resumption depth (`suspend.pending_resumptions`).
+  obs::Gauge *PendingG = nullptr;
+  obs::Counter *ResumeMissesC = nullptr;
+  rt::cont::Cells ContCells;
 };
 
 } // namespace rt

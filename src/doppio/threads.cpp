@@ -16,6 +16,20 @@ ThreadPool::ThreadId ThreadPool::spawn(std::unique_ptr<GuestThread> Thread) {
   return Id;
 }
 
+Continuation ThreadPool::makeParkContinuation(ThreadId Id) {
+  // "The rest of this thread's computation" from its block point: re-ready
+  // the thread and re-arm driving. The guest's own stack is already an
+  // explicit heap structure (§4.1), so this closure is the entire
+  // host-side capture.
+  return Continuation::capture(
+      ContCells,
+      [this, Id] {
+        Threads[Id].State = ThreadState::Ready;
+        pump();
+      },
+      "threads.park", Id);
+}
+
 bool ThreadPool::unblock(ThreadId Id) {
   assert(Id < Threads.size() && "bad thread id");
   Entry &E = Threads[Id];
@@ -29,10 +43,12 @@ bool ThreadPool::unblock(ThreadId Id) {
     }
     E.UnblockPending = true;
     return true;
-  case ThreadState::Blocked:
-    E.State = ThreadState::Ready;
-    pump();
+  case ThreadState::Blocked: {
+    Continuation K = std::move(E.Parked);
+    assert(K.armed() && "blocked thread without a parked continuation");
+    K.resume();
     return true;
+  }
   case ThreadState::Ready:
   case ThreadState::Terminated:
     // Duplicate or late completion — e.g. an I/O event finishing after
@@ -42,6 +58,18 @@ bool ThreadPool::unblock(ThreadId Id) {
     return false;
   }
   return false;
+}
+
+void ThreadPool::restoreThreadState(ThreadId Id, ThreadState S) {
+  assert(Id < Threads.size() && "bad thread id");
+  assert(S != ThreadState::Running && "cannot restore a mid-slice thread");
+  Entry &E = Threads[Id];
+  E.State = S;
+  E.UnblockPending = false;
+  if (S == ThreadState::Blocked)
+    E.Parked = makeParkContinuation(Id);
+  else if (S == ThreadState::Ready)
+    pump();
 }
 
 bool ThreadPool::hasLiveThreads() const {
@@ -108,6 +136,7 @@ void ThreadPool::driveSlice() {
       Threads[Next].State = ThreadState::Ready;
     } else {
       Threads[Next].State = ThreadState::Blocked;
+      Threads[Next].Parked = makeParkContinuation(Next);
     }
     break;
   case RunOutcome::Terminated:

@@ -78,6 +78,7 @@ public:
     ContextSwitchesC = &Reg.counter(P + ".context_switches");
     SlicesC = &Reg.counter(P + ".slices");
     SpuriousUnblocksC = &Reg.counter(P + ".spurious_unblocks");
+    ContCells = cont::Cells::resolve(Reg);
   }
 
   /// Adds a thread in the Ready state and ensures the pool is being
@@ -98,6 +99,13 @@ public:
 
   ThreadState state(ThreadId Id) const { return Threads[Id].State; }
   GuestThread *thread(ThreadId Id) { return Threads[Id].Guest.get(); }
+
+  /// Checkpoint-restore support (DESIGN.md §16): forces \p Id into \p S
+  /// without running it. A thread restored as Blocked gets a fresh park
+  /// continuation, so the usual unblock() path wakes it; a thread
+  /// restored as Ready re-arms driving. Running is not a restorable
+  /// state (nothing is mid-slice in a quiescent checkpoint).
+  void restoreThreadState(ThreadId Id, ThreadState S);
 
   /// The thread currently executing (valid only during resume()).
   ThreadId currentThread() const { return Current; }
@@ -124,11 +132,18 @@ private:
   void driveSlice();
   std::vector<ThreadId> readyThreads() const;
 
+  /// Captures "this thread's rest of the computation from its block
+  /// point" — resuming it re-readies the thread and re-arms driving.
+  Continuation makeParkContinuation(ThreadId Id);
+
   struct Entry {
     std::unique_ptr<GuestThread> Guest;
     ThreadState State = ThreadState::Ready;
     /// An unblock arrived while the thread was still Running.
     bool UnblockPending = false;
+    /// The reified park (DESIGN.md §16): armed exactly while State is
+    /// Blocked; unblock() resumes it.
+    Continuation Parked;
   };
 
   browser::BrowserEnv &Env;
@@ -141,6 +156,7 @@ private:
   obs::Counter *ContextSwitchesC = nullptr;
   obs::Counter *SlicesC = nullptr;
   obs::Counter *SpuriousUnblocksC = nullptr;
+  cont::Cells ContCells;
 };
 
 /// §4.2: synchronous source-language calls over asynchronous browser APIs.
@@ -149,7 +165,8 @@ public:
   explicit AsyncBridge(ThreadPool &Pool)
       : Pool(Pool), CompletionsC(&Pool.env().metrics().counter(
                         Pool.env().metrics().claimPrefix("bridge") +
-                        ".completions")) {}
+                        ".completions")),
+        ContCells(cont::Cells::resolve(Pool.env().metrics())) {}
 
   /// Called from a native method running on thread \p Id. \p Start must
   /// initiate the asynchronous operation, capturing the provided Resume
@@ -157,12 +174,24 @@ public:
   /// event) it stores its results into guest state and calls Resume, which
   /// schedules the unblock on the kernel's I/O-completion lane. The
   /// caller's resume() must then return RunOutcome::Blocked.
+  ///
+  /// The bridge holds the wake-up as a reified Continuation (DESIGN.md
+  /// §16): the one legitimate completion resumes it; duplicate or late
+  /// completions find it disarmed and fall back to a bare unblock, which
+  /// the pool tolerates and counts in spuriousUnblocks() — exactly the
+  /// old semantics, but the one-shot is now enforced by the substrate.
   void blockOn(ThreadPool::ThreadId Id,
                std::function<void(std::function<void()>)> Start) {
-    Start([this, Id] {
+    auto K = std::make_shared<Continuation>(Continuation::capture(
+        ContCells, [this, Id] { Pool.unblock(Id); }, "bridge", Id));
+    Start([this, Id, K] {
       CompletionsC->inc();
-      Pool.env().loop().post(kernel::Lane::IoCompletion,
-                             [this, Id] { Pool.unblock(Id); });
+      Pool.env().loop().post(kernel::Lane::IoCompletion, [this, Id, K] {
+        if (K->armed())
+          K->resume();
+        else
+          Pool.unblock(Id); // Late duplicate: tolerated, counted.
+      });
     });
   }
 
@@ -173,6 +202,7 @@ public:
 private:
   ThreadPool &Pool;
   obs::Counter *CompletionsC;
+  cont::Cells ContCells;
 };
 
 } // namespace rt

@@ -1,0 +1,66 @@
+//===- jvm/checkpoint.h - Whole-VM snapshot & revive -------------*- C++ -*-==//
+//
+// Part of the Doppio reproduction. See README.md and DESIGN.md §16.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Checkpointing a running DoppioJVM. Because every suspension in the
+/// system is a reified continuation over *explicit* guest state — heap
+/// frames (§6.1), monitor sets (§6.2), thread records (§4.3) — a quiescent
+/// VM is fully described by data: no host stack ever holds guest progress.
+/// serializeJvm() walks that data into a versioned image; restoreJvm()
+/// rebuilds a fresh VM from it, re-loading class files through the
+/// destination's Doppio file system and re-arming parked threads with
+/// fresh park continuations.
+///
+/// Quiescence (checkpointReady) requires: no class load in flight, no
+/// thread mid-slice, and every Blocked thread blocked for a *data-borne*
+/// reason — monitor entry set, wait set (pending reacquire), or join. A
+/// thread blocked on an in-flight asynchronous native (timer, fs, socket)
+/// has its wake-up captured in a host closure, which cannot cross the
+/// wire; callers retry after the operation settles (EAGAIN).
+///
+/// Known limits, recorded in DESIGN.md §16: unmanaged-heap contents
+/// (sun.misc.Unsafe) and the JS-eval hook do not travel; a timed wait's
+/// pending timeout does not re-arm (it becomes a plain wait).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DOPPIO_JVM_CHECKPOINT_H
+#define DOPPIO_JVM_CHECKPOINT_H
+
+#include "jvm/jvm.h"
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace doppio {
+namespace jvm {
+
+/// True when \p Vm can be checkpointed right now. Otherwise \p WhyNot
+/// (when non-null) receives the blocking condition.
+bool checkpointReady(Jvm &Vm, std::string *WhyNot = nullptr);
+
+/// Serializes the complete guest-visible VM state — classes, statics,
+/// object arena, monitors, intern/mirror/identity tables, and every
+/// thread's explicit call stack — into a versioned image. EAGAIN when
+/// checkpointReady() is false.
+rt::ErrorOr<std::vector<uint8_t>> serializeJvm(Jvm &Vm);
+
+/// Rebuilds \p Vm — which must be freshly constructed with the same
+/// JvmOptions, nothing run — from \p Image. Asynchronous: class files
+/// re-load through the VM's file system (the destination's classpath must
+/// serve the same classes). \p ExitFn becomes the revived main thread's
+/// completion (Process::makeExitFn); \p Done reports the restore outcome
+/// once every thread is re-armed.
+void restoreJvm(Jvm &Vm, std::vector<uint8_t> Image,
+                std::function<void(int)> ExitFn,
+                std::function<void(rt::ErrorOr<bool>)> Done);
+
+} // namespace jvm
+} // namespace doppio
+
+#endif // DOPPIO_JVM_CHECKPOINT_H

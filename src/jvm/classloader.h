@@ -64,6 +64,16 @@ public:
   rt::ErrorOr<Klass *> defineFromBytes(const std::vector<uint8_t> &Bytes);
 
   size_t loadedCount() const { return Classes.size(); }
+  /// True while any loadAsync is in flight (a checkpoint must wait).
+  bool hasPendingLoads() const { return !Pending.empty(); }
+  /// Every loaded class in name order (the checkpoint walks this).
+  std::vector<Klass *> loadedClasses() const {
+    std::vector<Klass *> Out;
+    Out.reserve(Classes.size());
+    for (const auto &[Name, K] : Classes)
+      Out.push_back(K.get());
+    return Out;
+  }
   /// Number of class files fetched through the file system.
   uint64_t fileLoads() const { return FileLoads; }
 

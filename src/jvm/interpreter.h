@@ -175,6 +175,7 @@ private:
 
   friend struct NativeContext;
   friend class Jvm;
+  friend struct CheckpointAccess;
 
   Jvm &Vm;
   int32_t Tid;

@@ -137,8 +137,10 @@ int32_t Jvm::identityHash(Object *O) {
   if (!O)
     return 0;
   auto [It, Inserted] = IdentityHashes.try_emplace(
-      O, static_cast<int32_t>(IdentityHashes.size() * 2654435761u));
-  (void)Inserted;
+      O, static_cast<int32_t>(
+             static_cast<uint32_t>(NextIdentityHash) * 2654435761u));
+  if (Inserted)
+    ++NextIdentityHash;
   return It->second;
 }
 

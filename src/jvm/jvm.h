@@ -36,6 +36,7 @@ namespace doppio {
 namespace jvm {
 
 class JvmThread;
+struct CheckpointAccess;
 
 /// Construction options.
 struct JvmOptions {
@@ -166,6 +167,10 @@ public:
   void noteThreadFinished(JvmThread &T);
 
 private:
+  /// The checkpoint serializer (checkpoint.cpp) reads and rebuilds the
+  /// arena, tables, and thread list wholesale (DESIGN.md §16).
+  friend struct CheckpointAccess;
+
   browser::BrowserEnv &Env;
   rt::fs::FileSystem &Fs;
   rt::Process &Proc;
@@ -182,6 +187,10 @@ private:
   std::unordered_map<Klass *, Object *> Mirrors;
   std::unordered_map<Object *, Klass *> MirrorToKlass;
   std::unordered_map<Object *, int32_t> IdentityHashes;
+  /// Insertion counter behind identityHash: hashes must survive a
+  /// checkpoint bit-identically, so the sequence position is explicit
+  /// state rather than IdentityHashes.size().
+  int32_t NextIdentityHash = 0;
   std::unordered_map<Object *, int32_t> ThreadObjToTid;
   std::vector<JvmThread *> Threads; // Indexed by tid; owned by the pool.
   std::function<std::string(const std::string &)> JsEval;

@@ -75,6 +75,14 @@ public:
     return *Mon;
   }
   bool hasMonitor() const { return Mon != nullptr; }
+  const Monitor *monitorIfAny() const { return Mon.get(); }
+
+  // Whole-storage views for the checkpoint serializer (DESIGN.md §16).
+  const std::unordered_map<std::string, Value> &fieldDict() const {
+    return Dict;
+  }
+  const std::vector<Value> &slotStorage() const { return Slots; }
+  std::vector<Value> &slotStorage() { return Slots; }
 
   virtual bool isArray() const { return false; }
 

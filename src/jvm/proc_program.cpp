@@ -2,18 +2,61 @@
 
 #include "jvm/proc_program.h"
 
+#include "doppio/cont/snapshot.h"
+#include "jvm/checkpoint.h"
+
 namespace doppio {
 namespace jvm {
 
 namespace {
 
+constexpr uint32_t JvmProgramMagic = 0x4a505247; // "JPRG"
+constexpr uint32_t JvmProgramVersion = 1;
+
+void writeSpec(rt::snap::Writer &W, const JvmProgramSpec &Spec) {
+  W.str(Spec.MainClass);
+  W.u32(static_cast<uint32_t>(Spec.Args.size()));
+  for (const std::string &A : Spec.Args)
+    W.str(A);
+  W.u8(Spec.Options.Mode == ExecutionMode::DoppioJS ? 0 : 1);
+  W.u32(Spec.Options.HeapBytes);
+  W.u32(static_cast<uint32_t>(Spec.Options.Classpath.size()));
+  for (const std::string &Dir : Spec.Options.Classpath)
+    W.str(Dir);
+  W.u64(Spec.Options.OpCostNs);
+  W.u64(Spec.Options.NativeOpCostNs);
+  W.u8(Spec.Options.TrustVerifier ? 1 : 0);
+}
+
+JvmProgramSpec readSpec(rt::snap::Reader &R) {
+  JvmProgramSpec Spec;
+  Spec.MainClass = R.str();
+  for (uint32_t N = R.u32(); N != 0 && R.ok(); --N)
+    Spec.Args.push_back(R.str());
+  Spec.Options.Mode =
+      R.u8() == 0 ? ExecutionMode::DoppioJS : ExecutionMode::NativeHotspot;
+  Spec.Options.HeapBytes = R.u32();
+  Spec.Options.Classpath.clear();
+  for (uint32_t N = R.u32(); N != 0 && R.ok(); --N)
+    Spec.Options.Classpath.push_back(R.str());
+  Spec.Options.OpCostNs = R.u64();
+  Spec.Options.NativeOpCostNs = R.u64();
+  Spec.Options.TrustVerifier = R.u8() == 1;
+  return Spec;
+}
+
 /// Owns one Jvm for the lifetime of the program object. The program (and
 /// with it the Jvm, its thread pool, and any in-flight green threads)
 /// lives until the ProcessTable is destroyed — see proc::Program — so a
 /// thread-pool tail running after the process exits never dangles.
+///
+/// With a non-empty \p Image the program is a revived checkpoint: start()
+/// rebuilds the VM from the image instead of running main from scratch.
+/// Either way the running VM is itself checkpointable again.
 class JvmProgram : public rt::proc::Program {
 public:
-  explicit JvmProgram(JvmProgramSpec Spec) : Spec(std::move(Spec)) {}
+  explicit JvmProgram(JvmProgramSpec Spec, std::vector<uint8_t> Image = {})
+      : Spec(std::move(Spec)), Image(std::move(Image)) {}
 
   std::string name() const override { return "java:" + Spec.MainClass; }
 
@@ -22,11 +65,48 @@ public:
     // process installed route System.in/out/err through its fd table.
     Vm = std::make_unique<Jvm>(P.env(), P.table().fs(), P.state(),
                                Spec.Options);
-    Vm->runMain(Spec.MainClass, Spec.Args, P.makeExitFn());
+    if (Image.empty()) {
+      Vm->runMain(Spec.MainClass, Spec.Args, P.makeExitFn());
+      return;
+    }
+    auto ExitFn = P.makeExitFn();
+    rt::Process *State = &P.state();
+    restoreJvm(*Vm, std::move(Image), ExitFn,
+               [ExitFn, State](rt::ErrorOr<bool> R) {
+                 if (!R) {
+                   State->writeStderr("Error: " + R.error().message() + "\n");
+                   ExitFn(1);
+                 }
+               });
+    Image.clear();
+  }
+
+  bool canCheckpoint(std::string *WhyNot) override {
+    if (!Vm) {
+      if (WhyNot)
+        *WhyNot = "program has not started";
+      return false;
+    }
+    return checkpointReady(*Vm, WhyNot);
+  }
+
+  std::string checkpointKind() const override { return "jvm"; }
+
+  rt::ErrorOr<std::vector<uint8_t>> checkpoint() override {
+    if (!Vm)
+      return rt::ApiError(rt::Errno::Again, "program has not started");
+    rt::ErrorOr<std::vector<uint8_t>> VmImage = serializeJvm(*Vm);
+    if (!VmImage)
+      return VmImage.error();
+    rt::snap::Writer W(JvmProgramMagic, JvmProgramVersion);
+    writeSpec(W, Spec);
+    W.bytes(*VmImage);
+    return W.take();
   }
 
 private:
   JvmProgramSpec Spec;
+  std::vector<uint8_t> Image;
   std::unique_ptr<Jvm> Vm;
 };
 
@@ -34,6 +114,20 @@ private:
 
 std::unique_ptr<rt::proc::Program> makeJvmProgram(JvmProgramSpec Spec) {
   return std::make_unique<JvmProgram>(std::move(Spec));
+}
+
+void registerJvmRestore(rt::proc::CheckpointRegistry &Reg) {
+  Reg.bind("jvm",
+           [](rt::proc::ProcessTable &, const std::vector<uint8_t> &Blob)
+               -> rt::ErrorOr<std::unique_ptr<rt::proc::Program>> {
+             rt::snap::Reader R(Blob, JvmProgramMagic, JvmProgramVersion);
+             JvmProgramSpec Spec = readSpec(R);
+             std::vector<uint8_t> VmImage = R.bytes();
+             if (!R.ok() || !R.atEnd())
+               return rt::ApiError(rt::Errno::Io, "restore: corrupt jvm image");
+             return std::unique_ptr<rt::proc::Program>(std::make_unique<JvmProgram>(
+                 std::move(Spec), std::move(VmImage)));
+           });
 }
 
 } // namespace jvm

@@ -18,6 +18,7 @@
 #ifndef DOPPIO_JVM_PROC_PROGRAM_H
 #define DOPPIO_JVM_PROC_PROGRAM_H
 
+#include "doppio/proc/checkpoint.h"
 #include "doppio/proc/proc.h"
 #include "jvm/jvm.h"
 
@@ -31,8 +32,17 @@ struct JvmProgramSpec {
   JvmOptions Options;
 };
 
-/// A proc::Program backed by a fresh DoppioJVM instance.
+/// A proc::Program backed by a fresh DoppioJVM instance. JVM programs are
+/// checkpointable (DESIGN.md §16): canCheckpoint() reports the VM's
+/// quiescence, checkpoint() wraps the spec and the serialized VM image
+/// under the "jvm" kind tag.
 std::unique_ptr<rt::proc::Program> makeJvmProgram(JvmProgramSpec Spec);
+
+/// Binds the "jvm" image kind in \p Reg, so checkpointProcess blobs of
+/// JVM programs revive through restoreProcess — locally or after a
+/// cluster migration. The destination's classpath must serve the same
+/// class files (the image re-loads them through the Doppio fs).
+void registerJvmRestore(rt::proc::CheckpointRegistry &Reg);
 
 } // namespace jvm
 } // namespace doppio

@@ -13,6 +13,8 @@
 #include "browser/profile.h"
 #include "doppio/cluster/control.h"
 #include "doppio/server/client.h"
+#include "jvm/classfile/builder.h"
+#include "jvm/proc_program.h"
 
 #include "gtest/gtest.h"
 
@@ -641,6 +643,185 @@ TEST(Cluster, LiveSpawnTakesNewConnections) {
   EXPECT_GT(Cl.shard(NewId)->server().stats().Accepted, 0u)
       << "no fresh connection landed on the spawned shard";
   EXPECT_GT(Cl.shard(0)->server().stats().Accepted, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Live migration (DESIGN.md §16)
+//===----------------------------------------------------------------------===//
+
+/// class Ticker — one deterministic println per iteration plus a 2 ms
+/// nap every 300 (same shape as bench/fig8_migrate.cpp; the naps keep
+/// lockstep rounds short enough for the Migrate frame to land mid-run).
+std::vector<uint8_t> tickerClassBytes(int N) {
+  jvm::ClassBuilder B("Ticker");
+  jvm::MethodBuilder &M = B.method(jvm::AccPublic | jvm::AccStatic, "main",
+                                   "([Ljava/lang/String;)V");
+  jvm::MethodBuilder::Label Loop = M.newLabel(), Done = M.newLabel();
+  M.lconst(1).lstore(1);
+  M.iconst(0).istore(3);
+  M.bind(Loop).iload(3).iconst(N).branch(jvm::Op::IfIcmpge, Done);
+  M.lload(1)
+      .lconst(1103515245)
+      .op(jvm::Op::Lmul)
+      .iload(3)
+      .op(jvm::Op::I2l)
+      .op(jvm::Op::Ladd)
+      .lstore(1);
+  M.getstatic("java/lang/System", "out", "Ljava/io/PrintStream;");
+  M.lload(1)
+      .lconst(1000000)
+      .op(jvm::Op::Lrem)
+      .op(jvm::Op::L2i)
+      .invokevirtual("java/io/PrintStream", "println", "(I)V");
+  jvm::MethodBuilder::Label NoNap = M.newLabel();
+  M.iload(3)
+      .iconst(300)
+      .op(jvm::Op::Irem)
+      .iconst(299)
+      .branch(jvm::Op::IfIcmpne, NoNap);
+  M.lconst(2).invokestatic("java/lang/Thread", "sleep", "(J)V");
+  M.bind(NoNap);
+  M.iinc(3, 1).branch(jvm::Op::Goto, Loop);
+  M.bind(Done).op(jvm::Op::Return);
+  return B.bytes();
+}
+
+/// Two shards, both serving the same classpath and bound to revive "jvm"
+/// images — any shard is a valid migration target.
+Cluster::Config migratableConfig(const std::vector<uint8_t> &Klass) {
+  Cluster::Config Cfg;
+  Cfg.Shards = 2;
+  Cfg.ShardTemplate.Setup = [&Klass](Shard &S) {
+    S.fs().mkdirp("/classes", [](std::optional<rt::ApiError> E) {
+      ASSERT_FALSE(E.has_value());
+    });
+    S.fs().writeFile("/classes/Ticker.class", Klass,
+                     [](std::optional<rt::ApiError> E) {
+                       ASSERT_FALSE(E.has_value());
+                     });
+    jvm::registerJvmRestore(S.checkpoints());
+  };
+  return Cfg;
+}
+
+rt::proc::Pid spawnTicker(Shard &S) {
+  rt::proc::ProcessTable::SpawnSpec Spec;
+  Spec.Name = "java";
+  Spec.Prog = jvm::makeJvmProgram({"Ticker", {}, jvm::JvmOptions()});
+  return S.procs().spawn(std::move(Spec));
+}
+
+TEST(Cluster, LiveMigrationMovesARunningJvmGuest) {
+  std::vector<uint8_t> Klass = tickerClassBytes(1200);
+
+  // Baseline: the guest runs start-to-finish on shard 0, untouched.
+  std::string Baseline;
+  {
+    Cluster Cl(chromeProfile(), migratableConfig(Klass));
+    LockstepDriver Drv(Cl.fabric());
+    Drv.run(10000000);
+    rt::proc::Pid P = spawnTicker(*Cl.shard(0));
+    Drv.run(10000000);
+    rt::proc::Process *Pr = Cl.shard(0)->procs().find(P);
+    ASSERT_NE(Pr, nullptr);
+    Baseline = Pr->state().capturedStdout();
+    ASSERT_FALSE(Baseline.empty());
+  }
+
+  // Migrated: same guest starts on shard 0; once it has produced some
+  // output the balancer moves it to shard 1 mid-run.
+  Cluster Cl(chromeProfile(), migratableConfig(Klass));
+  LockstepDriver Drv(Cl.fabric());
+  Drv.run(10000000);
+  Shard *Src = Cl.shard(0);
+  rt::proc::Pid P = spawnTicker(*Src);
+
+  Balancer::MigrationResult MR;
+  bool HaveResult = false;
+  bool Requested = false;
+  std::function<void()> Probe = [&] {
+    if (Requested)
+      return;
+    rt::proc::Process *Pr = Src->procs().find(P);
+    ASSERT_NE(Pr, nullptr);
+    if (!Pr->alive())
+      return; // Finished before the threshold; asserts below will fail.
+    if (Pr->state().capturedStdout().size() >= 500) {
+      Requested = true;
+      EXPECT_TRUE(Cl.migrateProcess(
+          0, 1, P, [&](const Balancer::MigrationResult &R) {
+            MR = R;
+            HaveResult = true;
+          }));
+      return;
+    }
+    // Resume lane: guest slices run there and it outranks Timer, so a
+    // Timer-lane probe would starve until the guest exits.
+    browser::TimerHandle H = Src->env().loop().postTimer(
+        kernel::Lane::Resume, [&Probe] { Probe(); }, browser::usToNs(50));
+    (void)H;
+  };
+  Probe();
+  auto Rep = Drv.run(10000000);
+  ASSERT_LT(Rep.Rounds, 10000000u) << "cluster never quiesced";
+
+  ASSERT_TRUE(HaveResult) << "migration result never arrived";
+  ASSERT_TRUE(MR.Ok) << MR.Error;
+  EXPECT_EQ(MR.SrcShard, 0u);
+  EXPECT_EQ(MR.DstShard, 1u);
+  EXPECT_GT(MR.BlobBytes, 0u);
+  EXPECT_GT(MR.CaptureUs, 0u);
+  EXPECT_GT(MR.RestoreUs, 0u);
+  EXPECT_EQ(Cl.balancer().migrationsDone(), 1u);
+
+  // The local copy died at the checkpoint instant, by signal; its stdout
+  // froze there (reaped records stay addressable).
+  rt::proc::Process *SrcPr = Src->procs().find(P);
+  ASSERT_NE(SrcPr, nullptr);
+  EXPECT_FALSE(SrcPr->alive());
+  EXPECT_TRUE(SrcPr->signaled());
+  std::string Prefix = SrcPr->state().capturedStdout();
+  ASSERT_FALSE(Prefix.empty());
+  ASSERT_LT(Prefix.size(), Baseline.size());
+
+  // The revived copy finished on shard 1; the reassembled stream is
+  // bit-identical to the uninterrupted baseline.
+  rt::proc::Process *DstPr = Cl.shard(1)->procs().find(MR.NewPid);
+  ASSERT_NE(DstPr, nullptr);
+  EXPECT_EQ(DstPr->exitCode(), 0);
+  EXPECT_EQ(Prefix + DstPr->state().capturedStdout(), Baseline);
+}
+
+TEST(Cluster, MigrationFailuresReportCleanly) {
+  Cluster::Config Cfg;
+  Cfg.Shards = 2;
+  Cluster Cl(chromeProfile(), Cfg);
+  LockstepDriver Drv(Cl.fabric());
+  Drv.run(10000000);
+
+  // Bad endpoints are rejected synchronously.
+  auto Nop = [](const Balancer::MigrationResult &) {};
+  EXPECT_FALSE(Cl.migrateProcess(0, 0, 2, Nop)) << "same shard";
+  EXPECT_FALSE(Cl.migrateProcess(0, 7, 2, Nop)) << "unknown destination";
+  EXPECT_FALSE(Cl.migrateProcess(7, 1, 2, Nop)) << "unknown source";
+
+  // A missing pid fails on the source shard and reports back Ok=false.
+  Balancer::MigrationResult MR;
+  bool HaveResult = false;
+  EXPECT_TRUE(Cl.migrateProcess(0, 1, 999,
+                                [&](const Balancer::MigrationResult &R) {
+                                  MR = R;
+                                  HaveResult = true;
+                                }));
+  Drv.run(10000000);
+  ASSERT_TRUE(HaveResult);
+  EXPECT_FALSE(MR.Ok);
+  EXPECT_NE(MR.Error.find("ESRCH"), std::string::npos) << MR.Error;
+  EXPECT_EQ(Cl.balancer().migrationsDone(), 0u);
+  EXPECT_EQ(
+      Cl.balancer().env().metrics().counter("balancer.migration_failures")
+          .value(),
+      1u);
 }
 
 } // namespace

@@ -1,0 +1,551 @@
+//===- tests/doppio/cont_test.cpp -----------------------------------------==//
+//
+// The continuation substrate (src/doppio/cont/, DESIGN.md §16): one-shot
+// accounting and misuse, the versioned wire form with ResumerRegistry
+// rebinding, the snapshot Writer/Reader, and the payoff built on top of
+// them — JVM checkpoint/restore round trips, mid-run, on every browser
+// profile, at the jvm layer and through the process table.
+//
+// Registered under `ctest -L cont`.
+//
+//===----------------------------------------------------------------------===//
+
+#include "doppio/backends/in_memory.h"
+#include "doppio/cont/continuation.h"
+#include "doppio/cont/snapshot.h"
+#include "doppio/fs.h"
+#include "doppio/proc/checkpoint.h"
+#include "doppio/proc/programs.h"
+#include "jvm/checkpoint.h"
+#include "jvm/classfile/builder.h"
+#include "jvm/jvm.h"
+#include "jvm/proc_program.h"
+
+#include "gtest/gtest.h"
+
+using namespace doppio;
+using namespace doppio::rt;
+namespace proc = doppio::rt::proc;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// One-shot accounting
+//===----------------------------------------------------------------------===//
+
+struct CellRig {
+  browser::VirtualClock Clock;
+  obs::Registry Reg{Clock};
+  cont::Cells C{cont::Cells::resolve(Reg)};
+};
+
+TEST(ContAccounting, CaptureResumeFeedsTheSharedCells) {
+  CellRig R;
+  int Ran = 0;
+  Continuation K = Continuation::capture(R.C, [&] { ++Ran; }, "test", 7);
+  EXPECT_TRUE(K.armed());
+  EXPECT_STREQ(K.origin(), "test");
+  EXPECT_EQ(K.promptId(), 7u);
+  EXPECT_EQ(R.C.Captured->value(), 1u);
+  EXPECT_EQ(R.C.Live->value(), 1);
+  K.resume();
+  EXPECT_EQ(Ran, 1);
+  EXPECT_FALSE(K.armed());
+  EXPECT_EQ(R.C.Resumed->value(), 1u);
+  EXPECT_EQ(R.C.Live->value(), 0);
+  EXPECT_EQ(R.C.Dropped->value(), 0u);
+}
+
+TEST(ContAccounting, DroppingAnArmedContinuationCountsALeak) {
+  CellRig R;
+  {
+    Continuation K = Continuation::capture(R.C, [] {}, "leaky");
+    EXPECT_TRUE(K.armed());
+  }
+  EXPECT_EQ(R.C.Dropped->value(), 1u);
+  EXPECT_EQ(R.C.Resumed->value(), 0u);
+  EXPECT_EQ(R.C.Live->value(), 0);
+}
+
+TEST(ContAccounting, MoveTransfersTheOneShot) {
+  CellRig R;
+  int Ran = 0;
+  Continuation A = Continuation::capture(R.C, [&] { ++Ran; });
+  Continuation B = std::move(A);
+  EXPECT_FALSE(A.armed()); // NOLINT(bugprone-use-after-move): the contract.
+  EXPECT_TRUE(B.armed());
+  B.resume();
+  EXPECT_EQ(Ran, 1);
+  // One capture, one resume, no drop — the move is invisible to the cells.
+  EXPECT_EQ(R.C.Captured->value(), 1u);
+  EXPECT_EQ(R.C.Resumed->value(), 1u);
+  EXPECT_EQ(R.C.Dropped->value(), 0u);
+}
+
+TEST(ContAccounting, ValueCarryingResumeDeliversTheValue) {
+  CellRig R;
+  std::string Got;
+  ContinuationOf<std::string> K = ContinuationOf<std::string>::capture(
+      R.C, [&](std::string V) { Got = std::move(V); }, "pipe");
+  K.resume("forty-two");
+  EXPECT_EQ(Got, "forty-two");
+  EXPECT_EQ(R.C.Resumed->value(), 1u);
+}
+
+using ContOneShotDeathTest = ::testing::Test;
+
+TEST(ContOneShotDeathTest, DoubleResumeAsserts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        CellRig R;
+        Continuation K = Continuation::capture(R.C, [] {});
+        K.resume();
+        K.resume();
+      },
+      "resumed twice");
+}
+
+//===----------------------------------------------------------------------===//
+// Wire form + ResumerRegistry
+//===----------------------------------------------------------------------===//
+
+TEST(ContWire, SerializeRebindResumeRoundTrip) {
+  CellRig Src;
+  Continuation K = Continuation::capture(Src.C, [] {}, "guest");
+  K.setDescriptor("jvm-frames", {1, 2, 3, 4});
+  ASSERT_TRUE(K.serializable());
+  std::vector<uint8_t> Wire = K.serialize();
+  ASSERT_FALSE(Wire.empty());
+  K.resume(); // The source-side entry still fires normally.
+
+  // Destination tab: rebind the tag to a factory that rebuilds the entry
+  // from the shipped state bytes.
+  CellRig Dst;
+  ResumerRegistry Reg(Dst.Reg);
+  std::vector<uint8_t> SeenState;
+  int Ran = 0;
+  Reg.bind("jvm-frames", [&](const std::vector<uint8_t> &State) {
+    SeenState = State;
+    return Continuation::capture(Reg.cells(), [&] { ++Ran; }, "restored");
+  });
+  std::optional<Continuation> R = Continuation::deserialize(Wire, Reg);
+  ASSERT_TRUE(R.has_value());
+  EXPECT_EQ(SeenState, (std::vector<uint8_t>{1, 2, 3, 4}));
+  EXPECT_TRUE(R->armed());
+  R->resume();
+  EXPECT_EQ(Ran, 1);
+  EXPECT_EQ(Dst.C.Resumed->value(), 1u);
+}
+
+TEST(ContWire, UnknownTagAndCorruptWireAreRejected) {
+  CellRig Src;
+  Continuation K = Continuation::capture(Src.C, [] {}, "guest");
+  K.setDescriptor("nobody-binds-this", {9});
+  std::vector<uint8_t> Wire = K.serialize();
+  K.resume();
+
+  CellRig Dst;
+  ResumerRegistry Reg(Dst.Reg);
+  EXPECT_FALSE(Continuation::deserialize(Wire, Reg).has_value());
+
+  Reg.bind("nobody-binds-this", [&](const std::vector<uint8_t> &) {
+    return Continuation::capture(Reg.cells(), [] {});
+  });
+  EXPECT_TRUE(Continuation::deserialize(Wire, Reg).has_value());
+  // Truncation and corruption fail cleanly, never crash.
+  for (size_t Cut = 0; Cut < Wire.size(); ++Cut) {
+    std::vector<uint8_t> Trunc(Wire.begin(), Wire.begin() + Cut);
+    EXPECT_FALSE(Continuation::deserialize(Trunc, Reg).has_value()) << Cut;
+  }
+  std::vector<uint8_t> BadMagic = Wire;
+  BadMagic[0] ^= 0xff;
+  EXPECT_FALSE(Continuation::deserialize(BadMagic, Reg).has_value());
+}
+
+TEST(ContWire, UnarmedOrDescriptorlessContinuationsDoNotSerialize) {
+  CellRig R;
+  Continuation Plain = Continuation::capture(R.C, [] {});
+  EXPECT_FALSE(Plain.serializable());
+  EXPECT_TRUE(Plain.serialize().empty());
+  Plain.resume();
+
+  Continuation Tagged = Continuation::capture(R.C, [] {});
+  Tagged.setDescriptor("t", {});
+  Tagged.resume();
+  EXPECT_TRUE(Tagged.serialize().empty()) << "resumed = nothing left to ship";
+}
+
+//===----------------------------------------------------------------------===//
+// snap::Writer / snap::Reader
+//===----------------------------------------------------------------------===//
+
+TEST(Snapshot, WriterReaderRoundTripAndBoundsChecks) {
+  snap::Writer W(0x54455354, 3);
+  W.u8(7);
+  W.u32(0xdeadbeef);
+  W.u64(1ull << 40);
+  W.i64(-42);
+  W.str("hello");
+  W.bytes({1, 2, 3});
+  std::vector<uint8_t> B = W.take();
+
+  snap::Reader R(B, 0x54455354, 3);
+  EXPECT_EQ(R.u8(), 7);
+  EXPECT_EQ(R.u32(), 0xdeadbeefu);
+  EXPECT_EQ(R.u64(), 1ull << 40);
+  EXPECT_EQ(R.i64(), -42);
+  EXPECT_EQ(R.str(), "hello");
+  EXPECT_EQ(R.bytes(), (std::vector<uint8_t>{1, 2, 3}));
+  EXPECT_TRUE(R.ok());
+  EXPECT_TRUE(R.atEnd());
+
+  // Wrong magic / version: sticky failure, zero values ever after.
+  snap::Reader Bad(B, 0x55555555, 3);
+  EXPECT_FALSE(Bad.ok());
+  EXPECT_EQ(Bad.u32(), 0u);
+  snap::Reader Ver(B, 0x54455354, 4);
+  EXPECT_FALSE(Ver.ok());
+
+  // Truncated at every length: ok() goes false, never out-of-bounds.
+  for (size_t Cut = 0; Cut < B.size(); ++Cut) {
+    std::vector<uint8_t> T(B.begin(), B.begin() + Cut);
+    snap::Reader Rt(T, 0x54455354, 3);
+    Rt.u8();
+    Rt.u32();
+    Rt.u64();
+    Rt.i64();
+    Rt.str();
+    Rt.bytes();
+    EXPECT_FALSE(Rt.ok() && Rt.atEnd()) << Cut;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// JVM checkpoint/restore
+//===----------------------------------------------------------------------===//
+
+/// class Ticker { public static void main(String[] a) {
+///   long s = 1;
+///   for (int i = 0; i < n; i++) {
+///     s = s * 1103515245L + i;
+///     int t = 0;
+///     for (int k = 0; k < 200; k++) t = t * 31 + k;
+///     System.out.println((int)(s % 1000000L) ^ t);
+///   } } }
+///
+/// Prints one deterministic line per outer iteration, so a mid-run
+/// checkpoint genuinely splits the output stream; the long arithmetic
+/// exercises the software-long Value round trip.
+std::vector<uint8_t> tickerClassBytes(int N) {
+  jvm::ClassBuilder B("Ticker");
+  jvm::MethodBuilder &M = B.method(jvm::AccPublic | jvm::AccStatic, "main",
+                                   "([Ljava/lang/String;)V");
+  jvm::MethodBuilder::Label Loop = M.newLabel(), Done = M.newLabel();
+  jvm::MethodBuilder::Label KLoop = M.newLabel(), KDone = M.newLabel();
+  M.lconst(1).lstore(1);
+  M.iconst(0).istore(3);
+  M.bind(Loop).iload(3).iconst(N).branch(jvm::Op::IfIcmpge, Done);
+  M.lload(1)
+      .lconst(1103515245)
+      .op(jvm::Op::Lmul)
+      .iload(3)
+      .op(jvm::Op::I2l)
+      .op(jvm::Op::Ladd)
+      .lstore(1);
+  M.iconst(0).istore(4);
+  M.iconst(0).istore(5);
+  M.bind(KLoop).iload(5).iconst(200).branch(jvm::Op::IfIcmpge, KDone);
+  M.iload(4)
+      .iconst(31)
+      .op(jvm::Op::Imul)
+      .iload(5)
+      .op(jvm::Op::Iadd)
+      .istore(4);
+  M.iinc(5, 1).branch(jvm::Op::Goto, KLoop).bind(KDone);
+  M.getstatic("java/lang/System", "out", "Ljava/io/PrintStream;");
+  M.lload(1)
+      .lconst(1000000)
+      .op(jvm::Op::Lrem)
+      .op(jvm::Op::L2i)
+      .iload(4)
+      .op(jvm::Op::Ixor)
+      .invokevirtual("java/io/PrintStream", "println", "(I)V");
+  M.iinc(3, 1).branch(jvm::Op::Goto, Loop);
+  M.bind(Done).op(jvm::Op::Return);
+  return B.bytes();
+}
+
+/// One browser tab hosting a JVM over a seeded in-memory /classes.
+struct JvmRig {
+  explicit JvmRig(const browser::Profile &P) : Env(P) {
+    auto RootB = std::make_unique<fs::InMemoryBackend>(Env);
+    Root = RootB.get();
+    Fs = std::make_unique<fs::FileSystem>(Env, Proc, std::move(RootB));
+  }
+
+  browser::BrowserEnv Env;
+  rt::Process Proc;
+  fs::InMemoryBackend *Root = nullptr;
+  std::unique_ptr<fs::FileSystem> Fs;
+};
+
+/// Arms a repeating virtual timer that captures the first checkpoint that
+/// succeeds once \p MinOutput bytes of stdout exist; the source then runs
+/// on to completion untouched.
+struct MidRunCapture {
+  std::vector<uint8_t> Image;
+  std::string Prefix;
+  uint64_t Attempts = 0;
+
+  void arm(JvmRig &R, jvm::Jvm &Vm, size_t MinOutput) {
+    Try = [this, &R, &Vm, MinOutput] {
+      if (!Image.empty())
+        return;
+      ++Attempts;
+      if (R.Proc.capturedStdout().size() >= MinOutput &&
+          jvm::checkpointReady(Vm)) {
+        ErrorOr<std::vector<uint8_t>> S = jvm::serializeJvm(Vm);
+        ASSERT_TRUE(S.ok()) << (S.ok() ? "" : S.error().message());
+        Image = std::move(*S);
+        Prefix = R.Proc.capturedStdout();
+        return;
+      }
+      rearm(R);
+    };
+    rearm(R);
+  }
+
+private:
+  void rearm(JvmRig &R) {
+    // Resume lane, not Timer: green-thread slices run on Resume, which
+    // strictly outranks Timer, so a compute-bound guest would starve a
+    // Timer-lane probe until it exits. On the same lane, due times
+    // interleave the probe between slices.
+    browser::TimerHandle H = R.Env.loop().postTimer(
+        kernel::Lane::Resume, [this] { Try(); }, browser::usToNs(50));
+    (void)H; // Destruction does not cancel; the next fire re-arms.
+  }
+  std::function<void()> Try;
+};
+
+TEST(JvmCheckpoint, MidRunRoundTripSplitsOutputOnAllProfiles) {
+  for (const browser::Profile &P : browser::allProfiles()) {
+    SCOPED_TRACE(P.Name);
+    // Sized to span several 10 ms scheduler slices: the only mid-run
+    // quiescent points are between slices, so a program that fits in one
+    // slice can never be captured mid-stream.
+    std::vector<uint8_t> Klass = tickerClassBytes(3000);
+
+    // Source: run Ticker, capture mid-stream, then finish normally. The
+    // full source output is the baseline the split must reassemble.
+    JvmRig Src(P);
+    ASSERT_TRUE(Src.Root->seedFile("/classes/Ticker.class", Klass));
+    jvm::Jvm VmA(Src.Env, *Src.Fs, Src.Proc, jvm::JvmOptions());
+    int ExitA = -1;
+    VmA.runMain("Ticker", {}, [&](int C) { ExitA = C; });
+    MidRunCapture Cap;
+    Cap.arm(Src, VmA, /*MinOutput=*/8);
+    Src.Env.loop().run();
+    ASSERT_EQ(ExitA, 0);
+    std::string Baseline = Src.Proc.capturedStdout();
+    ASSERT_FALSE(Cap.Image.empty()) << "never found a quiescent point";
+    ASSERT_FALSE(Cap.Prefix.empty());
+    ASSERT_LT(Cap.Prefix.size(), Baseline.size())
+        << "capture landed after the run finished";
+
+    // Destination: a fresh tab, fresh fs, fresh VM; revive and finish.
+    JvmRig Dst(P);
+    ASSERT_TRUE(Dst.Root->seedFile("/classes/Ticker.class", Klass));
+    jvm::Jvm VmB(Dst.Env, *Dst.Fs, Dst.Proc, jvm::JvmOptions());
+    int ExitB = -1;
+    bool RestoreOk = false;
+    jvm::restoreJvm(VmB, Cap.Image, [&](int C) { ExitB = C; },
+                    [&](ErrorOr<bool> R) { RestoreOk = R.ok(); });
+    Dst.Env.loop().run();
+    EXPECT_TRUE(RestoreOk);
+    EXPECT_EQ(ExitB, 0);
+    // The reassembled stream is bit-identical to the uninterrupted run.
+    EXPECT_EQ(Cap.Prefix + Dst.Proc.capturedStdout(), Baseline);
+  }
+}
+
+/// class Naps { public static void main(String[] a) {
+///   System.out.println(1); Thread.sleep(5L); System.out.println(2); } }
+std::vector<uint8_t> napsClassBytes() {
+  jvm::ClassBuilder B("Naps");
+  jvm::MethodBuilder &M = B.method(jvm::AccPublic | jvm::AccStatic, "main",
+                                   "([Ljava/lang/String;)V");
+  M.getstatic("java/lang/System", "out", "Ljava/io/PrintStream;")
+      .iconst(1)
+      .invokevirtual("java/io/PrintStream", "println", "(I)V")
+      .lconst(5)
+      .invokestatic("java/lang/Thread", "sleep", "(J)V")
+      .getstatic("java/lang/System", "out", "Ljava/io/PrintStream;")
+      .iconst(2)
+      .invokevirtual("java/io/PrintStream", "println", "(I)V")
+      .op(jvm::Op::Return);
+  return B.bytes();
+}
+
+TEST(JvmCheckpoint, NotQuiescentAndCorruptImagesAreRefusedCleanly) {
+  JvmRig Src(browser::chromeProfile());
+  ASSERT_TRUE(
+      Src.Root->seedFile("/classes/Ticker.class", tickerClassBytes(4)));
+  ASSERT_TRUE(Src.Root->seedFile("/classes/Naps.class", napsClassBytes()));
+  // A thread blocked in Thread.sleep has its wake-up inside a host timer
+  // closure — never a serializable state, so the checkpoint is refused
+  // with EAGAIN until the nap ends (a migration caller just retries).
+  {
+    JvmRig Nap(browser::chromeProfile());
+    ASSERT_TRUE(
+        Nap.Root->seedFile("/classes/Naps.class", napsClassBytes()));
+    jvm::Jvm NapVm(Nap.Env, *Nap.Fs, Nap.Proc, jvm::JvmOptions());
+    bool Exited = false;
+    NapVm.runMain("Naps", {}, [&](int) { Exited = true; });
+    bool SawRefusal = false;
+    std::function<void()> Probe = [&] {
+      if (SawRefusal || Exited)
+        return;
+      std::string Why;
+      if (!jvm::checkpointReady(NapVm, &Why)) {
+        EXPECT_FALSE(Why.empty());
+        ErrorOr<std::vector<uint8_t>> R = jvm::serializeJvm(NapVm);
+        ASSERT_FALSE(R.ok());
+        EXPECT_EQ(R.error().Code, Errno::Again);
+        SawRefusal = true;
+        return;
+      }
+      browser::TimerHandle H = Nap.Env.loop().postTimer(
+          kernel::Lane::Timer, [&] { Probe(); }, browser::usToNs(20));
+      (void)H;
+    };
+    Probe();
+    Nap.Env.loop().run();
+    EXPECT_TRUE(SawRefusal) << "sleep never made the VM non-quiescent";
+    EXPECT_EQ(Nap.Proc.capturedStdout(), "1\n2\n");
+  }
+
+  jvm::Jvm Vm(Src.Env, *Src.Fs, Src.Proc, jvm::JvmOptions());
+  Vm.runMain("Ticker", {}, [](int) {});
+  Src.Env.loop().run();
+
+  // A finished VM checkpoints fine; a truncated image restores to Io.
+  ErrorOr<std::vector<uint8_t>> Done = jvm::serializeJvm(Vm);
+  ASSERT_TRUE(Done.ok());
+  for (size_t Cut : {size_t{0}, size_t{6}, Done->size() / 2}) {
+    JvmRig Dst(browser::chromeProfile());
+    ASSERT_TRUE(
+        Dst.Root->seedFile("/classes/Ticker.class", tickerClassBytes(4)));
+    jvm::Jvm VmB(Dst.Env, *Dst.Fs, Dst.Proc, jvm::JvmOptions());
+    std::vector<uint8_t> Trunc(Done->begin(), Done->begin() + Cut);
+    bool Failed = false;
+    jvm::restoreJvm(VmB, Trunc, [](int) {},
+                    [&](ErrorOr<bool> Res) { Failed = !Res.ok(); });
+    Dst.Env.loop().run();
+    EXPECT_TRUE(Failed) << "cut at " << Cut;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Process-table checkpoint/restore
+//===----------------------------------------------------------------------===//
+
+TEST(ProcCheckpoint, JvmProcessRoundTripsThroughTheProcessTable) {
+  const browser::Profile &P = browser::chromeProfile();
+  std::vector<uint8_t> Klass = tickerClassBytes(3000);
+
+  // Source table: a java process; capture its blob mid-run via the
+  // proc-layer API, then let it finish for the baseline.
+  JvmRig Src(P);
+  ASSERT_TRUE(Src.Root->seedFile("/classes/Ticker.class", Klass));
+  proc::ProcessTable TableA(Src.Env, *Src.Fs);
+  proc::ProcessTable::SpawnSpec SA;
+  SA.Name = "java";
+  SA.Prog = jvm::makeJvmProgram({"Ticker", {}, jvm::JvmOptions()});
+  proc::Pid PA = TableA.spawn(std::move(SA));
+  ASSERT_GT(PA, 0);
+
+  std::vector<uint8_t> Blob;
+  std::string Prefix;
+  std::function<void()> Try = [&] {
+    if (!Blob.empty())
+      return;
+    proc::Process *Pr = TableA.find(PA);
+    ASSERT_NE(Pr, nullptr);
+    if (!Pr->alive())
+      return; // Ran to completion before a capture landed: test fails below.
+    ErrorOr<std::vector<uint8_t>> R = proc::checkpointProcess(TableA, PA);
+    if (R.ok() && Pr->state().capturedStdout().size() >= 8) {
+      Blob = std::move(*R);
+      Prefix = Pr->state().capturedStdout();
+      return;
+    }
+    if (!R.ok()) {
+      EXPECT_EQ(R.error().Code, Errno::Again) << R.error().message();
+    }
+    browser::TimerHandle H = Src.Env.loop().postTimer(
+        kernel::Lane::Resume, [&] { Try(); }, browser::usToNs(50));
+    (void)H;
+  };
+  Try();
+  Src.Env.loop().run();
+  ASSERT_FALSE(Blob.empty());
+  proc::Process *PrA = TableA.find(PA);
+  ASSERT_NE(PrA, nullptr);
+  std::string Baseline = PrA->state().capturedStdout();
+  ASSERT_LT(Prefix.size(), Baseline.size());
+
+  // Destination table: revive through the registry binding for "jvm".
+  JvmRig Dst(P);
+  ASSERT_TRUE(Dst.Root->seedFile("/classes/Ticker.class", Klass));
+  proc::ProcessTable TableB(Dst.Env, *Dst.Fs);
+  proc::CheckpointRegistry Reg;
+  jvm::registerJvmRestore(Reg);
+  ErrorOr<proc::Pid> PB = proc::restoreProcess(TableB, Blob, Reg);
+  ASSERT_TRUE(PB.ok()) << (PB.ok() ? "" : PB.error().message());
+  Dst.Env.loop().run();
+  proc::Process *PrB = TableB.find(*PB);
+  ASSERT_NE(PrB, nullptr);
+  EXPECT_EQ(Prefix + PrB->state().capturedStdout(), Baseline);
+
+  // An unbound kind is refused, not crashed.
+  proc::CheckpointRegistry Empty;
+  JvmRig Dst2(P);
+  proc::ProcessTable TableC(Dst2.Env, *Dst2.Fs);
+  ErrorOr<proc::Pid> Bad = proc::restoreProcess(TableC, Blob, Empty);
+  ASSERT_FALSE(Bad.ok());
+  EXPECT_EQ(Bad.error().Code, Errno::NotSup);
+}
+
+TEST(ProcCheckpoint, NonCheckpointableProcessesAreRefused) {
+  JvmRig R(browser::chromeProfile());
+  proc::ProcessTable Table(R.Env, *R.Fs);
+  proc::ProgramRegistry Progs;
+  proc::installCorePrograms(Progs);
+
+  // Unknown pid.
+  ErrorOr<std::vector<uint8_t>> Gone = proc::checkpointProcess(Table, 999);
+  ASSERT_FALSE(Gone.ok());
+  EXPECT_EQ(Gone.error().Code, Errno::Srch);
+
+  // A bare context (no program) and a native program: ENOTSUP.
+  proc::ProcessTable::SpawnSpec Bare;
+  Bare.Name = "sh";
+  proc::Pid Sh = Table.spawn(std::move(Bare));
+  ErrorOr<std::vector<uint8_t>> NoProg = proc::checkpointProcess(Table, Sh);
+  ASSERT_FALSE(NoProg.ok());
+  EXPECT_EQ(NoProg.error().Code, Errno::NotSup);
+
+  proc::ProcessTable::SpawnSpec Echo;
+  Echo.Name = "echo";
+  Echo.Parent = Sh;
+  Echo.Prog = Progs.create({"echo", "hi"});
+  proc::Pid Ep = Table.spawn(std::move(Echo));
+  ErrorOr<std::vector<uint8_t>> Native = proc::checkpointProcess(Table, Ep);
+  ASSERT_FALSE(Native.ok());
+  EXPECT_EQ(Native.error().Code, Errno::NotSup);
+  R.Env.loop().run();
+}
+
+} // namespace
