@@ -68,6 +68,11 @@ struct RunMetrics {
   std::string Output;
   uint64_t FsOperations = 0;
   uint64_t FsBytes = 0;
+  // Suspend-check placement accounting (DESIGN.md §17).
+  uint64_t SuspendChecksExecuted = 0;
+  uint64_t SuspendChecksElided = 0;
+  uint64_t MaxOpsBetweenChecks = 0;
+  uint64_t ProvenBoundMax = 0;
 
   uint64_t cpuNs() const { return VirtualWallNs - SuspendedNs; }
 };
@@ -91,6 +96,10 @@ inline RunMetrics runJvmWorkload(const workloads::Workload &W,
   M.Output = D.Proc.capturedStdout();
   M.FsOperations = D.Fs->stats().Operations;
   M.FsBytes = D.Fs->stats().BytesRead + D.Fs->stats().BytesWritten;
+  M.SuspendChecksExecuted = D.Vm->suspendChecksExecuted();
+  M.SuspendChecksElided = D.Vm->suspendChecksElided();
+  M.MaxOpsBetweenChecks = D.Vm->stats().MaxOpsBetweenChecks;
+  M.ProvenBoundMax = D.Vm->loader().provenBoundMax();
   return M;
 }
 

@@ -19,7 +19,7 @@ using namespace doppio::workloads;
 
 namespace {
 
-void printFigure4() {
+bool printFigure4() {
   printf("==========================================================\n");
   printf("Figure 4: microbenchmark slowdown vs HotSpot interpreter\n");
   printf("(CPU = execution only; wall = including suspension time;\n");
@@ -98,10 +98,63 @@ void printFigure4() {
         .metric("elided_s", E.RealSeconds)
         .metric("speedup", Speedup);
   }
+  // Suspend-placement ablation (DESIGN.md §17): a check before every
+  // bytecode dispatch (the naive Everywhere baseline) vs analysis-driven
+  // placement (call boundaries + kept loop back edges only). The virtual
+  // clock charges both identically; the win is dynamic check count.
+  // Output must be bit-identical, the placed run must execute at least
+  // 5x fewer checks, and no dynamic span may exceed the proven bound K.
+  bool PlacementOk = true;
+  printf("\nSuspend-placement ablation (chrome profile):\n");
+  printf("%-14s %13s %13s %9s %7s\n", "benchmark", "checks_every",
+         "checks_placed", "elided", "ratio");
+  for (Micro &M : Micros) {
+    JvmOptions Everywhere, Placed;
+    Everywhere.SuspendChecks = SuspendCheckMode::Everywhere;
+    Placed.SuspendChecks = SuspendCheckMode::Placed;
+    RunMetrics Ev = runJvmWorkload(M.W, ExecutionMode::DoppioJS,
+                                   browser::chromeProfile(), Everywhere);
+    RunMetrics Pl = runJvmWorkload(M.W, ExecutionMode::DoppioJS,
+                                   browser::chromeProfile(), Placed);
+    bool Identical = Ev.Exit == 0 && Pl.Exit == Ev.Exit &&
+                     Pl.Output == Ev.Output;
+    bool BoundOk = Pl.ProvenBoundMax == 0 ||
+                   Pl.MaxOpsBetweenChecks <= Pl.ProvenBoundMax;
+    double Ratio =
+        Pl.SuspendChecksExecuted
+            ? static_cast<double>(Ev.SuspendChecksExecuted) /
+                  static_cast<double>(Pl.SuspendChecksExecuted)
+            : -1;
+    if (!Identical)
+      printf("%-14s  OUTPUT MISMATCH between everywhere and placed runs\n",
+             M.Label);
+    else
+      printf("%-14s %13llu %13llu %9llu %6.1fx%s\n", M.Label,
+             static_cast<unsigned long long>(Ev.SuspendChecksExecuted),
+             static_cast<unsigned long long>(Pl.SuspendChecksExecuted),
+             static_cast<unsigned long long>(Pl.SuspendChecksElided),
+             Ratio, BoundOk ? "" : "  BOUND EXCEEDED");
+    Json.row(std::string(M.Label) + "/placement")
+        .metric("checks_everywhere",
+                static_cast<double>(Ev.SuspendChecksExecuted))
+        .metric("checks_placed",
+                static_cast<double>(Pl.SuspendChecksExecuted))
+        .metric("suspend_checks_elided",
+                static_cast<double>(Pl.SuspendChecksElided))
+        .metric("check_reduction", Ratio)
+        .metric("output_identical", Identical ? 1 : 0)
+        .metric("max_span_placed",
+                static_cast<double>(Pl.MaxOpsBetweenChecks))
+        .metric("proven_bound_k", static_cast<double>(Pl.ProvenBoundMax))
+        .metric("bound_ok", BoundOk ? 1 : 0);
+    if (!Identical || !BoundOk || Ratio < 5)
+      PlacementOk = false;
+  }
   Json.write();
   printf("\npidigits note: its long arithmetic runs on the software\n");
   printf("Long64 halves in DoppioJS mode (§8), which is why its factors\n");
   printf("exceed deltablue's.\n\n");
+  return PlacementOk;
 }
 
 void BM_Micro(benchmark::State &State, Workload (*Make)(),
@@ -134,8 +187,10 @@ BENCHMARK_CAPTURE(BM_Micro, pidigits_native, makePi,
     ->Unit(benchmark::kMillisecond)->Iterations(2);
 
 int main(int argc, char **argv) {
-  printFigure4();
+  bool Ok = printFigure4();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  // The placement ablation is a hard gate: non-identical output, a span
+  // above the proven bound, or a check reduction under 5x fails the run.
+  return Ok ? 0 : 1;
 }

@@ -1,0 +1,222 @@
+//===- examples/doppio_analyze.cpp - Suspend-placement analyzer ---------===//
+//
+// Runs the CFG/loop/placement analysis (jvm/classfile/analysis.h,
+// DESIGN.md §17) over class files: per method it dumps the basic-block
+// graph, the natural-loop nest, the placement verdict (proved bound K,
+// kept/elided branch sites), and a disassembly annotated with the
+// kept/elided decision at every check-relevant instruction.
+//
+// The lint summary counts everything the proof could not cover —
+// irreducible loops, jsr/ret subroutines, exception- or fall-through-
+// carried cycles, unverified methods — plus unreachable basic blocks,
+// so regressions in corpus eligibility are visible in CI.
+//
+// Usage:
+//   ./build/examples/doppio-analyze Foo.class ...  # files or directories
+//   ./build/examples/doppio-analyze --builtin      # every workload class
+//   ./build/examples/doppio-analyze -q --builtin   # summaries only
+//   ./build/examples/doppio-analyze --lint ...     # lint summary only
+//
+// Exit status: 0 when every input parsed (degraded methods are reported,
+// not errors — the interpreter runs them checks-everywhere), 1 otherwise.
+//
+//===----------------------------------------------------------------------===//
+
+#include "jvm/classfile/analysis.h"
+#include "jvm/classfile/disasm.h"
+#include "workloads/workloads.h"
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+using namespace doppio;
+using namespace doppio::jvm;
+
+namespace {
+
+bool Quiet = false;
+bool LintOnly = false;
+
+/// Corpus-wide lint accounting, printed as the final summary.
+struct LintTotals {
+  uint64_t Methods = 0;
+  uint64_t ByStatus[16] = {};
+  uint64_t UnreachableBlocks = 0;
+  uint64_t KeptSites = 0;
+  uint64_t ElidedSites = 0;
+  uint64_t CallSites = 0;
+  /// "Class.method: reason (detail)" for every non-proved method.
+  std::vector<std::string> Ineligible;
+};
+
+void dumpCfg(const MethodAnalysis &A) {
+  for (size_t I = 0; I != A.Blocks.size(); ++I) {
+    const BasicBlock &B = A.Blocks[I];
+    printf("    block %zu [%u, %u)", I, B.StartPc, B.EndPc);
+    if (!B.Reachable)
+      printf(" <unreachable>");
+    if (B.LoopDepth)
+      printf(" depth=%u", B.LoopDepth);
+    if (!B.Succs.empty()) {
+      printf(" ->");
+      for (uint32_t S : B.Succs)
+        printf(" %u", S);
+    }
+    if (!B.ExSuccs.empty()) {
+      printf(" ~>");
+      for (uint32_t S : B.ExSuccs)
+        printf(" %u", S);
+    }
+    printf("\n");
+  }
+  for (const LoopInfo &L : A.Loops) {
+    printf("    loop header=block %u (pc %u) depth=%u body=%zu back-edges:",
+           L.HeaderBlock, A.Blocks[L.HeaderBlock].StartPc, L.Depth,
+           L.BodyBlocks.size());
+    for (uint32_t S : L.BackEdgeSrcBlocks)
+      printf(" %u", S);
+    printf("\n");
+  }
+}
+
+void analyzeOne(const std::string &Label, const ClassFile &Cf,
+                LintTotals &T) {
+  for (const MemberInfo &M : Cf.Methods) {
+    if (!M.Code)
+      continue;
+    ++T.Methods;
+    MethodAnalysis A = analyzeMethod(Cf, M);
+    T.ByStatus[static_cast<size_t>(A.Status)] += 1;
+    T.UnreachableBlocks += A.UnreachableBlocks;
+    std::string Name = Label + "." + M.Name + M.Descriptor;
+    if (A.ok()) {
+      T.KeptSites += A.KeptBranchSites;
+      T.ElidedSites += A.ElidedBranchSites;
+      T.CallSites += A.CallSites;
+      if (!LintOnly)
+        printf("%s: proved K=%u blocks=%zu loops=%zu kept=%u elided=%u "
+               "calls=%u\n",
+               Name.c_str(), A.BoundK, A.Blocks.size(), A.Loops.size(),
+               A.KeptBranchSites, A.ElidedBranchSites, A.CallSites);
+    } else {
+      T.Ineligible.push_back(Name + ": " +
+                             analysisStatusName(A.Status) +
+                             (A.Detail.empty() ? "" : " (" + A.Detail + ")"));
+      if (!LintOnly)
+        printf("%s: %s%s\n", Name.c_str(), analysisStatusName(A.Status),
+               A.Detail.empty() ? "" : (" (" + A.Detail + ")").c_str());
+    }
+    if (!LintOnly && !Quiet) {
+      dumpCfg(A);
+      printf("%s", disassembleMethod(Cf, M, nullptr, &A).c_str());
+    }
+  }
+}
+
+bool analyzeBytes(const std::string &Label,
+                  const std::vector<uint8_t> &Bytes, LintTotals &T) {
+  auto Parsed = readClassFile(Bytes);
+  if (!Parsed) {
+    fprintf(stderr, "%s: parse error: %s\n", Label.c_str(),
+            Parsed.error().message().c_str());
+    return false;
+  }
+  analyzeOne(Label, *Parsed, T);
+  return true;
+}
+
+bool analyzePath(const std::filesystem::path &P, LintTotals &T) {
+  std::error_code Ec;
+  if (std::filesystem::is_directory(P, Ec)) {
+    bool Ok = true;
+    for (const auto &Entry :
+         std::filesystem::recursive_directory_iterator(P, Ec))
+      if (Entry.is_regular_file() && Entry.path().extension() == ".class")
+        Ok &= analyzePath(Entry.path(), T);
+    return Ok;
+  }
+  std::ifstream In(P, std::ios::binary);
+  if (!In) {
+    fprintf(stderr, "error: cannot open %s\n", P.string().c_str());
+    return false;
+  }
+  std::vector<uint8_t> Bytes((std::istreambuf_iterator<char>(In)),
+                             std::istreambuf_iterator<char>());
+  return analyzeBytes(P.string(), Bytes, T);
+}
+
+/// Every class of every workload program — the corpus the benchmarks and
+/// the fig4 placement ablation execute.
+bool analyzeBuiltins(LintTotals &T) {
+  using namespace doppio::workloads;
+  bool Ok = true;
+  std::vector<Workload> All = figure3Workloads();
+  All.push_back(makeDeltaBlue()); // The Figure 4 micros.
+  All.push_back(makePiDigits());
+  for (const Workload &W : All)
+    for (const auto &[Name, Bytes] : W.Classes)
+      Ok &= analyzeBytes(W.Name + "/" + Name, Bytes, T);
+  return Ok;
+}
+
+void printLint(const LintTotals &T) {
+  printf("---- placement lint ----\n");
+  printf("methods analyzed: %llu\n",
+         static_cast<unsigned long long>(T.Methods));
+  for (size_t S = 0; S != 16; ++S)
+    if (T.ByStatus[S])
+      printf("  %-20s %llu\n",
+             analysisStatusName(static_cast<AnalysisStatus>(S)),
+             static_cast<unsigned long long>(T.ByStatus[S]));
+  printf("branch sites kept:   %llu\n",
+         static_cast<unsigned long long>(T.KeptSites));
+  printf("branch sites elided: %llu\n",
+         static_cast<unsigned long long>(T.ElidedSites));
+  printf("call-boundary sites: %llu\n",
+         static_cast<unsigned long long>(T.CallSites));
+  printf("unreachable blocks:  %llu\n",
+         static_cast<unsigned long long>(T.UnreachableBlocks));
+  if (!T.Ineligible.empty()) {
+    printf("ineligible methods (%zu):\n", T.Ineligible.size());
+    for (const std::string &S : T.Ineligible)
+      printf("  %s\n", S.c_str());
+  }
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  bool Builtin = false;
+  std::vector<std::filesystem::path> Paths;
+  for (int I = 1; I < argc; ++I) {
+    if (!strcmp(argv[I], "--builtin"))
+      Builtin = true;
+    else if (!strcmp(argv[I], "-q") || !strcmp(argv[I], "--quiet"))
+      Quiet = true;
+    else if (!strcmp(argv[I], "--lint"))
+      LintOnly = true;
+    else if (!strcmp(argv[I], "--help")) {
+      printf("usage: doppio-analyze [-q] [--lint] [--builtin] "
+             "[file.class|dir]...\n");
+      return 0;
+    } else
+      Paths.emplace_back(argv[I]);
+  }
+  if (!Builtin && Paths.empty()) {
+    fprintf(stderr, "usage: doppio-analyze [-q] [--lint] [--builtin] "
+                    "[file.class|dir]...\n");
+    return 1;
+  }
+  LintTotals T;
+  bool Ok = true;
+  if (Builtin)
+    Ok &= analyzeBuiltins(T);
+  for (const std::filesystem::path &P : Paths)
+    Ok &= analyzePath(P, T);
+  printLint(T);
+  return Ok ? 0 : 1;
+}

@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Guards the continuation-reification invariant (DESIGN.md §16): resumable
+# control state must live in doppio::cont::Continuation objects — which
+# serialize for checkpoint/migration — not in opaque std::function<void()>
+# callbacks. An opaque callback queued as "the rest of the computation"
+# cannot be checkpointed, so any such storage outside src/doppio/cont/
+# silently reopens the hole the cont subsystem closed.
+#
+# Rule A: no container of std::function<void()> anywhere in src/ outside
+#         src/doppio/cont/ (a queue of opaque thunks is a resumption store).
+# Rule B: no bare std::function<void()> *member* in the suspension-carrying
+#         subsystems (suspend/threads/kernel/pipes/process table) — locals
+#         and parameters are fine; members persist across a suspend point.
+#
+# Exit 0 = invariant holds; exit 1 prints every violating line.
+
+set -u
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# Rule A: containers of opaque thunks.
+rule_a=$(grep -rnE \
+  '(std::)?(vector|deque|queue|list|map)<[^>]*std::function<void\(\)>' \
+  src/ --include='*.h' --include='*.cpp' \
+  | grep -v '^src/doppio/cont/' || true)
+if [ -n "$rule_a" ]; then
+  echo "error: container of std::function<void()> outside src/doppio/cont/"
+  echo "       (resumptions must be reified as cont::Continuation):"
+  echo "$rule_a" | sed 's/^/  /'
+  fail=1
+fi
+
+# Rule B: opaque-thunk members in suspension-carrying subsystems. A member
+# declaration is "std::function<void()> Name;" possibly with an
+# initializer; parameters/locals don't match because declarations we flag
+# end in ';' on the same line and sit at member scope in these files.
+suspension_files=$(ls \
+  src/doppio/suspend.h src/doppio/suspend.cpp \
+  src/doppio/threads.h src/doppio/threads.cpp \
+  src/doppio/kernel/*.h src/doppio/kernel/*.cpp \
+  src/doppio/proc/pipe.h src/doppio/proc/pipe.cpp \
+  src/doppio/proc/proc.h src/doppio/proc/proc.cpp \
+  2>/dev/null || true)
+if [ -n "$suspension_files" ]; then
+  rule_b=$(grep -nE 'std::function<void\(\)>[[:space:]]+[A-Za-z_][A-Za-z0-9_]*([[:space:]]*=[^;]*)?;' \
+    $suspension_files || true)
+  if [ -n "$rule_b" ]; then
+    echo "error: bare std::function<void()> member in a suspension-carrying"
+    echo "       subsystem (store a cont::Continuation instead):"
+    echo "$rule_b" | sed 's/^/  /'
+    fail=1
+  fi
+fi
+
+if [ "$fail" -eq 0 ]; then
+  echo "cont invariant OK: no bare resumption storage outside src/doppio/cont/"
+fi
+exit "$fail"

@@ -127,7 +127,8 @@ void Cluster::wireShard(uint32_t Id) {
       });
 }
 
-void Cluster::migrateFrom(uint32_t Id, control::MigrateCmd Cmd) {
+void Cluster::migrateFrom(uint32_t Id, control::MigrateCmd Cmd,
+                          uint32_t Attempt) {
   auto It = ShardsById.find(Id);
   if (It == ShardsById.end() || It->second.Killed)
     return;
@@ -136,16 +137,22 @@ void Cluster::migrateFrom(uint32_t Id, control::MigrateCmd Cmd) {
   uint64_t Before = S->env().clock().nowNs();
   rt::ErrorOr<std::vector<uint8_t>> Blob = S->checkpointProcess(Cmd.Pid);
   if (!Blob.ok()) {
-    if (Blob.error().Code == rt::Errno::Again) {
+    if (Blob.error().Code == rt::Errno::Again &&
+        Attempt < Cfg.MigrateRetryCap) {
       // Not quiescent yet (an in-flight native, a class load, a timed
       // wait): let the guest run on and retry shortly. The retry rides
       // the Resume lane — green-thread slices run there and it outranks
       // Timer, so a Timer-lane retry would starve behind a compute-bound
       // guest until it exits. The handle is dropped on purpose —
       // destruction does not cancel (event_loop.h), and the retry must
-      // outlive this frame.
+      // outlive this frame. A guest that never reaches quiescence (say,
+      // parked in a long sleep) exhausts MigrateRetryCap and falls
+      // through to the error report below; the retry counter makes the
+      // spin observable.
+      S->env().metrics().counter("cluster.migrate_retries").inc();
       browser::TimerHandle Retry = S->env().loop().postTimer(
-          kernel::Lane::Resume, [this, Id, Cmd] { migrateFrom(Id, Cmd); },
+          kernel::Lane::Resume,
+          [this, Id, Cmd, Attempt] { migrateFrom(Id, Cmd, Attempt + 1); },
           browser::usToNs(100));
       (void)Retry;
       return;
@@ -154,7 +161,10 @@ void Cluster::migrateFrom(uint32_t Id, control::MigrateCmd Cmd) {
     D.RequestId = Cmd.RequestId;
     D.SrcShard = Id;
     D.DstShard = Cmd.DstShard;
-    D.Error = Blob.error().message();
+    D.Error = Blob.error().Code == rt::Errno::Again
+                  ? "not quiescent after " + std::to_string(Attempt) +
+                        " checkpoint retries"
+                  : Blob.error().message();
     Fab.sendControl(S->tab(), BalTab,
                     control::encode(control::Kind::MigrateDone, D.encode()));
     return;

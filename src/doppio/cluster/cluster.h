@@ -53,6 +53,14 @@ public:
     /// drain/kill — required for run-to-quiescence tests, since a
     /// repeating timer never quiesces.
     uint64_t StatsPushPeriodNs = 0;
+    /// Checkpoint EAGAIN retries a migration source tolerates before
+    /// giving up and reporting MigrateDone(error). A guest parked on a
+    /// long async wait (Thread.sleep, a blocked read) is perpetually
+    /// non-quiescent; without a cap the 100us retry loop spins forever.
+    /// Each retry increments the source shard's cluster.migrate_retries
+    /// counter. The guest is untouched on failure — it keeps running on
+    /// the source shard.
+    uint32_t MigrateRetryCap = 200;
     Fabric::Costs Costs;
   };
 
@@ -111,9 +119,11 @@ private:
   void wireShard(uint32_t Id);
   void armPush(uint32_t Id);
   /// Source half of a migration: checkpoint (retrying on the shard's
-  /// timer until the guest is quiescent), kill the local copy, ship the
-  /// blob to the destination tab. Runs on the source shard's loop.
-  void migrateFrom(uint32_t Id, control::MigrateCmd Cmd);
+  /// timer until the guest is quiescent, up to Config::MigrateRetryCap
+  /// attempts), kill the local copy, ship the blob to the destination
+  /// tab. Runs on the source shard's loop.
+  void migrateFrom(uint32_t Id, control::MigrateCmd Cmd,
+                   uint32_t Attempt = 0);
 
   const browser::Profile &Prof;
   Config Cfg;

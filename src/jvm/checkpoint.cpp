@@ -45,6 +45,9 @@ struct CheckpointAccess {
   static int32_t &mainTid(Jvm &Vm) { return Vm.MainTid; }
   static std::function<void(int)> &mainDone(Jvm &Vm) { return Vm.MainDone; }
   static std::vector<Frame> &callStack(JvmThread &T) { return T.CallStack; }
+  static void configureSuspendChecks(JvmThread &T, Frame &F) {
+    T.configureSuspendChecks(F);
+  }
   static bool &finished(JvmThread &T) { return T.Finished; }
   static bool &uncaught(JvmThread &T) { return T.Uncaught; }
 };
@@ -647,6 +650,9 @@ void finishRestore(const std::shared_ptr<RestoreState> &St) {
       F.ClinitOf = ClinitName.empty() ? nullptr : Vm.loader().lookup(ClinitName);
       // Trust is a property of this VM's verifier run, not of the image.
       F.Trusted = M->Verified && Vm.trustVerifier();
+      // Same for suspend-check placement: re-derive from this VM's mode
+      // and the restored method's analysis verdict (DESIGN.md §17).
+      CheckpointAccess::configureSuspendChecks(*Raw, F);
       Stack.push_back(std::move(F));
     }
     CheckpointAccess::callStack(*Raw) = std::move(Stack);

@@ -1,0 +1,617 @@
+//===- jvm/classfile/analysis.cpp - CFG / loop / placement analysis -------==//
+//
+// Part of the Doppio reproduction. See README.md.
+//
+//===----------------------------------------------------------------------===//
+//
+// Pipeline: decode instruction boundaries (reusing disasm's length
+// decoder), compute per-instruction successors (the same target decoding
+// the dataflow verifier uses), split into basic blocks at leaders, add
+// exception edges at block granularity, run reachability, compute
+// dominators (iterative Cooper-Harvey-Kennedy over reverse postorder),
+// classify retreating edges, collect natural loops, and finally prove the
+// placement bound: cut the out-edges of every check-site instruction
+// (call boundaries + kept back-edge branches), demand the residual graph
+// is acyclic, and take its longest path as K.
+//
+//===----------------------------------------------------------------------===//
+
+#include "jvm/classfile/analysis.h"
+
+#include "jvm/classfile/disasm.h"
+#include "jvm/classfile/opcodes.h"
+#include "jvm/classfile/verifier.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace doppio;
+using namespace doppio::jvm;
+
+namespace {
+
+/// Call-boundary instructions that always execute a suspend check
+/// (interpreter.cpp: invokes and returns via invokeMethod /
+/// returnFromFrame, monitors inline; athrow reaches the handler-entry
+/// check in dispatchException).
+bool isCallBoundary(Op O) {
+  switch (O) {
+  case Op::Invokevirtual:
+  case Op::Invokespecial:
+  case Op::Invokestatic:
+  case Op::Invokeinterface:
+  case Op::Monitorenter:
+  case Op::Monitorexit:
+  case Op::Ireturn:
+  case Op::Lreturn:
+  case Op::Freturn:
+  case Op::Dreturn:
+  case Op::Areturn:
+  case Op::Return:
+  case Op::Athrow:
+    return true;
+  default:
+    return false;
+  }
+}
+
+struct Insn {
+  uint32_t Pc = 0;
+  uint32_t Len = 0;
+  Op Opcode = Op::Nop;
+  /// Explicit branch targets (pcs). Fall-through is separate.
+  std::vector<uint32_t> Targets;
+  bool FallsThrough = true;
+  bool IsBranch = false;
+  bool IsCallBoundary = false;
+};
+
+struct Builder {
+  const std::vector<uint8_t> &Code;
+  const std::vector<ExceptionHandler> &Handlers;
+  MethodAnalysis &A;
+
+  std::vector<Insn> Insns;
+  /// Instruction index at each pc; kNoBlock for mid-instruction bytes.
+  std::vector<uint32_t> InsnAt;
+  /// Block index owning each instruction start pc.
+  std::vector<uint32_t> BlockAt;
+  std::vector<uint32_t> Rpo;    // Block indices in reverse postorder.
+  std::vector<uint32_t> RpoNum; // Block index -> position in Rpo.
+  bool SawJsrRet = false;
+
+  Builder(const std::vector<uint8_t> &Code,
+          const std::vector<ExceptionHandler> &Handlers, MethodAnalysis &A)
+      : Code(Code), Handlers(Handlers), A(A) {}
+
+  int32_t rdS2(uint32_t At) const {
+    return static_cast<int16_t>((Code[At] << 8) | Code[At + 1]);
+  }
+  int32_t rdS4(uint32_t At) const {
+    return static_cast<int32_t>(
+        (static_cast<uint32_t>(Code[At]) << 24) |
+        (static_cast<uint32_t>(Code[At + 1]) << 16) |
+        (static_cast<uint32_t>(Code[At + 2]) << 8) | Code[At + 3]);
+  }
+
+  bool fail(AnalysisStatus S, std::string Detail) {
+    A.Status = S;
+    A.Detail = std::move(Detail);
+    return false;
+  }
+
+  bool decode() {
+    InsnAt.assign(Code.size(), kNoBlock);
+    for (uint32_t Pc = 0; Pc < Code.size();) {
+      uint32_t Len = instructionLength(Code, Pc);
+      if (Len == 0)
+        return fail(AnalysisStatus::MalformedCode,
+                    "undecodable instruction at pc " + std::to_string(Pc));
+      Insn I;
+      I.Pc = Pc;
+      I.Len = Len;
+      I.Opcode = static_cast<Op>(Code[Pc]);
+      decodeFlow(I);
+      InsnAt[Pc] = static_cast<uint32_t>(Insns.size());
+      Insns.push_back(std::move(I));
+      Pc += Len;
+    }
+    // Verified code never branches mid-instruction; check defensively so
+    // the pass stays safe on raw (unverified) input.
+    for (const Insn &I : Insns)
+      for (uint32_t T : I.Targets)
+        if (T >= Code.size() || InsnAt[T] == kNoBlock)
+          return fail(AnalysisStatus::MalformedCode,
+                      "branch into the middle of an instruction at pc " +
+                          std::to_string(I.Pc));
+    for (const ExceptionHandler &H : Handlers)
+      if (H.HandlerPc >= Code.size() || InsnAt[H.HandlerPc] == kNoBlock)
+        return fail(AnalysisStatus::MalformedCode,
+                    "handler entry inside an instruction");
+    return true;
+  }
+
+  void decodeFlow(Insn &I) {
+    uint32_t Pc = I.Pc;
+    switch (I.Opcode) {
+    case Op::Ifeq:
+    case Op::Ifne:
+    case Op::Iflt:
+    case Op::Ifge:
+    case Op::Ifgt:
+    case Op::Ifle:
+    case Op::IfIcmpeq:
+    case Op::IfIcmpne:
+    case Op::IfIcmplt:
+    case Op::IfIcmpge:
+    case Op::IfIcmpgt:
+    case Op::IfIcmple:
+    case Op::IfAcmpeq:
+    case Op::IfAcmpne:
+    case Op::Ifnull:
+    case Op::Ifnonnull:
+      I.Targets.push_back(Pc + rdS2(Pc + 1));
+      I.IsBranch = true;
+      break;
+    case Op::Goto:
+      I.Targets.push_back(Pc + rdS2(Pc + 1));
+      I.FallsThrough = false;
+      I.IsBranch = true;
+      break;
+    case Op::GotoW:
+      I.Targets.push_back(Pc + rdS4(Pc + 1));
+      I.FallsThrough = false;
+      I.IsBranch = true;
+      break;
+    case Op::Tableswitch: {
+      uint32_t Operand = (Pc + 4) & ~3u;
+      int32_t Low = rdS4(Operand + 4);
+      int32_t High = rdS4(Operand + 8);
+      I.Targets.push_back(Pc + rdS4(Operand));
+      for (int32_t J = 0; J <= High - Low; ++J)
+        I.Targets.push_back(Pc +
+                            rdS4(Operand + 12 + 4 * static_cast<uint32_t>(J)));
+      I.FallsThrough = false;
+      I.IsBranch = true;
+      break;
+    }
+    case Op::Lookupswitch: {
+      uint32_t Operand = (Pc + 4) & ~3u;
+      int32_t NPairs = rdS4(Operand + 4);
+      I.Targets.push_back(Pc + rdS4(Operand));
+      for (int32_t J = 0; J != NPairs; ++J)
+        I.Targets.push_back(Pc +
+                            rdS4(Operand + 12 + 8 * static_cast<uint32_t>(J)));
+      I.FallsThrough = false;
+      I.IsBranch = true;
+      break;
+    }
+    // jsr flows to the subroutine; the matching ret comes back to the
+    // next instruction. Both edges conservatively, for dump purposes
+    // only — the method is ineligible either way.
+    case Op::Jsr:
+      I.Targets.push_back(Pc + rdS2(Pc + 1));
+      SawJsrRet = true;
+      break;
+    case Op::JsrW:
+      I.Targets.push_back(Pc + rdS4(Pc + 1));
+      SawJsrRet = true;
+      break;
+    case Op::Ret:
+      I.FallsThrough = false;
+      SawJsrRet = true;
+      break;
+    case Op::Wide:
+      if (Pc + 1 < Code.size() && static_cast<Op>(Code[Pc + 1]) == Op::Ret) {
+        I.FallsThrough = false;
+        SawJsrRet = true;
+      }
+      break;
+    case Op::Ireturn:
+    case Op::Lreturn:
+    case Op::Freturn:
+    case Op::Dreturn:
+    case Op::Areturn:
+    case Op::Return:
+    case Op::Athrow:
+      I.FallsThrough = false;
+      break;
+    default:
+      break;
+    }
+    I.IsCallBoundary = isCallBoundary(I.Opcode);
+  }
+
+  void buildBlocks() {
+    // Leaders: entry, branch targets, instructions after control
+    // transfers, handler entries, and protected-range boundaries (so a
+    // block never straddles a try region and exception edges stay
+    // block-aligned).
+    std::vector<uint8_t> Leader(Code.size(), 0);
+    Leader[0] = 1;
+    for (const Insn &I : Insns) {
+      for (uint32_t T : I.Targets)
+        Leader[T] = 1;
+      if ((I.IsBranch || !I.FallsThrough) && I.Pc + I.Len < Code.size())
+        Leader[I.Pc + I.Len] = 1;
+    }
+    for (const ExceptionHandler &H : Handlers) {
+      Leader[H.HandlerPc] = 1;
+      if (H.StartPc < Code.size() && InsnAt[H.StartPc] != kNoBlock)
+        Leader[H.StartPc] = 1;
+      if (H.EndPc < Code.size() && InsnAt[H.EndPc] != kNoBlock)
+        Leader[H.EndPc] = 1;
+    }
+
+    BlockAt.assign(Code.size(), kNoBlock);
+    for (const Insn &I : Insns) {
+      if (Leader[I.Pc] || A.Blocks.empty()) {
+        BasicBlock B;
+        B.StartPc = I.Pc;
+        A.Blocks.push_back(std::move(B));
+      }
+      BasicBlock &B = A.Blocks.back();
+      B.Insns.push_back(I.Pc);
+      B.EndPc = I.Pc + I.Len;
+      BlockAt[I.Pc] = static_cast<uint32_t>(A.Blocks.size() - 1);
+    }
+
+    auto addEdge = [](std::vector<uint32_t> &Out, uint32_t To) {
+      if (std::find(Out.begin(), Out.end(), To) == Out.end())
+        Out.push_back(To);
+    };
+    for (uint32_t BI = 0; BI != A.Blocks.size(); ++BI) {
+      BasicBlock &B = A.Blocks[BI];
+      const Insn &Last = Insns[InsnAt[B.Insns.back()]];
+      for (uint32_t T : Last.Targets)
+        addEdge(B.Succs, BlockAt[T]);
+      if (Last.FallsThrough && Last.Pc + Last.Len < Code.size())
+        addEdge(B.Succs, BlockAt[Last.Pc + Last.Len]);
+      for (const ExceptionHandler &H : Handlers)
+        if (B.StartPc >= H.StartPc && B.StartPc < H.EndPc)
+          addEdge(B.ExSuccs, BlockAt[H.HandlerPc]);
+    }
+    for (uint32_t BI = 0; BI != A.Blocks.size(); ++BI) {
+      for (uint32_t S : A.Blocks[BI].Succs)
+        A.Blocks[S].Preds.push_back(BI);
+      for (uint32_t S : A.Blocks[BI].ExSuccs)
+        A.Blocks[S].Preds.push_back(BI);
+    }
+  }
+
+  /// Depth-first postorder from the entry over normal + exception edges;
+  /// fills Rpo/RpoNum and marks reachability.
+  void orderBlocks() {
+    std::vector<uint32_t> Post;
+    std::vector<uint8_t> Seen(A.Blocks.size(), 0);
+    // Explicit stack; frames carry the next successor offset.
+    std::vector<std::pair<uint32_t, size_t>> Stack;
+    Seen[0] = 1;
+    Stack.emplace_back(0, 0);
+    auto succAt = [&](const BasicBlock &B, size_t I) {
+      return I < B.Succs.size() ? B.Succs[I]
+                                : B.ExSuccs[I - B.Succs.size()];
+    };
+    while (!Stack.empty()) {
+      auto &[BI, NextI] = Stack.back();
+      BasicBlock &B = A.Blocks[BI];
+      if (NextI < B.Succs.size() + B.ExSuccs.size()) {
+        uint32_t S = succAt(B, NextI++);
+        if (!Seen[S]) {
+          Seen[S] = 1;
+          Stack.emplace_back(S, 0);
+        }
+      } else {
+        Post.push_back(BI);
+        Stack.pop_back();
+      }
+    }
+    Rpo.assign(Post.rbegin(), Post.rend());
+    RpoNum.assign(A.Blocks.size(), kNoBlock);
+    for (uint32_t I = 0; I != Rpo.size(); ++I) {
+      RpoNum[Rpo[I]] = I;
+      A.Blocks[Rpo[I]].Reachable = true;
+    }
+    A.UnreachableBlocks =
+        static_cast<uint32_t>(A.Blocks.size() - Rpo.size());
+  }
+
+  /// Iterative dominators (Cooper/Harvey/Kennedy) over reachable blocks.
+  void computeDominators() {
+    A.Blocks[0].Idom = 0;
+    auto intersect = [&](uint32_t B1, uint32_t B2) {
+      while (B1 != B2) {
+        while (RpoNum[B1] > RpoNum[B2])
+          B1 = A.Blocks[B1].Idom;
+        while (RpoNum[B2] > RpoNum[B1])
+          B2 = A.Blocks[B2].Idom;
+      }
+      return B1;
+    };
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (uint32_t I = 1; I < Rpo.size(); ++I) {
+        uint32_t BI = Rpo[I];
+        uint32_t NewIdom = kNoBlock;
+        for (uint32_t P : A.Blocks[BI].Preds) {
+          if (!A.Blocks[P].Reachable || A.Blocks[P].Idom == kNoBlock)
+            continue;
+          NewIdom = NewIdom == kNoBlock ? P : intersect(NewIdom, P);
+        }
+        if (NewIdom != kNoBlock && A.Blocks[BI].Idom != NewIdom) {
+          A.Blocks[BI].Idom = NewIdom;
+          Changed = true;
+        }
+      }
+    }
+  }
+
+  bool dominates(uint32_t V, uint32_t U) const {
+    while (true) {
+      if (U == V)
+        return true;
+      if (U == 0)
+        return false;
+      U = A.Blocks[U].Idom;
+    }
+  }
+
+  static std::string edgeStr(const BasicBlock &From, const BasicBlock &To) {
+    return "pc " + std::to_string(From.Insns.back()) + " -> pc " +
+           std::to_string(To.StartPc);
+  }
+
+  /// Classifies every edge; collects back edges (src, header) or fails.
+  bool classifyEdges(std::vector<std::pair<uint32_t, uint32_t>> &BackEdges) {
+    for (uint32_t BI : Rpo) {
+      BasicBlock &B = A.Blocks[BI];
+      const Insn &Last = Insns[InsnAt[B.Insns.back()]];
+      for (uint32_t S : B.Succs) {
+        if (RpoNum[S] > RpoNum[BI])
+          continue; // Forward edge.
+        if (!dominates(S, BI))
+          return fail(AnalysisStatus::Irreducible,
+                      edgeStr(B, A.Blocks[S]) +
+                          " retreats into a loop it does not head");
+        // A back edge is instrumentable only when the source block ends
+        // in a branch: the dispatch case for that branch executes the
+        // check whichever way the edge goes. A straight-line fall-through
+        // back edge has no such site.
+        if (!Last.IsBranch)
+          return fail(AnalysisStatus::FallthroughBackEdge,
+                      edgeStr(B, A.Blocks[S]) +
+                          " falls through to the loop header");
+        BackEdges.emplace_back(BI, S);
+      }
+      for (uint32_t S : B.ExSuccs) {
+        if (RpoNum[S] > RpoNum[BI])
+          continue;
+        if (!dominates(S, BI))
+          return fail(AnalysisStatus::Irreducible,
+                      edgeStr(B, A.Blocks[S]) +
+                          " (exception) retreats into a loop it does not "
+                          "head");
+        return fail(AnalysisStatus::ExceptionBackEdge,
+                    edgeStr(B, A.Blocks[S]) +
+                        " cycles through an exception handler");
+      }
+    }
+    return true;
+  }
+
+  void collectLoops(
+      const std::vector<std::pair<uint32_t, uint32_t>> &BackEdges) {
+    // Natural loop of back edge (U -> Header): Header plus everything
+    // that reaches U without passing through Header. Merge per header.
+    std::map<uint32_t, LoopInfo> ByHeader;
+    for (auto [U, Header] : BackEdges) {
+      LoopInfo &L = ByHeader[Header];
+      L.HeaderBlock = Header;
+      L.BackEdgeSrcBlocks.push_back(U);
+      std::vector<uint8_t> InBody(A.Blocks.size(), 0);
+      InBody[Header] = 1;
+      std::vector<uint32_t> Work;
+      if (!InBody[U]) {
+        InBody[U] = 1;
+        Work.push_back(U);
+      }
+      for (uint32_t B : L.BodyBlocks)
+        InBody[B] = 1;
+      while (!Work.empty()) {
+        uint32_t B = Work.back();
+        Work.pop_back();
+        for (uint32_t P : A.Blocks[B].Preds)
+          if (A.Blocks[P].Reachable && !InBody[P]) {
+            InBody[P] = 1;
+            Work.push_back(P);
+          }
+      }
+      L.BodyBlocks.clear();
+      for (uint32_t B = 0; B != A.Blocks.size(); ++B)
+        if (InBody[B])
+          L.BodyBlocks.push_back(B);
+    }
+    for (auto &[Header, L] : ByHeader) {
+      for (uint32_t B : L.BodyBlocks)
+        ++A.Blocks[B].LoopDepth;
+      std::sort(L.BackEdgeSrcBlocks.begin(), L.BackEdgeSrcBlocks.end());
+      L.BackEdgeSrcBlocks.erase(std::unique(L.BackEdgeSrcBlocks.begin(),
+                                            L.BackEdgeSrcBlocks.end()),
+                                L.BackEdgeSrcBlocks.end());
+      A.Loops.push_back(L);
+    }
+    for (LoopInfo &L : A.Loops)
+      L.Depth = A.Blocks[L.HeaderBlock].LoopDepth;
+  }
+
+  /// Cuts check-site out-edges, verifies the residual instruction graph
+  /// is acyclic, and computes its longest path (the bound K).
+  bool proveBound() {
+    const size_t N = Insns.size();
+    // A check site's out-edges are cut: call boundaries always check;
+    // kept branches check after rewriting Pc (either direction).
+    auto isCheckSite = [&](const Insn &I) {
+      return I.IsCallBoundary || (I.Pc < A.KeepCheck.size() &&
+                                  A.KeepCheck[I.Pc] != 0);
+    };
+    std::vector<std::vector<uint32_t>> ResSuccs(N);
+    std::vector<uint32_t> InDeg(N, 0);
+    std::vector<uint8_t> Live(N, 0);
+    for (const BasicBlock &B : A.Blocks) {
+      if (!B.Reachable)
+        continue;
+      for (uint32_t Pc : B.Insns)
+        Live[InsnAt[Pc]] = 1;
+    }
+    for (uint32_t II = 0; II != N; ++II) {
+      if (!Live[II])
+        continue;
+      const Insn &I = Insns[II];
+      if (isCheckSite(I))
+        continue;
+      for (uint32_t T : I.Targets) {
+        ResSuccs[II].push_back(InsnAt[T]);
+        ++InDeg[InsnAt[T]];
+      }
+      if (I.FallsThrough && I.Pc + I.Len < Code.size()) {
+        uint32_t S = InsnAt[I.Pc + I.Len];
+        ResSuccs[II].push_back(S);
+        ++InDeg[S];
+      }
+    }
+    // Longest path by Kahn topological order. Every instruction counts
+    // cost 1 — matching the interpreter's per-dispatch counter — and a
+    // path includes the check instruction that terminates it.
+    std::vector<uint32_t> Longest(N, 0);
+    std::vector<uint32_t> Queue;
+    size_t LiveCount = 0;
+    for (uint32_t II = 0; II != N; ++II) {
+      if (!Live[II])
+        continue;
+      ++LiveCount;
+      Longest[II] = 1;
+      if (InDeg[II] == 0)
+        Queue.push_back(II);
+    }
+    size_t Processed = 0;
+    while (!Queue.empty()) {
+      uint32_t II = Queue.back();
+      Queue.pop_back();
+      ++Processed;
+      for (uint32_t S : ResSuccs[II]) {
+        Longest[S] = std::max(Longest[S], Longest[II] + 1);
+        if (--InDeg[S] == 0)
+          Queue.push_back(S);
+      }
+    }
+    if (Processed != LiveCount)
+      return fail(AnalysisStatus::CheckFreeCycle,
+                  "residual graph kept a cycle after cutting check sites");
+    for (uint32_t II = 0; II != N; ++II)
+      if (Live[II])
+        A.BoundK = std::max(A.BoundK, Longest[II]);
+    return true;
+  }
+
+  void countSites() {
+    for (const BasicBlock &B : A.Blocks) {
+      if (!B.Reachable)
+        continue;
+      for (uint32_t Pc : B.Insns) {
+        const Insn &I = Insns[InsnAt[Pc]];
+        if (I.IsCallBoundary)
+          ++A.CallSites;
+        if (I.IsBranch) {
+          if (A.KeepCheck[Pc])
+            ++A.KeptBranchSites;
+          else
+            ++A.ElidedBranchSites;
+        }
+      }
+    }
+  }
+};
+
+} // namespace
+
+const char *doppio::jvm::analysisStatusName(AnalysisStatus S) {
+  switch (S) {
+  case AnalysisStatus::Proved:
+    return "proved";
+  case AnalysisStatus::NoCode:
+    return "no_code";
+  case AnalysisStatus::Unverified:
+    return "unverified";
+  case AnalysisStatus::JsrRet:
+    return "jsr_ret";
+  case AnalysisStatus::Irreducible:
+    return "irreducible";
+  case AnalysisStatus::ExceptionBackEdge:
+    return "exception_back_edge";
+  case AnalysisStatus::FallthroughBackEdge:
+    return "fallthrough_back_edge";
+  case AnalysisStatus::MalformedCode:
+    return "malformed_code";
+  case AnalysisStatus::CheckFreeCycle:
+    return "check_free_cycle";
+  }
+  return "unknown";
+}
+
+MethodAnalysis doppio::jvm::analyzeCode(
+    const std::vector<uint8_t> &Code,
+    const std::vector<ExceptionHandler> &Handlers, bool Verified) {
+  MethodAnalysis A;
+  if (Code.empty()) {
+    A.Status = AnalysisStatus::NoCode;
+    return A;
+  }
+  if (!Verified) {
+    A.Status = AnalysisStatus::Unverified;
+    return A;
+  }
+  Builder B(Code, Handlers, A);
+  if (!B.decode())
+    return A;
+  B.buildBlocks();
+  B.orderBlocks();
+  if (B.SawJsrRet) {
+    // The CFG above is the conservative approximation (for dumps); no
+    // dominator or placement claims are made over it.
+    A.Status = AnalysisStatus::JsrRet;
+    A.Detail = "jsr/ret subroutines present";
+    return A;
+  }
+  B.computeDominators();
+  std::vector<std::pair<uint32_t, uint32_t>> BackEdges;
+  if (!B.classifyEdges(BackEdges))
+    return A;
+  B.collectLoops(BackEdges);
+  A.KeepCheck.assign(Code.size(), 0);
+  for (auto [U, Header] : BackEdges) {
+    (void)Header;
+    A.KeepCheck[A.Blocks[U].Insns.back()] = 1;
+  }
+  if (!B.proveBound()) {
+    A.KeepCheck.clear();
+    return A;
+  }
+  B.countSites();
+  A.Status = AnalysisStatus::Proved;
+  return A;
+}
+
+MethodAnalysis doppio::jvm::analyzeMethod(const ClassFile &Cf,
+                                          const MemberInfo &M) {
+  if (!M.Code)
+    return analyzeCode({}, {}, true);
+  // Per-method verdict from the class-wide verifier run: any class-level
+  // diagnostic or any diagnostic naming this method disqualifies it
+  // (same policy as ClassLoader::markVerified).
+  bool Verified = true;
+  for (const VerifyError &E : verifyClass(Cf))
+    if (E.Method.empty() || E.Method == M.Name + M.Descriptor)
+      Verified = false;
+  return analyzeCode(M.Code->Bytecode, M.Code->Handlers, Verified);
+}

@@ -1,0 +1,149 @@
+//===- jvm/classfile/analysis.h - CFG / loop / placement analysis -*- C++ -*-==//
+//
+// Part of the Doppio reproduction. See README.md.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Static control-flow analysis over verified bytecode (DESIGN.md §17):
+/// per-method CFG construction (normal + exception edges), dominator
+/// tree, natural-loop nesting with irreducible-loop detection, and a
+/// per-instruction cost model that proves a bound K on the number of
+/// bytecodes executable between suspend checks when checks are kept only
+/// at call boundaries and loop back-edge branches.
+///
+/// Stopify ("Putting in All the Stops", PAPERS.md) observes that the
+/// dominant cost of execution control is instrumentation *placement*:
+/// checks are only needed where unbounded work can accumulate, i.e. loop
+/// back edges and call sites, never on forward branches. This pass proves
+/// that claim per method: if every cycle in the CFG passes through an
+/// instrumentable back-edge branch, eliding the remaining branch checks
+/// leaves the residual graph acyclic, and its longest path is a hard
+/// static bound on work between checks. Methods the proof does not cover
+/// (jsr/ret subroutines, irreducible loops, cycles carried by exception
+/// or fall-through edges) degrade to checks-everywhere at run time —
+/// conservative, never incorrect.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DOPPIO_JVM_CLASSFILE_ANALYSIS_H
+#define DOPPIO_JVM_CLASSFILE_ANALYSIS_H
+
+#include "jvm/classfile/classfile.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace doppio {
+namespace jvm {
+
+/// Outcome of the placement proof. Everything except Proved means the
+/// interpreter must keep a check at every instruction for this method
+/// when running in Placed mode (the conservative fallback).
+enum class AnalysisStatus : uint8_t {
+  /// Placement proved: KeepCheck and BoundK are valid.
+  Proved,
+  /// Abstract or native method: nothing to analyze.
+  NoCode,
+  /// The dataflow verifier flagged the method; its decoded boundaries
+  /// cannot be trusted, so no placement claim is made.
+  Unverified,
+  /// jsr/ret subroutines: return addresses are data, so the CFG is not
+  /// statically complete (mirrors dataflow.cpp's conservative jsr/ret).
+  JsrRet,
+  /// A retreating edge whose target does not dominate its source: the
+  /// loop has multiple entries and no unique back-edge anchor.
+  Irreducible,
+  /// A cycle carried by an exception edge (handler reachable from its
+  /// own protected range): no branch instruction anchors the iteration.
+  ExceptionBackEdge,
+  /// A back edge taken by straight-line fall-through (the block ends in
+  /// a non-branch instruction): there is no branch site to instrument.
+  FallthroughBackEdge,
+  /// Instruction decode failed (defensive; verified code never trips it).
+  MalformedCode,
+  /// The residual graph still held a cycle after cutting check-site
+  /// out-edges (defensive; implied impossible by the checks above).
+  CheckFreeCycle,
+};
+
+/// Short stable name ("proved", "jsr_ret", ...) for reports and counters.
+const char *analysisStatusName(AnalysisStatus S);
+
+/// One basic block. EndPc is exclusive; Insns lists instruction pcs in
+/// order. Successor/predecessor lists hold block indices.
+struct BasicBlock {
+  uint32_t StartPc = 0;
+  uint32_t EndPc = 0;
+  std::vector<uint32_t> Insns;
+  /// Normal control-flow successors (branch targets + fall-through).
+  std::vector<uint32_t> Succs;
+  /// Exception successors (handler blocks covering any instruction here).
+  std::vector<uint32_t> ExSuccs;
+  std::vector<uint32_t> Preds; // Over Succs ∪ ExSuccs.
+  bool Reachable = false;
+  /// Immediate dominator block index; kNoBlock for entry/unreachable.
+  uint32_t Idom = UINT32_MAX;
+  /// Number of natural loops whose body contains this block.
+  uint32_t LoopDepth = 0;
+};
+
+inline constexpr uint32_t kNoBlock = UINT32_MAX;
+
+/// One natural loop (merged per header).
+struct LoopInfo {
+  uint32_t HeaderBlock = 0;
+  /// 1 = outermost.
+  uint32_t Depth = 1;
+  /// Blocks whose terminating branch carries a back edge to the header.
+  std::vector<uint32_t> BackEdgeSrcBlocks;
+  /// Body block indices, header included, sorted.
+  std::vector<uint32_t> BodyBlocks;
+};
+
+/// The full analysis result for one method body.
+struct MethodAnalysis {
+  AnalysisStatus Status = AnalysisStatus::NoCode;
+  /// Human-readable failure locus ("pc 12 -> pc 4"), empty when Proved.
+  std::string Detail;
+
+  // CFG (valid for every status except NoCode/MalformedCode; for JsrRet
+  // it is the conservative approximation used only for dumping).
+  std::vector<BasicBlock> Blocks; // Sorted by StartPc.
+  std::vector<LoopInfo> Loops;    // Sorted by header pc.
+  uint32_t UnreachableBlocks = 0;
+
+  // Placement (valid only when Status == Proved).
+  /// Per-pc bits: 1 = the branch at this pc must keep its suspend check
+  /// (it carries a loop back edge); 0 everywhere else. Sized to the code.
+  std::vector<uint8_t> KeepCheck;
+  /// Proven maximum number of bytecodes executable between two suspend
+  /// checks anywhere in this method (longest path in the residual graph
+  /// after cutting check-site out-edges; check instruction included).
+  uint32_t BoundK = 0;
+  /// Reachable branch instructions that keep / lose their check.
+  uint32_t KeptBranchSites = 0;
+  uint32_t ElidedBranchSites = 0;
+  /// Reachable call-boundary check sites (invokes, monitors, returns,
+  /// athrow) — always checked, never elidable.
+  uint32_t CallSites = 0;
+
+  bool ok() const { return Status == AnalysisStatus::Proved; }
+};
+
+/// Analyzes one method body. \p Verified is the dataflow verifier's
+/// verdict for this method: analysis refuses to make placement claims
+/// about bytecode the verifier rejected (Status == Unverified).
+MethodAnalysis analyzeCode(const std::vector<uint8_t> &Code,
+                           const std::vector<ExceptionHandler> &Handlers,
+                           bool Verified = true);
+
+/// Convenience wrapper over a parsed (not yet linked) method, for the
+/// doppio-analyze CLI. Runs the verifier's per-method verdict first.
+MethodAnalysis analyzeMethod(const ClassFile &Cf, const MemberInfo &M);
+
+} // namespace jvm
+} // namespace doppio
+
+#endif // DOPPIO_JVM_CLASSFILE_ANALYSIS_H

@@ -2,6 +2,7 @@
 
 #include "jvm/classfile/disasm.h"
 
+#include "jvm/classfile/analysis.h"
 #include "jvm/classfile/dataflow.h"
 #include "jvm/classfile/opcodes.h"
 
@@ -92,9 +93,62 @@ static std::string describeConstant(const ClassFile &Cf, uint16_t Idx) {
   }
 }
 
+/// True for every opcode whose suspend check the placement pass may keep
+/// or elide (conditional branches, gotos, switches).
+static bool isPlacedBranch(Op O) {
+  switch (O) {
+  case Op::Ifeq:
+  case Op::Ifne:
+  case Op::Iflt:
+  case Op::Ifge:
+  case Op::Ifgt:
+  case Op::Ifle:
+  case Op::IfIcmpeq:
+  case Op::IfIcmpne:
+  case Op::IfIcmplt:
+  case Op::IfIcmpge:
+  case Op::IfIcmpgt:
+  case Op::IfIcmple:
+  case Op::IfAcmpeq:
+  case Op::IfAcmpne:
+  case Op::Goto:
+  case Op::GotoW:
+  case Op::Ifnull:
+  case Op::Ifnonnull:
+  case Op::Tableswitch:
+  case Op::Lookupswitch:
+    return true;
+  default:
+    return false;
+  }
+}
+
+/// True for the call-boundary opcodes that always check (§6.1).
+static bool isCallBoundaryOp(Op O) {
+  switch (O) {
+  case Op::Invokevirtual:
+  case Op::Invokespecial:
+  case Op::Invokestatic:
+  case Op::Invokeinterface:
+  case Op::Monitorenter:
+  case Op::Monitorexit:
+  case Op::Ireturn:
+  case Op::Lreturn:
+  case Op::Freturn:
+  case Op::Dreturn:
+  case Op::Areturn:
+  case Op::Return:
+  case Op::Athrow:
+    return true;
+  default:
+    return false;
+  }
+}
+
 std::string jvm::disassembleMethod(const ClassFile &Cf,
                                    const MemberInfo &M,
-                                   const MethodDataflow *Flow) {
+                                   const MethodDataflow *Flow,
+                                   const MethodAnalysis *Placement) {
   if (!M.Code)
     return "";
   std::ostringstream Out;
@@ -192,6 +246,20 @@ std::string jvm::disassembleMethod(const ClassFile &Cf,
       Out << "  ; "
           << (It != Flow->In.end() ? renderFrameState(It->second)
                                    : std::string("<unreachable>"));
+    }
+    if (Placement && Placement->ok()) {
+      const char *Note = nullptr;
+      if (Pc < Placement->KeepCheck.size() && Placement->KeepCheck[Pc])
+        Note = "check kept (back edge)";
+      else if (isPlacedBranch(O))
+        Note = "check elided";
+      else if (isCallBoundaryOp(O))
+        Note = "check (call boundary)";
+      if (Note) {
+        for (size_t N = Line.str().size(); N < 36; ++N)
+          Out << ' ';
+        Out << "  ; " << Note;
+      }
     }
     Out << "\n";
     Pc += Len;

@@ -24,14 +24,19 @@ namespace doppio {
 namespace jvm {
 
 struct MethodDataflow;
+struct MethodAnalysis;
 
 /// Disassembles one method body ("  0: Iload0", ...). Returns an empty
 /// string for methods without code. When \p Flow (the method's dataflow
 /// analysis, dataflow.h) is given, each line is annotated with the
 /// inferred abstract state entering the instruction — "; [I R] m=0" —
 /// or "; <unreachable>" for dead code the fixpoint never visited.
+/// When \p Placement (the suspend-placement proof, analysis.h) is given
+/// and proved, each branch is annotated "; check kept (back edge)" or
+/// "; check elided", and call boundaries "; check (call boundary)".
 std::string disassembleMethod(const ClassFile &Cf, const MemberInfo &M,
-                              const MethodDataflow *Flow = nullptr);
+                              const MethodDataflow *Flow = nullptr,
+                              const MethodAnalysis *Placement = nullptr);
 
 /// Full javap-style listing of \p Cf.
 std::string disassembleClass(const ClassFile &Cf);

@@ -2,10 +2,12 @@
 
 #include "jvm/classloader.h"
 
+#include "jvm/classfile/analysis.h"
 #include "jvm/classfile/verifier.h"
 
 #include "jvm/jvm.h"
 
+#include <algorithm>
 #include <cassert>
 #include <set>
 
@@ -88,9 +90,29 @@ Klass *ClassLoader::link(ClassFile Cf,
         return TheVm.resolveNative(InKlass, M);
       });
   markVerified(*K, *Known);
+  analyzePlacement(*K);
   Klass *Raw = K.get();
   Classes.emplace(Name, std::move(K));
   return Raw;
+}
+
+void ClassLoader::analyzePlacement(Klass &K) {
+  // Placement rides on the verifier's verdict: only bytecode the
+  // dataflow pass proved gets a CFG/loop proof; everything else degrades
+  // to checks-everywhere in Placed mode (DESIGN.md §17).
+  for (std::unique_ptr<Method> &M : K.Methods) {
+    if (!M->HasCode)
+      continue;
+    MethodAnalysis A =
+        analyzeCode(M->Code.Bytecode, M->Code.Handlers, M->Verified);
+    M->Placement = A.Status;
+    ++AnalysisCounts[static_cast<size_t>(A.Status)];
+    if (A.ok()) {
+      M->SuspendBoundK = A.BoundK;
+      M->SuspendKeep = std::move(A.KeepCheck);
+      ProvenBoundMax = std::max(ProvenBoundMax, A.BoundK);
+    }
+  }
 }
 
 Klass *ClassLoader::defineBuiltin(ClassFile Cf) {

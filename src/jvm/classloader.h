@@ -77,12 +77,24 @@ public:
   /// Number of class files fetched through the file system.
   uint64_t fileLoads() const { return FileLoads; }
 
+  /// Placement-analysis tallies across every linked method (DESIGN.md
+  /// §17): how many bodies landed on each AnalysisStatus.
+  uint64_t analysisCount(AnalysisStatus S) const {
+    return AnalysisCounts[static_cast<size_t>(S)];
+  }
+  /// Max proven between-checks bound K over all loaded methods: the
+  /// global dynamic-span bound the interpreter asserts in Placed mode.
+  uint32_t provenBoundMax() const { return ProvenBoundMax; }
+
 private:
   /// Links \p Cf and marks each method's Verified bit from \p Known (the
   /// verifier's diagnostics for this class file); when null, the verifier
   /// runs here. Definition paths never reject — a method with diagnostics
   /// merely stays unverified and runs guarded.
   Klass *link(ClassFile Cf, const std::vector<VerifyError> *Known = nullptr);
+  /// Runs the CFG/loop placement analysis over every verified method of
+  /// \p K, stamping the per-method verdicts (klass.h) and the tallies.
+  void analyzePlacement(Klass &K);
   Klass *makeArrayClass(const std::string &Name);
   /// Tries classpath entries starting at \p Index.
   void fetchFromClasspath(
@@ -97,6 +109,8 @@ private:
            std::vector<std::function<void(rt::ErrorOr<Klass *>)>>>
       Pending;
   uint64_t FileLoads = 0;
+  uint64_t AnalysisCounts[16] = {};
+  uint32_t ProvenBoundMax = 0;
 };
 
 } // namespace jvm

@@ -175,6 +175,7 @@ void JvmThread::pushEntryFrame(Method *M, std::vector<Value> Args) {
   F.Locals.resize(M->Code.MaxLocals);
   F.Stack.reserve(M->Code.MaxStack);
   F.Trusted = M->Verified && Vm.trustVerifier();
+  configureSuspendChecks(F);
   CallStack.push_back(std::move(F));
 }
 
@@ -247,6 +248,11 @@ RunOutcome JvmThread::resume() {
     case StepResult::Yield:
       return RunOutcome::Yielded;
     case StepResult::Block:
+      // Blocking leaves the host stack — a stronger preemption point
+      // than any suspend check — so the between-checks span restarts
+      // (the blocked instruction also re-dispatches on wake and must not
+      // count twice against the static bound).
+      OpsSinceCheck = 0;
       return RunOutcome::Blocked;
     case StepResult::Done:
       Vm.noteThreadFinished(*this);
@@ -260,6 +266,10 @@ RunOutcome JvmThread::resume() {
 bool JvmThread::wantsSuspend() {
   if (Vm.mode() != ExecutionMode::DoppioJS)
     return false;
+  // Close the dynamic between-checks span (DESIGN.md §17): the counter
+  // measures checks *executed*, whether or not this one yields.
+  Vm.noteSuspendCheckExecuted(OpsSinceCheck);
+  OpsSinceCheck = 0;
   // Charge the work done since the last boundary so the virtual clock
   // advances between checks — the adaptive counter (§4.1) measures the
   // elapsed time of each countdown from it.
@@ -269,6 +279,38 @@ bool JvmThread::wantsSuspend() {
     return false;
   ++Vm.stats().SuspendYields;
   return true;
+}
+
+void JvmThread::configureSuspendChecks(Frame &F) {
+  switch (Vm.suspendCheckMode()) {
+  case SuspendCheckMode::CallBoundary:
+    break; // Legacy §6.1 behavior: boundaries only, branches free.
+  case SuspendCheckMode::Everywhere:
+    F.CheckEvery = true;
+    break;
+  case SuspendCheckMode::Placed:
+    // Placement rides on the verifier like Trusted does: the proof used
+    // the verified boundaries, so an untrusted run degrades too.
+    if (F.M->placementProved() && F.M->Verified)
+      F.SuspendKeep = F.M->SuspendKeep.data();
+    else
+      F.CheckEvery = true;
+    break;
+  }
+}
+
+JvmThread::StepResult JvmThread::branchDone(Frame &F, uint32_t Site) {
+  if (!F.SuspendKeep)
+    return StepResult::Continue;
+  if (F.SuspendKeep[Site]) {
+    // A loop back edge: the one branch site that must keep its check.
+    // Pc already points at the destination, so a yield resumes there.
+    if (wantsSuspend())
+      return StepResult::Yield;
+  } else {
+    Vm.noteSuspendCheckElided();
+  }
+  return StepResult::Continue;
 }
 
 //===----------------------------------------------------------------------===//
@@ -303,6 +345,12 @@ JvmThread::StepResult JvmThread::dispatchException(Object *Ex) {
         F.Stack.clear();
         F.Stack.push_back(Value::ref(Ex));
         F.Pc = H.HandlerPc;
+        // Handler entry is a check site in Placed mode: the throwing
+        // path may have run check-free since the last kept site, and the
+        // handler's own proof assumes a fresh span from its entry
+        // (DESIGN.md §17).
+        if (F.SuspendKeep && wantsSuspend())
+          return StepResult::Yield;
         return StepResult::Continue;
       }
     }
@@ -373,10 +421,17 @@ bool JvmThread::ensureInitialized(Klass *K, StepResult &Out) {
   F.Stack.reserve(Clinit->Code.MaxStack);
   F.ClinitOf = Top;
   F.Trusted = Clinit->Verified && Vm.trustVerifier();
+  configureSuspendChecks(F);
   CallStack.push_back(std::move(F));
   ++Vm.stats().MethodInvocations;
   Out = StepResult::Continue; // Re-executes the triggering instruction
-  return false;               // after <clinit> returns.
+  // A <clinit> push is a method-entry boundary like any invoke; outside
+  // the legacy CallBoundary mode it closes the caller's span so the
+  // bound proof holds across static initialization (DESIGN.md §17).
+  if (Vm.suspendCheckMode() != SuspendCheckMode::CallBoundary &&
+      wantsSuspend())
+    Out = StepResult::Yield;
+  return false; // After <clinit> returns.
 }
 
 //===----------------------------------------------------------------------===//
@@ -493,6 +548,7 @@ JvmThread::StepResult JvmThread::invokeMethod(Method *M, bool HasReceiver,
   F.Locals.resize(M->Code.MaxLocals);
   F.Stack.reserve(M->Code.MaxStack);
   F.Trusted = M->Verified && Vm.trustVerifier();
+  configureSuspendChecks(F);
   if (M->isSynchronized()) {
     Object *Lock = HasReceiver ? F.Locals[0].R : Vm.mirrorOf(M->Owner);
     // Contention was checked by the caller before popping; entering here
@@ -1022,11 +1078,17 @@ bool JvmThread::guardedPrecheck(Frame &F, StepResult &Out) {
 
 JvmThread::StepResult JvmThread::step() {
   Frame &F = CallStack.back();
+  // Everywhere mode — and Placed-mode frames the analysis could not
+  // prove — checks before every dispatch. Pc is untouched, so a yield
+  // re-enters at the same instruction; nothing below has run yet.
+  if (F.CheckEvery && wantsSuspend())
+    return StepResult::Yield;
   const std::vector<uint8_t> &C = F.M->Code.Bytecode;
   assert(F.Pc < C.size() && "pc ran off the end of the method");
   Op O = static_cast<Op>(C[F.Pc]);
   ++Vm.stats().OpsExecuted;
   ++OpsSinceFlush;
+  ++OpsSinceCheck;
 
   // Check-elision fast path: frames the verifier proved skip the guarded
   // precheck entirely (DESIGN.md §12).
@@ -1745,8 +1807,9 @@ JvmThread::StepResult JvmThread::step() {
       Taken = A <= 0;
       break;
     }
+    uint32_t Site = F.Pc;
     F.Pc = Taken ? F.Pc + rdS2(C, F.Pc + 1) : F.Pc + 3;
-    return StepResult::Continue;
+    return branchDone(F, Site);
   }
   case Op::IfIcmpeq:
   case Op::IfIcmpne:
@@ -1776,29 +1839,36 @@ JvmThread::StepResult JvmThread::step() {
       Taken = A <= B;
       break;
     }
+    uint32_t Site = F.Pc;
     F.Pc = Taken ? F.Pc + rdS2(C, F.Pc + 1) : F.Pc + 3;
-    return StepResult::Continue;
+    return branchDone(F, Site);
   }
   case Op::IfAcmpeq:
   case Op::IfAcmpne: {
     Object *B = pop().R, *A = pop().R;
     bool Taken = O == Op::IfAcmpeq ? A == B : A != B;
+    uint32_t Site = F.Pc;
     F.Pc = Taken ? F.Pc + rdS2(C, F.Pc + 1) : F.Pc + 3;
-    return StepResult::Continue;
+    return branchDone(F, Site);
   }
   case Op::Ifnull:
   case Op::Ifnonnull: {
     Object *A = pop().R;
     bool Taken = O == Op::Ifnull ? A == nullptr : A != nullptr;
+    uint32_t Site = F.Pc;
     F.Pc = Taken ? F.Pc + rdS2(C, F.Pc + 1) : F.Pc + 3;
-    return StepResult::Continue;
+    return branchDone(F, Site);
   }
-  case Op::Goto:
+  case Op::Goto: {
+    uint32_t Site = F.Pc;
     F.Pc += rdS2(C, F.Pc + 1);
-    return StepResult::Continue;
-  case Op::GotoW:
+    return branchDone(F, Site);
+  }
+  case Op::GotoW: {
+    uint32_t Site = F.Pc;
     F.Pc += rdS4(C, F.Pc + 1);
-    return StepResult::Continue;
+    return branchDone(F, Site);
+  }
   case Op::Jsr:
     push(Value::retAddr(F.Pc + 3));
     F.Pc += rdS2(C, F.Pc + 1);
@@ -1824,7 +1894,7 @@ JvmThread::StepResult JvmThread::step() {
       int32_t Offset = rdS4(C, Operands + 12 + 4 * (Index - Low));
       F.Pc = Base + Offset;
     }
-    return StepResult::Continue;
+    return branchDone(F, Base);
   }
   case Op::Lookupswitch: {
     uint32_t Base = F.Pc;
@@ -1841,7 +1911,7 @@ JvmThread::StepResult JvmThread::step() {
       }
     }
     F.Pc = Base + Offset;
-    return StepResult::Continue;
+    return branchDone(F, Base);
   }
 
   // Returns ----------------------------------------------------------------

@@ -48,6 +48,15 @@ struct Frame {
   /// it (Jvm::trustVerifier): step() skips the guarded per-instruction
   /// stack/locals precheck for this frame (DESIGN.md §12).
   bool Trusted = false;
+  /// Suspend-check placement for this frame (DESIGN.md §17), set from
+  /// the VM's SuspendCheckMode when the frame is pushed or restored. In
+  /// Placed mode a proven method points SuspendKeep at its per-pc keep
+  /// bits (klass.h) and branch sites consult them; an unproven method
+  /// sets CheckEvery and checks before every dispatch, as does every
+  /// frame in Everywhere mode. The default CallBoundary mode leaves both
+  /// unset: zero new work on the legacy path.
+  const uint8_t *SuspendKeep = nullptr;
+  bool CheckEvery = false;
 };
 
 /// A JVM thread: a guest thread of the Doppio pool (§4.3/§6.2).
@@ -172,6 +181,12 @@ private:
   /// Call-boundary suspend check (§6.1); also counts context-switch
   /// points.
   bool wantsSuspend();
+  /// Stamps \p F's placement fields (Frame::SuspendKeep / CheckEvery)
+  /// from the VM mode and the method's analysis verdict.
+  void configureSuspendChecks(Frame &F);
+  /// Tail of every branch dispatch case: executes the kept suspend check
+  /// or counts the elision for the branch that sat at \p Site.
+  StepResult branchDone(Frame &F, uint32_t Site);
 
   friend struct NativeContext;
   friend class Jvm;
@@ -183,6 +198,11 @@ private:
   bool Finished = false;
   bool Uncaught = false;
   uint64_t OpsSinceFlush = 0;
+  /// Dynamic between-checks counter (DESIGN.md §17): bytecodes
+  /// dispatched since the last executed suspend check. Reset by every
+  /// check and whenever the thread blocks (leaving the host stack is a
+  /// stronger preemption point than any check).
+  uint64_t OpsSinceCheck = 0;
 };
 
 } // namespace jvm

@@ -20,9 +20,38 @@ Jvm::Jvm(browser::BrowserEnv &Env, rt::fs::FileSystem &Fs, rt::Process &Proc,
       Loader(*this) {
   if (const char *Trust = std::getenv("DOPPIO_JVM_TRUST_VERIFIER"))
     Options.TrustVerifier = std::string(Trust) != "0";
+  if (const char *Placement = std::getenv("DOPPIO_JVM_SUSPEND_PLACEMENT")) {
+    std::string P(Placement);
+    if (P == "call")
+      Options.SuspendChecks = SuspendCheckMode::CallBoundary;
+    else if (P == "everywhere")
+      Options.SuspendChecks = SuspendCheckMode::Everywhere;
+    else if (P == "placed")
+      Options.SuspendChecks = SuspendCheckMode::Placed;
+  }
+  // Resolved once, pointer-increment hot path (registry.h).
+  std::string Prefix = Env.metrics().claimPrefix("jvm");
+  SuspendChecksExecutedC =
+      &Env.metrics().counter(Prefix + ".suspend_checks_executed");
+  SuspendChecksElidedC =
+      &Env.metrics().counter(Prefix + ".suspend_checks_elided");
   for (const std::string &Dir : Options.Classpath)
     Loader.addClasspathEntry(Dir);
   installCoreClasses(*this);
+}
+
+void Jvm::noteSuspendCheckExecuted(uint64_t Span) {
+  SuspendChecksExecutedC->inc();
+  if (Span > Stats.MaxOpsBetweenChecks)
+    Stats.MaxOpsBetweenChecks = Span;
+  // The placement proof's dynamic half: in Placed mode no span of
+  // dispatched bytecodes between two checks may exceed the largest
+  // statically proven bound K (DESIGN.md §17). Unproven frames check
+  // every instruction, so only proven methods can grow a span.
+  assert((Options.SuspendChecks != SuspendCheckMode::Placed ||
+          Loader.provenBoundMax() == 0 ||
+          Span <= Loader.provenBoundMax()) &&
+         "suspend-check span exceeded the statically proven bound K");
 }
 
 Jvm::~Jvm() = default;

@@ -23,6 +23,7 @@
 
 #include "doppio/fs.h"
 #include "doppio/heap.h"
+#include "doppio/obs/metrics.h"
 #include "doppio/threads.h"
 #include "jvm/classfile/builder.h"
 #include "jvm/classloader.h"
@@ -37,6 +38,23 @@ namespace jvm {
 
 class JvmThread;
 struct CheckpointAccess;
+
+/// Where the interpreter executes suspend checks (DESIGN.md §17).
+enum class SuspendCheckMode : uint8_t {
+  /// The paper's behavior (§6.1): checks at call boundaries only —
+  /// invokes, returns, monitor ops. Branches never check, so a tight
+  /// intra-method loop cannot be preempted. The default.
+  CallBoundary,
+  /// A check before every bytecode dispatch: the naive baseline the
+  /// fig4 placement ablation measures against.
+  Everywhere,
+  /// Analysis-driven placement (Stopify's insight): call boundaries plus
+  /// only the loop back-edge branches the CFG/loop pass kept; proven
+  /// branch sites elide the check. Methods without a proof (jsr/ret,
+  /// irreducible loops, exception-carried cycles) degrade to Everywhere
+  /// behavior — conservative, never incorrect.
+  Placed,
+};
 
 /// Construction options.
 struct JvmOptions {
@@ -57,6 +75,10 @@ struct JvmOptions {
   /// keep the guarded path. The DOPPIO_JVM_TRUST_VERIFIER environment
   /// variable overrides this at construction ("0"/"1"; DESIGN.md §12).
   bool TrustVerifier = true;
+  /// Suspend-check placement, mirroring TrustVerifier's shape. The
+  /// DOPPIO_JVM_SUSPEND_PLACEMENT environment variable overrides it at
+  /// construction ("call" / "everywhere" / "placed"; DESIGN.md §17).
+  SuspendCheckMode SuspendChecks = SuspendCheckMode::CallBoundary;
 };
 
 /// Statistics the evaluation harness reads.
@@ -66,6 +88,11 @@ struct JvmStats {
   uint64_t ObjectsAllocated = 0;
   uint64_t SuspendYields = 0;
   uint64_t ContextSwitchPoints = 0;
+  /// High-water mark of the per-thread dynamic between-checks counter:
+  /// bytecodes dispatched between two executed suspend checks. In Placed
+  /// mode this must never exceed ClassLoader::provenBoundMax() — debug
+  /// builds assert it, the fig4 ablation and analysis tests verify it.
+  uint64_t MaxOpsBetweenChecks = 0;
 };
 
 /// One DoppioJVM instance inside one browser tab.
@@ -89,7 +116,24 @@ public:
   ExecutionMode mode() const { return Options.Mode; }
   /// True when verified methods may run check-elided (DESIGN.md §12).
   bool trustVerifier() const { return Options.TrustVerifier; }
+  /// Suspend-check placement this VM runs under (DESIGN.md §17).
+  SuspendCheckMode suspendCheckMode() const { return Options.SuspendChecks; }
   JvmStats &stats() { return Stats; }
+
+  // Suspend-check accounting (obs cells jvm.suspend_checks_executed /
+  // jvm.suspend_checks_elided, resolved once at construction). The
+  // interpreter calls these on its hot path.
+  /// Records one executed check that closed a span of \p Span dispatched
+  /// bytecodes; debug builds assert the span stays within the proven
+  /// bound in Placed mode.
+  void noteSuspendCheckExecuted(uint64_t Span);
+  void noteSuspendCheckElided() { SuspendChecksElidedC->inc(); }
+  uint64_t suspendChecksExecuted() const {
+    return SuspendChecksExecutedC->value();
+  }
+  uint64_t suspendChecksElided() const {
+    return SuspendChecksElidedC->value();
+  }
 
   // Native registry (§6.3). Key: "pkg/Cls.name(desc)".
   void registerNative(const std::string &ClassName, const std::string &Name,
@@ -180,6 +224,8 @@ private:
   rt::UnmanagedHeap Heap;
   ClassLoader Loader;
   JvmStats Stats;
+  obs::Counter *SuspendChecksExecutedC = nullptr;
+  obs::Counter *SuspendChecksElidedC = nullptr;
 
   std::map<std::string, NativeFn> NativeRegistry;
   std::vector<std::unique_ptr<Object>> Arena;

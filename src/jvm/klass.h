@@ -16,6 +16,7 @@
 #ifndef DOPPIO_JVM_KLASS_H
 #define DOPPIO_JVM_KLASS_H
 
+#include "jvm/classfile/analysis.h"
 #include "jvm/classfile/classfile.h"
 #include "jvm/classfile/descriptor.h"
 #include "jvm/object.h"
@@ -52,6 +53,19 @@ struct Method {
   /// (DESIGN.md §12). Set by the class loader; methods with any verify
   /// diagnostic run guarded instead.
   bool Verified = false;
+  /// Placement-analysis verdict (DESIGN.md §17), set by the class loader
+  /// next to Verified. When the CFG/loop pass proved bounded suspend
+  /// placement, SuspendKeep holds one byte per code pc — 1 at branch
+  /// instructions that carry a loop back edge and must keep their check —
+  /// and SuspendBoundK is the proven maximum number of bytecodes
+  /// executable between checks. Methods without a proof run with a check
+  /// at every instruction in Placed mode (never incorrect, just slower).
+  AnalysisStatus Placement = AnalysisStatus::NoCode;
+  uint32_t SuspendBoundK = 0;
+  std::vector<uint8_t> SuspendKeep;
+  bool placementProved() const {
+    return Placement == AnalysisStatus::Proved;
+  }
   NativeFn Native; // Bound at link time from the native registry (§6.3).
 
   bool isStatic() const { return AccessFlags & AccStatic; }

@@ -792,6 +792,85 @@ TEST(Cluster, LiveMigrationMovesARunningJvmGuest) {
   EXPECT_EQ(Prefix + DstPr->state().capturedStdout(), Baseline);
 }
 
+/// class Ticker — print 1, park in a 60 s sleep, print 2. While the guest
+/// is asleep its wake-up lives in a host closure, so checkpointReady
+/// returns EAGAIN on every attempt: the retry-cap path's worst case.
+std::vector<uint8_t> sleeperClassBytes() {
+  jvm::ClassBuilder B("Ticker");
+  jvm::MethodBuilder &M = B.method(jvm::AccPublic | jvm::AccStatic, "main",
+                                   "([Ljava/lang/String;)V");
+  M.getstatic("java/lang/System", "out", "Ljava/io/PrintStream;");
+  M.iconst(1).invokevirtual("java/io/PrintStream", "println", "(I)V");
+  M.lconst(60000).invokestatic("java/lang/Thread", "sleep", "(J)V");
+  M.getstatic("java/lang/System", "out", "Ljava/io/PrintStream;");
+  M.iconst(2).invokevirtual("java/io/PrintStream", "println", "(I)V");
+  M.op(jvm::Op::Return);
+  return B.bytes();
+}
+
+TEST(Cluster, MigrationRetryCapGivesUpOnNonQuiescentGuest) {
+  std::vector<uint8_t> Klass = sleeperClassBytes();
+  Cluster::Config Cfg = migratableConfig(Klass);
+  Cfg.MigrateRetryCap = 5;
+  Cluster Cl(chromeProfile(), Cfg);
+  LockstepDriver Drv(Cl.fabric());
+  Drv.run(10000000);
+  Shard *Src = Cl.shard(0);
+  rt::proc::Pid P = spawnTicker(*Src);
+
+  // Request the migration only once the guest is provably inside its
+  // 60 s sleep: stdout has the first line AND one virtual millisecond has
+  // passed since (printing costs far less virtual compute than that, so
+  // the only way the clock advanced is the guest blocking on the timer).
+  Balancer::MigrationResult MR;
+  bool HaveResult = false;
+  bool Requested = false;
+  std::function<void()> Probe = [&] {
+    if (Requested)
+      return;
+    rt::proc::Process *Pr = Src->procs().find(P);
+    ASSERT_NE(Pr, nullptr);
+    if (Pr->state().capturedStdout().empty()) {
+      browser::TimerHandle H = Src->env().loop().postTimer(
+          kernel::Lane::Resume, [&Probe] { Probe(); }, browser::usToNs(50));
+      (void)H;
+      return;
+    }
+    Requested = true;
+    browser::TimerHandle H = Src->env().loop().postTimer(
+        kernel::Lane::Timer,
+        [&] {
+          EXPECT_TRUE(Cl.migrateProcess(
+              0, 1, P, [&](const Balancer::MigrationResult &R) {
+                MR = R;
+                HaveResult = true;
+              }));
+        },
+        browser::usToNs(1000));
+    (void)H;
+  };
+  Probe();
+  auto Rep = Drv.run(10000000);
+  ASSERT_LT(Rep.Rounds, 10000000u) << "cluster never quiesced";
+
+  // The source exhausted its cap and reported failure instead of
+  // spinning forever; every retry is visible on the shard's registry.
+  ASSERT_TRUE(HaveResult) << "migration result never arrived";
+  EXPECT_FALSE(MR.Ok);
+  EXPECT_NE(MR.Error.find("not quiescent"), std::string::npos) << MR.Error;
+  EXPECT_EQ(
+      Src->env().metrics().counter("cluster.migrate_retries").value(), 5u);
+  EXPECT_EQ(Cl.balancer().migrationsDone(), 0u);
+
+  // The guest was untouched by the failed attempt: it woke on the source
+  // shard, printed its second line, and exited normally.
+  rt::proc::Process *Pr = Src->procs().find(P);
+  ASSERT_NE(Pr, nullptr);
+  EXPECT_FALSE(Pr->alive());
+  EXPECT_EQ(Pr->exitCode(), 0);
+  EXPECT_EQ(Pr->state().capturedStdout(), "1\n2\n");
+}
+
 TEST(Cluster, MigrationFailuresReportCleanly) {
   Cluster::Config Cfg;
   Cfg.Shards = 2;

@@ -1,0 +1,264 @@
+//===- tests/jvm/analysis_test.cpp ----------------------------------------==//
+//
+// The suspend-placement analysis (jvm/classfile/analysis.h, DESIGN.md
+// §17): CFG/loop structure, proof statuses on every degrade shape the
+// pass must refuse (jsr/ret, irreducible loops, exception- and
+// fall-through-carried cycles), and the run-time differential — the
+// three SuspendCheckMode settings must produce bit-identical output
+// while Placed mode executes a fraction of Everywhere's checks and
+// never exceeds the proven bound.
+//
+//===----------------------------------------------------------------------===//
+
+#include "jvm_test_util.h"
+
+#include "jvm/classfile/analysis.h"
+#include "workloads/workloads.h"
+
+#include "gtest/gtest.h"
+
+using namespace doppio;
+using namespace doppio::jvm;
+using namespace doppio::testutil;
+
+namespace {
+
+/// Builds a class with one static method "m()V" assembled by \p Body and
+/// returns the analysis of that method.
+template <typename Fn> MethodAnalysis analyzeBuilt(Fn Body) {
+  ClassBuilder B("A");
+  MethodBuilder &M = B.method(AccPublic | AccStatic, "m", "()V");
+  Body(M);
+  ClassFile Cf = B.build();
+  for (const MemberInfo &Mi : Cf.Methods)
+    if (Mi.Name == "m")
+      return analyzeMethod(Cf, Mi);
+  return MethodAnalysis();
+}
+
+//===----------------------------------------------------------------------===//
+// Proof structure
+//===----------------------------------------------------------------------===//
+
+TEST(Analysis, StraightLineProves) {
+  MethodAnalysis A = analyzeBuilt([](MethodBuilder &M) {
+    M.iconst(1).istore(0).iinc(0, 41).op(Op::Return);
+  });
+  ASSERT_EQ(A.Status, AnalysisStatus::Proved) << A.Detail;
+  EXPECT_EQ(A.Blocks.size(), 1u);
+  EXPECT_TRUE(A.Loops.empty());
+  EXPECT_EQ(A.KeptBranchSites, 0u);
+  // The whole method is one span, terminated by the return's check.
+  EXPECT_EQ(A.BoundK, 4u);
+}
+
+TEST(Analysis, CountedLoopKeepsOnlyTheBackEdge) {
+  MethodAnalysis A = analyzeBuilt([](MethodBuilder &M) {
+    MethodBuilder::Label Loop = M.newLabel(), Done = M.newLabel();
+    M.iconst(100).istore(0);
+    M.bind(Loop).iload(0).branch(Op::Ifle, Done); // Forward exit: elided.
+    M.iinc(0, -1).branch(Op::Goto, Loop);         // Back edge: kept.
+    M.bind(Done).op(Op::Return);
+  });
+  ASSERT_EQ(A.Status, AnalysisStatus::Proved) << A.Detail;
+  ASSERT_EQ(A.Loops.size(), 1u);
+  EXPECT_EQ(A.Loops[0].Depth, 1u);
+  EXPECT_EQ(A.KeptBranchSites, 1u);
+  EXPECT_EQ(A.ElidedBranchSites, 1u);
+  // The kept bit sits on the goto (the loop's only back-edge branch).
+  uint32_t Kept = 0;
+  for (size_t Pc = 0; Pc != A.KeepCheck.size(); ++Pc)
+    if (A.KeepCheck[Pc])
+      ++Kept;
+  EXPECT_EQ(Kept, 1u);
+  // One iteration of the loop is the longest check-free path.
+  EXPECT_GT(A.BoundK, 0u);
+  EXPECT_LE(A.BoundK, 10u);
+}
+
+TEST(Analysis, NestedLoopsNestDepths) {
+  MethodAnalysis A = analyzeBuilt([](MethodBuilder &M) {
+    MethodBuilder::Label OuterLoop = M.newLabel(), OuterDone = M.newLabel();
+    MethodBuilder::Label InnerLoop = M.newLabel(), InnerDone = M.newLabel();
+    M.iconst(10).istore(0);
+    M.bind(OuterLoop).iload(0).branch(Op::Ifle, OuterDone);
+    M.iconst(10).istore(1);
+    M.bind(InnerLoop).iload(1).branch(Op::Ifle, InnerDone);
+    M.iinc(1, -1).branch(Op::Goto, InnerLoop);
+    M.bind(InnerDone).iinc(0, -1).branch(Op::Goto, OuterLoop);
+    M.bind(OuterDone).op(Op::Return);
+  });
+  ASSERT_EQ(A.Status, AnalysisStatus::Proved) << A.Detail;
+  ASSERT_EQ(A.Loops.size(), 2u);
+  // Loops are sorted by header pc: outer first, inner nested inside it.
+  EXPECT_EQ(A.Loops[0].Depth, 1u);
+  EXPECT_EQ(A.Loops[1].Depth, 2u);
+  EXPECT_EQ(A.KeptBranchSites, 2u);
+  EXPECT_GT(A.Loops[0].BodyBlocks.size(), A.Loops[1].BodyBlocks.size());
+}
+
+TEST(Analysis, UnreachableCodeIsCountedNotFatal) {
+  MethodAnalysis A = analyzeBuilt([](MethodBuilder &M) {
+    MethodBuilder::Label Live = M.newLabel();
+    M.branch(Op::Goto, Live);
+    M.iconst(1).istore(0); // Dead: jumped over, never entered.
+    M.bind(Live).op(Op::Return);
+  });
+  ASSERT_EQ(A.Status, AnalysisStatus::Proved) << A.Detail;
+  EXPECT_GT(A.UnreachableBlocks, 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Degrade shapes: the pass must refuse, never misprove
+//===----------------------------------------------------------------------===//
+
+TEST(Analysis, IrreducibleLoopDegrades) {
+  // Entry jumps into the middle of a cycle, so the cycle has two entries
+  // and its retreating edge's target dominates nothing.
+  MethodAnalysis A = analyzeBuilt([](MethodBuilder &M) {
+    MethodBuilder::Label L1 = M.newLabel(), L2 = M.newLabel();
+    M.iconst(10).istore(0);
+    M.iload(0).branch(Op::Ifne, L2); // Into the middle of the cycle.
+    M.bind(L1).iinc(0, -1);
+    M.bind(L2).iload(0).branch(Op::Ifgt, L1); // Retreating, undominated.
+    M.op(Op::Return);
+  });
+  EXPECT_EQ(A.Status, AnalysisStatus::Irreducible) << A.Detail;
+  EXPECT_FALSE(A.Detail.empty());
+}
+
+TEST(Analysis, FallthroughBackEdgeDegrades) {
+  // The loop-closing edge is straight-line fall-through (the block ends
+  // in iinc, not a branch): there is no branch site to instrument.
+  MethodAnalysis A = analyzeBuilt([](MethodBuilder &M) {
+    MethodBuilder::Label Body = M.newLabel(), Header = M.newLabel();
+    M.iconst(10).istore(0);
+    M.branch(Op::Goto, Header);
+    M.bind(Body).iinc(0, -1); // Falls through into the header: back edge.
+    M.bind(Header).iload(0).branch(Op::Ifgt, Body);
+    M.op(Op::Return);
+  });
+  EXPECT_EQ(A.Status, AnalysisStatus::FallthroughBackEdge) << A.Detail;
+}
+
+TEST(Analysis, JsrRetDegrades) {
+  // jsr/ret subroutines: return addresses are data; the static CFG is
+  // incomplete, so no placement claim may be made (degrade, never
+  // miscount).
+  MethodAnalysis A = analyzeBuilt([](MethodBuilder &M) {
+    MethodBuilder::Label Sub = M.newLabel(), After = M.newLabel();
+    M.branch(Op::Jsr, Sub);
+    M.bind(After).op(Op::Return);
+    M.bind(Sub).astore(0);
+    M.retLocal(0);
+  });
+  EXPECT_EQ(A.Status, AnalysisStatus::JsrRet) << A.Detail;
+}
+
+TEST(Analysis, ExceptionCarriedCycleDegrades) {
+  // The only path back to the loop head is the exception edge
+  // (athrow -> handler at an already-visited pc): no branch anchors the
+  // iteration, so the proof refuses.
+  MethodAnalysis A = analyzeBuilt([](MethodBuilder &M) {
+    MethodBuilder::Label Head = M.newLabel(), Done = M.newLabel();
+    MethodBuilder::Label TryStart = M.newLabel(), TryEnd = M.newLabel();
+    M.iconst(3).istore(0);
+    M.aconstNull(); // Both entries to Head carry one ref on the stack.
+    M.bind(Head).op(Op::Pop);
+    M.iload(0).branch(Op::Ifle, Done); // Forward exit.
+    M.iinc(0, -1);
+    M.bind(TryStart);
+    M.anew("java/lang/RuntimeException")
+        .op(Op::Dup)
+        .invokespecial("java/lang/RuntimeException", "<init>", "()V")
+        .op(Op::Athrow);
+    M.bind(TryEnd);
+    M.handler(TryStart, TryEnd, Head, "java/lang/RuntimeException");
+    M.bind(Done).op(Op::Return);
+  });
+  EXPECT_EQ(A.Status, AnalysisStatus::ExceptionBackEdge) << A.Detail;
+}
+
+TEST(Analysis, UnverifiedCodeMakesNoClaim) {
+  // Same bytes as a provable loop, but the verifier verdict is negative:
+  // decoded boundaries cannot be trusted, so no placement claim.
+  ClassBuilder B("A");
+  MethodBuilder &M = B.method(AccPublic | AccStatic, "m", "()V");
+  MethodBuilder::Label Loop = M.newLabel(), Done = M.newLabel();
+  M.iconst(3).istore(0);
+  M.bind(Loop).iload(0).branch(Op::Ifle, Done);
+  M.iinc(0, -1).branch(Op::Goto, Loop);
+  M.bind(Done).op(Op::Return);
+  ClassFile Cf = B.build();
+  for (const MemberInfo &Mi : Cf.Methods)
+    if (Mi.Name == "m") {
+      MethodAnalysis A =
+          analyzeCode(Mi.Code->Bytecode, Mi.Code->Handlers,
+                      /*Verified=*/false);
+      EXPECT_EQ(A.Status, AnalysisStatus::Unverified);
+    }
+}
+
+//===----------------------------------------------------------------------===//
+// Run-time differential: modes agree on output, disagree on check count
+//===----------------------------------------------------------------------===//
+
+struct ModeRun {
+  int Exit;
+  std::string Out;
+  uint64_t Executed;
+  uint64_t Elided;
+  uint64_t MaxSpan;
+  uint64_t ProvenBound;
+};
+
+ModeRun runWorkload(const workloads::Workload &W, SuspendCheckMode Mode) {
+  JvmRig Rig(ExecutionMode::DoppioJS);
+  workloads::publish(W, Rig.Env.server());
+  Rig.Options.SuspendChecks = Mode;
+  ModeRun R;
+  R.Exit = Rig.run(W.MainClass, W.Args);
+  R.Out = Rig.out();
+  R.Executed = Rig.vm().suspendChecksExecuted();
+  R.Elided = Rig.vm().suspendChecksElided();
+  R.MaxSpan = Rig.vm().stats().MaxOpsBetweenChecks;
+  R.ProvenBound = Rig.vm().loader().provenBoundMax();
+  return R;
+}
+
+TEST(Analysis, ModesAgreeOnOutputAndPlacedElides) {
+  std::vector<workloads::Workload> All = workloads::figure3Workloads();
+  All.push_back(workloads::makeDeltaBlue(20, 40));
+  All.push_back(workloads::makePiDigits(60));
+  for (const workloads::Workload &W : All) {
+    SCOPED_TRACE(W.Name);
+    ModeRun Call = runWorkload(W, SuspendCheckMode::CallBoundary);
+    ModeRun Every = runWorkload(W, SuspendCheckMode::Everywhere);
+    ModeRun Placed = runWorkload(W, SuspendCheckMode::Placed);
+    ASSERT_EQ(Call.Exit, 0);
+    // Placement is invisible to the guest: all three modes produce
+    // bit-identical output.
+    EXPECT_EQ(Every.Exit, Call.Exit);
+    EXPECT_EQ(Placed.Exit, Call.Exit);
+    EXPECT_EQ(Every.Out, Call.Out);
+    EXPECT_EQ(Placed.Out, Call.Out);
+    // Placed executes a fraction of the naive baseline's checks and
+    // visibly elides branch-site checks. Call-heavy workloads keep their
+    // call-boundary checks in every mode, so the floor there is 3x; the
+    // loop-heavy micros that fig4 gates must clear 5x.
+    EXPECT_GT(Placed.Elided, 0u);
+    EXPECT_GE(Every.Executed, Placed.Executed * 3)
+        << "placed mode should cut dynamic checks by at least 3x";
+    if (W.Name == "deltablue" || W.Name == "pidigits") {
+      EXPECT_GE(Every.Executed, Placed.Executed * 5)
+          << "loop-heavy micro should cut dynamic checks by at least 5x";
+    }
+    // The dynamic between-checks high-water mark respects the largest
+    // statically proven bound (the assert in Jvm::noteSuspendCheckExecuted
+    // backs this at every single check; this is the end-of-run view).
+    ASSERT_GT(Placed.ProvenBound, 0u);
+    EXPECT_LE(Placed.MaxSpan, Placed.ProvenBound);
+  }
+}
+
+} // namespace
