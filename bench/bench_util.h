@@ -73,6 +73,10 @@ struct RunMetrics {
   uint64_t SuspendChecksElided = 0;
   uint64_t MaxOpsBetweenChecks = 0;
   uint64_t ProvenBoundMax = 0;
+  // Quickening and inline-cache accounting (DESIGN.md §18).
+  uint64_t QuickenedSites = 0;
+  uint64_t IcHits = 0;
+  uint64_t IcMisses = 0;
 
   uint64_t cpuNs() const { return VirtualWallNs - SuspendedNs; }
 };
@@ -100,6 +104,9 @@ inline RunMetrics runJvmWorkload(const workloads::Workload &W,
   M.SuspendChecksElided = D.Vm->suspendChecksElided();
   M.MaxOpsBetweenChecks = D.Vm->stats().MaxOpsBetweenChecks;
   M.ProvenBoundMax = D.Vm->loader().provenBoundMax();
+  M.QuickenedSites = D.Vm->stats().QuickenedSites;
+  M.IcHits = D.Vm->icHits();
+  M.IcMisses = D.Vm->icMisses();
   return M;
 }
 

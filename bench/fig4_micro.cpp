@@ -34,16 +34,28 @@ bool printFigure4() {
   Micros.push_back({"pidigits", makePiDigits(200)});
   printBrowserHeader("benchmark");
   BenchJson Json("fig4_micro");
+  // The main series runs the shipped interpreter configuration: the
+  // `quick` profile (threaded dispatch + quickening + inline caches,
+  // DESIGN.md §18). Output identity against the native run is a hard
+  // gate for every row.
+  bool MainOk = true;
+  JvmOptions QuickMain;
+  QuickMain.Exec = ExecProfile::quick();
   for (Micro &M : Micros) {
     RunMetrics Native = runJvmWorkload(M.W, ExecutionMode::NativeHotspot,
                                        browser::chromeProfile());
     uint64_t BaselineNs = nativeNominalNs(Native);
     std::vector<double> Cpu, Wall;
     for (const browser::Profile &P : browser::allProfiles()) {
-      RunMetrics Js = runJvmWorkload(M.W, ExecutionMode::DoppioJS, P);
-      if (Js.Exit != 0 || Js.Output != Native.Output) {
+      RunMetrics Js =
+          runJvmWorkload(M.W, ExecutionMode::DoppioJS, P, QuickMain);
+      bool Identical = Js.Exit == 0 && Js.Output == Native.Output;
+      if (!Identical) {
+        MainOk = false;
         Cpu.push_back(-1);
         Wall.push_back(-1);
+        Json.row(std::string(M.Label) + "/" + P.Name)
+            .metric("output_identical", 0);
         continue;
       }
       Cpu.push_back(static_cast<double>(Js.cpuNs()) /
@@ -55,7 +67,8 @@ bool printFigure4() {
           .metric("wall_factor", Wall.back())
           .metric("host_factor", Native.RealSeconds > 0
                                      ? Js.RealSeconds / Native.RealSeconds
-                                     : -1);
+                                     : -1)
+          .metric("output_identical", 1);
     }
     printRow((std::string(M.Label) + " cpu").c_str(), Cpu);
     printRow((std::string(M.Label) + " wall").c_str(), Wall);
@@ -69,8 +82,8 @@ bool printFigure4() {
          "speedup");
   for (Micro &M : Micros) {
     JvmOptions Guarded, Elided;
-    Guarded.TrustVerifier = false;
-    Elided.TrustVerifier = true;
+    Guarded.Exec.TrustVerifier = false;
+    Elided.Exec.TrustVerifier = true;
     // Best of 3: one-shot host timings are noisy at this scale.
     RunMetrics G, E;
     for (int Rep = 0; Rep != 3; ++Rep) {
@@ -110,8 +123,8 @@ bool printFigure4() {
          "checks_placed", "elided", "ratio");
   for (Micro &M : Micros) {
     JvmOptions Everywhere, Placed;
-    Everywhere.SuspendChecks = SuspendCheckMode::Everywhere;
-    Placed.SuspendChecks = SuspendCheckMode::Placed;
+    Everywhere.Exec.SuspendChecks = SuspendCheckMode::Everywhere;
+    Placed.Exec.SuspendChecks = SuspendCheckMode::Placed;
     RunMetrics Ev = runJvmWorkload(M.W, ExecutionMode::DoppioJS,
                                    browser::chromeProfile(), Everywhere);
     RunMetrics Pl = runJvmWorkload(M.W, ExecutionMode::DoppioJS,
@@ -150,11 +163,63 @@ bool printFigure4() {
     if (!Identical || !BoundOk || Ratio < 5)
       PlacementOk = false;
   }
+  // Quickening ablation (DESIGN.md §18): the `baseline` profile (every
+  // optimization off) vs the `quick` profile (threaded dispatch +
+  // quickening + inline caches). The modeled engine charges quickened
+  // dispatch at QuickOpCostNs instead of OpCostNs, so the win shows up
+  // in the virtual cpu factor. Hard gates: bit-identical output for
+  // every workload, and a quick cpu factor at most half the baseline's
+  // for deltablue (the ROADMAP target). pidigits is dominated by the
+  // software Long64 surcharges, which deliberately do not quicken (§8),
+  // so it only has to improve, not halve.
+  bool QuickOk = true;
+  printf("\nQuickening ablation (cpu factor vs HotSpot, chrome profile):\n");
+  printf("%-14s %10s %10s %7s %10s %9s %9s\n", "benchmark", "base_cpu",
+         "quick_cpu", "ratio", "quickened", "ic_hits", "ic_misses");
+  for (Micro &M : Micros) {
+    RunMetrics Native = runJvmWorkload(M.W, ExecutionMode::NativeHotspot,
+                                       browser::chromeProfile());
+    uint64_t BaselineNs = nativeNominalNs(Native);
+    JvmOptions Base, Quick;
+    Base.Exec = ExecProfile::baseline();
+    Quick.Exec = ExecProfile::quick();
+    RunMetrics B = runJvmWorkload(M.W, ExecutionMode::DoppioJS,
+                                  browser::chromeProfile(), Base);
+    RunMetrics Q = runJvmWorkload(M.W, ExecutionMode::DoppioJS,
+                                  browser::chromeProfile(), Quick);
+    bool Identical = B.Exit == 0 && Q.Exit == B.Exit &&
+                     Q.Output == B.Output && Q.Output == Native.Output;
+    double BaseCpu = static_cast<double>(B.cpuNs()) /
+                     static_cast<double>(BaselineNs);
+    double QuickCpu = static_cast<double>(Q.cpuNs()) /
+                      static_cast<double>(BaselineNs);
+    double Ratio = BaseCpu > 0 ? QuickCpu / BaseCpu : -1;
+    if (!Identical)
+      printf("%-14s  OUTPUT MISMATCH between baseline and quick runs\n",
+             M.Label);
+    else
+      printf("%-14s %9.1fx %9.1fx %6.2fx %10llu %9llu %9llu\n", M.Label,
+             BaseCpu, QuickCpu, Ratio,
+             static_cast<unsigned long long>(Q.QuickenedSites),
+             static_cast<unsigned long long>(Q.IcHits),
+             static_cast<unsigned long long>(Q.IcMisses));
+    Json.row(std::string(M.Label) + "/quickening")
+        .metric("cpu_factor_baseline", BaseCpu)
+        .metric("cpu_factor_quick", QuickCpu)
+        .metric("cpu_ratio", Ratio)
+        .metric("quickened_sites", static_cast<double>(Q.QuickenedSites))
+        .metric("ic_hits", static_cast<double>(Q.IcHits))
+        .metric("ic_misses", static_cast<double>(Q.IcMisses))
+        .metric("output_identical", Identical ? 1 : 0);
+    double Gate = std::string(M.Label) == "deltablue" ? 0.5 : 1.0;
+    if (!Identical || Ratio <= 0 || Ratio >= Gate)
+      QuickOk = false;
+  }
   Json.write();
   printf("\npidigits note: its long arithmetic runs on the software\n");
   printf("Long64 halves in DoppioJS mode (§8), which is why its factors\n");
   printf("exceed deltablue's.\n\n");
-  return PlacementOk;
+  return MainOk && PlacementOk && QuickOk;
 }
 
 void BM_Micro(benchmark::State &State, Workload (*Make)(),
@@ -190,7 +255,8 @@ int main(int argc, char **argv) {
   bool Ok = printFigure4();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
-  // The placement ablation is a hard gate: non-identical output, a span
-  // above the proven bound, or a check reduction under 5x fails the run.
+  // The ablations are hard gates: non-identical output anywhere, a span
+  // above the proven bound, a check reduction under 5x, or a quickened
+  // cpu factor above half the baseline's fails the run.
   return Ok ? 0 : 1;
 }

@@ -153,7 +153,12 @@ MigrateRun runOnce(const browser::Profile &P,
   Shard *Src = Cl.shard(0);
   rt::proc::ProcessTable::SpawnSpec Spec;
   Spec.Name = "java";
-  Spec.Prog = jvm::makeJvmProgram({"Ticker", {}, jvm::JvmOptions()});
+  // The guest runs under the `quick` profile: migration must hold with
+  // in-place quickened bytecode and live inline caches (DESIGN.md §18 —
+  // the checkpoint reloads classes fresh, so _quick ops never cross).
+  jvm::JvmOptions GuestOptions;
+  GuestOptions.Exec = jvm::ExecProfile::quick();
+  Spec.Prog = jvm::makeJvmProgram({"Ticker", {}, GuestOptions});
   rt::proc::Pid Pid = Src->procs().spawn(std::move(Spec));
 
   MigrateRun Out;

@@ -399,9 +399,17 @@ int main() {
   proc::ProcessTable Procs(Env, Fs);
   proc::ProgramRegistry Progs;
   proc::installCorePrograms(Progs);
-  // `java Main args...`: a DoppioJVM guest as just another program.
+  // `java [-p profile] Main args...`: a DoppioJVM guest as just another
+  // program. -p takes an ExecProfile spec ("quick", "placed,trust=0",
+  // ...) through the same parser the env override uses.
   Progs.add("java", [](std::vector<std::string> Args) {
     jvm::JvmProgramSpec Spec;
+    if (Args.size() >= 2 && Args[0] == "-p") {
+      std::string Err;
+      if (!jvm::ExecProfile::parse(Args[1], Spec.Options.Exec, &Err))
+        fprintf(stderr, "java: bad profile: %s\n", Err.c_str());
+      Args.erase(Args.begin(), Args.begin() + 2);
+    }
     Spec.MainClass = Args.empty() ? "Main" : Args[0];
     Spec.Args.assign(Args.empty() ? Args.begin() : Args.begin() + 1,
                      Args.end());

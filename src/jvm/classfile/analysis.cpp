@@ -30,31 +30,6 @@ using namespace doppio::jvm;
 
 namespace {
 
-/// Call-boundary instructions that always execute a suspend check
-/// (interpreter.cpp: invokes and returns via invokeMethod /
-/// returnFromFrame, monitors inline; athrow reaches the handler-entry
-/// check in dispatchException).
-bool isCallBoundary(Op O) {
-  switch (O) {
-  case Op::Invokevirtual:
-  case Op::Invokespecial:
-  case Op::Invokestatic:
-  case Op::Invokeinterface:
-  case Op::Monitorenter:
-  case Op::Monitorexit:
-  case Op::Ireturn:
-  case Op::Lreturn:
-  case Op::Freturn:
-  case Op::Dreturn:
-  case Op::Areturn:
-  case Op::Return:
-  case Op::Athrow:
-    return true;
-  default:
-    return false;
-  }
-}
-
 struct Insn {
   uint32_t Pc = 0;
   uint32_t Len = 0;
@@ -83,16 +58,6 @@ struct Builder {
   Builder(const std::vector<uint8_t> &Code,
           const std::vector<ExceptionHandler> &Handlers, MethodAnalysis &A)
       : Code(Code), Handlers(Handlers), A(A) {}
-
-  int32_t rdS2(uint32_t At) const {
-    return static_cast<int16_t>((Code[At] << 8) | Code[At + 1]);
-  }
-  int32_t rdS4(uint32_t At) const {
-    return static_cast<int32_t>(
-        (static_cast<uint32_t>(Code[At]) << 24) |
-        (static_cast<uint32_t>(Code[At + 1]) << 16) |
-        (static_cast<uint32_t>(Code[At + 2]) << 8) | Code[At + 3]);
-  }
 
   bool fail(AnalysisStatus S, std::string Detail) {
     A.Status = S;
@@ -132,94 +97,15 @@ struct Builder {
   }
 
   void decodeFlow(Insn &I) {
-    uint32_t Pc = I.Pc;
-    switch (I.Opcode) {
-    case Op::Ifeq:
-    case Op::Ifne:
-    case Op::Iflt:
-    case Op::Ifge:
-    case Op::Ifgt:
-    case Op::Ifle:
-    case Op::IfIcmpeq:
-    case Op::IfIcmpne:
-    case Op::IfIcmplt:
-    case Op::IfIcmpge:
-    case Op::IfIcmpgt:
-    case Op::IfIcmple:
-    case Op::IfAcmpeq:
-    case Op::IfAcmpne:
-    case Op::Ifnull:
-    case Op::Ifnonnull:
-      I.Targets.push_back(Pc + rdS2(Pc + 1));
-      I.IsBranch = true;
-      break;
-    case Op::Goto:
-      I.Targets.push_back(Pc + rdS2(Pc + 1));
-      I.FallsThrough = false;
-      I.IsBranch = true;
-      break;
-    case Op::GotoW:
-      I.Targets.push_back(Pc + rdS4(Pc + 1));
-      I.FallsThrough = false;
-      I.IsBranch = true;
-      break;
-    case Op::Tableswitch: {
-      uint32_t Operand = (Pc + 4) & ~3u;
-      int32_t Low = rdS4(Operand + 4);
-      int32_t High = rdS4(Operand + 8);
-      I.Targets.push_back(Pc + rdS4(Operand));
-      for (int32_t J = 0; J <= High - Low; ++J)
-        I.Targets.push_back(Pc +
-                            rdS4(Operand + 12 + 4 * static_cast<uint32_t>(J)));
-      I.FallsThrough = false;
-      I.IsBranch = true;
-      break;
-    }
-    case Op::Lookupswitch: {
-      uint32_t Operand = (Pc + 4) & ~3u;
-      int32_t NPairs = rdS4(Operand + 4);
-      I.Targets.push_back(Pc + rdS4(Operand));
-      for (int32_t J = 0; J != NPairs; ++J)
-        I.Targets.push_back(Pc +
-                            rdS4(Operand + 12 + 8 * static_cast<uint32_t>(J)));
-      I.FallsThrough = false;
-      I.IsBranch = true;
-      break;
-    }
-    // jsr flows to the subroutine; the matching ret comes back to the
-    // next instruction. Both edges conservatively, for dump purposes
-    // only — the method is ineligible either way.
-    case Op::Jsr:
-      I.Targets.push_back(Pc + rdS2(Pc + 1));
+    // Shared OpKind-driven decode from opcodes.def — the same successor
+    // decoding the dataflow verifier uses.
+    BranchDecode D = decodeBranch(Code, I.Pc);
+    I.Targets = std::move(D.Targets);
+    I.FallsThrough = D.FallsThrough;
+    I.IsBranch = D.IsBranch;
+    if (D.UsesJsrRet)
       SawJsrRet = true;
-      break;
-    case Op::JsrW:
-      I.Targets.push_back(Pc + rdS4(Pc + 1));
-      SawJsrRet = true;
-      break;
-    case Op::Ret:
-      I.FallsThrough = false;
-      SawJsrRet = true;
-      break;
-    case Op::Wide:
-      if (Pc + 1 < Code.size() && static_cast<Op>(Code[Pc + 1]) == Op::Ret) {
-        I.FallsThrough = false;
-        SawJsrRet = true;
-      }
-      break;
-    case Op::Ireturn:
-    case Op::Lreturn:
-    case Op::Freturn:
-    case Op::Dreturn:
-    case Op::Areturn:
-    case Op::Return:
-    case Op::Athrow:
-      I.FallsThrough = false;
-      break;
-    default:
-      break;
-    }
-    I.IsCallBoundary = isCallBoundary(I.Opcode);
+    I.IsCallBoundary = isCallBoundaryOp(I.Opcode);
   }
 
   void buildBlocks() {

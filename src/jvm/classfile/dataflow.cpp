@@ -1025,23 +1025,15 @@ private:
       transferRet(Code[CurPc + 1]);
       return;
 
-    case Op::Tableswitch: {
-      popInt();
-      uint32_t Operand = (CurPc + 4) & ~3u;
-      int32_t Low = rdS4(Operand + 4);
-      int32_t High = rdS4(Operand + 8);
-      flowTo(CurPc + rdS4(Operand));
-      for (int32_t I = 0; I <= High - Low && !Failed; ++I)
-        flowTo(CurPc + rdS4(Operand + 12 + 4 * static_cast<uint32_t>(I)));
-      return;
-    }
+    case Op::Tableswitch:
     case Op::Lookupswitch: {
       popInt();
-      uint32_t Operand = (CurPc + 4) & ~3u;
-      int32_t NPairs = rdS4(Operand + 4);
-      flowTo(CurPc + rdS4(Operand));
-      for (int32_t I = 0; I != NPairs && !Failed; ++I)
-        flowTo(CurPc + rdS4(Operand + 12 + 8 * static_cast<uint32_t>(I)));
+      // Target arithmetic shared with analysis/disasm via opcodes.def.
+      for (uint32_t T : decodeBranch(Code, CurPc).Targets) {
+        if (Failed)
+          return;
+        flowTo(T);
+      }
       return;
     }
 

@@ -93,58 +93,6 @@ static std::string describeConstant(const ClassFile &Cf, uint16_t Idx) {
   }
 }
 
-/// True for every opcode whose suspend check the placement pass may keep
-/// or elide (conditional branches, gotos, switches).
-static bool isPlacedBranch(Op O) {
-  switch (O) {
-  case Op::Ifeq:
-  case Op::Ifne:
-  case Op::Iflt:
-  case Op::Ifge:
-  case Op::Ifgt:
-  case Op::Ifle:
-  case Op::IfIcmpeq:
-  case Op::IfIcmpne:
-  case Op::IfIcmplt:
-  case Op::IfIcmpge:
-  case Op::IfIcmpgt:
-  case Op::IfIcmple:
-  case Op::IfAcmpeq:
-  case Op::IfAcmpne:
-  case Op::Goto:
-  case Op::GotoW:
-  case Op::Ifnull:
-  case Op::Ifnonnull:
-  case Op::Tableswitch:
-  case Op::Lookupswitch:
-    return true;
-  default:
-    return false;
-  }
-}
-
-/// True for the call-boundary opcodes that always check (§6.1).
-static bool isCallBoundaryOp(Op O) {
-  switch (O) {
-  case Op::Invokevirtual:
-  case Op::Invokespecial:
-  case Op::Invokestatic:
-  case Op::Invokeinterface:
-  case Op::Monitorenter:
-  case Op::Monitorexit:
-  case Op::Ireturn:
-  case Op::Lreturn:
-  case Op::Freturn:
-  case Op::Dreturn:
-  case Op::Areturn:
-  case Op::Return:
-  case Op::Athrow:
-    return true;
-  default:
-    return false;
-  }
-}
-
 std::string jvm::disassembleMethod(const ClassFile &Cf,
                                    const MemberInfo &M,
                                    const MethodDataflow *Flow,
@@ -168,69 +116,32 @@ std::string jvm::disassembleMethod(const ClassFile &Cf,
     auto rdU2 = [&Code](uint32_t At) {
       return static_cast<uint16_t>((Code[At] << 8) | Code[At + 1]);
     };
-    switch (O) {
-    case Op::Bipush:
+    // Operand rendering is driven by the OpKind column of opcodes.def.
+    switch (opcodeKind(Code[Pc])) {
+    case OpKind::Imm8:
       Line << " " << static_cast<int>(static_cast<int8_t>(Code[Pc + 1]));
       break;
-    case Op::Sipush:
+    case OpKind::Imm16:
       Line << " " << static_cast<int16_t>(rdU2(Pc + 1));
       break;
-    case Op::Ldc:
+    case OpKind::LdcU1:
       Line << " " << describeConstant(Cf, Code[Pc + 1]);
       break;
-    case Op::LdcW:
-    case Op::Ldc2W:
-    case Op::Getstatic:
-    case Op::Putstatic:
-    case Op::Getfield:
-    case Op::Putfield:
-    case Op::Invokevirtual:
-    case Op::Invokespecial:
-    case Op::Invokestatic:
-    case Op::Invokeinterface:
-    case Op::New:
-    case Op::Anewarray:
-    case Op::Checkcast:
-    case Op::Instanceof:
-    case Op::Multianewarray:
+    case OpKind::CpU2:
+    case OpKind::Invoke:
       Line << " " << describeConstant(Cf, rdU2(Pc + 1));
       break;
-    case Op::Iload:
-    case Op::Lload:
-    case Op::Fload:
-    case Op::Dload:
-    case Op::Aload:
-    case Op::Istore:
-    case Op::Lstore:
-    case Op::Fstore:
-    case Op::Dstore:
-    case Op::Astore:
-    case Op::Ret:
-    case Op::Newarray:
+    case OpKind::LocalU1:
+    case OpKind::RetOp:
       Line << " " << static_cast<int>(Code[Pc + 1]);
       break;
-    case Op::Iinc:
+    case OpKind::IincOp:
       Line << " " << static_cast<int>(Code[Pc + 1]) << " by "
           << static_cast<int>(static_cast<int8_t>(Code[Pc + 2]));
       break;
-    case Op::Ifeq:
-    case Op::Ifne:
-    case Op::Iflt:
-    case Op::Ifge:
-    case Op::Ifgt:
-    case Op::Ifle:
-    case Op::IfIcmpeq:
-    case Op::IfIcmpne:
-    case Op::IfIcmplt:
-    case Op::IfIcmpge:
-    case Op::IfIcmpgt:
-    case Op::IfIcmple:
-    case Op::IfAcmpeq:
-    case Op::IfAcmpne:
-    case Op::Goto:
-    case Op::Jsr:
-    case Op::Ifnull:
-    case Op::Ifnonnull:
+    case OpKind::If:
+    case OpKind::GotoOp:
+    case OpKind::JsrOp:
       Line << " -> "
           << (Pc + static_cast<int16_t>(rdU2(Pc + 1)));
       break;
@@ -251,7 +162,7 @@ std::string jvm::disassembleMethod(const ClassFile &Cf,
       const char *Note = nullptr;
       if (Pc < Placement->KeepCheck.size() && Placement->KeepCheck[Pc])
         Note = "check kept (back edge)";
-      else if (isPlacedBranch(O))
+      else if (isPlacedBranchOp(O))
         Note = "check elided";
       else if (isCallBoundaryOp(O))
         Note = "check (call boundary)";

@@ -10,6 +10,10 @@ namespace {
 struct OpInfo {
   const char *Name;
   int OperandBytes;
+  OpKind Kind;
+  uint8_t Quick; ///< quickened form, == opcode value when none
+  uint8_t Base;  ///< base form for _quick opcodes, == opcode value else
+  bool IsQuick;
 };
 
 /// Indexed by opcode value; gaps are null/-2.
@@ -17,15 +21,36 @@ struct OpTable {
   OpInfo Info[256];
 
   constexpr OpTable() : Info() {
-    for (auto &I : Info)
-      I = {nullptr, -2};
-#define JVM_OPCODE(NAME, VALUE, OPERANDS) Info[VALUE] = {#NAME, OPERANDS};
+    for (int I = 0; I != 256; ++I)
+      Info[I] = {nullptr, -2, OpKind::Plain, static_cast<uint8_t>(I),
+                 static_cast<uint8_t>(I), false};
+#define JVM_OPCODE(NAME, VALUE, OPERANDS, KIND, QUICK)                         \
+  Info[VALUE] = {#NAME,          OPERANDS,                                     \
+                 OpKind::KIND,   static_cast<uint8_t>(Op::QUICK),              \
+                 VALUE,          false};
+#define JVM_QUICK_OPCODE(NAME, VALUE, OPERANDS, KIND, BASE)                    \
+  Info[VALUE] = {#NAME,          OPERANDS,                                     \
+                 OpKind::KIND,   VALUE,                                        \
+                 static_cast<uint8_t>(Op::BASE),                               \
+                 true};
 #include "jvm/classfile/opcodes.def"
+#undef JVM_QUICK_OPCODE
 #undef JVM_OPCODE
   }
 };
 
 constexpr OpTable Table;
+
+int32_t rdS2(const std::vector<uint8_t> &Code, uint32_t At) {
+  return static_cast<int16_t>((Code[At] << 8) | Code[At + 1]);
+}
+
+int32_t rdS4(const std::vector<uint8_t> &Code, uint32_t At) {
+  return static_cast<int32_t>((static_cast<uint32_t>(Code[At]) << 24) |
+                              (static_cast<uint32_t>(Code[At + 1]) << 16) |
+                              (static_cast<uint32_t>(Code[At + 2]) << 8) |
+                              static_cast<uint32_t>(Code[At + 3]));
+}
 
 } // namespace
 
@@ -39,13 +64,117 @@ int jvm::opcodeOperandBytes(uint8_t Opcode) {
 }
 
 bool jvm::isLegalOpcode(uint8_t Opcode) {
-  return Table.Info[Opcode].Name != nullptr;
+  return Table.Info[Opcode].Name != nullptr && !Table.Info[Opcode].IsQuick;
+}
+
+bool jvm::isQuickOpcode(uint8_t Opcode) { return Table.Info[Opcode].IsQuick; }
+
+uint8_t jvm::quickenedForm(uint8_t Opcode) { return Table.Info[Opcode].Quick; }
+
+uint8_t jvm::baseOpcode(uint8_t Opcode) { return Table.Info[Opcode].Base; }
+
+OpKind jvm::opcodeKind(uint8_t Opcode) { return Table.Info[Opcode].Kind; }
+
+bool jvm::isPlacedBranchOp(Op O) {
+  switch (opcodeKind(static_cast<uint8_t>(O))) {
+  case OpKind::If:
+  case OpKind::GotoOp:
+  case OpKind::GotoWOp:
+  case OpKind::TableSw:
+  case OpKind::LookupSw:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool jvm::isCallBoundaryOp(Op O) {
+  switch (opcodeKind(static_cast<uint8_t>(O))) {
+  case OpKind::Invoke:
+  case OpKind::Monitor:
+  case OpKind::ReturnOp:
+  case OpKind::ThrowOp:
+    return true;
+  default:
+    return false;
+  }
 }
 
 int jvm::opcodeCount() {
   int N = 0;
   for (int I = 0; I != 256; ++I)
-    if (Table.Info[I].Name)
+    if (Table.Info[I].Name && !Table.Info[I].IsQuick)
       ++N;
   return N;
+}
+
+BranchDecode jvm::decodeBranch(const std::vector<uint8_t> &Code, uint32_t Pc) {
+  BranchDecode D;
+  switch (opcodeKind(Code[Pc])) {
+  case OpKind::If:
+    D.Targets.push_back(Pc + rdS2(Code, Pc + 1));
+    D.IsBranch = true;
+    break;
+  case OpKind::GotoOp:
+    D.Targets.push_back(Pc + rdS2(Code, Pc + 1));
+    D.FallsThrough = false;
+    D.IsBranch = true;
+    break;
+  case OpKind::GotoWOp:
+    D.Targets.push_back(Pc + rdS4(Code, Pc + 1));
+    D.FallsThrough = false;
+    D.IsBranch = true;
+    break;
+  case OpKind::TableSw: {
+    uint32_t Operand = (Pc + 4) & ~3u;
+    int32_t Low = rdS4(Code, Operand + 4);
+    int32_t High = rdS4(Code, Operand + 8);
+    D.Targets.push_back(Pc + rdS4(Code, Operand));
+    for (int32_t J = 0; J <= High - Low; ++J)
+      D.Targets.push_back(
+          Pc + rdS4(Code, Operand + 12 + 4 * static_cast<uint32_t>(J)));
+    D.FallsThrough = false;
+    D.IsBranch = true;
+    break;
+  }
+  case OpKind::LookupSw: {
+    uint32_t Operand = (Pc + 4) & ~3u;
+    int32_t NPairs = rdS4(Code, Operand + 4);
+    D.Targets.push_back(Pc + rdS4(Code, Operand));
+    for (int32_t J = 0; J != NPairs; ++J)
+      D.Targets.push_back(
+          Pc + rdS4(Code, Operand + 12 + 8 * static_cast<uint32_t>(J)));
+    D.FallsThrough = false;
+    D.IsBranch = true;
+    break;
+  }
+  // jsr flows to the subroutine; the matching ret comes back to the
+  // next instruction. The target edge only — callers model the return
+  // edge (or reject the method) themselves.
+  case OpKind::JsrOp:
+    D.Targets.push_back(Pc + rdS2(Code, Pc + 1));
+    D.UsesJsrRet = true;
+    break;
+  case OpKind::JsrWOp:
+    D.Targets.push_back(Pc + rdS4(Code, Pc + 1));
+    D.UsesJsrRet = true;
+    break;
+  case OpKind::RetOp:
+    D.FallsThrough = false;
+    D.UsesJsrRet = true;
+    break;
+  case OpKind::WideOp:
+    if (Pc + 1 < Code.size() && static_cast<Op>(Code[Pc + 1]) == Op::Ret) {
+      D.FallsThrough = false;
+      D.UsesJsrRet = true;
+    }
+    break;
+  case OpKind::ReturnOp:
+  case OpKind::ThrowOp:
+    D.FallsThrough = false;
+    break;
+  default:
+    break;
+  }
+  return D;
 }

@@ -6,8 +6,10 @@
 ///
 /// \file
 /// The complete JVM-spec-2 instruction set (201 opcodes) that DoppioJVM
-/// implements (§6), with metadata used by the assembler, disassembler,
-/// verifier, and interpreter.
+/// implements (§6), plus the interpreter-private _quick forms, with the
+/// metadata used by the assembler, disassembler, verifier, placement
+/// analysis, and interpreter. All of it is generated from opcodes.def —
+/// the single opcode-metadata surface.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -15,28 +17,101 @@
 #define DOPPIO_JVM_CLASSFILE_OPCODES_H
 
 #include <cstdint>
+#include <vector>
 
 namespace doppio {
 namespace jvm {
 
 enum class Op : uint8_t {
-#define JVM_OPCODE(NAME, VALUE, OPERANDS) NAME = VALUE,
+#define JVM_OPCODE(NAME, VALUE, OPERANDS, KIND, QUICK) NAME = VALUE,
+#define JVM_QUICK_OPCODE(NAME, VALUE, OPERANDS, KIND, BASE) NAME = VALUE,
 #include "jvm/classfile/opcodes.def"
+#undef JVM_QUICK_OPCODE
 #undef JVM_OPCODE
+};
+
+/// Classifies each opcode for operand formatting (disasm) and
+/// control-flow decoding (dataflow verifier, placement analysis). One
+/// column in opcodes.def replaces the per-file switches those passes used
+/// to hand-maintain.
+enum class OpKind : uint8_t {
+  Plain,    ///< No operands, or operands with no special rendering.
+  Imm8,     ///< Signed 8-bit immediate (bipush).
+  Imm16,    ///< Signed 16-bit immediate (sipush).
+  LocalU1,  ///< Unsigned byte operand printed raw (loads/stores, newarray).
+  IincOp,   ///< iinc: local index + signed increment.
+  LdcU1,    ///< 1-byte constant-pool index (ldc).
+  CpU2,     ///< 2-byte constant-pool index (fields, new, casts, ldc_w...).
+  If,       ///< Conditional 2-byte branch (both arms are successors).
+  GotoOp,   ///< Unconditional 2-byte branch.
+  GotoWOp,  ///< Unconditional 4-byte branch.
+  JsrOp,    ///< Subroutine call, 2-byte target.
+  JsrWOp,   ///< Subroutine call, 4-byte target.
+  RetOp,    ///< Subroutine return via local variable.
+  TableSw,  ///< tableswitch.
+  LookupSw, ///< lookupswitch.
+  ReturnOp, ///< Method returns (no successors).
+  ThrowOp,  ///< athrow (no successors).
+  Invoke,   ///< Method invocation (call boundary; prints a CP ref).
+  Monitor,  ///< monitorenter/monitorexit (call boundary).
+  WideOp,   ///< wide prefix.
 };
 
 /// The mnemonic ("iload_0") for \p Opcode; "<illegal>" for gaps.
 const char *opcodeName(uint8_t Opcode);
 
 /// Fixed operand byte count, -1 for variable-length instructions
-/// (tableswitch, lookupswitch, wide), -2 for illegal opcodes.
+/// (tableswitch, lookupswitch, wide), -2 for illegal opcodes. Defined for
+/// _quick forms too (each matches its base form's width).
 int opcodeOperandBytes(uint8_t Opcode);
 
-/// True if \p Opcode is one of the 201 defined instructions.
+/// True if \p Opcode is one of the 201 instructions a classfile may
+/// contain. The _quick forms are NOT legal classfile opcodes: the loader,
+/// verifier, and disassembler reject them; only the interpreter installs
+/// and executes them.
 bool isLegalOpcode(uint8_t Opcode);
 
-/// Number of defined opcodes (201 in the 2nd-edition specification).
+/// True if \p Opcode is an interpreter-private _quick form.
+bool isQuickOpcode(uint8_t Opcode);
+
+/// The _quick form \p Opcode rewrites to on first execution, or \p Opcode
+/// itself when it has none.
+uint8_t quickenedForm(uint8_t Opcode);
+
+/// The classfile opcode a _quick form was rewritten from; identity for
+/// non-quick opcodes.
+uint8_t baseOpcode(uint8_t Opcode);
+
+/// The OpKind classification; OpKind::Plain for illegal opcodes.
+OpKind opcodeKind(uint8_t Opcode);
+
+/// True for every opcode whose suspend check the placement pass may keep
+/// or elide (conditional branches, gotos, switches — not jsr).
+bool isPlacedBranchOp(Op O);
+
+/// True for the call-boundary opcodes that always execute a suspend
+/// check (§6.1): invokes, monitors, returns, athrow.
+bool isCallBoundaryOp(Op O);
+
+/// Number of defined classfile opcodes (201 in the 2nd-edition
+/// specification); excludes the _quick forms.
 int opcodeCount();
+
+/// Control-flow decode of one instruction, driven by its OpKind — the
+/// shared successor decoding used by the dataflow verifier and the
+/// placement analysis.
+struct BranchDecode {
+  /// Explicit branch-target pcs. Fall-through is separate.
+  std::vector<uint32_t> Targets;
+  bool FallsThrough = true;
+  bool IsBranch = false;
+  /// jsr/jsr_w/ret (including wide ret) participate in subroutine flow.
+  bool UsesJsrRet = false;
+};
+
+/// Decodes the explicit control flow of the instruction at \p Pc. The
+/// instruction must have been length-checked first (instructionLength).
+BranchDecode decodeBranch(const std::vector<uint8_t> &Code, uint32_t Pc);
 
 } // namespace jvm
 } // namespace doppio

@@ -68,10 +68,12 @@ Value JvmThread::modeLongBin(Op O, Value A, Value B) {
   if (Vm.mode() == ExecutionMode::DoppioJS) {
     // §8: software longs are "extremely slow when compared to normal
     // numeric operations" — each op is tens of JS operations (16-bit
-    // chunking; division is a 64-step shift-subtract loop).
-    OpsSinceFlush += (O == Op::Ldiv || O == Op::Lrem) ? 24
-                     : O == Op::Lmul               ? 10
-                                                   : 3;
+    // chunking; division is a 64-step shift-subtract loop). Surcharges
+    // accumulate separately from dispatch counts: quickened dispatch does
+    // not make the intrinsic Long64 work cheaper (DESIGN.md §18).
+    ExtraOpsSinceFlush += (O == Op::Ldiv || O == Op::Lrem) ? 24
+                          : O == Op::Lmul               ? 10
+                                                        : 3;
     Long64 X = A.asLong64(), Y = B.asLong64();
     switch (O) {
     case Op::Ladd:
@@ -213,8 +215,8 @@ RunOutcome JvmThread::resume() {
     PendingLoadFailure.reset();
     StepResult R = throwJvm("java/lang/NoClassDefFoundError", Name);
     if (R == StepResult::Done) {
-      Vm.flushOpCharges(OpsSinceFlush);
-      OpsSinceFlush = 0;
+      Vm.flushOpCharges(OpsSinceFlush, ExtraOpsSinceFlush);
+      OpsSinceFlush = ExtraOpsSinceFlush = 0;
       Vm.noteThreadFinished(*this);
       return RunOutcome::Terminated;
     }
@@ -228,8 +230,8 @@ RunOutcome JvmThread::resume() {
       StepResult R = throwJvm("java/io/IOException",
                               PendingNativeResult.error().message());
       if (R == StepResult::Done) {
-        Vm.flushOpCharges(OpsSinceFlush);
-        OpsSinceFlush = 0;
+        Vm.flushOpCharges(OpsSinceFlush, ExtraOpsSinceFlush);
+        OpsSinceFlush = ExtraOpsSinceFlush = 0;
         Vm.noteThreadFinished(*this);
         return RunOutcome::Terminated;
       }
@@ -242,8 +244,8 @@ RunOutcome JvmThread::resume() {
     StepResult R = step();
     if (R == StepResult::Continue)
       continue;
-    Vm.flushOpCharges(OpsSinceFlush);
-    OpsSinceFlush = 0;
+    Vm.flushOpCharges(OpsSinceFlush, ExtraOpsSinceFlush);
+    OpsSinceFlush = ExtraOpsSinceFlush = 0;
     switch (R) {
     case StepResult::Yield:
       return RunOutcome::Yielded;
@@ -273,8 +275,8 @@ bool JvmThread::wantsSuspend() {
   // Charge the work done since the last boundary so the virtual clock
   // advances between checks — the adaptive counter (§4.1) measures the
   // elapsed time of each countdown from it.
-  Vm.flushOpCharges(OpsSinceFlush);
-  OpsSinceFlush = 0;
+  Vm.flushOpCharges(OpsSinceFlush, ExtraOpsSinceFlush);
+  OpsSinceFlush = ExtraOpsSinceFlush = 0;
   if (!Vm.suspender().shouldSuspend())
     return false;
   ++Vm.stats().SuspendYields;
@@ -625,7 +627,10 @@ bool JvmThread::guardedPrecheck(Frame &F, StepResult &Out) {
   const CodeAttr &Code = F.M->Code;
   const std::vector<uint8_t> &C = Code.Bytecode;
   const ConstantPool &Pool = F.M->Owner->Cf.Pool;
-  Op O = static_cast<Op>(C[F.Pc]);
+  // Quick forms never reach untrusted frames (quickening requires
+  // Frame::Trusted), but map them to their base form defensively: the
+  // operand layouts are identical by construction (opcodes.def).
+  Op O = static_cast<Op>(baseOpcode(C[F.Pc]));
   int Pops = 0, Pushes = 0;
   int64_t LocalTop = -1; // Highest local slot touched.
 
@@ -1076,6 +1081,19 @@ bool JvmThread::guardedPrecheck(Frame &F, StepResult &Out) {
   return true;
 }
 
+// Dispatch-label macro (DESIGN.md §18). Under DOPPIO_COMPUTED_GOTO
+// (selected at configure time on GCC/Clang) every handler is a
+// labels-as-values target and dispatch is one indexed indirect jump;
+// otherwise the handlers are cases of a portable switch. Handler bodies
+// are identical in both modes.
+#ifdef DOPPIO_COMPUTED_GOTO
+#define OPC(name) Lbl_##name:
+#define OPC_ILLEGAL Lbl_Illegal:
+#else
+#define OPC(name) case Op::name:
+#define OPC_ILLEGAL default:
+#endif
+
 JvmThread::StepResult JvmThread::step() {
   Frame &F = CallStack.back();
   // Everywhere mode — and Placed-mode frames the analysis could not
@@ -1098,86 +1116,129 @@ JvmThread::StepResult JvmThread::step() {
       return Guarded;
   }
 
+  // In-place quickening (DESIGN.md §18): after a slow handler fully
+  // resolved its operands, rewrite the opcode byte to the _quick form and
+  // hand back the constant-pool side table to stash the resolution in.
+  // Widths match, so no pc, branch offset, SuspendKeep bit, or
+  // checkpointed frame image ever moves. Gated on the frame being
+  // verifier-trusted: quick forms bypass the guarded precheck's operand
+  // re-validation, so only proven bodies may install them.
+  auto quicken = [&](uint16_t Idx) -> QuickEntry * {
+    if (!Vm.profile().Quicken || !F.Trusted)
+      return nullptr;
+    if (!isQuickOpcode(F.M->Code.Bytecode[F.Pc])) {
+      F.M->Code.Bytecode[F.Pc] = quickenedForm(F.M->Code.Bytecode[F.Pc]);
+      ++Vm.stats().QuickenedSites;
+    }
+    return &F.M->Owner->quickEntry(Idx);
+  };
+
+#ifdef DOPPIO_COMPUTED_GOTO
+  // Threaded dispatch: the handler-address table, built once from
+  // opcodes.def (C++ lacks designated initializers for label addresses).
+  // Gaps point at the illegal handler, exactly like the switch default.
+  static const void *DispatchTable[256];
+  static bool TableReady = false;
+  if (!TableReady) {
+    for (int I = 0; I != 256; ++I)
+      DispatchTable[I] = &&Lbl_Illegal;
+#define JVM_OPCODE(NAME, VALUE, OPERANDS, KIND, QUICK)                       \
+  DispatchTable[VALUE] = &&Lbl_##NAME;
+#define JVM_QUICK_OPCODE(NAME, VALUE, OPERANDS, KIND, BASE)                  \
+  DispatchTable[VALUE] = &&Lbl_##NAME;
+#include "jvm/classfile/opcodes.def"
+#undef JVM_QUICK_OPCODE
+#undef JVM_OPCODE
+    TableReady = true;
+  }
+  goto *DispatchTable[static_cast<uint8_t>(O)];
+#else
   switch (O) {
-  case Op::Nop:
+#endif
+  OPC(Nop)
     ++F.Pc;
     return StepResult::Continue;
 
   // Constants -----------------------------------------------------------
-  case Op::AconstNull:
+  OPC(AconstNull)
     push(Value::null());
     ++F.Pc;
     return StepResult::Continue;
-  case Op::IconstM1:
-  case Op::Iconst0:
-  case Op::Iconst1:
-  case Op::Iconst2:
-  case Op::Iconst3:
-  case Op::Iconst4:
-  case Op::Iconst5:
+  OPC(IconstM1)
+  OPC(Iconst0)
+  OPC(Iconst1)
+  OPC(Iconst2)
+  OPC(Iconst3)
+  OPC(Iconst4)
+  OPC(Iconst5)
     push(Value::intVal(static_cast<int32_t>(O) -
                        static_cast<int32_t>(Op::Iconst0)));
     ++F.Pc;
     return StepResult::Continue;
-  case Op::Lconst0:
-  case Op::Lconst1:
+  OPC(Lconst0)
+  OPC(Lconst1)
     push2(Value::longVal(static_cast<int64_t>(
         static_cast<int32_t>(O) - static_cast<int32_t>(Op::Lconst0))));
     ++F.Pc;
     return StepResult::Continue;
-  case Op::Fconst0:
-  case Op::Fconst1:
-  case Op::Fconst2:
+  OPC(Fconst0)
+  OPC(Fconst1)
+  OPC(Fconst2)
     push(Value::floatVal(static_cast<float>(
         static_cast<int32_t>(O) - static_cast<int32_t>(Op::Fconst0))));
     ++F.Pc;
     return StepResult::Continue;
-  case Op::Dconst0:
-  case Op::Dconst1:
+  OPC(Dconst0)
+  OPC(Dconst1)
     push2(Value::doubleVal(static_cast<double>(
         static_cast<int32_t>(O) - static_cast<int32_t>(Op::Dconst0))));
     ++F.Pc;
     return StepResult::Continue;
-  case Op::Bipush:
+  OPC(Bipush)
     push(Value::intVal(rdS1(C, F.Pc + 1)));
     F.Pc += 2;
     return StepResult::Continue;
-  case Op::Sipush:
+  OPC(Sipush)
     push(Value::intVal(rdS2(C, F.Pc + 1)));
     F.Pc += 3;
     return StepResult::Continue;
 
-  case Op::Ldc:
-  case Op::LdcW: {
+  OPC(Ldc)
+  OPC(LdcW) {
     uint16_t Idx = O == Op::Ldc ? rdU1(C, F.Pc + 1) : rdU2(C, F.Pc + 1);
     uint32_t Len = O == Op::Ldc ? 2 : 3;
     const CpEntry &E = F.M->Owner->Cf.Pool.at(Idx);
+    Value V;
     switch (E.Tag) {
     case CpTag::Integer:
-      push(Value::intVal(E.Int));
+      V = Value::intVal(E.Int);
       break;
     case CpTag::Float:
-      push(Value::floatVal(E.F));
+      V = Value::floatVal(E.F);
       break;
     case CpTag::String:
-      push(Value::ref(
-          Vm.internString(F.M->Owner->Cf.Pool.stringValue(Idx))));
+      V = Value::ref(Vm.internString(F.M->Owner->Cf.Pool.stringValue(Idx)));
       break;
     case CpTag::Class: {
       StepResult R;
       Klass *K = resolveClass(F.M->Owner->Cf.Pool.className(Idx), R);
       if (!K)
         return R;
-      push(Value::ref(Vm.mirrorOf(K)));
+      V = Value::ref(Vm.mirrorOf(K));
       break;
     }
     default:
       return throwJvm("java/lang/ClassFormatError", "bad ldc constant");
     }
+    // Interned strings and class mirrors are VM-cached, so replaying the
+    // materialized value from the quick entry preserves identity.
+    if (QuickEntry *Q = quicken(Idx))
+      Q->Constant = V;
+    push(V);
     F.Pc += Len;
     return StepResult::Continue;
   }
-  case Op::Ldc2W: {
+  OPC(Ldc2W) {
     uint16_t Idx = rdU2(C, F.Pc + 1);
     const CpEntry &E = F.M->Owner->Cf.Pool.at(Idx);
     if (E.Tag == CpTag::Long)
@@ -1191,62 +1252,62 @@ JvmThread::StepResult JvmThread::step() {
   }
 
   // Loads ----------------------------------------------------------------
-  case Op::Iload:
-  case Op::Fload:
-  case Op::Aload:
+  OPC(Iload)
+  OPC(Fload)
+  OPC(Aload)
     push(F.Locals[rdU1(C, F.Pc + 1)]);
     F.Pc += 2;
     return StepResult::Continue;
-  case Op::Lload:
-  case Op::Dload:
+  OPC(Lload)
+  OPC(Dload)
     push2(F.Locals[rdU1(C, F.Pc + 1)]);
     F.Pc += 2;
     return StepResult::Continue;
-  case Op::Iload0:
-  case Op::Iload1:
-  case Op::Iload2:
-  case Op::Iload3:
+  OPC(Iload0)
+  OPC(Iload1)
+  OPC(Iload2)
+  OPC(Iload3)
     push(F.Locals[static_cast<int>(O) - static_cast<int>(Op::Iload0)]);
     ++F.Pc;
     return StepResult::Continue;
-  case Op::Lload0:
-  case Op::Lload1:
-  case Op::Lload2:
-  case Op::Lload3:
+  OPC(Lload0)
+  OPC(Lload1)
+  OPC(Lload2)
+  OPC(Lload3)
     push2(F.Locals[static_cast<int>(O) - static_cast<int>(Op::Lload0)]);
     ++F.Pc;
     return StepResult::Continue;
-  case Op::Fload0:
-  case Op::Fload1:
-  case Op::Fload2:
-  case Op::Fload3:
+  OPC(Fload0)
+  OPC(Fload1)
+  OPC(Fload2)
+  OPC(Fload3)
     push(F.Locals[static_cast<int>(O) - static_cast<int>(Op::Fload0)]);
     ++F.Pc;
     return StepResult::Continue;
-  case Op::Dload0:
-  case Op::Dload1:
-  case Op::Dload2:
-  case Op::Dload3:
+  OPC(Dload0)
+  OPC(Dload1)
+  OPC(Dload2)
+  OPC(Dload3)
     push2(F.Locals[static_cast<int>(O) - static_cast<int>(Op::Dload0)]);
     ++F.Pc;
     return StepResult::Continue;
-  case Op::Aload0:
-  case Op::Aload1:
-  case Op::Aload2:
-  case Op::Aload3:
+  OPC(Aload0)
+  OPC(Aload1)
+  OPC(Aload2)
+  OPC(Aload3)
     push(F.Locals[static_cast<int>(O) - static_cast<int>(Op::Aload0)]);
     ++F.Pc;
     return StepResult::Continue;
 
   // Array loads ----------------------------------------------------------
-  case Op::Iaload:
-  case Op::Laload:
-  case Op::Faload:
-  case Op::Daload:
-  case Op::Aaload:
-  case Op::Baload:
-  case Op::Caload:
-  case Op::Saload: {
+  OPC(Iaload)
+  OPC(Laload)
+  OPC(Faload)
+  OPC(Daload)
+  OPC(Aaload)
+  OPC(Baload)
+  OPC(Caload)
+  OPC(Saload) {
     int32_t Index = pop().I;
     Object *Ref = pop().R;
     if (!Ref)
@@ -1265,62 +1326,62 @@ JvmThread::StepResult JvmThread::step() {
   }
 
   // Stores ---------------------------------------------------------------
-  case Op::Istore:
-  case Op::Fstore:
-  case Op::Astore:
+  OPC(Istore)
+  OPC(Fstore)
+  OPC(Astore)
     F.Locals[rdU1(C, F.Pc + 1)] = pop();
     F.Pc += 2;
     return StepResult::Continue;
-  case Op::Lstore:
-  case Op::Dstore:
+  OPC(Lstore)
+  OPC(Dstore)
     F.Locals[rdU1(C, F.Pc + 1)] = pop2();
     F.Pc += 2;
     return StepResult::Continue;
-  case Op::Istore0:
-  case Op::Istore1:
-  case Op::Istore2:
-  case Op::Istore3:
+  OPC(Istore0)
+  OPC(Istore1)
+  OPC(Istore2)
+  OPC(Istore3)
     F.Locals[static_cast<int>(O) - static_cast<int>(Op::Istore0)] = pop();
     ++F.Pc;
     return StepResult::Continue;
-  case Op::Lstore0:
-  case Op::Lstore1:
-  case Op::Lstore2:
-  case Op::Lstore3:
+  OPC(Lstore0)
+  OPC(Lstore1)
+  OPC(Lstore2)
+  OPC(Lstore3)
     F.Locals[static_cast<int>(O) - static_cast<int>(Op::Lstore0)] = pop2();
     ++F.Pc;
     return StepResult::Continue;
-  case Op::Fstore0:
-  case Op::Fstore1:
-  case Op::Fstore2:
-  case Op::Fstore3:
+  OPC(Fstore0)
+  OPC(Fstore1)
+  OPC(Fstore2)
+  OPC(Fstore3)
     F.Locals[static_cast<int>(O) - static_cast<int>(Op::Fstore0)] = pop();
     ++F.Pc;
     return StepResult::Continue;
-  case Op::Dstore0:
-  case Op::Dstore1:
-  case Op::Dstore2:
-  case Op::Dstore3:
+  OPC(Dstore0)
+  OPC(Dstore1)
+  OPC(Dstore2)
+  OPC(Dstore3)
     F.Locals[static_cast<int>(O) - static_cast<int>(Op::Dstore0)] = pop2();
     ++F.Pc;
     return StepResult::Continue;
-  case Op::Astore0:
-  case Op::Astore1:
-  case Op::Astore2:
-  case Op::Astore3:
+  OPC(Astore0)
+  OPC(Astore1)
+  OPC(Astore2)
+  OPC(Astore3)
     F.Locals[static_cast<int>(O) - static_cast<int>(Op::Astore0)] = pop();
     ++F.Pc;
     return StepResult::Continue;
 
   // Array stores ---------------------------------------------------------
-  case Op::Iastore:
-  case Op::Fastore:
-  case Op::Aastore:
-  case Op::Bastore:
-  case Op::Castore:
-  case Op::Sastore:
-  case Op::Lastore:
-  case Op::Dastore: {
+  OPC(Iastore)
+  OPC(Fastore)
+  OPC(Aastore)
+  OPC(Bastore)
+  OPC(Castore)
+  OPC(Sastore)
+  OPC(Lastore)
+  OPC(Dastore) {
     Value V = (O == Op::Lastore || O == Op::Dastore) ? pop2() : pop();
     int32_t Index = pop().I;
     Object *Ref = pop().R;
@@ -1358,22 +1419,22 @@ JvmThread::StepResult JvmThread::step() {
   }
 
   // Stack manipulation ----------------------------------------------------
-  case Op::Pop:
+  OPC(Pop)
     pop();
     ++F.Pc;
     return StepResult::Continue;
-  case Op::Pop2:
+  OPC(Pop2)
     pop();
     pop();
     ++F.Pc;
     return StepResult::Continue;
-  case Op::Dup: {
+  OPC(Dup) {
     Value V = peek();
     push(V);
     ++F.Pc;
     return StepResult::Continue;
   }
-  case Op::DupX1: {
+  OPC(DupX1) {
     Value A = pop(), B = pop();
     push(A);
     push(B);
@@ -1381,7 +1442,7 @@ JvmThread::StepResult JvmThread::step() {
     ++F.Pc;
     return StepResult::Continue;
   }
-  case Op::DupX2: {
+  OPC(DupX2) {
     Value A = pop(), B = pop(), X = pop();
     push(A);
     push(X);
@@ -1390,7 +1451,7 @@ JvmThread::StepResult JvmThread::step() {
     ++F.Pc;
     return StepResult::Continue;
   }
-  case Op::Dup2: {
+  OPC(Dup2) {
     Value A = pop(), B = pop();
     push(B);
     push(A);
@@ -1399,7 +1460,7 @@ JvmThread::StepResult JvmThread::step() {
     ++F.Pc;
     return StepResult::Continue;
   }
-  case Op::Dup2X1: {
+  OPC(Dup2X1) {
     Value A = pop(), B = pop(), X = pop();
     push(B);
     push(A);
@@ -1409,7 +1470,7 @@ JvmThread::StepResult JvmThread::step() {
     ++F.Pc;
     return StepResult::Continue;
   }
-  case Op::Dup2X2: {
+  OPC(Dup2X2) {
     Value A = pop(), B = pop(), X = pop(), Y = pop();
     push(B);
     push(A);
@@ -1420,7 +1481,7 @@ JvmThread::StepResult JvmThread::step() {
     ++F.Pc;
     return StepResult::Continue;
   }
-  case Op::Swap: {
+  OPC(Swap) {
     Value A = pop(), B = pop();
     push(A);
     push(B);
@@ -1429,25 +1490,25 @@ JvmThread::StepResult JvmThread::step() {
   }
 
   // Integer arithmetic ----------------------------------------------------
-  case Op::Iadd: {
+  OPC(Iadd) {
     int32_t B = pop().I, A = pop().I;
     push(Value::intVal(modeAdd(A, B)));
     ++F.Pc;
     return StepResult::Continue;
   }
-  case Op::Isub: {
+  OPC(Isub) {
     int32_t B = pop().I, A = pop().I;
     push(Value::intVal(modeSub(A, B)));
     ++F.Pc;
     return StepResult::Continue;
   }
-  case Op::Imul: {
+  OPC(Imul) {
     int32_t B = pop().I, A = pop().I;
     push(Value::intVal(modeMul(A, B)));
     ++F.Pc;
     return StepResult::Continue;
   }
-  case Op::Idiv: {
+  OPC(Idiv) {
     int32_t B = pop().I, A = pop().I;
     if (B == 0)
       return throwJvm("java/lang/ArithmeticException", "/ by zero");
@@ -1458,7 +1519,7 @@ JvmThread::StepResult JvmThread::step() {
     ++F.Pc;
     return StepResult::Continue;
   }
-  case Op::Irem: {
+  OPC(Irem) {
     int32_t B = pop().I, A = pop().I;
     if (B == 0)
       return throwJvm("java/lang/ArithmeticException", "/ by zero");
@@ -1469,7 +1530,7 @@ JvmThread::StepResult JvmThread::step() {
     ++F.Pc;
     return StepResult::Continue;
   }
-  case Op::Ineg: {
+  OPC(Ineg) {
     int32_t A = pop().I;
     push(Value::intVal(Vm.mode() == ExecutionMode::DoppioJS
                            ? jsnum::negInt32(A)
@@ -1477,43 +1538,43 @@ JvmThread::StepResult JvmThread::step() {
     ++F.Pc;
     return StepResult::Continue;
   }
-  case Op::Ishl: {
+  OPC(Ishl) {
     int32_t B = pop().I, A = pop().I;
     push(Value::intVal(jsnum::shlInt32(A, B)));
     ++F.Pc;
     return StepResult::Continue;
   }
-  case Op::Ishr: {
+  OPC(Ishr) {
     int32_t B = pop().I, A = pop().I;
     push(Value::intVal(jsnum::shrInt32(A, B)));
     ++F.Pc;
     return StepResult::Continue;
   }
-  case Op::Iushr: {
+  OPC(Iushr) {
     int32_t B = pop().I, A = pop().I;
     push(Value::intVal(jsnum::ushrInt32(A, B)));
     ++F.Pc;
     return StepResult::Continue;
   }
-  case Op::Iand: {
+  OPC(Iand) {
     int32_t B = pop().I, A = pop().I;
     push(Value::intVal(A & B));
     ++F.Pc;
     return StepResult::Continue;
   }
-  case Op::Ior: {
+  OPC(Ior) {
     int32_t B = pop().I, A = pop().I;
     push(Value::intVal(A | B));
     ++F.Pc;
     return StepResult::Continue;
   }
-  case Op::Ixor: {
+  OPC(Ixor) {
     int32_t B = pop().I, A = pop().I;
     push(Value::intVal(A ^ B));
     ++F.Pc;
     return StepResult::Continue;
   }
-  case Op::Iinc: {
+  OPC(Iinc) {
     uint8_t Slot = rdU1(C, F.Pc + 1);
     int8_t Delta = rdS1(C, F.Pc + 2);
     F.Locals[Slot] = Value::intVal(modeAdd(F.Locals[Slot].I, Delta));
@@ -1522,19 +1583,19 @@ JvmThread::StepResult JvmThread::step() {
   }
 
   // Long arithmetic (§8's software longs in DoppioJS mode) ----------------
-  case Op::Ladd:
-  case Op::Lsub:
-  case Op::Lmul:
-  case Op::Land:
-  case Op::Lor:
-  case Op::Lxor: {
+  OPC(Ladd)
+  OPC(Lsub)
+  OPC(Lmul)
+  OPC(Land)
+  OPC(Lor)
+  OPC(Lxor) {
     Value B = pop2(), A = pop2();
     push2(modeLongBin(O, A, B));
     ++F.Pc;
     return StepResult::Continue;
   }
-  case Op::Ldiv:
-  case Op::Lrem: {
+  OPC(Ldiv)
+  OPC(Lrem) {
     Value B = pop2(), A = pop2();
     if (B.J == 0)
       return throwJvm("java/lang/ArithmeticException", "/ by zero");
@@ -1542,7 +1603,7 @@ JvmThread::StepResult JvmThread::step() {
     ++F.Pc;
     return StepResult::Continue;
   }
-  case Op::Lneg: {
+  OPC(Lneg) {
     Value A = pop2();
     if (Vm.mode() == ExecutionMode::DoppioJS)
       push2(Value::longVal(negLong(A.asLong64())));
@@ -1552,13 +1613,13 @@ JvmThread::StepResult JvmThread::step() {
     ++F.Pc;
     return StepResult::Continue;
   }
-  case Op::Lshl:
-  case Op::Lshr:
-  case Op::Lushr: {
+  OPC(Lshl)
+  OPC(Lshr)
+  OPC(Lushr) {
     int32_t Count = pop().I;
     Value A = pop2();
     if (Vm.mode() == ExecutionMode::DoppioJS) {
-      OpsSinceFlush += 2; // Software shift across the 32-bit halves.
+      ExtraOpsSinceFlush += 2; // Software shift across the 32-bit halves.
       Long64 X = A.asLong64();
       Long64 R = O == Op::Lshl    ? shlLong(X, Count)
                  : O == Op::Lshr ? shrLong(X, Count)
@@ -1581,71 +1642,71 @@ JvmThread::StepResult JvmThread::step() {
   }
 
   // Float/double arithmetic ------------------------------------------------
-  case Op::Fadd: {
+  OPC(Fadd) {
     float B = pop().F, A = pop().F;
     push(Value::floatVal(A + B));
     ++F.Pc;
     return StepResult::Continue;
   }
-  case Op::Fsub: {
+  OPC(Fsub) {
     float B = pop().F, A = pop().F;
     push(Value::floatVal(A - B));
     ++F.Pc;
     return StepResult::Continue;
   }
-  case Op::Fmul: {
+  OPC(Fmul) {
     float B = pop().F, A = pop().F;
     push(Value::floatVal(A * B));
     ++F.Pc;
     return StepResult::Continue;
   }
-  case Op::Fdiv: {
+  OPC(Fdiv) {
     float B = pop().F, A = pop().F;
     push(Value::floatVal(A / B));
     ++F.Pc;
     return StepResult::Continue;
   }
-  case Op::Frem: {
+  OPC(Frem) {
     float B = pop().F, A = pop().F;
     push(Value::floatVal(std::fmod(A, B)));
     ++F.Pc;
     return StepResult::Continue;
   }
-  case Op::Fneg:
+  OPC(Fneg)
     push(Value::floatVal(-pop().F));
     ++F.Pc;
     return StepResult::Continue;
-  case Op::Dadd: {
+  OPC(Dadd) {
     Value B = pop2(), A = pop2();
     push2(Value::doubleVal(A.D + B.D));
     ++F.Pc;
     return StepResult::Continue;
   }
-  case Op::Dsub: {
+  OPC(Dsub) {
     Value B = pop2(), A = pop2();
     push2(Value::doubleVal(A.D - B.D));
     ++F.Pc;
     return StepResult::Continue;
   }
-  case Op::Dmul: {
+  OPC(Dmul) {
     Value B = pop2(), A = pop2();
     push2(Value::doubleVal(A.D * B.D));
     ++F.Pc;
     return StepResult::Continue;
   }
-  case Op::Ddiv: {
+  OPC(Ddiv) {
     Value B = pop2(), A = pop2();
     push2(Value::doubleVal(A.D / B.D));
     ++F.Pc;
     return StepResult::Continue;
   }
-  case Op::Drem: {
+  OPC(Drem) {
     Value B = pop2(), A = pop2();
     push2(Value::doubleVal(std::fmod(A.D, B.D)));
     ++F.Pc;
     return StepResult::Continue;
   }
-  case Op::Dneg: {
+  OPC(Dneg) {
     Value A = pop2();
     push2(Value::doubleVal(-A.D));
     ++F.Pc;
@@ -1653,7 +1714,7 @@ JvmThread::StepResult JvmThread::step() {
   }
 
   // Conversions ------------------------------------------------------------
-  case Op::I2l: {
+  OPC(I2l) {
     int32_t A = pop().I;
     push2(Value::longVal(Vm.mode() == ExecutionMode::DoppioJS
                              ? Long64::fromInt32(A)
@@ -1661,15 +1722,15 @@ JvmThread::StepResult JvmThread::step() {
     ++F.Pc;
     return StepResult::Continue;
   }
-  case Op::I2f:
+  OPC(I2f)
     push(Value::floatVal(static_cast<float>(pop().I)));
     ++F.Pc;
     return StepResult::Continue;
-  case Op::I2d:
+  OPC(I2d)
     push2(Value::doubleVal(static_cast<double>(pop().I)));
     ++F.Pc;
     return StepResult::Continue;
-  case Op::L2i: {
+  OPC(L2i) {
     Value A = pop2();
     push(Value::intVal(Vm.mode() == ExecutionMode::DoppioJS
                            ? A.asLong64().toInt32()
@@ -1677,7 +1738,7 @@ JvmThread::StepResult JvmThread::step() {
     ++F.Pc;
     return StepResult::Continue;
   }
-  case Op::L2f: {
+  OPC(L2f) {
     Value A = pop2();
     push(Value::floatVal(Vm.mode() == ExecutionMode::DoppioJS
                              ? A.asLong64().toFloat()
@@ -1685,7 +1746,7 @@ JvmThread::StepResult JvmThread::step() {
     ++F.Pc;
     return StepResult::Continue;
   }
-  case Op::L2d: {
+  OPC(L2d) {
     Value A = pop2();
     push2(Value::doubleVal(Vm.mode() == ExecutionMode::DoppioJS
                                ? A.asLong64().toDouble()
@@ -1693,57 +1754,57 @@ JvmThread::StepResult JvmThread::step() {
     ++F.Pc;
     return StepResult::Continue;
   }
-  case Op::F2i:
+  OPC(F2i)
     push(Value::intVal(jsnum::doubleToInt(pop().F)));
     ++F.Pc;
     return StepResult::Continue;
-  case Op::F2l: {
+  OPC(F2l) {
     float A = pop().F;
     push2(Value::longVal(Long64::fromDouble(A)));
     ++F.Pc;
     return StepResult::Continue;
   }
-  case Op::F2d:
+  OPC(F2d)
     push2(Value::doubleVal(static_cast<double>(pop().F)));
     ++F.Pc;
     return StepResult::Continue;
-  case Op::D2i: {
+  OPC(D2i) {
     Value A = pop2();
     push(Value::intVal(jsnum::doubleToInt(A.D)));
     ++F.Pc;
     return StepResult::Continue;
   }
-  case Op::D2l: {
+  OPC(D2l) {
     Value A = pop2();
     push2(Value::longVal(Long64::fromDouble(A.D)));
     ++F.Pc;
     return StepResult::Continue;
   }
-  case Op::D2f: {
+  OPC(D2f) {
     Value A = pop2();
     push(Value::floatVal(static_cast<float>(A.D)));
     ++F.Pc;
     return StepResult::Continue;
   }
-  case Op::I2b:
+  OPC(I2b)
     push(Value::intVal(static_cast<int8_t>(pop().I)));
     ++F.Pc;
     return StepResult::Continue;
-  case Op::I2c:
+  OPC(I2c)
     push(Value::intVal(pop().I & 0xFFFF));
     ++F.Pc;
     return StepResult::Continue;
-  case Op::I2s:
+  OPC(I2s)
     push(Value::intVal(static_cast<int16_t>(pop().I)));
     ++F.Pc;
     return StepResult::Continue;
 
   // Comparisons ------------------------------------------------------------
-  case Op::Lcmp: {
+  OPC(Lcmp) {
     Value B = pop2(), A = pop2();
     int32_t R;
     if (Vm.mode() == ExecutionMode::DoppioJS) {
-      OpsSinceFlush += 2; // Software comparison of the halves.
+      ExtraOpsSinceFlush += 2; // Software comparison of the halves.
       R = cmpLong(A.asLong64(), B.asLong64());
     }
     else
@@ -1752,8 +1813,8 @@ JvmThread::StepResult JvmThread::step() {
     ++F.Pc;
     return StepResult::Continue;
   }
-  case Op::Fcmpl:
-  case Op::Fcmpg: {
+  OPC(Fcmpl)
+  OPC(Fcmpg) {
     float B = pop().F, A = pop().F;
     int32_t R;
     if (std::isnan(A) || std::isnan(B))
@@ -1764,8 +1825,8 @@ JvmThread::StepResult JvmThread::step() {
     ++F.Pc;
     return StepResult::Continue;
   }
-  case Op::Dcmpl:
-  case Op::Dcmpg: {
+  OPC(Dcmpl)
+  OPC(Dcmpg) {
     Value VB = pop2(), VA = pop2();
     double B = VB.D, A = VA.D;
     int32_t R;
@@ -1779,12 +1840,12 @@ JvmThread::StepResult JvmThread::step() {
   }
 
   // Branches ---------------------------------------------------------------
-  case Op::Ifeq:
-  case Op::Ifne:
-  case Op::Iflt:
-  case Op::Ifge:
-  case Op::Ifgt:
-  case Op::Ifle: {
+  OPC(Ifeq)
+  OPC(Ifne)
+  OPC(Iflt)
+  OPC(Ifge)
+  OPC(Ifgt)
+  OPC(Ifle) {
     int32_t A = pop().I;
     bool Taken = false;
     switch (O) {
@@ -1811,12 +1872,12 @@ JvmThread::StepResult JvmThread::step() {
     F.Pc = Taken ? F.Pc + rdS2(C, F.Pc + 1) : F.Pc + 3;
     return branchDone(F, Site);
   }
-  case Op::IfIcmpeq:
-  case Op::IfIcmpne:
-  case Op::IfIcmplt:
-  case Op::IfIcmpge:
-  case Op::IfIcmpgt:
-  case Op::IfIcmple: {
+  OPC(IfIcmpeq)
+  OPC(IfIcmpne)
+  OPC(IfIcmplt)
+  OPC(IfIcmpge)
+  OPC(IfIcmpgt)
+  OPC(IfIcmple) {
     int32_t B = pop().I, A = pop().I;
     bool Taken = false;
     switch (O) {
@@ -1843,45 +1904,45 @@ JvmThread::StepResult JvmThread::step() {
     F.Pc = Taken ? F.Pc + rdS2(C, F.Pc + 1) : F.Pc + 3;
     return branchDone(F, Site);
   }
-  case Op::IfAcmpeq:
-  case Op::IfAcmpne: {
+  OPC(IfAcmpeq)
+  OPC(IfAcmpne) {
     Object *B = pop().R, *A = pop().R;
     bool Taken = O == Op::IfAcmpeq ? A == B : A != B;
     uint32_t Site = F.Pc;
     F.Pc = Taken ? F.Pc + rdS2(C, F.Pc + 1) : F.Pc + 3;
     return branchDone(F, Site);
   }
-  case Op::Ifnull:
-  case Op::Ifnonnull: {
+  OPC(Ifnull)
+  OPC(Ifnonnull) {
     Object *A = pop().R;
     bool Taken = O == Op::Ifnull ? A == nullptr : A != nullptr;
     uint32_t Site = F.Pc;
     F.Pc = Taken ? F.Pc + rdS2(C, F.Pc + 1) : F.Pc + 3;
     return branchDone(F, Site);
   }
-  case Op::Goto: {
+  OPC(Goto) {
     uint32_t Site = F.Pc;
     F.Pc += rdS2(C, F.Pc + 1);
     return branchDone(F, Site);
   }
-  case Op::GotoW: {
+  OPC(GotoW) {
     uint32_t Site = F.Pc;
     F.Pc += rdS4(C, F.Pc + 1);
     return branchDone(F, Site);
   }
-  case Op::Jsr:
+  OPC(Jsr)
     push(Value::retAddr(F.Pc + 3));
     F.Pc += rdS2(C, F.Pc + 1);
     return StepResult::Continue;
-  case Op::JsrW:
+  OPC(JsrW)
     push(Value::retAddr(F.Pc + 5));
     F.Pc += rdS4(C, F.Pc + 1);
     return StepResult::Continue;
-  case Op::Ret:
+  OPC(Ret)
     F.Pc = F.Locals[rdU1(C, F.Pc + 1)].Ret;
     return StepResult::Continue;
 
-  case Op::Tableswitch: {
+  OPC(Tableswitch) {
     uint32_t Base = F.Pc;
     uint32_t Operands = (Base + 4) & ~3u;
     int32_t Default = rdS4(C, Operands);
@@ -1896,7 +1957,7 @@ JvmThread::StepResult JvmThread::step() {
     }
     return branchDone(F, Base);
   }
-  case Op::Lookupswitch: {
+  OPC(Lookupswitch) {
     uint32_t Base = F.Pc;
     uint32_t Operands = (Base + 4) & ~3u;
     int32_t Default = rdS4(C, Operands);
@@ -1915,19 +1976,19 @@ JvmThread::StepResult JvmThread::step() {
   }
 
   // Returns ----------------------------------------------------------------
-  case Op::Ireturn:
-  case Op::Freturn:
-  case Op::Areturn:
+  OPC(Ireturn)
+  OPC(Freturn)
+  OPC(Areturn)
     return returnFromFrame(pop());
-  case Op::Lreturn:
-  case Op::Dreturn:
+  OPC(Lreturn)
+  OPC(Dreturn)
     return returnFromFrame(pop2());
-  case Op::Return:
+  OPC(Return)
     return returnFromFrame(std::nullopt);
 
   // Fields -----------------------------------------------------------------
-  case Op::Getstatic:
-  case Op::Putstatic: {
+  OPC(Getstatic)
+  OPC(Putstatic) {
     uint16_t Idx = rdU2(C, F.Pc + 1);
     ConstantPool::MemberRef Ref = F.M->Owner->Cf.Pool.memberRef(Idx);
     StepResult R;
@@ -1943,6 +2004,14 @@ JvmThread::StepResult JvmThread::step() {
     if (!Holder)
       return throwJvm("java/lang/NoSuchFieldError",
                       Ref.ClassName + "." + Ref.Name);
+    if (QuickEntry *Q = quicken(Idx)) {
+      Q->Holder = Holder;
+      Q->Name = Ref.Name;
+      Q->Descriptor = Ref.Descriptor;
+      // std::map nodes are stable, so the cell pointer stays valid.
+      Q->StaticCell = &Holder->Statics[Ref.Name];
+      Q->Wide = desc::slotSize(Ref.Descriptor) == 2;
+    }
     if (O == Op::Getstatic) {
       Value V = Holder->Statics[Ref.Name];
       if (desc::slotSize(Ref.Descriptor) == 2)
@@ -1956,7 +2025,7 @@ JvmThread::StepResult JvmThread::step() {
     F.Pc += 3;
     return StepResult::Continue;
   }
-  case Op::Getfield: {
+  OPC(Getfield) {
     uint16_t Idx = rdU2(C, F.Pc + 1);
     ConstantPool::MemberRef Ref = F.M->Owner->Cf.Pool.memberRef(Idx);
     Object *Obj = pop().R;
@@ -1977,6 +2046,11 @@ JvmThread::StepResult JvmThread::step() {
       if (V.K == Value::Kind::Empty)
         V = ArrayObject::defaultElement(Ref.Descriptor);
     }
+    if (QuickEntry *Q = quicken(Idx)) {
+      Q->Name = Ref.Name;
+      Q->Descriptor = Ref.Descriptor;
+      Q->Wide = desc::slotSize(Ref.Descriptor) == 2;
+    }
     if (desc::slotSize(Ref.Descriptor) == 2)
       push2(V);
     else
@@ -1984,7 +2058,7 @@ JvmThread::StepResult JvmThread::step() {
     F.Pc += 3;
     return StepResult::Continue;
   }
-  case Op::Putfield: {
+  OPC(Putfield) {
     uint16_t Idx = rdU2(C, F.Pc + 1);
     ConstantPool::MemberRef Ref = F.M->Owner->Cf.Pool.memberRef(Idx);
     Value V = desc::slotSize(Ref.Descriptor) == 2 ? pop2() : pop();
@@ -2000,12 +2074,17 @@ JvmThread::StepResult JvmThread::step() {
         return throwJvm("java/lang/NoSuchFieldError", Ref.Name);
       Obj->setSlot(FI->SlotIndex, V);
     }
+    if (QuickEntry *Q = quicken(Idx)) {
+      Q->Name = Ref.Name;
+      Q->Descriptor = Ref.Descriptor;
+      Q->Wide = desc::slotSize(Ref.Descriptor) == 2;
+    }
     F.Pc += 3;
     return StepResult::Continue;
   }
 
   // Invocations (§6.1 call-boundary suspend checks live in the helpers) ---
-  case Op::Invokestatic: {
+  OPC(Invokestatic) {
     uint16_t Idx = rdU2(C, F.Pc + 1);
     ConstantPool::MemberRef Ref = F.M->Owner->Cf.Pool.memberRef(Idx);
     StepResult R;
@@ -2018,6 +2097,13 @@ JvmThread::StepResult JvmThread::step() {
     if (!M)
       return throwJvm("java/lang/NoSuchMethodError",
                       Ref.ClassName + "." + Ref.Name + Ref.Descriptor);
+    if (QuickEntry *Q = quicken(Idx)) {
+      Q->Holder = K;
+      Q->Callee = M;
+      Q->Name = Ref.Name;
+      Q->Descriptor = Ref.Descriptor;
+      Q->ArgSlots = M->ParamSlots;
+    }
     if (M->isSynchronized()) {
       Object *Lock = Vm.mirrorOf(M->Owner);
       Monitor &Mon = Lock->monitor();
@@ -2028,9 +2114,9 @@ JvmThread::StepResult JvmThread::step() {
     }
     return invokeMethod(M, /*HasReceiver=*/false, /*InsnLen=*/3);
   }
-  case Op::Invokespecial:
-  case Op::Invokevirtual:
-  case Op::Invokeinterface: {
+  OPC(Invokespecial)
+  OPC(Invokevirtual)
+  OPC(Invokeinterface) {
     uint16_t Idx = rdU2(C, F.Pc + 1);
     uint32_t InsnLen = O == Op::Invokeinterface ? 5 : 3;
     ConstantPool::MemberRef Ref = F.M->Owner->Cf.Pool.memberRef(Idx);
@@ -2058,6 +2144,14 @@ JvmThread::StepResult JvmThread::step() {
                       Ref.ClassName + "." + Ref.Name + Ref.Descriptor);
     if (M->isAbstract())
       return throwJvm("java/lang/AbstractMethodError", M->qualifiedName());
+    if (QuickEntry *Q = quicken(Idx)) {
+      Q->Holder = K;
+      Q->Name = Ref.Name;
+      Q->Descriptor = Ref.Descriptor;
+      Q->ArgSlots = ArgSlots;
+      if (O == Op::Invokespecial)
+        Q->Callee = M; // Statically bound; virtual sites re-dispatch.
+    }
     if (M->isSynchronized()) {
       Monitor &Mon = Receiver.R->monitor();
       if (Mon.OwnerTid != -1 && Mon.OwnerTid != Tid)
@@ -2069,7 +2163,7 @@ JvmThread::StepResult JvmThread::step() {
   }
 
   // Allocation -------------------------------------------------------------
-  case Op::New: {
+  OPC(New) {
     uint16_t Idx = rdU2(C, F.Pc + 1);
     const std::string &Name = F.M->Owner->Cf.Pool.className(Idx);
     StepResult R;
@@ -2080,11 +2174,15 @@ JvmThread::StepResult JvmThread::step() {
       return R;
     if (K->isInterface() || (K->AccessFlags & AccAbstract))
       return throwJvm("java/lang/InstantiationError", Name);
+    if (QuickEntry *Q = quicken(Idx)) {
+      Q->Holder = K;
+      Q->Name = Name;
+    }
     push(Value::ref(Vm.allocObject(K)));
     F.Pc += 3;
     return StepResult::Continue;
   }
-  case Op::Newarray: {
+  OPC(Newarray) {
     int32_t Len = pop().I;
     if (Len < 0)
       return throwJvm("java/lang/NegativeArraySizeException",
@@ -2096,7 +2194,7 @@ JvmThread::StepResult JvmThread::step() {
     F.Pc += 2;
     return StepResult::Continue;
   }
-  case Op::Anewarray: {
+  OPC(Anewarray) {
     uint16_t Idx = rdU2(C, F.Pc + 1);
     const std::string &ElemName = F.M->Owner->Cf.Pool.className(Idx);
     StepResult R;
@@ -2112,7 +2210,7 @@ JvmThread::StepResult JvmThread::step() {
     F.Pc += 3;
     return StepResult::Continue;
   }
-  case Op::Multianewarray: {
+  OPC(Multianewarray) {
     uint16_t Idx = rdU2(C, F.Pc + 1);
     uint8_t Dims = rdU1(C, F.Pc + 3);
     std::string ArrayDesc = F.M->Owner->Cf.Pool.className(Idx);
@@ -2140,7 +2238,7 @@ JvmThread::StepResult JvmThread::step() {
     F.Pc += 4;
     return StepResult::Continue;
   }
-  case Op::Arraylength: {
+  OPC(Arraylength) {
     Object *Ref = pop().R;
     if (!Ref)
       return throwJvm("java/lang/NullPointerException", "arraylength");
@@ -2150,13 +2248,17 @@ JvmThread::StepResult JvmThread::step() {
   }
 
   // Casts ------------------------------------------------------------------
-  case Op::Checkcast: {
+  OPC(Checkcast) {
     uint16_t Idx = rdU2(C, F.Pc + 1);
     const std::string &Name = F.M->Owner->Cf.Pool.className(Idx);
     StepResult R;
     Klass *K = resolveClass(Name, R);
     if (!K)
       return R;
+    if (QuickEntry *Q = quicken(Idx)) {
+      Q->Holder = K;
+      Q->Name = Name;
+    }
     Object *Obj = peek().R;
     if (Obj && !isInstanceOfKlass(Vm, Obj, K))
       return throwJvm("java/lang/ClassCastException",
@@ -2164,13 +2266,17 @@ JvmThread::StepResult JvmThread::step() {
     F.Pc += 3;
     return StepResult::Continue;
   }
-  case Op::Instanceof: {
+  OPC(Instanceof) {
     uint16_t Idx = rdU2(C, F.Pc + 1);
     const std::string &Name = F.M->Owner->Cf.Pool.className(Idx);
     StepResult R;
     Klass *K = resolveClass(Name, R);
     if (!K)
       return R;
+    if (QuickEntry *Q = quicken(Idx)) {
+      Q->Holder = K;
+      Q->Name = Name;
+    }
     Object *Obj = pop().R;
     push(Value::intVal(isInstanceOfKlass(Vm, Obj, K) ? 1 : 0));
     F.Pc += 3;
@@ -2178,13 +2284,13 @@ JvmThread::StepResult JvmThread::step() {
   }
 
   // Exceptions and monitors --------------------------------------------------
-  case Op::Athrow: {
+  OPC(Athrow) {
     Object *Ex = pop().R;
     if (!Ex)
       return throwJvm("java/lang/NullPointerException", "athrow");
     return dispatchException(Ex);
   }
-  case Op::Monitorenter: {
+  OPC(Monitorenter) {
     Object *Obj = peek().R;
     if (!Obj)
       return throwJvm("java/lang/NullPointerException", "monitorenter");
@@ -2199,7 +2305,7 @@ JvmThread::StepResult JvmThread::step() {
       return StepResult::Yield;
     return StepResult::Continue;
   }
-  case Op::Monitorexit: {
+  OPC(Monitorexit) {
     Object *Obj = pop().R;
     if (!Obj)
       return throwJvm("java/lang/NullPointerException", "monitorexit");
@@ -2218,12 +2324,226 @@ JvmThread::StepResult JvmThread::step() {
     return StepResult::Continue;
   }
 
-  case Op::Wide:
+  OPC(Wide)
     return stepWide(F);
+
+  // Quickened forms (DESIGN.md §18) --------------------------------------
+  // Each handler replays its base instruction from the resolution the
+  // slow path stashed in the owning class's quick-entry table: no
+  // constant-pool parsing, no class resolution, no initialization checks
+  // (the class initialized before the site could quicken). Observable
+  // behavior is bit-identical to the base form.
+  OPC(LdcQuick)
+  OPC(LdcWQuick) {
+    uint16_t Idx =
+        O == Op::LdcQuick ? rdU1(C, F.Pc + 1) : rdU2(C, F.Pc + 1);
+    push(F.M->Owner->quickEntry(Idx).Constant);
+    F.Pc += O == Op::LdcQuick ? 2 : 3;
+    return StepResult::Continue;
   }
-  return throwJvm("java/lang/ClassFormatError",
-                  "illegal opcode " + std::to_string(C[F.Pc]));
+  OPC(GetstaticQuick) {
+    QuickEntry &Q = F.M->Owner->quickEntry(rdU2(C, F.Pc + 1));
+    if (Q.Wide)
+      push2(*Q.StaticCell);
+    else
+      push(*Q.StaticCell);
+    F.Pc += 3;
+    return StepResult::Continue;
+  }
+  OPC(PutstaticQuick) {
+    QuickEntry &Q = F.M->Owner->quickEntry(rdU2(C, F.Pc + 1));
+    *Q.StaticCell = Q.Wide ? pop2() : pop();
+    F.Pc += 3;
+    return StepResult::Continue;
+  }
+  OPC(GetfieldQuick) {
+    QuickEntry &Q = F.M->Owner->quickEntry(rdU2(C, F.Pc + 1));
+    Object *Obj = pop().R;
+    if (!Obj)
+      return throwJvm("java/lang/NullPointerException",
+                      "getfield " + Q.Name);
+    Value V;
+    if (Vm.mode() == ExecutionMode::DoppioJS) {
+      // Monomorphic inline cache over the §6.7 field dictionary: on a
+      // receiver-class match, read straight through the cached Dict-node
+      // pointer instead of hashing the field name.
+      Value *Cell = nullptr;
+      if (Vm.profile().InlineCaches && Obj->klass() == Q.IcKlass)
+        Cell = Obj->fastCell(Q.IcFieldId);
+      if (Cell) {
+        Vm.noteIcHit();
+        V = *Cell;
+      } else {
+        if (Vm.profile().InlineCaches) {
+          Vm.noteIcMiss();
+          Q.IcKlass = Obj->klass();
+          Q.IcFieldId = Q.IcKlass->fastFieldId(Q.Name);
+          // A read miss must not insert into the dictionary (default
+          // values stay virtual), so a cell installs only if the field
+          // has been written; until then every read re-misses.
+          if (Value *Node = Obj->dictNode(Q.Name))
+            Obj->setFastCell(Q.IcFieldId, Node);
+        }
+        V = Obj->getFieldByName(Q.Name);
+        if (V.K == Value::Kind::Empty)
+          V = ArrayObject::defaultElement(Q.Descriptor);
+      }
+    } else {
+      // NativeHotspot mode: cache the FieldInfo per receiver class (a
+      // subclass may shadow the field, so the klass check stays).
+      if (Obj->klass() != Q.IcKlass || !Q.Field) {
+        Q.Field = Obj->klass()->findField(Q.Name);
+        if (!Q.Field)
+          return throwJvm("java/lang/NoSuchFieldError", Q.Name);
+        Q.IcKlass = Obj->klass();
+      }
+      V = Obj->getSlot(Q.Field->SlotIndex);
+      if (V.K == Value::Kind::Empty)
+        V = ArrayObject::defaultElement(Q.Descriptor);
+    }
+    if (Q.Wide)
+      push2(V);
+    else
+      push(V);
+    F.Pc += 3;
+    return StepResult::Continue;
+  }
+  OPC(PutfieldQuick) {
+    QuickEntry &Q = F.M->Owner->quickEntry(rdU2(C, F.Pc + 1));
+    Value V = Q.Wide ? pop2() : pop();
+    Object *Obj = pop().R;
+    if (!Obj)
+      return throwJvm("java/lang/NullPointerException",
+                      "putfield " + Q.Name);
+    if (Vm.mode() == ExecutionMode::DoppioJS) {
+      Value *Cell = nullptr;
+      if (Vm.profile().InlineCaches && Obj->klass() == Q.IcKlass)
+        Cell = Obj->fastCell(Q.IcFieldId);
+      if (Cell) {
+        Vm.noteIcHit();
+        *Cell = V;
+      } else {
+        Obj->setFieldByName(Q.Name, V);
+        if (Vm.profile().InlineCaches) {
+          Vm.noteIcMiss();
+          Q.IcKlass = Obj->klass();
+          Q.IcFieldId = Q.IcKlass->fastFieldId(Q.Name);
+          Obj->setFastCell(Q.IcFieldId, Obj->dictNode(Q.Name));
+        }
+      }
+    } else {
+      if (Obj->klass() != Q.IcKlass || !Q.Field) {
+        Q.Field = Obj->klass()->findField(Q.Name);
+        if (!Q.Field)
+          return throwJvm("java/lang/NoSuchFieldError", Q.Name);
+        Q.IcKlass = Obj->klass();
+      }
+      Obj->setSlot(Q.Field->SlotIndex, V);
+    }
+    F.Pc += 3;
+    return StepResult::Continue;
+  }
+  OPC(InvokestaticQuick) {
+    Method *M = F.M->Owner->quickEntry(rdU2(C, F.Pc + 1)).Callee;
+    if (M->isSynchronized()) {
+      Object *Lock = Vm.mirrorOf(M->Owner);
+      Monitor &Mon = Lock->monitor();
+      if (Mon.OwnerTid != -1 && Mon.OwnerTid != Tid)
+        return monitorEnter(Lock) == StepResult::Block
+                   ? StepResult::Block
+                   : StepResult::Continue;
+    }
+    return invokeMethod(M, /*HasReceiver=*/false, /*InsnLen=*/3);
+  }
+  OPC(InvokespecialQuick) {
+    QuickEntry &Q = F.M->Owner->quickEntry(rdU2(C, F.Pc + 1));
+    Method *M = Q.Callee;
+    Value Receiver = peek(Q.ArgSlots);
+    if (!Receiver.R)
+      return throwJvm("java/lang/NullPointerException",
+                      "invoke " + Q.Name);
+    if (M->isSynchronized()) {
+      Monitor &Mon = Receiver.R->monitor();
+      if (Mon.OwnerTid != -1 && Mon.OwnerTid != Tid)
+        return monitorEnter(Receiver.R) == StepResult::Block
+                   ? StepResult::Block
+                   : StepResult::Continue;
+    }
+    return invokeMethod(M, /*HasReceiver=*/true, /*InsnLen=*/3);
+  }
+  OPC(InvokevirtualQuick)
+  OPC(InvokeinterfaceQuick) {
+    QuickEntry &Q = F.M->Owner->quickEntry(rdU2(C, F.Pc + 1));
+    uint32_t InsnLen = O == Op::InvokeinterfaceQuick ? 5 : 3;
+    Value Receiver = peek(Q.ArgSlots);
+    if (!Receiver.R)
+      return throwJvm("java/lang/NullPointerException",
+                      "invoke " + Q.Name);
+    Klass *RK = Receiver.R->klass();
+    Method *M;
+    if (Vm.profile().InlineCaches && RK == Q.IcKlass) {
+      // Monomorphic inline cache: same receiver class as last time, so
+      // the devirtualized callee is already known.
+      Vm.noteIcHit();
+      M = Q.IcCallee;
+    } else {
+      M = RK->findVirtual(Q.Name, Q.Descriptor);
+      if (!M)
+        M = Q.Holder->findMethod(Q.Name, Q.Descriptor);
+      if (!M)
+        return throwJvm("java/lang/NoSuchMethodError",
+                        Q.Holder->Name + "." + Q.Name + Q.Descriptor);
+      if (M->isAbstract())
+        return throwJvm("java/lang/AbstractMethodError",
+                        M->qualifiedName());
+      if (Vm.profile().InlineCaches) {
+        Vm.noteIcMiss();
+        Q.IcKlass = RK;
+        Q.IcCallee = M;
+      }
+    }
+    if (M->isSynchronized()) {
+      Monitor &Mon = Receiver.R->monitor();
+      if (Mon.OwnerTid != -1 && Mon.OwnerTid != Tid)
+        return monitorEnter(Receiver.R) == StepResult::Block
+                   ? StepResult::Block
+                   : StepResult::Continue;
+    }
+    return invokeMethod(M, /*HasReceiver=*/true, InsnLen);
+  }
+  OPC(NewQuick) {
+    QuickEntry &Q = F.M->Owner->quickEntry(rdU2(C, F.Pc + 1));
+    push(Value::ref(Vm.allocObject(Q.Holder)));
+    F.Pc += 3;
+    return StepResult::Continue;
+  }
+  OPC(CheckcastQuick) {
+    QuickEntry &Q = F.M->Owner->quickEntry(rdU2(C, F.Pc + 1));
+    Object *Obj = peek().R;
+    if (Obj && !isInstanceOfKlass(Vm, Obj, Q.Holder))
+      return throwJvm("java/lang/ClassCastException",
+                      Obj->klass()->Name + " cannot be cast to " + Q.Name);
+    F.Pc += 3;
+    return StepResult::Continue;
+  }
+  OPC(InstanceofQuick) {
+    QuickEntry &Q = F.M->Owner->quickEntry(rdU2(C, F.Pc + 1));
+    Object *Obj = pop().R;
+    push(Value::intVal(isInstanceOfKlass(Vm, Obj, Q.Holder) ? 1 : 0));
+    F.Pc += 3;
+    return StepResult::Continue;
+  }
+
+  OPC_ILLEGAL
+    return throwJvm("java/lang/ClassFormatError",
+                    "illegal opcode " + std::to_string(C[F.Pc]));
+#ifndef DOPPIO_COMPUTED_GOTO
+  }
+#endif
 }
+
+#undef OPC
+#undef OPC_ILLEGAL
 
 JvmThread::StepResult JvmThread::stepWide(Frame &F) {
   const std::vector<uint8_t> &C = F.M->Code.Bytecode;

@@ -197,7 +197,14 @@ private:
   std::vector<Frame> CallStack;
   bool Finished = false;
   bool Uncaught = false;
+  /// Dispatched bytecodes awaiting a virtual-clock charge, flushed at
+  /// slice boundaries via Jvm::flushOpCharges. Charged at the profile's
+  /// per-dispatch cost (QuickOpCostNs when quickening, else OpCostNs).
   uint64_t OpsSinceFlush = 0;
+  /// Surcharge units (software Long64 arithmetic, §8) accumulated since
+  /// the last flush. Always charged at OpCostNs: quickened dispatch does
+  /// not speed up the intrinsic long emulation (DESIGN.md §18).
+  uint64_t ExtraOpsSinceFlush = 0;
   /// Dynamic between-checks counter (DESIGN.md §17): bytecodes
   /// dispatched since the last executed suspend check. Reset by every
   /// check and whenever the thread blocks (leaving the host stack is a

@@ -18,23 +18,19 @@ Jvm::Jvm(browser::BrowserEnv &Env, rt::fs::FileSystem &Fs, rt::Process &Proc,
     : Env(Env), Fs(Fs), Proc(Proc), Options(std::move(InOptions)),
       Susp(Env), Pool(Env, Susp), Heap(Env, Options.HeapBytes),
       Loader(*this) {
-  if (const char *Trust = std::getenv("DOPPIO_JVM_TRUST_VERIFIER"))
-    Options.TrustVerifier = std::string(Trust) != "0";
-  if (const char *Placement = std::getenv("DOPPIO_JVM_SUSPEND_PLACEMENT")) {
-    std::string P(Placement);
-    if (P == "call")
-      Options.SuspendChecks = SuspendCheckMode::CallBoundary;
-    else if (P == "everywhere")
-      Options.SuspendChecks = SuspendCheckMode::Everywhere;
-    else if (P == "placed")
-      Options.SuspendChecks = SuspendCheckMode::Placed;
-  }
+  // The one env override point for execution knobs (exec_profile.h):
+  // DOPPIO_JVM_PROFILE plus the legacy single-knob variables.
+  Options.Exec.applyEnv();
+  DispatchCostNs =
+      Options.Exec.Quicken ? Options.QuickOpCostNs : Options.OpCostNs;
   // Resolved once, pointer-increment hot path (registry.h).
   std::string Prefix = Env.metrics().claimPrefix("jvm");
   SuspendChecksExecutedC =
       &Env.metrics().counter(Prefix + ".suspend_checks_executed");
   SuspendChecksElidedC =
       &Env.metrics().counter(Prefix + ".suspend_checks_elided");
+  IcHitsC = &Env.metrics().counter(Prefix + ".ic.hits");
+  IcMissesC = &Env.metrics().counter(Prefix + ".ic.misses");
   for (const std::string &Dir : Options.Classpath)
     Loader.addClasspathEntry(Dir);
   installCoreClasses(*this);
@@ -48,7 +44,7 @@ void Jvm::noteSuspendCheckExecuted(uint64_t Span) {
   // dispatched bytecodes between two checks may exceed the largest
   // statically proven bound K (DESIGN.md §17). Unproven frames check
   // every instruction, so only proven methods can grow a span.
-  assert((Options.SuspendChecks != SuspendCheckMode::Placed ||
+  assert((Options.Exec.SuspendChecks != SuspendCheckMode::Placed ||
           Loader.provenBoundMax() == 0 ||
           Span <= Loader.provenBoundMax()) &&
          "suspend-check span exceeded the statically proven bound K");
@@ -234,10 +230,15 @@ void Jvm::noteThreadFinished(JvmThread &T) {
   }
 }
 
-void Jvm::flushOpCharges(uint64_t Ops) {
-  if (Ops == 0 || Options.Mode != ExecutionMode::DoppioJS)
+void Jvm::flushOpCharges(uint64_t DispatchOps, uint64_t ExtraOps) {
+  if ((DispatchOps == 0 && ExtraOps == 0) ||
+      Options.Mode != ExecutionMode::DoppioJS)
     return;
-  Env.chargeCompute(Ops * Options.OpCostNs);
+  // One charge per flush: under a non-quick profile DispatchCostNs ==
+  // OpCostNs and this totals exactly (DispatchOps + ExtraOps) *
+  // OpCostNs — the historical single-counter charge, bit for bit.
+  Env.chargeCompute(DispatchOps * DispatchCostNs +
+                    ExtraOps * Options.OpCostNs);
 }
 
 void Jvm::runMain(const std::string &MainClass,

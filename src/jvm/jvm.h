@@ -27,6 +27,7 @@
 #include "doppio/threads.h"
 #include "jvm/classfile/builder.h"
 #include "jvm/classloader.h"
+#include "jvm/exec_profile.h"
 #include "jvm/natives.h"
 
 #include <functional>
@@ -38,23 +39,6 @@ namespace jvm {
 
 class JvmThread;
 struct CheckpointAccess;
-
-/// Where the interpreter executes suspend checks (DESIGN.md §17).
-enum class SuspendCheckMode : uint8_t {
-  /// The paper's behavior (§6.1): checks at call boundaries only —
-  /// invokes, returns, monitor ops. Branches never check, so a tight
-  /// intra-method loop cannot be preempted. The default.
-  CallBoundary,
-  /// A check before every bytecode dispatch: the naive baseline the
-  /// fig4 placement ablation measures against.
-  Everywhere,
-  /// Analysis-driven placement (Stopify's insight): call boundaries plus
-  /// only the loop back-edge branches the CFG/loop pass kept; proven
-  /// branch sites elide the check. Methods without a proof (jsr/ret,
-  /// irreducible loops, exception-carried cycles) degrade to Everywhere
-  /// behavior — conservative, never incorrect.
-  Placed,
-};
 
 /// Construction options.
 struct JvmOptions {
@@ -70,15 +54,19 @@ struct JvmOptions {
   /// when benchmarks compare browser virtual time against HotSpot
   /// (DESIGN.md: calibrated so Chrome lands in the paper's 24-42x band).
   uint64_t NativeOpCostNs = 2;
-  /// When true (the default), methods the dataflow verifier proved safe
-  /// run on the interpreter's check-elided fast path; unverified methods
-  /// keep the guarded path. The DOPPIO_JVM_TRUST_VERIFIER environment
-  /// variable overrides this at construction ("0"/"1"; DESIGN.md §12).
-  bool TrustVerifier = true;
-  /// Suspend-check placement, mirroring TrustVerifier's shape. The
-  /// DOPPIO_JVM_SUSPEND_PLACEMENT environment variable overrides it at
-  /// construction ("call" / "everywhere" / "placed"; DESIGN.md §17).
-  SuspendCheckMode SuspendChecks = SuspendCheckMode::CallBoundary;
+  /// Virtual JS-engine cost per *quickened* dispatched bytecode: with
+  /// threaded dispatch and pre-resolved operands the modeled engine does
+  /// far less work per instruction (DESIGN.md §18; "Mind the Gap"
+  /// attributes most interpreter overhead to dispatch + redundant
+  /// checks). Software-long surcharges still charge OpCostNs — the
+  /// intrinsic Long64 work does not get faster.
+  uint64_t QuickOpCostNs = 24;
+  /// How the interpreter executes: verifier trust, suspend-check
+  /// placement, quickening, inline caches — one struct, one parser,
+  /// named presets (exec_profile.h). Environment overrides
+  /// (DOPPIO_JVM_PROFILE plus the legacy DOPPIO_JVM_TRUST_VERIFIER /
+  /// DOPPIO_JVM_SUSPEND_PLACEMENT) are applied at Jvm construction.
+  ExecProfile Exec = ExecProfile::verified();
 };
 
 /// Statistics the evaluation harness reads.
@@ -93,6 +81,9 @@ struct JvmStats {
   /// mode this must never exceed ClassLoader::provenBoundMax() — debug
   /// builds assert it, the fig4 ablation and analysis tests verify it.
   uint64_t MaxOpsBetweenChecks = 0;
+  /// Constant-pool sites rewritten in place to their _quick form
+  /// (DESIGN.md §18).
+  uint64_t QuickenedSites = 0;
 };
 
 /// One DoppioJVM instance inside one browser tab.
@@ -114,10 +105,15 @@ public:
   ClassLoader &loader() { return Loader; }
   const JvmOptions &options() const { return Options; }
   ExecutionMode mode() const { return Options.Mode; }
+  /// The execution profile this VM runs under (exec_profile.h).
+  const ExecProfile &profile() const { return Options.Exec; }
+  // Thin back-compat shims over profile() — pre-ExecProfile call sites.
   /// True when verified methods may run check-elided (DESIGN.md §12).
-  bool trustVerifier() const { return Options.TrustVerifier; }
+  bool trustVerifier() const { return Options.Exec.TrustVerifier; }
   /// Suspend-check placement this VM runs under (DESIGN.md §17).
-  SuspendCheckMode suspendCheckMode() const { return Options.SuspendChecks; }
+  SuspendCheckMode suspendCheckMode() const {
+    return Options.Exec.SuspendChecks;
+  }
   JvmStats &stats() { return Stats; }
 
   // Suspend-check accounting (obs cells jvm.suspend_checks_executed /
@@ -134,6 +130,13 @@ public:
   uint64_t suspendChecksElided() const {
     return SuspendChecksElidedC->value();
   }
+
+  // Inline-cache accounting (obs cells jvm.ic.hits / jvm.ic.misses,
+  // resolved once at construction; DESIGN.md §18).
+  void noteIcHit() { IcHitsC->inc(); }
+  void noteIcMiss() { IcMissesC->inc(); }
+  uint64_t icHits() const { return IcHitsC->value(); }
+  uint64_t icMisses() const { return IcMissesC->value(); }
 
   // Native registry (§6.3). Key: "pkg/Cls.name(desc)".
   void registerNative(const std::string &ClassName, const std::string &Name,
@@ -200,7 +203,12 @@ public:
 
   /// Charges accumulated interpreter work to the browser's virtual clock
   /// (DoppioJS mode). Called by the interpreter at slice boundaries.
-  void flushOpCharges(uint64_t Ops);
+  /// \p DispatchOps are dispatched bytecodes, charged at the effective
+  /// per-dispatch cost (QuickOpCostNs under a quickening profile,
+  /// OpCostNs otherwise). \p ExtraOps are surcharge units (software
+  /// Long64 arithmetic, §8), always charged at OpCostNs — quickening
+  /// does not speed up the intrinsic long emulation.
+  void flushOpCharges(uint64_t DispatchOps, uint64_t ExtraOps);
 
   /// Exit code recorded by the main thread (-1 while running).
   int exitCode() const { return ExitCode; }
@@ -226,6 +234,11 @@ private:
   JvmStats Stats;
   obs::Counter *SuspendChecksExecutedC = nullptr;
   obs::Counter *SuspendChecksElidedC = nullptr;
+  obs::Counter *IcHitsC = nullptr;
+  obs::Counter *IcMissesC = nullptr;
+  /// Resolved once after env overrides: QuickOpCostNs when the profile
+  /// quickens, OpCostNs otherwise.
+  uint64_t DispatchCostNs = 0;
 
   std::map<std::string, NativeFn> NativeRegistry;
   std::vector<std::unique_ptr<Object>> Arena;

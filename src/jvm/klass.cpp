@@ -45,6 +45,22 @@ FieldInfo *Klass::findField(const std::string &FName) {
   return nullptr;
 }
 
+QuickEntry &Klass::quickEntry(uint16_t CpIndex) {
+  if (QuickPool.empty())
+    QuickPool.resize(Cf.Pool.size());
+  assert(CpIndex < QuickPool.size() && "quickening an out-of-pool index");
+  std::unique_ptr<QuickEntry> &Slot = QuickPool[CpIndex];
+  if (!Slot)
+    Slot = std::make_unique<QuickEntry>();
+  return *Slot;
+}
+
+int Klass::fastFieldId(const std::string &FName) {
+  auto [It, Inserted] =
+      FastFieldIds.try_emplace(FName, static_cast<int>(FastFieldIds.size()));
+  return It->second;
+}
+
 bool Klass::isSubclassOf(const Klass *Other) const {
   for (const Klass *K = this; K; K = K->Super)
     if (K == Other)

@@ -25,13 +25,52 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace doppio {
 namespace jvm {
 
 class Klass;
+struct FieldInfo;
+struct Method;
 struct NativeContext;
+
+/// Resolution results for one quickened constant-pool site (DESIGN.md
+/// §18). When the interpreter rewrites an instruction to its _quick form,
+/// the data the slow path resolved lands here, keyed by the instruction's
+/// constant-pool index in the owning class's QuickPool. Entries are only
+/// ever written on a successful slow-path execution, so a quick handler
+/// can rely on every field its opcode needs being populated.
+struct QuickEntry {
+  /// Resolved class: field holder, invoked class, instantiated class, or
+  /// checkcast/instanceof target.
+  Klass *Holder = nullptr;
+  /// Statically resolved callee (invokestatic/invokespecial).
+  Method *Callee = nullptr;
+  /// NativeHotspot-mode field info for the last receiver class seen.
+  FieldInfo *Field = nullptr;
+  /// Address of the static field's value node (&Holder->Statics[Name];
+  /// std::map nodes are stable, so the pointer stays valid).
+  Value *StaticCell = nullptr;
+  /// Member name and descriptor, copied out of the constant pool once so
+  /// the quick path never re-parses a MemberRef.
+  std::string Name;
+  std::string Descriptor;
+  /// Argument slots for invokes (excluding the receiver).
+  int ArgSlots = 0;
+  /// True for category-2 (J/D) field values: push2/pop2.
+  bool Wide = false;
+  /// Materialized ldc constant (interned strings and class mirrors are
+  /// cached by the VM, so replaying the value preserves identity).
+  Value Constant;
+  /// Monomorphic inline cache: the receiver class this site last saw,
+  /// with the field id (DoppioJS dictionary access) or devirtualized
+  /// callee (invokevirtual/invokeinterface) that class resolved to.
+  Klass *IcKlass = nullptr;
+  int IcFieldId = -1;
+  Method *IcCallee = nullptr;
+};
 
 /// A native method body, implemented in the host (paper: in JavaScript,
 /// §6.3).
@@ -137,6 +176,20 @@ public:
   bool isInterface() const { return AccessFlags & AccInterface; }
 
   Method *clinit() { return findDeclaredMethod("<clinit>", "()V"); }
+
+  /// The quickening side table for \p CpIndex, created on first use
+  /// (DESIGN.md §18). Indexed by constant-pool index of the rewritten
+  /// instruction's operand; lazily sized to the pool on first quickening
+  /// so classes that never quicken pay nothing.
+  QuickEntry &quickEntry(uint16_t CpIndex);
+  /// Interns \p Name into this class's dense field-id space, used to
+  /// index Object::fastCell inline-cache slots. Ids are consecutive from
+  /// zero per klass and never recycled.
+  int fastFieldId(const std::string &Name);
+
+private:
+  std::vector<std::unique_ptr<QuickEntry>> QuickPool;
+  std::unordered_map<std::string, int> FastFieldIds;
 };
 
 /// Links a parsed class file into a Klass. \p Super and \p Interfaces must

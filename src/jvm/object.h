@@ -64,6 +64,30 @@ public:
   }
   void setFieldByName(const std::string &Name, Value V) { Dict[Name] = V; }
 
+  // Inline-cache acceleration for the dictionary mode (DESIGN.md §18):
+  // per-object cells indexed by the klass's fastFieldId, each pointing at
+  // this object's Dict node for that field. Dict nodes are never erased,
+  // so an installed cell stays valid for the object's lifetime. The cell
+  // table is a derived cache — the checkpoint serializer ignores it and
+  // restored objects re-install cells on first miss.
+  Value *fastCell(int Id) const {
+    return Id >= 0 && static_cast<size_t>(Id) < FastCells.size()
+               ? FastCells[Id]
+               : nullptr;
+  }
+  void setFastCell(int Id, Value *Cell) {
+    if (static_cast<size_t>(Id) >= FastCells.size())
+      FastCells.resize(Id + 1, nullptr);
+    FastCells[Id] = Cell;
+  }
+  /// Address of the Dict node for \p Name, or null when the field has
+  /// never been written (a getfield miss must NOT insert: default-value
+  /// reads leave the dictionary — and checkpoint images — untouched).
+  Value *dictNode(const std::string &Name) {
+    auto It = Dict.find(Name);
+    return It == Dict.end() ? nullptr : &It->second;
+  }
+
   // NativeHotspot-mode access: precomputed slot offsets.
   Value getSlot(uint32_t Index) const { return Slots[Index]; }
   void setSlot(uint32_t Index, Value V) { Slots[Index] = V; }
@@ -91,6 +115,7 @@ private:
   ExecutionMode Mode;
   std::unordered_map<std::string, Value> Dict; // DoppioJS fields.
   std::vector<Value> Slots;                    // NativeHotspot fields.
+  std::vector<Value *> FastCells; // Inline-cache cells into Dict (§18).
   std::unique_ptr<Monitor> Mon;
 };
 

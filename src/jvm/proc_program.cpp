@@ -11,7 +11,10 @@ namespace jvm {
 namespace {
 
 constexpr uint32_t JvmProgramMagic = 0x4a505247; // "JPRG"
-constexpr uint32_t JvmProgramVersion = 1;
+// v2: TrustVerifier byte replaced by the full ExecProfile (name + every
+// knob) plus QuickOpCostNs — a migrated guest must resume under the
+// exact profile it checkpointed with.
+constexpr uint32_t JvmProgramVersion = 2;
 
 void writeSpec(rt::snap::Writer &W, const JvmProgramSpec &Spec) {
   W.str(Spec.MainClass);
@@ -25,7 +28,12 @@ void writeSpec(rt::snap::Writer &W, const JvmProgramSpec &Spec) {
     W.str(Dir);
   W.u64(Spec.Options.OpCostNs);
   W.u64(Spec.Options.NativeOpCostNs);
-  W.u8(Spec.Options.TrustVerifier ? 1 : 0);
+  W.u64(Spec.Options.QuickOpCostNs);
+  W.str(Spec.Options.Exec.Name);
+  W.u8(Spec.Options.Exec.TrustVerifier ? 1 : 0);
+  W.u8(static_cast<uint8_t>(Spec.Options.Exec.SuspendChecks));
+  W.u8(Spec.Options.Exec.Quicken ? 1 : 0);
+  W.u8(Spec.Options.Exec.InlineCaches ? 1 : 0);
 }
 
 JvmProgramSpec readSpec(rt::snap::Reader &R) {
@@ -41,7 +49,12 @@ JvmProgramSpec readSpec(rt::snap::Reader &R) {
     Spec.Options.Classpath.push_back(R.str());
   Spec.Options.OpCostNs = R.u64();
   Spec.Options.NativeOpCostNs = R.u64();
-  Spec.Options.TrustVerifier = R.u8() == 1;
+  Spec.Options.QuickOpCostNs = R.u64();
+  Spec.Options.Exec.Name = R.str();
+  Spec.Options.Exec.TrustVerifier = R.u8() == 1;
+  Spec.Options.Exec.SuspendChecks = static_cast<SuspendCheckMode>(R.u8());
+  Spec.Options.Exec.Quicken = R.u8() == 1;
+  Spec.Options.Exec.InlineCaches = R.u8() == 1;
   return Spec;
 }
 

@@ -215,7 +215,7 @@ struct ModeRun {
 ModeRun runWorkload(const workloads::Workload &W, SuspendCheckMode Mode) {
   JvmRig Rig(ExecutionMode::DoppioJS);
   workloads::publish(W, Rig.Env.server());
-  Rig.Options.SuspendChecks = Mode;
+  Rig.Options.Exec.SuspendChecks = Mode;
   ModeRun R;
   R.Exit = Rig.run(W.MainClass, W.Args);
   R.Out = Rig.out();

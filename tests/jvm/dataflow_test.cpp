@@ -335,7 +335,7 @@ TEST(Dataflow, ElisionOnAndOffProduceIdenticalRuns) {
     for (int Trust = 0; Trust != 2; ++Trust) {
       JvmRig Rig(ExecutionMode::DoppioJS);
       workloads::publish(W, Rig.Env.server());
-      Rig.Options.TrustVerifier = Trust == 1;
+      Rig.Options.Exec.TrustVerifier = Trust == 1;
       Exits[Trust] = Rig.run(W.MainClass, W.Args);
       Outs[Trust] = Rig.out();
     }
