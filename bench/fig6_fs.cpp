@@ -9,16 +9,26 @@
 // (sendMessage resumption per call); Safari suffers the typed-array leak.
 //
 // Extension beyond the paper: the same trace against each storage
-// backend, showing what localStorage serialization and cloud latency cost.
+// backend, showing what localStorage serialization and cloud latency
+// cost — and the storage hierarchy (DESIGN.md §19) recovering it. The
+// cached rows put the write-back block cache + journal in front of the
+// slow stores; the warm cached-cloud pass is the acceptance gate: it must
+// land within 2x of the inmemory backend on Chrome (exit code 1
+// otherwise), versus the WAN-round-trip-per-operation cliff of raw cloud
+// storage.
 //
 //===----------------------------------------------------------------------===//
 
 #include "bench_util.h"
 
 #include "doppio/backends/kv_backend.h"
+#include "doppio/backends/kv_store.h"
+#include "doppio/storage/cached_store.h"
 #include "workloads/fstrace.h"
 
 #include <benchmark/benchmark.h>
+
+#include <map>
 
 using namespace doppio;
 using namespace doppio::bench;
@@ -27,38 +37,80 @@ using namespace doppio::workloads;
 
 namespace {
 
-/// Replays the trace against a root backend in one browser; returns the
-/// replay stats.
-ReplayStats replayOn(const browser::Profile &P,
-                     const std::string &Backend) {
+/// Builds the root backend named by \p Backend ("inmemory", "indexeddb",
+/// "cloud", "cached-cloud", "journal-idb"). Returns null when the browser
+/// lacks the mechanism (no IndexedDB).
+std::unique_ptr<fs::FileSystemBackend> makeRoot(browser::BrowserEnv &Env,
+                                                const std::string &Backend) {
+  if (Backend == "inmemory")
+    return std::make_unique<fs::InMemoryBackend>(Env);
+
+  std::unique_ptr<fs::AsyncKvStore> Store;
+  if (Backend == "indexeddb" || Backend == "journal-idb") {
+    if (!Env.indexedDB())
+      return nullptr;
+    Env.indexedDB()->setQuotaBytes(256u << 20);
+    Store = std::make_unique<fs::IndexedDbKv>(Env);
+  } else {
+    Store = std::make_unique<fs::CloudKv>(Env);
+  }
+  if (Backend == "cached-cloud" || Backend == "journal-idb")
+    Store = std::make_unique<storage::CachedKvStore>(Env, std::move(Store));
+
+  auto Kv = std::make_unique<fs::KeyValueBackend>(Env, std::move(Store));
+  Kv->initialize([](std::optional<ApiError>) {});
+  return Kv;
+}
+
+/// Replays the trace \p Passes times over one backend instance in one
+/// browser; returns per-pass stats (pass 0 is cold, later passes run with
+/// the cache warm). An empty vector means the backend is unavailable.
+std::vector<ReplayStats> replayOn(const browser::Profile &P,
+                                  const std::string &Backend,
+                                  unsigned Passes) {
   browser::BrowserEnv Env(P);
   Process Proc;
-  std::unique_ptr<fs::FileSystemBackend> Root;
-  if (Backend == "inmemory") {
-    Root = std::make_unique<fs::InMemoryBackend>(Env);
-  } else {
-    std::unique_ptr<fs::AsyncKvStore> Store;
-    if (Backend == "indexeddb") {
-      if (!Env.indexedDB())
-        return {};
-      Env.indexedDB()->setQuotaBytes(256u << 20);
-      Store = std::make_unique<fs::IndexedDbKv>(Env);
-    } else if (Backend == "cloud") {
-      Store = std::make_unique<fs::CloudKv>(Env);
-    }
-    auto Kv = std::make_unique<fs::KeyValueBackend>(Env, std::move(Store));
-    Kv->initialize([](std::optional<ApiError>) {});
-    Root = std::move(Kv);
-  }
+  std::unique_ptr<fs::FileSystemBackend> Root = makeRoot(Env, Backend);
+  if (!Root)
+    return {};
   fs::FileSystem Fs(Env, Proc, std::move(Root));
   Suspender Susp(Env);
   FsTrace Trace = makeJavacTrace();
-  ReplayStats Out;
-  replayTrace(Trace, Fs, Env, Susp, [&Out](ReplayStats S) { Out = S; });
+  std::vector<ReplayStats> Out;
+  for (unsigned I = 0; I != Passes; ++I) {
+    ReplayStats S;
+    replayTrace(Trace, Fs, Env, Susp, [&S](ReplayStats R) { S = R; });
+    Out.push_back(S);
+  }
   return Out;
 }
 
-void printFigure6() {
+/// Prints one table row and records it in \p Json; fills \p Factors with
+/// the per-profile slowdown factor (-1 for n/a).
+void emitRow(BenchJson &Json, const std::string &Label, uint64_t BaselineNs,
+             std::function<ReplayStats(const browser::Profile &)> Run,
+             std::map<std::string, double> &Factors) {
+  printf("%-17s", Label.c_str());
+  BenchJson::Row &R = Json.row(Label);
+  for (const browser::Profile &P : browser::allProfiles()) {
+    ReplayStats S = Run(P);
+    if (S.Operations == 0) {
+      printf(" %10s", "n/a");
+      R.metric(P.Name, -1);
+      Factors[P.Name] = -1;
+      continue;
+    }
+    double Factor =
+        static_cast<double>(S.VirtualNs) / static_cast<double>(BaselineNs);
+    printf(" %9.2fx", Factor);
+    R.metric(P.Name, Factor);
+    Factors[P.Name] = Factor;
+  }
+  printf("\n");
+}
+
+/// Returns true iff the cached-storage acceptance gate holds.
+bool printFigure6() {
   FsTrace Trace = makeJavacTrace();
   printf("==========================================================\n");
   printf("Figure 6: Doppio FS replaying the javac trace, relative to\n");
@@ -74,36 +126,84 @@ void printFigure6() {
   uint64_t BaselineNs = nativeBaselineNs(Trace);
   printf("native baseline (Node on OS fs, modeled): %.1f ms\n\n",
          static_cast<double>(BaselineNs) / 1e6);
-  printBrowserHeader("backend");
+  printf("%-17s", "backend");
+  for (const browser::Profile &P : browser::allProfiles())
+    printf(" %10s", P.Name.c_str());
+  printf("\n");
   BenchJson Json("fig6_fs");
-  for (const char *Backend : {"inmemory", "indexeddb", "cloud"}) {
-    printf("%-14s", Backend);
-    BenchJson::Row &R = Json.row(Backend);
-    for (const browser::Profile &P : browser::allProfiles()) {
-      ReplayStats S = replayOn(P, Backend);
-      if (S.Operations == 0) {
-        printf(" %10s", "n/a");
-        R.metric(P.Name, -1);
-        continue;
-      }
-      double Factor = static_cast<double>(S.VirtualNs) /
-                      static_cast<double>(BaselineNs);
-      printf(" %9.2fx", Factor);
-      R.metric(P.Name, Factor);
-    }
-    printf("\n");
+  std::map<std::string, std::map<std::string, double>> Factors;
+
+  for (const char *Backend : {"inmemory", "indexeddb", "cloud"})
+    emitRow(Json, Backend, BaselineNs,
+            [&](const browser::Profile &P) {
+              auto V = replayOn(P, Backend, 1);
+              return V.empty() ? ReplayStats() : V[0];
+            },
+            Factors[Backend]);
+
+  // Cached rows: one run per profile per backend, two passes over the
+  // same cache. The untimed seeding writes the 10.5 MB working set
+  // through the write-back cache, so pass 0 reads from memory wherever
+  // the per-profile capacity holds the set (chrome: 64 MB) and thrashes
+  // over the slow store where it does not (safari: 1 MB); pass 1 is the
+  // steady warm state the 2x acceptance gate measures.
+  for (const char *Backend : {"cached-cloud", "journal-idb"}) {
+    std::map<std::string, std::vector<ReplayStats>> Runs;
+    for (const browser::Profile &P : browser::allProfiles())
+      Runs[P.Name] = replayOn(P, Backend, 2);
+    emitRow(Json, Backend, BaselineNs,
+            [&](const browser::Profile &P) {
+              auto &V = Runs[P.Name];
+              return V.empty() ? ReplayStats() : V[0];
+            },
+            Factors[Backend]);
+    std::string WarmLabel = std::string(Backend) + "+warm";
+    emitRow(Json, WarmLabel, BaselineNs,
+            [&](const browser::Profile &P) {
+              auto &V = Runs[P.Name];
+              return V.size() < 2 ? ReplayStats() : V[1];
+            },
+            Factors[WarmLabel]);
   }
+
+  // The DESIGN.md §19 acceptance gate: warm cached-cloud within 2x of
+  // inmemory on Chrome. Raw cloud pays a WAN round trip per operation;
+  // warm, the cache must absorb nearly all of them.
+  double Inmem = Factors["inmemory"]["chrome"];
+  double Warm = Factors["cached-cloud+warm"]["chrome"];
+  bool GateOk = Inmem > 0 && Warm > 0 && Warm <= 2.0 * Inmem;
+  Json.hostMetric("gate_warm_over_inmemory_chrome",
+                  Inmem > 0 ? Warm / Inmem : -1);
+  Json.hostMetric("gate_ok", GateOk ? 1 : 0);
   Json.write();
+  printf("\ngate: warm cached-cloud %.2fx vs inmemory %.2fx on chrome "
+         "(ratio %.2f, limit 2.00) -> %s\n",
+         Warm, Inmem, Inmem > 0 ? Warm / Inmem : -1.0,
+         GateOk ? "OK" : "FAIL");
   printf("(inmemory is the paper's configuration; the per-browser\n"
          " differences come from each browser's resumption mechanism —\n"
          " IE10's setImmediate is why it is near-native, §4.4. Safari\n"
          " pays the typed-array leak: 10.5 MB of file buffers leak and\n"
-         " page. indexeddb/cloud rows are an extension.)\n\n");
+         " page. The cached rows are the DESIGN.md §19 storage hierarchy:\n"
+         " a write-back block cache + log-structured journal in front of\n"
+         " the slow store. journal-idb is the same cache over IndexedDB,\n"
+         " group-committing the journal instead of writing through.)\n\n");
+  return GateOk;
 }
 
 void BM_TraceReplay_Chrome(benchmark::State &State) {
   for (auto _ : State) {
-    ReplayStats S = replayOn(browser::chromeProfile(), "inmemory");
+    auto V = replayOn(browser::chromeProfile(), "inmemory", 1);
+    ReplayStats S = V.empty() ? ReplayStats() : V[0];
+    State.counters["fs_ops"] = static_cast<double>(S.Operations);
+    State.counters["errors"] = static_cast<double>(S.Errors);
+  }
+}
+
+void BM_TraceReplay_CachedCloudWarm(benchmark::State &State) {
+  for (auto _ : State) {
+    auto V = replayOn(browser::chromeProfile(), "cached-cloud", 2);
+    ReplayStats S = V.size() < 2 ? ReplayStats() : V[1];
     State.counters["fs_ops"] = static_cast<double>(S.Operations);
     State.counters["errors"] = static_cast<double>(S.Errors);
   }
@@ -113,10 +213,12 @@ void BM_TraceReplay_Chrome(benchmark::State &State) {
 
 BENCHMARK(BM_TraceReplay_Chrome)->Unit(benchmark::kMillisecond)
     ->Iterations(2);
+BENCHMARK(BM_TraceReplay_CachedCloudWarm)->Unit(benchmark::kMillisecond)
+    ->Iterations(2);
 
 int main(int argc, char **argv) {
-  printFigure6();
+  bool GateOk = printFigure6();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return GateOk ? 0 : 1;
 }

@@ -125,6 +125,7 @@ public:
 
   /// Sets the user-granted quota (default: 64 MB).
   void setQuotaBytes(uint64_t Q) { Quota = Q; }
+  uint64_t quotaBytes() const { return Quota; }
   uint64_t usedBytes() const { return Used; }
 
 private:

@@ -55,6 +55,11 @@ public:
   const FileIndex &index() const { return Index; }
   AsyncKvStore &store() { return *Store; }
 
+  /// Durability barrier: completes once every acknowledged mutation has
+  /// reached the underlying mechanism. Immediate for the write-through
+  /// adapters; flushes the write-back cache when one is layered below.
+  void sync(CompletionCb Done) { Store->sync(std::move(Done)); }
+
 private:
   static std::string fileKey(const std::string &Path) { return "f:" + Path; }
   void persistIndex(CompletionCb Done);

@@ -79,6 +79,10 @@ void IndexedDbKv::del(const std::string &Key, DoneCb Done) {
   Db.remove(Key, [Done = std::move(Done)] { Done(std::nullopt); });
 }
 
+uint64_t IndexedDbKv::usedBytes() const { return Db.usedBytes(); }
+
+uint64_t IndexedDbKv::quotaBytes() const { return Db.quotaBytes(); }
+
 //===----------------------------------------------------------------------===//
 // CloudKv
 //===----------------------------------------------------------------------===//
@@ -105,6 +109,19 @@ void CloudKv::put(const std::string &Key, const Bytes &Value, DoneCb Done) {
       RoundTripNs + Env.profile().Costs.XhrPerByteNs * Value.size();
   Env.loop().scheduleAfter(
       [this, Key, Value, Done = std::move(Done)] {
+        uint64_t Old = 0;
+        auto It = Remote.find(Key);
+        if (It != Remote.end())
+          Old = Key.size() + It->second.size();
+        uint64_t New = Key.size() + Value.size();
+        if (Quota && Used - Old + New > Quota) {
+          // The provider rejects over-quota writes server-side; same
+          // Errno::NoSpace the browser mechanisms surface (ENOSPC at the
+          // fs layer regardless of adapter).
+          Done(ApiError(Errno::NoSpace, Key));
+          return;
+        }
+        Used = Used - Old + New;
         Remote[Key] = Value;
         Done(std::nullopt);
       },
@@ -114,7 +131,11 @@ void CloudKv::put(const std::string &Key, const Bytes &Value, DoneCb Done) {
 void CloudKv::del(const std::string &Key, DoneCb Done) {
   Env.loop().scheduleAfter(
       [this, Key, Done = std::move(Done)] {
-        Remote.erase(Key);
+        auto It = Remote.find(Key);
+        if (It != Remote.end()) {
+          Used -= Key.size() + It->second.size();
+          Remote.erase(It);
+        }
         Done(std::nullopt);
       },
       RoundTripNs);

@@ -51,6 +51,27 @@ public:
   virtual void put(const std::string &Key, const Bytes &Value,
                    DoneCb Done) = 0;
   virtual void del(const std::string &Key, DoneCb Done) = 0;
+
+  /// Quota introspection, so layers above (the write-back cache) can
+  /// fast-fail a put that cannot possibly fit instead of discovering
+  /// ENOSPC at flush time. quotaBytes() == 0 means unmetered.
+  virtual uint64_t usedBytes() const { return 0; }
+  virtual uint64_t quotaBytes() const { return 0; }
+
+  /// Bytes of quota one put of \p ValueBytes under \p Key will consume.
+  /// Mechanism-dependent: localStorage stores UTF-16 code units, so the
+  /// binary-string codec doubles the bill on validating browsers (§5.1).
+  virtual uint64_t putCostBytes(const std::string &Key,
+                                size_t ValueBytes) const {
+    return Key.size() + ValueBytes;
+  }
+
+  /// Durability barrier: \p Done fires once every acknowledged mutation
+  /// has reached the underlying mechanism. The plain adapters are
+  /// write-through (each put is durable at its own callback), so the
+  /// default completes immediately; the write-back cache overrides this
+  /// to flush dirty state and seal the journal group.
+  virtual void sync(DoneCb Done) { Done(std::nullopt); }
 };
 
 /// localStorage adapter: synchronous, string-valued, 5 MB quota.
@@ -63,6 +84,23 @@ public:
   void put(const std::string &Key, const Bytes &Value,
            DoneCb Done) override;
   void del(const std::string &Key, DoneCb Done) override;
+
+  uint64_t usedBytes() const override {
+    return Env.localStorage().usedBytes();
+  }
+  uint64_t quotaBytes() const override {
+    return Env.localStorage().quotaBytes();
+  }
+  /// The quota is billed in UTF-16 bytes of the encoded string: packed
+  /// 2-bytes-per-code-unit on non-validating browsers (N payload bytes →
+  /// N quota bytes), 1-byte-per-code-unit where UTF-16 is validated
+  /// (N payload bytes → 2N quota bytes).
+  uint64_t putCostBytes(const std::string &Key,
+                        size_t ValueBytes) const override {
+    return Key.size() +
+           static_cast<uint64_t>(ValueBytes) *
+               (Env.profile().ValidatesStrings ? 2 : 1);
+  }
 
 private:
   browser::BrowserEnv &Env;
@@ -79,6 +117,9 @@ public:
   void put(const std::string &Key, const Bytes &Value,
            DoneCb Done) override;
   void del(const std::string &Key, DoneCb Done) override;
+
+  uint64_t usedBytes() const override;
+  uint64_t quotaBytes() const override;
 
 private:
   browser::BrowserEnv &Env;
@@ -98,11 +139,19 @@ public:
            DoneCb Done) override;
   void del(const std::string &Key, DoneCb Done) override;
 
+  uint64_t usedBytes() const override { return Used; }
+  uint64_t quotaBytes() const override { return Quota; }
+
+  /// Account quota (0 = unmetered, the default; real providers meter).
+  void setQuotaBytes(uint64_t Q) { Quota = Q; }
+
   size_t objectCount() const { return Remote.size(); }
 
 private:
   browser::BrowserEnv &Env;
   uint64_t RoundTripNs;
+  uint64_t Quota = 0;
+  uint64_t Used = 0;
   std::map<std::string, Bytes> Remote;
 };
 

@@ -20,6 +20,7 @@
 
 #include "browser/wire.h"
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>

@@ -1,0 +1,130 @@
+//===- doppio/storage/block.cpp -------------------------------------------==//
+
+#include "doppio/storage/block.h"
+
+#include "doppio/cont/snapshot.h"
+
+#include <cstddef>
+#include <cstdio>
+
+using namespace doppio;
+using namespace doppio::rt;
+using namespace doppio::rt::storage;
+
+uint64_t storage::hashBlock(const uint8_t *Data, size_t Size) {
+  // FNV-1a over the contents...
+  uint64_t H = 1469598103934665603ull;
+  for (size_t I = 0; I != Size; ++I) {
+    H ^= Data[I];
+    H *= 1099511628211ull;
+  }
+  // ...then the murmur3 fmix64 finalizer: small sequential inputs (block
+  // 0 of C0.class vs C1.class) must land far apart.
+  H ^= H >> 33;
+  H *= 0xff51afd7ed558ccdull;
+  H ^= H >> 33;
+  H *= 0xc4ceb9fe1a85ec53ull;
+  H ^= H >> 33;
+  return H;
+}
+
+std::string storage::blockKey(const BlockId &Id) {
+  char Buf[48];
+  snprintf(Buf, sizeof(Buf), "b:%016llx.%u",
+           static_cast<unsigned long long>(Id.Hash), Id.Size);
+  return Buf;
+}
+
+Manifest storage::makeManifest(const std::vector<uint8_t> &Value,
+                               size_t BlockBytes) {
+  Manifest M;
+  M.SizeBytes = Value.size();
+  for (size_t Off = 0; Off < Value.size(); Off += BlockBytes) {
+    size_t N = std::min(BlockBytes, Value.size() - Off);
+    M.Blocks.push_back(
+        {hashBlock(Value.data() + Off, N), static_cast<uint32_t>(N)});
+  }
+  return M;
+}
+
+std::vector<uint8_t> storage::blockPayload(const std::vector<uint8_t> &Value,
+                                           size_t BlockBytes, size_t I) {
+  size_t Off = I * BlockBytes;
+  size_t N = std::min(BlockBytes, Value.size() - Off);
+  return std::vector<uint8_t>(Value.begin() + static_cast<ptrdiff_t>(Off),
+                              Value.begin() + static_cast<ptrdiff_t>(Off + N));
+}
+
+//===----------------------------------------------------------------------===//
+// Directory
+//===----------------------------------------------------------------------===//
+
+namespace {
+constexpr uint32_t DirMagic = 0x44444952; // 'DDIR'
+constexpr uint32_t DirVersion = 1;
+} // namespace
+
+const Manifest *Directory::lookup(const std::string &Key) const {
+  auto It = Entries.find(Key);
+  return It == Entries.end() ? nullptr : &It->second;
+}
+
+void Directory::put(const std::string &Key, Manifest M) {
+  Entries[Key] = std::move(M);
+}
+
+bool Directory::remove(const std::string &Key) {
+  return Entries.erase(Key) != 0;
+}
+
+std::string Directory::nextKey(const std::string &Key) const {
+  auto It = Entries.upper_bound(Key);
+  return It == Entries.end() ? std::string() : It->first;
+}
+
+bool Directory::adjacent(const std::string &A, const std::string &B) const {
+  if (A.empty() || !(A < B))
+    return false;
+  auto It = Entries.upper_bound(A);
+  return It != Entries.end() && It->first == B;
+}
+
+std::vector<uint8_t> Directory::serialize() const {
+  snap::Writer W(DirMagic, DirVersion);
+  W.u32(static_cast<uint32_t>(Entries.size()));
+  for (const auto &[Key, M] : Entries) {
+    W.str(Key);
+    W.u64(M.SizeBytes);
+    W.u32(static_cast<uint32_t>(M.Blocks.size()));
+    for (const BlockId &Id : M.Blocks) {
+      W.u64(Id.Hash);
+      W.u32(Id.Size);
+    }
+  }
+  return W.take();
+}
+
+Directory Directory::deserialize(const std::vector<uint8_t> &Bytes,
+                                 bool &Ok) {
+  Directory D;
+  snap::Reader R(Bytes, DirMagic, DirVersion);
+  uint32_t N = R.u32();
+  for (uint32_t I = 0; I != N && R.ok(); ++I) {
+    std::string Key = R.str();
+    Manifest M;
+    M.SizeBytes = R.u64();
+    uint32_t Blocks = R.u32();
+    for (uint32_t B = 0; B != Blocks && R.ok(); ++B) {
+      BlockId Id;
+      Id.Hash = R.u64();
+      Id.Size = R.u32();
+      M.Blocks.push_back(Id);
+    }
+    if (R.ok())
+      D.Entries[Key] = std::move(M);
+  }
+  Ok = R.ok() && R.atEnd();
+  if (!Ok)
+    D.Entries.clear();
+  return D;
+}
